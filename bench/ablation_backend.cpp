@@ -1,0 +1,105 @@
+// bench_ablation_backend — the §V design-space ablation: the same
+// operations executed through (a) build-time-instantiated kernels,
+// (b) warm JIT modules, and (c) the interpreted "union type" fallback the
+// paper rejected. Expected shape: static ≈ jit ≪ interp, with interp's
+// penalty growing with nnz (per-element indirect dispatch + staging).
+#include <benchmark/benchmark.h>
+
+#include <map>
+
+#include "generators/erdos_renyi.hpp"
+#include "pygb/pygb.hpp"
+
+namespace {
+
+using namespace pygb;       // NOLINT
+using jit::Mode;
+using jit::Registry;
+
+const Matrix& graph_of(gbtl::IndexType n) {
+  static std::map<gbtl::IndexType, Matrix> cache;
+  auto it = cache.find(n);
+  if (it == cache.end()) {
+    auto el = gen::paper_graph(n, 42, /*symmetric=*/true);
+    it = cache.emplace(n, Matrix::from_edge_list(el)).first;
+  }
+  return it->second;
+}
+
+template <Mode M>
+void BM_Mxv(benchmark::State& state) {
+  auto& reg = Registry::instance();
+  if (M == Mode::kJit && !reg.compiler_available()) {
+    state.SkipWithError("no C++ compiler available");
+    return;
+  }
+  const auto n = static_cast<gbtl::IndexType>(state.range(0));
+  const Matrix& graph = graph_of(n);
+  Vector u(n, DType::kFP64);
+  u[Slice::all()] = 1.0;
+  Vector w(n, DType::kFP64);
+  const auto saved = reg.mode();
+  reg.set_mode(M);
+  w[None] = matmul(graph, u);  // warm any JIT module outside the loop
+  for (auto _ : state) {
+    w[None] = matmul(graph, u);
+    benchmark::DoNotOptimize(w.nvals());
+  }
+  reg.set_mode(saved);
+}
+
+template <Mode M>
+void BM_EWiseAdd(benchmark::State& state) {
+  auto& reg = Registry::instance();
+  if (M == Mode::kJit && !reg.compiler_available()) {
+    state.SkipWithError("no C++ compiler available");
+    return;
+  }
+  const auto n = static_cast<gbtl::IndexType>(state.range(0));
+  const Matrix& graph = graph_of(n);
+  Matrix c(n, n, DType::kFP64);
+  const auto saved = reg.mode();
+  reg.set_mode(M);
+  c[None] = graph + graph;
+  for (auto _ : state) {
+    c[None] = graph + graph;
+    benchmark::DoNotOptimize(c.nvals());
+  }
+  reg.set_mode(saved);
+}
+
+}  // namespace
+
+BENCHMARK(BM_Mxv<Mode::kStatic>)
+    ->RangeMultiplier(4)
+    ->Range(256, 4096)
+    ->Unit(benchmark::kMicrosecond)
+    ->Name("BM_Mxv_StaticKernels");
+BENCHMARK(BM_Mxv<Mode::kJit>)
+    ->RangeMultiplier(4)
+    ->Range(256, 4096)
+    ->Unit(benchmark::kMicrosecond)
+    ->Name("BM_Mxv_JitWarm");
+BENCHMARK(BM_Mxv<Mode::kInterp>)
+    ->RangeMultiplier(4)
+    ->Range(256, 4096)
+    ->Unit(benchmark::kMicrosecond)
+    ->Name("BM_Mxv_InterpRejectedDesign");
+
+BENCHMARK(BM_EWiseAdd<Mode::kStatic>)
+    ->RangeMultiplier(4)
+    ->Range(256, 4096)
+    ->Unit(benchmark::kMicrosecond)
+    ->Name("BM_EWiseAdd_StaticKernels");
+BENCHMARK(BM_EWiseAdd<Mode::kJit>)
+    ->RangeMultiplier(4)
+    ->Range(256, 4096)
+    ->Unit(benchmark::kMicrosecond)
+    ->Name("BM_EWiseAdd_JitWarm");
+BENCHMARK(BM_EWiseAdd<Mode::kInterp>)
+    ->RangeMultiplier(4)
+    ->Range(256, 4096)
+    ->Unit(benchmark::kMicrosecond)
+    ->Name("BM_EWiseAdd_InterpRejectedDesign");
+
+BENCHMARK_MAIN();

@@ -1,0 +1,141 @@
+// bench_ablation_fused_chain — the §V planned feature, quantified:
+// "Grouping more operations into a single module will reduce the overhead
+// of function redirection in Python and shorten compile times". Measures
+// the PageRank iteration body (5 statements) executed as
+//   (a) five per-operation dispatches through the DSL, and
+//   (b) one fused-chain dispatch into a single compiled module,
+// both with and without the CPython dispatch-cost model, plus the
+// compile-time comparison (five modules vs one).
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <map>
+
+#include "generators/erdos_renyi.hpp"
+#include "pygb/jit/compiler.hpp"
+#include "pygb/pygb.hpp"
+
+namespace {
+
+using namespace pygb;  // NOLINT
+
+struct Fixture {
+  Matrix m;          // normalized, damped transition matrix
+  Vector rank;
+  Vector new_rank;
+  Vector delta;
+  double teleport;
+};
+
+Fixture& fixture_of(gbtl::IndexType n) {
+  static std::map<gbtl::IndexType, Fixture> cache;
+  auto it = cache.find(n);
+  if (it == cache.end()) {
+    auto el = gen::paper_graph(n, 42, /*symmetric=*/true);
+    Matrix graph = Matrix::from_edge_list(el);
+    Matrix m(n, n, DType::kFP64);
+    m[None] = graph;
+    normalize_rows(m);
+    {
+      With ctx(UnaryOp("Times", 0.85));
+      m[None] = apply(m);
+    }
+    Fixture f{m, Vector(n, DType::kFP64), Vector(n, DType::kFP64),
+              Vector(n, DType::kFP64), 0.15 / static_cast<double>(n)};
+    f.rank[Slice::all()] = 1.0 / static_cast<double>(n);
+    it = cache.emplace(n, std::move(f)).first;
+  }
+  return it->second;
+}
+
+FusedChain make_iteration_chain() {
+  FusedChain iter("bench_pr_iteration");
+  const int rank = iter.vector_param("rank");
+  const int mat = iter.matrix_param("m");
+  const int new_rank = iter.vector_param("new_rank");
+  const int delta = iter.vector_param("delta");
+  const int teleport = iter.scalar_param("teleport");
+  iter.vxm(new_rank, rank, mat, ArithmeticSemiring(),
+           Accumulator("Second"));
+  iter.apply_bound(new_rank, new_rank, BinaryOp("Plus"), teleport);
+  iter.ewise_add(delta, rank, new_rank, BinaryOp("Minus"));
+  iter.ewise_mult(delta, delta, delta, BinaryOp("Times"));
+  iter.reduce(delta, PlusMonoid());
+  return iter;
+}
+
+double run_per_op(Fixture& f) {
+  {
+    With ctx(Accumulator("Second"), ArithmeticSemiring());
+    f.new_rank[None] += matmul(f.rank, f.m);
+  }
+  {
+    With ctx(UnaryOp("Plus", f.teleport));
+    f.new_rank[None] = apply(f.new_rank);
+  }
+  {
+    With ctx(BinaryOp("Minus"));
+    f.delta[None] = f.rank + f.new_rank;
+  }
+  f.delta[None] = f.delta * f.delta;
+  return reduce(f.delta).to_double();
+}
+
+void BM_Iteration_PerOpDispatch(benchmark::State& state) {
+  auto& f = fixture_of(static_cast<gbtl::IndexType>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run_per_op(f));
+  }
+}
+
+void BM_Iteration_PerOpDispatch_CPythonModel(benchmark::State& state) {
+  auto& f = fixture_of(static_cast<gbtl::IndexType>(state.range(0)));
+  set_interp_overhead_ns(1500);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run_per_op(f));
+  }
+  set_interp_overhead_ns(0);
+}
+
+void BM_Iteration_FusedChain(benchmark::State& state) {
+  if (!jit::compiler_available()) {
+    state.SkipWithError("no C++ compiler available");
+    return;
+  }
+  auto& f = fixture_of(static_cast<gbtl::IndexType>(state.range(0)));
+  static FusedChain chain = make_iteration_chain();
+  chain.run({f.rank, f.m, f.new_rank, f.delta, f.teleport});  // warm
+  for (auto _ : state) {
+    const auto r =
+        chain.run({f.rank, f.m, f.new_rank, f.delta, f.teleport});
+    benchmark::DoNotOptimize(r.scalar.to_double());
+  }
+}
+
+void BM_Iteration_FusedChain_CPythonModel(benchmark::State& state) {
+  if (!jit::compiler_available()) {
+    state.SkipWithError("no C++ compiler available");
+    return;
+  }
+  auto& f = fixture_of(static_cast<gbtl::IndexType>(state.range(0)));
+  static FusedChain chain = make_iteration_chain();
+  chain.run({f.rank, f.m, f.new_rank, f.delta, f.teleport});
+  set_interp_overhead_ns(1500);
+  for (auto _ : state) {
+    const auto r =
+        chain.run({f.rank, f.m, f.new_rank, f.delta, f.teleport});
+    benchmark::DoNotOptimize(r.scalar.to_double());
+  }
+  set_interp_overhead_ns(0);
+}
+
+}  // namespace
+
+#define FUSED_SWEEP \
+  ->RangeMultiplier(4)->Range(64, 4096)->Unit(benchmark::kMicrosecond)
+BENCHMARK(BM_Iteration_PerOpDispatch) FUSED_SWEEP;
+BENCHMARK(BM_Iteration_PerOpDispatch_CPythonModel) FUSED_SWEEP;
+BENCHMARK(BM_Iteration_FusedChain) FUSED_SWEEP;
+BENCHMARK(BM_Iteration_FusedChain_CPythonModel) FUSED_SWEEP;
+
+BENCHMARK_MAIN();

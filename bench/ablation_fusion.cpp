@@ -1,0 +1,84 @@
+// bench_ablation_fusion — the §IV deferred-evaluation design points:
+//   * C[None] = A + B  (in-place: the expression evaluates into the
+//     existing container; no fresh output allocation) vs
+//   * C = A + B        (rebind: a new container per evaluation), and
+//   * C(region) = A @ B (GBTL cannot fuse op+assign: forced temporary) vs
+//     the full-container path that skips the temporary.
+#include <benchmark/benchmark.h>
+
+#include <map>
+
+#include "generators/erdos_renyi.hpp"
+#include "pygb/pygb.hpp"
+
+namespace {
+
+using namespace pygb;  // NOLINT
+
+const Matrix& graph_of(gbtl::IndexType n) {
+  static std::map<gbtl::IndexType, Matrix> cache;
+  auto it = cache.find(n);
+  if (it == cache.end()) {
+    auto el = gen::paper_graph(n, 42, /*symmetric=*/true);
+    it = cache.emplace(n, Matrix::from_edge_list(el)).first;
+  }
+  return it->second;
+}
+
+void BM_EWise_InPlace(benchmark::State& state) {
+  const auto n = static_cast<gbtl::IndexType>(state.range(0));
+  const Matrix& a = graph_of(n);
+  Matrix c(n, n, DType::kFP64);
+  for (auto _ : state) {
+    c[None] = a + a;  // reuses the existing container
+    benchmark::DoNotOptimize(c.nvals());
+  }
+}
+
+void BM_EWise_Rebind(benchmark::State& state) {
+  const auto n = static_cast<gbtl::IndexType>(state.range(0));
+  const Matrix& a = graph_of(n);
+  Matrix c(n, n, DType::kFP64);
+  for (auto _ : state) {
+    c = a + a;  // fresh container every evaluation (Python rebinding)
+    benchmark::DoNotOptimize(c.nvals());
+  }
+}
+
+void BM_SubAssign_ForcedTemporary(benchmark::State& state) {
+  // §IV: C[0:m, 0:m] = A' * A' with m < n cannot be expressed as one fused
+  // GBTL call; the expression lands in a temporary, then assign copies it
+  // into the region.
+  const auto n = static_cast<gbtl::IndexType>(state.range(0));
+  const Matrix sub =
+      graph_of(n)(Slice(0, n - 1), Slice(0, n - 1)).extract();
+  Matrix c(n, n, DType::kFP64);
+  for (auto _ : state) {
+    c(Slice(0, n - 1), Slice(0, n - 1)) = sub * sub;
+    benchmark::DoNotOptimize(c.nvals());
+  }
+}
+
+void BM_FullAssign_NoTemporary(benchmark::State& state) {
+  // The whole-container region skips the temporary (evaluates in place);
+  // same operand sizes as the forced-temporary case above.
+  const auto n = static_cast<gbtl::IndexType>(state.range(0));
+  const Matrix sub =
+      graph_of(n)(Slice(0, n - 1), Slice(0, n - 1)).extract();
+  Matrix c(n - 1, n - 1, DType::kFP64);
+  for (auto _ : state) {
+    c(Slice(0, n - 1), Slice(0, n - 1)) = sub * sub;
+    benchmark::DoNotOptimize(c.nvals());
+  }
+}
+
+}  // namespace
+
+#define FUSION_SWEEP \
+  ->RangeMultiplier(4)->Range(256, 4096)->Unit(benchmark::kMicrosecond)
+BENCHMARK(BM_EWise_InPlace) FUSION_SWEEP;
+BENCHMARK(BM_EWise_Rebind) FUSION_SWEEP;
+BENCHMARK(BM_SubAssign_ForcedTemporary) FUSION_SWEEP;
+BENCHMARK(BM_FullAssign_NoTemporary) FUSION_SWEEP;
+
+BENCHMARK_MAIN();

@@ -1,0 +1,95 @@
+// bench_dispatch — the DSL abstraction penalty at operation granularity:
+// one small mxv through the full DSL pipeline (expression object, context
+// search, mask coercion, key construction, registry lookup, type-erased
+// call) versus the direct templated GBTL call, across sizes — the
+// per-operation component of Fig. 10's small-input gap. Also measures the
+// optional CPython-overhead model's contribution.
+#include <benchmark/benchmark.h>
+
+#include <map>
+
+#include "gbtl/gbtl.hpp"
+#include "generators/erdos_renyi.hpp"
+#include "pygb/pygb.hpp"
+
+namespace {
+
+using namespace pygb;  // NOLINT
+
+struct Fixture {
+  Matrix graph;
+  Vector u;
+  Vector w;
+};
+
+Fixture& fixture_of(gbtl::IndexType n) {
+  static std::map<gbtl::IndexType, Fixture> cache;
+  auto it = cache.find(n);
+  if (it == cache.end()) {
+    auto el = gen::paper_graph(n, 42, /*symmetric=*/true);
+    Fixture f{Matrix::from_edge_list(el), Vector(n, DType::kFP64),
+              Vector(n, DType::kFP64)};
+    f.u[Slice::all()] = 1.0;
+    it = cache.emplace(n, std::move(f)).first;
+  }
+  return it->second;
+}
+
+void BM_Mxv_DSL(benchmark::State& state) {
+  auto& f = fixture_of(static_cast<gbtl::IndexType>(state.range(0)));
+  for (auto _ : state) {
+    f.w[None] = matmul(f.graph, f.u);
+    benchmark::DoNotOptimize(f.w.nvals());
+  }
+}
+
+void BM_Mxv_DSL_WithCPythonModel(benchmark::State& state) {
+  auto& f = fixture_of(static_cast<gbtl::IndexType>(state.range(0)));
+  set_interp_overhead_ns(1500);
+  for (auto _ : state) {
+    f.w[None] = matmul(f.graph, f.u);
+    benchmark::DoNotOptimize(f.w.nvals());
+  }
+  set_interp_overhead_ns(0);
+}
+
+void BM_Mxv_NativeGBTL(benchmark::State& state) {
+  auto& f = fixture_of(static_cast<gbtl::IndexType>(state.range(0)));
+  const auto& g = f.graph.typed<double>();
+  const auto& u = f.u.typed<double>();
+  auto& w = f.w.typed<double>();
+  for (auto _ : state) {
+    gbtl::mxv(w, gbtl::NoMask{}, gbtl::NoAccumulate{},
+              gbtl::ArithmeticSemiring<double>{}, g, u);
+    benchmark::DoNotOptimize(w.nvals());
+  }
+}
+
+void BM_ExpressionConstructionOnly(benchmark::State& state) {
+  // Cost of building (and discarding) the deferred expression object —
+  // no evaluation happens.
+  auto& f = fixture_of(256);
+  for (auto _ : state) {
+    auto e = matmul(f.graph, f.u);
+    benchmark::DoNotOptimize(&e);
+  }
+}
+
+void BM_ContextPushPop(benchmark::State& state) {
+  for (auto _ : state) {
+    With ctx(MinPlusSemiring(), Accumulator("Min"), Replace);
+    benchmark::DoNotOptimize(context_depth());
+  }
+}
+
+}  // namespace
+
+#define DISPATCH_SWEEP \
+  ->RangeMultiplier(4)->Range(64, 16384)->Unit(benchmark::kMicrosecond)
+BENCHMARK(BM_Mxv_DSL) DISPATCH_SWEEP;
+BENCHMARK(BM_Mxv_DSL_WithCPythonModel) DISPATCH_SWEEP;
+BENCHMARK(BM_Mxv_NativeGBTL) DISPATCH_SWEEP;
+BENCHMARK(BM_ExpressionConstructionOnly);
+BENCHMARK(BM_ContextPushPop);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,62 @@
+// bench_fig10_bfs — Fig. 10, BFS panel: run time vs |V| for the three
+// implementation tiers on ER graphs with |E| = |V|^1.5.
+#include "fig10_common.hpp"
+
+#include "algorithms/bfs.hpp"
+
+namespace {
+
+using namespace pygb;  // NOLINT
+
+void BM_BFS_PyGB_PythonLoops(benchmark::State& state) {
+  const auto n = static_cast<gbtl::IndexType>(state.range(0));
+  const Matrix& graph = fig10::paper_matrix(n, false);
+  fig10::PyOverheadGuard overhead(true);
+  for (auto _ : state) {
+    Vector frontier(n, DType::kBool);
+    frontier.set(0, Scalar(true));
+    Vector levels(n, DType::kInt64);
+    benchmark::DoNotOptimize(algo::dsl_bfs(graph, frontier, levels));
+  }
+  fig10::annotate(state, graph.nvals());
+}
+
+void BM_BFS_PyGB_CppAlgorithm(benchmark::State& state) {
+  const auto n = static_cast<gbtl::IndexType>(state.range(0));
+  const Matrix& graph = fig10::paper_matrix(n, false);
+  fig10::PyOverheadGuard overhead(true);
+  Vector frontier(n, DType::kBool);
+  frontier.set(0, Scalar(true));
+  for (auto _ : state) {
+    Vector levels(n, DType::kInt64);
+    benchmark::DoNotOptimize(algo::whole_bfs(graph, frontier, levels));
+  }
+  fig10::annotate(state, graph.nvals());
+}
+
+void BM_BFS_NativeGBTL(benchmark::State& state) {
+  const auto n = static_cast<gbtl::IndexType>(state.range(0));
+  const auto& graph = fig10::paper_matrix(n, false).typed<double>();
+  for (auto _ : state) {
+    gbtl::Vector<std::int64_t> levels(n);
+    benchmark::DoNotOptimize(pygb::algo::bfs_from(graph, 0, levels));
+  }
+  fig10::annotate(state, graph.nvals());
+}
+
+}  // namespace
+
+BENCHMARK(BM_BFS_PyGB_PythonLoops)
+    ->RangeMultiplier(2)
+    ->Range(128, 8192)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_BFS_PyGB_CppAlgorithm)
+    ->RangeMultiplier(2)
+    ->Range(128, 8192)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_BFS_NativeGBTL)
+    ->RangeMultiplier(2)
+    ->Range(128, 8192)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

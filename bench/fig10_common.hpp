@@ -1,0 +1,69 @@
+// bench/fig10_common.hpp — shared machinery for the Fig. 10 reproduction:
+// each algorithm is measured in the paper's three versions over Erdős–Rényi
+// graphs with |E| = |V|^1.5:
+//
+//   pygb_python_loops — the DSL with outer loops in the host language, one
+//                       dispatched operation per DSL statement, plus the
+//                       calibrated CPython dispatch-overhead model;
+//   pygb_cpp_algorithm — the DSL hands the whole loop to one compiled
+//                        module (a single dispatch);
+//   native_gbtl        — the templated C++ algorithm called directly.
+//
+// Expected shape (paper §VI): python-loops slowest at small |V| and
+// converging to native as |V| grows; the whole-algorithm version between
+// them; native fastest.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+
+#include "algorithms/dsl_algorithms.hpp"
+#include "generators/erdos_renyi.hpp"
+#include "pygb/pygb.hpp"
+
+namespace fig10 {
+
+/// Calibrated CPython per-dispatch cost (magic-method call + kwargs hash +
+/// importlib lookup); see DESIGN.md substitution #1. Override by exporting
+/// PYGB_INTERP_NS before launching the bench.
+inline constexpr std::int64_t kCPythonDispatchNs = 1500;
+
+/// Build (and memoize per process) the paper's workload graph.
+inline const pygb::Matrix& paper_matrix(gbtl::IndexType n, bool weighted) {
+  static std::map<std::pair<gbtl::IndexType, bool>, pygb::Matrix> cache;
+  auto key = std::make_pair(n, weighted);
+  auto it = cache.find(key);
+  if (it == cache.end()) {
+    auto el = pygb::gen::paper_graph(n, /*seed=*/42, /*symmetric=*/true,
+                                     1.0, weighted ? 8.0 : 1.0);
+    it = cache.emplace(key, pygb::Matrix::from_edge_list(el)).first;
+  }
+  return it->second;
+}
+
+/// RAII guard applying the CPython overhead model for one bench series.
+class PyOverheadGuard {
+ public:
+  explicit PyOverheadGuard(bool enabled) {
+    if (enabled && pygb::interp_overhead_ns() == 0) {
+      pygb::set_interp_overhead_ns(kCPythonDispatchNs);
+      set_ = true;
+    }
+  }
+  ~PyOverheadGuard() {
+    if (set_) pygb::set_interp_overhead_ns(0);
+  }
+
+ private:
+  bool set_ = false;
+};
+
+inline void annotate(benchmark::State& state, std::size_t nnz) {
+  state.counters["vertices"] =
+      benchmark::Counter(static_cast<double>(state.range(0)));
+  state.counters["edges"] =
+      benchmark::Counter(static_cast<double>(nnz));
+}
+
+}  // namespace fig10

@@ -1,0 +1,58 @@
+// bench_fig10_pagerank — Fig. 10, PageRank panel: seven dispatched
+// operations per iteration in the DSL tier (the paper's count).
+#include "fig10_common.hpp"
+
+#include "algorithms/pagerank.hpp"
+
+namespace {
+
+using namespace pygb;  // NOLINT
+
+void BM_PageRank_PyGB_PythonLoops(benchmark::State& state) {
+  const auto n = static_cast<gbtl::IndexType>(state.range(0));
+  const Matrix& graph = fig10::paper_matrix(n, false);
+  fig10::PyOverheadGuard overhead(true);
+  for (auto _ : state) {
+    Vector rank = algo::dsl_page_rank(graph);
+    benchmark::DoNotOptimize(rank.nvals());
+  }
+  fig10::annotate(state, graph.nvals());
+}
+
+void BM_PageRank_PyGB_CppAlgorithm(benchmark::State& state) {
+  const auto n = static_cast<gbtl::IndexType>(state.range(0));
+  const Matrix& graph = fig10::paper_matrix(n, false);
+  fig10::PyOverheadGuard overhead(true);
+  for (auto _ : state) {
+    Vector rank(n, DType::kFP64);
+    benchmark::DoNotOptimize(algo::whole_page_rank(graph, rank));
+  }
+  fig10::annotate(state, graph.nvals());
+}
+
+void BM_PageRank_NativeGBTL(benchmark::State& state) {
+  const auto n = static_cast<gbtl::IndexType>(state.range(0));
+  const auto& graph = fig10::paper_matrix(n, false).typed<double>();
+  for (auto _ : state) {
+    gbtl::Vector<double> rank(n);
+    benchmark::DoNotOptimize(pygb::algo::page_rank(graph, rank));
+  }
+  fig10::annotate(state, graph.nvals());
+}
+
+}  // namespace
+
+BENCHMARK(BM_PageRank_PyGB_PythonLoops)
+    ->RangeMultiplier(2)
+    ->Range(128, 4096)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_PageRank_PyGB_CppAlgorithm)
+    ->RangeMultiplier(2)
+    ->Range(128, 4096)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_PageRank_NativeGBTL)
+    ->RangeMultiplier(2)
+    ->Range(128, 4096)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,65 @@
+// bench_fig10_sssp — Fig. 10, SSSP panel. The paper's algorithm performs
+// |V| mxv relaxations (one dispatched op per round in the DSL tier).
+#include "fig10_common.hpp"
+
+#include "algorithms/sssp.hpp"
+
+namespace {
+
+using namespace pygb;  // NOLINT
+
+void BM_SSSP_PyGB_PythonLoops(benchmark::State& state) {
+  const auto n = static_cast<gbtl::IndexType>(state.range(0));
+  const Matrix& graph = fig10::paper_matrix(n, true);
+  fig10::PyOverheadGuard overhead(true);
+  for (auto _ : state) {
+    Vector path(n, DType::kFP64);
+    path.set(0, 0.0);
+    algo::dsl_sssp(graph, path);
+    benchmark::DoNotOptimize(path.nvals());
+  }
+  fig10::annotate(state, graph.nvals());
+}
+
+void BM_SSSP_PyGB_CppAlgorithm(benchmark::State& state) {
+  const auto n = static_cast<gbtl::IndexType>(state.range(0));
+  const Matrix& graph = fig10::paper_matrix(n, true);
+  fig10::PyOverheadGuard overhead(true);
+  for (auto _ : state) {
+    Vector path(n, DType::kFP64);
+    path.set(0, 0.0);
+    algo::whole_sssp(graph, path);
+    benchmark::DoNotOptimize(path.nvals());
+  }
+  fig10::annotate(state, graph.nvals());
+}
+
+void BM_SSSP_NativeGBTL(benchmark::State& state) {
+  const auto n = static_cast<gbtl::IndexType>(state.range(0));
+  const auto& graph = fig10::paper_matrix(n, true).typed<double>();
+  for (auto _ : state) {
+    gbtl::Vector<double> path(n);
+    path.setElement(0, 0.0);
+    pygb::algo::sssp(graph, path);
+    benchmark::DoNotOptimize(path.nvals());
+  }
+  fig10::annotate(state, graph.nvals());
+}
+
+}  // namespace
+
+// |V| rounds of mxv make SSSP the heaviest panel; the sweep stops at 2048.
+BENCHMARK(BM_SSSP_PyGB_PythonLoops)
+    ->RangeMultiplier(2)
+    ->Range(128, 2048)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SSSP_PyGB_CppAlgorithm)
+    ->RangeMultiplier(2)
+    ->Range(128, 2048)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SSSP_NativeGBTL)
+    ->RangeMultiplier(2)
+    ->Range(128, 2048)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

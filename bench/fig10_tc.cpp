@@ -1,0 +1,67 @@
+// bench_fig10_tc — Fig. 10, triangle-counting panel: a straight-line
+// sequence of operations with no outer loop, so the DSL tier pays only a
+// constant handful of dispatches (the penalty vanishes fastest here).
+#include "fig10_common.hpp"
+
+#include "algorithms/triangle_count.hpp"
+
+namespace {
+
+using namespace pygb;  // NOLINT
+
+const Matrix& lower_of(gbtl::IndexType n) {
+  static std::map<gbtl::IndexType, Matrix> cache;
+  auto it = cache.find(n);
+  if (it == cache.end()) {
+    auto [lower, upper] = split_triangles(fig10::paper_matrix(n, false));
+    it = cache.emplace(n, lower).first;
+  }
+  return it->second;
+}
+
+void BM_TC_PyGB_PythonLoops(benchmark::State& state) {
+  const auto n = static_cast<gbtl::IndexType>(state.range(0));
+  const Matrix& lower = lower_of(n);
+  fig10::PyOverheadGuard overhead(true);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(algo::dsl_triangle_count(lower));
+  }
+  fig10::annotate(state, lower.nvals());
+}
+
+void BM_TC_PyGB_CppAlgorithm(benchmark::State& state) {
+  const auto n = static_cast<gbtl::IndexType>(state.range(0));
+  const Matrix& lower = lower_of(n);
+  fig10::PyOverheadGuard overhead(true);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(algo::whole_triangle_count(lower));
+  }
+  fig10::annotate(state, lower.nvals());
+}
+
+void BM_TC_NativeGBTL(benchmark::State& state) {
+  const auto n = static_cast<gbtl::IndexType>(state.range(0));
+  const auto& lower = lower_of(n).typed<double>();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        pygb::algo::triangle_count<std::int64_t>(lower));
+  }
+  fig10::annotate(state, lower.nvals());
+}
+
+}  // namespace
+
+BENCHMARK(BM_TC_PyGB_PythonLoops)
+    ->RangeMultiplier(2)
+    ->Range(128, 4096)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_TC_PyGB_CppAlgorithm)
+    ->RangeMultiplier(2)
+    ->Range(128, 4096)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_TC_NativeGBTL)
+    ->RangeMultiplier(2)
+    ->Range(128, 4096)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,127 @@
+// bench_fig9_jit — the execution-model costs of Fig. 9: cold compilation
+// (codegen + g++ + dlopen), disk-cache hit (dlopen only), memory-cache hit
+// (hash lookup), static-table hit, and interp dispatch — plus the paper's
+// claim that compile times amortize across runs.
+#include <benchmark/benchmark.h>
+
+#include <filesystem>
+
+#include "pygb/pygb.hpp"
+
+namespace {
+
+using namespace pygb;       // NOLINT
+using namespace pygb::jit;  // NOLINT
+
+Matrix small_fixture() {
+  return Matrix({{1, 2}, {3, 4}});
+}
+
+/// A dedicated throwaway cache dir so cold timings are honest.
+std::string bench_cache_dir() {
+  return (std::filesystem::temp_directory_path() /
+          ("pygb_fig9_bench_" + std::to_string(::getpid())))
+      .string();
+}
+
+void BM_ColdCompile(benchmark::State& state) {
+  if (!Registry::instance().compiler_available()) {
+    state.SkipWithError("no C++ compiler available");
+    return;
+  }
+  auto& reg = Registry::instance();
+  const auto saved_mode = reg.mode();
+  const auto saved_dir = reg.cache_dir();
+  reg.set_cache_dir(bench_cache_dir());
+  reg.set_mode(Mode::kJit);
+  Matrix a = small_fixture();
+  Matrix c(2, 2);
+  for (auto _ : state) {
+    state.PauseTiming();
+    reg.clear_disk_cache();  // force codegen + g++ + dlopen
+    state.ResumeTiming();
+    c[None] = matmul(a, a);
+  }
+  reg.clear_disk_cache();
+  reg.set_cache_dir(saved_dir);
+  reg.set_mode(saved_mode);
+}
+
+void BM_DiskCacheHit(benchmark::State& state) {
+  if (!Registry::instance().compiler_available()) {
+    state.SkipWithError("no C++ compiler available");
+    return;
+  }
+  auto& reg = Registry::instance();
+  const auto saved_mode = reg.mode();
+  const auto saved_dir = reg.cache_dir();
+  reg.set_cache_dir(bench_cache_dir());
+  reg.set_mode(Mode::kJit);
+  Matrix a = small_fixture();
+  Matrix c(2, 2);
+  c[None] = matmul(a, a);  // populate the disk cache once
+  for (auto _ : state) {
+    state.PauseTiming();
+    reg.clear_memory_cache();  // keep the .so, drop the handle
+    state.ResumeTiming();
+    c[None] = matmul(a, a);
+  }
+  reg.clear_disk_cache();
+  reg.set_cache_dir(saved_dir);
+  reg.set_mode(saved_mode);
+}
+
+void BM_MemoryCacheHit(benchmark::State& state) {
+  if (!Registry::instance().compiler_available()) {
+    state.SkipWithError("no C++ compiler available");
+    return;
+  }
+  auto& reg = Registry::instance();
+  const auto saved_mode = reg.mode();
+  const auto saved_dir = reg.cache_dir();
+  reg.set_cache_dir(bench_cache_dir());
+  reg.set_mode(Mode::kJit);
+  Matrix a = small_fixture();
+  Matrix c(2, 2);
+  c[None] = matmul(a, a);  // warm
+  for (auto _ : state) {
+    c[None] = matmul(a, a);
+  }
+  reg.clear_disk_cache();
+  reg.set_cache_dir(saved_dir);
+  reg.set_mode(saved_mode);
+}
+
+void BM_StaticTableHit(benchmark::State& state) {
+  auto& reg = Registry::instance();
+  const auto saved_mode = reg.mode();
+  reg.set_mode(Mode::kStatic);
+  Matrix a = small_fixture();
+  Matrix c(2, 2);
+  for (auto _ : state) {
+    c[None] = matmul(a, a);
+  }
+  reg.set_mode(saved_mode);
+}
+
+void BM_InterpDispatch(benchmark::State& state) {
+  auto& reg = Registry::instance();
+  const auto saved_mode = reg.mode();
+  reg.set_mode(Mode::kInterp);
+  Matrix a = small_fixture();
+  Matrix c(2, 2);
+  for (auto _ : state) {
+    c[None] = matmul(a, a);
+  }
+  reg.set_mode(saved_mode);
+}
+
+}  // namespace
+
+BENCHMARK(BM_ColdCompile)->Unit(benchmark::kMillisecond)->Iterations(3);
+BENCHMARK(BM_DiskCacheHit)->Unit(benchmark::kMicrosecond)->Iterations(20);
+BENCHMARK(BM_MemoryCacheHit)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_StaticTableHit)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_InterpDispatch)->Unit(benchmark::kMicrosecond);
+
+BENCHMARK_MAIN();

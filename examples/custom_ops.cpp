@@ -1,0 +1,83 @@
+// custom_ops — the §VIII/§V extensions in action: user-defined operators
+// whose bodies are C++ snippets compiled by the JIT, and fused chains that
+// compile a whole statement sequence into one module.
+//
+// Scenario: a reliability network. Edge values are independent success
+// probabilities; the "best path reliability" semiring is (Max, Times), and
+// a custom saturating combiner models capped link budgets.
+//
+//   $ ./examples/custom_ops
+#include <iostream>
+
+#include "pygb/jit/compiler.hpp"
+#include "pygb/pygb.hpp"
+
+using namespace pygb;  // NOLINT
+
+int main() {
+  if (!jit::compiler_available()) {
+    std::cout << "no C++ compiler available — this example needs the JIT\n";
+    return 0;
+  }
+
+  std::cout << "== user-defined operators (paper §VIII) ==\n";
+
+  // A 4-node reliability network (edge value = link success probability).
+  Matrix net({{0.0, 0.9, 0.5, 0.0},
+              {0.0, 0.0, 0.8, 0.3},
+              {0.0, 0.0, 0.0, 0.95},
+              {0.0, 0.0, 0.0, 0.0}});
+
+  // Best two-hop reliability: (Max, Times) — expressible with built-ins.
+  Matrix two_hop(4, 4);
+  {
+    With ctx(MaxTimesSemiring());
+    two_hop[None] = matmul(net, net);
+  }
+  std::cout << "best 2-hop reliability 0 -> 3: " << two_hop.get(0, 3)
+            << " (via 0->1->? or 0->2->3)\n";
+
+  // A custom operator: decibel-style loss flooring. Body is a C++
+  // expression over `a`, `b` and the output type `C`; the JIT compiles it
+  // into the kernel module.
+  UserBinaryOp floor_combine("floor_combine",
+                             "a * b < 0.2 ? C(0) : C(a * b)");
+  Matrix floored(4, 4);
+  floored[None] = ewise_mult(two_hop, two_hop, floor_combine);
+  std::cout << "squared reliability with a 0.2 floor at (0,3): "
+            << floored.get(0, 3) << "\n";
+
+  UserUnaryOp to_percent("to_percent", "a * 100.0");
+  Matrix pct(4, 4);
+  pct[None] = apply(floored, to_percent);
+  std::cout << "0 -> 3 as percentage: " << pct.get(0, 3) << "%\n\n";
+
+  std::cout << "== fused chains (paper §V planned feature) ==\n";
+
+  // Fuse "one damped propagation step + norm check" into one module.
+  FusedChain step("reliability_step");
+  const int x = step.vector_param("x");
+  const int a = step.matrix_param("net");
+  const int y = step.vector_param("y");
+  const int damp = step.scalar_param("damping");
+  // Propagate along OUT-edges: y = net^T max.* x.
+  step.mxv(y, a, x, MaxTimesSemiring(), std::nullopt,
+           /*a_transposed=*/true);
+  step.apply_bound(y, y, BinaryOp("Times"), damp);
+  step.reduce(y, MaxMonoid());
+
+  Vector probe({1.0, 0, 0, 0});
+  Vector out(4);
+  auto r1 = step.run({probe, net, out, 1.0});
+  std::cout << "one fused step (mxv + damp + reduce): max reach prob = "
+            << r1.scalar.to_double() << "\n";
+  auto r2 = step.run({out, net, probe, 0.5});
+  std::cout << "second fused step (damped 0.5), same compiled module: "
+            << r2.scalar.to_double() << "\n";
+
+  const auto st = jit::Registry::instance().stats();
+  std::cout << "\n[dispatch: " << st.lookups << " lookups, " << st.compiles
+            << " JIT compiles — custom ops and the chain each compiled "
+               "once, then cached]\n";
+  return 0;
+}

@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Regenerate every paper table/figure and ablation (EXPERIMENTS.md data).
+# Usage: scripts/run_experiments.sh [build-dir] [output-file]
+set -euo pipefail
+BUILD="${1:-build}"
+OUT="${2:-bench_output.txt}"
+{
+  echo "# pygb experiment run: $(date -u +%Y-%m-%dT%H:%M:%SZ)"
+  echo "# host: $(uname -srm), $(nproc) cpu(s)"
+  for b in "$BUILD"/bench/bench_*; do
+    [ -x "$b" ] || continue
+    echo
+    echo "===== $(basename "$b") ====="
+    "$b"
+  done
+} 2>&1 | tee "$OUT"

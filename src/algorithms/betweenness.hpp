@@ -1,0 +1,96 @@
+// algorithms/betweenness.hpp — single-source Brandes betweenness
+// centrality expressed in GraphBLAS primitives (the canonical "hard"
+// GraphBLAS algorithm): a masked-frontier forward sweep counting shortest
+// paths per BFS level, then a backward dependency accumulation using
+// eWiseMult(Div)/mxv/eWiseAdd. Unweighted graphs.
+#pragma once
+
+#include <vector>
+
+#include "gbtl/gbtl.hpp"
+
+namespace pygb::algo {
+
+/// Accumulate the dependency scores of shortest paths from `source` into
+/// `bc` (which must be size n; existing values are added to, so calling
+/// once per source computes full betweenness). Returns the number of BFS
+/// levels explored.
+template <typename MatT>
+gbtl::IndexType bc_from_source(const MatT& graph, gbtl::IndexType source,
+                               gbtl::Vector<double>& bc) {
+  using AT = typename MatT::ScalarType;
+  const gbtl::IndexType n = graph.nrows();
+  if (bc.size() != n) {
+    throw gbtl::DimensionException("bc_from_source: bc size != n");
+  }
+
+  // --- forward: per-level path counts -------------------------------------
+  // sigma[d](v) = number of shortest s->v paths of length d.
+  std::vector<gbtl::Vector<double>> sigma;
+  gbtl::Vector<double> frontier(n);
+  frontier.setElement(source, 1.0);
+  gbtl::Vector<double> paths = frontier;  // all discovered path counts
+  sigma.push_back(frontier);
+
+  while (true) {
+    // frontier<¬paths, replace> = A^T +.* frontier: path counts reach the
+    // next level; vertices already discovered are masked out.
+    gbtl::mxv(frontier, gbtl::complement(paths), gbtl::NoAccumulate{},
+              gbtl::ArithmeticSemiring<AT, double, double>{},
+              gbtl::transpose(graph), frontier,
+              gbtl::OutputControl::kReplace);
+    if (frontier.nvals() == 0) break;
+    sigma.push_back(frontier);
+    gbtl::eWiseAdd(paths, gbtl::NoMask{}, gbtl::NoAccumulate{},
+                   gbtl::Plus<double>{}, paths, frontier);
+  }
+
+  // --- backward: dependency accumulation ----------------------------------
+  // delta kept dense so eWiseMult intersections follow sigma's structure.
+  gbtl::Vector<double> delta(n);
+  gbtl::assign(delta, gbtl::NoMask{}, gbtl::NoAccumulate{}, 0.0,
+               gbtl::AllIndices{});
+
+  for (std::size_t d = sigma.size(); d-- > 1;) {
+    // t1(v) = (1 + delta(v)) / sigma[d](v) on sigma[d]'s structure.
+    gbtl::Vector<double> one_plus_delta(n);
+    gbtl::apply(one_plus_delta, gbtl::NoMask{}, gbtl::NoAccumulate{},
+                gbtl::BinaryOpBind2nd<double, gbtl::Plus<double>>(1.0),
+                delta);
+    gbtl::Vector<double> t1(n);
+    gbtl::eWiseMult(t1, gbtl::NoMask{}, gbtl::NoAccumulate{},
+                    gbtl::Div<double>{}, one_plus_delta, sigma[d]);
+    // t2 = A +.* t1: pull the level-d terms back to level d-1 vertices.
+    gbtl::Vector<double> t2(n);
+    gbtl::mxv(t2, gbtl::NoMask{}, gbtl::NoAccumulate{},
+              gbtl::ArithmeticSemiring<AT, double, double>{}, graph, t1);
+    // delta(v) += sigma[d-1](v) * t2(v).
+    gbtl::Vector<double> upd(n);
+    gbtl::eWiseMult(upd, gbtl::NoMask{}, gbtl::NoAccumulate{},
+                    gbtl::Times<double>{}, sigma[d - 1], t2);
+    gbtl::eWiseAdd(delta, gbtl::NoMask{}, gbtl::NoAccumulate{},
+                   gbtl::Plus<double>{}, delta, upd);
+  }
+
+  // bc += delta, excluding the source's own slot.
+  delta.removeElement(source);
+  delta.setElement(source, 0.0);
+  gbtl::eWiseAdd(bc, gbtl::NoMask{}, gbtl::NoAccumulate{},
+                 gbtl::Plus<double>{}, bc, delta);
+  return static_cast<gbtl::IndexType>(sigma.size());
+}
+
+/// Full (directed) betweenness: one Brandes sweep per vertex.
+template <typename MatT>
+gbtl::Vector<double> betweenness_centrality(const MatT& graph) {
+  const gbtl::IndexType n = graph.nrows();
+  gbtl::Vector<double> bc(n);
+  gbtl::assign(bc, gbtl::NoMask{}, gbtl::NoAccumulate{}, 0.0,
+               gbtl::AllIndices{});
+  for (gbtl::IndexType s = 0; s < n; ++s) {
+    bc_from_source(graph, s, bc);
+  }
+  return bc;
+}
+
+}  // namespace pygb::algo

@@ -1,0 +1,42 @@
+// algorithms/bfs.hpp — breadth-first search, the native GBTL form of
+// Fig. 2c: level assignment via masked constant assign, frontier expansion
+// via mxv over the logical semiring with a complemented-levels mask and
+// replace semantics.
+#pragma once
+
+#include "gbtl/gbtl.hpp"
+
+namespace pygb::algo {
+
+/// Compute 1-based BFS levels from the vertices present in `frontier`
+/// (usually a single source). `graph` is an adjacency matrix with edges
+/// (src, dst); `levels[v]` receives the ply at which v was first reached.
+/// Returns the number of plies executed.
+template <typename MatT, typename FrontierT, typename LevelsT>
+gbtl::IndexType bfs(const MatT& graph, gbtl::Vector<FrontierT> frontier,
+                    gbtl::Vector<LevelsT>& levels) {
+  using AT = typename MatT::ScalarType;
+  gbtl::IndexType depth = 0;
+  while (frontier.nvals() > 0) {
+    ++depth;
+    gbtl::assign(levels, frontier, gbtl::NoAccumulate{},
+                 static_cast<LevelsT>(depth), gbtl::AllIndices{});
+    gbtl::mxv(frontier, gbtl::complement(levels), gbtl::NoAccumulate{},
+              gbtl::LogicalSemiring<AT, FrontierT, FrontierT>{},
+              gbtl::transpose(graph), frontier,
+              gbtl::OutputControl::kReplace);
+  }
+  return depth;
+}
+
+/// Convenience entry: BFS from a single source vertex.
+template <typename MatT, typename LevelsT>
+gbtl::IndexType bfs_from(const MatT& graph, gbtl::IndexType source,
+                         gbtl::Vector<LevelsT>& levels) {
+  gbtl::Vector<bool> frontier(graph.nrows());
+  frontier.setElement(source, true);
+  levels.clear();
+  return bfs(graph, frontier, levels);
+}
+
+}  // namespace pygb::algo

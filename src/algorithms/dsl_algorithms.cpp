@@ -1,0 +1,153 @@
+#include "algorithms/dsl_algorithms.hpp"
+
+namespace pygb::algo {
+
+gbtl::IndexType dsl_bfs(const Matrix& graph, Vector frontier,
+                        Vector& levels) {
+  // Fig. 2b:
+  //   def bfs(graph, frontier, levels):
+  //       depth = 0
+  //       while frontier.nvals > 0:
+  //           depth += 1
+  //           levels[frontier][:] = depth
+  //           with gb.LogicalSemiring, gb.Replace:
+  //               frontier[~levels] = graph.T @ frontier
+  gbtl::IndexType depth = 0;
+  while (frontier.nvals() > 0) {
+    ++depth;
+    levels[frontier][Slice::all()] = static_cast<double>(depth);
+    {
+      With ctx(LogicalSemiring(), Replace);
+      frontier[~levels] = matmul(graph.T(), frontier);
+    }
+  }
+  return depth;
+}
+
+void dsl_sssp(const Matrix& graph, Vector& path) {
+  // Fig. 4a:
+  //   def sssp(graph, path):
+  //       with gb.MinPlusSemiring, gb.Accumulator("Min"):
+  //           for i in range(graph.shape[0]):
+  //               path[None] += graph.T @ path
+  With ctx(MinPlusSemiring(), Accumulator("Min"));
+  for (gbtl::IndexType i = 0; i < graph.nrows(); ++i) {
+    path[None] += matmul(graph.T(), path);
+  }
+}
+
+std::int64_t dsl_triangle_count(const Matrix& lower) {
+  // Fig. 5a:
+  //   def triangle_count(L):
+  //       B = gb.Matrix(shape=L.shape, dtype=L.dtype)
+  //       with gb.ArithmeticSemiring:
+  //           B[L] = L @ L.T
+  //       return gb.reduce(B)
+  Matrix b(lower.nrows(), lower.ncols(), lower.dtype());
+  {
+    With ctx(ArithmeticSemiring());
+    b[lower] = matmul(lower, lower.T());
+  }
+  return reduce(b).to_int64();
+}
+
+Vector dsl_page_rank(const Matrix& graph, double damping_factor,
+                     double threshold, unsigned max_iters) {
+  // Fig. 7, with the final never-ranked fill following Fig. 8's placement
+  // (after convergence as well, so the DSL and native versions agree).
+  const auto [rows, cols] = graph.shape();
+  const auto n = static_cast<double>(rows);
+
+  Matrix m(rows, cols, DType::kFP64);
+  m[None] = graph;
+  normalize_rows(m);
+  {
+    With ctx(UnaryOp("Times", damping_factor));
+    m[None] = apply(m);
+  }
+
+  Vector page_rank(rows, DType::kFP64);
+  page_rank[Slice::all()] = 1.0 / n;
+  Vector new_rank(rows, DType::kFP64);
+  Vector delta(rows, DType::kFP64);
+
+  for (unsigned i = 0; i < max_iters; ++i) {
+    {
+      With ctx(Accumulator("Second"), Semiring(PlusMonoid(), "Times"));
+      new_rank[None] += matmul(page_rank, m);
+    }
+    {
+      With ctx(UnaryOp("Plus", (1.0 - damping_factor) / n));
+      new_rank[None] = apply(new_rank);
+    }
+    {
+      With ctx(BinaryOp("Minus"));
+      delta[None] = page_rank + new_rank;
+    }
+    delta[None] = delta * delta;
+    const double squared_error = reduce(delta).to_double();
+
+    page_rank[Slice::all()] = new_rank;
+    if (squared_error / n < threshold) break;
+  }
+
+  new_rank[Slice::all()] = (1.0 - damping_factor) / n;
+  {
+    With ctx(BinaryOp("Plus"));
+    page_rank[~page_rank] = page_rank + new_rank;
+  }
+  return page_rank;
+}
+
+gbtl::IndexType dsl_connected_components(const Matrix& graph,
+                                         Vector& labels) {
+  const gbtl::IndexType n = graph.nrows();
+  labels.clear();
+  for (gbtl::IndexType v = 0; v < n; ++v) {
+    labels.set(v, Scalar(static_cast<double>(v), labels.dtype()));
+  }
+  gbtl::IndexType rounds = 0;
+  for (gbtl::IndexType k = 0; k < n; ++k) {
+    Vector before = labels.dup();
+    {
+      With ctx(MinSelect2ndSemiring(), Accumulator("Min"));
+      labels[None] += matmul(graph.T(), labels);
+    }
+    ++rounds;
+    if (labels.equals(before)) break;
+  }
+  return rounds;
+}
+
+gbtl::IndexType whole_bfs(const Matrix& graph, const Vector& frontier,
+                          Vector& levels) {
+  return detail::dispatch_algo_bfs(graph, frontier, levels);
+}
+
+void whole_sssp(const Matrix& graph, Vector& path) {
+  detail::dispatch_algo_sssp(graph, path);
+}
+
+std::int64_t whole_triangle_count(const Matrix& lower) {
+  return detail::dispatch_algo_tc(lower).to_int64();
+}
+
+unsigned whole_page_rank(const Matrix& graph, Vector& rank,
+                         double damping_factor, double threshold,
+                         unsigned max_iters) {
+  if (!rank.defined() || rank.size() != graph.nrows()) {
+    rank = Vector(graph.nrows(), DType::kFP64);
+  }
+  return detail::dispatch_algo_pagerank(graph, rank, damping_factor,
+                                        threshold, max_iters);
+}
+
+gbtl::IndexType whole_connected_components(const Matrix& graph,
+                                           Vector& labels) {
+  if (!labels.defined() || labels.size() != graph.nrows()) {
+    labels = Vector(graph.nrows(), DType::kInt64);
+  }
+  return detail::dispatch_algo_cc(graph, labels);
+}
+
+}  // namespace pygb::algo

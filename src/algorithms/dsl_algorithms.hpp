@@ -1,0 +1,48 @@
+// algorithms/dsl_algorithms.hpp — the paper's four algorithms written in
+// the DSL, line-for-line mirrors of the PyGB listings (Figs. 2b, 4a, 5a,
+// 7), plus whole-algorithm-dispatch wrappers (the middle series of
+// Fig. 10: one registry lookup runs the entire compiled C++ algorithm).
+#pragma once
+
+#include "pygb/pygb.hpp"
+
+namespace pygb::algo {
+
+/// Fig. 2b — BFS with the outer loop in the host language, one dispatched
+/// operation per DSL statement. Returns the number of plies.
+gbtl::IndexType dsl_bfs(const Matrix& graph, Vector frontier,
+                        Vector& levels);
+
+/// Fig. 4a — SSSP: |V| relaxations of path[None] += graph.T @ path under
+/// MinPlusSemiring + Accumulator("Min").
+void dsl_sssp(const Matrix& graph, Vector& path);
+
+/// Fig. 5a — triangle counting: B[L] = L @ L.T; reduce(B).
+std::int64_t dsl_triangle_count(const Matrix& lower);
+
+/// Fig. 7 — PageRank; returns the ranks vector (page_rank is rebound
+/// inside, matching the Python listing's return).
+Vector dsl_page_rank(const Matrix& graph, double damping_factor = 0.85,
+                     double threshold = 1e-5, unsigned max_iters = 100000);
+
+/// Connected components by min-label propagation (the (Min, Select2nd)
+/// semiring) — a fifth algorithm composed from the paper's primitives.
+/// Returns the number of propagation rounds.
+gbtl::IndexType dsl_connected_components(const Matrix& graph,
+                                         Vector& labels);
+
+/// Whole-algorithm dispatch variants: the DSL hands the complete loop to a
+/// single compiled module (Fig. 10's "Python calls a complete C++
+/// algorithm" series).
+gbtl::IndexType whole_bfs(const Matrix& graph, const Vector& frontier,
+                          Vector& levels);
+void whole_sssp(const Matrix& graph, Vector& path);
+std::int64_t whole_triangle_count(const Matrix& lower);
+unsigned whole_page_rank(const Matrix& graph, Vector& rank,
+                         double damping_factor = 0.85,
+                         double threshold = 1e-5,
+                         unsigned max_iters = 100000);
+gbtl::IndexType whole_connected_components(const Matrix& graph,
+                                           Vector& labels);
+
+}  // namespace pygb::algo

@@ -1,0 +1,72 @@
+// algorithms/pagerank.hpp — PageRank, the native GBTL form of Fig. 8:
+// row-normalized, damping-scaled transition matrix; per-iteration vxm with
+// a Second accumulator; teleport term via a bound Plus apply; squared-error
+// convergence via eWiseAdd(Minus) + eWiseMult(Times) + reduce; and a final
+// fill of never-ranked vertices through a complemented-output mask.
+#pragma once
+
+#include "gbtl/gbtl.hpp"
+
+namespace pygb::algo {
+
+/// Run PageRank on `graph` into `page_rank`. Returns iterations executed.
+template <typename MatT, typename RealT = double>
+unsigned page_rank(const MatT& graph, gbtl::Vector<RealT>& page_rank,
+                   RealT damping_factor = RealT{0.85},
+                   RealT threshold = RealT{1e-5},
+                   unsigned max_iters = 100000) {
+  static_assert(std::is_floating_point_v<RealT>);
+  using T = typename MatT::ScalarType;
+
+  const gbtl::IndexType rows = graph.nrows();
+  gbtl::Matrix<RealT> m(rows, graph.ncols());
+
+  gbtl::apply(m, gbtl::NoMask{}, gbtl::NoAccumulate{},
+              gbtl::Identity<T, RealT>{}, graph);
+  gbtl::normalize_rows(m);
+  gbtl::apply(m, gbtl::NoMask{}, gbtl::NoAccumulate{},
+              gbtl::BinaryOpBind2nd<RealT, gbtl::Times<RealT>>(damping_factor),
+              m);
+
+  const RealT teleport =
+      (RealT{1} - damping_factor) / static_cast<RealT>(rows);
+  gbtl::BinaryOpBind2nd<RealT, gbtl::Plus<RealT>> add_scaled_teleport(
+      teleport);
+
+  gbtl::assign(page_rank, gbtl::NoMask{}, gbtl::NoAccumulate{},
+               RealT{1} / static_cast<RealT>(rows), gbtl::AllIndices{});
+
+  gbtl::Vector<RealT> new_rank(rows);
+  gbtl::Vector<RealT> delta(rows);
+
+  unsigned iters = 0;
+  for (unsigned i = 0; i < max_iters; ++i) {
+    ++iters;
+    gbtl::vxm(new_rank, gbtl::NoMask{}, gbtl::Second<RealT>{},
+              gbtl::ArithmeticSemiring<RealT>{}, page_rank, m);
+    gbtl::apply(new_rank, gbtl::NoMask{}, gbtl::NoAccumulate{},
+                add_scaled_teleport, new_rank);
+
+    gbtl::eWiseAdd(delta, gbtl::NoMask{}, gbtl::NoAccumulate{},
+                   gbtl::Minus<RealT>{}, page_rank, new_rank);
+    gbtl::eWiseMult(delta, gbtl::NoMask{}, gbtl::NoAccumulate{},
+                    gbtl::Times<RealT>{}, delta, delta);
+
+    RealT squared_error{0};
+    gbtl::reduce(squared_error, gbtl::NoAccumulate{},
+                 gbtl::PlusMonoid<RealT>{}, delta);
+
+    page_rank = new_rank;
+    if (squared_error / static_cast<RealT>(rows) < threshold) break;
+  }
+
+  // Vertices never reached by rank flow get the bare teleport probability.
+  gbtl::assign(new_rank, gbtl::NoMask{}, gbtl::NoAccumulate{}, teleport,
+               gbtl::AllIndices{});
+  gbtl::eWiseAdd(page_rank, gbtl::complement(page_rank),
+                 gbtl::NoAccumulate{}, gbtl::Plus<RealT>{}, page_rank,
+                 new_rank);
+  return iters;
+}
+
+}  // namespace pygb::algo

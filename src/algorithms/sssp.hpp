@@ -1,0 +1,52 @@
+// algorithms/sssp.hpp — single-source shortest path, the native GBTL form
+// of Fig. 4b: |V| rounds of mxv over the min-plus semiring with a Min
+// accumulator (Bellman–Ford expressed in linear algebra).
+#pragma once
+
+#include "gbtl/gbtl.hpp"
+
+namespace pygb::algo {
+
+/// Relax `path` against the transposed graph |V| times:
+///   path = path min (graph^T min.+ path)
+/// `path` carries the current best distances (absent = unreached); seed it
+/// with 0 at the source before calling.
+template <typename MatT, typename PathT>
+void sssp(const MatT& graph, gbtl::Vector<PathT>& path) {
+  using AT = typename MatT::ScalarType;
+  for (gbtl::IndexType k = 0; k < graph.nrows(); ++k) {
+    gbtl::mxv(path, gbtl::NoMask{}, gbtl::Min<PathT>{},
+              gbtl::MinPlusSemiring<AT, PathT, PathT>{},
+              gbtl::transpose(graph), path);
+  }
+}
+
+/// Variant that stops as soon as a round makes no improvement — the
+/// optimization PyGB's Python-side outer loop can also express. Returns the
+/// number of relaxation rounds executed.
+template <typename MatT, typename PathT>
+gbtl::IndexType sssp_early_exit(const MatT& graph,
+                                gbtl::Vector<PathT>& path) {
+  using AT = typename MatT::ScalarType;
+  gbtl::IndexType rounds = 0;
+  for (gbtl::IndexType k = 0; k < graph.nrows(); ++k) {
+    gbtl::Vector<PathT> before = path;
+    gbtl::mxv(path, gbtl::NoMask{}, gbtl::Min<PathT>{},
+              gbtl::MinPlusSemiring<AT, PathT, PathT>{},
+              gbtl::transpose(graph), path);
+    ++rounds;
+    if (path == before) break;
+  }
+  return rounds;
+}
+
+/// Convenience entry: distances from a single source (0 for the source).
+template <typename MatT, typename PathT>
+void sssp_from(const MatT& graph, gbtl::IndexType source,
+               gbtl::Vector<PathT>& path) {
+  path.clear();
+  path.setElement(source, PathT{0});
+  sssp(graph, path);
+}
+
+}  // namespace pygb::algo

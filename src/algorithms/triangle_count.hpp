@@ -1,0 +1,36 @@
+// algorithms/triangle_count.hpp — triangle counting, the native GBTL form
+// of Fig. 5b: B<L> = L (+.*) L^T followed by a reduce to scalar, where L is
+// the strictly-lower-triangular part of the undirected adjacency matrix.
+#pragma once
+
+#include "gbtl/gbtl.hpp"
+
+namespace pygb::algo {
+
+/// Count triangles given the strictly-lower-triangular matrix L.
+template <typename CountT, typename MatT>
+CountT triangle_count(const MatT& l) {
+  const gbtl::IndexType rows = l.nrows();
+  const gbtl::IndexType cols = l.ncols();
+  gbtl::Matrix<CountT> b(rows, cols);
+  gbtl::mxm(b, l, gbtl::NoAccumulate{},
+            gbtl::ArithmeticSemiring<typename MatT::ScalarType,
+                                     typename MatT::ScalarType, CountT>{},
+            l, gbtl::transpose(l));
+  CountT triangles{0};
+  gbtl::reduce(triangles, gbtl::NoAccumulate{}, gbtl::PlusMonoid<CountT>{},
+               b);
+  return triangles;
+}
+
+/// Count triangles of an undirected adjacency matrix (splits off L first).
+template <typename CountT, typename MatT>
+CountT triangle_count_adjacency(const MatT& adjacency) {
+  using T = typename MatT::ScalarType;
+  gbtl::Matrix<T> lower(adjacency.nrows(), adjacency.ncols());
+  gbtl::Matrix<T> upper(adjacency.nrows(), adjacency.ncols());
+  gbtl::split(adjacency, lower, upper);
+  return triangle_count<CountT>(lower);
+}
+
+}  // namespace pygb::algo

@@ -1,0 +1,85 @@
+// gbtl/detail/parallel.hpp — the optional multithreaded substrate backend.
+//
+// §IV of the paper notes that "it may be more suitable in some situations
+// to use a multithreaded GBTL backend instead of multithreading in
+// Python". This header provides that backend: a block-partitioned
+// parallel_for over row ranges used by the heavy kernels (mxm, mxv). The
+// worker count comes from GBTL_NUM_THREADS (default 1 = fully sequential,
+// no thread machinery touched); set_num_threads overrides at run time.
+//
+// Kernels parallelize by writing disjoint row slots of a staging buffer;
+// shared container state (nvals bookkeeping) is only touched in the
+// sequential assembly pass, so no locks are needed.
+#pragma once
+
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <thread>
+#include <vector>
+
+#include "gbtl/types.hpp"
+
+namespace gbtl::detail {
+
+inline std::atomic<unsigned>& thread_count_slot() {
+  static std::atomic<unsigned> count = [] {
+    const char* v = std::getenv("GBTL_NUM_THREADS");
+    const long parsed = (v != nullptr && *v != '\0') ? std::atol(v) : 1;
+    return static_cast<unsigned>(parsed < 1 ? 1 : parsed);
+  }();
+  return count;
+}
+
+/// Current worker-thread count (1 = sequential execution on the caller).
+inline unsigned num_threads() { return thread_count_slot().load(); }
+
+/// Override the worker count (values < 1 clamp to 1).
+inline void set_num_threads(unsigned n) {
+  thread_count_slot().store(n < 1 ? 1 : n);
+}
+
+/// Run f(begin, end) over a block partition of [0, n). With one thread (or
+/// tiny n) the call runs inline on the caller. Exceptions thrown by
+/// workers are rethrown on the caller after all threads join.
+template <typename F>
+void parallel_for_rows(IndexType n, F&& f) {
+  const unsigned requested = num_threads();
+  // Below this many rows the spawn cost dwarfs any possible win.
+  constexpr IndexType kMinRowsPerThread = 64;
+  unsigned workers = requested;
+  if (workers > 1 && n / workers < kMinRowsPerThread) {
+    workers = static_cast<unsigned>(
+        n / kMinRowsPerThread > 0 ? n / kMinRowsPerThread : 1);
+  }
+  if (workers <= 1) {
+    f(IndexType{0}, n);
+    return;
+  }
+
+  std::vector<std::thread> threads;
+  threads.reserve(workers - 1);
+  std::exception_ptr first_error;
+  std::atomic<bool> has_error{false};
+
+  auto run_block = [&](IndexType begin, IndexType end) {
+    try {
+      f(begin, end);
+    } catch (...) {
+      if (!has_error.exchange(true)) first_error = std::current_exception();
+    }
+  };
+
+  const IndexType chunk = (n + workers - 1) / workers;
+  for (unsigned t = 1; t < workers; ++t) {
+    const IndexType begin = t * chunk;
+    if (begin >= n) break;
+    const IndexType end = std::min(n, begin + chunk);
+    threads.emplace_back(run_block, begin, end);
+  }
+  run_block(0, std::min(n, chunk));
+  for (auto& th : threads) th.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace gbtl::detail

@@ -1,0 +1,19 @@
+// gbtl/gbtl.hpp — umbrella header for the GBTL substrate: containers,
+// algebra, views, every GraphBLAS operation, and utilities.
+#pragma once
+
+#include "gbtl/algebra.hpp"
+#include "gbtl/matrix.hpp"
+#include "gbtl/ops/apply.hpp"
+#include "gbtl/ops/assign.hpp"
+#include "gbtl/ops/ewise.hpp"
+#include "gbtl/ops/extract.hpp"
+#include "gbtl/ops/kronecker.hpp"
+#include "gbtl/ops/mxm.hpp"
+#include "gbtl/ops/mxv.hpp"
+#include "gbtl/ops/reduce.hpp"
+#include "gbtl/ops/transpose_op.hpp"
+#include "gbtl/types.hpp"
+#include "gbtl/utilities.hpp"
+#include "gbtl/vector.hpp"
+#include "gbtl/views.hpp"

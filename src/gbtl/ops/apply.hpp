@@ -1,0 +1,78 @@
+// gbtl/ops/apply.hpp — apply a unary function to every stored value:
+//   C<M, z> = C (+) f(A)
+//   w<m, z> = w (+) f(u)
+// The structure of the result is exactly the structure of the input; the
+// unary op may change the scalar type (e.g. Identity<T, OutT> casting).
+#pragma once
+
+#include <utility>
+
+#include "gbtl/detail/write_backend.hpp"
+#include "gbtl/matrix.hpp"
+#include "gbtl/ops/mxm.hpp"  // materialize_transpose
+#include "gbtl/types.hpp"
+#include "gbtl/vector.hpp"
+#include "gbtl/views.hpp"
+
+namespace gbtl {
+
+namespace detail {
+
+template <typename D3, typename AT, typename UnaryOpT>
+Matrix<D3> apply_matrix(const UnaryOpT& f, const Matrix<AT>& a) {
+  Matrix<D3> t(a.nrows(), a.ncols());
+  typename Matrix<D3>::Row out;
+  for (IndexType i = 0; i < a.nrows(); ++i) {
+    const auto& ra = a.row(i);
+    if (ra.empty()) continue;
+    out.clear();
+    out.reserve(ra.size());
+    for (const auto& [j, v] : ra) {
+      out.emplace_back(j, static_cast<D3>(f(v)));
+    }
+    t.setRow(i, std::move(out));
+    out = {};
+  }
+  return t;
+}
+
+template <typename D3, typename UT, typename UnaryOpT>
+Vector<D3> apply_vector(const UnaryOpT& f, const Vector<UT>& u) {
+  Vector<D3> t(u.size());
+  for (IndexType i = 0; i < u.size(); ++i) {
+    if (u.has_unchecked(i)) {
+      t.set_unchecked(i, static_cast<D3>(f(u.value_unchecked(i))));
+    }
+  }
+  return t;
+}
+
+}  // namespace detail
+
+/// C<M, z> = C (+) f(A). A may be a Matrix or TransposeView.
+template <typename CT, typename MaskT, typename AccumT, typename UnaryOpT,
+          typename AMatT>
+void apply(Matrix<CT>& c, const MaskT& mask, AccumT accum, const UnaryOpT& f,
+           const AMatT& a, OutputControl outp = OutputControl::kMerge) {
+  if (c.nrows() != detail::generic_nrows(a) ||
+      c.ncols() != detail::generic_ncols(a)) {
+    throw DimensionException("apply: output shape differs from input");
+  }
+  decltype(auto) ra = detail::resolve_matrix(a);
+  auto t = detail::apply_matrix<CT>(f, ra);
+  detail::write_matrix_result(c, t, mask, accum, outp);
+}
+
+/// w<m, z> = w (+) f(u).
+template <typename WT, typename MaskT, typename AccumT, typename UnaryOpT,
+          typename UT>
+void apply(Vector<WT>& w, const MaskT& mask, AccumT accum, const UnaryOpT& f,
+           const Vector<UT>& u, OutputControl outp = OutputControl::kMerge) {
+  if (w.size() != u.size()) {
+    throw DimensionException("apply: output size differs from input");
+  }
+  auto t = detail::apply_vector<WT>(f, u);
+  detail::write_vector_result(w, t, mask, accum, outp);
+}
+
+}  // namespace gbtl

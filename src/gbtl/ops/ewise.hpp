@@ -1,0 +1,187 @@
+// gbtl/ops/ewise.hpp — element-wise operations:
+//   eWiseAdd  : union of structures, ⊕ where both stored  (C = A + B)
+//   eWiseMult : intersection of structures, ⊗              (C = A * B)
+// for matrix-matrix and vector-vector operand pairs, with the standard
+// mask/accumulate/replace output discipline. Transposed matrix inputs are
+// materialized first (they are rare in practice and the C API permits them).
+#pragma once
+
+#include <utility>
+
+#include "gbtl/detail/write_backend.hpp"
+#include "gbtl/matrix.hpp"
+#include "gbtl/ops/mxm.hpp"  // materialize_transpose
+#include "gbtl/types.hpp"
+#include "gbtl/vector.hpp"
+#include "gbtl/views.hpp"
+
+namespace gbtl {
+
+namespace detail {
+
+template <typename D3, typename AT, typename BT, typename BinaryOpT>
+Matrix<D3> ewise_add_matrix(const BinaryOpT& op, const Matrix<AT>& a,
+                            const Matrix<BT>& b) {
+  Matrix<D3> t(a.nrows(), a.ncols());
+  typename Matrix<D3>::Row out;
+  for (IndexType i = 0; i < a.nrows(); ++i) {
+    const auto& ra = a.row(i);
+    const auto& rb = b.row(i);
+    if (ra.empty() && rb.empty()) continue;
+    out.clear();
+    out.reserve(ra.size() + rb.size());
+    auto ia = ra.begin();
+    auto ib = rb.begin();
+    while (ia != ra.end() || ib != rb.end()) {
+      if (ib == rb.end() || (ia != ra.end() && ia->first < ib->first)) {
+        out.emplace_back(ia->first, static_cast<D3>(ia->second));
+        ++ia;
+      } else if (ia == ra.end() || ib->first < ia->first) {
+        out.emplace_back(ib->first, static_cast<D3>(ib->second));
+        ++ib;
+      } else {
+        out.emplace_back(ia->first,
+                         static_cast<D3>(op(ia->second, ib->second)));
+        ++ia;
+        ++ib;
+      }
+    }
+    t.setRow(i, std::move(out));
+    out = {};
+  }
+  return t;
+}
+
+template <typename D3, typename AT, typename BT, typename BinaryOpT>
+Matrix<D3> ewise_mult_matrix(const BinaryOpT& op, const Matrix<AT>& a,
+                             const Matrix<BT>& b) {
+  Matrix<D3> t(a.nrows(), a.ncols());
+  typename Matrix<D3>::Row out;
+  for (IndexType i = 0; i < a.nrows(); ++i) {
+    const auto& ra = a.row(i);
+    const auto& rb = b.row(i);
+    if (ra.empty() || rb.empty()) continue;
+    out.clear();
+    auto ia = ra.begin();
+    auto ib = rb.begin();
+    while (ia != ra.end() && ib != rb.end()) {
+      if (ia->first < ib->first) {
+        ++ia;
+      } else if (ib->first < ia->first) {
+        ++ib;
+      } else {
+        out.emplace_back(ia->first,
+                         static_cast<D3>(op(ia->second, ib->second)));
+        ++ia;
+        ++ib;
+      }
+    }
+    if (!out.empty()) {
+      t.setRow(i, std::move(out));
+      out = {};
+    }
+  }
+  return t;
+}
+
+template <typename D3, typename AT, typename BT, typename BinaryOpT>
+Vector<D3> ewise_add_vector(const BinaryOpT& op, const Vector<AT>& a,
+                            const Vector<BT>& b) {
+  Vector<D3> t(a.size());
+  for (IndexType i = 0; i < a.size(); ++i) {
+    const bool ha = a.has_unchecked(i);
+    const bool hb = b.has_unchecked(i);
+    if (ha && hb) {
+      t.set_unchecked(i, static_cast<D3>(op(a.value_unchecked(i),
+                                            b.value_unchecked(i))));
+    } else if (ha) {
+      t.set_unchecked(i, static_cast<D3>(a.value_unchecked(i)));
+    } else if (hb) {
+      t.set_unchecked(i, static_cast<D3>(b.value_unchecked(i)));
+    }
+  }
+  return t;
+}
+
+template <typename D3, typename AT, typename BT, typename BinaryOpT>
+Vector<D3> ewise_mult_vector(const BinaryOpT& op, const Vector<AT>& a,
+                             const Vector<BT>& b) {
+  Vector<D3> t(a.size());
+  for (IndexType i = 0; i < a.size(); ++i) {
+    if (a.has_unchecked(i) && b.has_unchecked(i)) {
+      t.set_unchecked(i, static_cast<D3>(op(a.value_unchecked(i),
+                                            b.value_unchecked(i))));
+    }
+  }
+  return t;
+}
+
+template <typename AMatT, typename BMatT, typename CMatT>
+void check_ewise_matrix_shapes(const AMatT& a, const BMatT& b,
+                               const CMatT& c) {
+  if (generic_nrows(a) != generic_nrows(b) ||
+      generic_ncols(a) != generic_ncols(b)) {
+    throw DimensionException("eWise: A and B shapes differ");
+  }
+  if (c.nrows() != generic_nrows(a) || c.ncols() != generic_ncols(a)) {
+    throw DimensionException("eWise: output shape differs from inputs");
+  }
+}
+
+}  // namespace detail
+
+/// C<M, z> = C (+) (A ⊕ B): union structure, op where both stored.
+/// The op may be a BinaryOp, a Monoid, or a Semiring's add (monoids and
+/// semirings are callable as binary ops on their scalar type).
+template <typename CT, typename MaskT, typename AccumT, typename BinaryOpT,
+          typename AMatT, typename BMatT>
+void eWiseAdd(Matrix<CT>& c, const MaskT& mask, AccumT accum,
+              const BinaryOpT& op, const AMatT& a, const BMatT& b,
+              OutputControl outp = OutputControl::kMerge) {
+  detail::check_ewise_matrix_shapes(a, b, c);
+  decltype(auto) ra = detail::resolve_matrix(a);
+  decltype(auto) rb = detail::resolve_matrix(b);
+  auto t = detail::ewise_add_matrix<CT>(op, ra, rb);
+  detail::write_matrix_result(c, t, mask, accum, outp);
+}
+
+/// w<m, z> = w (+) (u ⊕ v).
+template <typename WT, typename MaskT, typename AccumT, typename BinaryOpT,
+          typename UT, typename VT>
+void eWiseAdd(Vector<WT>& w, const MaskT& mask, AccumT accum,
+              const BinaryOpT& op, const Vector<UT>& u, const Vector<VT>& v,
+              OutputControl outp = OutputControl::kMerge) {
+  if (u.size() != v.size() || w.size() != u.size()) {
+    throw DimensionException("eWiseAdd: vector sizes differ");
+  }
+  auto t = detail::ewise_add_vector<WT>(op, u, v);
+  detail::write_vector_result(w, t, mask, accum, outp);
+}
+
+/// C<M, z> = C (+) (A ⊗ B): intersection structure.
+template <typename CT, typename MaskT, typename AccumT, typename BinaryOpT,
+          typename AMatT, typename BMatT>
+void eWiseMult(Matrix<CT>& c, const MaskT& mask, AccumT accum,
+               const BinaryOpT& op, const AMatT& a, const BMatT& b,
+               OutputControl outp = OutputControl::kMerge) {
+  detail::check_ewise_matrix_shapes(a, b, c);
+  decltype(auto) ra = detail::resolve_matrix(a);
+  decltype(auto) rb = detail::resolve_matrix(b);
+  auto t = detail::ewise_mult_matrix<CT>(op, ra, rb);
+  detail::write_matrix_result(c, t, mask, accum, outp);
+}
+
+/// w<m, z> = w (+) (u ⊗ v).
+template <typename WT, typename MaskT, typename AccumT, typename BinaryOpT,
+          typename UT, typename VT>
+void eWiseMult(Vector<WT>& w, const MaskT& mask, AccumT accum,
+               const BinaryOpT& op, const Vector<UT>& u, const Vector<VT>& v,
+               OutputControl outp = OutputControl::kMerge) {
+  if (u.size() != v.size() || w.size() != u.size()) {
+    throw DimensionException("eWiseMult: vector sizes differ");
+  }
+  auto t = detail::ewise_mult_vector<WT>(op, u, v);
+  detail::write_vector_result(w, t, mask, accum, outp);
+}
+
+}  // namespace gbtl

@@ -1,0 +1,69 @@
+// gbtl/ops/kronecker.hpp — Kronecker product (the GrB_kronecker companion
+// operation added to GraphBLAS after the paper's C API 1.x; included here
+// because it composes directly with the generators: Kronecker powers of a
+// small initiator matrix are the Graph500 graph model):
+//
+//   C<M, z> = C (+) A ⊗kron B,   C(ia*nb + ib, ja*mb + jb) = op(A(ia,ja),
+//                                                               B(ib,jb))
+#pragma once
+
+#include <utility>
+
+#include "gbtl/detail/write_backend.hpp"
+#include "gbtl/matrix.hpp"
+#include "gbtl/ops/mxm.hpp"  // resolve_matrix
+#include "gbtl/types.hpp"
+#include "gbtl/views.hpp"
+
+namespace gbtl {
+
+namespace detail {
+
+template <typename D3, typename AT, typename BT, typename BinaryOpT>
+Matrix<D3> kron_compute(const BinaryOpT& op, const Matrix<AT>& a,
+                        const Matrix<BT>& b) {
+  Matrix<D3> t(a.nrows() * b.nrows(), a.ncols() * b.ncols());
+  typename Matrix<D3>::Row out;
+  for (IndexType ia = 0; ia < a.nrows(); ++ia) {
+    const auto& ra = a.row(ia);
+    if (ra.empty()) continue;
+    for (IndexType ib = 0; ib < b.nrows(); ++ib) {
+      const auto& rb = b.row(ib);
+      if (rb.empty()) continue;
+      out.clear();
+      out.reserve(ra.size() * rb.size());
+      // ja ascending, jb ascending => output columns already sorted.
+      for (const auto& [ja, av] : ra) {
+        for (const auto& [jb, bv] : rb) {
+          out.emplace_back(ja * b.ncols() + jb,
+                           static_cast<D3>(op(av, bv)));
+        }
+      }
+      t.setRow(ia * b.nrows() + ib, std::move(out));
+      out = {};
+    }
+  }
+  return t;
+}
+
+}  // namespace detail
+
+/// C<M, z> = C (+) kron(A, B) with ⊗ = `op`. A and B may be transpose
+/// views (kron(A^T, B^T) == kron(A, B)^T is NOT applied automatically; the
+/// views are materialized).
+template <typename CT, typename MaskT, typename AccumT, typename BinaryOpT,
+          typename AMatT, typename BMatT>
+void kronecker(Matrix<CT>& c, const MaskT& mask, AccumT accum,
+               const BinaryOpT& op, const AMatT& a, const BMatT& b,
+               OutputControl outp = OutputControl::kMerge) {
+  decltype(auto) ra = detail::resolve_matrix(a);
+  decltype(auto) rb = detail::resolve_matrix(b);
+  if (c.nrows() != ra.nrows() * rb.nrows() ||
+      c.ncols() != ra.ncols() * rb.ncols()) {
+    throw DimensionException("kronecker: output shape != (na*nb, ma*mb)");
+  }
+  auto t = detail::kron_compute<CT>(op, ra, rb);
+  detail::write_matrix_result(c, t, mask, accum, outp);
+}
+
+}  // namespace gbtl

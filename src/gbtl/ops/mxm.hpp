@@ -1,0 +1,217 @@
+// gbtl/ops/mxm.hpp — masked matrix-matrix multiply over a semiring:
+//   C<M, z> = C (+) A ⊕.⊗ B
+//
+// Kernel selection:
+//   * A, B in row layout      — Gustavson row-at-a-time with an SPA.
+//   * B transposed            — dot-product kernel over sorted row pairs;
+//                               when a plain (non-complemented) matrix mask
+//                               is present only masked-in (i, j) dots are
+//                               computed (the triangle-count fast path,
+//                               B[L] = L @ L.T of Fig. 5).
+//   * A transposed            — A^T is materialized once (O(nnz)) and the
+//                               Gustavson kernel is used.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "gbtl/algebra.hpp"
+#include "gbtl/detail/parallel.hpp"
+#include "gbtl/detail/spa.hpp"
+#include "gbtl/detail/write_backend.hpp"
+#include "gbtl/matrix.hpp"
+#include "gbtl/types.hpp"
+#include "gbtl/views.hpp"
+
+namespace gbtl {
+
+namespace detail {
+
+/// Materialize the transpose of a sparse matrix (O(nnz + nrows + ncols)).
+template <typename T>
+Matrix<T> materialize_transpose(const Matrix<T>& a) {
+  Matrix<T> at(a.ncols(), a.nrows());
+  // Two-pass: count per-output-row, then fill in order. Filling in row-major
+  // input order appends strictly increasing column indices per output row,
+  // so rows stay sorted without per-insert searches.
+  std::vector<typename Matrix<T>::Row> out_rows(a.ncols());
+  for (IndexType i = 0; i < a.nrows(); ++i) {
+    for (const auto& [j, v] : a.row(i)) out_rows[j].emplace_back(i, v);
+  }
+  for (IndexType j = 0; j < a.ncols(); ++j) {
+    at.setRow(j, std::move(out_rows[j]));
+  }
+  return at;
+}
+
+/// Resolve an operand that may be a TransposeView into a concrete Matrix
+/// (materializing when needed) so row-layout kernels can run on it.
+template <typename MatT>
+decltype(auto) resolve_matrix(const MatT& a) {
+  if constexpr (is_transpose_view_v<std::remove_cvref_t<MatT>>) {
+    return materialize_transpose(a.inner());
+  } else {
+    return (a);  // parenthesized: returns const Matrix<T>&
+  }
+}
+
+/// Gustavson kernel: T = A · B, both row-major. Result scalar type D3.
+/// Rows are computed independently (block-parallel when GBTL_NUM_THREADS
+/// > 1; each worker owns its SPA) and assembled sequentially.
+template <typename D3, typename AT, typename BT, typename SemiringT>
+Matrix<D3> mxm_gustavson(const SemiringT& sr, const Matrix<AT>& a,
+                         const Matrix<BT>& b) {
+  Matrix<D3> t(a.nrows(), b.ncols());
+  std::vector<typename Matrix<D3>::Row> out_rows(a.nrows());
+  detail::parallel_for_rows(a.nrows(), [&](IndexType begin, IndexType end) {
+    SparseAccumulator<D3> spa(b.ncols());
+    auto add = [&sr](const D3& x, const D3& y) { return sr.add(x, y); };
+    for (IndexType i = begin; i < end; ++i) {
+      for (const auto& [k, av] : a.row(i)) {
+        for (const auto& [j, bv] : b.row(k)) {
+          spa.accumulate(j, static_cast<D3>(sr.mult(av, bv)), add);
+        }
+      }
+      if (spa.touched_count() != 0) {
+        spa.extract_sorted_and_reset(out_rows[i]);
+      }
+    }
+  });
+  for (IndexType i = 0; i < a.nrows(); ++i) {
+    if (!out_rows[i].empty()) t.setRow(i, std::move(out_rows[i]));
+  }
+  return t;
+}
+
+/// Sorted-intersection dot product of two rows under a semiring.
+/// Returns (found, value).
+template <typename D3, typename RowA, typename RowB, typename SemiringT>
+std::pair<bool, D3> row_dot(const SemiringT& sr, const RowA& ra,
+                            const RowB& rb) {
+  bool found = false;
+  D3 acc{};
+  auto ia = ra.begin();
+  auto ib = rb.begin();
+  while (ia != ra.end() && ib != rb.end()) {
+    if (ia->first < ib->first) {
+      ++ia;
+    } else if (ib->first < ia->first) {
+      ++ib;
+    } else {
+      const D3 prod = static_cast<D3>(sr.mult(ia->second, ib->second));
+      acc = found ? sr.add(acc, prod) : prod;
+      found = true;
+      ++ia;
+      ++ib;
+    }
+  }
+  return {found, acc};
+}
+
+/// Dot kernel: T = A · B^T (b passed un-transposed, rows of b are the
+/// columns of B^T). Computes every (i, j) pair.
+template <typename D3, typename AT, typename BT, typename SemiringT>
+Matrix<D3> mxm_dot_all(const SemiringT& sr, const Matrix<AT>& a,
+                       const Matrix<BT>& b) {
+  Matrix<D3> t(a.nrows(), b.nrows());
+  std::vector<typename Matrix<D3>::Row> out_rows(a.nrows());
+  detail::parallel_for_rows(a.nrows(), [&](IndexType begin, IndexType end) {
+    for (IndexType i = begin; i < end; ++i) {
+      const auto& ra = a.row(i);
+      if (ra.empty()) continue;
+      for (IndexType j = 0; j < b.nrows(); ++j) {
+        auto [found, val] = row_dot<D3>(sr, ra, b.row(j));
+        if (found) out_rows[i].emplace_back(j, val);
+      }
+    }
+  });
+  for (IndexType i = 0; i < a.nrows(); ++i) {
+    if (!out_rows[i].empty()) t.setRow(i, std::move(out_rows[i]));
+  }
+  return t;
+}
+
+/// Masked dot kernel: only positions where the plain matrix mask stores a
+/// truthy value are computed (valid because masked-out T entries are never
+/// written). This is the Fig. 5 triangle-counting fast path.
+template <typename D3, typename AT, typename BT, typename MT,
+          typename SemiringT>
+Matrix<D3> mxm_dot_masked(const SemiringT& sr, const Matrix<AT>& a,
+                          const Matrix<BT>& b, const Matrix<MT>& mask) {
+  Matrix<D3> t(a.nrows(), b.nrows());
+  std::vector<typename Matrix<D3>::Row> out_rows(a.nrows());
+  detail::parallel_for_rows(a.nrows(), [&](IndexType begin, IndexType end) {
+    for (IndexType i = begin; i < end; ++i) {
+      const auto& ra = a.row(i);
+      if (ra.empty()) continue;
+      for (const auto& [j, mv] : mask.row(i)) {
+        if (!static_cast<bool>(mv)) continue;
+        auto [found, val] = row_dot<D3>(sr, ra, b.row(j));
+        if (found) out_rows[i].emplace_back(j, val);
+      }
+    }
+  });
+  for (IndexType i = 0; i < a.nrows(); ++i) {
+    if (!out_rows[i].empty()) t.setRow(i, std::move(out_rows[i]));
+  }
+  return t;
+}
+
+/// Compute T for any combination of plain/transposed A and B.
+template <typename D3, typename AMatT, typename BMatT, typename MaskT,
+          typename SemiringT>
+Matrix<D3> mxm_compute(const SemiringT& sr, const AMatT& a, const BMatT& b,
+                       const MaskT& mask) {
+  constexpr bool a_trans = is_transpose_view_v<std::remove_cvref_t<AMatT>>;
+  constexpr bool b_trans = is_transpose_view_v<std::remove_cvref_t<BMatT>>;
+  if constexpr (!a_trans && !b_trans) {
+    (void)mask;
+    return mxm_gustavson<D3>(sr, a, b);
+  } else if constexpr (!a_trans && b_trans) {
+    if constexpr (requires { mask.row(IndexType{0}); }) {
+      return mxm_dot_masked<D3>(sr, a, b.inner(), mask);
+    } else {
+      (void)mask;
+      return mxm_dot_all<D3>(sr, a, b.inner());
+    }
+  } else if constexpr (a_trans && !b_trans) {
+    auto at = materialize_transpose(a.inner());
+    return mxm_gustavson<D3>(sr, at, b);
+  } else {
+    // A^T · B^T = (B · A)^T — compute B·A then transpose the result.
+    auto ba = mxm_gustavson<D3>(sr, b.inner(), a.inner());
+    return materialize_transpose(ba);
+  }
+}
+
+template <typename X>
+IndexType generic_nrows(const X& x) {
+  return x.nrows();
+}
+template <typename X>
+IndexType generic_ncols(const X& x) {
+  return x.ncols();
+}
+
+}  // namespace detail
+
+/// C<M, z> = C (+) A ⊕.⊗ B. A and B may be Matrix or TransposeView;
+/// M may be NoMask, a Matrix, or a MatrixComplementView; accum may be
+/// NoAccumulate or any binary functor; `outp` selects replace vs merge.
+template <typename CT, typename MaskT, typename AccumT, typename SemiringT,
+          typename AMatT, typename BMatT>
+void mxm(Matrix<CT>& c, const MaskT& mask, AccumT accum, const SemiringT& sr,
+         const AMatT& a, const BMatT& b,
+         OutputControl outp = OutputControl::kMerge) {
+  if (detail::generic_ncols(a) != detail::generic_nrows(b)) {
+    throw DimensionException("mxm: ncols(A) != nrows(B)");
+  }
+  if (c.nrows() != detail::generic_nrows(a) ||
+      c.ncols() != detail::generic_ncols(b)) {
+    throw DimensionException("mxm: output shape != nrows(A) x ncols(B)");
+  }
+  auto t = detail::mxm_compute<CT>(sr, a, b, mask);
+  detail::write_matrix_result(c, t, mask, accum, outp);
+}
+
+}  // namespace gbtl

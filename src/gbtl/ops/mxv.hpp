@@ -1,0 +1,144 @@
+// gbtl/ops/mxv.hpp — masked matrix-vector and vector-matrix multiply:
+//   w<m, z> = w (+) A ⊕.⊗ u        (mxv)
+//   w<m, z> = w (+) u ⊕.⊗ A        (vxm)
+//
+// Kernels:
+//   * mxv, A row-major       — per-row "pull" dot against u's O(1) lookup.
+//   * mxv, A transposed      — "push" scatter over the stored entries of u
+//                              (the BFS frontier expansion of Fig. 2:
+//                              frontier = graph.T @ frontier).
+//   * vxm is mxv with the multiply's argument order swapped, so vxm(A) uses
+//     the push kernel and vxm(A^T) the pull kernel.
+#pragma once
+
+#include "gbtl/algebra.hpp"
+#include "gbtl/detail/parallel.hpp"
+#include "gbtl/detail/write_backend.hpp"
+#include "gbtl/matrix.hpp"
+#include "gbtl/types.hpp"
+#include "gbtl/vector.hpp"
+#include "gbtl/views.hpp"
+
+namespace gbtl {
+
+namespace detail {
+
+/// Pull kernel: t[i] = ⊕_j mult(A(i,j), u(j)) over stored matches.
+/// MultFlip=false computes mult(a, u); true computes mult(u, a) (for vxm).
+/// Output rows are independent, so the row loop is block-parallel when
+/// GBTL_NUM_THREADS > 1 (workers fill disjoint staging slots; the vector's
+/// shared nvals bookkeeping is updated in the sequential assembly pass).
+template <bool MultFlip, typename D3, typename AT, typename UT,
+          typename SemiringT>
+Vector<D3> mv_pull(const SemiringT& sr, const Matrix<AT>& a,
+                   const Vector<UT>& u) {
+  Vector<D3> t(a.nrows());
+  std::vector<unsigned char> present(a.nrows(), 0);
+  std::vector<D3> vals(a.nrows());
+  detail::parallel_for_rows(a.nrows(), [&](IndexType begin, IndexType end) {
+    for (IndexType i = begin; i < end; ++i) {
+      bool found = false;
+      D3 acc{};
+      for (const auto& [j, av] : a.row(i)) {
+        if (!u.has_unchecked(j)) continue;
+        D3 prod;
+        if constexpr (MultFlip) {
+          prod = static_cast<D3>(sr.mult(u.value_unchecked(j), av));
+        } else {
+          prod = static_cast<D3>(sr.mult(av, u.value_unchecked(j)));
+        }
+        acc = found ? sr.add(acc, prod) : prod;
+        found = true;
+      }
+      if (found) {
+        present[i] = 1;
+        vals[i] = acc;
+      }
+    }
+  });
+  for (IndexType i = 0; i < a.nrows(); ++i) {
+    if (present[i]) t.set_unchecked(i, vals[i]);
+  }
+  return t;
+}
+
+/// Push kernel: t[j] ⊕= mult(A(i,j), u(i)) for stored u(i) — computes
+/// A^T·u (or u·A) touching only rows where u has entries. Scatter targets
+/// collide across rows, so this kernel stays sequential (a parallel
+/// version would need per-worker accumulators merged with ⊕).
+template <bool MultFlip, typename D3, typename AT, typename UT,
+          typename SemiringT>
+Vector<D3> mv_push(const SemiringT& sr, const Matrix<AT>& a,
+                   const Vector<UT>& u) {
+  Vector<D3> t(a.ncols());
+  std::vector<bool> present(a.ncols(), false);
+  for (IndexType i = 0; i < a.nrows(); ++i) {
+    if (!u.has_unchecked(i)) continue;
+    const UT uv = u.value_unchecked(i);
+    for (const auto& [j, av] : a.row(i)) {
+      D3 prod;
+      if constexpr (MultFlip) {
+        prod = static_cast<D3>(sr.mult(uv, av));
+      } else {
+        prod = static_cast<D3>(sr.mult(av, uv));
+      }
+      if (present[j]) {
+        t.set_unchecked(j, sr.add(t.value_unchecked(j), prod));
+      } else {
+        present[j] = true;
+        t.set_unchecked(j, prod);
+      }
+    }
+  }
+  return t;
+}
+
+}  // namespace detail
+
+/// w<m, z> = w (+) A ⊕.⊗ u. A may be a Matrix or TransposeView.
+template <typename WT, typename MaskT, typename AccumT, typename SemiringT,
+          typename AMatT, typename UT>
+void mxv(Vector<WT>& w, const MaskT& mask, AccumT accum, const SemiringT& sr,
+         const AMatT& a, const Vector<UT>& u,
+         OutputControl outp = OutputControl::kMerge) {
+  constexpr bool a_trans = is_transpose_view_v<std::remove_cvref_t<AMatT>>;
+  if (detail::generic_ncols(a) != u.size()) {
+    throw DimensionException("mxv: ncols(A) != size(u)");
+  }
+  if (w.size() != detail::generic_nrows(a)) {
+    throw DimensionException("mxv: size(w) != nrows(A)");
+  }
+  Vector<WT> t = [&] {
+    if constexpr (a_trans) {
+      return detail::mv_push<false, WT>(sr, a.inner(), u);
+    } else {
+      return detail::mv_pull<false, WT>(sr, a, u);
+    }
+  }();
+  detail::write_vector_result(w, t, mask, accum, outp);
+}
+
+/// w<m, z> = w (+) u ⊕.⊗ A (row vector times matrix).
+template <typename WT, typename MaskT, typename AccumT, typename SemiringT,
+          typename UT, typename AMatT>
+void vxm(Vector<WT>& w, const MaskT& mask, AccumT accum, const SemiringT& sr,
+         const Vector<UT>& u, const AMatT& a,
+         OutputControl outp = OutputControl::kMerge) {
+  constexpr bool a_trans = is_transpose_view_v<std::remove_cvref_t<AMatT>>;
+  if (detail::generic_nrows(a) != u.size()) {
+    throw DimensionException("vxm: nrows(A) != size(u)");
+  }
+  if (w.size() != detail::generic_ncols(a)) {
+    throw DimensionException("vxm: size(w) != ncols(A)");
+  }
+  Vector<WT> t = [&] {
+    if constexpr (a_trans) {
+      return detail::mv_pull<true, WT>(sr, a.inner(), u);
+    } else {
+      return detail::mv_push<true, WT>(sr, a, u);
+    }
+  }();
+  detail::write_vector_result(w, t, mask, accum, outp);
+}
+
+}  // namespace gbtl

@@ -1,0 +1,83 @@
+// gbtl/ops/reduce.hpp — monoid reductions:
+//   w<m, z> = w (+) [⊕_j A(:, j)]   (matrix rows → vector)
+//   s = s (+) [⊕_{i,j} A(i, j)]     (matrix → scalar)
+//   s = s (+) [⊕_i u(i)]            (vector → scalar)
+// Column reduction is expressed by passing transpose(A). A row (or the whole
+// container) with no stored values contributes no entry / leaves s as-is.
+#pragma once
+
+#include "gbtl/detail/write_backend.hpp"
+#include "gbtl/matrix.hpp"
+#include "gbtl/ops/mxm.hpp"  // materialize_transpose / resolve helpers
+#include "gbtl/types.hpp"
+#include "gbtl/vector.hpp"
+#include "gbtl/views.hpp"
+
+namespace gbtl {
+
+/// Row-wise reduce of a matrix into a vector.
+template <typename WT, typename MaskT, typename AccumT, typename MonoidT,
+          typename AMatT>
+void reduce(Vector<WT>& w, const MaskT& mask, AccumT accum,
+            const MonoidT& monoid, const AMatT& a,
+            OutputControl outp = OutputControl::kMerge) {
+  if (w.size() != detail::generic_nrows(a)) {
+    throw DimensionException("reduce: size(w) != nrows(A)");
+  }
+  decltype(auto) ra = detail::resolve_matrix(a);
+  using D3 = typename MonoidT::ScalarType;
+  Vector<D3> t(w.size());
+  for (IndexType i = 0; i < ra.nrows(); ++i) {
+    const auto& row = ra.row(i);
+    if (row.empty()) continue;
+    D3 acc = static_cast<D3>(row.front().second);
+    for (auto it = row.begin() + 1; it != row.end(); ++it) {
+      acc = monoid(acc, static_cast<D3>(it->second));
+    }
+    t.set_unchecked(i, acc);
+  }
+  detail::write_vector_result(w, t, mask, accum, outp);
+}
+
+/// Reduce a whole matrix into a scalar. With NoAccumulate the result
+/// replaces `val`; with an accumulator it is combined into `val`. If the
+/// matrix stores no values, `val` is left unchanged (GrB_NO_VALUE-like
+/// behaviour matching GBTL).
+template <typename ValueT, typename AccumT, typename MonoidT, typename AMatT>
+void reduce(ValueT& val, AccumT accum, const MonoidT& monoid, const AMatT& a) {
+  decltype(auto) ra = detail::resolve_matrix(a);
+  using D3 = typename MonoidT::ScalarType;
+  if (ra.nvals() == 0) return;
+  D3 acc = MonoidT::identity();
+  for (IndexType i = 0; i < ra.nrows(); ++i) {
+    for (const auto& [j, v] : ra.row(i)) {
+      acc = monoid(acc, static_cast<D3>(v));
+    }
+  }
+  if constexpr (detail::no_accum_v<AccumT>) {
+    val = static_cast<ValueT>(acc);
+  } else {
+    val = static_cast<ValueT>(accum(val, acc));
+  }
+}
+
+/// Reduce a vector into a scalar (same conventions as the matrix overload).
+template <typename ValueT, typename AccumT, typename MonoidT, typename UT>
+void reduce(ValueT& val, AccumT accum, const MonoidT& monoid,
+            const Vector<UT>& u) {
+  using D3 = typename MonoidT::ScalarType;
+  if (u.nvals() == 0) return;
+  D3 acc = MonoidT::identity();
+  for (IndexType i = 0; i < u.size(); ++i) {
+    if (u.has_unchecked(i)) {
+      acc = monoid(acc, static_cast<D3>(u.value_unchecked(i)));
+    }
+  }
+  if constexpr (detail::no_accum_v<AccumT>) {
+    val = static_cast<ValueT>(acc);
+  } else {
+    val = static_cast<ValueT>(accum(val, acc));
+  }
+}
+
+}  // namespace gbtl

@@ -1,0 +1,56 @@
+// gbtl/ops/transpose_op.hpp — the transpose *operation* (as opposed to the
+// TransposeView in views.hpp):
+//   C<M, z> = C (+) A^T
+// materializes the flipped structure and writes it under the standard
+// output discipline.
+#pragma once
+
+#include "gbtl/detail/write_backend.hpp"
+#include "gbtl/matrix.hpp"
+#include "gbtl/ops/mxm.hpp"  // materialize_transpose
+#include "gbtl/types.hpp"
+#include "gbtl/views.hpp"
+
+namespace gbtl {
+
+namespace detail {
+
+/// Cast-copy a matrix to a (possibly different) scalar type.
+template <typename OutT, typename InT>
+Matrix<OutT> apply_copy_cast(const Matrix<InT>& a) {
+  Matrix<OutT> out(a.nrows(), a.ncols());
+  typename Matrix<OutT>::Row row;
+  for (IndexType i = 0; i < a.nrows(); ++i) {
+    const auto& ra = a.row(i);
+    if (ra.empty()) continue;
+    row.clear();
+    row.reserve(ra.size());
+    for (const auto& [j, v] : ra) row.emplace_back(j, static_cast<OutT>(v));
+    out.setRow(i, std::move(row));
+    row = {};
+  }
+  return out;
+}
+
+}  // namespace detail
+
+/// C<M, z> = C (+) A^T. Passing a TransposeView cancels the transpose
+/// (C = A), matching the C API's handling of a transposed input descriptor.
+template <typename CT, typename MaskT, typename AccumT, typename AMatT>
+void transpose(Matrix<CT>& c, const MaskT& mask, AccumT accum, const AMatT& a,
+               OutputControl outp = OutputControl::kMerge) {
+  constexpr bool a_trans = is_transpose_view_v<std::remove_cvref_t<AMatT>>;
+  if (c.nrows() != detail::generic_ncols(a) ||
+      c.ncols() != detail::generic_nrows(a)) {
+    throw DimensionException("transpose: output shape != A^T shape");
+  }
+  if constexpr (a_trans) {
+    auto t = detail::apply_copy_cast<CT>(a.inner());
+    detail::write_matrix_result(c, t, mask, accum, outp);
+  } else {
+    auto t = detail::materialize_transpose(a);
+    detail::write_matrix_result(c, t, mask, accum, outp);
+  }
+}
+
+}  // namespace gbtl

@@ -1,0 +1,105 @@
+// gbtl/utilities.hpp — helper routines used by the algorithms and examples:
+// row normalization (PageRank), triangular splits (triangle counting),
+// identity/diagonal constructors, and pretty-printing.
+#pragma once
+
+#include <ostream>
+#include <utility>
+#include <vector>
+
+#include "gbtl/matrix.hpp"
+#include "gbtl/types.hpp"
+#include "gbtl/vector.hpp"
+
+namespace gbtl {
+
+/// Scale every stored value so each row sums to 1 (rows with no stored
+/// values are left empty). GBTL's GB::normalize_rows used by PageRank.
+template <typename T>
+void normalize_rows(Matrix<T>& m) {
+  static_assert(std::is_floating_point_v<T>,
+                "normalize_rows requires a floating-point matrix");
+  for (IndexType i = 0; i < m.nrows(); ++i) {
+    const auto& row = m.row(i);
+    if (row.empty()) continue;
+    T sum{};
+    for (const auto& [j, v] : row) sum += v;
+    if (sum == T{}) continue;
+    typename Matrix<T>::Row scaled;
+    scaled.reserve(row.size());
+    for (const auto& [j, v] : row) scaled.emplace_back(j, v / sum);
+    m.setRow(i, std::move(scaled));
+  }
+}
+
+/// Split a square matrix into strictly-lower and strictly-upper triangular
+/// parts (the diagonal is dropped) — the L used by triangle counting.
+template <typename T>
+void split(const Matrix<T>& a, Matrix<T>& lower, Matrix<T>& upper) {
+  if (a.nrows() != a.ncols()) {
+    throw DimensionException("split requires a square matrix");
+  }
+  if (lower.nrows() != a.nrows() || lower.ncols() != a.ncols() ||
+      upper.nrows() != a.nrows() || upper.ncols() != a.ncols()) {
+    throw DimensionException("split outputs must match input shape");
+  }
+  lower.clear();
+  upper.clear();
+  typename Matrix<T>::Row lo, hi;
+  for (IndexType i = 0; i < a.nrows(); ++i) {
+    lo.clear();
+    hi.clear();
+    for (const auto& [j, v] : a.row(i)) {
+      if (j < i) {
+        lo.emplace_back(j, v);
+      } else if (j > i) {
+        hi.emplace_back(j, v);
+      }
+    }
+    if (!lo.empty()) lower.setRow(i, typename Matrix<T>::Row(lo));
+    if (!hi.empty()) upper.setRow(i, typename Matrix<T>::Row(hi));
+  }
+}
+
+/// n x n identity matrix scaled by `val`.
+template <typename T>
+Matrix<T> identity_matrix(IndexType n, T val = T{1}) {
+  Matrix<T> m(n, n);
+  for (IndexType i = 0; i < n; ++i) m.setElement(i, i, val);
+  return m;
+}
+
+/// Diagonal matrix from a vector of (offset, value) bands — the
+/// scipy.sparse.diags analog used in Fig. 3b. Each band b places `value`
+/// at positions (i, i + offset) that fall inside the n x n matrix.
+template <typename T>
+Matrix<T> banded_matrix(IndexType n,
+                        const std::vector<std::pair<long, T>>& bands) {
+  Matrix<T> m(n, n);
+  for (const auto& [offset, value] : bands) {
+    for (IndexType i = 0; i < n; ++i) {
+      const long j = static_cast<long>(i) + offset;
+      if (j >= 0 && j < static_cast<long>(n)) {
+        m.setElement(i, static_cast<IndexType>(j), value);
+      }
+    }
+  }
+  return m;
+}
+
+/// Print a matrix densely (dots for absent entries) — small-matrix debug aid.
+template <typename T>
+void print_dense(std::ostream& os, const Matrix<T>& m) {
+  for (IndexType i = 0; i < m.nrows(); ++i) {
+    for (IndexType j = 0; j < m.ncols(); ++j) {
+      if (m.hasElement(i, j)) {
+        os << +m.extractElement(i, j);
+      } else {
+        os << '.';
+      }
+      os << (j + 1 == m.ncols() ? '\n' : ' ');
+    }
+  }
+}
+
+}  // namespace gbtl

@@ -1,0 +1,78 @@
+#include "generators/classic.hpp"
+
+#include <stdexcept>
+
+namespace pygb::gen {
+
+namespace {
+
+void add_edge(EdgeList& el, gbtl::IndexType s, gbtl::IndexType d,
+              bool symmetric) {
+  el.edges.push_back({s, d, 1.0});
+  if (symmetric) el.edges.push_back({d, s, 1.0});
+}
+
+}  // namespace
+
+EdgeList balanced_tree(gbtl::IndexType r, gbtl::IndexType h, bool symmetric) {
+  if (r == 0) throw std::invalid_argument("balanced_tree: branching r == 0");
+  EdgeList el;
+  // Count vertices: sum of r^0 + r^1 + ... + r^h.
+  gbtl::IndexType n = 0;
+  gbtl::IndexType level = 1;
+  for (gbtl::IndexType d = 0; d <= h; ++d) {
+    n += level;
+    level *= r;
+  }
+  el.num_vertices = n;
+  // Children of vertex v (BFS order) are r*v + 1 ... r*v + r.
+  for (gbtl::IndexType v = 0; v < n; ++v) {
+    for (gbtl::IndexType k = 1; k <= r; ++k) {
+      const gbtl::IndexType child = r * v + k;
+      if (child >= n) break;
+      add_edge(el, v, child, symmetric);
+    }
+  }
+  return el;
+}
+
+EdgeList path_graph(gbtl::IndexType n, bool symmetric) {
+  if (n == 0) throw std::invalid_argument("path_graph: empty vertex set");
+  EdgeList el;
+  el.num_vertices = n;
+  for (gbtl::IndexType v = 0; v + 1 < n; ++v) {
+    add_edge(el, v, v + 1, symmetric);
+  }
+  return el;
+}
+
+EdgeList cycle_graph(gbtl::IndexType n, bool symmetric) {
+  if (n < 2) throw std::invalid_argument("cycle_graph: need >= 2 vertices");
+  EdgeList el = path_graph(n, symmetric);
+  add_edge(el, n - 1, 0, symmetric);
+  return el;
+}
+
+EdgeList complete_graph(gbtl::IndexType n) {
+  if (n == 0) throw std::invalid_argument("complete_graph: empty vertex set");
+  EdgeList el;
+  el.num_vertices = n;
+  for (gbtl::IndexType i = 0; i < n; ++i) {
+    for (gbtl::IndexType j = 0; j < n; ++j) {
+      if (i != j) el.edges.push_back({i, j, 1.0});
+    }
+  }
+  return el;
+}
+
+EdgeList star_graph(gbtl::IndexType n, bool symmetric) {
+  if (n < 2) throw std::invalid_argument("star_graph: need >= 2 vertices");
+  EdgeList el;
+  el.num_vertices = n;
+  for (gbtl::IndexType v = 1; v < n; ++v) {
+    add_edge(el, 0, v, symmetric);
+  }
+  return el;
+}
+
+}  // namespace pygb::gen

@@ -1,0 +1,27 @@
+// generators/classic.hpp — deterministic graph families: the NetworkX and
+// SciPy constructor analogs from Fig. 3b plus standard test-fixture graphs.
+#pragma once
+
+#include "generators/edge_list.hpp"
+
+namespace pygb::gen {
+
+/// Balanced r-ary tree of height h (nx.balanced_tree analog). Edges point
+/// parent -> child; set `symmetric` to add child -> parent edges too.
+/// Vertex count = (r^(h+1) - 1) / (r - 1), or h + 1 when r == 1.
+EdgeList balanced_tree(gbtl::IndexType r, gbtl::IndexType h,
+                       bool symmetric = false);
+
+/// Path 0 -> 1 -> ... -> n-1.
+EdgeList path_graph(gbtl::IndexType n, bool symmetric = false);
+
+/// Cycle 0 -> 1 -> ... -> n-1 -> 0.
+EdgeList cycle_graph(gbtl::IndexType n, bool symmetric = false);
+
+/// Complete directed graph (no self loops).
+EdgeList complete_graph(gbtl::IndexType n);
+
+/// Star: hub 0 connected to spokes 1..n-1.
+EdgeList star_graph(gbtl::IndexType n, bool symmetric = false);
+
+}  // namespace pygb::gen

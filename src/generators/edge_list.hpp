@@ -1,0 +1,41 @@
+// generators/edge_list.hpp — generator output staging: a weighted edge list
+// plus conversion templates into GBTL adjacency matrices.
+#pragma once
+
+#include <vector>
+
+#include "gbtl/matrix.hpp"
+#include "gbtl/types.hpp"
+
+namespace pygb::gen {
+
+struct Edge {
+  gbtl::IndexType src;
+  gbtl::IndexType dst;
+  double weight;
+};
+
+struct EdgeList {
+  gbtl::IndexType num_vertices = 0;
+  std::vector<Edge> edges;
+};
+
+/// Build the adjacency matrix A(src, dst) = weight.
+template <typename T>
+gbtl::Matrix<T> to_adjacency(const EdgeList& el) {
+  gbtl::Matrix<T> m(el.num_vertices, el.num_vertices);
+  gbtl::IndexArray is, js;
+  std::vector<T> vs;
+  is.reserve(el.edges.size());
+  js.reserve(el.edges.size());
+  vs.reserve(el.edges.size());
+  for (const Edge& e : el.edges) {
+    is.push_back(e.src);
+    js.push_back(e.dst);
+    vs.push_back(static_cast<T>(e.weight));
+  }
+  m.build(is, js, vs);
+  return m;
+}
+
+}  // namespace pygb::gen

@@ -1,0 +1,69 @@
+#include "generators/erdos_renyi.hpp"
+
+#include <cmath>
+#include <random>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace pygb::gen {
+
+std::size_t paper_edge_count(gbtl::IndexType n, double coeff) {
+  const double want = coeff * std::pow(static_cast<double>(n), 1.5);
+  const double max_edges =
+      static_cast<double>(n) * static_cast<double>(n - 1);
+  return static_cast<std::size_t>(std::min(want, max_edges));
+}
+
+EdgeList erdos_renyi(const ErdosRenyiParams& params) {
+  const auto n = params.num_vertices;
+  if (n == 0) throw std::invalid_argument("erdos_renyi: empty vertex set");
+  const std::size_t possible =
+      static_cast<std::size_t>(n) * (params.self_loops ? n : n - 1);
+  if (params.num_edges > possible) {
+    throw std::invalid_argument("erdos_renyi: more edges than vertex pairs");
+  }
+
+  std::mt19937_64 rng(params.seed);
+  std::uniform_int_distribution<gbtl::IndexType> pick(0, n - 1);
+  std::uniform_real_distribution<double> weight(params.min_weight,
+                                                params.max_weight);
+
+  EdgeList el;
+  el.num_vertices = n;
+  el.edges.reserve(params.num_edges * (params.symmetric ? 2 : 1));
+
+  // Rejection-sample distinct pairs; for symmetric graphs sample the
+  // canonical (src < dst) representative so mirrored edges stay distinct.
+  std::unordered_set<std::uint64_t> seen;
+  seen.reserve(params.num_edges * 2);
+  while (seen.size() < params.num_edges) {
+    gbtl::IndexType s = pick(rng);
+    gbtl::IndexType d = pick(rng);
+    if (!params.self_loops && s == d) continue;
+    if (params.symmetric && s > d) std::swap(s, d);
+    const std::uint64_t key = (static_cast<std::uint64_t>(s) << 32) | d;
+    if (!seen.insert(key).second) continue;
+    const double w =
+        (params.min_weight == params.max_weight) ? params.min_weight
+                                                 : weight(rng);
+    el.edges.push_back({s, d, w});
+    if (params.symmetric && s != d) el.edges.push_back({d, s, w});
+  }
+  return el;
+}
+
+EdgeList paper_graph(gbtl::IndexType n, std::uint64_t seed, bool symmetric,
+                     double min_weight, double max_weight) {
+  ErdosRenyiParams p;
+  p.num_vertices = n;
+  // For symmetric graphs the sampled count is canonical pairs; halve so the
+  // total stored-edge count stays ~n^1.5.
+  p.num_edges = paper_edge_count(n) / (symmetric ? 2 : 1);
+  p.symmetric = symmetric;
+  p.min_weight = min_weight;
+  p.max_weight = max_weight;
+  p.seed = seed;
+  return erdos_renyi(p);
+}
+
+}  // namespace pygb::gen

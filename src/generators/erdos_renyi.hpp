@@ -1,0 +1,35 @@
+// generators/erdos_renyi.hpp — the paper's evaluation workload: Erdős–Rényi
+// random graphs with |E| = O(|V|^1.5) (Figs. 10 and 11).
+#pragma once
+
+#include <cstdint>
+
+#include "generators/edge_list.hpp"
+
+namespace pygb::gen {
+
+struct ErdosRenyiParams {
+  gbtl::IndexType num_vertices = 0;
+  std::size_t num_edges = 0;       ///< distinct directed edges to sample
+  bool symmetric = false;          ///< mirror every edge (undirected graph)
+  bool self_loops = false;
+  double min_weight = 1.0;         ///< weights drawn uniformly in
+  double max_weight = 1.0;         ///< [min_weight, max_weight]
+  std::uint64_t seed = 42;
+};
+
+/// Sample a G(n, M) graph: M distinct directed edges chosen uniformly.
+/// Deterministic for a given seed.
+EdgeList erdos_renyi(const ErdosRenyiParams& params);
+
+/// The paper's density rule: number of edges for n vertices,
+/// |E| = coeff * n^1.5, clamped to the number of possible edges.
+std::size_t paper_edge_count(gbtl::IndexType n, double coeff = 1.0);
+
+/// Convenience: the exact Fig. 10/11 workload — ER graph on n vertices with
+/// |E| = n^1.5, unit weights unless a weight range is given.
+EdgeList paper_graph(gbtl::IndexType n, std::uint64_t seed = 42,
+                     bool symmetric = false, double min_weight = 1.0,
+                     double max_weight = 1.0);
+
+}  // namespace pygb::gen

@@ -1,0 +1,43 @@
+// generators/kronecker.hpp — Kronecker-power graphs (the Graph500 model):
+// the k-th Kronecker power of a small initiator matrix, built with the
+// substrate's kronecker operation. Deterministic, power-law-ish structure
+// that complements the stochastic R-MAT generator.
+#pragma once
+
+#include "gbtl/gbtl.hpp"
+#include "gbtl/ops/kronecker.hpp"
+
+namespace pygb::gen {
+
+/// k-th Kronecker power of `initiator` (k >= 1 returns the initiator for
+/// k == 1). The result has nrows(initiator)^k vertices.
+template <typename T>
+gbtl::Matrix<T> kronecker_power(const gbtl::Matrix<T>& initiator,
+                                unsigned k) {
+  if (k == 0) {
+    throw std::invalid_argument("kronecker_power: k must be >= 1");
+  }
+  gbtl::Matrix<T> result = initiator;
+  for (unsigned step = 1; step < k; ++step) {
+    gbtl::Matrix<T> next(result.nrows() * initiator.nrows(),
+                         result.ncols() * initiator.ncols());
+    gbtl::kronecker(next, gbtl::NoMask{}, gbtl::NoAccumulate{},
+                    gbtl::Times<T>{}, result, initiator);
+    result = std::move(next);
+  }
+  return result;
+}
+
+/// The classic Graph500-flavoured 2x2 initiator (unweighted variant):
+/// dense except one corner, giving a skewed degree distribution under
+/// Kronecker powering.
+template <typename T>
+gbtl::Matrix<T> graph500_initiator() {
+  gbtl::Matrix<T> m(2, 2);
+  m.setElement(0, 0, T{1});
+  m.setElement(0, 1, T{1});
+  m.setElement(1, 0, T{1});
+  return m;
+}
+
+}  // namespace pygb::gen

@@ -1,0 +1,55 @@
+#include "generators/rmat.hpp"
+
+#include <random>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace pygb::gen {
+
+EdgeList rmat(const RmatParams& params) {
+  if (params.a + params.b + params.c >= 1.0) {
+    throw std::invalid_argument("rmat: a + b + c must be < 1");
+  }
+  const gbtl::IndexType n = gbtl::IndexType{1} << params.scale;
+  const std::size_t target = params.edge_factor * static_cast<std::size_t>(n);
+
+  std::mt19937_64 rng(params.seed);
+  std::uniform_real_distribution<double> uni(0.0, 1.0);
+
+  EdgeList el;
+  el.num_vertices = n;
+  el.edges.reserve(target);
+  std::unordered_set<std::uint64_t> seen;
+  if (params.deduplicate) seen.reserve(target * 2);
+
+  std::size_t produced = 0;
+  std::size_t attempts = 0;
+  const std::size_t max_attempts = target * 16 + 1024;
+  while (produced < target && attempts < max_attempts) {
+    ++attempts;
+    gbtl::IndexType src = 0, dst = 0;
+    for (unsigned bit = 0; bit < params.scale; ++bit) {
+      const double p = uni(rng);
+      if (p < params.a) {
+        // top-left quadrant: no bits set
+      } else if (p < params.a + params.b) {
+        dst |= gbtl::IndexType{1} << bit;
+      } else if (p < params.a + params.b + params.c) {
+        src |= gbtl::IndexType{1} << bit;
+      } else {
+        src |= gbtl::IndexType{1} << bit;
+        dst |= gbtl::IndexType{1} << bit;
+      }
+    }
+    if (params.remove_self_loops && src == dst) continue;
+    if (params.deduplicate) {
+      const std::uint64_t key = (static_cast<std::uint64_t>(src) << 32) | dst;
+      if (!seen.insert(key).second) continue;
+    }
+    el.edges.push_back({src, dst, 1.0});
+    ++produced;
+  }
+  return el;
+}
+
+}  // namespace pygb::gen

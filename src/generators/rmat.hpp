@@ -1,0 +1,22 @@
+// generators/rmat.hpp — recursive-matrix (R-MAT) power-law graph generator,
+// the standard skewed-degree complement to the paper's Erdős–Rényi sweep.
+#pragma once
+
+#include <cstdint>
+
+#include "generators/edge_list.hpp"
+
+namespace pygb::gen {
+
+struct RmatParams {
+  unsigned scale = 10;        ///< 2^scale vertices
+  std::size_t edge_factor = 16;  ///< edges = edge_factor * 2^scale
+  double a = 0.57, b = 0.19, c = 0.19;  ///< quadrant probabilities (d = rest)
+  bool remove_self_loops = true;
+  bool deduplicate = true;
+  std::uint64_t seed = 42;
+};
+
+EdgeList rmat(const RmatParams& params);
+
+}  // namespace pygb::gen

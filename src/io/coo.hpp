@@ -1,0 +1,50 @@
+// io/coo.hpp — coordinate-format staging structure shared by all readers
+// and writers, plus conversion templates to/from GBTL containers.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "gbtl/matrix.hpp"
+#include "gbtl/types.hpp"
+#include "gbtl/vector.hpp"
+
+namespace pygb::io {
+
+/// A matrix in coordinate (triplet) form with double-precision staging
+/// values; the final container cast happens in to_matrix<T>.
+struct Coo {
+  gbtl::IndexType nrows = 0;
+  gbtl::IndexType ncols = 0;
+  gbtl::IndexArray rows;
+  gbtl::IndexArray cols;
+  std::vector<double> vals;
+
+  std::size_t nnz() const noexcept { return vals.size(); }
+};
+
+/// Build a typed GBTL matrix from staged coordinates.
+template <typename T>
+gbtl::Matrix<T> to_matrix(const Coo& coo) {
+  gbtl::Matrix<T> m(coo.nrows, coo.ncols);
+  std::vector<T> cast_vals(coo.vals.size());
+  for (std::size_t k = 0; k < coo.vals.size(); ++k) {
+    cast_vals[k] = static_cast<T>(coo.vals[k]);
+  }
+  m.build(coo.rows, coo.cols, cast_vals);
+  return m;
+}
+
+/// Extract a typed GBTL matrix back into staged coordinates.
+template <typename T>
+Coo from_matrix(const gbtl::Matrix<T>& m) {
+  Coo coo;
+  coo.nrows = m.nrows();
+  coo.ncols = m.ncols();
+  std::vector<T> vals;
+  m.extractTuples(coo.rows, coo.cols, vals);
+  coo.vals.assign(vals.begin(), vals.end());
+  return coo;
+}
+
+}  // namespace pygb::io

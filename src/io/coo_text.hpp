@@ -1,0 +1,50 @@
+// io/coo_text.hpp — the two ingestion paths benchmarked in Fig. 11:
+//
+//   * read_coo_text        — the "native C++" path: stream triplets straight
+//                            from disk into index/value arrays.
+//   * read_file_as_pylists — the "Python" path: every line is tokenized
+//                            into a list of individually heap-boxed dynamic
+//                            values (our stand-in for CPython's list of
+//                            PyObject*), which is then converted to
+//                            coordinates in a second pass.
+//
+// File format: optional first line "nrows ncols" prefixed by '#', then one
+// "row col value" triplet per line.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "io/coo.hpp"
+
+namespace pygb::io {
+
+/// Fast path: stream a triplet file directly into a Coo.
+Coo read_coo_text(const std::string& path);
+
+/// Write a triplet file with a "# nrows ncols" header.
+void write_coo_text(const std::string& path, const Coo& coo);
+
+/// A boxed dynamic value, the moral equivalent of a PyObject*: every token
+/// is a separate heap allocation carrying a runtime type tag.
+using PyValue = std::variant<long long, double, std::string>;
+using BoxedValue = std::unique_ptr<PyValue>;
+
+/// A "Python list" of boxed values (one file line → one list).
+using PyList = std::vector<BoxedValue>;
+
+/// Slow path, stage 1: read a file into per-line token lists, boxing each
+/// token (ints parse to long long, reals to double, rest stay strings).
+std::vector<PyList> read_file_as_pylists(const std::string& path);
+
+/// Slow path, stage 2: interpret the boxed lists as "# nrows ncols" +
+/// triplets, with per-element dynamic type dispatch on every access.
+Coo pylists_to_coo(const std::vector<PyList>& lists);
+
+/// Slow path, stage 3 (Fig. 11 "extract"): convert a Coo back into boxed
+/// per-element lists, the analog of extracting matrix data to Python lists.
+std::vector<PyList> coo_to_pylists(const Coo& coo);
+
+}  // namespace pygb::io

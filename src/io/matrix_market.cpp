@@ -1,0 +1,105 @@
+#include "io/matrix_market.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+namespace pygb::io {
+
+namespace {
+
+std::string lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return s;
+}
+
+[[noreturn]] void fail(const std::string& what, const std::string& msg) {
+  throw std::runtime_error("matrix market (" + what + "): " + msg);
+}
+
+}  // namespace
+
+Coo read_matrix_market(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) fail(path, "cannot open file");
+  return read_matrix_market(in, path);
+}
+
+Coo read_matrix_market(std::istream& in, const std::string& what) {
+  std::string line;
+  if (!std::getline(in, line)) fail(what, "empty file");
+
+  std::istringstream header(line);
+  std::string banner, object, format, field, symmetry;
+  header >> banner >> object >> format >> field >> symmetry;
+  if (banner != "%%MatrixMarket") fail(what, "missing %%MatrixMarket banner");
+  if (lower(object) != "matrix" || lower(format) != "coordinate") {
+    fail(what, "only 'matrix coordinate' files are supported");
+  }
+  field = lower(field);
+  symmetry = lower(symmetry);
+  const bool pattern = field == "pattern";
+  if (!pattern && field != "real" && field != "integer") {
+    fail(what, "unsupported field type '" + field + "'");
+  }
+  const bool symmetric = symmetry == "symmetric";
+  if (!symmetric && symmetry != "general") {
+    fail(what, "unsupported symmetry '" + symmetry + "'");
+  }
+
+  // Skip comments, read the size line.
+  while (std::getline(in, line)) {
+    if (!line.empty() && line[0] != '%') break;
+  }
+  std::istringstream size_line(line);
+  long long nrows = 0, ncols = 0, nnz = 0;
+  if (!(size_line >> nrows >> ncols >> nnz) || nrows <= 0 || ncols <= 0 ||
+      nnz < 0) {
+    fail(what, "bad size line '" + line + "'");
+  }
+
+  Coo coo;
+  coo.nrows = static_cast<gbtl::IndexType>(nrows);
+  coo.ncols = static_cast<gbtl::IndexType>(ncols);
+  coo.rows.reserve(static_cast<std::size_t>(nnz) * (symmetric ? 2 : 1));
+  coo.cols.reserve(coo.rows.capacity());
+  coo.vals.reserve(coo.rows.capacity());
+
+  for (long long k = 0; k < nnz; ++k) {
+    long long i = 0, j = 0;
+    double v = 1.0;
+    if (!(in >> i >> j)) fail(what, "truncated entry list");
+    if (!pattern && !(in >> v)) fail(what, "truncated entry value");
+    if (i < 1 || i > nrows || j < 1 || j > ncols) {
+      fail(what, "entry index out of range");
+    }
+    coo.rows.push_back(static_cast<gbtl::IndexType>(i - 1));
+    coo.cols.push_back(static_cast<gbtl::IndexType>(j - 1));
+    coo.vals.push_back(v);
+    if (symmetric && i != j) {
+      coo.rows.push_back(static_cast<gbtl::IndexType>(j - 1));
+      coo.cols.push_back(static_cast<gbtl::IndexType>(i - 1));
+      coo.vals.push_back(v);
+    }
+  }
+  return coo;
+}
+
+void write_matrix_market(const std::string& path, const Coo& coo) {
+  std::ofstream out(path);
+  if (!out) fail(path, "cannot open file for writing");
+  write_matrix_market(out, coo);
+}
+
+void write_matrix_market(std::ostream& out, const Coo& coo) {
+  out << "%%MatrixMarket matrix coordinate real general\n";
+  out << coo.nrows << ' ' << coo.ncols << ' ' << coo.nnz() << '\n';
+  for (std::size_t k = 0; k < coo.nnz(); ++k) {
+    out << coo.rows[k] + 1 << ' ' << coo.cols[k] + 1 << ' ' << coo.vals[k]
+        << '\n';
+  }
+}
+
+}  // namespace pygb::io

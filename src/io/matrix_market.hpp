@@ -1,0 +1,22 @@
+// io/matrix_market.hpp — Matrix Market (coordinate) reader/writer. Supports
+// the `%%MatrixMarket matrix coordinate <real|integer|pattern>
+// <general|symmetric>` header subset, 1-based indices, `%` comments.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "io/coo.hpp"
+
+namespace pygb::io {
+
+/// Parse a Matrix Market file. Symmetric files are expanded to general
+/// form (both triangles); pattern files get value 1.0 per entry.
+Coo read_matrix_market(const std::string& path);
+Coo read_matrix_market(std::istream& in, const std::string& what);
+
+/// Write coordinates as a general real Matrix Market file.
+void write_matrix_market(const std::string& path, const Coo& coo);
+void write_matrix_market(std::ostream& out, const Coo& coo);
+
+}  // namespace pygb::io

@@ -1,0 +1,471 @@
+// pygb/container.hpp — the DSL's runtime-typed Matrix and Vector handles
+// plus the proxy objects behind PyGB's bracket syntax.
+//
+// A pygb::Matrix is a shared handle (Python reference semantics: copying a
+// handle aliases the same data; `dup()` deep-copies) around a concrete
+// gbtl::Matrix<T> whose T is chosen at run time by the dtype tag — the
+// NumPy-dtype mechanism of §V. Operations on handles build deferred
+// expression objects (expr.hpp) that are evaluated through the dispatch/JIT
+// layer when assigned into a target.
+//
+// Surface syntax mapping (C++ has no `@`; matmul() stands in):
+//
+//   PyGB                          this library
+//   ------------------------      ------------------------------------
+//   C[M] = A @ B                  C[M] = matmul(A, B)
+//   frontier[~levels] = ...       frontier[~levels] = ...
+//   C[None] = A + B               C[None] = A + B
+//   path[None] += graph.T @ path  path[None] += matmul(graph.T(), path)
+//   B[L] = L @ L.T                B[L] = matmul(L, L.T())
+//   page_rank[:] = 1.0 / n        page_rank[Slice::all()] = 1.0 / n
+//   C[2:4, 2:4] = A @ B           C(Slice(2,4), Slice(2,4)) = matmul(A, B)
+//   with gb.Replace:              With ctx(Replace);
+#pragma once
+
+#include <initializer_list>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "gbtl/matrix.hpp"
+#include "gbtl/vector.hpp"
+#include "generators/edge_list.hpp"
+#include "io/coo.hpp"
+#include "pygb/context.hpp"
+#include "pygb/dtype.hpp"
+#include "pygb/slicing.hpp"
+
+namespace pygb {
+
+class Matrix;
+class Vector;
+class MatrixExpr;
+class VectorExpr;
+class MaskedMatrix;
+class MaskedVector;
+class SubMatrixRef;
+class SubVectorRef;
+
+/// PyGB's `None` mask argument (GBTL NoMask): C[None] = ... assigns through
+/// every position while keeping the target container's identity.
+struct NoneType {};
+inline constexpr NoneType None{};
+
+/// ~M — a complemented matrix mask (definition after Matrix).
+class ComplementedMatrix;
+/// ~m — a complemented vector mask.
+class ComplementedVector;
+/// A.T() — a transposed operand marker used inside expressions.
+class TransposedMatrix;
+
+/// Resolved mask argument attached to an operation target.
+struct MatrixMaskArg {
+  enum class Kind : std::uint8_t { kNone, kPlain, kComp };
+  Kind kind = Kind::kNone;
+  std::shared_ptr<const Matrix> m;  ///< set unless kNone
+};
+struct VectorMaskArg {
+  enum class Kind : std::uint8_t { kNone, kPlain, kComp };
+  Kind kind = Kind::kNone;
+  std::shared_ptr<const Vector> m;
+};
+
+// ---------------------------------------------------------------------------
+
+class Matrix {
+ public:
+  /// Null handle (undefined matrix); most operations require defined().
+  Matrix() = default;
+
+  /// Empty nrows x ncols matrix of the given dtype (defaults to FP64, the
+  /// Python-float fallback the paper describes).
+  Matrix(gbtl::IndexType nrows, gbtl::IndexType ncols,
+         DType dtype = DType::kFP64);
+
+  /// Dense 2-D data (Fig. 3a); zeros are not stored.
+  Matrix(std::initializer_list<std::initializer_list<double>> dense,
+         DType dtype = DType::kFP64);
+
+  /// Coordinate data (Fig. 3a): Matrix((vals, (rows, cols)), shape=...).
+  /// The dtype defaults to the C++ type of the value vector.
+  template <typename T>
+    requires std::is_arithmetic_v<T>
+  Matrix(const std::vector<T>& vals, const gbtl::IndexArray& rows,
+         const gbtl::IndexArray& cols, gbtl::IndexType nrows,
+         gbtl::IndexType ncols)
+      : Matrix(nrows, ncols, dtype_of<T>()) {
+    build_from(rows, cols, vals);
+  }
+
+  /// Construction from other libraries' containers (Fig. 3b analogs).
+  static Matrix from_coo(const io::Coo& coo, DType dtype = DType::kFP64);
+  static Matrix from_edge_list(const gen::EdgeList& el,
+                               DType dtype = DType::kFP64);
+  static Matrix from_dense(const std::vector<std::vector<double>>& dense,
+                           DType dtype = DType::kFP64);
+
+  /// §VIII future work, implemented: load a matrix straight from disk
+  /// through the native reader ("wrapping a C++ function to directly load
+  /// a matrix instead of first loading into Python lists would be
+  /// trivial"). Dispatches on extension: .mtx → Matrix Market, anything
+  /// else → triplet text.
+  static Matrix from_file(const std::string& path,
+                          DType dtype = DType::kFP64);
+
+  /// §VIII future work, implemented: adopt an existing native container
+  /// without copying its data (the array-buffer-protocol analog — the DSL
+  /// handle takes ownership of the moved-in GBTL matrix).
+  template <typename T>
+  static Matrix adopt(gbtl::Matrix<T>&& native) {
+    Matrix m;
+    m.dtype_ = dtype_of<T>();
+    m.impl_ = std::shared_ptr<void>(
+        new gbtl::Matrix<T>(std::move(native)),
+        [](void* p) { delete static_cast<gbtl::Matrix<T>*>(p); });
+    return m;
+  }
+
+  bool defined() const noexcept { return impl_ != nullptr; }
+  DType dtype() const { return dtype_; }
+  gbtl::IndexType nrows() const;
+  gbtl::IndexType ncols() const;
+  std::size_t nvals() const;
+  std::pair<gbtl::IndexType, gbtl::IndexType> shape() const {
+    return {nrows(), ncols()};
+  }
+
+  bool has_element(gbtl::IndexType i, gbtl::IndexType j) const;
+  /// Stored value at (i, j) converted to double; throws if absent.
+  double get(gbtl::IndexType i, gbtl::IndexType j) const;
+  Scalar get_element(gbtl::IndexType i, gbtl::IndexType j) const;
+  void set(gbtl::IndexType i, gbtl::IndexType j, Scalar v);
+  void set(gbtl::IndexType i, gbtl::IndexType j, double v) {
+    set(i, j, Scalar(v, dtype_));
+  }
+  void remove_element(gbtl::IndexType i, gbtl::IndexType j);
+  void clear();
+
+  /// Deep copy (Python's dup/copy).
+  Matrix dup() const;
+  /// Deep copy cast to another dtype.
+  Matrix astype(DType dtype) const;
+  /// Export back to coordinate staging (Fig. 11's extract phase).
+  io::Coo to_coo() const;
+
+  /// True when both handles alias the same underlying container.
+  bool same_object(const Matrix& other) const {
+    return impl_ == other.impl_;
+  }
+  /// Structural + value equality (after dtype comparison).
+  bool equals(const Matrix& other) const;
+
+  /// Typed access to the underlying GBTL container (checked).
+  template <typename T>
+  gbtl::Matrix<T>& typed() {
+    check_dtype(dtype_of<T>());
+    return *static_cast<gbtl::Matrix<T>*>(impl_.get());
+  }
+  template <typename T>
+  const gbtl::Matrix<T>& typed() const {
+    check_dtype(dtype_of<T>());
+    return *static_cast<const gbtl::Matrix<T>*>(impl_.get());
+  }
+  void* raw() const { return impl_.get(); }
+
+  // --- DSL surface ----------------------------------------------------------
+
+  /// A.T — transpose marker for use inside expressions.
+  TransposedMatrix T() const;
+  /// ~M — complemented mask.
+  ComplementedMatrix operator~() const;
+
+  /// Masked assignment targets: C[M], C[~M], C[None].
+  MaskedMatrix operator[](const Matrix& mask);
+  MaskedMatrix operator[](const ComplementedMatrix& mask);
+  MaskedMatrix operator[](NoneType);
+
+  /// Indexed (sub-matrix) target / extract source: C(rows, cols).
+  SubMatrixRef operator()(const Slice& rows, const Slice& cols) const;
+  SubMatrixRef operator()(gbtl::IndexArray rows, gbtl::IndexArray cols) const;
+
+  /// Python rebinding `C = A @ B`: the handle is repointed at a fresh
+  /// container holding the expression's value (the paper's discussion of
+  /// C = A @ B vs C[None] = A @ B).
+  Matrix& operator=(const MatrixExpr& expr);
+
+ private:
+  friend class MatrixExpr;
+  void check_dtype(DType dt) const;
+  template <typename VT>
+  void build_from(const gbtl::IndexArray& rows, const gbtl::IndexArray& cols,
+                  const std::vector<VT>& vals);
+
+  DType dtype_ = DType::kFP64;
+  std::shared_ptr<void> impl_;
+};
+
+class Vector {
+ public:
+  Vector() = default;
+  explicit Vector(gbtl::IndexType size, DType dtype = DType::kFP64);
+  Vector(std::initializer_list<double> dense, DType dtype = DType::kFP64);
+
+  template <typename T>
+    requires std::is_arithmetic_v<T>
+  Vector(const std::vector<T>& vals, const gbtl::IndexArray& idx,
+         gbtl::IndexType size)
+      : Vector(size, dtype_of<T>()) {
+    build_from(idx, vals);
+  }
+
+  static Vector from_dense(const std::vector<double>& dense,
+                           DType dtype = DType::kFP64);
+
+  /// Adopt an existing native vector without copying (see Matrix::adopt).
+  template <typename T>
+  static Vector adopt(gbtl::Vector<T>&& native) {
+    Vector v;
+    v.dtype_ = dtype_of<T>();
+    v.impl_ = std::shared_ptr<void>(
+        new gbtl::Vector<T>(std::move(native)),
+        [](void* p) { delete static_cast<gbtl::Vector<T>*>(p); });
+    return v;
+  }
+
+  bool defined() const noexcept { return impl_ != nullptr; }
+  DType dtype() const { return dtype_; }
+  gbtl::IndexType size() const;
+  std::size_t nvals() const;
+
+  bool has_element(gbtl::IndexType i) const;
+  double get(gbtl::IndexType i) const;
+  Scalar get_element(gbtl::IndexType i) const;
+  void set(gbtl::IndexType i, Scalar v);
+  void set(gbtl::IndexType i, double v) { set(i, Scalar(v, dtype_)); }
+  void remove_element(gbtl::IndexType i);
+  void clear();
+
+  Vector dup() const;
+  Vector astype(DType dtype) const;
+
+  bool same_object(const Vector& other) const {
+    return impl_ == other.impl_;
+  }
+  bool equals(const Vector& other) const;
+
+  template <typename T>
+  gbtl::Vector<T>& typed() {
+    check_dtype(dtype_of<T>());
+    return *static_cast<gbtl::Vector<T>*>(impl_.get());
+  }
+  template <typename T>
+  const gbtl::Vector<T>& typed() const {
+    check_dtype(dtype_of<T>());
+    return *static_cast<const gbtl::Vector<T>*>(impl_.get());
+  }
+  void* raw() const { return impl_.get(); }
+
+  // --- DSL surface ----------------------------------------------------------
+
+  ComplementedVector operator~() const;
+
+  MaskedVector operator[](const Vector& mask);
+  MaskedVector operator[](const ComplementedVector& mask);
+  MaskedVector operator[](NoneType);
+  /// Indexed target / extract source: w[0:10] (Python gives slices to the
+  /// same brackets as masks; the argument type disambiguates).
+  SubVectorRef operator[](const Slice& idx) const;
+  SubVectorRef operator[](gbtl::IndexArray idx) const;
+
+  Vector& operator=(const VectorExpr& expr);
+
+ private:
+  friend class VectorExpr;
+  void check_dtype(DType dt) const;
+  template <typename VT>
+  void build_from(const gbtl::IndexArray& idx, const std::vector<VT>& vals);
+
+  DType dtype_ = DType::kFP64;
+  std::shared_ptr<void> impl_;
+};
+
+// ---------------------------------------------------------------------------
+// Markers.
+// ---------------------------------------------------------------------------
+
+class TransposedMatrix {
+ public:
+  explicit TransposedMatrix(Matrix base) : base_(std::move(base)) {}
+  const Matrix& base() const noexcept { return base_; }
+  /// (A.T).T == A.
+  Matrix T() const { return base_; }
+
+ private:
+  Matrix base_;
+};
+
+class ComplementedMatrix {
+ public:
+  explicit ComplementedMatrix(Matrix base) : base_(std::move(base)) {}
+  const Matrix& base() const noexcept { return base_; }
+
+ private:
+  Matrix base_;
+};
+
+class ComplementedVector {
+ public:
+  explicit ComplementedVector(Vector base) : base_(std::move(base)) {}
+  const Vector& base() const noexcept { return base_; }
+
+ private:
+  Vector base_;
+};
+
+// ---------------------------------------------------------------------------
+// Assignment proxies. Each captures the replace flag and accumulator from
+// the operator context at the moment of assignment.
+// ---------------------------------------------------------------------------
+
+class MaskedMatrix {
+ public:
+  MaskedMatrix(Matrix target, MatrixMaskArg mask)
+      : target_(std::move(target)), mask_(std::move(mask)) {}
+
+  /// C[M] = <expr>: evaluate the deferred expression into the target.
+  MaskedMatrix& operator=(const MatrixExpr& expr);
+  /// C[M] = A: identity-apply the container into the target.
+  MaskedMatrix& operator=(const Matrix& a);
+  /// C[M] = s: constant assign over all indices.
+  MaskedMatrix& operator=(double s);
+  MaskedMatrix& operator=(Scalar s);
+
+  /// C[M] += <expr>: accumulate with the context accumulator (falling back
+  /// to the context monoid/semiring-add, as in SSSP Fig. 4a).
+  MaskedMatrix& operator+=(const MatrixExpr& expr);
+  MaskedMatrix& operator+=(const Matrix& a);
+
+  /// C[M](rows, cols) = ... — masked indexed assignment.
+  SubMatrixRef operator()(const Slice& rows, const Slice& cols);
+
+  const Matrix& target() const noexcept { return target_; }
+  const MatrixMaskArg& mask() const noexcept { return mask_; }
+
+ private:
+  Matrix target_;
+  MatrixMaskArg mask_;
+};
+
+class MaskedVector {
+ public:
+  MaskedVector(Vector target, VectorMaskArg mask)
+      : target_(std::move(target)), mask_(std::move(mask)) {}
+
+  MaskedVector& operator=(const VectorExpr& expr);
+  MaskedVector& operator=(const Vector& u);
+  MaskedVector& operator=(double s);
+  MaskedVector& operator=(Scalar s);
+  MaskedVector& operator+=(const VectorExpr& expr);
+  MaskedVector& operator+=(const Vector& u);
+
+  SubVectorRef operator[](const Slice& idx);
+
+  const Vector& target() const noexcept { return target_; }
+  const VectorMaskArg& mask() const noexcept { return mask_; }
+
+ private:
+  Vector target_;
+  VectorMaskArg mask_;
+};
+
+/// C(rows, cols), optionally masked — a target for assign and a source for
+/// extract (implicit conversion to an expression evaluates the extract).
+class SubMatrixRef {
+ public:
+  SubMatrixRef(Matrix target, MatrixMaskArg mask, Slice rows, Slice cols)
+      : target_(std::move(target)), mask_(std::move(mask)),
+        rows_(rows), cols_(cols) {}
+  SubMatrixRef(Matrix target, MatrixMaskArg mask, gbtl::IndexArray rows,
+               gbtl::IndexArray cols)
+      : target_(std::move(target)), mask_(std::move(mask)),
+        rows_(Slice::all()), cols_(Slice::all()),
+        row_idx_(std::move(rows)), col_idx_(std::move(cols)) {}
+
+  SubMatrixRef& operator=(const Matrix& a);
+  SubMatrixRef& operator=(const MatrixExpr& expr);
+  SubMatrixRef& operator=(double s);
+  SubMatrixRef& operator=(Scalar s);
+  SubMatrixRef& operator+=(const Matrix& a);
+
+  /// Extract: Matrix sub = A(rows, cols);
+  Matrix extract() const;
+  operator Matrix() const { return extract(); }  // NOLINT(google-explicit-constructor)
+
+  gbtl::IndexArray resolved_rows() const;
+  gbtl::IndexArray resolved_cols() const;
+  const Matrix& target() const noexcept { return target_; }
+  const MatrixMaskArg& mask() const noexcept { return mask_; }
+
+ private:
+  Matrix target_;
+  MatrixMaskArg mask_;
+  Slice rows_;
+  Slice cols_;
+  std::optional<gbtl::IndexArray> row_idx_;
+  std::optional<gbtl::IndexArray> col_idx_;
+};
+
+class SubVectorRef {
+ public:
+  SubVectorRef(Vector target, VectorMaskArg mask, Slice idx)
+      : target_(std::move(target)), mask_(std::move(mask)), idx_(idx) {}
+  SubVectorRef(Vector target, VectorMaskArg mask, gbtl::IndexArray idx)
+      : target_(std::move(target)), mask_(std::move(mask)),
+        idx_(Slice::all()), idx_arr_(std::move(idx)) {}
+
+  SubVectorRef& operator=(const Vector& u);
+  SubVectorRef& operator=(const VectorExpr& expr);
+  SubVectorRef& operator=(double s);
+  SubVectorRef& operator=(Scalar s);
+  SubVectorRef& operator+=(const Vector& u);
+
+  Vector extract() const;
+  operator Vector() const { return extract(); }  // NOLINT(google-explicit-constructor)
+
+  gbtl::IndexArray resolved_indices() const;
+  const Vector& target() const noexcept { return target_; }
+  const VectorMaskArg& mask() const noexcept { return mask_; }
+
+ private:
+  Vector target_;
+  VectorMaskArg mask_;
+  Slice idx_;
+  std::optional<gbtl::IndexArray> idx_arr_;
+};
+
+// ---------------------------------------------------------------------------
+// Template member definitions.
+// ---------------------------------------------------------------------------
+
+template <typename VT>
+void Matrix::build_from(const gbtl::IndexArray& rows,
+                        const gbtl::IndexArray& cols,
+                        const std::vector<VT>& vals) {
+  visit_dtype(dtype_, [&](auto tag) {
+    using U = typename decltype(tag)::type;
+    std::vector<U> cast(vals.begin(), vals.end());
+    static_cast<gbtl::Matrix<U>*>(impl_.get())->build(rows, cols, cast);
+  });
+}
+
+template <typename VT>
+void Vector::build_from(const gbtl::IndexArray& idx,
+                        const std::vector<VT>& vals) {
+  visit_dtype(dtype_, [&](auto tag) {
+    using U = typename decltype(tag)::type;
+    std::vector<U> cast(vals.begin(), vals.end());
+    static_cast<gbtl::Vector<U>*>(impl_.get())->build(idx, cast);
+  });
+}
+
+}  // namespace pygb

@@ -1,0 +1,121 @@
+#include "pygb/context.hpp"
+
+namespace pygb {
+
+namespace detail {
+
+std::vector<ContextEntry>& context_stack() {
+  thread_local std::vector<ContextEntry> stack;
+  return stack;
+}
+
+}  // namespace detail
+
+namespace {
+
+/// Search the stack innermost-first, returning the first entry `f` accepts.
+template <typename T, typename F>
+std::optional<T> find_innermost(F&& f) {
+  const auto& stack = detail::context_stack();
+  for (auto it = stack.rbegin(); it != stack.rend(); ++it) {
+    if (auto r = f(*it)) return r;
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+Semiring current_semiring() {
+  auto r = find_innermost<Semiring>(
+      [](const detail::ContextEntry& e) -> std::optional<Semiring> {
+        if (const auto* sr = std::get_if<Semiring>(&e)) return *sr;
+        return std::nullopt;
+      });
+  return r.value_or(ArithmeticSemiring());
+}
+
+BinaryOp current_add_op() {
+  auto r = find_innermost<BinaryOp>(
+      [](const detail::ContextEntry& e) -> std::optional<BinaryOp> {
+        if (const auto* op = std::get_if<BinaryOp>(&e)) return *op;
+        if (const auto* m = std::get_if<Monoid>(&e)) return m->op();
+        if (const auto* sr = std::get_if<Semiring>(&e)) return sr->add().op();
+        return std::nullopt;
+      });
+  return r.value_or(BinaryOp("Plus"));
+}
+
+BinaryOp current_mult_op() {
+  auto r = find_innermost<BinaryOp>(
+      [](const detail::ContextEntry& e) -> std::optional<BinaryOp> {
+        if (const auto* op = std::get_if<BinaryOp>(&e)) return *op;
+        if (const auto* m = std::get_if<Monoid>(&e)) return m->op();
+        if (const auto* sr = std::get_if<Semiring>(&e)) return sr->mult();
+        return std::nullopt;
+      });
+  return r.value_or(BinaryOp("Times"));
+}
+
+Monoid current_monoid() {
+  auto r = find_innermost<Monoid>(
+      [](const detail::ContextEntry& e) -> std::optional<Monoid> {
+        if (const auto* m = std::get_if<Monoid>(&e)) return *m;
+        if (const auto* sr = std::get_if<Semiring>(&e)) return sr->add();
+        if (const auto* op = std::get_if<BinaryOp>(&e)) {
+          // A bare BinaryOp matches when it has a canonical identity.
+          try {
+            return Monoid(*op);
+          } catch (const std::invalid_argument&) {
+            return std::nullopt;
+          }
+        }
+        return std::nullopt;
+      });
+  return r.value_or(PlusMonoid());
+}
+
+UnaryOp current_unary_op() {
+  auto r = find_innermost<UnaryOp>(
+      [](const detail::ContextEntry& e) -> std::optional<UnaryOp> {
+        if (const auto* f = std::get_if<UnaryOp>(&e)) return *f;
+        return std::nullopt;
+      });
+  return r.value_or(UnaryOp(UnaryOpName::kIdentity));
+}
+
+std::optional<Accumulator> current_accumulator() {
+  // Two passes: an explicit Accumulator anywhere in scope always beats the
+  // monoid/semiring fallback — in Fig. 7's
+  // `with gb.Accumulator("Second"), gb.Semiring(...)` both live in the
+  // same block and the explicit accumulator must govern `+=`.
+  auto explicit_acc = find_innermost<Accumulator>(
+      [](const detail::ContextEntry& e) -> std::optional<Accumulator> {
+        if (const auto* a = std::get_if<Accumulator>(&e)) return *a;
+        return std::nullopt;
+      });
+  if (explicit_acc) return explicit_acc;
+  return find_innermost<Accumulator>(
+      [](const detail::ContextEntry& e) -> std::optional<Accumulator> {
+        if (const auto* m = std::get_if<Monoid>(&e)) {
+          return Accumulator(m->op());
+        }
+        if (const auto* sr = std::get_if<Semiring>(&e)) {
+          return Accumulator(sr->add().op());
+        }
+        return std::nullopt;
+      });
+}
+
+bool current_replace() {
+  auto r = find_innermost<bool>(
+      [](const detail::ContextEntry& e) -> std::optional<bool> {
+        if (std::holds_alternative<ReplaceToken>(e)) return true;
+        if (std::holds_alternative<MergeToken>(e)) return false;
+        return std::nullopt;
+      });
+  return r.value_or(false);
+}
+
+std::size_t context_depth() { return detail::context_stack().size(); }
+
+}  // namespace pygb

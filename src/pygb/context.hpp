@@ -1,0 +1,104 @@
+// pygb/context.hpp — the `with` block of PyGB: a thread-local stack of
+// operator objects from which operations infer their semiring, monoid,
+// binary/unary op, accumulator, and replace flag. An operation uses the
+// entry with the highest precedence, i.e. the most deeply nested enclosing
+// block with a matching operator kind — exactly the search the paper
+// describes for `__add__` ("finds the BinaryOp, Monoid or Semiring object
+// nearest to its scope").
+//
+// C++ has no `with` statement; the RAII guard `With` pushes its arguments
+// for the lifetime of a scope:
+//
+//   {
+//     pygb::With ctx(pygb::MinPlusSemiring(), pygb::Accumulator("Min"));
+//     path[pygb::None] += matmul(graph.T(), path);
+//   }  // operators popped here
+#pragma once
+
+#include <optional>
+#include <variant>
+#include <vector>
+
+#include "pygb/operators.hpp"
+
+namespace pygb {
+
+/// Token enabling replace semantics for operations in scope
+/// (`with gb.Replace:` in PyGB).
+struct ReplaceToken {};
+inline constexpr ReplaceToken Replace{};
+
+/// Token restoring merge semantics in a nested scope.
+struct MergeToken {};
+inline constexpr MergeToken Merge{};
+
+namespace detail {
+
+using ContextEntry = std::variant<BinaryOp, UnaryOp, Monoid, Semiring,
+                                  Accumulator, ReplaceToken, MergeToken>;
+
+/// The thread-local operator stack. Exposed for white-box tests; user code
+/// interacts through `With` and the resolution helpers below.
+std::vector<ContextEntry>& context_stack();
+
+}  // namespace detail
+
+/// RAII guard: pushes every argument onto the operator stack in order,
+/// pops them on destruction. Non-copyable, non-movable — tie it to a scope.
+class With {
+ public:
+  template <typename... Entries>
+  explicit With(Entries&&... entries) : pushed_(sizeof...(entries)) {
+    (detail::context_stack().emplace_back(std::forward<Entries>(entries)),
+     ...);
+  }
+  ~With() {
+    auto& stack = detail::context_stack();
+    for (std::size_t k = 0; k < pushed_; ++k) stack.pop_back();
+  }
+  With(const With&) = delete;
+  With& operator=(const With&) = delete;
+
+ private:
+  std::size_t pushed_;
+};
+
+// ---------------------------------------------------------------------------
+// Resolution. Each returns the innermost matching entry, or the documented
+// default when the stack holds none (GraphBLAS-conventional defaults so a
+// bare quickstart works without any context).
+// ---------------------------------------------------------------------------
+
+/// For mxm/mxv/vxm: innermost Semiring; a Monoid also satisfies the search
+/// (paired with its own op as multiply is NOT implied — instead the monoid's
+/// op is used as ⊗ with the canonical add, which is rarely wanted), so only
+/// Semiring entries match. Default: ArithmeticSemiring.
+Semiring current_semiring();
+
+/// For eWiseAdd (`A + B`): innermost BinaryOp, Monoid (its op), or Semiring
+/// (its add-monoid op). Default: Plus.
+BinaryOp current_add_op();
+
+/// For eWiseMult (`A * B`): innermost BinaryOp, Monoid (its op), or
+/// Semiring (its ⊗ op). Default: Times.
+BinaryOp current_mult_op();
+
+/// For reduce: innermost Monoid or Semiring (its add monoid). A bare
+/// BinaryOp with a canonical identity also matches. Default: PlusMonoid.
+Monoid current_monoid();
+
+/// For apply: innermost UnaryOp. Default: Identity.
+UnaryOp current_unary_op();
+
+/// For `+=` accumulation: innermost Accumulator; falls back to the
+/// innermost Monoid/Semiring add op (the paper's MinPlusSemiring → Min
+/// fallback); nullopt when nothing in scope provides one.
+std::optional<Accumulator> current_accumulator();
+
+/// Innermost Replace/Merge token; defaults to merge (false).
+bool current_replace();
+
+/// Number of entries currently in scope (for tests and diagnostics).
+std::size_t context_depth();
+
+}  // namespace pygb

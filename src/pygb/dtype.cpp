@@ -1,0 +1,84 @@
+#include "pygb/dtype.hpp"
+
+#include <array>
+#include <sstream>
+
+namespace pygb {
+
+namespace {
+
+struct DTypeInfo {
+  const char* cpp;
+  const char* display;
+  std::size_t size;
+  bool floating;
+  bool is_signed;
+};
+
+constexpr std::array<DTypeInfo, kNumDTypes> kInfo = {{
+    {"bool", "bool", 1, false, false},
+    {"int8_t", "i8", 1, false, true},
+    {"int16_t", "i16", 2, false, true},
+    {"int32_t", "i32", 4, false, true},
+    {"int64_t", "i64", 8, false, true},
+    {"uint8_t", "u8", 1, false, false},
+    {"uint16_t", "u16", 2, false, false},
+    {"uint32_t", "u32", 4, false, false},
+    {"uint64_t", "u64", 8, false, false},
+    {"float", "f32", 4, true, true},
+    {"double", "f64", 8, true, true},
+}};
+
+const DTypeInfo& info(DType dt) { return kInfo[static_cast<std::size_t>(dt)]; }
+
+}  // namespace
+
+const char* cpp_name(DType dt) { return info(dt).cpp; }
+const char* display_name(DType dt) { return info(dt).display; }
+std::size_t size_of(DType dt) { return info(dt).size; }
+bool is_floating(DType dt) { return info(dt).floating; }
+bool is_signed(DType dt) { return info(dt).is_signed; }
+
+DType parse_dtype(const std::string& name) {
+  for (int k = 0; k < kNumDTypes; ++k) {
+    const auto dt = static_cast<DType>(k);
+    if (name == info(dt).cpp || name == info(dt).display) return dt;
+  }
+  // NumPy-style aliases.
+  if (name == "float64") return DType::kFP64;
+  if (name == "float32") return DType::kFP32;
+  if (name == "int") return DType::kInt64;
+  throw std::invalid_argument("pygb: unknown dtype name '" + name + "'");
+}
+
+DType promote(DType a, DType b) {
+  return visit_dtype(a, [&](auto ta) {
+    return visit_dtype(b, [&](auto tb) {
+      using A = typename decltype(ta)::type;
+      using B = typename decltype(tb)::type;
+      if constexpr (std::is_same_v<A, B>) {
+        return dtype_of<A>();
+      } else {
+        // Usual arithmetic conversions: the type of A{} + B{}.
+        using R = decltype(std::declval<A>() + std::declval<B>());
+        return dtype_of<R>();
+      }
+    });
+  });
+}
+
+std::string Scalar::to_string() const {
+  std::ostringstream os;
+  os << display_name(dtype_) << '(';
+  if (is_floating(dtype_)) {
+    os << to_double();
+  } else if (is_signed(dtype_) || dtype_ == DType::kBool) {
+    os << to_int64();
+  } else {
+    os << as<std::uint64_t>();
+  }
+  os << ')';
+  return os.str();
+}
+
+}  // namespace pygb

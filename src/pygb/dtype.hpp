@@ -1,0 +1,154 @@
+// pygb/dtype.hpp — the DSL's runtime type system: the 11 GraphBLAS plain
+// old data types (NumPy dtype analog), C++ usual-arithmetic-conversion
+// promotion rules, and a visitor that dispatches a callable over the
+// concrete C++ type for a runtime tag.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <type_traits>
+
+namespace pygb {
+
+/// Runtime scalar type tag — one per GraphBLAS POD type. The DSL falls back
+/// to Int64/FP64 (Python's native int/float widths) when the user does not
+/// specify a dtype at construction.
+enum class DType : std::uint8_t {
+  kBool,
+  kInt8,
+  kInt16,
+  kInt32,
+  kInt64,
+  kUInt8,
+  kUInt16,
+  kUInt32,
+  kUInt64,
+  kFP32,
+  kFP64,
+};
+
+inline constexpr int kNumDTypes = 11;
+
+/// C++ spelling of the type (used verbatim by the JIT code generator).
+const char* cpp_name(DType dt);
+
+/// Short display name ("bool", "i8", ..., "f64").
+const char* display_name(DType dt);
+
+/// Parse a display or C++ name back to a tag; throws on unknown names.
+DType parse_dtype(const std::string& name);
+
+std::size_t size_of(DType dt);
+bool is_floating(DType dt);
+bool is_signed(DType dt);
+
+/// Result type of combining two operands, following C++'s usual arithmetic
+/// conversions (std::common_type) — the paper's "upcast ... according to
+/// C++'s upcasting rules".
+DType promote(DType a, DType b);
+
+/// Marker passed to dtype visitors carrying the concrete type.
+template <typename T>
+struct TypeTag {
+  using type = T;
+};
+
+/// Compile-time map from C++ type to runtime tag.
+template <typename T>
+constexpr DType dtype_of() {
+  if constexpr (std::is_same_v<T, bool>) return DType::kBool;
+  else if constexpr (std::is_same_v<T, std::int8_t>) return DType::kInt8;
+  else if constexpr (std::is_same_v<T, std::int16_t>) return DType::kInt16;
+  else if constexpr (std::is_same_v<T, std::int32_t>) return DType::kInt32;
+  else if constexpr (std::is_same_v<T, std::int64_t>) return DType::kInt64;
+  else if constexpr (std::is_same_v<T, std::uint8_t>) return DType::kUInt8;
+  else if constexpr (std::is_same_v<T, std::uint16_t>) return DType::kUInt16;
+  else if constexpr (std::is_same_v<T, std::uint32_t>) return DType::kUInt32;
+  else if constexpr (std::is_same_v<T, std::uint64_t>) return DType::kUInt64;
+  else if constexpr (std::is_same_v<T, float>) return DType::kFP32;
+  else if constexpr (std::is_same_v<T, double>) return DType::kFP64;
+  else static_assert(!sizeof(T*), "type is not a GraphBLAS POD type");
+}
+
+/// Invoke f(TypeTag<T>{}) with the concrete C++ type for the runtime tag.
+template <typename F>
+decltype(auto) visit_dtype(DType dt, F&& f) {
+  switch (dt) {
+    case DType::kBool: return f(TypeTag<bool>{});
+    case DType::kInt8: return f(TypeTag<std::int8_t>{});
+    case DType::kInt16: return f(TypeTag<std::int16_t>{});
+    case DType::kInt32: return f(TypeTag<std::int32_t>{});
+    case DType::kInt64: return f(TypeTag<std::int64_t>{});
+    case DType::kUInt8: return f(TypeTag<std::uint8_t>{});
+    case DType::kUInt16: return f(TypeTag<std::uint16_t>{});
+    case DType::kUInt32: return f(TypeTag<std::uint32_t>{});
+    case DType::kUInt64: return f(TypeTag<std::uint64_t>{});
+    case DType::kFP32: return f(TypeTag<float>{});
+    case DType::kFP64: return f(TypeTag<double>{});
+  }
+  throw std::logic_error("visit_dtype: corrupt DType tag");
+}
+
+/// A type-erased scalar value paired with its runtime type — the return of
+/// reduce-to-scalar and the representation of bound constants. Values are
+/// stored exactly (signed / unsigned / floating channel per tag).
+class Scalar {
+ public:
+  Scalar() : dtype_(DType::kFP64) { storage_.f = 0.0; }
+
+  template <typename T>
+    requires std::is_arithmetic_v<T>
+  explicit Scalar(T v) : dtype_(dtype_of<T>()) {
+    if constexpr (std::is_floating_point_v<T>) {
+      storage_.f = static_cast<double>(v);
+    } else if constexpr (std::is_signed_v<T> || std::is_same_v<T, bool>) {
+      storage_.i = static_cast<std::int64_t>(v);
+    } else {
+      storage_.u = static_cast<std::uint64_t>(v);
+    }
+  }
+
+  /// Construct with an explicit tag (value converted to that type).
+  template <typename T>
+    requires std::is_arithmetic_v<T>
+  Scalar(T v, DType dt) : dtype_(dt) {
+    visit_dtype(dt, [&](auto tag) {
+      using U = typename decltype(tag)::type;
+      *this = Scalar(static_cast<U>(v));
+      dtype_ = dt;
+    });
+  }
+
+  DType dtype() const noexcept { return dtype_; }
+
+  /// Convert the stored value to T (value-preserving where representable).
+  template <typename T>
+  T as() const {
+    if (is_floating(dtype_)) return static_cast<T>(storage_.f);
+    if (is_signed(dtype_) || dtype_ == DType::kBool) {
+      return static_cast<T>(storage_.i);
+    }
+    return static_cast<T>(storage_.u);
+  }
+
+  double to_double() const { return as<double>(); }
+  std::int64_t to_int64() const { return as<std::int64_t>(); }
+
+  friend bool operator==(const Scalar& a, const Scalar& b) {
+    return a.dtype_ == b.dtype_ && a.to_double() == b.to_double() &&
+           a.to_int64() == b.to_int64();
+  }
+
+  std::string to_string() const;
+
+ private:
+  DType dtype_;
+  union {
+    double f;
+    std::int64_t i;
+    std::uint64_t u;
+  } storage_;
+};
+
+}  // namespace pygb

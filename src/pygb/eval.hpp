@@ -1,0 +1,59 @@
+// pygb/eval.hpp — internal evaluation entry points: expression node →
+// OpRequest → registry kernel → invocation. Used by the assignment proxies
+// and expression terminals; exposed (under detail) for white-box tests.
+#pragma once
+
+#include <optional>
+
+#include "pygb/container.hpp"
+#include "pygb/expr.hpp"
+
+namespace pygb::detail {
+
+/// Evaluate `node` into `target` under mask/accumulator/replace.
+void eval_into(Matrix& target, const MatrixMaskArg& mask,
+               const std::optional<Accumulator>& accum, bool replace,
+               const ExprNode& node);
+void eval_into(Vector& target, const VectorMaskArg& mask,
+               const std::optional<Accumulator>& accum, bool replace,
+               const ExprNode& node);
+
+/// Constant and container assignment over an index region (null = all).
+void assign_constant(Matrix& target, const MatrixMaskArg& mask,
+                     const std::optional<Accumulator>& accum, bool replace,
+                     Scalar value, const gbtl::IndexArray* rows,
+                     const gbtl::IndexArray* cols);
+void assign_container(Matrix& target, const MatrixMaskArg& mask,
+                      const std::optional<Accumulator>& accum, bool replace,
+                      const Matrix& a, const gbtl::IndexArray* rows,
+                      const gbtl::IndexArray* cols);
+void assign_constant(Vector& target, const VectorMaskArg& mask,
+                     const std::optional<Accumulator>& accum, bool replace,
+                     Scalar value, const gbtl::IndexArray* idx);
+void assign_container(Vector& target, const VectorMaskArg& mask,
+                      const std::optional<Accumulator>& accum, bool replace,
+                      const Vector& u, const gbtl::IndexArray* idx);
+
+/// Extract A(rows, cols) into a fresh container of A's dtype.
+Matrix extract_sub(const Matrix& a, const gbtl::IndexArray* rows,
+                   const gbtl::IndexArray* cols, gbtl::IndexType out_rows,
+                   gbtl::IndexType out_cols);
+Vector extract_sub(const Vector& u, const gbtl::IndexArray* idx,
+                   gbtl::IndexType out_size);
+
+/// Full reductions (immediate).
+Scalar reduce_scalar(const Matrix& a, const Monoid& monoid);
+Scalar reduce_scalar(const Vector& u, const Monoid& monoid);
+
+/// Whole-algorithm dispatch (the Fig. 10 middle series): one registry
+/// lookup + one kernel call runs the entire native algorithm.
+gbtl::IndexType dispatch_algo_bfs(const Matrix& graph,
+                                  const Vector& frontier, Vector& levels);
+void dispatch_algo_sssp(const Matrix& graph, Vector& path);
+unsigned dispatch_algo_pagerank(const Matrix& graph, Vector& rank,
+                                double damping, double threshold,
+                                unsigned max_iters);
+Scalar dispatch_algo_tc(const Matrix& lower);
+gbtl::IndexType dispatch_algo_cc(const Matrix& graph, Vector& labels);
+
+}  // namespace pygb::detail

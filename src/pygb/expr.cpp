@@ -1,0 +1,312 @@
+#include "pygb/expr.hpp"
+
+#include <stdexcept>
+
+#include "pygb/eval.hpp"
+
+namespace pygb {
+
+namespace detail {
+
+DType ExprNode::result_dtype() const {
+  switch (kind) {
+    case Kind::kMxM:
+    case Kind::kEWiseAddMM:
+    case Kind::kEWiseMultMM:
+      return promote(ma->dtype(), mb->dtype());
+    case Kind::kMxV:
+      return promote(ma->dtype(), vb->dtype());
+    case Kind::kVxM:
+      return promote(va->dtype(), mb->dtype());
+    case Kind::kEWiseAddVV:
+    case Kind::kEWiseMultVV:
+      return promote(va->dtype(), vb->dtype());
+    case Kind::kApplyM:
+    case Kind::kMatrixRef:
+    case Kind::kTransposeM:
+    case Kind::kReduceMV:
+      return ma->dtype();
+    case Kind::kApplyV:
+    case Kind::kVectorRef:
+      return va->dtype();
+  }
+  throw std::logic_error("pygb: corrupt expression node kind");
+}
+
+gbtl::IndexType ExprNode::result_nrows() const {
+  auto mat_rows = [](const Matrix& m, bool t) {
+    return t ? m.ncols() : m.nrows();
+  };
+  switch (kind) {
+    case Kind::kMxM:
+      return mat_rows(*ma, a_transposed);
+    case Kind::kEWiseAddMM:
+    case Kind::kEWiseMultMM:
+    case Kind::kMatrixRef:
+      return mat_rows(*ma, a_transposed);
+    case Kind::kApplyM:
+      return mat_rows(*ma, a_transposed);
+    case Kind::kTransposeM:
+      return a_transposed ? ma->nrows() : ma->ncols();
+    case Kind::kMxV:
+    case Kind::kReduceMV:
+      return mat_rows(*ma, a_transposed);
+    case Kind::kVxM:
+      return b_transposed ? mb->nrows() : mb->ncols();
+    case Kind::kEWiseAddVV:
+    case Kind::kEWiseMultVV:
+    case Kind::kApplyV:
+    case Kind::kVectorRef:
+      return va->size();
+  }
+  throw std::logic_error("pygb: corrupt expression node kind");
+}
+
+gbtl::IndexType ExprNode::result_ncols() const {
+  auto mat_cols = [](const Matrix& m, bool t) {
+    return t ? m.nrows() : m.ncols();
+  };
+  switch (kind) {
+    case Kind::kMxM:
+      return mat_cols(*mb, b_transposed);
+    case Kind::kEWiseAddMM:
+    case Kind::kEWiseMultMM:
+    case Kind::kMatrixRef:
+    case Kind::kApplyM:
+      return mat_cols(*ma, a_transposed);
+    case Kind::kTransposeM:
+      return a_transposed ? ma->ncols() : ma->nrows();
+    default:
+      throw std::logic_error("pygb: result_ncols on a vector expression");
+  }
+}
+
+namespace {
+
+std::shared_ptr<const ExprNode> make_node(ExprNode&& node) {
+  return std::make_shared<const ExprNode>(std::move(node));
+}
+
+}  // namespace
+
+}  // namespace detail
+
+using detail::ExprNode;
+
+// ---------------------------------------------------------------------------
+// matmul — captures the context semiring (Fig. 9 "expression construction").
+// ---------------------------------------------------------------------------
+
+namespace {
+
+MatrixExpr make_mxm(const Matrix& a, bool at, const Matrix& b, bool bt) {
+  ExprNode n{ExprNode::Kind::kMxM};
+  n.ma = a;
+  n.mb = b;
+  n.a_transposed = at;
+  n.b_transposed = bt;
+  n.semiring = current_semiring();
+  return MatrixExpr(detail::make_node(std::move(n)));
+}
+
+VectorExpr make_mxv(const Matrix& a, bool at, const Vector& u) {
+  ExprNode n{ExprNode::Kind::kMxV};
+  n.ma = a;
+  n.vb = u;
+  n.a_transposed = at;
+  n.semiring = current_semiring();
+  return VectorExpr(detail::make_node(std::move(n)));
+}
+
+VectorExpr make_vxm(const Vector& u, const Matrix& a, bool bt) {
+  ExprNode n{ExprNode::Kind::kVxM};
+  n.va = u;
+  n.mb = a;
+  n.b_transposed = bt;
+  n.semiring = current_semiring();
+  return VectorExpr(detail::make_node(std::move(n)));
+}
+
+MatrixExpr make_ewise_mm(const Matrix& a, const Matrix& b, bool is_add) {
+  ExprNode n{is_add ? ExprNode::Kind::kEWiseAddMM
+                    : ExprNode::Kind::kEWiseMultMM};
+  n.ma = a;
+  n.mb = b;
+  n.binary_op = is_add ? current_add_op() : current_mult_op();
+  return MatrixExpr(detail::make_node(std::move(n)));
+}
+
+VectorExpr make_ewise_vv(const Vector& u, const Vector& v, bool is_add) {
+  ExprNode n{is_add ? ExprNode::Kind::kEWiseAddVV
+                    : ExprNode::Kind::kEWiseMultVV};
+  n.va = u;
+  n.vb = v;
+  n.binary_op = is_add ? current_add_op() : current_mult_op();
+  return VectorExpr(detail::make_node(std::move(n)));
+}
+
+}  // namespace
+
+MatrixExpr matmul(const Matrix& a, const Matrix& b) {
+  return make_mxm(a, false, b, false);
+}
+MatrixExpr matmul(const TransposedMatrix& a, const Matrix& b) {
+  return make_mxm(a.base(), true, b, false);
+}
+MatrixExpr matmul(const Matrix& a, const TransposedMatrix& b) {
+  return make_mxm(a, false, b.base(), true);
+}
+MatrixExpr matmul(const TransposedMatrix& a, const TransposedMatrix& b) {
+  return make_mxm(a.base(), true, b.base(), true);
+}
+
+VectorExpr matmul(const Matrix& a, const Vector& u) {
+  return make_mxv(a, false, u);
+}
+VectorExpr matmul(const TransposedMatrix& a, const Vector& u) {
+  return make_mxv(a.base(), true, u);
+}
+VectorExpr matmul(const Vector& u, const Matrix& a) {
+  return make_vxm(u, a, false);
+}
+VectorExpr matmul(const Vector& u, const TransposedMatrix& a) {
+  return make_vxm(u, a.base(), true);
+}
+
+MatrixExpr operator+(const Matrix& a, const Matrix& b) {
+  return make_ewise_mm(a, b, true);
+}
+VectorExpr operator+(const Vector& u, const Vector& v) {
+  return make_ewise_vv(u, v, true);
+}
+MatrixExpr operator*(const Matrix& a, const Matrix& b) {
+  return make_ewise_mm(a, b, false);
+}
+VectorExpr operator*(const Vector& u, const Vector& v) {
+  return make_ewise_vv(u, v, false);
+}
+
+MatrixExpr apply(const Matrix& a) { return apply(a, current_unary_op()); }
+MatrixExpr apply(const Matrix& a, const UnaryOp& op) {
+  ExprNode n{ExprNode::Kind::kApplyM};
+  n.ma = a;
+  n.unary_op = op;
+  return MatrixExpr(detail::make_node(std::move(n)));
+}
+VectorExpr apply(const Vector& u) { return apply(u, current_unary_op()); }
+VectorExpr apply(const Vector& u, const UnaryOp& op) {
+  ExprNode n{ExprNode::Kind::kApplyV};
+  n.va = u;
+  n.unary_op = op;
+  return VectorExpr(detail::make_node(std::move(n)));
+}
+
+Scalar reduce(const Matrix& a) { return reduce(a, current_monoid()); }
+Scalar reduce(const Matrix& a, const Monoid& monoid) {
+  return detail::reduce_scalar(a, monoid);
+}
+Scalar reduce(const Vector& u) { return reduce(u, current_monoid()); }
+Scalar reduce(const Vector& u, const Monoid& monoid) {
+  return detail::reduce_scalar(u, monoid);
+}
+
+VectorExpr reduce_rows(const Matrix& a) {
+  return reduce_rows(a, current_monoid());
+}
+VectorExpr reduce_rows(const Matrix& a, const Monoid& monoid) {
+  ExprNode n{ExprNode::Kind::kReduceMV};
+  n.ma = a;
+  n.monoid = monoid;
+  return VectorExpr(detail::make_node(std::move(n)));
+}
+
+MatrixExpr ewise_add(const Matrix& a, const Matrix& b,
+                     const UserBinaryOp& op) {
+  ExprNode n{ExprNode::Kind::kEWiseAddMM};
+  n.ma = a;
+  n.mb = b;
+  n.user_binary = op;
+  return MatrixExpr(detail::make_node(std::move(n)));
+}
+
+MatrixExpr ewise_mult(const Matrix& a, const Matrix& b,
+                      const UserBinaryOp& op) {
+  ExprNode n{ExprNode::Kind::kEWiseMultMM};
+  n.ma = a;
+  n.mb = b;
+  n.user_binary = op;
+  return MatrixExpr(detail::make_node(std::move(n)));
+}
+
+VectorExpr ewise_add(const Vector& u, const Vector& v,
+                     const UserBinaryOp& op) {
+  ExprNode n{ExprNode::Kind::kEWiseAddVV};
+  n.va = u;
+  n.vb = v;
+  n.user_binary = op;
+  return VectorExpr(detail::make_node(std::move(n)));
+}
+
+VectorExpr ewise_mult(const Vector& u, const Vector& v,
+                      const UserBinaryOp& op) {
+  ExprNode n{ExprNode::Kind::kEWiseMultVV};
+  n.va = u;
+  n.vb = v;
+  n.user_binary = op;
+  return VectorExpr(detail::make_node(std::move(n)));
+}
+
+MatrixExpr apply(const Matrix& a, const UserUnaryOp& op) {
+  ExprNode n{ExprNode::Kind::kApplyM};
+  n.ma = a;
+  n.user_unary = op;
+  return MatrixExpr(detail::make_node(std::move(n)));
+}
+
+VectorExpr apply(const Vector& u, const UserUnaryOp& op) {
+  ExprNode n{ExprNode::Kind::kApplyV};
+  n.va = u;
+  n.user_unary = op;
+  return VectorExpr(detail::make_node(std::move(n)));
+}
+
+MatrixExpr transposed(const Matrix& a) {
+  ExprNode n{ExprNode::Kind::kTransposeM};
+  n.ma = a;
+  return MatrixExpr(detail::make_node(std::move(n)));
+}
+MatrixExpr transposed(const TransposedMatrix& a) {
+  ExprNode n{ExprNode::Kind::kTransposeM};
+  n.ma = a.base();
+  n.a_transposed = true;  // transpose of a transpose: plain copy
+  return MatrixExpr(detail::make_node(std::move(n)));
+}
+
+// ---------------------------------------------------------------------------
+// Terminal evaluation.
+// ---------------------------------------------------------------------------
+
+Matrix MatrixExpr::eval() const {
+  Matrix out(node_->result_nrows(), node_->result_ncols(),
+             node_->result_dtype());
+  detail::eval_into(out, MatrixMaskArg{}, std::nullopt, false, *node_);
+  return out;
+}
+
+Vector VectorExpr::eval() const {
+  Vector out(node_->result_nrows(), node_->result_dtype());
+  detail::eval_into(out, VectorMaskArg{}, std::nullopt, false, *node_);
+  return out;
+}
+
+Matrix& Matrix::operator=(const MatrixExpr& expr) {
+  *this = expr.eval();  // Python rebinding: the handle points at new data
+  return *this;
+}
+
+Vector& Vector::operator=(const VectorExpr& expr) {
+  *this = expr.eval();
+  return *this;
+}
+
+}  // namespace pygb

@@ -1,0 +1,202 @@
+// pygb/expr.hpp — deferred expression objects (§IV "deferred operator
+// evaluation"). Building `matmul(A, B)` or `A + B` performs NO work: it
+// captures the operands and the operator resolved from the enclosing
+// context (the with-block capture the paper describes) into a runtime
+// expression node. The node is evaluated — through the dispatch/JIT layer —
+// when a terminating operation consumes it: assignment into a (masked /
+// indexed) target, materialization via eval(), or use as an operand of
+// another expression.
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "pygb/container.hpp"
+#include "pygb/context.hpp"
+#include "pygb/userops.hpp"
+
+namespace pygb {
+
+namespace detail {
+
+struct ExprNode {
+  enum class Kind : std::uint8_t {
+    kMxM,
+    kMxV,
+    kVxM,
+    kEWiseAddMM,
+    kEWiseAddVV,
+    kEWiseMultMM,
+    kEWiseMultVV,
+    kApplyM,
+    kApplyV,
+    kReduceMV,      ///< row-reduce a matrix into a vector
+    kMatrixRef,     ///< a bare container on the right-hand side
+    kVectorRef,
+    kTransposeM,    ///< A.T used as a value: transpose operation
+  };
+
+  explicit ExprNode(Kind k) : kind(k) {}
+
+  Kind kind;
+
+  // Operands (those that apply to `kind`).
+  std::optional<Matrix> ma;
+  std::optional<Matrix> mb;
+  std::optional<Vector> va;
+  std::optional<Vector> vb;
+  bool a_transposed = false;
+  bool b_transposed = false;
+
+  // Operators captured from the context at construction time.
+  std::optional<Semiring> semiring;
+  std::optional<BinaryOp> binary_op;
+  std::optional<UnaryOp> unary_op;
+  std::optional<Monoid> monoid;
+  // Explicit user-defined operators (§VIII; JIT backend only).
+  std::optional<UserBinaryOp> user_binary;
+  std::optional<UserUnaryOp> user_unary;
+
+  /// Element type the expression produces when no target dictates one
+  /// (C++ usual arithmetic conversions over the operand dtypes).
+  DType result_dtype() const;
+  /// Result shape.
+  gbtl::IndexType result_nrows() const;
+  gbtl::IndexType result_ncols() const;  ///< matrix results only
+};
+
+}  // namespace detail
+
+/// A deferred matrix-valued expression (value-semantic node handle).
+class MatrixExpr {
+ public:
+  explicit MatrixExpr(std::shared_ptr<const detail::ExprNode> node)
+      : node_(std::move(node)) {}
+
+  const detail::ExprNode& node() const { return *node_; }
+
+  /// Terminal evaluation into a fresh container.
+  Matrix eval() const;
+
+ private:
+  std::shared_ptr<const detail::ExprNode> node_;
+};
+
+/// A deferred vector-valued expression.
+class VectorExpr {
+ public:
+  explicit VectorExpr(std::shared_ptr<const detail::ExprNode> node)
+      : node_(std::move(node)) {}
+
+  const detail::ExprNode& node() const { return *node_; }
+
+  Vector eval() const;
+
+ private:
+  std::shared_ptr<const detail::ExprNode> node_;
+};
+
+// ---------------------------------------------------------------------------
+// Expression builders. Each captures its operator from the context stack at
+// construction (current_semiring / current_add_op / ...).
+// ---------------------------------------------------------------------------
+
+/// A @ B — matrix multiply over the context semiring.
+MatrixExpr matmul(const Matrix& a, const Matrix& b);
+MatrixExpr matmul(const TransposedMatrix& a, const Matrix& b);
+MatrixExpr matmul(const Matrix& a, const TransposedMatrix& b);
+MatrixExpr matmul(const TransposedMatrix& a, const TransposedMatrix& b);
+
+/// A @ u / u @ A — matrix-vector and vector-matrix products.
+VectorExpr matmul(const Matrix& a, const Vector& u);
+VectorExpr matmul(const TransposedMatrix& a, const Vector& u);
+VectorExpr matmul(const Vector& u, const Matrix& a);
+VectorExpr matmul(const Vector& u, const TransposedMatrix& a);
+
+/// A + B — eWiseAdd with the context add-role operator.
+MatrixExpr operator+(const Matrix& a, const Matrix& b);
+VectorExpr operator+(const Vector& u, const Vector& v);
+
+/// A * B — eWiseMult with the context mult-role operator.
+MatrixExpr operator*(const Matrix& a, const Matrix& b);
+VectorExpr operator*(const Vector& u, const Vector& v);
+
+/// apply(A) — unary apply with the context unary op (or an explicit one).
+MatrixExpr apply(const Matrix& a);
+MatrixExpr apply(const Matrix& a, const UnaryOp& op);
+VectorExpr apply(const Vector& u);
+VectorExpr apply(const Vector& u, const UnaryOp& op);
+
+/// reduce(A) / reduce(u) — full reduction to a scalar with the context
+/// monoid (Table I "reduce (scalar)"). Evaluates immediately.
+Scalar reduce(const Matrix& a);
+Scalar reduce(const Matrix& a, const Monoid& monoid);
+Scalar reduce(const Vector& u);
+Scalar reduce(const Vector& u, const Monoid& monoid);
+
+/// reduce(monoid, A) — row-wise reduction into a vector (Table I
+/// "reduce (row)"). Deferred.
+VectorExpr reduce_rows(const Matrix& a);
+VectorExpr reduce_rows(const Matrix& a, const Monoid& monoid);
+
+/// transpose(A) as a value: C[M] = transpose(A). (A.T() inside products is
+/// handled without materialization; this is the standalone operation.)
+MatrixExpr transposed(const Matrix& a);
+MatrixExpr transposed(const TransposedMatrix& a);
+
+// ---------------------------------------------------------------------------
+// User-defined operators (§VIII future work, implemented): element-wise and
+// apply operations whose operator body is a C++ expression compiled by the
+// JIT backend. See userops.hpp for the expression contract.
+// ---------------------------------------------------------------------------
+
+MatrixExpr ewise_add(const Matrix& a, const Matrix& b,
+                     const UserBinaryOp& op);
+MatrixExpr ewise_mult(const Matrix& a, const Matrix& b,
+                      const UserBinaryOp& op);
+VectorExpr ewise_add(const Vector& u, const Vector& v,
+                     const UserBinaryOp& op);
+VectorExpr ewise_mult(const Vector& u, const Vector& v,
+                      const UserBinaryOp& op);
+MatrixExpr apply(const Matrix& a, const UserUnaryOp& op);
+VectorExpr apply(const Vector& u, const UserUnaryOp& op);
+
+// ---------------------------------------------------------------------------
+// "Terminating operations": combining an expression with anything forces
+// its evaluation first (§IV). These overloads evaluate and recurse.
+// ---------------------------------------------------------------------------
+
+inline MatrixExpr matmul(const MatrixExpr& a, const Matrix& b) {
+  return matmul(a.eval(), b);
+}
+inline MatrixExpr matmul(const Matrix& a, const MatrixExpr& b) {
+  return matmul(a, b.eval());
+}
+inline MatrixExpr operator+(const MatrixExpr& a, const Matrix& b) {
+  return a.eval() + b;
+}
+inline MatrixExpr operator+(const Matrix& a, const MatrixExpr& b) {
+  return a + b.eval();
+}
+inline MatrixExpr operator*(const MatrixExpr& a, const Matrix& b) {
+  return a.eval() * b;
+}
+inline MatrixExpr operator*(const Matrix& a, const MatrixExpr& b) {
+  return a * b.eval();
+}
+inline VectorExpr operator+(const VectorExpr& a, const Vector& b) {
+  return a.eval() + b;
+}
+inline VectorExpr operator+(const Vector& a, const VectorExpr& b) {
+  return a + b.eval();
+}
+inline VectorExpr operator*(const VectorExpr& a, const Vector& b) {
+  return a.eval() * b;
+}
+inline VectorExpr operator*(const Vector& a, const VectorExpr& b) {
+  return a * b.eval();
+}
+inline Scalar reduce(const MatrixExpr& a) { return reduce(a.eval()); }
+inline Scalar reduce(const VectorExpr& u) { return reduce(u.eval()); }
+
+}  // namespace pygb

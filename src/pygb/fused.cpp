@@ -1,0 +1,247 @@
+#include "pygb/fused.hpp"
+
+#include <stdexcept>
+
+#include "pygb/interp_sim.hpp"
+#include "pygb/jit/registry.hpp"
+
+namespace pygb {
+
+using jit::ChainParam;
+using jit::ChainStatement;
+
+FusedChain::FusedChain(std::string name)
+    : desc_(std::make_shared<jit::FusedChainDesc>()) {
+  detail::validate_identifier(name);
+  desc_->name = std::move(name);
+}
+
+int FusedChain::matrix_param(const std::string& name, DType dtype) {
+  desc_->params.push_back({ChainParam::Kind::kMatrix, dtype, name});
+  return static_cast<int>(desc_->params.size() - 1);
+}
+
+int FusedChain::vector_param(const std::string& name, DType dtype) {
+  desc_->params.push_back({ChainParam::Kind::kVector, dtype, name});
+  return static_cast<int>(desc_->params.size() - 1);
+}
+
+int FusedChain::scalar_param(const std::string& name) {
+  desc_->params.push_back({ChainParam::Kind::kScalar, DType::kFP64, name});
+  return static_cast<int>(desc_->params.size() - 1);
+}
+
+void FusedChain::check_param(int idx, ChainParam::Kind kind,
+                             const char* what) const {
+  if (idx < 0 || idx >= static_cast<int>(desc_->params.size())) {
+    throw std::out_of_range(std::string("pygb: chain parameter index for ") +
+                            what + " out of range");
+  }
+  if (desc_->params[static_cast<std::size_t>(idx)].kind != kind) {
+    throw std::invalid_argument(
+        std::string("pygb: chain parameter kind mismatch for ") + what);
+  }
+}
+
+namespace {
+
+bool is_vector_param(const jit::FusedChainDesc& desc, int idx) {
+  if (idx < 0 || idx >= static_cast<int>(desc.params.size())) {
+    throw std::out_of_range("pygb: chain parameter index out of range");
+  }
+  return desc.params[static_cast<std::size_t>(idx)].kind ==
+         ChainParam::Kind::kVector;
+}
+
+}  // namespace
+
+ChainStatement& FusedChain::new_statement(const char* func, int target,
+                                          int a, int b) {
+  ChainStatement st;
+  st.func = func;
+  st.target = target;
+  st.a = a;
+  st.b = b;
+  desc_->statements.push_back(std::move(st));
+  return desc_->statements.back();
+}
+
+void FusedChain::vxm(int target, int a, int b, const Semiring& sr,
+                     std::optional<Accumulator> accum, bool b_transposed) {
+  check_param(target, ChainParam::Kind::kVector, "vxm target");
+  check_param(a, ChainParam::Kind::kVector, "vxm vector operand");
+  check_param(b, ChainParam::Kind::kMatrix, "vxm matrix operand");
+  auto& st = new_statement(jit::func::kVxM, target, a, b);
+  st.semiring = sr;
+  st.b_transposed = b_transposed;
+  if (accum) st.accum = accum->op();
+}
+
+void FusedChain::mxv(int target, int a, int b, const Semiring& sr,
+                     std::optional<Accumulator> accum, bool a_transposed) {
+  check_param(target, ChainParam::Kind::kVector, "mxv target");
+  check_param(a, ChainParam::Kind::kMatrix, "mxv matrix operand");
+  check_param(b, ChainParam::Kind::kVector, "mxv vector operand");
+  auto& st = new_statement(jit::func::kMxV, target, a, b);
+  st.semiring = sr;
+  st.a_transposed = a_transposed;
+  if (accum) st.accum = accum->op();
+}
+
+void FusedChain::mxm(int target, int a, int b, const Semiring& sr,
+                     bool a_transposed, bool b_transposed) {
+  check_param(target, ChainParam::Kind::kMatrix, "mxm target");
+  check_param(a, ChainParam::Kind::kMatrix, "mxm operand A");
+  check_param(b, ChainParam::Kind::kMatrix, "mxm operand B");
+  auto& st = new_statement(jit::func::kMxM, target, a, b);
+  st.semiring = sr;
+  st.a_transposed = a_transposed;
+  st.b_transposed = b_transposed;
+}
+
+void FusedChain::ewise_add(int target, int a, int b, const BinaryOp& op) {
+  const bool vectors = is_vector_param(*desc_, target);
+  const auto kind =
+      vectors ? ChainParam::Kind::kVector : ChainParam::Kind::kMatrix;
+  check_param(target, kind, "ewise_add target");
+  check_param(a, kind, "ewise_add operand A");
+  check_param(b, kind, "ewise_add operand B");
+  auto& st = new_statement(
+      vectors ? jit::func::kEWiseAddVV : jit::func::kEWiseAddMM, target, a,
+      b);
+  st.binary_op = op;
+}
+
+void FusedChain::ewise_mult(int target, int a, int b, const BinaryOp& op) {
+  const bool vectors = is_vector_param(*desc_, target);
+  const auto kind =
+      vectors ? ChainParam::Kind::kVector : ChainParam::Kind::kMatrix;
+  check_param(target, kind, "ewise_mult target");
+  check_param(a, kind, "ewise_mult operand A");
+  check_param(b, kind, "ewise_mult operand B");
+  auto& st = new_statement(
+      vectors ? jit::func::kEWiseMultVV : jit::func::kEWiseMultMM, target,
+      a, b);
+  st.binary_op = op;
+}
+
+void FusedChain::apply(int target, int a, UnaryOpName f) {
+  const bool vectors = is_vector_param(*desc_, target);
+  const auto kind =
+      vectors ? ChainParam::Kind::kVector : ChainParam::Kind::kMatrix;
+  check_param(target, kind, "apply target");
+  check_param(a, kind, "apply operand");
+  auto& st = new_statement(
+      vectors ? jit::func::kApplyV : jit::func::kApplyM, target, a, -1);
+  st.plain_unary = f;
+}
+
+void FusedChain::apply_bound(int target, int a, const BinaryOp& op,
+                             int scalar_param) {
+  const bool vectors = is_vector_param(*desc_, target);
+  const auto kind =
+      vectors ? ChainParam::Kind::kVector : ChainParam::Kind::kMatrix;
+  check_param(target, kind, "apply_bound target");
+  check_param(a, kind, "apply_bound operand");
+  check_param(scalar_param, ChainParam::Kind::kScalar,
+              "apply_bound scalar");
+  auto& st = new_statement(
+      vectors ? jit::func::kApplyV : jit::func::kApplyM, target, a, -1);
+  st.bound_op = op;
+  st.scalar = scalar_param;
+}
+
+void FusedChain::assign_constant(int target, int scalar_param) {
+  check_param(target, ChainParam::Kind::kVector, "assign_constant target");
+  check_param(scalar_param, ChainParam::Kind::kScalar,
+              "assign_constant scalar");
+  auto& st = new_statement(jit::func::kAssignVS, target, -1, -1);
+  st.scalar = scalar_param;
+}
+
+void FusedChain::reduce(int a, const Monoid& monoid) {
+  check_param(a, ChainParam::Kind::kVector, "reduce operand");
+  auto& st = new_statement(jit::func::kReduceVS, -1, a, -1);
+  st.monoid = monoid;
+}
+
+FusedChain::RunResult FusedChain::run(
+    const std::vector<ChainArg>& args) const {
+  if (args.size() != desc_->params.size()) {
+    throw std::invalid_argument(
+        "pygb: chain expects " + std::to_string(desc_->params.size()) +
+        " arguments, got " + std::to_string(args.size()));
+  }
+
+  std::vector<const void*> ptrs(args.size(), nullptr);
+  std::vector<double> scalars(args.size(), 0.0);
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const ChainParam& p = desc_->params[i];
+    switch (p.kind) {
+      case ChainParam::Kind::kMatrix: {
+        const auto* m = std::get_if<Matrix>(&args[i]);
+        if (m == nullptr || !m->defined()) {
+          throw std::invalid_argument("pygb: chain argument " +
+                                      std::to_string(i) +
+                                      " must be a defined Matrix");
+        }
+        if (m->dtype() != p.dtype) {
+          throw std::invalid_argument(
+              "pygb: chain argument " + std::to_string(i) + " ('" + p.name +
+              "') dtype mismatch: expected " +
+              std::string(display_name(p.dtype)) + ", got " +
+              display_name(m->dtype()));
+        }
+        ptrs[i] = m->raw();
+        break;
+      }
+      case ChainParam::Kind::kVector: {
+        const auto* v = std::get_if<Vector>(&args[i]);
+        if (v == nullptr || !v->defined()) {
+          throw std::invalid_argument("pygb: chain argument " +
+                                      std::to_string(i) +
+                                      " must be a defined Vector");
+        }
+        if (v->dtype() != p.dtype) {
+          throw std::invalid_argument(
+              "pygb: chain argument " + std::to_string(i) + " ('" + p.name +
+              "') dtype mismatch: expected " +
+              std::string(display_name(p.dtype)) + ", got " +
+              display_name(v->dtype()));
+        }
+        ptrs[i] = v->raw();
+        break;
+      }
+      case ChainParam::Kind::kScalar: {
+        const auto* s = std::get_if<double>(&args[i]);
+        if (s == nullptr) {
+          throw std::invalid_argument("pygb: chain argument " +
+                                      std::to_string(i) +
+                                      " must be a scalar");
+        }
+        scalars[i] = *s;
+        break;
+      }
+    }
+  }
+
+  jit::OpRequest req;
+  req.func = jit::func::kFusedChain;
+  req.chain = desc_;
+  jit::KernelArgs kargs;
+  jit::ScalarSlot slot;
+  kargs.chain_ptrs = ptrs.data();
+  kargs.chain_scalars = scalars.data();
+  kargs.scalar_out = &slot;
+  kargs.request = &req;
+
+  detail::interp_pause();  // one dispatch for the whole chain
+  jit::KernelFn fn = jit::Registry::instance().get(req);
+  fn(&kargs);
+
+  RunResult result;
+  result.scalar = Scalar(slot.f);
+  return result;
+}
+
+}  // namespace pygb

@@ -1,0 +1,88 @@
+// pygb/fused.hpp — fused operation chains (§V's planned feature,
+// implemented): "A planned feature of the lazy evaluation system would
+// allow a series of operations to be deferred until a single binary module
+// containing all the previously deferred operations is compiled. This
+// improvement will allow a chain of steps in an algorithm to be compiled
+// into a single module."
+//
+// A FusedChain records a straight-line sequence of GraphBLAS statements
+// over named parameters; run() resolves ONE compiled module for the whole
+// chain (through the ordinary registry: memory → disk → g++) and executes
+// it with a single dispatch. Masks are not supported inside chains — they
+// fuse the unmasked hot loops, e.g. the PageRank iteration body:
+//
+//   FusedChain it("pagerank_iter");
+//   const int rank = it.vector_param("rank", DType::kFP64);
+//   const int m    = it.matrix_param("m", DType::kFP64);
+//   const int nr   = it.vector_param("new_rank", DType::kFP64);
+//   const int tel  = it.scalar_param("teleport");
+//   it.vxm(nr, rank, m, ArithmeticSemiring(), Accumulator("Second"));
+//   it.apply_bound(nr, nr, BinaryOp("Plus"), tel);
+//   ...
+//   auto result = it.run({rank_vec, m_mat, nr_vec, 0.15 / n});
+#pragma once
+
+#include <variant>
+#include <vector>
+
+#include "pygb/container.hpp"
+#include "pygb/jit/module_key.hpp"
+
+namespace pygb {
+
+/// A run-time argument bound to a chain parameter (positional).
+using ChainArg = std::variant<Matrix, Vector, double>;
+
+class FusedChain {
+ public:
+  explicit FusedChain(std::string name);
+
+  // --- parameters (return the index used by statements) ---------------------
+  int matrix_param(const std::string& name, DType dtype = DType::kFP64);
+  int vector_param(const std::string& name, DType dtype = DType::kFP64);
+  int scalar_param(const std::string& name);
+
+  // --- statements -------------------------------------------------------------
+  /// target = target (+)accum  a(vector) ⊕.⊗ b(matrix).
+  void vxm(int target, int a, int b, const Semiring& sr,
+           std::optional<Accumulator> accum = std::nullopt,
+           bool b_transposed = false);
+  /// target = target (+)accum  a(matrix) ⊕.⊗ b(vector).
+  void mxv(int target, int a, int b, const Semiring& sr,
+           std::optional<Accumulator> accum = std::nullopt,
+           bool a_transposed = false);
+  void mxm(int target, int a, int b, const Semiring& sr,
+           bool a_transposed = false, bool b_transposed = false);
+  void ewise_add(int target, int a, int b, const BinaryOp& op);
+  void ewise_mult(int target, int a, int b, const BinaryOp& op);
+  /// target = f(a) with a plain unary op.
+  void apply(int target, int a, UnaryOpName f);
+  /// target = op(a, scalar_param) — bind-2nd with a runtime scalar.
+  void apply_bound(int target, int a, const BinaryOp& op, int scalar_param);
+  /// target[:] = scalar_param (dense constant fill).
+  void assign_constant(int target, int scalar_param);
+  /// Reduce vector `a` with `monoid`; the value lands in RunResult::scalar.
+  void reduce(int a, const Monoid& monoid);
+
+  /// Execute the whole chain with one dispatch. Arguments bind
+  /// positionally and are validated against parameter kinds and dtypes.
+  struct RunResult {
+    Scalar scalar;  ///< last reduce statement's value (if any)
+  };
+  RunResult run(const std::vector<ChainArg>& args) const;
+
+  /// The dispatch key (also the module-cache identity).
+  std::string signature() const { return desc_->signature(); }
+  std::size_t num_params() const { return desc_->params.size(); }
+  std::size_t num_statements() const { return desc_->statements.size(); }
+
+ private:
+  jit::ChainStatement& new_statement(const char* func, int target, int a,
+                                     int b);
+  void check_param(int idx, jit::ChainParam::Kind kind,
+                   const char* what) const;
+
+  std::shared_ptr<jit::FusedChainDesc> desc_;
+};
+
+}  // namespace pygb

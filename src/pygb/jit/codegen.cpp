@@ -1,0 +1,391 @@
+#include "pygb/jit/codegen.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace pygb::jit {
+
+namespace {
+
+std::string ct(const OpRequest& r) { return cpp_name(r.c); }
+std::string at(const OpRequest& r) {
+  if (!r.a) throw std::invalid_argument("codegen: request lacks A dtype");
+  return cpp_name(*r.a);
+}
+std::string bt(const OpRequest& r) {
+  if (!r.b) throw std::invalid_argument("codegen: request lacks B dtype");
+  return cpp_name(*r.b);
+}
+
+std::string binop_tpl(BinaryOpName op) {
+  return std::string("gbtl::") + to_string(op);
+}
+
+std::string bool_lit(bool b) { return b ? "true" : "false"; }
+
+std::string mask_kind_expr(MaskKind mk) {
+  switch (mk) {
+    case MaskKind::kNone:
+      return "pygb::jit::MaskKind::kNone";
+    case MaskKind::kMatrix:
+      return "pygb::jit::MaskKind::kMatrix";
+    case MaskKind::kMatrixComp:
+      return "pygb::jit::MaskKind::kMatrixComp";
+    case MaskKind::kVector:
+      return "pygb::jit::MaskKind::kVector";
+    case MaskKind::kVectorComp:
+      return "pygb::jit::MaskKind::kVectorComp";
+  }
+  throw std::invalid_argument("codegen: corrupt mask kind");
+}
+
+/// Identity provider: named limits map to the shared providers; explicit
+/// values get a module-local provider emitting the literal. `aux` collects
+/// module-local struct definitions.
+std::string identity_provider(const MonoidIdentity& id, std::ostringstream& aux,
+                              int& aux_counter) {
+  switch (id.kind()) {
+    case MonoidIdentity::Kind::kMaxLimit:
+      return "pygb::jit::IdMaxLimit";
+    case MonoidIdentity::Kind::kLowestLimit:
+      return "pygb::jit::IdLowestLimit";
+    case MonoidIdentity::Kind::kValue: {
+      const Scalar& v = id.value();
+      const std::string name = "ModuleId" + std::to_string(aux_counter++);
+      aux << "struct " << name << " {\n"
+          << "  template <typename T>\n"
+          << "  static constexpr T value() {\n"
+          << "    return static_cast<T>(";
+      if (is_floating(v.dtype())) {
+        aux << v.to_double();
+      } else {
+        aux << v.to_int64() << "LL";
+      }
+      aux << ");\n  }\n};\n";
+      return name;
+    }
+  }
+  throw std::invalid_argument("codegen: corrupt identity kind");
+}
+
+std::string semiring_type(const OpRequest& r, std::ostringstream& aux,
+                          int& aux_counter) {
+  if (!r.semiring) throw std::invalid_argument("codegen: missing semiring");
+  const Semiring& sr = *r.semiring;
+  const std::string id =
+      identity_provider(sr.add().identity(), aux, aux_counter);
+  std::ostringstream os;
+  os << "pygb::jit::GenericSemiring<" << at(r) << ", " << bt(r) << ", "
+     << ct(r) << ", " << binop_tpl(sr.add().op().name()) << ", " << id
+     << ", " << binop_tpl(sr.mult().name()) << ">";
+  return os.str();
+}
+
+std::string monoid_type(const OpRequest& r, std::ostringstream& aux,
+                        int& aux_counter) {
+  if (!r.monoid) throw std::invalid_argument("codegen: missing monoid");
+  const std::string id =
+      identity_provider(r.monoid->identity(), aux, aux_counter);
+  std::ostringstream os;
+  os << "pygb::jit::GenericMonoid<" << ct(r) << ", "
+     << binop_tpl(r.monoid->op().name()) << ", " << id << ">";
+  return os.str();
+}
+
+std::string accum_type(const OpRequest& r) {
+  if (!r.accum) return "gbtl::NoAccumulate";
+  return binop_tpl(r.accum->name()) + "<" + ct(r) + ">";
+}
+
+/// Emit the definition of a user-defined binary operator struct (§VIII)
+/// and return its name. The expression sees `a`, `b`, and the output
+/// element type `C`.
+std::string user_binary_struct(const UserBinaryOp& op,
+                               std::ostringstream& aux) {
+  const std::string name = "UserBinary_" + op.name();
+  aux << "template <typename A, typename B, typename C>\n"
+      << "struct " << name << " {\n"
+      << "  constexpr C operator()(const A& a, const B& b) const {\n"
+      << "    return static_cast<C>((" << op.expr() << "));\n"
+      << "  }\n};\n";
+  return name;
+}
+
+/// Same for a unary operator; the expression sees `a` and `C`.
+std::string user_unary_struct(const UserUnaryOp& op,
+                              std::ostringstream& aux) {
+  const std::string name = "UserUnary_" + op.name();
+  aux << "template <typename A, typename C>\n"
+      << "struct " << name << " {\n"
+      << "  constexpr C operator()(const A& a) const {\n"
+      << "    return static_cast<C>((" << op.expr() << "));\n"
+      << "  }\n};\n";
+  return name;
+}
+
+std::string unary_maker(const OpRequest& r, std::ostringstream& aux) {
+  if (r.user_unary) {
+    return "pygb::jit::PlainUnary<" + user_unary_struct(*r.user_unary, aux) +
+           ">";
+  }
+  if (!r.unary_op) throw std::invalid_argument("codegen: missing unary op");
+  const UnaryOp& f = *r.unary_op;
+  if (f.is_bound()) {
+    return "pygb::jit::BoundSecond<" + binop_tpl(f.bound_op()) + ">";
+  }
+  return std::string("pygb::jit::PlainUnary<gbtl::") +
+         to_string(f.unary_name()) + ">";
+}
+
+std::string ewise_op_tpl(const OpRequest& r, std::ostringstream& aux) {
+  if (r.user_binary) return user_binary_struct(*r.user_binary, aux);
+  if (!r.binary_op) throw std::invalid_argument("codegen: missing binary op");
+  return binop_tpl(r.binary_op->name());
+}
+
+// ---------------------------------------------------------------------------
+// Fused-chain generation (§V's planned lazy-evaluation feature): one
+// translation unit executing every recorded statement back to back, with
+// intermediate results flowing through the bound containers — no dispatch
+// between steps.
+// ---------------------------------------------------------------------------
+
+std::string chain_semiring_type(const ChainStatement& st,
+                                const FusedChainDesc& chain,
+                                std::ostringstream& aux, int& aux_counter) {
+  const std::string at = cpp_name(chain.params[st.a].dtype);
+  const std::string btn = cpp_name(chain.params[st.b].dtype);
+  const std::string ctn = cpp_name(chain.params[st.target].dtype);
+  const std::string id =
+      identity_provider(st.semiring->add().identity(), aux, aux_counter);
+  return "pygb::jit::GenericSemiring<" + at + ", " + btn + ", " + ctn +
+         ", " + binop_tpl(st.semiring->add().op().name()) + ", " + id +
+         ", " + binop_tpl(st.semiring->mult().name()) + ">";
+}
+
+std::string chain_accum_expr(const ChainStatement& st,
+                             const FusedChainDesc& chain) {
+  if (!st.accum) return "gbtl::NoAccumulate{}";
+  return binop_tpl(st.accum->name()) + "<" +
+         cpp_name(chain.params[st.target].dtype) + ">{}";
+}
+
+std::string chain_operand(const FusedChainDesc& chain, int idx,
+                          bool transposed) {
+  std::string ref = "p" + std::to_string(idx);
+  (void)chain;
+  return transposed ? "gbtl::transpose(" + ref + ")" : ref;
+}
+
+std::string generate_chain_source(const FusedChainDesc& chain) {
+  std::ostringstream aux;
+  std::ostringstream body;
+  int aux_counter = 0;
+
+  // Parameter bindings.
+  for (std::size_t i = 0; i < chain.params.size(); ++i) {
+    const ChainParam& p = chain.params[i];
+    const std::string idx = std::to_string(i);
+    switch (p.kind) {
+      case ChainParam::Kind::kMatrix:
+        body << "  auto& p" << idx << " = *static_cast<gbtl::Matrix<"
+             << cpp_name(p.dtype)
+             << ">*>(const_cast<void*>(args->chain_ptrs[" << idx
+             << "]));  // " << p.name << "\n";
+        break;
+      case ChainParam::Kind::kVector:
+        body << "  auto& p" << idx << " = *static_cast<gbtl::Vector<"
+             << cpp_name(p.dtype)
+             << ">*>(const_cast<void*>(args->chain_ptrs[" << idx
+             << "]));  // " << p.name << "\n";
+        break;
+      case ChainParam::Kind::kScalar:
+        body << "  const double s" << idx << " = args->chain_scalars["
+             << idx << "];  // " << p.name << "\n";
+        break;
+    }
+  }
+  body << "\n";
+
+  for (const ChainStatement& st : chain.statements) {
+    const std::string tgt = "p" + std::to_string(st.target);
+    const std::string ctn =
+        st.target >= 0 ? cpp_name(chain.params[st.target].dtype) : "double";
+    const std::string acc = chain_accum_expr(st, chain);
+
+    if (st.func == func::kVxM) {
+      body << "  gbtl::vxm(" << tgt << ", gbtl::NoMask{}, " << acc << ", "
+           << chain_semiring_type(st, chain, aux, aux_counter) << "{}, "
+           << chain_operand(chain, st.a, false) << ", "
+           << chain_operand(chain, st.b, st.b_transposed) << ");\n";
+    } else if (st.func == func::kMxV) {
+      body << "  gbtl::mxv(" << tgt << ", gbtl::NoMask{}, " << acc << ", "
+           << chain_semiring_type(st, chain, aux, aux_counter) << "{}, "
+           << chain_operand(chain, st.a, st.a_transposed) << ", "
+           << chain_operand(chain, st.b, false) << ");\n";
+    } else if (st.func == func::kMxM) {
+      body << "  gbtl::mxm(" << tgt << ", gbtl::NoMask{}, " << acc << ", "
+           << chain_semiring_type(st, chain, aux, aux_counter) << "{}, "
+           << chain_operand(chain, st.a, st.a_transposed) << ", "
+           << chain_operand(chain, st.b, st.b_transposed) << ");\n";
+    } else if (st.func == func::kEWiseAddVV || st.func == func::kEWiseAddMM ||
+               st.func == func::kEWiseMultVV ||
+               st.func == func::kEWiseMultMM) {
+      const bool is_add =
+          st.func == func::kEWiseAddVV || st.func == func::kEWiseAddMM;
+      const std::string at = cpp_name(chain.params[st.a].dtype);
+      const std::string btn = cpp_name(chain.params[st.b].dtype);
+      body << "  gbtl::" << (is_add ? "eWiseAdd" : "eWiseMult") << "("
+           << tgt << ", gbtl::NoMask{}, " << acc << ", "
+           << binop_tpl(st.binary_op->name()) << "<" << at << ", " << btn
+           << ", " << ctn << ">{}, " << chain_operand(chain, st.a, false)
+           << ", " << chain_operand(chain, st.b, false) << ");\n";
+    } else if (st.func == func::kApplyV || st.func == func::kApplyM) {
+      const std::string at = cpp_name(chain.params[st.a].dtype);
+      std::string f;
+      if (st.bound_op) {
+        f = "gbtl::BinaryOpBind2nd<" + ctn + ", " +
+            binop_tpl(st.bound_op->name()) + "<" + ctn +
+            ">>(static_cast<" + ctn + ">(s" + std::to_string(st.scalar) +
+            "))";
+      } else {
+        f = std::string("gbtl::") + to_string(*st.plain_unary) + "<" + at +
+            ", " + ctn + ">{}";
+      }
+      body << "  gbtl::apply(" << tgt << ", gbtl::NoMask{}, " << acc
+           << ", " << f << ", " << chain_operand(chain, st.a, false)
+           << ");\n";
+    } else if (st.func == func::kAssignVS) {
+      body << "  gbtl::assign(" << tgt << ", gbtl::NoMask{}, " << acc
+           << ", static_cast<" << ctn << ">(s" << std::to_string(st.scalar)
+           << "), gbtl::AllIndices{});\n";
+    } else if (st.func == func::kReduceVS) {
+      const std::string at = cpp_name(chain.params[st.a].dtype);
+      const std::string id =
+          identity_provider(st.monoid->identity(), aux, aux_counter);
+      body << "  {\n    " << at << " acc_{};\n"
+           << "    gbtl::reduce(acc_, gbtl::NoAccumulate{}, "
+           << "pygb::jit::GenericMonoid<" << at << ", "
+           << binop_tpl(st.monoid->op().name()) << ", " << id << ">{}, "
+           << chain_operand(chain, st.a, false) << ");\n"
+           << "    pygb::jit::write_scalar_out(args, acc_);\n  }\n";
+    } else {
+      throw std::invalid_argument("codegen: unsupported chain statement '" +
+                                  st.func + "'");
+    }
+  }
+
+  std::ostringstream src;
+  src << "// Generated by pygb::jit (fused chain) for signature:\n"
+      << "//   " << chain.signature() << "\n"
+      << "#include \"pygb/jit/glue.hpp\"\n\n"
+      << aux.str() << "\n"
+      << "extern \"C\" void pygb_kernel(const pygb::jit::KernelArgs* args) "
+         "{\n"
+      << body.str() << "}\n";
+  return src.str();
+}
+
+}  // namespace
+
+std::string generate_source(const OpRequest& req) {
+  if (req.chain) return generate_chain_source(*req.chain);
+  std::ostringstream aux;   // module-local helper structs
+  std::ostringstream inst;  // the run_* instantiation expression
+  int aux_counter = 0;
+  const std::string mk = mask_kind_expr(req.mask);
+  const std::string acc = accum_type(req);
+
+  const std::string& f = req.func;
+  if (f == func::kMxM) {
+    inst << "pygb::jit::run_mxm<" << ct(req) << ", " << at(req) << ", "
+         << bt(req) << ", " << semiring_type(req, aux, aux_counter) << ", "
+         << bool_lit(req.a_transposed) << ", " << bool_lit(req.b_transposed)
+         << ", " << mk << ", " << acc << ">";
+  } else if (f == func::kMxV) {
+    inst << "pygb::jit::run_mxv<" << ct(req) << ", " << at(req) << ", "
+         << bt(req) << ", " << semiring_type(req, aux, aux_counter) << ", "
+         << bool_lit(req.a_transposed) << ", " << mk << ", " << acc << ">";
+  } else if (f == func::kVxM) {
+    inst << "pygb::jit::run_vxm<" << ct(req) << ", " << at(req) << ", "
+         << bt(req) << ", " << semiring_type(req, aux, aux_counter) << ", "
+         << bool_lit(req.b_transposed) << ", " << mk << ", " << acc << ">";
+  } else if (f == func::kEWiseAddMM || f == func::kEWiseMultMM) {
+    inst << "pygb::jit::run_ewise_mm<" << ct(req) << ", " << at(req) << ", "
+         << bt(req) << ", " << ewise_op_tpl(req, aux) << ", "
+         << bool_lit(f == func::kEWiseAddMM) << ", "
+         << bool_lit(req.a_transposed) << ", " << bool_lit(req.b_transposed)
+         << ", " << mk << ", " << acc << ">";
+  } else if (f == func::kEWiseAddVV || f == func::kEWiseMultVV) {
+    inst << "pygb::jit::run_ewise_vv<" << ct(req) << ", " << at(req) << ", "
+         << bt(req) << ", " << ewise_op_tpl(req, aux) << ", "
+         << bool_lit(f == func::kEWiseAddVV) << ", " << mk << ", " << acc
+         << ">";
+  } else if (f == func::kApplyM) {
+    inst << "pygb::jit::run_apply_m<" << ct(req) << ", " << at(req) << ", "
+         << unary_maker(req, aux) << ", " << bool_lit(req.a_transposed) << ", "
+         << mk << ", " << acc << ">";
+  } else if (f == func::kApplyV) {
+    inst << "pygb::jit::run_apply_v<" << ct(req) << ", " << at(req) << ", "
+         << unary_maker(req, aux) << ", " << mk << ", " << acc << ">";
+  } else if (f == func::kReduceMS) {
+    inst << "pygb::jit::run_reduce_m_s<" << ct(req) << ", " << at(req)
+         << ", " << monoid_type(req, aux, aux_counter) << ", "
+         << bool_lit(req.a_transposed) << ", " << acc << ">";
+  } else if (f == func::kReduceVS) {
+    inst << "pygb::jit::run_reduce_v_s<" << ct(req) << ", " << at(req)
+         << ", " << monoid_type(req, aux, aux_counter) << ", " << acc << ">";
+  } else if (f == func::kReduceMV) {
+    inst << "pygb::jit::run_reduce_m_v<" << ct(req) << ", " << at(req)
+         << ", " << monoid_type(req, aux, aux_counter) << ", "
+         << bool_lit(req.a_transposed) << ", " << mk << ", " << acc << ">";
+  } else if (f == func::kAssignMM) {
+    inst << "pygb::jit::run_assign_mm<" << ct(req) << ", " << at(req) << ", "
+         << mk << ", " << acc << ">";
+  } else if (f == func::kAssignMS) {
+    inst << "pygb::jit::run_assign_ms<" << ct(req) << ", " << mk << ", "
+         << acc << ">";
+  } else if (f == func::kAssignVV) {
+    inst << "pygb::jit::run_assign_vv<" << ct(req) << ", " << at(req) << ", "
+         << mk << ", " << acc << ">";
+  } else if (f == func::kAssignVS) {
+    inst << "pygb::jit::run_assign_vs<" << ct(req) << ", " << mk << ", "
+         << acc << ">";
+  } else if (f == func::kExtractMM) {
+    inst << "pygb::jit::run_extract_mm<" << ct(req) << ", " << at(req)
+         << ", " << mk << ", " << acc << ">";
+  } else if (f == func::kExtractVV) {
+    inst << "pygb::jit::run_extract_vv<" << ct(req) << ", " << at(req)
+         << ", " << mk << ", " << acc << ">";
+  } else if (f == func::kTransposeM) {
+    inst << "pygb::jit::run_transpose_m<" << ct(req) << ", " << at(req)
+         << ", " << bool_lit(req.a_transposed) << ", " << mk << ", " << acc
+         << ">";
+  } else if (f == func::kAlgoBfs) {
+    inst << "pygb::jit::run_algo_bfs<" << ct(req) << ", " << at(req) << ">";
+  } else if (f == func::kAlgoSssp) {
+    inst << "pygb::jit::run_algo_sssp<" << ct(req) << ", " << at(req) << ">";
+  } else if (f == func::kAlgoPagerank) {
+    inst << "pygb::jit::run_algo_pagerank<" << ct(req) << ", " << at(req)
+         << ">";
+  } else if (f == func::kAlgoTriangleCount) {
+    inst << "pygb::jit::run_algo_tc<" << ct(req) << ", " << at(req) << ">";
+  } else if (f == func::kAlgoConnectedComponents) {
+    inst << "pygb::jit::run_algo_cc<" << ct(req) << ", " << at(req) << ">";
+  } else {
+    throw std::invalid_argument("codegen: unknown func '" + f + "'");
+  }
+
+  std::ostringstream src;
+  src << "// Generated by pygb::jit for key:\n"
+      << "//   " << req.key() << "\n"
+      << "#include \"pygb/jit/glue.hpp\"\n\n"
+      << aux.str() << "\n"
+      << "extern \"C\" void pygb_kernel(const pygb::jit::KernelArgs* args) "
+         "{\n"
+      << "  " << inst.str() << "(args);\n"
+      << "}\n";
+  return src.str();
+}
+
+}  // namespace pygb::jit

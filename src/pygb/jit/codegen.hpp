@@ -1,0 +1,17 @@
+// pygb/jit/codegen.hpp — the source-generation stage of Fig. 9: turn an
+// OpRequest into a translation unit that instantiates exactly one glue
+// template with concrete types and exports it as `extern "C" pygb_kernel`.
+#pragma once
+
+#include <string>
+
+#include "pygb/jit/module_key.hpp"
+
+namespace pygb::jit {
+
+/// Generate the complete C++ source for the request's kernel module.
+/// Throws std::invalid_argument for requests no backend could satisfy
+/// (unknown func names, missing operators).
+std::string generate_source(const OpRequest& req);
+
+}  // namespace pygb::jit

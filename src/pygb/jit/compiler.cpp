@@ -1,0 +1,83 @@
+#include "pygb/jit/compiler.hpp"
+
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <mutex>
+#include <sstream>
+
+#ifndef PYGB_SOURCE_INCLUDE_DIR
+#define PYGB_SOURCE_INCLUDE_DIR ""
+#endif
+
+namespace pygb::jit {
+
+namespace {
+
+std::string env_or(const char* name, const std::string& fallback) {
+  const char* v = std::getenv(name);
+  return (v != nullptr && *v != '\0') ? std::string(v) : fallback;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+/// Shell-quote a path (single quotes; embedded quotes escaped).
+std::string quoted(const std::string& s) {
+  std::string out = "'";
+  for (char c : s) {
+    if (c == '\'') {
+      out += "'\\''";
+    } else {
+      out += c;
+    }
+  }
+  out += "'";
+  return out;
+}
+
+}  // namespace
+
+std::string compiler_command() { return env_or("PYGB_CXX", "g++"); }
+
+std::string source_include_dir() {
+  return env_or("PYGB_INCLUDE_DIR", PYGB_SOURCE_INCLUDE_DIR);
+}
+
+CompileResult compile_module(const std::string& source_path,
+                             const std::string& output_path) {
+  CompileResult result;
+  const std::string log_path = output_path + ".log";
+  std::ostringstream cmd;
+  cmd << compiler_command() << " -std=c++20 -O2 -DNDEBUG -shared -fPIC"
+      << " -I" << quoted(source_include_dir()) << ' ' << quoted(source_path)
+      << " -o " << quoted(output_path) << " 2> " << quoted(log_path);
+
+  const auto start = std::chrono::steady_clock::now();
+  const int rc = std::system(cmd.str().c_str());
+  const auto end = std::chrono::steady_clock::now();
+  result.seconds = std::chrono::duration<double>(end - start).count();
+  result.ok = (rc == 0);
+  if (!result.ok) {
+    result.log = "command: " + cmd.str() + "\n" + read_file(log_path);
+  }
+  return result;
+}
+
+bool compiler_available() {
+  static std::once_flag probed;
+  static bool available = false;
+  std::call_once(probed, [] {
+    const std::string cmd =
+        compiler_command() + " --version > /dev/null 2>&1";
+    available = (std::system(cmd.c_str()) == 0) &&
+                !source_include_dir().empty();
+  });
+  return available;
+}
+
+}  // namespace pygb::jit

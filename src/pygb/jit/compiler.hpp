@@ -1,0 +1,31 @@
+// pygb/jit/compiler.hpp — the `g++ ... -o <mod>.so` stage of Fig. 9.
+#pragma once
+
+#include <string>
+
+namespace pygb::jit {
+
+struct CompileResult {
+  bool ok = false;
+  std::string log;       ///< compiler diagnostics on failure
+  double seconds = 0.0;  ///< wall time of the compiler invocation
+};
+
+/// Compile `source_path` into a shared object at `output_path` against the
+/// project's headers. The compiler binary comes from PYGB_CXX (default
+/// "g++" / "c++"); flags mirror the library's own build (-std=c++20 -O2).
+CompileResult compile_module(const std::string& source_path,
+                             const std::string& output_path);
+
+/// True when a working C++ compiler is reachable (cached after first probe).
+bool compiler_available();
+
+/// The compiler command used (for diagnostics and bench output).
+std::string compiler_command();
+
+/// The include directory holding the project sources that generated
+/// modules compile against (baked in at build time, overridable via
+/// PYGB_INCLUDE_DIR for relocated installs).
+std::string source_include_dir();
+
+}  // namespace pygb::jit

@@ -1,0 +1,470 @@
+// pygb/jit/glue.hpp — the templated kernel bodies behind every compiled
+// dispatch module. This header plays the role of PyGB's
+// operation_binding.cpp (Fig. 9): generated JIT sources #include it and
+// instantiate exactly one run_* template with concrete types; the static
+// registry instantiates a curated set of the same templates at build time,
+// guaranteeing identical semantics across backends.
+//
+// Kernels communicate exclusively through the standard-layout KernelArgs
+// block; all compile-time variability (dtypes, operators, transposes, mask
+// kind, accumulator) is in template parameters, and all run-time
+// variability (replace flag, bound constants, index arrays, scalar seeds)
+// is in the args.
+#pragma once
+
+#include <type_traits>
+
+#include "algorithms/bfs.hpp"
+#include "algorithms/connected_components.hpp"
+#include "algorithms/pagerank.hpp"
+#include "algorithms/sssp.hpp"
+#include "algorithms/triangle_count.hpp"
+#include "gbtl/gbtl.hpp"
+#include "pygb/jit/module_key.hpp"
+
+namespace pygb::jit {
+
+// ---------------------------------------------------------------------------
+// Identity providers for composed monoids/semirings.
+// ---------------------------------------------------------------------------
+
+struct IdZero {
+  template <typename T>
+  static constexpr T value() {
+    return T{0};
+  }
+};
+struct IdOne {
+  template <typename T>
+  static constexpr T value() {
+    return T{1};
+  }
+};
+struct IdTrue {
+  template <typename T>
+  static constexpr T value() {
+    return static_cast<T>(true);
+  }
+};
+struct IdFalse {
+  template <typename T>
+  static constexpr T value() {
+    return static_cast<T>(false);
+  }
+};
+struct IdMaxLimit {
+  template <typename T>
+  static constexpr T value() {
+    return std::numeric_limits<T>::max();
+  }
+};
+struct IdLowestLimit {
+  template <typename T>
+  static constexpr T value() {
+    return std::numeric_limits<T>::lowest();
+  }
+};
+
+/// Monoid composed from a gbtl binary-op template and an identity provider.
+template <typename D3, template <class, class, class> class Op, typename IdT>
+struct GenericMonoid {
+  using ScalarType = D3;
+  static constexpr D3 identity() { return IdT::template value<D3>(); }
+  constexpr D3 operator()(const D3& a, const D3& b) const {
+    return Op<D3, D3, D3>{}(a, b);
+  }
+};
+
+/// Semiring composed from add/mult op templates and an identity provider.
+template <typename D1, typename D2, typename D3,
+          template <class, class, class> class AddOp, typename IdT,
+          template <class, class, class> class MultOp>
+struct GenericSemiring {
+  using ScalarType = D3;
+  static constexpr D3 zero() { return IdT::template value<D3>(); }
+  constexpr D3 add(const D3& a, const D3& b) const {
+    return AddOp<D3, D3, D3>{}(a, b);
+  }
+  constexpr D3 mult(const D1& a, const D2& b) const {
+    return MultOp<D1, D2, D3>{}(a, b);
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Args unpacking helpers.
+// ---------------------------------------------------------------------------
+
+template <typename T>
+const gbtl::Matrix<T>& in_matrix(const void* p) {
+  return *static_cast<const gbtl::Matrix<T>*>(p);
+}
+template <typename T>
+gbtl::Matrix<T>& out_matrix(void* p) {
+  return *static_cast<gbtl::Matrix<T>*>(p);
+}
+template <typename T>
+const gbtl::Vector<T>& in_vector(const void* p) {
+  return *static_cast<const gbtl::Vector<T>*>(p);
+}
+template <typename T>
+gbtl::Vector<T>& out_vector(void* p) {
+  return *static_cast<gbtl::Vector<T>*>(p);
+}
+
+/// Read the runtime scalar channel appropriate for T.
+template <typename T>
+T read_scalar(const KernelArgs* args) {
+  if constexpr (std::is_floating_point_v<T>) {
+    return static_cast<T>(args->scalar_f);
+  } else {
+    return static_cast<T>(args->scalar_i);
+  }
+}
+
+/// Write a value into all channels of the scalar-out slot.
+template <typename T>
+void write_scalar_out(const KernelArgs* args, T v) {
+  args->scalar_out->f = static_cast<double>(v);
+  args->scalar_out->i = static_cast<std::int64_t>(v);
+  args->scalar_out->u = static_cast<std::uint64_t>(v);
+}
+
+/// Read the scalar-out slot as a seed of type T.
+template <typename T>
+T read_scalar_seed(const KernelArgs* args) {
+  if constexpr (std::is_floating_point_v<T>) {
+    return static_cast<T>(args->scalar_out->f);
+  } else if constexpr (std::is_signed_v<T> || std::is_same_v<T, bool>) {
+    return static_cast<T>(args->scalar_out->i);
+  } else {
+    return static_cast<T>(args->scalar_out->u);
+  }
+}
+
+inline gbtl::OutputControl outp_of(const KernelArgs* args) {
+  return args->replace ? gbtl::OutputControl::kReplace
+                       : gbtl::OutputControl::kMerge;
+}
+
+/// Invoke f with the typed mask object for the compile-time mask kind.
+template <MaskKind MK, typename F>
+decltype(auto) with_mask(const KernelArgs* args, F&& f) {
+  if constexpr (MK == MaskKind::kNone) {
+    return f(gbtl::NoMask{});
+  } else if constexpr (MK == MaskKind::kMatrix) {
+    return f(in_matrix<bool>(args->mask));
+  } else if constexpr (MK == MaskKind::kMatrixComp) {
+    return f(gbtl::complement(in_matrix<bool>(args->mask)));
+  } else if constexpr (MK == MaskKind::kVector) {
+    return f(in_vector<bool>(args->mask));
+  } else {
+    return f(gbtl::complement(in_vector<bool>(args->mask)));
+  }
+}
+
+/// Invoke f with m or transpose(m) depending on the compile-time flag.
+template <bool Trans, typename T, typename F>
+decltype(auto) with_trans(const gbtl::Matrix<T>& m, F&& f) {
+  if constexpr (Trans) {
+    return f(gbtl::transpose(m));
+  } else {
+    return f(m);
+  }
+}
+
+/// Resolve AllIndices (null pointer) vs explicit index arrays.
+template <typename F>
+decltype(auto) with_indices(const gbtl::IndexArray* idx, F&& f) {
+  if (idx == nullptr) {
+    return f(gbtl::AllIndices{});
+  }
+  return f(*idx);
+}
+
+// ---------------------------------------------------------------------------
+// Accumulator adaptation: AccumT is gbtl::NoAccumulate or a binary functor
+// type over CT (e.g. gbtl::Min<CT>), default-constructed at the call.
+// ---------------------------------------------------------------------------
+
+template <typename AccumT>
+AccumT make_accum() {
+  return AccumT{};
+}
+
+// ---------------------------------------------------------------------------
+// Kernel bodies. Template parameter order is uniform:
+//   CT (output), AT/BT (inputs), operator type(s), transposes, mask kind,
+//   accumulator type.
+// ---------------------------------------------------------------------------
+
+template <typename CT, typename AT, typename BT, typename SemiringT,
+          bool ATrans, bool BTrans, MaskKind MK, typename AccumT>
+void run_mxm(const KernelArgs* args) {
+  with_mask<MK>(args, [&](const auto& mask) {
+    with_trans<ATrans>(in_matrix<AT>(args->a), [&](const auto& a) {
+      with_trans<BTrans>(in_matrix<BT>(args->b), [&](const auto& b) {
+        gbtl::mxm(out_matrix<CT>(args->c), mask, make_accum<AccumT>(),
+                  SemiringT{}, a, b, outp_of(args));
+      });
+    });
+  });
+}
+
+template <typename CT, typename AT, typename BT, typename SemiringT,
+          bool ATrans, MaskKind MK, typename AccumT>
+void run_mxv(const KernelArgs* args) {
+  with_mask<MK>(args, [&](const auto& mask) {
+    with_trans<ATrans>(in_matrix<AT>(args->a), [&](const auto& a) {
+      gbtl::mxv(out_vector<CT>(args->c), mask, make_accum<AccumT>(),
+                SemiringT{}, a, in_vector<BT>(args->b), outp_of(args));
+    });
+  });
+}
+
+template <typename CT, typename AT, typename BT, typename SemiringT,
+          bool BTrans, MaskKind MK, typename AccumT>
+void run_vxm(const KernelArgs* args) {
+  with_mask<MK>(args, [&](const auto& mask) {
+    with_trans<BTrans>(in_matrix<BT>(args->b), [&](const auto& b) {
+      gbtl::vxm(out_vector<CT>(args->c), mask, make_accum<AccumT>(),
+                SemiringT{}, in_vector<AT>(args->a), b, outp_of(args));
+    });
+  });
+}
+
+template <typename CT, typename AT, typename BT,
+          template <class, class, class> class Op, bool IsAdd, bool ATrans,
+          bool BTrans, MaskKind MK, typename AccumT>
+void run_ewise_mm(const KernelArgs* args) {
+  with_mask<MK>(args, [&](const auto& mask) {
+    with_trans<ATrans>(in_matrix<AT>(args->a), [&](const auto& a) {
+      with_trans<BTrans>(in_matrix<BT>(args->b), [&](const auto& b) {
+        if constexpr (IsAdd) {
+          gbtl::eWiseAdd(out_matrix<CT>(args->c), mask,
+                         make_accum<AccumT>(), Op<AT, BT, CT>{}, a, b,
+                         outp_of(args));
+        } else {
+          gbtl::eWiseMult(out_matrix<CT>(args->c), mask,
+                          make_accum<AccumT>(), Op<AT, BT, CT>{}, a, b,
+                          outp_of(args));
+        }
+      });
+    });
+  });
+}
+
+template <typename CT, typename AT, typename BT,
+          template <class, class, class> class Op, bool IsAdd, MaskKind MK,
+          typename AccumT>
+void run_ewise_vv(const KernelArgs* args) {
+  with_mask<MK>(args, [&](const auto& mask) {
+    if constexpr (IsAdd) {
+      gbtl::eWiseAdd(out_vector<CT>(args->c), mask, make_accum<AccumT>(),
+                     Op<AT, BT, CT>{}, in_vector<AT>(args->a),
+                     in_vector<BT>(args->b), outp_of(args));
+    } else {
+      gbtl::eWiseMult(out_vector<CT>(args->c), mask, make_accum<AccumT>(),
+                      Op<AT, BT, CT>{}, in_vector<AT>(args->a),
+                      in_vector<BT>(args->b), outp_of(args));
+    }
+  });
+}
+
+// Unary-op makers for apply: a plain unary functor, or a binary op with its
+// second operand bound to the runtime constant.
+template <template <class, class> class UOp>
+struct PlainUnary {
+  template <typename AT, typename CT>
+  static auto make(const KernelArgs*) {
+    return UOp<AT, CT>{};
+  }
+};
+
+template <template <class, class, class> class BOp>
+struct BoundSecond {
+  template <typename AT, typename CT>
+  static auto make(const KernelArgs* args) {
+    const CT bound = read_scalar<CT>(args);
+    return [bound](const AT& x) {
+      return BOp<CT, CT, CT>{}(static_cast<CT>(x), bound);
+    };
+  }
+};
+
+template <typename CT, typename AT, typename OpMaker, bool ATrans,
+          MaskKind MK, typename AccumT>
+void run_apply_m(const KernelArgs* args) {
+  auto f = OpMaker::template make<AT, CT>(args);
+  with_mask<MK>(args, [&](const auto& mask) {
+    with_trans<ATrans>(in_matrix<AT>(args->a), [&](const auto& a) {
+      gbtl::apply(out_matrix<CT>(args->c), mask, make_accum<AccumT>(), f, a,
+                  outp_of(args));
+    });
+  });
+}
+
+template <typename CT, typename AT, typename OpMaker, MaskKind MK,
+          typename AccumT>
+void run_apply_v(const KernelArgs* args) {
+  auto f = OpMaker::template make<AT, CT>(args);
+  with_mask<MK>(args, [&](const auto& mask) {
+    gbtl::apply(out_vector<CT>(args->c), mask, make_accum<AccumT>(), f,
+                in_vector<AT>(args->a), outp_of(args));
+  });
+}
+
+template <typename CT, typename AT, typename MonoidT, bool ATrans,
+          typename AccumT>
+void run_reduce_m_s(const KernelArgs* args) {
+  CT val = args->has_scalar_seed ? read_scalar_seed<CT>(args) : CT{};
+  with_trans<ATrans>(in_matrix<AT>(args->a), [&](const auto& a) {
+    gbtl::reduce(val, make_accum<AccumT>(), MonoidT{}, a);
+  });
+  write_scalar_out(args, val);
+}
+
+template <typename CT, typename AT, typename MonoidT, typename AccumT>
+void run_reduce_v_s(const KernelArgs* args) {
+  CT val = args->has_scalar_seed ? read_scalar_seed<CT>(args) : CT{};
+  gbtl::reduce(val, make_accum<AccumT>(), MonoidT{}, in_vector<AT>(args->a));
+  write_scalar_out(args, val);
+}
+
+template <typename CT, typename AT, typename MonoidT, bool ATrans,
+          MaskKind MK, typename AccumT>
+void run_reduce_m_v(const KernelArgs* args) {
+  with_mask<MK>(args, [&](const auto& mask) {
+    with_trans<ATrans>(in_matrix<AT>(args->a), [&](const auto& a) {
+      gbtl::reduce(out_vector<CT>(args->c), mask, make_accum<AccumT>(),
+                   MonoidT{}, a, outp_of(args));
+    });
+  });
+}
+
+template <typename CT, typename AT, MaskKind MK, typename AccumT>
+void run_assign_mm(const KernelArgs* args) {
+  with_mask<MK>(args, [&](const auto& mask) {
+    with_indices(args->row_indices, [&](const auto& rows) {
+      with_indices(args->col_indices, [&](const auto& cols) {
+        gbtl::assign(out_matrix<CT>(args->c), mask, make_accum<AccumT>(),
+                     in_matrix<AT>(args->a), rows, cols, outp_of(args));
+      });
+    });
+  });
+}
+
+template <typename CT, MaskKind MK, typename AccumT>
+void run_assign_ms(const KernelArgs* args) {
+  const CT val = read_scalar<CT>(args);
+  with_mask<MK>(args, [&](const auto& mask) {
+    with_indices(args->row_indices, [&](const auto& rows) {
+      with_indices(args->col_indices, [&](const auto& cols) {
+        gbtl::assign(out_matrix<CT>(args->c), mask, make_accum<AccumT>(),
+                     val, rows, cols, outp_of(args));
+      });
+    });
+  });
+}
+
+template <typename CT, typename AT, MaskKind MK, typename AccumT>
+void run_assign_vv(const KernelArgs* args) {
+  with_mask<MK>(args, [&](const auto& mask) {
+    with_indices(args->row_indices, [&](const auto& idx) {
+      gbtl::assign(out_vector<CT>(args->c), mask, make_accum<AccumT>(),
+                   in_vector<AT>(args->a), idx, outp_of(args));
+    });
+  });
+}
+
+template <typename CT, MaskKind MK, typename AccumT>
+void run_assign_vs(const KernelArgs* args) {
+  const CT val = read_scalar<CT>(args);
+  with_mask<MK>(args, [&](const auto& mask) {
+    with_indices(args->row_indices, [&](const auto& idx) {
+      gbtl::assign(out_vector<CT>(args->c), mask, make_accum<AccumT>(), val,
+                   idx, outp_of(args));
+    });
+  });
+}
+
+template <typename CT, typename AT, MaskKind MK, typename AccumT>
+void run_extract_mm(const KernelArgs* args) {
+  with_mask<MK>(args, [&](const auto& mask) {
+    with_indices(args->row_indices, [&](const auto& rows) {
+      with_indices(args->col_indices, [&](const auto& cols) {
+        gbtl::extract(out_matrix<CT>(args->c), mask, make_accum<AccumT>(),
+                      in_matrix<AT>(args->a), rows, cols, outp_of(args));
+      });
+    });
+  });
+}
+
+template <typename CT, typename AT, MaskKind MK, typename AccumT>
+void run_extract_vv(const KernelArgs* args) {
+  with_mask<MK>(args, [&](const auto& mask) {
+    with_indices(args->row_indices, [&](const auto& idx) {
+      gbtl::extract(out_vector<CT>(args->c), mask, make_accum<AccumT>(),
+                    in_vector<AT>(args->a), idx, outp_of(args));
+    });
+  });
+}
+
+template <typename CT, typename AT, bool ATrans, MaskKind MK,
+          typename AccumT>
+void run_transpose_m(const KernelArgs* args) {
+  with_mask<MK>(args, [&](const auto& mask) {
+    with_trans<ATrans>(in_matrix<AT>(args->a), [&](const auto& a) {
+      gbtl::transpose(out_matrix<CT>(args->c), mask, make_accum<AccumT>(), a,
+                      outp_of(args));
+    });
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Whole-algorithm entry points: the Fig. 10 "Python calls a complete C++
+// algorithm" series — one dispatch for the entire outer loop.
+// ---------------------------------------------------------------------------
+
+/// c = levels Vector<CT>, a = graph Matrix<AT>, b = frontier Vector<bool>.
+/// scalar_out.i receives the number of plies.
+template <typename CT, typename AT>
+void run_algo_bfs(const KernelArgs* args) {
+  const auto depth = pygb::algo::bfs(in_matrix<AT>(args->a),
+                                     in_vector<bool>(args->b),
+                                     out_vector<CT>(args->c));
+  write_scalar_out(args, static_cast<std::int64_t>(depth));
+}
+
+/// c = path Vector<CT> (pre-seeded), a = graph Matrix<AT>.
+template <typename CT, typename AT>
+void run_algo_sssp(const KernelArgs* args) {
+  pygb::algo::sssp(in_matrix<AT>(args->a), out_vector<CT>(args->c));
+}
+
+/// c = rank Vector<CT>, a = graph Matrix<AT>; extra0 = damping,
+/// extra1 = threshold, extra2 = max iterations. scalar_out.i = iterations.
+template <typename CT, typename AT>
+void run_algo_pagerank(const KernelArgs* args) {
+  const unsigned iters = pygb::algo::page_rank(
+      in_matrix<AT>(args->a), out_vector<CT>(args->c),
+      static_cast<CT>(args->extra0), static_cast<CT>(args->extra1),
+      static_cast<unsigned>(args->extra2));
+  write_scalar_out(args, static_cast<std::int64_t>(iters));
+}
+
+/// a = L Matrix<AT>; scalar_out receives the triangle count as CT.
+template <typename CT, typename AT>
+void run_algo_tc(const KernelArgs* args) {
+  const CT count = pygb::algo::triangle_count<CT>(in_matrix<AT>(args->a));
+  write_scalar_out(args, count);
+}
+
+/// c = labels Vector<CT>, a = graph Matrix<AT>; scalar_out.i = rounds.
+template <typename CT, typename AT>
+void run_algo_cc(const KernelArgs* args) {
+  const auto rounds = pygb::algo::connected_components(
+      in_matrix<AT>(args->a), out_vector<CT>(args->c));
+  write_scalar_out(args, static_cast<std::int64_t>(rounds));
+}
+
+}  // namespace pygb::jit

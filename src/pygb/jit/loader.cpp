@@ -1,0 +1,28 @@
+#include "pygb/jit/loader.hpp"
+
+#include <dlfcn.h>
+
+namespace pygb::jit {
+
+KernelFn load_kernel(const std::string& so_path, std::string* error) {
+  void* handle = dlopen(so_path.c_str(), RTLD_NOW | RTLD_LOCAL);
+  if (handle == nullptr) {
+    if (error != nullptr) {
+      const char* msg = dlerror();
+      *error = msg != nullptr ? msg : "dlopen failed";
+    }
+    return nullptr;
+  }
+  void* sym = dlsym(handle, kKernelSymbol);
+  if (sym == nullptr) {
+    if (error != nullptr) {
+      const char* msg = dlerror();
+      *error = msg != nullptr ? msg : "dlsym failed";
+    }
+    dlclose(handle);
+    return nullptr;
+  }
+  return reinterpret_cast<KernelFn>(sym);
+}
+
+}  // namespace pygb::jit

@@ -1,0 +1,19 @@
+// pygb/jit/loader.hpp — the dlopen/dlsym stage of Fig. 9's module import.
+#pragma once
+
+#include <string>
+
+#include "pygb/jit/module_key.hpp"
+
+namespace pygb::jit {
+
+/// The symbol every generated module exports.
+inline constexpr const char* kKernelSymbol = "pygb_kernel";
+
+/// dlopen the shared object and resolve the kernel entry point. Returns
+/// nullptr and fills *error on failure. Handles are kept open for the
+/// process lifetime (modules are cached, never unloaded — matching
+/// Python's importlib behaviour).
+KernelFn load_kernel(const std::string& so_path, std::string* error);
+
+}  // namespace pygb::jit

@@ -1,0 +1,71 @@
+#include "pygb/jit/module_key.hpp"
+
+#include <sstream>
+
+namespace pygb::jit {
+
+const char* to_string(MaskKind mk) {
+  switch (mk) {
+    case MaskKind::kNone:
+      return "none";
+    case MaskKind::kMatrix:
+      return "mat";
+    case MaskKind::kMatrixComp:
+      return "matc";
+    case MaskKind::kVector:
+      return "vec";
+    case MaskKind::kVectorComp:
+      return "vecc";
+  }
+  return "?";
+}
+
+std::string FusedChainDesc::signature() const {
+  std::ostringstream os;
+  os << "chain:" << name;
+  for (const auto& p : params) {
+    os << '|';
+    switch (p.kind) {
+      case ChainParam::Kind::kMatrix:
+        os << 'M' << display_name(p.dtype);
+        break;
+      case ChainParam::Kind::kVector:
+        os << 'V' << display_name(p.dtype);
+        break;
+      case ChainParam::Kind::kScalar:
+        os << 'S';
+        break;
+    }
+  }
+  for (const auto& st : statements) {
+    os << '|' << st.func << ':' << st.target << ',' << st.a << ',' << st.b
+       << ',' << st.scalar << (st.a_transposed ? "T" : "")
+       << (st.b_transposed ? "t" : "");
+    if (st.semiring) os << ":sr=" << st.semiring->key();
+    if (st.binary_op) os << ":op=" << st.binary_op->gbtl_name();
+    if (st.plain_unary) os << ":f=" << to_string(*st.plain_unary);
+    if (st.bound_op) os << ":bnd=" << st.bound_op->gbtl_name();
+    if (st.monoid) os << ":mon=" << st.monoid->key();
+    if (st.accum) os << ":acc=" << st.accum->gbtl_name();
+  }
+  return os.str();
+}
+
+std::string OpRequest::key() const {
+  if (chain) return chain->signature();
+  std::ostringstream os;
+  os << func << "|c=" << display_name(c);
+  if (a) os << "|a=" << display_name(*a) << (a_transposed ? "T" : "");
+  if (b) os << "|b=" << display_name(*b) << (b_transposed ? "T" : "");
+  os << "|m=" << to_string(mask);
+  if (semiring) os << "|sr=" << semiring->key();
+  if (monoid) os << "|mon=" << monoid->key();
+  if (binary_op) os << "|op=" << binary_op->gbtl_name();
+  if (unary_op) os << "|f=" << unary_op->structural_key();
+  if (accum) os << "|acc=" << accum->gbtl_name();
+  if (user_binary) os << "|op=" << user_binary->key();
+  if (user_unary) os << "|f=" << user_unary->key();
+  return os.str();
+}
+
+}  // namespace pygb::jit

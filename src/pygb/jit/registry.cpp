@@ -1,0 +1,237 @@
+#include "pygb/jit/registry.hpp"
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+
+#include "pygb/jit/codegen.hpp"
+#include "pygb/jit/compiler.hpp"
+#include "pygb/jit/loader.hpp"
+
+namespace pygb::jit {
+
+namespace fs = std::filesystem;
+
+const char* to_string(Mode m) {
+  switch (m) {
+    case Mode::kAuto:
+      return "auto";
+    case Mode::kStatic:
+      return "static";
+    case Mode::kJit:
+      return "jit";
+    case Mode::kInterp:
+      return "interp";
+  }
+  return "?";
+}
+
+Mode parse_mode(const std::string& name) {
+  if (name == "auto") return Mode::kAuto;
+  if (name == "static") return Mode::kStatic;
+  if (name == "jit") return Mode::kJit;
+  if (name == "interp") return Mode::kInterp;
+  throw std::invalid_argument("pygb: unknown PYGB_JIT_MODE '" + name + "'");
+}
+
+std::uint64_t key_hash(const std::string& key) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;  // FNV-1a
+  for (unsigned char c : key) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+Registry& Registry::instance() {
+  static Registry registry;
+  return registry;
+}
+
+Registry::Registry() {
+  if (const char* m = std::getenv("PYGB_JIT_MODE");
+      m != nullptr && *m != '\0') {
+    mode_ = parse_mode(m);
+  }
+  if (const char* d = std::getenv("PYGB_CACHE_DIR");
+      d != nullptr && *d != '\0') {
+    cache_dir_ = d;
+  } else {
+    cache_dir_ = (fs::temp_directory_path() / "pygb_module_cache").string();
+  }
+  register_static_kernels(*this);
+}
+
+void Registry::register_static(const std::string& key, KernelFn fn) {
+  static_table_.emplace(key, fn);
+}
+
+void Registry::set_cache_dir(const std::string& dir) {
+  std::lock_guard lock(mu_);
+  cache_dir_ = dir;
+}
+
+void Registry::clear_memory_cache() {
+  std::lock_guard lock(mu_);
+  memory_cache_.clear();
+}
+
+void Registry::clear_disk_cache() {
+  std::lock_guard lock(mu_);
+  memory_cache_.clear();
+  std::error_code ec;
+  fs::remove_all(cache_dir_, ec);
+}
+
+RegistryStats Registry::stats() const {
+  std::lock_guard lock(mu_);
+  return stats_;
+}
+
+void Registry::reset_stats() {
+  std::lock_guard lock(mu_);
+  stats_ = RegistryStats{};
+}
+
+std::size_t Registry::static_kernel_count() const {
+  return static_table_.size();
+}
+
+bool Registry::compiler_available() const {
+  return pygb::jit::compiler_available();
+}
+
+KernelFn Registry::resolve_static(const std::string& key) const {
+  auto it = static_table_.find(key);
+  return it == static_table_.end() ? nullptr : it->second;
+}
+
+KernelFn Registry::resolve_jit(const OpRequest& req, const std::string& key) {
+  // Memory cache (caller holds the lock).
+  if (auto it = memory_cache_.find(key); it != memory_cache_.end()) {
+    ++stats_.memory_hits;
+    return it->second;
+  }
+
+  const std::string stem = "pygb_" + std::to_string(key_hash(key));
+  const fs::path dir(cache_dir_);
+  const fs::path so_path = dir / (stem + ".so");
+
+  // Disk cache: a previous process (or run) already compiled this module.
+  if (fs::exists(so_path)) {
+    std::string err;
+    if (KernelFn fn = load_kernel(so_path.string(), &err)) {
+      ++stats_.disk_hits;
+      memory_cache_.emplace(key, fn);
+      return fn;
+    }
+    // Corrupt/incompatible module: fall through and recompile.
+    std::error_code ec;
+    fs::remove(so_path, ec);
+  }
+
+  // Compile.
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  const fs::path src_path = dir / (stem + ".cpp");
+  {
+    std::ofstream src(src_path);
+    src << generate_source(req);
+  }
+  const CompileResult cr = compile_module(src_path.string(), so_path.string());
+  ++stats_.compiles;
+  stats_.compile_seconds += cr.seconds;
+  if (!cr.ok) {
+    throw NoKernelError("pygb: JIT compilation failed for key '" + key +
+                        "':\n" + cr.log);
+  }
+  std::string err;
+  KernelFn fn = load_kernel(so_path.string(), &err);
+  if (fn == nullptr) {
+    throw NoKernelError("pygb: failed to load compiled module for key '" +
+                        key + "': " + err);
+  }
+  memory_cache_.emplace(key, fn);
+  return fn;
+}
+
+KernelFn Registry::get(const OpRequest& req) {
+  const std::string key = req.key();
+  std::lock_guard lock(mu_);
+  ++stats_.lookups;
+
+  switch (mode_) {
+    case Mode::kStatic: {
+      if (KernelFn fn = resolve_static(key)) {
+        ++stats_.static_hits;
+        return fn;
+      }
+      throw NoKernelError(
+          "pygb: no statically instantiated kernel for key '" + key +
+          "' (the ahead-of-time combination space is intractable — see "
+          "combination_space(); use jit/auto mode)");
+    }
+    case Mode::kJit:
+      return resolve_jit(req, key);
+    case Mode::kInterp:
+      ++stats_.interp_dispatches;
+      return interp_kernel();
+    case Mode::kAuto: {
+      if (KernelFn fn = resolve_static(key)) {
+        ++stats_.static_hits;
+        return fn;
+      }
+      if (compiler_available()) {
+        return resolve_jit(req, key);
+      }
+      ++stats_.interp_dispatches;
+      return interp_kernel();
+    }
+  }
+  throw std::logic_error("pygb: corrupt registry mode");
+}
+
+std::uint64_t combination_space(const std::string& f) {
+  // §V of the paper's accounting: 11 POD dtypes per container slot (mxm
+  // takes four containers: two inputs, output, mask → 11^4); from the 17
+  // binary operators there are 17 * 11^3 accumulator types (two input and
+  // one output type each) and ~17*60 = 1020 semiring types; each input can
+  // be transposed and the mask complemented. That yields the paper's
+  // "roughly 6 trillion combinations of template parameters for mxm".
+  constexpr std::uint64_t kD = 11;   // dtypes
+  constexpr std::uint64_t kB = 17;   // binary operators
+  constexpr std::uint64_t kU = 4;    // unary operators
+  constexpr std::uint64_t kAccumTyped =
+      kB * kD * kD * kD + 1;         // typed accumulators or none
+  constexpr std::uint64_t kAccum = kB + 1;  // untyped: accumulator or none
+  constexpr std::uint64_t kMaskM = 3;  // none / mask / complemented
+  constexpr std::uint64_t kSemirings = 1020;  // paper's count
+  if (f == func::kMxM) {
+    return kD * kD * kD * kD * kAccumTyped * kSemirings * 4 * 2;
+  }
+  if (f == func::kMxV || f == func::kVxM) {
+    return kD * kD * kD * kD * kAccumTyped * kSemirings * 2 * 2;
+  }
+  if (f == func::kEWiseAddMM || f == func::kEWiseMultMM) {
+    return kD * kD * kD * kD * kB * kAccum * 4 * kMaskM;
+  }
+  if (f == func::kEWiseAddVV || f == func::kEWiseMultVV) {
+    return kD * kD * kD * kD * kB * kAccum * kMaskM;
+  }
+  if (f == func::kApplyM) {
+    return kD * kD * kD * (kU + kB) * kAccum * 2 * kMaskM;
+  }
+  if (f == func::kApplyV) {
+    return kD * kD * kD * (kU + kB) * kAccum * kMaskM;
+  }
+  if (f == func::kReduceMS || f == func::kReduceVS) {
+    return kD * kD * kB * kAccum;
+  }
+  if (f == func::kReduceMV) {
+    return kD * kD * kD * kB * kAccum * 2 * kMaskM;
+  }
+  // assign/extract/transpose: dtypes x accum x mask.
+  return kD * kD * kD * kAccum * kMaskM;
+}
+
+}  // namespace pygb::jit

@@ -1,0 +1,110 @@
+// pygb/jit/registry.hpp — the module cache of Fig. 9's get_module():
+// canonical key → kernel, checked in memory first, then on disk, with a
+// g++ invocation on a miss. Three backends provide kernels:
+//
+//   * static — templates instantiated into this binary at build time (a
+//     curated set; §V of the paper explains why covering every combination
+//     ahead of time is infeasible — see static_combination_space()).
+//   * jit    — source generated from the request, compiled to a shared
+//     object, dlopen'd, and cached in memory and on disk.
+//   * interp — a single generic kernel interpreting the request over
+//     double-staged copies (the "union type" design the paper rejected;
+//     kept as the always-available fallback and as an ablation subject).
+//
+// Mode selection: PYGB_JIT_MODE = auto | static | jit | interp
+// (auto = static, then jit when a compiler is available, then interp).
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "pygb/jit/module_key.hpp"
+
+namespace pygb::jit {
+
+enum class Mode : std::uint8_t { kAuto, kStatic, kJit, kInterp };
+
+const char* to_string(Mode m);
+Mode parse_mode(const std::string& name);
+
+/// Raised when a backend cannot provide a kernel (e.g. static-only mode
+/// with an unregistered combination — the paper's motivating failure).
+class NoKernelError : public std::runtime_error {
+ public:
+  explicit NoKernelError(const std::string& msg) : std::runtime_error(msg) {}
+};
+
+struct RegistryStats {
+  std::size_t lookups = 0;
+  std::size_t static_hits = 0;
+  std::size_t memory_hits = 0;      ///< previously dlopen'd JIT module
+  std::size_t disk_hits = 0;        ///< .so found in the cache directory
+  std::size_t compiles = 0;         ///< g++ invocations
+  std::size_t interp_dispatches = 0;
+  double compile_seconds = 0.0;     ///< total wall time inside g++
+};
+
+class Registry {
+ public:
+  /// Process-wide instance; mode and cache dir initialized from the
+  /// PYGB_JIT_MODE / PYGB_CACHE_DIR environment variables.
+  static Registry& instance();
+
+  /// Resolve a kernel for the request, compiling if necessary.
+  KernelFn get(const OpRequest& req);
+
+  /// Register a build-time-instantiated kernel (static backend).
+  void register_static(const std::string& key, KernelFn fn);
+
+  Mode mode() const noexcept { return mode_; }
+  void set_mode(Mode m) noexcept { mode_ = m; }
+
+  const std::string& cache_dir() const noexcept { return cache_dir_; }
+  void set_cache_dir(const std::string& dir);
+
+  /// Drop in-memory JIT handles (disk cache untouched). For benchmarks
+  /// that measure cold-vs-warm dispatch.
+  void clear_memory_cache();
+  /// Delete the on-disk module cache as well.
+  void clear_disk_cache();
+
+  RegistryStats stats() const;
+  void reset_stats();
+
+  std::size_t static_kernel_count() const;
+  bool compiler_available() const;
+
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+ private:
+  Registry();
+
+  KernelFn resolve_static(const std::string& key) const;
+  KernelFn resolve_jit(const OpRequest& req, const std::string& key);
+
+  mutable std::mutex mu_;
+  Mode mode_ = Mode::kAuto;
+  std::string cache_dir_;
+  std::unordered_map<std::string, KernelFn> static_table_;
+  std::unordered_map<std::string, KernelFn> memory_cache_;
+  RegistryStats stats_;
+};
+
+/// Defined in static_kernels.cpp: instantiate + register the curated set.
+void register_static_kernels(Registry& registry);
+
+/// Defined in interp_kernels.cpp: the generic interpreting kernel.
+KernelFn interp_kernel();
+
+/// The §V combinatorics: how many distinct (dtype, operator, transpose,
+/// mask) combinations exist for the given operation — the number that makes
+/// ahead-of-time instantiation infeasible and motivates the JIT.
+std::uint64_t combination_space(const std::string& func);
+
+/// Stable 64-bit FNV-1a hash of a dispatch key (module file names).
+std::uint64_t key_hash(const std::string& key);
+
+}  // namespace pygb::jit

@@ -1,0 +1,77 @@
+// Build-time kernel registration: umbrella + the whole-algorithm kernels.
+#include "pygb/jit/static_kernels.hpp"
+
+namespace pygb::jit {
+
+void register_static_kernels(Registry& registry) {
+  static_reg::register_mxm(registry);
+  static_reg::register_mxv_vxm(registry);
+  static_reg::register_ewise(registry);
+  static_reg::register_apply_reduce(registry);
+  static_reg::register_assign_extract(registry);
+  static_reg::register_algorithms(registry);
+}
+
+namespace static_reg {
+
+namespace {
+
+template <typename CT, typename AT>
+void reg_algos(Registry& r) {
+  {
+    OpRequest req;
+    req.func = func::kAlgoBfs;
+    req.c = dtype_of<CT>();
+    req.a = dtype_of<AT>();
+    req.b = DType::kBool;
+    r.register_static(req.key(), &run_algo_bfs<CT, AT>);
+  }
+  {
+    OpRequest req;
+    req.func = func::kAlgoTriangleCount;
+    req.c = dtype_of<CT>();
+    req.a = dtype_of<AT>();
+    r.register_static(req.key(), &run_algo_tc<CT, AT>);
+  }
+  {
+    OpRequest req;
+    req.func = func::kAlgoConnectedComponents;
+    req.c = dtype_of<CT>();
+    req.a = dtype_of<AT>();
+    r.register_static(req.key(), &run_algo_cc<CT, AT>);
+  }
+}
+
+template <typename CT, typename AT>
+void reg_float_algos(Registry& r) {
+  {
+    OpRequest req;
+    req.func = func::kAlgoSssp;
+    req.c = dtype_of<CT>();
+    req.a = dtype_of<AT>();
+    r.register_static(req.key(), &run_algo_sssp<CT, AT>);
+  }
+  {
+    OpRequest req;
+    req.func = func::kAlgoPagerank;
+    req.c = dtype_of<CT>();
+    req.a = dtype_of<AT>();
+    r.register_static(req.key(), &run_algo_pagerank<CT, AT>);
+  }
+}
+
+}  // namespace
+
+void register_algorithms(Registry& r) {
+  reg_algos<std::int64_t, double>(r);
+  reg_algos<std::int64_t, std::int64_t>(r);
+  reg_algos<std::int64_t, bool>(r);
+  reg_algos<std::int32_t, double>(r);
+  reg_float_algos<double, double>(r);
+  reg_float_algos<double, std::int64_t>(r);
+  reg_float_algos<float, float>(r);
+}
+
+}  // namespace static_reg
+
+}  // namespace pygb::jit

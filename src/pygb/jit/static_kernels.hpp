@@ -1,0 +1,141 @@
+// pygb/jit/static_kernels.hpp — shared machinery for the build-time kernel
+// registrations, split across several translation units so the curated set
+// compiles in parallel.
+//
+// The static backend intentionally covers only a curated slice of the
+// combination space (the paper's §V point: covering all of it ahead of
+// time is intractable — combination_space() quantifies this). Registration
+// uses descriptor objects whose canonical keys are exactly the keys the
+// DSL evaluator computes, so a static hit and a JIT module are
+// interchangeable.
+#pragma once
+
+#include <optional>
+
+#include "pygb/jit/glue.hpp"
+#include "pygb/jit/registry.hpp"
+
+namespace pygb::jit::static_reg {
+
+template <typename... Ts>
+struct TypeList {};
+
+template <typename... Ts, typename F>
+void for_types(TypeList<Ts...>, F&& f) {
+  (f(pygb::TypeTag<Ts>{}), ...);
+}
+
+/// Wide dtype coverage for cheap kernels (no mask/accumulator variants).
+using DtWide = TypeList<bool, std::int8_t, std::int32_t, std::int64_t,
+                        std::uint32_t, std::uint64_t, float, double>;
+/// Narrow coverage for kernels registered across all mask/accum/transpose
+/// variants (the DSL's default dtypes plus bool masks' neighbours).
+using DtCore = TypeList<bool, std::int64_t, double>;
+
+// --- semiring specs: descriptor (for the key) + concrete glue type -------
+
+struct SrArithmetic {
+  static pygb::Semiring descriptor() { return pygb::ArithmeticSemiring(); }
+  template <typename A, typename B, typename C>
+  using type = GenericSemiring<A, B, C, gbtl::Plus, IdZero, gbtl::Times>;
+};
+struct SrLogical {
+  static pygb::Semiring descriptor() { return pygb::LogicalSemiring(); }
+  template <typename A, typename B, typename C>
+  using type =
+      GenericSemiring<A, B, C, gbtl::LogicalOr, IdFalse, gbtl::LogicalAnd>;
+};
+struct SrMinPlus {
+  static pygb::Semiring descriptor() { return pygb::MinPlusSemiring(); }
+  template <typename A, typename B, typename C>
+  using type = GenericSemiring<A, B, C, gbtl::Min, IdMaxLimit, gbtl::Plus>;
+};
+struct SrMinSelect2nd {
+  static pygb::Semiring descriptor() { return pygb::MinSelect2ndSemiring(); }
+  template <typename A, typename B, typename C>
+  using type = GenericSemiring<A, B, C, gbtl::Min, IdMaxLimit, gbtl::Second>;
+};
+struct SrMaxTimes {
+  static pygb::Semiring descriptor() { return pygb::MaxTimesSemiring(); }
+  template <typename A, typename B, typename C>
+  using type = GenericSemiring<A, B, C, gbtl::Max, IdLowestLimit, gbtl::Times>;
+};
+
+// --- monoid specs ---------------------------------------------------------
+
+struct MonPlus {
+  static pygb::Monoid descriptor() { return pygb::PlusMonoid(); }
+  template <typename C>
+  using type = GenericMonoid<C, gbtl::Plus, IdZero>;
+};
+struct MonTimes {
+  static pygb::Monoid descriptor() { return pygb::TimesMonoid(); }
+  template <typename C>
+  using type = GenericMonoid<C, gbtl::Times, IdOne>;
+};
+struct MonMin {
+  static pygb::Monoid descriptor() { return pygb::MinMonoid(); }
+  template <typename C>
+  using type = GenericMonoid<C, gbtl::Min, IdMaxLimit>;
+};
+struct MonMax {
+  static pygb::Monoid descriptor() { return pygb::MaxMonoid(); }
+  template <typename C>
+  using type = GenericMonoid<C, gbtl::Max, IdLowestLimit>;
+};
+struct MonLogicalOr {
+  static pygb::Monoid descriptor() { return pygb::LogicalOrMonoid(); }
+  template <typename C>
+  using type = GenericMonoid<C, gbtl::LogicalOr, IdFalse>;
+};
+
+// --- accumulator specs ------------------------------------------------------
+
+struct AccNone {
+  static std::optional<pygb::BinaryOp> descriptor() { return std::nullopt; }
+  template <typename C>
+  using type = gbtl::NoAccumulate;
+};
+#define PYGB_ACC_SPEC(NAME)                                             \
+  struct Acc##NAME {                                                    \
+    static std::optional<pygb::BinaryOp> descriptor() {                 \
+      return pygb::BinaryOp(#NAME);                                     \
+    }                                                                   \
+    template <typename C>                                               \
+    using type = gbtl::NAME<C, C, C>;                                   \
+  };
+PYGB_ACC_SPEC(Plus)
+PYGB_ACC_SPEC(Min)
+PYGB_ACC_SPEC(Max)
+PYGB_ACC_SPEC(Second)
+PYGB_ACC_SPEC(Times)
+#undef PYGB_ACC_SPEC
+
+// --- binary op specs for eWise kernels -------------------------------------
+
+#define PYGB_BOP_SPEC(NAME)                                             \
+  struct Bop##NAME {                                                    \
+    static pygb::BinaryOp descriptor() { return pygb::BinaryOp(#NAME); } \
+    template <typename A, typename B, typename C>                       \
+    using type = gbtl::NAME<A, B, C>;                                   \
+  };
+PYGB_BOP_SPEC(Plus)
+PYGB_BOP_SPEC(Minus)
+PYGB_BOP_SPEC(Times)
+PYGB_BOP_SPEC(Div)
+PYGB_BOP_SPEC(Min)
+PYGB_BOP_SPEC(Max)
+PYGB_BOP_SPEC(LogicalOr)
+PYGB_BOP_SPEC(LogicalAnd)
+#undef PYGB_BOP_SPEC
+
+// --- registration entry points (one per translation unit) ------------------
+
+void register_mxm(Registry& r);
+void register_mxv_vxm(Registry& r);
+void register_ewise(Registry& r);
+void register_apply_reduce(Registry& r);
+void register_assign_extract(Registry& r);
+void register_algorithms(Registry& r);
+
+}  // namespace pygb::jit::static_reg

@@ -1,0 +1,166 @@
+// Build-time registrations: apply (plain + bound unary ops) and reduce.
+#include "pygb/jit/static_kernels.hpp"
+
+namespace pygb::jit::static_reg {
+
+namespace {
+
+// Unary-op specs: descriptor + glue op-maker.
+#define PYGB_UOP_SPEC(NAME)                                              \
+  struct Uop##NAME {                                                     \
+    static pygb::UnaryOp descriptor() { return pygb::UnaryOp(#NAME); }   \
+    using maker = PlainUnary<gbtl::NAME>;                                \
+  };
+PYGB_UOP_SPEC(Identity)
+PYGB_UOP_SPEC(AdditiveInverse)
+PYGB_UOP_SPEC(MultiplicativeInverse)
+PYGB_UOP_SPEC(LogicalNot)
+#undef PYGB_UOP_SPEC
+
+// Bound (bind-2nd) unary specs: the bound value travels at run time; only
+// its dtype channel enters the key. Register for both channels.
+#define PYGB_BOUND_SPEC(NAME)                                            \
+  struct Bound##NAME {                                                   \
+    static pygb::UnaryOp descriptor(pygb::DType channel) {               \
+      return pygb::UnaryOp(pygb::BinaryOpName::k##NAME,                  \
+                           pygb::Scalar(0.0, channel));                  \
+    }                                                                    \
+    using maker = BoundSecond<gbtl::NAME>;                               \
+  };
+PYGB_BOUND_SPEC(Times)
+PYGB_BOUND_SPEC(Plus)
+PYGB_BOUND_SPEC(Minus)
+PYGB_BOUND_SPEC(Div)
+PYGB_BOUND_SPEC(Max)
+PYGB_BOUND_SPEC(Min)
+#undef PYGB_BOUND_SPEC
+
+/// Register apply_m and apply_v across the three mask kinds each.
+template <typename CT, typename AT, typename Spec, typename Acc>
+void reg_apply_all(Registry& r, const pygb::UnaryOp& desc) {
+  auto reg_m = [&]<MaskKind MK>() {
+    OpRequest req;
+    req.func = func::kApplyM;
+    req.c = dtype_of<CT>();
+    req.a = dtype_of<AT>();
+    req.mask = MK;
+    req.unary_op = desc;
+    req.accum = Acc::descriptor();
+    r.register_static(req.key(),
+                      &run_apply_m<CT, AT, typename Spec::maker, false, MK,
+                                   typename Acc::template type<CT>>);
+  };
+  auto reg_v = [&]<MaskKind MK>() {
+    OpRequest req;
+    req.func = func::kApplyV;
+    req.c = dtype_of<CT>();
+    req.a = dtype_of<AT>();
+    req.mask = MK;
+    req.unary_op = desc;
+    req.accum = Acc::descriptor();
+    r.register_static(req.key(),
+                      &run_apply_v<CT, AT, typename Spec::maker, MK,
+                                   typename Acc::template type<CT>>);
+  };
+  reg_m.template operator()<MaskKind::kNone>();
+  reg_m.template operator()<MaskKind::kMatrix>();
+  reg_m.template operator()<MaskKind::kMatrixComp>();
+  reg_v.template operator()<MaskKind::kNone>();
+  reg_v.template operator()<MaskKind::kVector>();
+  reg_v.template operator()<MaskKind::kVectorComp>();
+}
+
+template <typename CT, typename AT, typename Mon, typename Acc>
+void reg_reduce(Registry& r) {
+  {
+    OpRequest req;
+    req.func = func::kReduceMS;
+    req.c = dtype_of<CT>();
+    req.a = dtype_of<AT>();
+    req.monoid = Mon::descriptor();
+    req.accum = Acc::descriptor();
+    r.register_static(
+        req.key(),
+        &run_reduce_m_s<CT, AT, typename Mon::template type<CT>, false,
+                        typename Acc::template type<CT>>);
+  }
+  {
+    OpRequest req;
+    req.func = func::kReduceVS;
+    req.c = dtype_of<CT>();
+    req.a = dtype_of<AT>();
+    req.monoid = Mon::descriptor();
+    req.accum = Acc::descriptor();
+    r.register_static(
+        req.key(),
+        &run_reduce_v_s<CT, AT, typename Mon::template type<CT>,
+                        typename Acc::template type<CT>>);
+  }
+  {
+    OpRequest req;
+    req.func = func::kReduceMV;
+    req.c = dtype_of<CT>();
+    req.a = dtype_of<AT>();
+    req.monoid = Mon::descriptor();
+    req.accum = Acc::descriptor();
+    req.mask = MaskKind::kNone;
+    r.register_static(
+        req.key(),
+        &run_reduce_m_v<CT, AT, typename Mon::template type<CT>, false,
+                        MaskKind::kNone, typename Acc::template type<CT>>);
+    req.mask = MaskKind::kVector;
+    r.register_static(
+        req.key(),
+        &run_reduce_m_v<CT, AT, typename Mon::template type<CT>, false,
+                        MaskKind::kVector, typename Acc::template type<CT>>);
+    req.mask = MaskKind::kVectorComp;
+    r.register_static(
+        req.key(),
+        &run_reduce_m_v<CT, AT, typename Mon::template type<CT>, false,
+                        MaskKind::kVectorComp,
+                        typename Acc::template type<CT>>);
+  }
+}
+
+}  // namespace
+
+void register_apply_reduce(Registry& r) {
+  for_types(DtCore{}, [&](auto tag) {
+    using T = typename decltype(tag)::type;
+    reg_apply_all<T, T, UopIdentity, AccNone>(r, UopIdentity::descriptor());
+    reg_apply_all<T, T, UopAdditiveInverse, AccNone>(
+        r, UopAdditiveInverse::descriptor());
+    reg_apply_all<T, T, UopLogicalNot, AccNone>(r,
+                                                UopLogicalNot::descriptor());
+    // Bound ops for both scalar channels (int and float constants).
+    reg_apply_all<T, T, BoundTimes, AccNone>(
+        r, BoundTimes::descriptor(DType::kFP64));
+    reg_apply_all<T, T, BoundTimes, AccNone>(
+        r, BoundTimes::descriptor(DType::kInt64));
+    reg_apply_all<T, T, BoundPlus, AccNone>(
+        r, BoundPlus::descriptor(DType::kFP64));
+    reg_apply_all<T, T, BoundPlus, AccNone>(
+        r, BoundPlus::descriptor(DType::kInt64));
+    reg_apply_all<T, T, BoundMinus, AccNone>(
+        r, BoundMinus::descriptor(DType::kFP64));
+
+    reg_reduce<T, T, MonPlus, AccNone>(r);
+    reg_reduce<T, T, MonMin, AccNone>(r);
+    reg_reduce<T, T, MonMax, AccNone>(r);
+    reg_reduce<T, T, MonPlus, AccPlus>(r);
+  });
+  for_types(TypeList<double, float>{}, [&](auto tag) {
+    using T = typename decltype(tag)::type;
+    reg_apply_all<T, T, UopMultiplicativeInverse, AccNone>(
+        r, UopMultiplicativeInverse::descriptor());
+    reg_apply_all<T, T, BoundDiv, AccNone>(
+        r, BoundDiv::descriptor(DType::kFP64));
+  });
+  // Wide plain coverage for reduce-to-scalar (cheap kernels).
+  for_types(DtWide{}, [&](auto tag) {
+    using T = typename decltype(tag)::type;
+    reg_reduce<T, T, MonPlus, AccNone>(r);
+  });
+}
+
+}  // namespace pygb::jit::static_reg

@@ -1,0 +1,130 @@
+// Build-time registrations: assign, extract, transpose.
+#include "pygb/jit/static_kernels.hpp"
+
+namespace pygb::jit::static_reg {
+
+namespace {
+
+template <typename CT, typename AT, typename Acc, MaskKind MK>
+void reg_assign_extract_matrix(Registry& r) {
+  {
+    OpRequest req;
+    req.func = func::kAssignMM;
+    req.c = dtype_of<CT>();
+    req.a = dtype_of<AT>();
+    req.mask = MK;
+    req.accum = Acc::descriptor();
+    r.register_static(req.key(),
+                      &run_assign_mm<CT, AT, MK,
+                                     typename Acc::template type<CT>>);
+  }
+  {
+    OpRequest req;
+    req.func = func::kExtractMM;
+    req.c = dtype_of<CT>();
+    req.a = dtype_of<AT>();
+    req.mask = MK;
+    req.accum = Acc::descriptor();
+    r.register_static(req.key(),
+                      &run_extract_mm<CT, AT, MK,
+                                      typename Acc::template type<CT>>);
+  }
+}
+
+template <typename CT, typename Acc, MaskKind MK>
+void reg_assign_ms(Registry& r) {
+  OpRequest req;
+  req.func = func::kAssignMS;
+  req.c = dtype_of<CT>();
+  req.mask = MK;
+  req.accum = Acc::descriptor();
+  r.register_static(req.key(),
+                    &run_assign_ms<CT, MK, typename Acc::template type<CT>>);
+}
+
+template <typename CT, typename AT, typename Acc, MaskKind MK>
+void reg_assign_extract_vector(Registry& r) {
+  {
+    OpRequest req;
+    req.func = func::kAssignVV;
+    req.c = dtype_of<CT>();
+    req.a = dtype_of<AT>();
+    req.mask = MK;
+    req.accum = Acc::descriptor();
+    r.register_static(req.key(),
+                      &run_assign_vv<CT, AT, MK,
+                                     typename Acc::template type<CT>>);
+  }
+  {
+    OpRequest req;
+    req.func = func::kExtractVV;
+    req.c = dtype_of<CT>();
+    req.a = dtype_of<AT>();
+    req.mask = MK;
+    req.accum = Acc::descriptor();
+    r.register_static(req.key(),
+                      &run_extract_vv<CT, AT, MK,
+                                      typename Acc::template type<CT>>);
+  }
+}
+
+template <typename CT, typename Acc, MaskKind MK>
+void reg_assign_vs(Registry& r) {
+  OpRequest req;
+  req.func = func::kAssignVS;
+  req.c = dtype_of<CT>();
+  req.mask = MK;
+  req.accum = Acc::descriptor();
+  r.register_static(req.key(),
+                    &run_assign_vs<CT, MK, typename Acc::template type<CT>>);
+}
+
+template <typename CT, typename AT, typename Acc, MaskKind MK>
+void reg_transpose(Registry& r) {
+  OpRequest req;
+  req.func = func::kTransposeM;
+  req.c = dtype_of<CT>();
+  req.a = dtype_of<AT>();
+  req.mask = MK;
+  req.accum = Acc::descriptor();
+  r.register_static(req.key(),
+                    &run_transpose_m<CT, AT, false, MK,
+                                     typename Acc::template type<CT>>);
+}
+
+template <typename T, typename Acc>
+void reg_all_masks(Registry& r) {
+  reg_assign_extract_matrix<T, T, Acc, MaskKind::kNone>(r);
+  reg_assign_extract_matrix<T, T, Acc, MaskKind::kMatrix>(r);
+  reg_assign_extract_matrix<T, T, Acc, MaskKind::kMatrixComp>(r);
+  reg_assign_ms<T, Acc, MaskKind::kNone>(r);
+  reg_assign_ms<T, Acc, MaskKind::kMatrix>(r);
+  reg_assign_ms<T, Acc, MaskKind::kMatrixComp>(r);
+  reg_assign_extract_vector<T, T, Acc, MaskKind::kNone>(r);
+  reg_assign_extract_vector<T, T, Acc, MaskKind::kVector>(r);
+  reg_assign_extract_vector<T, T, Acc, MaskKind::kVectorComp>(r);
+  reg_assign_vs<T, Acc, MaskKind::kNone>(r);
+  reg_assign_vs<T, Acc, MaskKind::kVector>(r);
+  reg_assign_vs<T, Acc, MaskKind::kVectorComp>(r);
+  reg_transpose<T, T, Acc, MaskKind::kNone>(r);
+  reg_transpose<T, T, Acc, MaskKind::kMatrix>(r);
+  reg_transpose<T, T, Acc, MaskKind::kMatrixComp>(r);
+}
+
+}  // namespace
+
+void register_assign_extract(Registry& r) {
+  for_types(DtCore{}, [&](auto tag) {
+    using T = typename decltype(tag)::type;
+    reg_all_masks<T, AccNone>(r);
+    reg_all_masks<T, AccPlus>(r);
+    reg_all_masks<T, AccMin>(r);
+    reg_all_masks<T, AccSecond>(r);
+  });
+  for_types(TypeList<std::int32_t, std::uint64_t, float>{}, [&](auto tag) {
+    using T = typename decltype(tag)::type;
+    reg_all_masks<T, AccNone>(r);
+  });
+}
+
+}  // namespace pygb::jit::static_reg

@@ -1,0 +1,89 @@
+// Build-time registrations: eWiseAdd / eWiseMult, matrix and vector forms.
+#include "pygb/jit/static_kernels.hpp"
+
+namespace pygb::jit::static_reg {
+
+namespace {
+
+template <typename CT, typename AT, typename BT, typename Bop, bool IsAdd,
+          typename Acc, MaskKind MK>
+void reg_ewise_mm_one(Registry& r) {
+  OpRequest req;
+  req.func = IsAdd ? func::kEWiseAddMM : func::kEWiseMultMM;
+  req.c = dtype_of<CT>();
+  req.a = dtype_of<AT>();
+  req.b = dtype_of<BT>();
+  req.mask = MK;
+  req.binary_op = Bop::descriptor();
+  req.accum = Acc::descriptor();
+  r.register_static(
+      req.key(),
+      &run_ewise_mm<CT, AT, BT, Bop::template type, IsAdd, false, false, MK,
+                    typename Acc::template type<CT>>);
+}
+
+template <typename CT, typename AT, typename BT, typename Bop, bool IsAdd,
+          typename Acc, MaskKind MK>
+void reg_ewise_vv_one(Registry& r) {
+  OpRequest req;
+  req.func = IsAdd ? func::kEWiseAddVV : func::kEWiseMultVV;
+  req.c = dtype_of<CT>();
+  req.a = dtype_of<AT>();
+  req.b = dtype_of<BT>();
+  req.mask = MK;
+  req.binary_op = Bop::descriptor();
+  req.accum = Acc::descriptor();
+  r.register_static(
+      req.key(),
+      &run_ewise_vv<CT, AT, BT, Bop::template type, IsAdd, MK,
+                    typename Acc::template type<CT>>);
+}
+
+template <typename T, typename Bop, typename Acc>
+void reg_ewise_all_masks(Registry& r) {
+  reg_ewise_mm_one<T, T, T, Bop, true, Acc, MaskKind::kNone>(r);
+  reg_ewise_mm_one<T, T, T, Bop, true, Acc, MaskKind::kMatrix>(r);
+  reg_ewise_mm_one<T, T, T, Bop, true, Acc, MaskKind::kMatrixComp>(r);
+  reg_ewise_mm_one<T, T, T, Bop, false, Acc, MaskKind::kNone>(r);
+  reg_ewise_mm_one<T, T, T, Bop, false, Acc, MaskKind::kMatrix>(r);
+  reg_ewise_mm_one<T, T, T, Bop, false, Acc, MaskKind::kMatrixComp>(r);
+  reg_ewise_vv_one<T, T, T, Bop, true, Acc, MaskKind::kNone>(r);
+  reg_ewise_vv_one<T, T, T, Bop, true, Acc, MaskKind::kVector>(r);
+  reg_ewise_vv_one<T, T, T, Bop, true, Acc, MaskKind::kVectorComp>(r);
+  reg_ewise_vv_one<T, T, T, Bop, false, Acc, MaskKind::kNone>(r);
+  reg_ewise_vv_one<T, T, T, Bop, false, Acc, MaskKind::kVector>(r);
+  reg_ewise_vv_one<T, T, T, Bop, false, Acc, MaskKind::kVectorComp>(r);
+}
+
+template <typename T, typename Bop>
+void reg_ewise_plain(Registry& r) {
+  reg_ewise_mm_one<T, T, T, Bop, true, AccNone, MaskKind::kNone>(r);
+  reg_ewise_mm_one<T, T, T, Bop, false, AccNone, MaskKind::kNone>(r);
+  reg_ewise_vv_one<T, T, T, Bop, true, AccNone, MaskKind::kNone>(r);
+  reg_ewise_vv_one<T, T, T, Bop, false, AccNone, MaskKind::kNone>(r);
+}
+
+}  // namespace
+
+void register_ewise(Registry& r) {
+  for_types(DtCore{}, [&](auto tag) {
+    using T = typename decltype(tag)::type;
+    reg_ewise_all_masks<T, BopPlus, AccNone>(r);
+    reg_ewise_all_masks<T, BopMinus, AccNone>(r);
+    reg_ewise_all_masks<T, BopTimes, AccNone>(r);
+    reg_ewise_all_masks<T, BopMin, AccNone>(r);
+    reg_ewise_all_masks<T, BopMax, AccNone>(r);
+    // Accumulating variants, unmasked.
+    reg_ewise_plain<T, BopPlus>(r);  // idempotent re-register is harmless
+  });
+  for_types(DtWide{}, [&](auto tag) {
+    using T = typename decltype(tag)::type;
+    reg_ewise_plain<T, BopPlus>(r);
+    reg_ewise_plain<T, BopTimes>(r);
+    reg_ewise_plain<T, BopMin>(r);
+    reg_ewise_plain<T, BopLogicalOr>(r);
+    reg_ewise_plain<T, BopLogicalAnd>(r);
+  });
+}
+
+}  // namespace pygb::jit::static_reg

@@ -1,0 +1,58 @@
+// Build-time registrations: mxm.
+#include "pygb/jit/static_kernels.hpp"
+
+namespace pygb::jit::static_reg {
+
+namespace {
+
+template <typename CT, typename AT, typename BT, typename Sr, typename Acc,
+          bool ATr, bool BTr, MaskKind MK>
+void reg_mxm_one(Registry& r) {
+  OpRequest req;
+  req.func = func::kMxM;
+  req.c = dtype_of<CT>();
+  req.a = dtype_of<AT>();
+  req.b = dtype_of<BT>();
+  req.a_transposed = ATr;
+  req.b_transposed = BTr;
+  req.mask = MK;
+  req.semiring = Sr::descriptor();
+  req.accum = Acc::descriptor();
+  r.register_static(
+      req.key(),
+      &run_mxm<CT, AT, BT, typename Sr::template type<AT, BT, CT>, ATr, BTr,
+               MK, typename Acc::template type<CT>>);
+}
+
+template <typename T, typename Sr, typename Acc, bool ATr, bool BTr>
+void reg_mxm_masks(Registry& r) {
+  reg_mxm_one<T, T, T, Sr, Acc, ATr, BTr, MaskKind::kNone>(r);
+  reg_mxm_one<T, T, T, Sr, Acc, ATr, BTr, MaskKind::kMatrix>(r);
+  reg_mxm_one<T, T, T, Sr, Acc, ATr, BTr, MaskKind::kMatrixComp>(r);
+}
+
+template <typename T, typename Sr, typename Acc>
+void reg_mxm_trans(Registry& r) {
+  reg_mxm_masks<T, Sr, Acc, false, false>(r);
+  reg_mxm_masks<T, Sr, Acc, false, true>(r);
+  reg_mxm_masks<T, Sr, Acc, true, false>(r);
+}
+
+}  // namespace
+
+void register_mxm(Registry& r) {
+  for_types(DtCore{}, [&](auto tag) {
+    using T = typename decltype(tag)::type;
+    reg_mxm_trans<T, SrArithmetic, AccNone>(r);
+    reg_mxm_trans<T, SrLogical, AccNone>(r);
+    reg_mxm_trans<T, SrMinPlus, AccNone>(r);
+    // Accumulating mxm (merge into prior product) on the arithmetic ring.
+    reg_mxm_masks<T, SrArithmetic, AccPlus, false, false>(r);
+  });
+  // int32 homogeneous without transpose variants (tests/examples).
+  reg_mxm_masks<std::int32_t, SrArithmetic, AccNone, false, false>(r);
+  reg_mxm_masks<std::int32_t, SrArithmetic, AccNone, false, true>(r);
+  reg_mxm_masks<float, SrArithmetic, AccNone, false, false>(r);
+}
+
+}  // namespace pygb::jit::static_reg

@@ -1,0 +1,88 @@
+// Build-time registrations: mxv and vxm (vector mask kinds).
+#include "pygb/jit/static_kernels.hpp"
+
+namespace pygb::jit::static_reg {
+
+namespace {
+
+template <typename CT, typename AT, typename BT, typename Sr, typename Acc,
+          bool ATr, MaskKind MK>
+void reg_mxv_one(Registry& r) {
+  OpRequest req;
+  req.func = func::kMxV;
+  req.c = dtype_of<CT>();
+  req.a = dtype_of<AT>();
+  req.b = dtype_of<BT>();
+  req.a_transposed = ATr;
+  req.mask = MK;
+  req.semiring = Sr::descriptor();
+  req.accum = Acc::descriptor();
+  r.register_static(
+      req.key(),
+      &run_mxv<CT, AT, BT, typename Sr::template type<AT, BT, CT>, ATr, MK,
+               typename Acc::template type<CT>>);
+}
+
+template <typename CT, typename AT, typename BT, typename Sr, typename Acc,
+          bool BTr, MaskKind MK>
+void reg_vxm_one(Registry& r) {
+  OpRequest req;
+  req.func = func::kVxM;
+  req.c = dtype_of<CT>();
+  req.a = dtype_of<AT>();
+  req.b = dtype_of<BT>();
+  req.b_transposed = BTr;
+  req.mask = MK;
+  req.semiring = Sr::descriptor();
+  req.accum = Acc::descriptor();
+  r.register_static(
+      req.key(),
+      &run_vxm<CT, AT, BT, typename Sr::template type<AT, BT, CT>, BTr, MK,
+               typename Acc::template type<CT>>);
+}
+
+template <typename CT, typename AT, typename BT, typename Sr, typename Acc,
+          bool Tr>
+void reg_mv_masks(Registry& r) {
+  reg_mxv_one<CT, AT, BT, Sr, Acc, Tr, MaskKind::kNone>(r);
+  reg_mxv_one<CT, AT, BT, Sr, Acc, Tr, MaskKind::kVector>(r);
+  reg_mxv_one<CT, AT, BT, Sr, Acc, Tr, MaskKind::kVectorComp>(r);
+  reg_vxm_one<CT, BT, AT, Sr, Acc, Tr, MaskKind::kNone>(r);
+  reg_vxm_one<CT, BT, AT, Sr, Acc, Tr, MaskKind::kVector>(r);
+  reg_vxm_one<CT, BT, AT, Sr, Acc, Tr, MaskKind::kVectorComp>(r);
+}
+
+template <typename T, typename Sr, typename Acc>
+void reg_mv_full(Registry& r) {
+  reg_mv_masks<T, T, T, Sr, Acc, false>(r);
+  reg_mv_masks<T, T, T, Sr, Acc, true>(r);
+}
+
+}  // namespace
+
+void register_mxv_vxm(Registry& r) {
+  for_types(DtCore{}, [&](auto tag) {
+    using T = typename decltype(tag)::type;
+    // Realistic semiring/accumulator pairings from the paper's algorithms.
+    reg_mv_full<T, SrArithmetic, AccNone>(r);
+    reg_mv_full<T, SrArithmetic, AccPlus>(r);
+    reg_mv_full<T, SrArithmetic, AccSecond>(r);
+    reg_mv_full<T, SrLogical, AccNone>(r);
+    reg_mv_full<T, SrMinPlus, AccNone>(r);
+    reg_mv_full<T, SrMinPlus, AccMin>(r);
+    reg_mv_full<T, SrMinSelect2nd, AccMin>(r);
+  });
+  // Heterogeneous BFS frontier expansion: boolean frontier over a weighted
+  // graph (c = bool, a = graph dtype, b = bool) under the logical semiring.
+  for_types(TypeList<std::int32_t, std::int64_t, float, double>{},
+            [&](auto tag) {
+              using AT = typename decltype(tag)::type;
+              reg_mv_masks<bool, AT, bool, SrLogical, AccNone, true>(r);
+              reg_mv_masks<bool, AT, bool, SrLogical, AccNone, false>(r);
+            });
+  // float / int32 cores without the full sweep.
+  reg_mv_full<float, SrArithmetic, AccNone>(r);
+  reg_mv_full<std::int32_t, SrArithmetic, AccNone>(r);
+}
+
+}  // namespace pygb::jit::static_reg

@@ -1,0 +1,204 @@
+#include "pygb/operators.hpp"
+
+#include <array>
+#include <stdexcept>
+
+namespace pygb {
+
+namespace {
+
+constexpr std::array<const char*, 17> kBinaryNames = {
+    "LogicalOr", "LogicalAnd",   "LogicalXor", "Equal",     "NotEqual",
+    "GreaterThan", "LessThan",   "GreaterEqual", "LessEqual", "Times",
+    "Div",       "Plus",         "Minus",      "Min",       "Max",
+    "First",     "Second",
+};
+
+constexpr std::array<const char*, 4> kUnaryNames = {
+    "Identity",
+    "AdditiveInverse",
+    "MultiplicativeInverse",
+    "LogicalNot",
+};
+
+}  // namespace
+
+const char* to_string(BinaryOpName op) {
+  return kBinaryNames[static_cast<std::size_t>(op)];
+}
+
+const char* to_string(UnaryOpName op) {
+  return kUnaryNames[static_cast<std::size_t>(op)];
+}
+
+BinaryOpName parse_binary_op(const std::string& name) {
+  for (std::size_t k = 0; k < kBinaryNames.size(); ++k) {
+    if (name == kBinaryNames[k]) return static_cast<BinaryOpName>(k);
+  }
+  throw std::invalid_argument("pygb: unknown binary operator '" + name + "'");
+}
+
+UnaryOpName parse_unary_op(const std::string& name) {
+  for (std::size_t k = 0; k < kUnaryNames.size(); ++k) {
+    if (name == kUnaryNames[k]) return static_cast<UnaryOpName>(k);
+  }
+  throw std::invalid_argument("pygb: unknown unary operator '" + name + "'");
+}
+
+bool is_comparison(BinaryOpName op) {
+  switch (op) {
+    case BinaryOpName::kEqual:
+    case BinaryOpName::kNotEqual:
+    case BinaryOpName::kGreaterThan:
+    case BinaryOpName::kLessThan:
+    case BinaryOpName::kGreaterEqual:
+    case BinaryOpName::kLessEqual:
+      return true;
+    default:
+      return false;
+  }
+}
+
+UnaryOp::UnaryOp(const std::string& name) : uop_(parse_unary_op(name)) {}
+
+namespace {
+
+/// Bound constants are cast to the output element type inside the kernel,
+/// so only two dtype channels (float / integer) need distinct modules.
+/// Canonicalizing here keeps the dispatch-key space small.
+Scalar canonical_bound(const Scalar& v) {
+  if (is_floating(v.dtype())) return Scalar(v.to_double());
+  return Scalar(v.to_int64());
+}
+
+}  // namespace
+
+UnaryOp::UnaryOp(const std::string& binary_name, Scalar bound)
+    : bop_(parse_binary_op(binary_name)), bound_(canonical_bound(bound)) {}
+
+UnaryOp::UnaryOp(BinaryOpName binary_name, Scalar bound)
+    : bop_(binary_name), bound_(canonical_bound(bound)) {}
+
+std::string UnaryOp::key() const {
+  if (is_bound()) {
+    return std::string("bind2nd:") + to_string(*bop_) + ":" +
+           bound_.to_string();
+  }
+  return to_string(*uop_);
+}
+
+std::string UnaryOp::structural_key() const {
+  if (is_bound()) {
+    return std::string("bind2nd:") + to_string(*bop_) + ":" +
+           display_name(bound_.dtype());
+  }
+  return to_string(*uop_);
+}
+
+MonoidIdentity::MonoidIdentity(const std::string& name)
+    : kind_(Kind::kValue), value_(0.0) {
+  // Named identities follow PyGB's "MinIdentity" convention: the identity
+  // *of* the named monoid.
+  if (name == "MinIdentity") {
+    kind_ = Kind::kMaxLimit;
+  } else if (name == "MaxIdentity") {
+    kind_ = Kind::kLowestLimit;
+  } else if (name == "PlusIdentity") {
+    value_ = Scalar(0);
+  } else if (name == "TimesIdentity") {
+    value_ = Scalar(1);
+  } else if (name == "LogicalOrIdentity") {
+    value_ = Scalar(false);
+  } else if (name == "LogicalAndIdentity") {
+    value_ = Scalar(true);
+  } else {
+    throw std::invalid_argument("pygb: unknown identity name '" + name + "'");
+  }
+}
+
+std::string MonoidIdentity::key() const {
+  switch (kind_) {
+    case Kind::kMaxLimit:
+      return "max";
+    case Kind::kLowestLimit:
+      return "lowest";
+    case Kind::kValue:
+      return "v" + value_.to_string();
+  }
+  throw std::logic_error("MonoidIdentity: corrupt kind");
+}
+
+std::string MonoidIdentity::cpp_expr(const std::string& cpp_type) const {
+  switch (kind_) {
+    case Kind::kMaxLimit:
+      return "std::numeric_limits<" + cpp_type + ">::max()";
+    case Kind::kLowestLimit:
+      return "std::numeric_limits<" + cpp_type + ">::lowest()";
+    case Kind::kValue: {
+      // Emit through a double or integer literal cast to the element type.
+      if (is_floating(value_.dtype())) {
+        return "static_cast<" + cpp_type + ">(" +
+               std::to_string(value_.to_double()) + ")";
+      }
+      return "static_cast<" + cpp_type + ">(" +
+             std::to_string(value_.to_int64()) + "LL)";
+    }
+  }
+  throw std::logic_error("MonoidIdentity: corrupt kind");
+}
+
+Monoid::Monoid(BinaryOp op) : op_(op), identity_(Scalar(0)) {
+  switch (op.name()) {
+    case BinaryOpName::kPlus:
+      identity_ = MonoidIdentity(Scalar(0));
+      break;
+    case BinaryOpName::kTimes:
+      identity_ = MonoidIdentity(Scalar(1));
+      break;
+    case BinaryOpName::kMin:
+      identity_ = MonoidIdentity::max_limit();
+      break;
+    case BinaryOpName::kMax:
+      identity_ = MonoidIdentity::lowest_limit();
+      break;
+    case BinaryOpName::kLogicalOr:
+    case BinaryOpName::kLogicalXor:
+      identity_ = MonoidIdentity(Scalar(false));
+      break;
+    case BinaryOpName::kLogicalAnd:
+      identity_ = MonoidIdentity(Scalar(true));
+      break;
+    default:
+      throw std::invalid_argument(
+          std::string("pygb: binary op '") + to_string(op.name()) +
+          "' has no canonical identity; pass one explicitly");
+  }
+}
+
+std::string Monoid::key() const {
+  return op_.gbtl_name() + ":" + identity_.key();
+}
+
+std::string Semiring::key() const {
+  return add_.key() + ":" + mult_.gbtl_name();
+}
+
+Monoid PlusMonoid() { return Monoid(BinaryOp("Plus")); }
+Monoid TimesMonoid() { return Monoid(BinaryOp("Times")); }
+Monoid MinMonoid() { return Monoid(BinaryOp("Min")); }
+Monoid MaxMonoid() { return Monoid(BinaryOp("Max")); }
+Monoid LogicalOrMonoid() { return Monoid(BinaryOp("LogicalOr")); }
+Monoid LogicalAndMonoid() { return Monoid(BinaryOp("LogicalAnd")); }
+
+Semiring ArithmeticSemiring() { return {PlusMonoid(), BinaryOp("Times")}; }
+Semiring LogicalSemiring() {
+  return {LogicalOrMonoid(), BinaryOp("LogicalAnd")};
+}
+Semiring MinPlusSemiring() { return {MinMonoid(), BinaryOp("Plus")}; }
+Semiring MaxTimesSemiring() { return {MaxMonoid(), BinaryOp("Times")}; }
+Semiring MinSelect1stSemiring() { return {MinMonoid(), BinaryOp("First")}; }
+Semiring MinSelect2ndSemiring() { return {MinMonoid(), BinaryOp("Second")}; }
+Semiring MaxSelect1stSemiring() { return {MaxMonoid(), BinaryOp("First")}; }
+Semiring MaxSelect2ndSemiring() { return {MaxMonoid(), BinaryOp("Second")}; }
+
+}  // namespace pygb

@@ -1,0 +1,213 @@
+// pygb/operators.hpp — runtime operator objects, constructed from strings
+// exactly as in PyGB Fig. 6:
+//
+//   auto PlusOp        = BinaryOp("Plus");
+//   auto AdditiveInv   = UnaryOp("AdditiveInverse");
+//   auto Scale         = UnaryOp("Times", 0.85);          // bind 2nd operand
+//   auto PlusMonoid    = Monoid(PlusOp, 0);
+//   auto ArithmeticSR  = Semiring(PlusMonoid, TimesOp);
+//   auto PlusAccum     = Accumulator(PlusOp);
+//
+// These are descriptors, not functors: evaluation resolves them to concrete
+// GBTL template instantiations through the dispatch/JIT layer.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "pygb/dtype.hpp"
+
+namespace pygb {
+
+/// The 17 binary operators of GBTL's algebra.hpp (Fig. 6).
+enum class BinaryOpName : std::uint8_t {
+  kLogicalOr,
+  kLogicalAnd,
+  kLogicalXor,
+  kEqual,
+  kNotEqual,
+  kGreaterThan,
+  kLessThan,
+  kGreaterEqual,
+  kLessEqual,
+  kTimes,
+  kDiv,
+  kPlus,
+  kMinus,
+  kMin,
+  kMax,
+  kFirst,
+  kSecond,
+};
+
+/// The 4 true unary operators of GBTL's algebra.hpp (Fig. 6).
+enum class UnaryOpName : std::uint8_t {
+  kIdentity,
+  kAdditiveInverse,
+  kMultiplicativeInverse,
+  kLogicalNot,
+};
+
+const char* to_string(BinaryOpName op);   ///< GBTL spelling, e.g. "Plus"
+const char* to_string(UnaryOpName op);    ///< e.g. "AdditiveInverse"
+BinaryOpName parse_binary_op(const std::string& name);
+UnaryOpName parse_unary_op(const std::string& name);
+
+/// True if the op always yields a boolean (comparison operators).
+bool is_comparison(BinaryOpName op);
+
+// ---------------------------------------------------------------------------
+
+class BinaryOp {
+ public:
+  explicit BinaryOp(const std::string& name) : name_(parse_binary_op(name)) {}
+  explicit BinaryOp(BinaryOpName name) : name_(name) {}
+
+  BinaryOpName name() const noexcept { return name_; }
+  std::string gbtl_name() const { return to_string(name_); }
+
+  friend bool operator==(const BinaryOp&, const BinaryOp&) = default;
+
+ private:
+  BinaryOpName name_;
+};
+
+/// A unary operator: either one of the four true unary ops, or a binary op
+/// with a constant bound to one side (PyGB's UnaryOp("Times", 0.85) /
+/// GBTL's BinaryOp_Bind2nd).
+class UnaryOp {
+ public:
+  explicit UnaryOp(const std::string& name);
+  explicit UnaryOp(UnaryOpName name) : uop_(name) {}
+  /// Bind `bound` as the SECOND operand of the named binary op.
+  UnaryOp(const std::string& binary_name, Scalar bound);
+  UnaryOp(BinaryOpName binary_name, Scalar bound);
+  template <typename T>
+    requires std::is_arithmetic_v<T>
+  UnaryOp(const std::string& binary_name, T bound)
+      : UnaryOp(binary_name, Scalar(bound)) {}
+
+  bool is_bound() const noexcept { return bop_.has_value(); }
+  UnaryOpName unary_name() const { return uop_.value(); }
+  BinaryOpName bound_op() const { return bop_.value(); }
+  const Scalar& bound_value() const { return bound_; }
+
+  /// Stable text form used in dispatch keys. Includes the bound value.
+  std::string key() const;
+
+  /// Key without the bound value — what determines the compiled kernel
+  /// (the constant itself travels as a runtime argument).
+  std::string structural_key() const;
+
+ private:
+  std::optional<UnaryOpName> uop_;
+  std::optional<BinaryOpName> bop_;
+  Scalar bound_;
+};
+
+/// The identity element of a monoid: either an explicit value or one of the
+/// numeric-limits identities ("MinIdentity" = +max for Min, "MaxIdentity" =
+/// lowest for Max).
+class MonoidIdentity {
+ public:
+  enum class Kind : std::uint8_t { kValue, kMaxLimit, kLowestLimit };
+
+  MonoidIdentity(Scalar v) : kind_(Kind::kValue), value_(v) {}  // NOLINT
+  template <typename T>
+    requires std::is_arithmetic_v<T>
+  MonoidIdentity(T v) : MonoidIdentity(Scalar(v)) {}  // NOLINT
+  explicit MonoidIdentity(const std::string& name);
+  static MonoidIdentity max_limit() { return MonoidIdentity(Kind::kMaxLimit); }
+  static MonoidIdentity lowest_limit() {
+    return MonoidIdentity(Kind::kLowestLimit);
+  }
+
+  Kind kind() const noexcept { return kind_; }
+  const Scalar& value() const { return value_; }
+
+  /// Stable text form used in dispatch keys ("v0", "v1", "max", "lowest").
+  std::string key() const;
+  /// C++ expression producing the identity for element type `cpp_type`
+  /// (used by the JIT code generator).
+  std::string cpp_expr(const std::string& cpp_type) const;
+
+ private:
+  explicit MonoidIdentity(Kind k) : kind_(k), value_(0.0) {}
+  Kind kind_;
+  Scalar value_;
+};
+
+/// A commutative binary op + identity. Monoid("Min") and similar infer the
+/// canonical identity for ops that form monoids.
+class Monoid {
+ public:
+  explicit Monoid(const std::string& op_name)
+      : Monoid(BinaryOp(op_name)) {}
+  explicit Monoid(BinaryOp op);
+  Monoid(BinaryOp op, MonoidIdentity identity)
+      : op_(op), identity_(identity) {}
+  Monoid(const std::string& op_name, MonoidIdentity identity)
+      : op_(op_name), identity_(identity) {}
+
+  const BinaryOp& op() const noexcept { return op_; }
+  const MonoidIdentity& identity() const noexcept { return identity_; }
+
+  std::string key() const;
+
+ private:
+  BinaryOp op_;
+  MonoidIdentity identity_;
+};
+
+/// Add monoid ⊕ + multiply op ⊗.
+class Semiring {
+ public:
+  Semiring(Monoid add, BinaryOp mult) : add_(add), mult_(mult) {}
+  Semiring(Monoid add, const std::string& mult) : add_(add), mult_(mult) {}
+  Semiring(const std::string& add_op, const std::string& mult)
+      : add_(Monoid(add_op)), mult_(mult) {}
+
+  const Monoid& add() const noexcept { return add_; }
+  const BinaryOp& mult() const noexcept { return mult_; }
+
+  std::string key() const;
+
+ private:
+  Monoid add_;
+  BinaryOp mult_;
+};
+
+/// A binary op used to combine operation results into existing output
+/// values (the (+) of the C API notation).
+class Accumulator {
+ public:
+  explicit Accumulator(const std::string& op_name) : op_(op_name) {}
+  explicit Accumulator(BinaryOp op) : op_(op) {}
+
+  const BinaryOp& op() const noexcept { return op_; }
+
+ private:
+  BinaryOp op_;
+};
+
+// ---------------------------------------------------------------------------
+// Predefined operators mirroring PyGB/GBTL's catalog.
+// ---------------------------------------------------------------------------
+
+Monoid PlusMonoid();
+Monoid TimesMonoid();
+Monoid MinMonoid();
+Monoid MaxMonoid();
+Monoid LogicalOrMonoid();
+Monoid LogicalAndMonoid();
+
+Semiring ArithmeticSemiring();   ///< (Plus/0, Times)
+Semiring LogicalSemiring();      ///< (LogicalOr/false, LogicalAnd)
+Semiring MinPlusSemiring();      ///< (Min/+inf, Plus)
+Semiring MaxTimesSemiring();     ///< (Max/lowest, Times)
+Semiring MinSelect1stSemiring(); ///< (Min/+inf, First)
+Semiring MinSelect2ndSemiring(); ///< (Min/+inf, Second)
+Semiring MaxSelect1stSemiring(); ///< (Max/lowest, First)
+Semiring MaxSelect2ndSemiring(); ///< (Max/lowest, Second)
+
+}  // namespace pygb

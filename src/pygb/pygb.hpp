@@ -1,0 +1,16 @@
+// pygb/pygb.hpp — umbrella header for the PyGB DSL: runtime-typed
+// containers, operator objects, the context stack, deferred expressions,
+// the dispatch/JIT layer, and DSL utilities.
+#pragma once
+
+#include "pygb/container.hpp"
+#include "pygb/context.hpp"
+#include "pygb/dtype.hpp"
+#include "pygb/eval.hpp"
+#include "pygb/expr.hpp"
+#include "pygb/fused.hpp"
+#include "pygb/interp_sim.hpp"
+#include "pygb/jit/registry.hpp"
+#include "pygb/operators.hpp"
+#include "pygb/slicing.hpp"
+#include "pygb/utilities.hpp"

@@ -1,0 +1,50 @@
+// pygb/slicing.hpp — the Python slice analog used for indexed assign and
+// extract: page_rank[:] = 1/n, C[2:4, 2:4] = A @ B, w[0:10:2] = u.
+#pragma once
+
+#include <optional>
+
+#include "gbtl/types.hpp"
+
+namespace pygb {
+
+/// Half-open index range with stride; Slice::all() is Python's `:`.
+class Slice {
+ public:
+  /// `[start, stop)` with the given (positive) step.
+  Slice(gbtl::IndexType start, gbtl::IndexType stop, gbtl::IndexType step = 1)
+      : start_(start), stop_(stop), step_(step) {
+    if (step == 0) {
+      throw gbtl::InvalidValueException("slice step must be nonzero");
+    }
+  }
+
+  /// The full range `:`.
+  static Slice all() { return Slice(); }
+
+  bool is_all() const noexcept { return all_; }
+
+  /// Expand to a concrete index list over a dimension of size `dim`.
+  /// Stops are clamped to the dimension (Python slicing semantics).
+  gbtl::IndexArray resolve(gbtl::IndexType dim) const {
+    gbtl::IndexArray out;
+    const gbtl::IndexType start = all_ ? 0 : start_;
+    const gbtl::IndexType stop = all_ ? dim : std::min(stop_, dim);
+    for (gbtl::IndexType i = start; i < stop; i += step_) out.push_back(i);
+    return out;
+  }
+
+  /// True when the slice selects every index of a dimension of size `dim`.
+  bool covers_all(gbtl::IndexType dim) const {
+    return all_ || (start_ == 0 && step_ == 1 && stop_ >= dim);
+  }
+
+ private:
+  Slice() : all_(true) {}
+  bool all_ = false;
+  gbtl::IndexType start_ = 0;
+  gbtl::IndexType stop_ = 0;
+  gbtl::IndexType step_ = 1;
+};
+
+}  // namespace pygb

@@ -1,0 +1,104 @@
+// pygb/userops.hpp — user-defined operators (§VIII future work,
+// implemented): the paper plans "user-defined operators for use in the
+// PyGB operations ... implementing this feature requires either using an
+// intermediate language such as Cython or forcing the user to write code
+// directly in C++". This library takes the C++-snippet route and feeds it
+// through the existing JIT: the operator body is a C++ expression over the
+// operand names, compiled into the kernel module like any other operator.
+//
+//   UserBinaryOp saturating_add("sat_add",
+//                               "a + b > 100 ? C(100) : C(a + b)");
+//   c[None] = ewise_add(x, y, saturating_add);
+//
+// Inside the expression: `a` and `b` are the operands (types A and B for
+// binary, `a` only for unary) and `C` names the output element type. The
+// snippet is compiled as trusted code by the JIT backend; the static and
+// interpreted backends cannot serve user ops and report NoKernelError.
+#pragma once
+
+#include <cctype>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace pygb {
+
+namespace detail {
+
+/// Stable FNV-1a hash of an operator body — part of the dispatch key so
+/// that editing a user op's expression produces a fresh module instead of
+/// reusing a stale cached one.
+inline std::uint64_t fnv1a(const std::string& s) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+/// Operator names become part of generated struct identifiers.
+inline void validate_identifier(const std::string& name) {
+  if (name.empty() || (!std::isalpha(static_cast<unsigned char>(name[0])) &&
+                       name[0] != '_')) {
+    throw std::invalid_argument("pygb: user op name must be an identifier");
+  }
+  for (char c : name) {
+    if (!std::isalnum(static_cast<unsigned char>(c)) && c != '_') {
+      throw std::invalid_argument(
+          "pygb: user op name must be an identifier");
+    }
+  }
+}
+
+}  // namespace detail
+
+/// A named binary operator whose body is a C++ expression over `a`, `b`
+/// (operand values) and `C` (the output element type).
+class UserBinaryOp {
+ public:
+  UserBinaryOp(std::string name, std::string cpp_expr)
+      : name_(std::move(name)), expr_(std::move(cpp_expr)) {
+    detail::validate_identifier(name_);
+    if (expr_.empty()) {
+      throw std::invalid_argument("pygb: user op expression is empty");
+    }
+  }
+
+  const std::string& name() const noexcept { return name_; }
+  const std::string& expr() const noexcept { return expr_; }
+
+  /// Dispatch-key fragment: name + body hash, so the same name with an
+  /// edited expression compiles a fresh module.
+  std::string key() const {
+    return "user:" + name_ + ":" + std::to_string(detail::fnv1a(expr_));
+  }
+
+ private:
+  std::string name_;
+  std::string expr_;
+};
+
+/// A named unary operator whose body is a C++ expression over `a` and `C`.
+class UserUnaryOp {
+ public:
+  UserUnaryOp(std::string name, std::string cpp_expr)
+      : name_(std::move(name)), expr_(std::move(cpp_expr)) {
+    detail::validate_identifier(name_);
+    if (expr_.empty()) {
+      throw std::invalid_argument("pygb: user op expression is empty");
+    }
+  }
+
+  const std::string& name() const noexcept { return name_; }
+  const std::string& expr() const noexcept { return expr_; }
+  std::string key() const {
+    return "user:" + name_ + ":" + std::to_string(detail::fnv1a(expr_));
+  }
+
+ private:
+  std::string name_;
+  std::string expr_;
+};
+
+}  // namespace pygb

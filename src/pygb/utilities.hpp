@@ -1,0 +1,36 @@
+// pygb/utilities.hpp — DSL-level utility routines (PyGB's gb.utilities):
+// typed pass-throughs to the GBTL helpers used by the example algorithms.
+#pragma once
+
+#include "gbtl/utilities.hpp"
+#include "pygb/container.hpp"
+
+namespace pygb {
+
+/// gb.utilities.normalize_rows(m) — scale each row to sum 1 (PageRank
+/// Fig. 7 line 9). Requires a floating-point dtype.
+inline void normalize_rows(Matrix& m) {
+  if (!is_floating(m.dtype())) {
+    throw std::invalid_argument(
+        "pygb: normalize_rows requires a floating-point matrix");
+  }
+  if (m.dtype() == DType::kFP64) {
+    gbtl::normalize_rows(m.typed<double>());
+  } else {
+    gbtl::normalize_rows(m.typed<float>());
+  }
+}
+
+/// Split an undirected adjacency into strictly-lower/upper triangles
+/// (triangle counting Fig. 5 setup).
+inline std::pair<Matrix, Matrix> split_triangles(const Matrix& a) {
+  Matrix lower(a.nrows(), a.ncols(), a.dtype());
+  Matrix upper(a.nrows(), a.ncols(), a.dtype());
+  visit_dtype(a.dtype(), [&](auto tag) {
+    using T = typename decltype(tag)::type;
+    gbtl::split(a.typed<T>(), lower.typed<T>(), upper.typed<T>());
+  });
+  return {lower, upper};
+}
+
+}  // namespace pygb

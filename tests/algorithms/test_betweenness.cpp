@@ -1,0 +1,129 @@
+// Tests: betweenness centrality — closed-form fixtures and a brute-force
+// Brandes reference on random graphs.
+#include <gtest/gtest.h>
+
+#include <deque>
+
+#include "algorithms/betweenness.hpp"
+#include "generators/classic.hpp"
+#include "generators/erdos_renyi.hpp"
+
+namespace {
+
+using namespace pygb;  // NOLINT
+
+/// Textbook Brandes (adjacency-list, per-source BFS) as reference.
+std::vector<double> brandes_reference(const gen::EdgeList& el) {
+  const auto n = el.num_vertices;
+  std::vector<std::vector<gbtl::IndexType>> adj(n);
+  for (const auto& e : el.edges) adj[e.src].push_back(e.dst);
+  std::vector<double> bc(n, 0.0);
+  for (gbtl::IndexType s = 0; s < n; ++s) {
+    std::vector<std::vector<gbtl::IndexType>> pred(n);
+    std::vector<double> sigma(n, 0.0);
+    std::vector<long> dist(n, -1);
+    std::vector<gbtl::IndexType> order;
+    sigma[s] = 1.0;
+    dist[s] = 0;
+    std::deque<gbtl::IndexType> queue{s};
+    while (!queue.empty()) {
+      const auto v = queue.front();
+      queue.pop_front();
+      order.push_back(v);
+      for (auto w : adj[v]) {
+        if (dist[w] < 0) {
+          dist[w] = dist[v] + 1;
+          queue.push_back(w);
+        }
+        if (dist[w] == dist[v] + 1) {
+          sigma[w] += sigma[v];
+          pred[w].push_back(v);
+        }
+      }
+    }
+    std::vector<double> delta(n, 0.0);
+    for (auto it = order.rbegin(); it != order.rend(); ++it) {
+      const auto w = *it;
+      for (auto v : pred[w]) {
+        delta[v] += sigma[v] / sigma[w] * (1.0 + delta[w]);
+      }
+      if (w != s) bc[w] += delta[w];
+    }
+  }
+  return bc;
+}
+
+TEST(Betweenness, PathGraphCenterDominates) {
+  // Directed path 0->1->2->3->4: vertex 2 lies on the most s-t paths.
+  auto el = gen::path_graph(5);
+  auto g = gen::to_adjacency<double>(el);
+  auto bc = algo::betweenness_centrality(g);
+  // Vertex v (interior) lies on paths s < v < t: v * (4 - v) ... for the
+  // directed path, bc(v) = v * (n-1-v).
+  EXPECT_DOUBLE_EQ(bc.extractElement(0), 0.0);
+  EXPECT_DOUBLE_EQ(bc.extractElement(1), 3.0);
+  EXPECT_DOUBLE_EQ(bc.extractElement(2), 4.0);
+  EXPECT_DOUBLE_EQ(bc.extractElement(3), 3.0);
+  EXPECT_DOUBLE_EQ(bc.extractElement(4), 0.0);
+}
+
+TEST(Betweenness, StarHubCarriesAllPaths) {
+  // Bidirectional star: every spoke-to-spoke shortest path runs through
+  // the hub; bc(hub) = (n-1)(n-2) for directed counting.
+  auto el = gen::star_graph(6, /*symmetric=*/true);
+  auto g = gen::to_adjacency<double>(el);
+  auto bc = algo::betweenness_centrality(g);
+  EXPECT_DOUBLE_EQ(bc.extractElement(0), 20.0);  // 5*4
+  for (gbtl::IndexType v = 1; v < 6; ++v) {
+    EXPECT_DOUBLE_EQ(bc.extractElement(v), 0.0);
+  }
+}
+
+TEST(Betweenness, CompleteGraphAllZero) {
+  // Every pair is adjacent: no vertex mediates any shortest path.
+  auto el = gen::complete_graph(5);
+  auto g = gen::to_adjacency<double>(el);
+  auto bc = algo::betweenness_centrality(g);
+  for (gbtl::IndexType v = 0; v < 5; ++v) {
+    EXPECT_DOUBLE_EQ(bc.extractElement(v), 0.0);
+  }
+}
+
+TEST(Betweenness, SplitPathsShareCredit) {
+  // 0 -> {1, 2} -> 3: two equal shortest paths; 1 and 2 get 1/2 each.
+  gbtl::Matrix<double> g(4, 4);
+  g.setElement(0, 1, 1.0);
+  g.setElement(0, 2, 1.0);
+  g.setElement(1, 3, 1.0);
+  g.setElement(2, 3, 1.0);
+  auto bc = algo::betweenness_centrality(g);
+  EXPECT_DOUBLE_EQ(bc.extractElement(1), 0.5);
+  EXPECT_DOUBLE_EQ(bc.extractElement(2), 0.5);
+  EXPECT_DOUBLE_EQ(bc.extractElement(0), 0.0);
+  EXPECT_DOUBLE_EQ(bc.extractElement(3), 0.0);
+}
+
+TEST(Betweenness, MatchesBrandesReferenceOnRandomGraphs) {
+  for (unsigned seed : {81u, 82u, 83u}) {
+    auto el = gen::paper_graph(40, seed, /*symmetric=*/true);
+    auto g = gen::to_adjacency<double>(el);
+    auto bc = algo::betweenness_centrality(g);
+    const auto ref = brandes_reference(el);
+    for (gbtl::IndexType v = 0; v < 40; ++v) {
+      EXPECT_NEAR(bc.extractElement(v), ref[v], 1e-9)
+          << "vertex " << v << ", seed " << seed;
+    }
+  }
+}
+
+TEST(Betweenness, SingleSourceLevelsCount) {
+  auto el = gen::path_graph(6);
+  auto g = gen::to_adjacency<double>(el);
+  gbtl::Vector<double> bc(6);
+  gbtl::assign(bc, gbtl::NoMask{}, gbtl::NoAccumulate{}, 0.0,
+               gbtl::AllIndices{});
+  const auto levels = algo::bc_from_source(g, 0, bc);
+  EXPECT_EQ(levels, 6u);
+}
+
+}  // namespace

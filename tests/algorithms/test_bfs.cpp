@@ -1,0 +1,121 @@
+// Tests: BFS — native GBTL, DSL, and whole-dispatch forms on graphs with
+// known level structure.
+#include <gtest/gtest.h>
+
+#include "algorithms/bfs.hpp"
+#include "algorithms/dsl_algorithms.hpp"
+#include "generators/classic.hpp"
+#include "generators/erdos_renyi.hpp"
+
+namespace {
+
+using namespace pygb;  // NOLINT
+
+TEST(BfsNative, PathGraphLevels) {
+  auto el = gen::path_graph(5);
+  auto g = gen::to_adjacency<double>(el);
+  gbtl::Vector<std::int64_t> levels(5);
+  const auto depth = algo::bfs_from(g, 0, levels);
+  EXPECT_EQ(depth, 5u);
+  for (gbtl::IndexType v = 0; v < 5; ++v) {
+    EXPECT_EQ(levels.extractElement(v), static_cast<std::int64_t>(v + 1));
+  }
+}
+
+TEST(BfsNative, BalancedTreeLevelsMatchDepth) {
+  auto el = gen::balanced_tree(2, 3);
+  auto g = gen::to_adjacency<double>(el);
+  gbtl::Vector<std::int64_t> levels(el.num_vertices);
+  algo::bfs_from(g, 0, levels);
+  // Vertex v in a BFS-ordered binary tree sits at level floor(log2(v+1)).
+  for (gbtl::IndexType v = 0; v < el.num_vertices; ++v) {
+    std::int64_t expect = 1;
+    gbtl::IndexType w = v;
+    while (w > 0) {
+      w = (w - 1) / 2;
+      ++expect;
+    }
+    EXPECT_EQ(levels.extractElement(v), expect) << "vertex " << v;
+  }
+}
+
+TEST(BfsNative, DisconnectedVerticesStayAbsent) {
+  gbtl::Matrix<double> g(4, 4);
+  g.setElement(0, 1, 1.0);  // 2, 3 unreachable
+  gbtl::Vector<std::int64_t> levels(4);
+  const auto depth = algo::bfs_from(g, 0, levels);
+  EXPECT_EQ(depth, 2u);
+  EXPECT_EQ(levels.nvals(), 2u);
+  EXPECT_FALSE(levels.hasElement(2));
+  EXPECT_FALSE(levels.hasElement(3));
+}
+
+TEST(BfsNative, CycleWrapsAround) {
+  auto el = gen::cycle_graph(6);
+  auto g = gen::to_adjacency<double>(el);
+  gbtl::Vector<std::int64_t> levels(6);
+  const auto depth = algo::bfs_from(g, 2, levels);
+  EXPECT_EQ(depth, 6u);
+  EXPECT_EQ(levels.extractElement(2), 1);
+  EXPECT_EQ(levels.extractElement(1), 6);  // all the way around
+}
+
+TEST(BfsNative, MultiSourceFrontier) {
+  auto el = gen::path_graph(6);
+  auto g = gen::to_adjacency<double>(el);
+  gbtl::Vector<bool> frontier(6);
+  frontier.setElement(0, true);
+  frontier.setElement(5, true);
+  gbtl::Vector<std::int64_t> levels(6);
+  algo::bfs(g, frontier, levels);
+  EXPECT_EQ(levels.extractElement(0), 1);
+  EXPECT_EQ(levels.extractElement(5), 1);
+  EXPECT_EQ(levels.extractElement(1), 2);
+}
+
+TEST(BfsDsl, MatchesNativeOnTree) {
+  auto el = gen::balanced_tree(3, 3);
+  Matrix graph = Matrix::from_edge_list(el);
+  Vector frontier(graph.nrows(), DType::kBool);
+  frontier.set(0, Scalar(true));
+  Vector levels(graph.nrows(), DType::kInt64);
+  const auto d_dsl = algo::dsl_bfs(graph, frontier.dup(), levels);
+
+  gbtl::Vector<std::int64_t> nat(graph.nrows());
+  const auto d_nat = algo::bfs_from(graph.typed<double>(), 0, nat);
+  EXPECT_EQ(d_dsl, d_nat);
+  EXPECT_TRUE(levels.typed<std::int64_t>() == nat);
+}
+
+TEST(BfsWholeDispatch, MatchesDsl) {
+  auto el = gen::paper_graph(128, 3, /*symmetric=*/true);
+  Matrix graph = Matrix::from_edge_list(el);
+  Vector frontier(graph.nrows(), DType::kBool);
+  frontier.set(0, Scalar(true));
+
+  Vector l1(graph.nrows(), DType::kInt64);
+  const auto d1 = algo::dsl_bfs(graph, frontier.dup(), l1);
+  Vector l2(graph.nrows(), DType::kInt64);
+  const auto d2 = algo::whole_bfs(graph, frontier, l2);
+  EXPECT_EQ(d1, d2);
+  EXPECT_TRUE(l1.equals(l2));
+}
+
+TEST(BfsProperty, LevelsDifferByOneAcrossEdges) {
+  // For any reached edge (u, v): level(v) <= level(u) + 1.
+  for (unsigned seed : {3u, 4u, 5u}) {
+    auto el = gen::paper_graph(96, seed, /*symmetric=*/true);
+    auto g = gen::to_adjacency<double>(el);
+    gbtl::Vector<std::int64_t> levels(96);
+    algo::bfs_from(g, 0, levels);
+    for (const auto& e : el.edges) {
+      if (levels.hasElement(e.src)) {
+        ASSERT_TRUE(levels.hasElement(e.dst));
+        EXPECT_LE(levels.extractElement(e.dst),
+                  levels.extractElement(e.src) + 1);
+      }
+    }
+  }
+}
+
+}  // namespace

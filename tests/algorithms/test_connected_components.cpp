@@ -1,0 +1,130 @@
+// Tests: connected components — known component structures, a union-find
+// reference on random graphs, and DSL/native agreement.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "algorithms/connected_components.hpp"
+#include "algorithms/dsl_algorithms.hpp"
+#include "generators/classic.hpp"
+#include "generators/erdos_renyi.hpp"
+
+namespace {
+
+using namespace pygb;  // NOLINT
+
+/// Union-find reference.
+struct UnionFind {
+  explicit UnionFind(std::size_t n) : parent(n) {
+    std::iota(parent.begin(), parent.end(), 0);
+  }
+  std::size_t find(std::size_t x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  }
+  void unite(std::size_t a, std::size_t b) { parent[find(a)] = find(b); }
+  std::vector<std::size_t> parent;
+};
+
+TEST(ConnectedComponents, SingleComponentPath) {
+  auto el = gen::path_graph(8, /*symmetric=*/true);
+  auto g = gen::to_adjacency<double>(el);
+  gbtl::Vector<std::int64_t> labels(8);
+  algo::connected_components(g, labels);
+  for (gbtl::IndexType v = 0; v < 8; ++v) {
+    EXPECT_EQ(labels.extractElement(v), 0);
+  }
+  EXPECT_EQ(algo::count_components(labels), 1u);
+}
+
+TEST(ConnectedComponents, TwoDisjointCycles) {
+  gbtl::Matrix<double> g(8, 8);
+  auto edge = [&](gbtl::IndexType a, gbtl::IndexType b) {
+    g.setElement(a, b, 1.0);
+    g.setElement(b, a, 1.0);
+  };
+  edge(0, 1);
+  edge(1, 2);
+  edge(2, 0);  // component {0,1,2}
+  edge(4, 5);
+  edge(5, 6);
+  edge(6, 7);
+  edge(7, 4);  // component {4,5,6,7}; vertex 3 isolated
+  gbtl::Vector<std::int64_t> labels(8);
+  algo::connected_components(g, labels);
+  EXPECT_EQ(labels.extractElement(2), 0);
+  EXPECT_EQ(labels.extractElement(7), 4);
+  EXPECT_EQ(labels.extractElement(3), 3);
+  EXPECT_EQ(algo::count_components(labels), 3u);
+}
+
+TEST(ConnectedComponents, MatchesUnionFindOnRandomGraphs) {
+  for (unsigned seed : {71u, 72u, 73u}) {
+    const gbtl::IndexType n = 100;
+    // Sparse enough to leave several components.
+    gen::ErdosRenyiParams p;
+    p.num_vertices = n;
+    p.num_edges = 60;
+    p.symmetric = true;
+    p.seed = seed;
+    auto el = gen::erdos_renyi(p);
+    auto g = gen::to_adjacency<double>(el);
+
+    gbtl::Vector<std::int64_t> labels(n);
+    algo::connected_components(g, labels);
+
+    UnionFind uf(n);
+    for (const auto& e : el.edges) uf.unite(e.src, e.dst);
+    // Same partition: labels equal iff union-find roots equal.
+    for (gbtl::IndexType a = 0; a < n; ++a) {
+      for (gbtl::IndexType b = a + 1; b < n; ++b) {
+        EXPECT_EQ(labels.extractElement(a) == labels.extractElement(b),
+                  uf.find(a) == uf.find(b))
+            << "pair (" << a << ", " << b << "), seed " << seed;
+      }
+    }
+  }
+}
+
+TEST(ConnectedComponents, LabelIsComponentMinimum) {
+  auto el = gen::balanced_tree(2, 4, /*symmetric=*/true);
+  auto g = gen::to_adjacency<double>(el);
+  gbtl::Vector<std::int64_t> labels(el.num_vertices);
+  algo::connected_components(g, labels);
+  for (gbtl::IndexType v = 0; v < el.num_vertices; ++v) {
+    EXPECT_EQ(labels.extractElement(v), 0);  // root has the smallest id
+  }
+}
+
+TEST(ConnectedComponents, DslMatchesNative) {
+  gen::ErdosRenyiParams p;
+  p.num_vertices = 80;
+  p.num_edges = 50;
+  p.symmetric = true;
+  p.seed = 74;
+  auto el = gen::erdos_renyi(p);
+  Matrix graph = Matrix::from_edge_list(el);
+
+  Vector dsl_labels(80, DType::kInt64);
+  algo::dsl_connected_components(graph, dsl_labels);
+
+  gbtl::Vector<std::int64_t> nat(80);
+  algo::connected_components(graph.typed<double>(), nat);
+  EXPECT_TRUE(dsl_labels.typed<std::int64_t>() == nat);
+}
+
+TEST(ConnectedComponents, RoundsBoundedByDiameter) {
+  // A path of length 32: labels need ~n rounds to flow end to end; the
+  // early-exit must stop right after the fixed point.
+  auto el = gen::path_graph(32, /*symmetric=*/true);
+  auto g = gen::to_adjacency<double>(el);
+  gbtl::Vector<std::int64_t> labels(32);
+  const auto rounds = algo::connected_components(g, labels);
+  EXPECT_LE(rounds, 32u);
+  EXPECT_GE(rounds, 31u);  // min label must traverse the whole path
+}
+
+}  // namespace

@@ -1,0 +1,132 @@
+// Tests: PageRank — distribution invariants, closed-form fixtures, and
+// native/DSL/whole-dispatch agreement.
+#include <gtest/gtest.h>
+
+#include "algorithms/dsl_algorithms.hpp"
+#include "algorithms/pagerank.hpp"
+#include "generators/classic.hpp"
+#include "generators/erdos_renyi.hpp"
+
+namespace {
+
+using namespace pygb;  // NOLINT
+
+double rank_sum(const gbtl::Vector<double>& r) {
+  double s = 0;
+  gbtl::reduce(s, gbtl::NoAccumulate{}, gbtl::PlusMonoid<double>{}, r);
+  return s;
+}
+
+TEST(PageRankNative, SumsToOneWithoutDanglingVertices) {
+  // A cycle has no dangling vertices, so no rank mass leaks (the Fig. 7/8
+  // algorithm, like the paper's, does not redistribute dangling mass).
+  auto el = gen::cycle_graph(64);
+  auto g = gen::to_adjacency<double>(el);
+  gbtl::Vector<double> rank(64);
+  const auto iters = algo::page_rank(g, rank);
+  EXPECT_GT(iters, 0u);
+  EXPECT_EQ(rank.nvals(), 64u);
+  EXPECT_NEAR(rank_sum(rank), 1.0, 1e-6);
+}
+
+TEST(PageRankNative, BoundedMassOnGraphsWithDanglingVertices) {
+  // ER graphs may contain isolated vertices; rank mass then leaks (a known
+  // property of the paper's formulation) but stays a valid sub-probability
+  // distribution and every vertex ends with at least the teleport term.
+  auto el = gen::paper_graph(128, 41, /*symmetric=*/true);
+  auto g = gen::to_adjacency<double>(el);
+  gbtl::Vector<double> rank(128);
+  algo::page_rank(g, rank);
+  EXPECT_EQ(rank.nvals(), 128u);
+  const double total = rank_sum(rank);
+  EXPECT_GT(total, 0.5);
+  EXPECT_LE(total, 1.0 + 1e-9);
+  const double teleport = 0.15 / 128;
+  for (gbtl::IndexType v = 0; v < 128; ++v) {
+    EXPECT_GE(rank.extractElement(v), teleport - 1e-12);
+  }
+}
+
+TEST(PageRankNative, UniformOnCycle) {
+  // A directed cycle is perfectly symmetric: every vertex gets 1/n.
+  auto el = gen::cycle_graph(10);
+  auto g = gen::to_adjacency<double>(el);
+  gbtl::Vector<double> rank(10);
+  algo::page_rank(g, rank);
+  for (gbtl::IndexType v = 0; v < 10; ++v) {
+    EXPECT_NEAR(rank.extractElement(v), 0.1, 1e-6);
+  }
+}
+
+TEST(PageRankNative, HubOutranksSpokes) {
+  // Bidirectional star: the hub collects rank from every spoke while each
+  // spoke only receives 1/4 of the hub's — the hub must dominate.
+  gbtl::Matrix<double> g(5, 5);
+  for (gbtl::IndexType v = 1; v < 5; ++v) {
+    g.setElement(v, 0, 1.0);
+    g.setElement(0, v, 1.0);
+  }
+  gbtl::Vector<double> rank(5);
+  algo::page_rank(g, rank);
+  for (gbtl::IndexType v = 1; v < 5; ++v) {
+    EXPECT_GT(rank.extractElement(0), rank.extractElement(v));
+  }
+}
+
+TEST(PageRankNative, DampingZeroGivesUniform) {
+  auto el = gen::paper_graph(32, 43, /*symmetric=*/true);
+  auto g = gen::to_adjacency<double>(el);
+  gbtl::Vector<double> rank(32);
+  algo::page_rank(g, rank, 0.0);
+  for (gbtl::IndexType v = 0; v < 32; ++v) {
+    EXPECT_NEAR(rank.extractElement(v), 1.0 / 32, 1e-9);
+  }
+}
+
+TEST(PageRankNative, MaxItersBoundsWork) {
+  auto el = gen::paper_graph(64, 44, /*symmetric=*/true);
+  auto g = gen::to_adjacency<double>(el);
+  gbtl::Vector<double> rank(64);
+  const auto iters = algo::page_rank(g, rank, 0.85, 1e-12, 3);
+  EXPECT_EQ(iters, 3u);
+}
+
+TEST(PageRankDsl, MatchesNativeExactly) {
+  // The DSL version performs the identical operation sequence, so the
+  // fixed-point values agree to machine precision.
+  for (unsigned seed : {51u, 52u}) {
+    auto el = gen::paper_graph(96, seed, /*symmetric=*/true);
+    Matrix graph = Matrix::from_edge_list(el);
+    Vector dsl_rank = algo::dsl_page_rank(graph);
+    gbtl::Vector<double> nat(96);
+    algo::page_rank(graph.typed<double>(), nat);
+    ASSERT_EQ(dsl_rank.nvals(), nat.nvals());
+    for (gbtl::IndexType v = 0; v < 96; ++v) {
+      EXPECT_NEAR(dsl_rank.get(v), nat.extractElement(v), 1e-12);
+    }
+  }
+}
+
+TEST(PageRankWholeDispatch, MatchesNative) {
+  auto el = gen::paper_graph(64, 53, /*symmetric=*/true);
+  Matrix graph = Matrix::from_edge_list(el);
+  Vector rank(64, DType::kFP64);
+  const auto iters = algo::whole_page_rank(graph, rank);
+  gbtl::Vector<double> nat(64);
+  const auto nat_iters = algo::page_rank(graph.typed<double>(), nat);
+  EXPECT_EQ(iters, nat_iters);
+  EXPECT_TRUE(rank.typed<double>() == nat);
+}
+
+TEST(PageRankDsl, CustomParametersForwarded) {
+  auto el = gen::paper_graph(48, 54, /*symmetric=*/true);
+  Matrix graph = Matrix::from_edge_list(el);
+  Vector r1 = algo::dsl_page_rank(graph, 0.5, 1e-8);
+  gbtl::Vector<double> nat(48);
+  algo::page_rank(graph.typed<double>(), nat, 0.5, 1e-8);
+  for (gbtl::IndexType v = 0; v < 48; ++v) {
+    EXPECT_NEAR(r1.get(v), nat.extractElement(v), 1e-12);
+  }
+}
+
+}  // namespace

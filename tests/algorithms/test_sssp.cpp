@@ -1,0 +1,130 @@
+// Tests: SSSP — native, DSL, whole-dispatch, and a Dijkstra reference.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <queue>
+
+#include "algorithms/dsl_algorithms.hpp"
+#include "algorithms/sssp.hpp"
+#include "generators/classic.hpp"
+#include "generators/erdos_renyi.hpp"
+
+namespace {
+
+using namespace pygb;  // NOLINT
+
+/// Dijkstra reference over an edge list (non-negative weights).
+std::vector<double> dijkstra(const gen::EdgeList& el, gbtl::IndexType src) {
+  const double inf = std::numeric_limits<double>::infinity();
+  std::vector<std::vector<std::pair<gbtl::IndexType, double>>> adj(
+      el.num_vertices);
+  for (const auto& e : el.edges) adj[e.src].push_back({e.dst, e.weight});
+  std::vector<double> dist(el.num_vertices, inf);
+  dist[src] = 0;
+  using QE = std::pair<double, gbtl::IndexType>;
+  std::priority_queue<QE, std::vector<QE>, std::greater<>> pq;
+  pq.push({0, src});
+  while (!pq.empty()) {
+    auto [d, v] = pq.top();
+    pq.pop();
+    if (d > dist[v]) continue;
+    for (auto [w, wt] : adj[v]) {
+      if (d + wt < dist[w]) {
+        dist[w] = d + wt;
+        pq.push({dist[w], w});
+      }
+    }
+  }
+  return dist;
+}
+
+TEST(SsspNative, WeightedPath) {
+  gbtl::Matrix<double> g(4, 4);
+  g.setElement(0, 1, 2.0);
+  g.setElement(1, 2, 3.0);
+  g.setElement(2, 3, 4.0);
+  g.setElement(0, 3, 100.0);  // worse direct edge
+  gbtl::Vector<double> path(4);
+  algo::sssp_from(g, 0, path);
+  EXPECT_DOUBLE_EQ(path.extractElement(0), 0.0);
+  EXPECT_DOUBLE_EQ(path.extractElement(1), 2.0);
+  EXPECT_DOUBLE_EQ(path.extractElement(3), 9.0);  // 2+3+4 beats 100
+}
+
+TEST(SsspNative, UnreachableStaysAbsent) {
+  gbtl::Matrix<double> g(3, 3);
+  g.setElement(0, 1, 1.0);
+  gbtl::Vector<double> path(3);
+  algo::sssp_from(g, 0, path);
+  EXPECT_FALSE(path.hasElement(2));
+}
+
+TEST(SsspNative, MatchesDijkstraOnRandomGraphs) {
+  for (unsigned seed : {5u, 6u, 7u}) {
+    auto el = gen::paper_graph(80, seed, /*symmetric=*/true, 1.0, 10.0);
+    auto g = gen::to_adjacency<double>(el);
+    gbtl::Vector<double> path(80);
+    algo::sssp_from(g, 0, path);
+    const auto ref = dijkstra(el, 0);
+    for (gbtl::IndexType v = 0; v < 80; ++v) {
+      if (std::isinf(ref[v])) {
+        EXPECT_FALSE(path.hasElement(v)) << "vertex " << v;
+      } else {
+        ASSERT_TRUE(path.hasElement(v)) << "vertex " << v;
+        EXPECT_NEAR(path.extractElement(v), ref[v], 1e-9) << "vertex " << v;
+      }
+    }
+  }
+}
+
+TEST(SsspNative, EarlyExitAgreesAndTerminatesSooner) {
+  auto el = gen::path_graph(64);
+  auto g = gen::to_adjacency<double>(el);
+  gbtl::Vector<double> full(64), early(64);
+  full.setElement(0, 0.0);
+  early.setElement(0, 0.0);
+  algo::sssp(g, full);
+  const auto rounds = algo::sssp_early_exit(g, early);
+  EXPECT_TRUE(full == early);
+  EXPECT_LE(rounds, 64u);
+}
+
+TEST(SsspDsl, MatchesNative) {
+  auto el = gen::paper_graph(64, 11, /*symmetric=*/true, 1.0, 5.0);
+  Matrix graph = Matrix::from_edge_list(el);
+  Vector path(64, DType::kFP64);
+  path.set(0, 0.0);
+  algo::dsl_sssp(graph, path);
+
+  gbtl::Vector<double> nat(64);
+  algo::sssp_from(graph.typed<double>(), 0, nat);
+  EXPECT_TRUE(path.typed<double>() == nat);
+}
+
+TEST(SsspWholeDispatch, MatchesDsl) {
+  auto el = gen::paper_graph(48, 12, /*symmetric=*/true, 1.0, 5.0);
+  Matrix graph = Matrix::from_edge_list(el);
+  Vector p1(48, DType::kFP64);
+  p1.set(0, 0.0);
+  algo::dsl_sssp(graph, p1);
+  Vector p2(48, DType::kFP64);
+  p2.set(0, 0.0);
+  algo::whole_sssp(graph, p2);
+  EXPECT_TRUE(p1.equals(p2));
+}
+
+TEST(SsspProperty, TriangleInequalityOnEdges) {
+  auto el = gen::paper_graph(64, 13, true, 1.0, 9.0);
+  auto g = gen::to_adjacency<double>(el);
+  gbtl::Vector<double> path(64);
+  algo::sssp_from(g, 0, path);
+  for (const auto& e : el.edges) {
+    if (path.hasElement(e.src)) {
+      ASSERT_TRUE(path.hasElement(e.dst));
+      EXPECT_LE(path.extractElement(e.dst),
+                path.extractElement(e.src) + e.weight + 1e-9);
+    }
+  }
+}
+
+}  // namespace

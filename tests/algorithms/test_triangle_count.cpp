@@ -1,0 +1,105 @@
+// Tests: triangle counting — closed-form fixtures (K_n, trees, cycles),
+// and agreement across native / DSL / whole-dispatch forms.
+#include <gtest/gtest.h>
+
+#include "algorithms/dsl_algorithms.hpp"
+#include "algorithms/triangle_count.hpp"
+#include "generators/classic.hpp"
+#include "generators/erdos_renyi.hpp"
+
+namespace {
+
+using namespace pygb;  // NOLINT
+
+TEST(TriangleCountNative, SingleTriangle) {
+  gbtl::Matrix<int> l(3, 3);
+  l.setElement(1, 0, 1);
+  l.setElement(2, 0, 1);
+  l.setElement(2, 1, 1);
+  EXPECT_EQ(algo::triangle_count<int>(l), 1);
+}
+
+TEST(TriangleCountNative, CompleteGraphClosedForm) {
+  // K_n has C(n, 3) triangles.
+  for (gbtl::IndexType n : {4u, 5u, 6u, 8u}) {
+    auto el = gen::complete_graph(n);
+    auto adj = gen::to_adjacency<std::int64_t>(el);
+    const auto count = algo::triangle_count_adjacency<std::int64_t>(adj);
+    const std::int64_t expect =
+        static_cast<std::int64_t>(n) * (n - 1) * (n - 2) / 6;
+    EXPECT_EQ(count, expect) << "K_" << n;
+  }
+}
+
+TEST(TriangleCountNative, TreesAndCyclesHaveNone) {
+  auto tree = gen::balanced_tree(2, 4, /*symmetric=*/true);
+  EXPECT_EQ(algo::triangle_count_adjacency<int>(
+                gen::to_adjacency<int>(tree)),
+            0);
+  auto cyc = gen::cycle_graph(8, /*symmetric=*/true);
+  EXPECT_EQ(algo::triangle_count_adjacency<int>(gen::to_adjacency<int>(cyc)),
+            0);
+  // Triangle = 3-cycle.
+  auto c3 = gen::cycle_graph(3, /*symmetric=*/true);
+  EXPECT_EQ(algo::triangle_count_adjacency<int>(gen::to_adjacency<int>(c3)),
+            1);
+}
+
+/// Brute-force reference over the adjacency matrix.
+std::int64_t brute_force_triangles(const gbtl::Matrix<double>& adj) {
+  std::int64_t count = 0;
+  const auto n = adj.nrows();
+  for (gbtl::IndexType i = 0; i < n; ++i) {
+    for (gbtl::IndexType j = i + 1; j < n; ++j) {
+      if (!adj.hasElement(i, j)) continue;
+      for (gbtl::IndexType k = j + 1; k < n; ++k) {
+        if (adj.hasElement(i, k) && adj.hasElement(j, k)) ++count;
+      }
+    }
+  }
+  return count;
+}
+
+TEST(TriangleCountNative, MatchesBruteForceOnRandomGraphs) {
+  for (unsigned seed : {21u, 22u, 23u}) {
+    auto el = gen::paper_graph(64, seed, /*symmetric=*/true);
+    auto adj = gen::to_adjacency<double>(el);
+    EXPECT_EQ(algo::triangle_count_adjacency<std::int64_t>(adj),
+              brute_force_triangles(adj))
+        << "seed " << seed;
+  }
+}
+
+TEST(TriangleCountDsl, MatchesNative) {
+  auto el = gen::paper_graph(96, 31, /*symmetric=*/true);
+  Matrix adj = Matrix::from_edge_list(el);
+  auto [lower, upper] = split_triangles(adj);
+  const auto dsl = algo::dsl_triangle_count(lower);
+  const auto nat =
+      algo::triangle_count<std::int64_t>(lower.typed<double>());
+  EXPECT_EQ(dsl, nat);
+}
+
+TEST(TriangleCountWholeDispatch, MatchesDsl) {
+  auto el = gen::paper_graph(96, 32, /*symmetric=*/true);
+  Matrix adj = Matrix::from_edge_list(el);
+  auto [lower, upper] = split_triangles(adj);
+  EXPECT_EQ(algo::whole_triangle_count(lower),
+            algo::dsl_triangle_count(lower));
+}
+
+TEST(TriangleCountProperty, InvariantUnderVertexRelabeling) {
+  // Reversing vertex ids preserves the triangle count.
+  auto el = gen::paper_graph(48, 33, /*symmetric=*/true);
+  auto relabeled = el;
+  for (auto& e : relabeled.edges) {
+    e.src = el.num_vertices - 1 - e.src;
+    e.dst = el.num_vertices - 1 - e.dst;
+  }
+  auto a1 = gen::to_adjacency<double>(el);
+  auto a2 = gen::to_adjacency<double>(relabeled);
+  EXPECT_EQ(algo::triangle_count_adjacency<std::int64_t>(a1),
+            algo::triangle_count_adjacency<std::int64_t>(a2));
+}
+
+}  // namespace

@@ -1,0 +1,142 @@
+// Shared dense reference models for the sparse-kernel property tests: an
+// optional-valued dense matrix/vector with naive O(n^3) semiring multiply,
+// used to cross-check the sparse kernels on random inputs.
+#pragma once
+
+#include <optional>
+#include <random>
+#include <vector>
+
+#include "gbtl/gbtl.hpp"
+
+namespace testref {
+
+template <typename T>
+using DenseM = std::vector<std::vector<std::optional<T>>>;
+template <typename T>
+using DenseV = std::vector<std::optional<T>>;
+
+template <typename T>
+DenseM<T> to_dense(const gbtl::Matrix<T>& m) {
+  DenseM<T> out(m.nrows(), std::vector<std::optional<T>>(m.ncols()));
+  for (gbtl::IndexType i = 0; i < m.nrows(); ++i) {
+    for (const auto& [j, v] : m.row(i)) out[i][j] = v;
+  }
+  return out;
+}
+
+template <typename T>
+DenseV<T> to_dense(const gbtl::Vector<T>& v) {
+  DenseV<T> out(v.size());
+  for (gbtl::IndexType i = 0; i < v.size(); ++i) {
+    if (v.hasElement(i)) out[i] = v.extractElement(i);
+  }
+  return out;
+}
+
+template <typename T>
+bool matches(const gbtl::Matrix<T>& m, const DenseM<T>& d) {
+  if (m.nrows() != d.size()) return false;
+  for (gbtl::IndexType i = 0; i < m.nrows(); ++i) {
+    if (m.ncols() != d[i].size()) return false;
+    for (gbtl::IndexType j = 0; j < m.ncols(); ++j) {
+      const bool has = m.hasElement(i, j);
+      if (has != d[i][j].has_value()) return false;
+      if (has && m.extractElement(i, j) != *d[i][j]) return false;
+    }
+  }
+  return true;
+}
+
+template <typename T>
+bool matches(const gbtl::Vector<T>& v, const DenseV<T>& d) {
+  if (v.size() != d.size()) return false;
+  for (gbtl::IndexType i = 0; i < v.size(); ++i) {
+    const bool has = v.hasElement(i);
+    if (has != d[i].has_value()) return false;
+    if (has && v.extractElement(i) != *d[i]) return false;
+  }
+  return true;
+}
+
+/// Naive reference C = A (+).(*) B over optional-valued dense operands.
+template <typename T, typename SR>
+DenseM<T> ref_mxm(const SR& sr, const DenseM<T>& a, const DenseM<T>& b) {
+  const std::size_t n = a.size(), k = b.size(), m = b.empty() ? 0 : b[0].size();
+  DenseM<T> c(n, std::vector<std::optional<T>>(m));
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < m; ++j) {
+      std::optional<T> acc;
+      for (std::size_t p = 0; p < k; ++p) {
+        if (a[i][p] && b[p][j]) {
+          const T prod = sr.mult(*a[i][p], *b[p][j]);
+          acc = acc ? std::optional<T>(sr.add(*acc, prod))
+                    : std::optional<T>(prod);
+        }
+      }
+      c[i][j] = acc;
+    }
+  }
+  return c;
+}
+
+template <typename T, typename SR>
+DenseV<T> ref_mxv(const SR& sr, const DenseM<T>& a, const DenseV<T>& u) {
+  DenseV<T> w(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    std::optional<T> acc;
+    for (std::size_t j = 0; j < u.size(); ++j) {
+      if (a[i][j] && u[j]) {
+        const T prod = sr.mult(*a[i][j], *u[j]);
+        acc = acc ? std::optional<T>(sr.add(*acc, prod))
+                  : std::optional<T>(prod);
+      }
+    }
+    w[i] = acc;
+  }
+  return w;
+}
+
+template <typename T>
+DenseM<T> ref_transpose(const DenseM<T>& a) {
+  const std::size_t n = a.size(), m = a.empty() ? 0 : a[0].size();
+  DenseM<T> t(m, std::vector<std::optional<T>>(n));
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < m; ++j) t[j][i] = a[i][j];
+  }
+  return t;
+}
+
+/// Random sparse matrix with the given fill fraction (deterministic seed).
+template <typename T>
+gbtl::Matrix<T> random_matrix(gbtl::IndexType nrows, gbtl::IndexType ncols,
+                              double fill, unsigned seed, T lo = T{1},
+                              T hi = T{9}) {
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<double> coin(0.0, 1.0);
+  std::uniform_int_distribution<long> val(static_cast<long>(lo),
+                                          static_cast<long>(hi));
+  gbtl::Matrix<T> m(nrows, ncols);
+  for (gbtl::IndexType i = 0; i < nrows; ++i) {
+    for (gbtl::IndexType j = 0; j < ncols; ++j) {
+      if (coin(rng) < fill) m.setElement(i, j, static_cast<T>(val(rng)));
+    }
+  }
+  return m;
+}
+
+template <typename T>
+gbtl::Vector<T> random_vector(gbtl::IndexType size, double fill,
+                              unsigned seed, T lo = T{1}, T hi = T{9}) {
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<double> coin(0.0, 1.0);
+  std::uniform_int_distribution<long> val(static_cast<long>(lo),
+                                          static_cast<long>(hi));
+  gbtl::Vector<T> v(size);
+  for (gbtl::IndexType i = 0; i < size; ++i) {
+    if (coin(rng) < fill) v.setElement(i, static_cast<T>(val(rng)));
+  }
+  return v;
+}
+
+}  // namespace testref

@@ -1,0 +1,173 @@
+// Unit + property tests: the Fig. 6 operator algebra — binary/unary
+// functors, monoid laws (identity, associativity, commutativity), and
+// semiring laws (annihilator, distribution samples).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "gbtl/algebra.hpp"
+
+namespace {
+
+using namespace gbtl;  // NOLINT
+
+TEST(Algebra, ArithmeticBinaryOps) {
+  EXPECT_EQ(Plus<int>{}(3, 4), 7);
+  EXPECT_EQ(Minus<int>{}(3, 4), -1);
+  EXPECT_EQ(Times<int>{}(3, 4), 12);
+  EXPECT_EQ(Div<int>{}(12, 4), 3);
+  EXPECT_DOUBLE_EQ(Div<double>{}(1.0, 4.0), 0.25);
+  EXPECT_EQ(Min<int>{}(3, 4), 3);
+  EXPECT_EQ(Max<int>{}(3, 4), 4);
+  EXPECT_EQ(First<int>{}(3, 4), 3);
+  EXPECT_EQ(Second<int>{}(3, 4), 4);
+}
+
+TEST(Algebra, LogicalBinaryOps) {
+  EXPECT_TRUE(LogicalOr<int>{}(0, 2));
+  EXPECT_FALSE(LogicalOr<int>{}(0, 0));
+  EXPECT_TRUE(LogicalAnd<int>{}(1, 2));
+  EXPECT_FALSE(LogicalAnd<int>{}(1, 0));
+  EXPECT_TRUE(LogicalXor<int>{}(1, 0));
+  EXPECT_FALSE(LogicalXor<int>{}(1, 5));
+}
+
+TEST(Algebra, ComparisonBinaryOpsYieldBool) {
+  EXPECT_TRUE((Equal<int>{}(2, 2)));
+  EXPECT_TRUE((NotEqual<int>{}(2, 3)));
+  EXPECT_TRUE((GreaterThan<int>{}(3, 2)));
+  EXPECT_TRUE((LessThan<int>{}(2, 3)));
+  EXPECT_TRUE((GreaterEqual<int>{}(3, 3)));
+  EXPECT_TRUE((LessEqual<int>{}(3, 3)));
+  static_assert(
+      std::is_same_v<decltype(Equal<int>{}(1, 2)), bool>,
+      "comparisons default to bool output");
+}
+
+TEST(Algebra, HeterogeneousTypeOps) {
+  // (int, double) -> float, per the three-type template signature.
+  const auto r = Plus<int, double, float>{}(2, 0.5);
+  static_assert(std::is_same_v<decltype(r), const float>);
+  EXPECT_FLOAT_EQ(r, 2.5f);
+  EXPECT_EQ((Min<std::int64_t, std::int8_t, std::int64_t>{}(100, int8_t{5})),
+            5);
+}
+
+TEST(Algebra, UnaryOps) {
+  EXPECT_EQ((Identity<int>{}(7)), 7);
+  EXPECT_DOUBLE_EQ((Identity<int, double>{}(7)), 7.0);
+  EXPECT_EQ((AdditiveInverse<int>{}(7)), -7);
+  EXPECT_DOUBLE_EQ((MultiplicativeInverse<double>{}(4.0)), 0.25);
+  EXPECT_TRUE((LogicalNot<int>{}(0)));
+  EXPECT_FALSE((LogicalNot<int>{}(3)));
+}
+
+TEST(Algebra, BindAdaptors) {
+  BinaryOpBind2nd<double, Times<double>> scale(0.5);
+  EXPECT_DOUBLE_EQ(scale(8.0), 4.0);
+  BinaryOpBind2nd<double, Minus<double>> sub(1.0);
+  EXPECT_DOUBLE_EQ(sub(8.0), 7.0);
+  BinaryOpBind1st<double, Minus<double>> rsub(1.0);
+  EXPECT_DOUBLE_EQ(rsub(8.0), -7.0);
+}
+
+TEST(Algebra, MonoidIdentities) {
+  EXPECT_EQ(PlusMonoid<int>::identity(), 0);
+  EXPECT_EQ(TimesMonoid<int>::identity(), 1);
+  EXPECT_EQ(MinMonoid<int>::identity(), std::numeric_limits<int>::max());
+  EXPECT_EQ(MaxMonoid<int>::identity(), std::numeric_limits<int>::lowest());
+  EXPECT_EQ(MinMonoid<double>::identity(),
+            std::numeric_limits<double>::max());
+  EXPECT_FALSE(LogicalOrMonoid<bool>::identity());
+  EXPECT_TRUE(LogicalAndMonoid<bool>::identity());
+  EXPECT_FALSE(LogicalXorMonoid<bool>::identity());
+}
+
+// Property sweep: monoid laws over a value sample.
+template <typename MonoidT>
+void check_monoid_laws(const std::vector<typename MonoidT::ScalarType>& xs) {
+  MonoidT m;
+  using T = typename MonoidT::ScalarType;
+  const T id = MonoidT::identity();
+  for (T a : xs) {
+    EXPECT_EQ(m(a, id), a) << "right identity";
+    EXPECT_EQ(m(id, a), a) << "left identity";
+    for (T b : xs) {
+      EXPECT_EQ(m(a, b), m(b, a)) << "commutativity";
+      for (T c : xs) {
+        EXPECT_EQ(m(m(a, b), c), m(a, m(b, c))) << "associativity";
+      }
+    }
+  }
+}
+
+TEST(AlgebraProperty, MonoidLaws) {
+  const std::vector<int> xs{-3, 0, 1, 7, 100};
+  check_monoid_laws<PlusMonoid<int>>(xs);
+  check_monoid_laws<TimesMonoid<int>>({-2, 0, 1, 3});
+  check_monoid_laws<MinMonoid<int>>(xs);
+  check_monoid_laws<MaxMonoid<int>>(xs);
+  check_monoid_laws<LogicalOrMonoid<bool>>({false, true});
+  check_monoid_laws<LogicalAndMonoid<bool>>({false, true});
+}
+
+// Property sweep: semiring laws — ⊕-identity is ⊗-annihilator, and ⊗
+// distributes over ⊕ on the sample.
+template <typename SR>
+void check_semiring_laws(const std::vector<typename SR::ScalarType>& xs) {
+  SR sr;
+  using T = typename SR::ScalarType;
+  const T zero = SR::zero();
+  for (T a : xs) {
+    EXPECT_EQ(sr.mult(a, zero), zero) << "right annihilator";
+    EXPECT_EQ(sr.mult(zero, a), zero) << "left annihilator";
+    for (T b : xs) {
+      for (T c : xs) {
+        EXPECT_EQ(sr.mult(a, sr.add(b, c)), sr.add(sr.mult(a, b), sr.mult(a, c)))
+            << "left distributivity";
+      }
+    }
+  }
+}
+
+TEST(AlgebraProperty, ArithmeticSemiringLaws) {
+  check_semiring_laws<ArithmeticSemiring<int>>({-2, 0, 1, 5});
+}
+
+TEST(AlgebraProperty, LogicalSemiringLaws) {
+  check_semiring_laws<LogicalSemiring<bool>>({false, true});
+}
+
+TEST(AlgebraProperty, MinPlusSemiringLaws) {
+  // Annihilator of + in the min-plus ring is +inf (Min identity); use
+  // values far from overflow.
+  check_semiring_laws<MinPlusSemiring<double>>({0.0, 1.0, 5.0, 100.0});
+}
+
+TEST(AlgebraProperty, MaxTimesSemiringOnNonNegatives) {
+  MaxTimesSemiring<double> sr;
+  EXPECT_DOUBLE_EQ(sr.add(2.0, 3.0), 3.0);
+  EXPECT_DOUBLE_EQ(sr.mult(2.0, 3.0), 6.0);
+}
+
+TEST(Algebra, SelectSemirings) {
+  MinSelect2ndSemiring<int> s2;
+  EXPECT_EQ(s2.mult(7, 3), 3);
+  EXPECT_EQ(s2.add(7, 3), 3);
+  MinSelect1stSemiring<int> s1;
+  EXPECT_EQ(s1.mult(7, 3), 7);
+  MaxSelect1stSemiring<int> m1;
+  EXPECT_EQ(m1.add(7, 3), 7);
+  MaxSelect2ndSemiring<int> m2;
+  EXPECT_EQ(m2.mult(7, 3), 3);
+}
+
+TEST(Algebra, ConceptsMatch) {
+  static_assert(MonoidType<PlusMonoid<int>>);
+  static_assert(MonoidType<MinMonoid<double>>);
+  static_assert(SemiringType<ArithmeticSemiring<int>>);
+  static_assert(SemiringType<LogicalSemiring<bool>>);
+  SUCCEED();
+}
+
+}  // namespace

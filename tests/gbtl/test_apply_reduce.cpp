@@ -1,0 +1,142 @@
+// Tests: apply (unary map, structure-preserving) and reduce (row / scalar).
+#include <gtest/gtest.h>
+
+#include "reference.hpp"
+
+namespace {
+
+using namespace gbtl;  // NOLINT
+using testref::random_matrix;
+
+TEST(Apply, PreservesStructure) {
+  Matrix<int> a(2, 3);
+  a.setElement(0, 1, 5);
+  a.setElement(1, 2, -7);
+  Matrix<int> c(2, 3);
+  apply(c, NoMask{}, NoAccumulate{}, AdditiveInverse<int>{}, a);
+  EXPECT_EQ(c.nvals(), 2u);
+  EXPECT_EQ(c.extractElement(0, 1), -5);
+  EXPECT_EQ(c.extractElement(1, 2), 7);
+  EXPECT_FALSE(c.hasElement(0, 0));
+}
+
+TEST(Apply, CastingIdentity) {
+  // PageRank's first step: copy an int graph into a double matrix.
+  Matrix<int> a({{1, 0}, {0, 2}});
+  Matrix<double> c(2, 2);
+  apply(c, NoMask{}, NoAccumulate{}, Identity<int, double>{}, a);
+  EXPECT_DOUBLE_EQ(c.extractElement(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(c.extractElement(1, 1), 2.0);
+}
+
+TEST(Apply, BoundOperatorOnMatrix) {
+  Matrix<double> a({{2, 0}, {0, 4}});
+  Matrix<double> c(2, 2);
+  apply(c, NoMask{}, NoAccumulate{},
+        BinaryOpBind2nd<double, Times<double>>(0.85), a);
+  EXPECT_DOUBLE_EQ(c.extractElement(0, 0), 1.7);
+  EXPECT_DOUBLE_EQ(c.extractElement(1, 1), 3.4);
+}
+
+TEST(Apply, VectorWithMaskAndAccum) {
+  Vector<int> u{1, 2, 3};
+  Vector<int> w{10, 10, 10};
+  Vector<bool> mask(3);
+  mask.setElement(1, true);
+  apply(w, mask, Plus<int>{}, Identity<int>{}, u);
+  EXPECT_EQ(w.extractElement(0), 10);
+  EXPECT_EQ(w.extractElement(1), 12);
+  EXPECT_EQ(w.extractElement(2), 10);
+}
+
+TEST(Apply, TransposedInput) {
+  Matrix<int> a(2, 3);
+  a.setElement(0, 2, 9);
+  Matrix<int> c(3, 2);
+  apply(c, NoMask{}, NoAccumulate{}, Identity<int>{}, transpose(a));
+  EXPECT_TRUE(c.hasElement(2, 0));
+  EXPECT_EQ(c.extractElement(2, 0), 9);
+}
+
+TEST(Apply, ShapeMismatchThrows) {
+  Matrix<int> a(2, 3), c(3, 3);
+  EXPECT_THROW(apply(c, NoMask{}, NoAccumulate{}, Identity<int>{}, a),
+               DimensionException);
+}
+
+TEST(ReduceRow, SumsRows) {
+  Matrix<int> a({{1, 2, 3}, {0, 0, 0}, {4, 0, 5}});
+  Vector<int> w(3);
+  reduce(w, NoMask{}, NoAccumulate{}, PlusMonoid<int>{}, a);
+  EXPECT_EQ(w.extractElement(0), 6);
+  EXPECT_FALSE(w.hasElement(1));  // empty row -> no entry
+  EXPECT_EQ(w.extractElement(2), 9);
+}
+
+TEST(ReduceRow, ColumnReduceViaTranspose) {
+  Matrix<int> a({{1, 2}, {3, 4}});
+  Vector<int> w(2);
+  reduce(w, NoMask{}, NoAccumulate{}, PlusMonoid<int>{}, transpose(a));
+  EXPECT_EQ(w.extractElement(0), 4);  // column 0 sum
+  EXPECT_EQ(w.extractElement(1), 6);
+}
+
+TEST(ReduceRow, MinMonoid) {
+  Matrix<int> a({{5, 2, 9}, {7, 0, 0}});
+  Vector<int> w(2);
+  reduce(w, NoMask{}, NoAccumulate{}, MinMonoid<int>{}, a);
+  EXPECT_EQ(w.extractElement(0), 2);
+  EXPECT_EQ(w.extractElement(1), 7);
+}
+
+TEST(ReduceScalar, MatrixSum) {
+  Matrix<int> a({{1, 2}, {3, 4}});
+  int s = 0;
+  reduce(s, NoAccumulate{}, PlusMonoid<int>{}, a);
+  EXPECT_EQ(s, 10);
+}
+
+TEST(ReduceScalar, EmptyMatrixLeavesValueUnchanged) {
+  Matrix<int> a(2, 2);
+  int s = 42;
+  reduce(s, NoAccumulate{}, PlusMonoid<int>{}, a);
+  EXPECT_EQ(s, 42);
+}
+
+TEST(ReduceScalar, AccumulatorCombines) {
+  Matrix<int> a({{1, 2}, {3, 4}});
+  int s = 100;
+  reduce(s, Plus<int>{}, PlusMonoid<int>{}, a);
+  EXPECT_EQ(s, 110);
+}
+
+TEST(ReduceScalar, VectorMaxAndMin) {
+  Vector<int> u{4, 0, 9, 2};
+  int mx = 0, mn = 0;
+  reduce(mx, NoAccumulate{}, MaxMonoid<int>{}, u);
+  reduce(mn, NoAccumulate{}, MinMonoid<int>{}, u);
+  EXPECT_EQ(mx, 9);
+  EXPECT_EQ(mn, 2);
+}
+
+TEST(ReduceScalar, TransposeDoesNotChangeTotal) {
+  auto a = random_matrix<int>(9, 13, 0.4, 55);
+  long s1 = 0, s2 = 0;
+  reduce(s1, NoAccumulate{}, PlusMonoid<long>{}, a);
+  reduce(s2, NoAccumulate{}, PlusMonoid<long>{}, transpose(a));
+  EXPECT_EQ(s1, s2);
+}
+
+TEST(ReduceProperty, RowReduceThenScalarEqualsScalarReduce) {
+  for (unsigned seed : {61u, 62u, 63u}) {
+    auto a = random_matrix<int>(10, 14, 0.35, seed);
+    Vector<int> rows(10);
+    reduce(rows, NoMask{}, NoAccumulate{}, PlusMonoid<int>{}, a);
+    int via_rows = 0, direct = 0;
+    reduce(via_rows, NoAccumulate{}, PlusMonoid<int>{}, rows);
+    reduce(direct, NoAccumulate{}, PlusMonoid<int>{}, a);
+    EXPECT_EQ(via_rows, direct);
+  }
+}
+
+}  // namespace

@@ -1,0 +1,208 @@
+// Tests: the assign and extract operation families, including the C API
+// subtlety that assign's mask covers the WHOLE output container.
+#include <gtest/gtest.h>
+
+#include "reference.hpp"
+
+namespace {
+
+using namespace gbtl;  // NOLINT
+
+TEST(AssignMatrix, RegionTakesSourceStructure) {
+  Matrix<int> c({{1, 1, 1}, {1, 1, 1}, {1, 1, 1}});
+  Matrix<int> a(2, 2);
+  a.setElement(0, 0, 9);  // (0,1), (1,0), (1,1) absent in A
+  IndexArray rows{0, 1};
+  IndexArray cols{0, 1};
+  assign(c, NoMask{}, NoAccumulate{}, a, rows, cols);
+  EXPECT_EQ(c.extractElement(0, 0), 9);
+  // Region positions not stored in A are DELETED.
+  EXPECT_FALSE(c.hasElement(0, 1));
+  EXPECT_FALSE(c.hasElement(1, 0));
+  EXPECT_FALSE(c.hasElement(1, 1));
+  // Outside the region untouched.
+  EXPECT_EQ(c.extractElement(2, 2), 1);
+  EXPECT_EQ(c.extractElement(0, 2), 1);
+}
+
+TEST(AssignMatrix, AccumKeepsRegionValues) {
+  Matrix<int> c({{1, 1}, {1, 1}});
+  Matrix<int> a(2, 2);
+  a.setElement(0, 0, 9);
+  assign(c, NoMask{}, Plus<int>{}, a, AllIndices{}, AllIndices{});
+  EXPECT_EQ(c.extractElement(0, 0), 10);  // accumulated
+  EXPECT_EQ(c.extractElement(0, 1), 1);   // kept (accum, absent in A)
+  EXPECT_EQ(c.nvals(), 4u);
+}
+
+TEST(AssignMatrix, ScatterToPermutedIndices) {
+  Matrix<int> c(3, 3);
+  Matrix<int> a({{1, 2}, {3, 4}});
+  IndexArray rows{2, 0};
+  IndexArray cols{1, 2};
+  assign(c, NoMask{}, NoAccumulate{}, a, rows, cols);
+  EXPECT_EQ(c.extractElement(2, 1), 1);
+  EXPECT_EQ(c.extractElement(2, 2), 2);
+  EXPECT_EQ(c.extractElement(0, 1), 3);
+  EXPECT_EQ(c.extractElement(0, 2), 4);
+}
+
+TEST(AssignMatrix, ShapeMismatchThrows) {
+  Matrix<int> c(3, 3);
+  Matrix<int> a(2, 2);
+  IndexArray idx{0};
+  EXPECT_THROW(assign(c, NoMask{}, NoAccumulate{}, a, idx, idx),
+               DimensionException);
+}
+
+TEST(AssignMatrix, IndexOutOfBoundsThrows) {
+  Matrix<int> c(3, 3);
+  Matrix<int> a(1, 1);
+  a.setElement(0, 0, 1);
+  IndexArray bad{3};
+  IndexArray ok{0};
+  EXPECT_THROW(assign(c, NoMask{}, NoAccumulate{}, a, bad, ok),
+               IndexOutOfBoundsException);
+}
+
+TEST(AssignMatrixConstant, FillsMaskedRegion) {
+  Matrix<int> c(2, 3);
+  Matrix<bool> mask(2, 3);
+  mask.setElement(0, 0, true);
+  mask.setElement(1, 2, true);
+  assign(c, mask, NoAccumulate{}, 7, AllIndices{}, AllIndices{});
+  EXPECT_EQ(c.nvals(), 2u);
+  EXPECT_EQ(c.extractElement(0, 0), 7);
+  EXPECT_EQ(c.extractElement(1, 2), 7);
+}
+
+TEST(AssignMatrixConstant, UnmaskedAllIndicesMakesDense) {
+  Matrix<int> c(2, 2);
+  assign(c, NoMask{}, NoAccumulate{}, 3, AllIndices{}, AllIndices{});
+  EXPECT_EQ(c.nvals(), 4u);
+}
+
+TEST(AssignVector, BfsLevelAssignPattern) {
+  // Fig. 2: levels<frontier> = depth.
+  Vector<int> levels(5);
+  levels.setElement(0, 1);
+  Vector<bool> frontier(5);
+  frontier.setElement(2, true);
+  frontier.setElement(4, true);
+  assign(levels, frontier, NoAccumulate{}, 2, AllIndices{});
+  EXPECT_EQ(levels.extractElement(0), 1);  // outside mask, merge keeps
+  EXPECT_EQ(levels.extractElement(2), 2);
+  EXPECT_EQ(levels.extractElement(4), 2);
+  EXPECT_EQ(levels.nvals(), 3u);
+}
+
+TEST(AssignVector, ContainerIntoSubrange) {
+  Vector<int> w{1, 1, 1, 1, 1};
+  Vector<int> u(2);
+  u.setElement(0, 9);  // u(1) absent
+  IndexArray idx{1, 3};
+  assign(w, NoMask{}, NoAccumulate{}, u, idx);
+  EXPECT_EQ(w.extractElement(1), 9);
+  EXPECT_FALSE(w.hasElement(3));  // absent in u -> deleted in region
+  EXPECT_EQ(w.extractElement(0), 1);
+}
+
+TEST(AssignVector, ReplaceClearsMaskedOutEverywhere) {
+  Vector<int> w{1, 2, 3};
+  Vector<bool> mask(3);
+  mask.setElement(0, true);
+  assign(w, mask, NoAccumulate{}, 9, AllIndices{},
+         OutputControl::kReplace);
+  EXPECT_EQ(w.nvals(), 1u);
+  EXPECT_EQ(w.extractElement(0), 9);
+}
+
+TEST(AssignVector, AccumulateConstant) {
+  Vector<int> w{10, 0, 30};
+  assign(w, NoMask{}, Plus<int>{}, 5, AllIndices{});
+  EXPECT_EQ(w.extractElement(0), 15);
+  EXPECT_EQ(w.extractElement(1), 5);  // was absent -> takes value
+  EXPECT_EQ(w.extractElement(2), 35);
+}
+
+TEST(ExtractMatrix, Submatrix) {
+  Matrix<int> a({{1, 2, 3}, {4, 5, 6}, {7, 8, 9}});
+  Matrix<int> c(2, 2);
+  IndexArray rows{0, 2};
+  IndexArray cols{1, 2};
+  extract(c, NoMask{}, NoAccumulate{}, a, rows, cols);
+  EXPECT_EQ(c.extractElement(0, 0), 2);
+  EXPECT_EQ(c.extractElement(0, 1), 3);
+  EXPECT_EQ(c.extractElement(1, 0), 8);
+  EXPECT_EQ(c.extractElement(1, 1), 9);
+}
+
+TEST(ExtractMatrix, DuplicateIndicesReplicate) {
+  Matrix<int> a({{1, 2}, {3, 4}});
+  Matrix<int> c(2, 3);
+  IndexArray rows{0, 0};
+  IndexArray cols{1, 1, 0};
+  extract(c, NoMask{}, NoAccumulate{}, a, rows, cols);
+  EXPECT_EQ(c.extractElement(0, 0), 2);
+  EXPECT_EQ(c.extractElement(0, 1), 2);
+  EXPECT_EQ(c.extractElement(0, 2), 1);
+  EXPECT_EQ(c.extractElement(1, 0), 2);
+}
+
+TEST(ExtractMatrix, SparsityPreserved) {
+  Matrix<int> a(3, 3);
+  a.setElement(1, 1, 5);
+  Matrix<int> c(2, 2);
+  IndexArray idx{0, 1};
+  extract(c, NoMask{}, NoAccumulate{}, a, idx, idx);
+  EXPECT_EQ(c.nvals(), 1u);
+  EXPECT_EQ(c.extractElement(1, 1), 5);
+}
+
+TEST(ExtractMatrix, OutputShapeMismatchThrows) {
+  Matrix<int> a(3, 3);
+  Matrix<int> c(2, 2);
+  IndexArray idx{0, 1, 2};
+  EXPECT_THROW(extract(c, NoMask{}, NoAccumulate{}, a, idx, idx),
+               DimensionException);
+}
+
+TEST(ExtractVector, Subvector) {
+  Vector<int> u{10, 0, 30, 40};
+  Vector<int> w(3);
+  IndexArray idx{3, 1, 0};
+  extract(w, NoMask{}, NoAccumulate{}, u, idx);
+  EXPECT_EQ(w.extractElement(0), 40);
+  EXPECT_FALSE(w.hasElement(1));
+  EXPECT_EQ(w.extractElement(2), 10);
+}
+
+TEST(ExtractVector, ColumnOfMatrix) {
+  Matrix<int> a({{1, 2}, {3, 4}, {5, 6}});
+  Vector<int> w(3);
+  extract(w, NoMask{}, NoAccumulate{}, a, AllIndices{}, IndexType{1});
+  EXPECT_EQ(w.extractElement(0), 2);
+  EXPECT_EQ(w.extractElement(1), 4);
+  EXPECT_EQ(w.extractElement(2), 6);
+}
+
+TEST(ExtractVector, RowViaTransposeView) {
+  Matrix<int> a({{1, 2}, {3, 4}});
+  Vector<int> w(2);
+  extract(w, NoMask{}, NoAccumulate{}, transpose(a), AllIndices{},
+          IndexType{1});
+  EXPECT_EQ(w.extractElement(0), 3);  // row 1 of a
+  EXPECT_EQ(w.extractElement(1), 4);
+}
+
+TEST(ExtractRoundTrip, ExtractThenAssignRestores) {
+  auto a = testref::random_matrix<int>(8, 8, 0.4, 77);
+  IndexArray idx{1, 3, 5};
+  Matrix<int> sub(3, 3);
+  extract(sub, NoMask{}, NoAccumulate{}, a, idx, idx);
+  Matrix<int> b = a;
+  assign(b, NoMask{}, NoAccumulate{}, sub, idx, idx);
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace

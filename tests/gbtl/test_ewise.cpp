@@ -1,0 +1,146 @@
+// Tests: eWiseAdd (union) / eWiseMult (intersection), matrix and vector.
+#include <gtest/gtest.h>
+
+#include "reference.hpp"
+
+namespace {
+
+using namespace gbtl;  // NOLINT
+using testref::random_matrix;
+using testref::random_vector;
+
+TEST(EWiseAdd, UnionSemanticsMatrix) {
+  Matrix<int> a(2, 2);
+  a.setElement(0, 0, 1);
+  a.setElement(0, 1, 2);
+  Matrix<int> b(2, 2);
+  b.setElement(0, 1, 10);
+  b.setElement(1, 0, 20);
+  Matrix<int> c(2, 2);
+  eWiseAdd(c, NoMask{}, NoAccumulate{}, Plus<int>{}, a, b);
+  EXPECT_EQ(c.nvals(), 3u);
+  EXPECT_EQ(c.extractElement(0, 0), 1);    // only in A
+  EXPECT_EQ(c.extractElement(0, 1), 12);   // both: 2 + 10
+  EXPECT_EQ(c.extractElement(1, 0), 20);   // only in B
+}
+
+TEST(EWiseMult, IntersectionSemanticsMatrix) {
+  Matrix<int> a(2, 2);
+  a.setElement(0, 0, 3);
+  a.setElement(0, 1, 2);
+  Matrix<int> b(2, 2);
+  b.setElement(0, 1, 10);
+  b.setElement(1, 0, 20);
+  Matrix<int> c(2, 2);
+  eWiseMult(c, NoMask{}, NoAccumulate{}, Times<int>{}, a, b);
+  EXPECT_EQ(c.nvals(), 1u);
+  EXPECT_EQ(c.extractElement(0, 1), 20);
+}
+
+TEST(EWiseAdd, UnionSemanticsVector) {
+  Vector<int> u{1, 0, 3};
+  Vector<int> v{0, 5, 7};
+  Vector<int> w(3);
+  eWiseAdd(w, NoMask{}, NoAccumulate{}, Plus<int>{}, u, v);
+  EXPECT_EQ(w.nvals(), 3u);
+  EXPECT_EQ(w.extractElement(0), 1);
+  EXPECT_EQ(w.extractElement(1), 5);
+  EXPECT_EQ(w.extractElement(2), 10);
+}
+
+TEST(EWiseMult, IntersectionSemanticsVector) {
+  Vector<int> u{1, 0, 3};
+  Vector<int> v{0, 5, 7};
+  Vector<int> w(3);
+  eWiseMult(w, NoMask{}, NoAccumulate{}, Times<int>{}, u, v);
+  EXPECT_EQ(w.nvals(), 1u);
+  EXPECT_EQ(w.extractElement(2), 21);
+}
+
+TEST(EWiseAdd, NonCommutativeOpKeepsOperandOrder) {
+  Vector<int> u{10, 0};
+  Vector<int> v{3, 0};
+  Vector<int> w(2);
+  eWiseAdd(w, NoMask{}, NoAccumulate{}, Minus<int>{}, u, v);
+  EXPECT_EQ(w.extractElement(0), 7);
+}
+
+TEST(EWise, DtypeCastThroughOutput) {
+  // int inputs, double output container: values cast on write.
+  Matrix<int> a({{1, 0}, {0, 2}});
+  Matrix<int> b({{3, 0}, {0, 4}});
+  Matrix<double> c(2, 2);
+  eWiseMult(c, NoMask{}, NoAccumulate{}, Times<int>{}, a, b);
+  EXPECT_DOUBLE_EQ(c.extractElement(0, 0), 3.0);
+  EXPECT_DOUBLE_EQ(c.extractElement(1, 1), 8.0);
+}
+
+TEST(EWise, TransposedOperandsAreMaterialized) {
+  Matrix<int> a({{1, 2}, {3, 4}});
+  Matrix<int> c(2, 2);
+  eWiseAdd(c, NoMask{}, NoAccumulate{}, Plus<int>{}, a, transpose(a));
+  EXPECT_EQ(c.extractElement(0, 1), 5);  // 2 + 3
+  EXPECT_EQ(c.extractElement(1, 0), 5);
+  EXPECT_EQ(c.extractElement(0, 0), 2);
+}
+
+TEST(EWise, ShapeMismatchThrows) {
+  Matrix<int> a(2, 2), b(2, 3), c(2, 2);
+  EXPECT_THROW(eWiseAdd(c, NoMask{}, NoAccumulate{}, Plus<int>{}, a, b),
+               DimensionException);
+  Vector<int> u(2), v(3), w(2);
+  EXPECT_THROW(eWiseMult(w, NoMask{}, NoAccumulate{}, Times<int>{}, u, v),
+               DimensionException);
+}
+
+TEST(EWise, MaskAndAccumCompose) {
+  Vector<int> u{1, 2, 3};
+  Vector<int> v{10, 20, 30};
+  Vector<int> w{100, 100, 100};
+  Vector<bool> mask(3);
+  mask.setElement(0, true);
+  mask.setElement(2, true);
+  eWiseAdd(w, mask, Plus<int>{}, Plus<int>{}, u, v);
+  EXPECT_EQ(w.extractElement(0), 111);   // 100 + (1+10)
+  EXPECT_EQ(w.extractElement(1), 100);   // masked out, merge keeps
+  EXPECT_EQ(w.extractElement(2), 133);
+}
+
+TEST(EWiseProperty, AddIsUnionMultIsIntersection) {
+  for (unsigned seed : {31u, 32u, 33u}) {
+    auto a = random_matrix<int>(12, 12, 0.3, seed);
+    auto b = random_matrix<int>(12, 12, 0.3, seed + 100);
+    Matrix<int> sum(12, 12), prod(12, 12);
+    eWiseAdd(sum, NoMask{}, NoAccumulate{}, Plus<int>{}, a, b);
+    eWiseMult(prod, NoMask{}, NoAccumulate{}, Times<int>{}, a, b);
+    for (IndexType i = 0; i < 12; ++i) {
+      for (IndexType j = 0; j < 12; ++j) {
+        const bool ha = a.hasElement(i, j), hb = b.hasElement(i, j);
+        EXPECT_EQ(sum.hasElement(i, j), ha || hb);
+        EXPECT_EQ(prod.hasElement(i, j), ha && hb);
+        if (ha && hb) {
+          EXPECT_EQ(sum.extractElement(i, j),
+                    a.extractElement(i, j) + b.extractElement(i, j));
+          EXPECT_EQ(prod.extractElement(i, j),
+                    a.extractElement(i, j) * b.extractElement(i, j));
+        }
+      }
+    }
+  }
+}
+
+TEST(EWiseProperty, VectorUnionIntersection) {
+  for (unsigned seed : {41u, 42u}) {
+    auto u = random_vector<int>(40, 0.4, seed);
+    auto v = random_vector<int>(40, 0.4, seed + 100);
+    Vector<int> sum(40), prod(40);
+    eWiseAdd(sum, NoMask{}, NoAccumulate{}, Max<int>{}, u, v);
+    eWiseMult(prod, NoMask{}, NoAccumulate{}, Min<int>{}, u, v);
+    for (IndexType i = 0; i < 40; ++i) {
+      EXPECT_EQ(sum.hasElement(i), u.hasElement(i) || v.hasElement(i));
+      EXPECT_EQ(prod.hasElement(i), u.hasElement(i) && v.hasElement(i));
+    }
+  }
+}
+
+}  // namespace

@@ -1,0 +1,116 @@
+// Tests: the Kronecker product operation and the Kronecker-power graph
+// generator.
+#include <gtest/gtest.h>
+
+#include "gbtl/ops/kronecker.hpp"
+#include "generators/kronecker.hpp"
+#include "reference.hpp"
+
+namespace {
+
+using namespace gbtl;  // NOLINT
+
+TEST(Kronecker, KnownSmallProduct) {
+  Matrix<int> a({{1, 2}, {3, 0}});
+  Matrix<int> b({{0, 5}, {6, 7}});
+  Matrix<int> c(4, 4);
+  kronecker(c, NoMask{}, NoAccumulate{}, Times<int>{}, a, b);
+  // Block (0,0) = 1 * B, block (0,1) = 2 * B, block (1,0) = 3 * B,
+  // block (1,1) absent (a(1,1) not stored).
+  EXPECT_EQ(c.extractElement(0, 1), 5);
+  EXPECT_EQ(c.extractElement(1, 0), 6);
+  EXPECT_EQ(c.extractElement(0, 3), 10);
+  EXPECT_EQ(c.extractElement(1, 3), 14);
+  EXPECT_EQ(c.extractElement(3, 0), 18);
+  EXPECT_FALSE(c.hasElement(2, 2));
+  EXPECT_FALSE(c.hasElement(3, 3));
+  EXPECT_EQ(c.nvals(), 3u * 3u);  // 3 stored in A times 3 stored in B
+}
+
+TEST(Kronecker, IdentityIsBlockDiagonalReplication) {
+  auto eye = identity_matrix<int>(3);
+  Matrix<int> b({{1, 2}, {3, 4}});
+  Matrix<int> c(6, 6);
+  kronecker(c, NoMask{}, NoAccumulate{}, Times<int>{}, eye, b);
+  EXPECT_EQ(c.nvals(), 12u);
+  EXPECT_EQ(c.extractElement(2, 3), 2);   // block (1,1) = B
+  EXPECT_EQ(c.extractElement(5, 4), 3);   // block (2,2) = B
+  EXPECT_FALSE(c.hasElement(0, 2));       // off-diagonal blocks empty
+}
+
+TEST(Kronecker, NonMultiplicativeOp) {
+  Matrix<int> a(1, 1);
+  a.setElement(0, 0, 10);
+  Matrix<int> b({{1, 2}});
+  Matrix<int> c(1, 2);
+  kronecker(c, NoMask{}, NoAccumulate{}, Plus<int>{}, a, b);
+  EXPECT_EQ(c.extractElement(0, 0), 11);
+  EXPECT_EQ(c.extractElement(0, 1), 12);
+}
+
+TEST(Kronecker, ShapeMismatchThrows) {
+  Matrix<int> a(2, 2), b(2, 2), c(3, 4);
+  EXPECT_THROW(
+      kronecker(c, NoMask{}, NoAccumulate{}, Times<int>{}, a, b),
+      DimensionException);
+}
+
+TEST(Kronecker, MaskAndAccumCompose) {
+  Matrix<int> a(1, 1);
+  a.setElement(0, 0, 2);
+  Matrix<int> b({{1, 1}, {1, 1}});
+  Matrix<int> c({{10, 10}, {10, 10}});
+  Matrix<bool> mask(2, 2);
+  mask.setElement(0, 0, true);
+  kronecker(c, mask, Plus<int>{}, Times<int>{}, a, b);
+  EXPECT_EQ(c.extractElement(0, 0), 12);
+  EXPECT_EQ(c.extractElement(1, 1), 10);  // masked out, merge keeps
+}
+
+TEST(Kronecker, NvalsIsProductProperty) {
+  for (unsigned seed : {5u, 6u}) {
+    auto a = testref::random_matrix<int>(5, 4, 0.4, seed);
+    auto b = testref::random_matrix<int>(3, 6, 0.4, seed + 10);
+    Matrix<int> c(15, 24);
+    kronecker(c, NoMask{}, NoAccumulate{}, Times<int>{}, a, b);
+    EXPECT_EQ(c.nvals(), a.nvals() * b.nvals());
+    // Spot-check the index map on every stored entry of A and B.
+    for (IndexType ia = 0; ia < a.nrows(); ++ia) {
+      for (const auto& [ja, av] : a.row(ia)) {
+        for (IndexType ib = 0; ib < b.nrows(); ++ib) {
+          for (const auto& [jb, bv] : b.row(ib)) {
+            EXPECT_EQ(c.extractElement(ia * 3 + ib, ja * 6 + jb), av * bv);
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(KroneckerPower, SizesGrowExponentially) {
+  auto init = pygb::gen::graph500_initiator<double>();
+  auto g1 = pygb::gen::kronecker_power(init, 1);
+  auto g3 = pygb::gen::kronecker_power(init, 3);
+  EXPECT_EQ(g1.nrows(), 2u);
+  EXPECT_EQ(g3.nrows(), 8u);
+  EXPECT_EQ(g3.nvals(), 27u);  // 3^k stored entries
+}
+
+TEST(KroneckerPower, ZeroPowerThrows) {
+  auto init = pygb::gen::graph500_initiator<double>();
+  EXPECT_THROW(pygb::gen::kronecker_power(init, 0), std::invalid_argument);
+}
+
+TEST(KroneckerPower, DegreeSkewGrowsWithPower) {
+  // Vertex 0 touches every level of the recursion: its out-degree is 2^k,
+  // the defining skew of the Graph500 model.
+  auto init = pygb::gen::graph500_initiator<double>();
+  auto g4 = pygb::gen::kronecker_power(init, 4);
+  EXPECT_EQ(g4.row(0).size(), 16u);
+  // The last vertex's only edge recurses to column 0 at every level:
+  // out-degree stays 1 while vertex 0's grows as 2^k — maximal skew.
+  EXPECT_EQ(g4.row(g4.nrows() - 1).size(), 1u);
+  EXPECT_EQ(g4.row(g4.nrows() - 1).front().first, 0u);
+}
+
+}  // namespace

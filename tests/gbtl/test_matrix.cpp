@@ -1,0 +1,179 @@
+// Unit tests: gbtl::Matrix container semantics.
+#include <gtest/gtest.h>
+
+#include "gbtl/gbtl.hpp"
+
+namespace {
+
+using gbtl::IndexArray;
+using gbtl::IndexType;
+using gbtl::Matrix;
+
+TEST(GbtlMatrix, ConstructEmpty) {
+  Matrix<double> m(3, 4);
+  EXPECT_EQ(m.nrows(), 3u);
+  EXPECT_EQ(m.ncols(), 4u);
+  EXPECT_EQ(m.nvals(), 0u);
+}
+
+TEST(GbtlMatrix, ZeroDimensionThrows) {
+  EXPECT_THROW(Matrix<double>(0, 3), gbtl::InvalidValueException);
+  EXPECT_THROW(Matrix<double>(3, 0), gbtl::InvalidValueException);
+}
+
+TEST(GbtlMatrix, DenseConstructorSkipsZeros) {
+  Matrix<int> m({{1, 0, 2}, {0, 0, 0}, {3, 4, 5}});
+  EXPECT_EQ(m.nrows(), 3u);
+  EXPECT_EQ(m.ncols(), 3u);
+  EXPECT_EQ(m.nvals(), 5u);
+  EXPECT_TRUE(m.hasElement(0, 0));
+  EXPECT_FALSE(m.hasElement(0, 1));
+  EXPECT_EQ(m.extractElement(2, 1), 4);
+}
+
+TEST(GbtlMatrix, DenseConstructorCustomZero) {
+  // With zero = -1, the -1 entries are treated as implied and not stored.
+  Matrix<int> m({{-1, 5}, {7, -1}}, -1);
+  EXPECT_EQ(m.nvals(), 2u);
+  EXPECT_FALSE(m.hasElement(0, 0));
+  EXPECT_EQ(m.extractElement(0, 1), 5);
+}
+
+TEST(GbtlMatrix, RaggedDenseThrows) {
+  EXPECT_THROW(Matrix<int>({{1, 2}, {3}}), gbtl::DimensionException);
+}
+
+TEST(GbtlMatrix, SetGetRemove) {
+  Matrix<double> m(2, 2);
+  m.setElement(0, 1, 2.5);
+  EXPECT_TRUE(m.hasElement(0, 1));
+  EXPECT_DOUBLE_EQ(m.extractElement(0, 1), 2.5);
+  m.setElement(0, 1, 3.5);  // overwrite keeps nvals
+  EXPECT_EQ(m.nvals(), 1u);
+  EXPECT_DOUBLE_EQ(m.extractElement(0, 1), 3.5);
+  m.removeElement(0, 1);
+  EXPECT_EQ(m.nvals(), 0u);
+  EXPECT_FALSE(m.hasElement(0, 1));
+  m.removeElement(0, 1);  // no-op
+  EXPECT_EQ(m.nvals(), 0u);
+}
+
+TEST(GbtlMatrix, ExtractMissingThrows) {
+  Matrix<double> m(2, 2);
+  EXPECT_THROW(m.extractElement(0, 0), gbtl::NoValueException);
+}
+
+TEST(GbtlMatrix, OutOfBoundsThrows) {
+  Matrix<double> m(2, 2);
+  EXPECT_THROW(m.setElement(2, 0, 1.0), gbtl::IndexOutOfBoundsException);
+  EXPECT_THROW(m.hasElement(0, 2), gbtl::IndexOutOfBoundsException);
+  EXPECT_THROW(m.extractElement(5, 5), gbtl::IndexOutOfBoundsException);
+}
+
+TEST(GbtlMatrix, BuildFromCoordinates) {
+  Matrix<double> m(3, 3);
+  IndexArray is{0, 1, 2, 0};
+  IndexArray js{0, 1, 2, 2};
+  std::vector<double> vs{1, 2, 3, 9};
+  m.build(is, js, vs);
+  EXPECT_EQ(m.nvals(), 4u);
+  EXPECT_DOUBLE_EQ(m.extractElement(0, 2), 9);
+}
+
+TEST(GbtlMatrix, BuildDuplicatesDefaultLastWins) {
+  Matrix<int> m(2, 2);
+  IndexArray is{0, 0};
+  IndexArray js{1, 1};
+  std::vector<int> vs{5, 7};
+  m.build(is, js, vs);
+  EXPECT_EQ(m.nvals(), 1u);
+  EXPECT_EQ(m.extractElement(0, 1), 7);
+}
+
+TEST(GbtlMatrix, BuildDuplicatesWithPlusDup) {
+  Matrix<int> m(2, 2);
+  IndexArray is{0, 0, 0};
+  IndexArray js{1, 1, 1};
+  std::vector<int> vs{5, 7, 1};
+  m.build(is, js, vs, gbtl::Plus<int>{});
+  EXPECT_EQ(m.extractElement(0, 1), 13);
+}
+
+TEST(GbtlMatrix, BuildOutOfRangeThrows) {
+  Matrix<int> m(2, 2);
+  IndexArray is{2};
+  IndexArray js{0};
+  std::vector<int> vs{1};
+  EXPECT_THROW(m.build(is, js, vs), gbtl::IndexOutOfBoundsException);
+}
+
+TEST(GbtlMatrix, BuildMismatchedLengthsThrows) {
+  Matrix<int> m(2, 2);
+  IndexArray is{0, 1};
+  IndexArray js{0};
+  std::vector<int> vs{1, 2};
+  EXPECT_THROW(m.build(is, js, vs), gbtl::InvalidValueException);
+}
+
+TEST(GbtlMatrix, ClearKeepsShape) {
+  Matrix<int> m({{1, 2}, {3, 4}});
+  m.clear();
+  EXPECT_EQ(m.nvals(), 0u);
+  EXPECT_EQ(m.nrows(), 2u);
+  EXPECT_EQ(m.ncols(), 2u);
+}
+
+TEST(GbtlMatrix, EqualityStructureAndValues) {
+  Matrix<int> a({{1, 0}, {0, 2}});
+  Matrix<int> b({{1, 0}, {0, 2}});
+  Matrix<int> c({{1, 0}, {0, 3}});
+  Matrix<int> d({{1, 2}, {0, 2}});
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a == c);
+  EXPECT_FALSE(a == d);
+}
+
+TEST(GbtlMatrix, ExtractTuplesRowMajorOrder) {
+  Matrix<int> m({{0, 1}, {2, 0}});
+  IndexArray is, js;
+  std::vector<int> vs;
+  m.extractTuples(is, js, vs);
+  ASSERT_EQ(is.size(), 2u);
+  EXPECT_EQ(is[0], 0u);
+  EXPECT_EQ(js[0], 1u);
+  EXPECT_EQ(vs[0], 1);
+  EXPECT_EQ(is[1], 1u);
+  EXPECT_EQ(js[1], 0u);
+  EXPECT_EQ(vs[1], 2);
+}
+
+TEST(GbtlMatrix, SetRowReplacesAndUpdatesNvals) {
+  Matrix<int> m({{1, 2}, {3, 4}});
+  typename Matrix<int>::Row row{{1, 9}};
+  m.setRow(0, std::move(row));
+  EXPECT_EQ(m.nvals(), 3u);
+  EXPECT_FALSE(m.hasElement(0, 0));
+  EXPECT_EQ(m.extractElement(0, 1), 9);
+}
+
+TEST(GbtlMatrix, RowsStaySortedUnderRandomInsertion) {
+  Matrix<int> m(1, 100);
+  for (int j : {57, 3, 99, 0, 42, 17, 88, 5}) {
+    m.setElement(0, static_cast<IndexType>(j), j);
+  }
+  const auto& row = m.row(0);
+  for (std::size_t k = 1; k < row.size(); ++k) {
+    EXPECT_LT(row[k - 1].first, row[k].first);
+  }
+}
+
+TEST(GbtlMatrix, BoolMatrixWorks) {
+  Matrix<bool> m(2, 2);
+  m.setElement(0, 0, true);
+  m.setElement(1, 1, false);  // stored false is a stored value
+  EXPECT_EQ(m.nvals(), 2u);
+  EXPECT_TRUE(m.extractElement(0, 0));
+  EXPECT_FALSE(m.extractElement(1, 1));
+}
+
+}  // namespace

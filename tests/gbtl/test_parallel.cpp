@@ -1,0 +1,135 @@
+// Tests: the multithreaded substrate backend (§IV's "multithreaded GBTL
+// backend") — every parallel kernel must produce bit-identical results
+// across worker counts, including exception propagation and the
+// small-input sequential fast path.
+#include <gtest/gtest.h>
+
+#include "gbtl/detail/parallel.hpp"
+#include "reference.hpp"
+
+namespace {
+
+using namespace gbtl;  // NOLINT
+using testref::random_matrix;
+using testref::random_vector;
+
+/// RAII worker-count override.
+class ThreadGuard {
+ public:
+  explicit ThreadGuard(unsigned n) : saved_(detail::num_threads()) {
+    detail::set_num_threads(n);
+  }
+  ~ThreadGuard() { detail::set_num_threads(saved_); }
+
+ private:
+  unsigned saved_;
+};
+
+class ParallelKernels : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(ParallelKernels, GustavsonMxmMatchesSequential) {
+  auto a = random_matrix<int>(300, 200, 0.05, 7);
+  auto b = random_matrix<int>(200, 250, 0.05, 8);
+  Matrix<int> seq(300, 250);
+  mxm(seq, NoMask{}, NoAccumulate{}, ArithmeticSemiring<int>{}, a, b);
+
+  ThreadGuard guard(GetParam());
+  Matrix<int> par(300, 250);
+  mxm(par, NoMask{}, NoAccumulate{}, ArithmeticSemiring<int>{}, a, b);
+  EXPECT_EQ(seq, par);
+}
+
+TEST_P(ParallelKernels, DotKernelMatchesSequential) {
+  auto a = random_matrix<int>(260, 120, 0.08, 9);
+  auto b = random_matrix<int>(240, 120, 0.08, 10);
+  Matrix<int> seq(260, 240);
+  mxm(seq, NoMask{}, NoAccumulate{}, ArithmeticSemiring<int>{}, a,
+      transpose(b));
+
+  ThreadGuard guard(GetParam());
+  Matrix<int> par(260, 240);
+  mxm(par, NoMask{}, NoAccumulate{}, ArithmeticSemiring<int>{}, a,
+      transpose(b));
+  EXPECT_EQ(seq, par);
+}
+
+TEST_P(ParallelKernels, MaskedDotKernelMatchesSequential) {
+  auto a = random_matrix<int>(220, 150, 0.08, 11);
+  auto b = random_matrix<int>(220, 150, 0.08, 12);
+  auto mask = random_matrix<bool>(220, 220, 0.3, 13, false, true);
+  Matrix<int> seq(220, 220);
+  mxm(seq, mask, NoAccumulate{}, ArithmeticSemiring<int>{}, a, transpose(b),
+      OutputControl::kReplace);
+
+  ThreadGuard guard(GetParam());
+  Matrix<int> par(220, 220);
+  mxm(par, mask, NoAccumulate{}, ArithmeticSemiring<int>{}, a, transpose(b),
+      OutputControl::kReplace);
+  EXPECT_EQ(seq, par);
+}
+
+TEST_P(ParallelKernels, MxvPullMatchesSequential) {
+  auto a = random_matrix<int>(500, 400, 0.05, 14);
+  auto u = random_vector<int>(400, 0.5, 15);
+  Vector<int> seq(500);
+  mxv(seq, NoMask{}, NoAccumulate{}, ArithmeticSemiring<int>{}, a, u);
+
+  ThreadGuard guard(GetParam());
+  Vector<int> par(500);
+  mxv(par, NoMask{}, NoAccumulate{}, ArithmeticSemiring<int>{}, a, u);
+  EXPECT_TRUE(seq == par);
+}
+
+TEST_P(ParallelKernels, MinPlusSemiringMatchesSequential) {
+  auto a = random_matrix<double>(280, 280, 0.05, 16);
+  auto u = random_vector<double>(280, 0.4, 17);
+  Vector<double> seq(280);
+  mxv(seq, NoMask{}, NoAccumulate{}, MinPlusSemiring<double>{}, a, u);
+
+  ThreadGuard guard(GetParam());
+  Vector<double> par(280);
+  mxv(par, NoMask{}, NoAccumulate{}, MinPlusSemiring<double>{}, a, u);
+  EXPECT_TRUE(seq == par);
+}
+
+INSTANTIATE_TEST_SUITE_P(WorkerCounts, ParallelKernels,
+                         ::testing::Values(2u, 3u, 4u, 8u));
+
+TEST(ParallelFor, CoversRangeExactlyOnce) {
+  ThreadGuard guard(4);
+  std::vector<std::atomic<int>> hits(1000);
+  detail::parallel_for_rows(1000, [&](IndexType begin, IndexType end) {
+    for (IndexType i = begin; i < end; ++i) hits[i].fetch_add(1);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, TinyRangeRunsInline) {
+  ThreadGuard guard(8);
+  const auto caller = std::this_thread::get_id();
+  std::thread::id seen;
+  detail::parallel_for_rows(10, [&](IndexType, IndexType) {
+    seen = std::this_thread::get_id();
+  });
+  EXPECT_EQ(seen, caller);  // below the per-thread minimum: no spawn
+}
+
+TEST(ParallelFor, PropagatesWorkerExceptions) {
+  ThreadGuard guard(4);
+  EXPECT_THROW(
+      detail::parallel_for_rows(1000,
+                                [&](IndexType begin, IndexType) {
+                                  if (begin > 0) {
+                                    throw std::runtime_error("worker boom");
+                                  }
+                                }),
+      std::runtime_error);
+}
+
+TEST(ParallelFor, ThreadCountClampsToOne) {
+  detail::set_num_threads(0);
+  EXPECT_EQ(detail::num_threads(), 1u);
+  detail::set_num_threads(1);
+}
+
+}  // namespace

@@ -1,0 +1,73 @@
+// Tests: the transpose operation (materializing) and its view interplay.
+#include <gtest/gtest.h>
+
+#include "reference.hpp"
+
+namespace {
+
+using namespace gbtl;  // NOLINT
+using testref::random_matrix;
+
+TEST(TransposeOp, Basic) {
+  Matrix<int> a(2, 3);
+  a.setElement(0, 2, 5);
+  a.setElement(1, 0, 7);
+  Matrix<int> c(3, 2);
+  transpose(c, NoMask{}, NoAccumulate{}, a);
+  EXPECT_EQ(c.nvals(), 2u);
+  EXPECT_EQ(c.extractElement(2, 0), 5);
+  EXPECT_EQ(c.extractElement(0, 1), 7);
+}
+
+TEST(TransposeOp, ViewInputCancels) {
+  Matrix<int> a({{1, 2}, {3, 4}});
+  Matrix<int> c(2, 2);
+  transpose(c, NoMask{}, NoAccumulate{}, transpose(a));
+  EXPECT_EQ(c, a);
+}
+
+TEST(TransposeOp, ShapeMismatchThrows) {
+  Matrix<int> a(2, 3);
+  Matrix<int> c(2, 3);
+  EXPECT_THROW(transpose(c, NoMask{}, NoAccumulate{}, a),
+               DimensionException);
+}
+
+TEST(TransposeOp, WithAccumAndMask) {
+  Matrix<int> a({{1, 2}, {3, 4}});
+  Matrix<int> c({{10, 10}, {10, 10}});
+  Matrix<bool> mask(2, 2);
+  mask.setElement(0, 1, true);
+  transpose(c, mask, Plus<int>{}, a);
+  EXPECT_EQ(c.extractElement(0, 1), 13);  // 10 + a(1,0)
+  EXPECT_EQ(c.extractElement(0, 0), 10);
+  EXPECT_EQ(c.extractElement(1, 1), 10);
+}
+
+TEST(TransposeOp, DoubleTransposeIdentityProperty) {
+  for (unsigned seed : {91u, 92u}) {
+    auto a = random_matrix<int>(7, 11, 0.4, seed);
+    Matrix<int> t(11, 7), tt(7, 11);
+    transpose(t, NoMask{}, NoAccumulate{}, a);
+    transpose(tt, NoMask{}, NoAccumulate{}, t);
+    EXPECT_EQ(tt, a);
+  }
+}
+
+TEST(TransposeOp, MaterializeHelperAgreesWithView) {
+  auto a = random_matrix<int>(6, 9, 0.5, 93);
+  auto at = detail::materialize_transpose(a);
+  auto view = gbtl::transpose(a);
+  EXPECT_EQ(at.nrows(), view.nrows());
+  EXPECT_EQ(at.ncols(), view.ncols());
+  for (IndexType i = 0; i < at.nrows(); ++i) {
+    for (IndexType j = 0; j < at.ncols(); ++j) {
+      EXPECT_EQ(at.hasElement(i, j), view.hasElement(i, j));
+      if (at.hasElement(i, j)) {
+        EXPECT_EQ(at.extractElement(i, j), view.extractElement(i, j));
+      }
+    }
+  }
+}
+
+}  // namespace

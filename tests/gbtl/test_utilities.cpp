@@ -1,0 +1,78 @@
+// Tests: GBTL utility helpers (normalize_rows, split, identity, banded).
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "gbtl/gbtl.hpp"
+
+namespace {
+
+using namespace gbtl;  // NOLINT
+
+TEST(NormalizeRows, RowsSumToOne) {
+  Matrix<double> m({{1, 1, 2}, {0, 0, 0}, {5, 0, 0}});
+  normalize_rows(m);
+  EXPECT_DOUBLE_EQ(m.extractElement(0, 0), 0.25);
+  EXPECT_DOUBLE_EQ(m.extractElement(0, 2), 0.5);
+  EXPECT_DOUBLE_EQ(m.extractElement(2, 0), 1.0);
+  EXPECT_EQ(m.row(1).size(), 0u);  // empty rows untouched
+}
+
+TEST(NormalizeRows, ZeroSumRowLeftAlone) {
+  Matrix<double> m(2, 2);
+  m.setElement(0, 0, 1.0);
+  m.setElement(0, 1, -1.0);
+  normalize_rows(m);
+  EXPECT_DOUBLE_EQ(m.extractElement(0, 0), 1.0);  // sum 0: untouched
+}
+
+TEST(Split, StrictTriangles) {
+  Matrix<int> a({{1, 2, 3}, {4, 5, 6}, {7, 8, 9}});
+  Matrix<int> lo(3, 3), hi(3, 3);
+  split(a, lo, hi);
+  EXPECT_EQ(lo.nvals(), 3u);
+  EXPECT_EQ(hi.nvals(), 3u);
+  EXPECT_EQ(lo.extractElement(1, 0), 4);
+  EXPECT_EQ(lo.extractElement(2, 1), 8);
+  EXPECT_EQ(hi.extractElement(0, 2), 3);
+  EXPECT_FALSE(lo.hasElement(1, 1));  // diagonal dropped
+  EXPECT_FALSE(hi.hasElement(0, 0));
+}
+
+TEST(Split, NonSquareThrows) {
+  Matrix<int> a(2, 3), lo(2, 3), hi(2, 3);
+  EXPECT_THROW(split(a, lo, hi), DimensionException);
+}
+
+TEST(IdentityMatrix, DiagonalOnly) {
+  auto eye = identity_matrix<double>(4, 2.5);
+  EXPECT_EQ(eye.nvals(), 4u);
+  EXPECT_DOUBLE_EQ(eye.extractElement(2, 2), 2.5);
+  EXPECT_FALSE(eye.hasElement(0, 1));
+}
+
+TEST(BandedMatrix, TriDiagonal) {
+  // scipy.sparse.diags([1,1,1], [-1,0,1], shape=(3,3)) analog (Fig. 3b).
+  auto m = banded_matrix<int>(3, {{-1, 1}, {0, 1}, {1, 1}});
+  EXPECT_EQ(m.nvals(), 7u);
+  EXPECT_EQ(m.extractElement(0, 0), 1);
+  EXPECT_EQ(m.extractElement(0, 1), 1);
+  EXPECT_EQ(m.extractElement(1, 0), 1);
+  EXPECT_FALSE(m.hasElement(0, 2));
+}
+
+TEST(BandedMatrix, OffsetClipping) {
+  auto m = banded_matrix<int>(3, {{2, 9}});
+  EXPECT_EQ(m.nvals(), 1u);
+  EXPECT_EQ(m.extractElement(0, 2), 9);
+}
+
+TEST(PrintDense, SmokeFormat) {
+  Matrix<int> m(2, 2);
+  m.setElement(0, 0, 3);
+  std::ostringstream os;
+  print_dense(os, m);
+  EXPECT_EQ(os.str(), "3 .\n. .\n");
+}
+
+}  // namespace

@@ -1,0 +1,111 @@
+// Unit tests: gbtl::Vector container semantics.
+#include <gtest/gtest.h>
+
+#include "gbtl/gbtl.hpp"
+
+namespace {
+
+using gbtl::IndexArray;
+using gbtl::Vector;
+
+TEST(GbtlVector, ConstructEmpty) {
+  Vector<double> v(5);
+  EXPECT_EQ(v.size(), 5u);
+  EXPECT_EQ(v.nvals(), 0u);
+}
+
+TEST(GbtlVector, ZeroSizeThrows) {
+  EXPECT_THROW(Vector<double>(0), gbtl::InvalidValueException);
+}
+
+TEST(GbtlVector, DenseConstructorSkipsZeros) {
+  Vector<int> v{1, 0, 3, 0, 5};
+  EXPECT_EQ(v.size(), 5u);
+  EXPECT_EQ(v.nvals(), 3u);
+  EXPECT_FALSE(v.hasElement(1));
+  EXPECT_EQ(v.extractElement(4), 5);
+}
+
+TEST(GbtlVector, DenseConstructorCustomZero) {
+  Vector<int> v({-1, 2, -1}, -1);
+  EXPECT_EQ(v.nvals(), 1u);
+  EXPECT_EQ(v.extractElement(1), 2);
+}
+
+TEST(GbtlVector, SetGetRemove) {
+  Vector<double> v(3);
+  v.setElement(1, 4.5);
+  EXPECT_TRUE(v.hasElement(1));
+  EXPECT_DOUBLE_EQ(v.extractElement(1), 4.5);
+  v.setElement(1, 5.5);
+  EXPECT_EQ(v.nvals(), 1u);
+  v.removeElement(1);
+  EXPECT_EQ(v.nvals(), 0u);
+  v.removeElement(1);  // no-op
+}
+
+TEST(GbtlVector, ExtractMissingThrows) {
+  Vector<double> v(3);
+  EXPECT_THROW(v.extractElement(0), gbtl::NoValueException);
+}
+
+TEST(GbtlVector, OutOfBoundsThrows) {
+  Vector<double> v(3);
+  EXPECT_THROW(v.setElement(3, 1.0), gbtl::IndexOutOfBoundsException);
+  EXPECT_THROW(v.hasElement(9), gbtl::IndexOutOfBoundsException);
+}
+
+TEST(GbtlVector, BuildWithDuplicates) {
+  Vector<int> v(4);
+  IndexArray is{2, 2, 0};
+  std::vector<int> vs{5, 7, 1};
+  v.build(is, vs);  // default dup: last wins
+  EXPECT_EQ(v.nvals(), 2u);
+  EXPECT_EQ(v.extractElement(2), 7);
+
+  v.build(is, vs, gbtl::Plus<int>{});
+  EXPECT_EQ(v.extractElement(2), 12);
+}
+
+TEST(GbtlVector, BuildMismatchedLengthsThrows) {
+  Vector<int> v(4);
+  IndexArray is{0, 1};
+  std::vector<int> vs{1};
+  EXPECT_THROW(v.build(is, vs), gbtl::InvalidValueException);
+}
+
+TEST(GbtlVector, EqualityIncludesStructure) {
+  Vector<int> a{1, 0, 3};
+  Vector<int> b{1, 0, 3};
+  EXPECT_TRUE(a == b);
+  b.setElement(1, 0);  // stored zero != absent
+  EXPECT_FALSE(a == b);
+}
+
+TEST(GbtlVector, ExtractTuples) {
+  Vector<int> v{0, 7, 0, 9};
+  IndexArray is;
+  std::vector<int> vs;
+  v.extractTuples(is, vs);
+  ASSERT_EQ(is.size(), 2u);
+  EXPECT_EQ(is[0], 1u);
+  EXPECT_EQ(vs[0], 7);
+  EXPECT_EQ(is[1], 3u);
+  EXPECT_EQ(vs[1], 9);
+}
+
+TEST(GbtlVector, ClearKeepsSize) {
+  Vector<int> v{1, 2, 3};
+  v.clear();
+  EXPECT_EQ(v.size(), 3u);
+  EXPECT_EQ(v.nvals(), 0u);
+}
+
+TEST(GbtlVector, BoolVectorStoredFalse) {
+  Vector<bool> v(2);
+  v.setElement(0, false);
+  EXPECT_EQ(v.nvals(), 1u);
+  EXPECT_FALSE(v.extractElement(0));
+}
+
+}  // namespace

@@ -1,0 +1,93 @@
+// Unit tests: transpose and complement views + the mask-probing interface.
+#include <gtest/gtest.h>
+
+#include "gbtl/gbtl.hpp"
+
+namespace {
+
+using namespace gbtl;  // NOLINT
+
+TEST(Views, TransposeViewAccess) {
+  Matrix<int> a({{1, 2, 3}, {4, 5, 6}});
+  auto at = transpose(a);
+  EXPECT_EQ(at.nrows(), 3u);
+  EXPECT_EQ(at.ncols(), 2u);
+  EXPECT_EQ(at.nvals(), 6u);
+  EXPECT_EQ(at.extractElement(2, 1), 6);
+  EXPECT_TRUE(at.hasElement(0, 1));
+}
+
+TEST(Views, TransposeOfTransposeIsOriginal) {
+  Matrix<int> a({{1, 2}, {3, 4}});
+  const auto& back = transpose(transpose(a));
+  EXPECT_EQ(&back, &a);
+}
+
+TEST(Views, MatrixMaskValueTruthiness) {
+  Matrix<int> m(2, 2);
+  m.setElement(0, 0, 1);
+  m.setElement(0, 1, 0);  // stored zero is NOT a true mask entry
+  EXPECT_TRUE(mask_value(m, 0, 0));
+  EXPECT_FALSE(mask_value(m, 0, 1));
+  EXPECT_FALSE(mask_value(m, 1, 1));  // absent
+}
+
+TEST(Views, ComplementInvertsMask) {
+  Matrix<int> m(2, 2);
+  m.setElement(0, 0, 1);
+  auto cm = complement(m);
+  EXPECT_FALSE(mask_value(cm, 0, 0));
+  EXPECT_TRUE(mask_value(cm, 1, 1));
+}
+
+TEST(Views, ComplementOfComplementIsOriginal) {
+  Matrix<int> m(2, 2);
+  const auto& back = complement(complement(m));
+  EXPECT_EQ(&back, &m);
+  Vector<int> v(2);
+  const auto& vback = complement(complement(v));
+  EXPECT_EQ(&vback, &v);
+}
+
+TEST(Views, VectorMaskAndComplement) {
+  Vector<double> v{0.0, 2.5, 0.0};
+  v.setElement(0, 0.0);  // stored zero
+  EXPECT_FALSE(mask_value(v, 0));
+  EXPECT_TRUE(mask_value(v, 1));
+  EXPECT_FALSE(mask_value(v, 2));
+  auto cv = complement(v);
+  EXPECT_TRUE(mask_value(cv, 0));
+  EXPECT_FALSE(mask_value(cv, 1));
+}
+
+TEST(Views, NoMaskIsAllTrue) {
+  NoMask nm;
+  EXPECT_TRUE(mask_value(nm, 0, 0));
+  EXPECT_TRUE(mask_value(nm, 123));
+}
+
+TEST(Views, MaskShapeChecks) {
+  Matrix<int> c(2, 3);
+  Matrix<bool> good(2, 3);
+  Matrix<bool> bad(3, 2);
+  EXPECT_NO_THROW(check_mask_shape(good, c));
+  EXPECT_THROW(check_mask_shape(bad, c), DimensionException);
+  EXPECT_THROW(check_mask_shape(complement(bad), c), DimensionException);
+  EXPECT_NO_THROW(check_mask_shape(NoMask{}, c));
+
+  Vector<int> w(4);
+  Vector<bool> vgood(4);
+  Vector<bool> vbad(3);
+  EXPECT_NO_THROW(check_vec_mask_shape(vgood, w));
+  EXPECT_THROW(check_vec_mask_shape(vbad, w), DimensionException);
+}
+
+TEST(Views, TraitDetection) {
+  static_assert(is_transpose_view_v<TransposeView<Matrix<int>>>);
+  static_assert(!is_transpose_view_v<Matrix<int>>);
+  static_assert(is_nomask_v<NoMask>);
+  static_assert(!is_nomask_v<Matrix<bool>>);
+  SUCCEED();
+}
+
+}  // namespace

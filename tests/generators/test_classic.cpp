@@ -1,0 +1,90 @@
+// Tests: deterministic graph families (balanced tree, path, cycle,
+// complete, star) and the adjacency conversion.
+#include <gtest/gtest.h>
+
+#include "generators/classic.hpp"
+
+namespace {
+
+using namespace pygb::gen;  // NOLINT
+
+TEST(BalancedTree, VertexAndEdgeCounts) {
+  // r=2, h=3: 1 + 2 + 4 + 8 = 15 vertices, 14 edges.
+  auto el = balanced_tree(2, 3);
+  EXPECT_EQ(el.num_vertices, 15u);
+  EXPECT_EQ(el.edges.size(), 14u);
+}
+
+TEST(BalancedTree, TernaryCounts) {
+  // r=3, h=2: 1 + 3 + 9 = 13 vertices.
+  auto el = balanced_tree(3, 2);
+  EXPECT_EQ(el.num_vertices, 13u);
+  EXPECT_EQ(el.edges.size(), 12u);
+}
+
+TEST(BalancedTree, UnaryChainIsAPath) {
+  auto el = balanced_tree(1, 4);
+  EXPECT_EQ(el.num_vertices, 5u);
+  EXPECT_EQ(el.edges.size(), 4u);
+}
+
+TEST(BalancedTree, ChildIndexingIsBfsOrder) {
+  auto el = balanced_tree(2, 2);
+  // Root 0 -> 1, 2; vertex 1 -> 3, 4; vertex 2 -> 5, 6.
+  EXPECT_EQ(el.edges[0].src, 0u);
+  EXPECT_EQ(el.edges[0].dst, 1u);
+  EXPECT_EQ(el.edges[1].dst, 2u);
+  EXPECT_EQ(el.edges[2].src, 1u);
+  EXPECT_EQ(el.edges[2].dst, 3u);
+}
+
+TEST(BalancedTree, SymmetricDoublesEdges) {
+  auto el = balanced_tree(2, 3, /*symmetric=*/true);
+  EXPECT_EQ(el.edges.size(), 28u);
+}
+
+TEST(BalancedTree, ZeroBranchingThrows) {
+  EXPECT_THROW(balanced_tree(0, 3), std::invalid_argument);
+}
+
+TEST(PathGraph, Structure) {
+  auto el = path_graph(4);
+  EXPECT_EQ(el.num_vertices, 4u);
+  ASSERT_EQ(el.edges.size(), 3u);
+  EXPECT_EQ(el.edges[2].src, 2u);
+  EXPECT_EQ(el.edges[2].dst, 3u);
+}
+
+TEST(CycleGraph, ClosesLoop) {
+  auto el = cycle_graph(5);
+  EXPECT_EQ(el.edges.size(), 5u);
+  EXPECT_EQ(el.edges.back().src, 4u);
+  EXPECT_EQ(el.edges.back().dst, 0u);
+}
+
+TEST(CycleGraph, TooSmallThrows) {
+  EXPECT_THROW(cycle_graph(1), std::invalid_argument);
+}
+
+TEST(CompleteGraph, AllPairs) {
+  auto el = complete_graph(4);
+  EXPECT_EQ(el.edges.size(), 12u);  // 4*3 directed
+}
+
+TEST(StarGraph, HubAndSpokes) {
+  auto el = star_graph(5);
+  EXPECT_EQ(el.edges.size(), 4u);
+  for (const auto& e : el.edges) EXPECT_EQ(e.src, 0u);
+}
+
+TEST(ToAdjacency, BuildsCorrectMatrix) {
+  auto el = path_graph(3);
+  auto m = to_adjacency<double>(el);
+  EXPECT_EQ(m.nrows(), 3u);
+  EXPECT_EQ(m.nvals(), 2u);
+  EXPECT_DOUBLE_EQ(m.extractElement(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(m.extractElement(1, 2), 1.0);
+  EXPECT_FALSE(m.hasElement(1, 0));
+}
+
+}  // namespace

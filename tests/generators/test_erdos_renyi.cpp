@@ -1,0 +1,123 @@
+// Tests: Erdős–Rényi generator and the paper's |E| = n^1.5 density rule.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "generators/erdos_renyi.hpp"
+
+namespace {
+
+using namespace pygb::gen;  // NOLINT
+
+TEST(ErdosRenyi, ExactEdgeCount) {
+  ErdosRenyiParams p;
+  p.num_vertices = 50;
+  p.num_edges = 200;
+  p.seed = 1;
+  auto el = erdos_renyi(p);
+  EXPECT_EQ(el.num_vertices, 50u);
+  EXPECT_EQ(el.edges.size(), 200u);
+}
+
+TEST(ErdosRenyi, NoDuplicatesNoSelfLoops) {
+  ErdosRenyiParams p;
+  p.num_vertices = 40;
+  p.num_edges = 300;
+  p.seed = 2;
+  auto el = erdos_renyi(p);
+  std::set<std::pair<gbtl::IndexType, gbtl::IndexType>> seen;
+  for (const auto& e : el.edges) {
+    EXPECT_NE(e.src, e.dst);
+    EXPECT_LT(e.src, 40u);
+    EXPECT_LT(e.dst, 40u);
+    EXPECT_TRUE(seen.insert({e.src, e.dst}).second) << "duplicate edge";
+  }
+}
+
+TEST(ErdosRenyi, DeterministicForSeed) {
+  ErdosRenyiParams p;
+  p.num_vertices = 30;
+  p.num_edges = 100;
+  p.seed = 7;
+  auto a = erdos_renyi(p);
+  auto b = erdos_renyi(p);
+  ASSERT_EQ(a.edges.size(), b.edges.size());
+  for (std::size_t k = 0; k < a.edges.size(); ++k) {
+    EXPECT_EQ(a.edges[k].src, b.edges[k].src);
+    EXPECT_EQ(a.edges[k].dst, b.edges[k].dst);
+    EXPECT_DOUBLE_EQ(a.edges[k].weight, b.edges[k].weight);
+  }
+  p.seed = 8;
+  auto c = erdos_renyi(p);
+  bool differs = false;
+  for (std::size_t k = 0; k < a.edges.size() && !differs; ++k) {
+    differs = a.edges[k].src != c.edges[k].src ||
+              a.edges[k].dst != c.edges[k].dst;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(ErdosRenyi, SymmetricMirrorsEveryEdge) {
+  ErdosRenyiParams p;
+  p.num_vertices = 25;
+  p.num_edges = 60;
+  p.symmetric = true;
+  p.seed = 3;
+  auto el = erdos_renyi(p);
+  EXPECT_EQ(el.edges.size(), 120u);
+  std::set<std::pair<gbtl::IndexType, gbtl::IndexType>> seen;
+  for (const auto& e : el.edges) seen.insert({e.src, e.dst});
+  for (const auto& e : el.edges) {
+    EXPECT_TRUE(seen.count({e.dst, e.src})) << "missing mirror";
+  }
+}
+
+TEST(ErdosRenyi, WeightsInRange) {
+  ErdosRenyiParams p;
+  p.num_vertices = 20;
+  p.num_edges = 50;
+  p.min_weight = 2.0;
+  p.max_weight = 5.0;
+  p.seed = 4;
+  auto el = erdos_renyi(p);
+  for (const auto& e : el.edges) {
+    EXPECT_GE(e.weight, 2.0);
+    EXPECT_LE(e.weight, 5.0);
+  }
+}
+
+TEST(ErdosRenyi, TooManyEdgesThrows) {
+  ErdosRenyiParams p;
+  p.num_vertices = 3;
+  p.num_edges = 7;  // max is 3*2 = 6 directed edges
+  EXPECT_THROW(erdos_renyi(p), std::invalid_argument);
+}
+
+TEST(ErdosRenyi, EmptyVertexSetThrows) {
+  ErdosRenyiParams p;
+  EXPECT_THROW(erdos_renyi(p), std::invalid_argument);
+}
+
+TEST(PaperEdgeCount, FollowsNToTheOnePointFive) {
+  EXPECT_EQ(paper_edge_count(100), 1000u);  // 100^1.5
+  EXPECT_EQ(paper_edge_count(1024), 32768u);
+  // Clamped to n(n-1) for tiny n: 4^1.5 = 8 <= 12, unclamped.
+  EXPECT_EQ(paper_edge_count(4), 8u);
+  EXPECT_EQ(paper_edge_count(2), 2u);  // 2^1.5 = 2.83 -> clamp to 2
+}
+
+TEST(PaperGraph, MatchesDensityRule) {
+  auto el = paper_graph(256, 5);
+  EXPECT_EQ(el.num_vertices, 256u);
+  EXPECT_EQ(el.edges.size(), paper_edge_count(256));
+}
+
+TEST(PaperGraph, SymmetricKeepsTotalStoredEdges) {
+  auto el = paper_graph(128, 5, /*symmetric=*/true);
+  // Canonical pairs halved, then mirrored: total ~= n^1.5 (exactly, since
+  // every sampled pair is off-diagonal).
+  EXPECT_EQ(el.edges.size(), (paper_edge_count(128) / 2) * 2);
+}
+
+}  // namespace

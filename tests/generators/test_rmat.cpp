@@ -1,0 +1,77 @@
+// Tests: R-MAT generator.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "generators/rmat.hpp"
+
+namespace {
+
+using namespace pygb::gen;  // NOLINT
+
+TEST(Rmat, VertexCountIsPowerOfScale) {
+  RmatParams p;
+  p.scale = 6;
+  p.edge_factor = 8;
+  auto el = rmat(p);
+  EXPECT_EQ(el.num_vertices, 64u);
+  for (const auto& e : el.edges) {
+    EXPECT_LT(e.src, 64u);
+    EXPECT_LT(e.dst, 64u);
+  }
+}
+
+TEST(Rmat, RespectsSelfLoopAndDedupFlags) {
+  RmatParams p;
+  p.scale = 5;
+  p.edge_factor = 8;
+  p.seed = 9;
+  auto el = rmat(p);
+  std::set<std::pair<gbtl::IndexType, gbtl::IndexType>> seen;
+  for (const auto& e : el.edges) {
+    EXPECT_NE(e.src, e.dst);
+    EXPECT_TRUE(seen.insert({e.src, e.dst}).second);
+  }
+}
+
+TEST(Rmat, Deterministic) {
+  RmatParams p;
+  p.scale = 5;
+  p.seed = 11;
+  auto a = rmat(p);
+  auto b = rmat(p);
+  ASSERT_EQ(a.edges.size(), b.edges.size());
+  for (std::size_t k = 0; k < a.edges.size(); ++k) {
+    EXPECT_EQ(a.edges[k].src, b.edges[k].src);
+    EXPECT_EQ(a.edges[k].dst, b.edges[k].dst);
+  }
+}
+
+TEST(Rmat, SkewedDegreeDistribution) {
+  // With the default (0.57, 0.19, 0.19) parameters the out-degree
+  // distribution is heavily skewed: the max out-degree far exceeds the
+  // mean (which a uniform ER graph would not show at this scale).
+  RmatParams p;
+  p.scale = 9;
+  p.edge_factor = 8;
+  p.seed = 13;
+  auto el = rmat(p);
+  std::map<gbtl::IndexType, std::size_t> degree;
+  for (const auto& e : el.edges) ++degree[e.src];
+  std::size_t max_deg = 0;
+  for (const auto& [v, d] : degree) max_deg = std::max(max_deg, d);
+  const double mean = static_cast<double>(el.edges.size()) /
+                      static_cast<double>(el.num_vertices);
+  EXPECT_GT(static_cast<double>(max_deg), 4.0 * mean);
+}
+
+TEST(Rmat, InvalidProbabilitiesThrow) {
+  RmatParams p;
+  p.a = 0.5;
+  p.b = 0.3;
+  p.c = 0.3;
+  EXPECT_THROW(rmat(p), std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,135 @@
+// Tests: the triplet-text fast path and the boxed "Python list" slow path
+// (Fig. 11 ingestion pipelines), including their equivalence.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "io/coo_text.hpp"
+
+namespace {
+
+using namespace pygb::io;  // NOLINT
+
+class CooTextFile : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = (std::filesystem::temp_directory_path() /
+             ("pygb_coo_test_" + std::to_string(::getpid()) + ".txt"))
+                .string();
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+  std::string path_;
+};
+
+TEST_F(CooTextFile, WriteReadRoundTrip) {
+  Coo coo;
+  coo.nrows = 5;
+  coo.ncols = 4;
+  coo.rows = {0, 2, 4};
+  coo.cols = {1, 3, 0};
+  coo.vals = {1.5, 2.0, -3.25};
+  write_coo_text(path_, coo);
+  Coo back = read_coo_text(path_);
+  EXPECT_EQ(back.nrows, 5u);
+  EXPECT_EQ(back.ncols, 4u);
+  ASSERT_EQ(back.nnz(), 3u);
+  EXPECT_DOUBLE_EQ(back.vals[2], -3.25);
+}
+
+TEST_F(CooTextFile, ShapeInferredWithoutHeader) {
+  {
+    std::ofstream out(path_);
+    out << "0 1 1.0\n3 2 2.0\n";
+  }
+  Coo coo = read_coo_text(path_);
+  EXPECT_EQ(coo.nrows, 4u);
+  EXPECT_EQ(coo.ncols, 3u);
+}
+
+TEST_F(CooTextFile, BadLineThrows) {
+  {
+    std::ofstream out(path_);
+    out << "0 1\n";
+  }
+  EXPECT_THROW(read_coo_text(path_), std::runtime_error);
+}
+
+TEST_F(CooTextFile, MissingFileThrows) {
+  EXPECT_THROW(read_coo_text("/nonexistent/x.txt"), std::runtime_error);
+}
+
+TEST_F(CooTextFile, PylistPathMatchesFastPath) {
+  Coo coo;
+  coo.nrows = 6;
+  coo.ncols = 6;
+  coo.rows = {0, 1, 5};
+  coo.cols = {5, 0, 2};
+  coo.vals = {1.0, 2.5, 3.0};
+  write_coo_text(path_, coo);
+
+  const Coo fast = read_coo_text(path_);
+  const auto lists = read_file_as_pylists(path_);
+  const Coo slow = pylists_to_coo(lists);
+
+  EXPECT_EQ(fast.nrows, slow.nrows);
+  EXPECT_EQ(fast.ncols, slow.ncols);
+  ASSERT_EQ(fast.nnz(), slow.nnz());
+  for (std::size_t k = 0; k < fast.nnz(); ++k) {
+    EXPECT_EQ(fast.rows[k], slow.rows[k]);
+    EXPECT_EQ(fast.cols[k], slow.cols[k]);
+    EXPECT_DOUBLE_EQ(fast.vals[k], slow.vals[k]);
+  }
+}
+
+TEST(PyLists, TokensAreBoxedWithRuntimeTypes) {
+  // Integers box to long long, reals to double, everything else to string.
+  const auto lists = [&] {
+    const auto path = std::filesystem::temp_directory_path() /
+                      "pygb_boxed_test.txt";
+    {
+      std::ofstream out(path);
+      out << "12 3.5 hello\n";
+    }
+    auto r = read_file_as_pylists(path.string());
+    std::filesystem::remove(path);
+    return r;
+  }();
+  ASSERT_EQ(lists.size(), 1u);
+  ASSERT_EQ(lists[0].size(), 3u);
+  EXPECT_TRUE(std::holds_alternative<long long>(*lists[0][0]));
+  EXPECT_TRUE(std::holds_alternative<double>(*lists[0][1]));
+  EXPECT_TRUE(std::holds_alternative<std::string>(*lists[0][2]));
+}
+
+TEST(PyLists, CooToPylistsRoundTrip) {
+  Coo coo;
+  coo.nrows = 3;
+  coo.ncols = 3;
+  coo.rows = {0, 2};
+  coo.cols = {1, 2};
+  coo.vals = {4.0, 5.5};
+  const auto lists = coo_to_pylists(coo);
+  ASSERT_EQ(lists.size(), 2u);
+  EXPECT_EQ(std::get<long long>(*lists[0][0]), 0);
+  EXPECT_EQ(std::get<long long>(*lists[0][1]), 1);
+  EXPECT_DOUBLE_EQ(std::get<double>(*lists[0][2]), 4.0);
+  // Feeding the extract back through the slow parser restores the data
+  // (shape is inferred since the header row is absent).
+  Coo back = pylists_to_coo(lists);
+  ASSERT_EQ(back.nnz(), 2u);
+  EXPECT_DOUBLE_EQ(back.vals[1], 5.5);
+}
+
+TEST(PyLists, NonNumericTripletThrows) {
+  std::vector<PyList> lists;
+  PyList row;
+  row.push_back(std::make_unique<PyValue>(std::string("x")));
+  row.push_back(std::make_unique<PyValue>(1LL));
+  row.push_back(std::make_unique<PyValue>(2.0));
+  lists.push_back(std::move(row));
+  EXPECT_THROW(pylists_to_coo(lists), std::runtime_error);
+}
+
+}  // namespace

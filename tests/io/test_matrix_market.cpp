@@ -1,0 +1,130 @@
+// Tests: Matrix Market reader/writer.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "io/matrix_market.hpp"
+
+namespace {
+
+using pygb::io::Coo;
+using pygb::io::read_matrix_market;
+using pygb::io::to_matrix;
+using pygb::io::write_matrix_market;
+
+TEST(MatrixMarket, ReadGeneralReal) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "% a comment\n"
+      "3 3 2\n"
+      "1 2 5.5\n"
+      "3 1 -2\n");
+  Coo coo = read_matrix_market(in, "test");
+  EXPECT_EQ(coo.nrows, 3u);
+  EXPECT_EQ(coo.ncols, 3u);
+  ASSERT_EQ(coo.nnz(), 2u);
+  EXPECT_EQ(coo.rows[0], 0u);
+  EXPECT_EQ(coo.cols[0], 1u);
+  EXPECT_DOUBLE_EQ(coo.vals[0], 5.5);
+  EXPECT_EQ(coo.rows[1], 2u);
+  EXPECT_EQ(coo.cols[1], 0u);
+}
+
+TEST(MatrixMarket, SymmetricExpansion) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate real symmetric\n"
+      "3 3 2\n"
+      "2 1 4\n"
+      "3 3 7\n");  // diagonal entry not duplicated
+  Coo coo = read_matrix_market(in, "test");
+  EXPECT_EQ(coo.nnz(), 3u);
+  auto m = to_matrix<double>(coo);
+  EXPECT_DOUBLE_EQ(m.extractElement(1, 0), 4);
+  EXPECT_DOUBLE_EQ(m.extractElement(0, 1), 4);
+  EXPECT_DOUBLE_EQ(m.extractElement(2, 2), 7);
+}
+
+TEST(MatrixMarket, PatternGetsUnitValues) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate pattern general\n"
+      "2 2 1\n"
+      "1 1\n");
+  Coo coo = read_matrix_market(in, "test");
+  ASSERT_EQ(coo.nnz(), 1u);
+  EXPECT_DOUBLE_EQ(coo.vals[0], 1.0);
+}
+
+TEST(MatrixMarket, IntegerField) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate integer general\n"
+      "2 2 1\n"
+      "2 2 42\n");
+  Coo coo = read_matrix_market(in, "test");
+  EXPECT_DOUBLE_EQ(coo.vals[0], 42.0);
+}
+
+TEST(MatrixMarket, ErrorOnMissingBanner) {
+  std::istringstream in("2 2 0\n");
+  EXPECT_THROW(read_matrix_market(in, "test"), std::runtime_error);
+}
+
+TEST(MatrixMarket, ErrorOnUnsupportedField) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate complex general\n2 2 0\n");
+  EXPECT_THROW(read_matrix_market(in, "test"), std::runtime_error);
+}
+
+TEST(MatrixMarket, ErrorOnBadIndex) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 1.0\n");
+  EXPECT_THROW(read_matrix_market(in, "test"), std::runtime_error);
+}
+
+TEST(MatrixMarket, ErrorOnTruncatedEntries) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1.0\n");
+  EXPECT_THROW(read_matrix_market(in, "test"), std::runtime_error);
+}
+
+TEST(MatrixMarket, RoundTrip) {
+  Coo coo;
+  coo.nrows = 4;
+  coo.ncols = 5;
+  coo.rows = {0, 2, 3};
+  coo.cols = {1, 4, 0};
+  coo.vals = {1.5, -2.0, 7.0};
+  std::ostringstream out;
+  write_matrix_market(out, coo);
+  std::istringstream in(out.str());
+  Coo back = read_matrix_market(in, "roundtrip");
+  EXPECT_EQ(back.nrows, coo.nrows);
+  EXPECT_EQ(back.ncols, coo.ncols);
+  ASSERT_EQ(back.nnz(), coo.nnz());
+  for (std::size_t k = 0; k < coo.nnz(); ++k) {
+    EXPECT_EQ(back.rows[k], coo.rows[k]);
+    EXPECT_EQ(back.cols[k], coo.cols[k]);
+    EXPECT_DOUBLE_EQ(back.vals[k], coo.vals[k]);
+  }
+}
+
+TEST(MatrixMarket, FileNotFoundThrows) {
+  EXPECT_THROW(read_matrix_market("/nonexistent/path.mtx"),
+               std::runtime_error);
+}
+
+TEST(CooConversion, ToMatrixAndBack) {
+  Coo coo;
+  coo.nrows = 3;
+  coo.ncols = 3;
+  coo.rows = {0, 1};
+  coo.cols = {1, 2};
+  coo.vals = {2.0, 3.0};
+  auto m = to_matrix<int>(coo);
+  EXPECT_EQ(m.extractElement(0, 1), 2);
+  auto back = pygb::io::from_matrix(m);
+  EXPECT_EQ(back.nnz(), 2u);
+  EXPECT_EQ(back.nrows, 3u);
+  EXPECT_DOUBLE_EQ(back.vals[1], 3.0);
+}
+
+}  // namespace

@@ -1,0 +1,164 @@
+// Tests: the runtime-typed DSL containers — construction paths (Fig. 3),
+// Python reference semantics, dtype handling, and conversions.
+#include <gtest/gtest.h>
+
+#include "generators/classic.hpp"
+#include "pygb/pygb.hpp"
+
+namespace {
+
+using namespace pygb;  // NOLINT
+
+TEST(DslMatrix, DefaultDtypeIsFP64) {
+  Matrix m(3, 3);
+  EXPECT_EQ(m.dtype(), DType::kFP64);
+  EXPECT_EQ(m.nrows(), 3u);
+  EXPECT_EQ(m.nvals(), 0u);
+}
+
+TEST(DslMatrix, DenseConstructionSkipsZeros) {
+  // Fig. 3a: gb.Matrix([[1, 2, 3], [4, 5, 6], [7, 8, 9]]).
+  Matrix m({{1, 2, 3}, {4, 5, 6}, {7, 8, 9}});
+  EXPECT_EQ(m.nvals(), 9u);
+  EXPECT_DOUBLE_EQ(m.get(1, 1), 5.0);
+  Matrix sparse({{1, 0}, {0, 2}});
+  EXPECT_EQ(sparse.nvals(), 2u);
+}
+
+TEST(DslMatrix, CooConstructionDeducesDtype) {
+  // Fig. 3a: gb.Matrix((vals, (rows, cols)), shape=(r, c)).
+  std::vector<std::int64_t> vals{10, 20};
+  gbtl::IndexArray rows{0, 1}, cols{1, 0};
+  Matrix m(vals, rows, cols, 2, 2);
+  EXPECT_EQ(m.dtype(), DType::kInt64);
+  EXPECT_EQ(m.get_element(0, 1).to_int64(), 10);
+}
+
+TEST(DslMatrix, FromEdgeListAndGenerators) {
+  // Fig. 3b: gb.Matrix(nx.balanced_tree(r=2, h=2)).
+  auto el = gen::balanced_tree(2, 2);
+  Matrix m = Matrix::from_edge_list(el, DType::kInt32);
+  EXPECT_EQ(m.dtype(), DType::kInt32);
+  EXPECT_EQ(m.nrows(), 7u);
+  EXPECT_EQ(m.nvals(), 6u);
+}
+
+TEST(DslMatrix, FromDense2D) {
+  Matrix m = Matrix::from_dense({{0.0, 1.5}, {2.5, 0.0}});
+  EXPECT_EQ(m.nvals(), 2u);
+  EXPECT_DOUBLE_EQ(m.get(0, 1), 1.5);
+}
+
+TEST(DslMatrix, HandleCopySharesData) {
+  // Python reference semantics: m2 = m aliases the same container.
+  Matrix m(2, 2);
+  Matrix m2 = m;
+  m2.set(0, 0, 7.0);
+  EXPECT_TRUE(m.same_object(m2));
+  EXPECT_DOUBLE_EQ(m.get(0, 0), 7.0);
+}
+
+TEST(DslMatrix, DupDeepCopies) {
+  Matrix m(2, 2);
+  m.set(0, 0, 1.0);
+  Matrix d = m.dup();
+  EXPECT_FALSE(m.same_object(d));
+  EXPECT_TRUE(m.equals(d));
+  d.set(0, 0, 2.0);
+  EXPECT_DOUBLE_EQ(m.get(0, 0), 1.0);
+}
+
+TEST(DslMatrix, AstypeCastsValues) {
+  Matrix m({{1.7, 0.0}, {0.0, 2.2}});
+  Matrix i = m.astype(DType::kInt32);
+  EXPECT_EQ(i.dtype(), DType::kInt32);
+  EXPECT_EQ(i.get_element(0, 0).to_int64(), 1);
+  EXPECT_EQ(i.get_element(1, 1).to_int64(), 2);
+  EXPECT_EQ(i.nvals(), 2u);
+}
+
+TEST(DslMatrix, EqualsRequiresSameDtype) {
+  Matrix a({{1, 0}, {0, 2}}, DType::kFP64);
+  Matrix b({{1, 0}, {0, 2}}, DType::kInt64);
+  EXPECT_FALSE(a.equals(b));
+  EXPECT_TRUE(a.equals(b.astype(DType::kFP64)));
+}
+
+TEST(DslMatrix, SetGetRemoveElement) {
+  Matrix m(2, 2, DType::kInt64);
+  m.set(1, 1, Scalar(std::int64_t{1} << 60));
+  EXPECT_TRUE(m.has_element(1, 1));
+  EXPECT_EQ(m.get_element(1, 1).to_int64(), std::int64_t{1} << 60);
+  m.remove_element(1, 1);
+  EXPECT_EQ(m.nvals(), 0u);
+}
+
+TEST(DslMatrix, TypedAccessChecksDtype) {
+  Matrix m(2, 2, DType::kFP32);
+  EXPECT_NO_THROW(m.typed<float>());
+  EXPECT_THROW(m.typed<double>(), std::logic_error);
+}
+
+TEST(DslMatrix, UndefinedHandleThrows) {
+  Matrix m;
+  EXPECT_FALSE(m.defined());
+  EXPECT_THROW(m.nrows(), std::logic_error);
+}
+
+TEST(DslMatrix, ToCooRoundTrip) {
+  Matrix m({{0, 1}, {2, 0}});
+  auto coo = m.to_coo();
+  EXPECT_EQ(coo.nnz(), 2u);
+  Matrix back = Matrix::from_coo(coo);
+  EXPECT_TRUE(m.equals(back));
+}
+
+TEST(DslVector, ConstructionPaths) {
+  Vector v(4);
+  EXPECT_EQ(v.dtype(), DType::kFP64);
+  Vector dense({1, 0, 3}, DType::kInt64);
+  EXPECT_EQ(dense.nvals(), 2u);
+  std::vector<float> vals{1.5f, 2.5f};
+  gbtl::IndexArray idx{0, 3};
+  Vector coo(vals, idx, 5);
+  EXPECT_EQ(coo.dtype(), DType::kFP32);
+  EXPECT_FLOAT_EQ(static_cast<float>(coo.get(3)), 2.5f);
+  Vector fd = Vector::from_dense({0.0, 2.0, 0.0});
+  EXPECT_EQ(fd.nvals(), 1u);
+}
+
+TEST(DslVector, HandleSemanticsAndDup) {
+  Vector v(3);
+  Vector alias = v;
+  alias.set(0, 5.0);
+  EXPECT_DOUBLE_EQ(v.get(0), 5.0);
+  Vector d = v.dup();
+  d.set(0, 9.0);
+  EXPECT_DOUBLE_EQ(v.get(0), 5.0);
+}
+
+TEST(DslVector, AstypeAndEquals) {
+  Vector v({1.9, 0.0, 3.1});
+  Vector i = v.astype(DType::kInt8);
+  EXPECT_EQ(i.get_element(0).to_int64(), 1);
+  EXPECT_EQ(i.get_element(2).to_int64(), 3);
+  EXPECT_FALSE(v.equals(i));
+}
+
+TEST(DslVector, ElementAccessErrors) {
+  Vector v(2);
+  EXPECT_THROW(v.get(0), gbtl::NoValueException);
+  EXPECT_THROW(v.set(5, 1.0), gbtl::IndexOutOfBoundsException);
+}
+
+TEST(DslScalarRoundTrip, AllDtypesStoreAndRead) {
+  for (int k = 0; k < kNumDTypes; ++k) {
+    const auto dt = static_cast<DType>(k);
+    Matrix m(2, 2, dt);
+    m.set(0, 0, Scalar(1.0, dt));
+    EXPECT_EQ(m.get(0, 0), 1.0) << display_name(dt);
+    EXPECT_EQ(m.dtype(), dt);
+  }
+}
+
+}  // namespace

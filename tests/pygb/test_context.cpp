@@ -1,0 +1,154 @@
+// Tests: the with-block operator stack — nesting precedence, role-based
+// resolution, accumulator fallback, and the replace flag.
+#include <gtest/gtest.h>
+
+#include "pygb/context.hpp"
+
+namespace {
+
+using namespace pygb;  // NOLINT
+
+TEST(Context, EmptyStackDefaults) {
+  ASSERT_EQ(context_depth(), 0u);
+  EXPECT_EQ(current_semiring().key(), ArithmeticSemiring().key());
+  EXPECT_EQ(current_add_op().name(), BinaryOpName::kPlus);
+  EXPECT_EQ(current_mult_op().name(), BinaryOpName::kTimes);
+  EXPECT_EQ(current_monoid().key(), PlusMonoid().key());
+  EXPECT_FALSE(current_unary_op().is_bound());
+  EXPECT_EQ(current_unary_op().unary_name(), UnaryOpName::kIdentity);
+  EXPECT_FALSE(current_accumulator().has_value());
+  EXPECT_FALSE(current_replace());
+}
+
+TEST(Context, GuardPushesAndPops) {
+  EXPECT_EQ(context_depth(), 0u);
+  {
+    With ctx(MinPlusSemiring(), Accumulator("Min"));
+    EXPECT_EQ(context_depth(), 2u);
+  }
+  EXPECT_EQ(context_depth(), 0u);
+}
+
+TEST(Context, SemiringResolution) {
+  With ctx(MinPlusSemiring());
+  EXPECT_EQ(current_semiring().key(), MinPlusSemiring().key());
+}
+
+TEST(Context, InnermostWins) {
+  With outer(ArithmeticSemiring());
+  {
+    With inner(LogicalSemiring());
+    EXPECT_EQ(current_semiring().key(), LogicalSemiring().key());
+  }
+  EXPECT_EQ(current_semiring().key(), ArithmeticSemiring().key());
+}
+
+TEST(Context, BinaryOpTakesPrecedenceOverSemiringForEwise) {
+  // Fig. 7 lines 27-28: BinaryOp("Minus") inside an ArithmeticSemiring
+  // block governs the + expression.
+  With outer(ArithmeticSemiring());
+  With inner(BinaryOp("Minus"));
+  EXPECT_EQ(current_add_op().name(), BinaryOpName::kMinus);
+  EXPECT_EQ(current_mult_op().name(), BinaryOpName::kMinus);
+}
+
+TEST(Context, SemiringProvidesRoleSpecificOps) {
+  // A + B under a semiring uses its add op; A * B uses its multiply op.
+  With ctx(MinPlusSemiring());
+  EXPECT_EQ(current_add_op().name(), BinaryOpName::kMin);
+  EXPECT_EQ(current_mult_op().name(), BinaryOpName::kPlus);
+}
+
+TEST(Context, MonoidProvidesItsOpForBothRoles) {
+  With ctx(MaxMonoid());
+  EXPECT_EQ(current_add_op().name(), BinaryOpName::kMax);
+  EXPECT_EQ(current_mult_op().name(), BinaryOpName::kMax);
+  EXPECT_EQ(current_monoid().key(), MaxMonoid().key());
+}
+
+TEST(Context, ReduceFindsSemiringAddMonoid) {
+  With ctx(MinPlusSemiring());
+  EXPECT_EQ(current_monoid().key(), MinMonoid().key());
+}
+
+TEST(Context, BareBinaryOpActsAsMonoidWhenCanonical) {
+  With ctx(BinaryOp("Max"));
+  EXPECT_EQ(current_monoid().key(), MaxMonoid().key());
+}
+
+TEST(Context, NonMonoidBinaryOpSkippedForReduce) {
+  // Minus has no canonical identity: the monoid search skips it and falls
+  // through to the outer entry.
+  With outer(MinMonoid());
+  With inner(BinaryOp("Minus"));
+  EXPECT_EQ(current_monoid().key(), MinMonoid().key());
+}
+
+TEST(Context, ExplicitAccumulatorWins) {
+  // Fig. 4a: MinPlusSemiring + Accumulator("Min").
+  With ctx(MinPlusSemiring(), Accumulator("Min"));
+  auto acc = current_accumulator();
+  ASSERT_TRUE(acc.has_value());
+  EXPECT_EQ(acc->op().name(), BinaryOpName::kMin);
+}
+
+TEST(Context, AccumulatorFallsBackToSemiringMonoid) {
+  // §III: "the accumulation step will fall back to the MinMonoid from the
+  // MinPlusSemiring" when the Accumulator is omitted.
+  With ctx(MinPlusSemiring());
+  auto acc = current_accumulator();
+  ASSERT_TRUE(acc.has_value());
+  EXPECT_EQ(acc->op().name(), BinaryOpName::kMin);
+}
+
+TEST(Context, AccumulatorFallsBackToMonoid) {
+  With ctx(PlusMonoid());
+  auto acc = current_accumulator();
+  ASSERT_TRUE(acc.has_value());
+  EXPECT_EQ(acc->op().name(), BinaryOpName::kPlus);
+}
+
+TEST(Context, UnaryOpResolution) {
+  With ctx(UnaryOp("Times", 0.85));
+  auto f = current_unary_op();
+  ASSERT_TRUE(f.is_bound());
+  EXPECT_EQ(f.bound_op(), BinaryOpName::kTimes);
+  EXPECT_DOUBLE_EQ(f.bound_value().to_double(), 0.85);
+}
+
+TEST(Context, ReplaceFlagScoping) {
+  EXPECT_FALSE(current_replace());
+  {
+    With ctx(Replace);
+    EXPECT_TRUE(current_replace());
+    {
+      With inner(Merge);
+      EXPECT_FALSE(current_replace());
+    }
+    EXPECT_TRUE(current_replace());
+  }
+  EXPECT_FALSE(current_replace());
+}
+
+TEST(Context, MixedEntriesResolveIndependently) {
+  // Fig. 2b: with gb.LogicalSemiring, gb.Replace.
+  With ctx(LogicalSemiring(), Replace);
+  EXPECT_EQ(current_semiring().key(), LogicalSemiring().key());
+  EXPECT_TRUE(current_replace());
+}
+
+TEST(Context, DeepNestingBehavesAsStack) {
+  With a(ArithmeticSemiring());
+  {
+    With b(MinPlusSemiring());
+    {
+      With c(BinaryOp("Max"));
+      EXPECT_EQ(current_semiring().key(), MinPlusSemiring().key());
+      EXPECT_EQ(current_add_op().name(), BinaryOpName::kMax);
+    }
+    EXPECT_EQ(current_add_op().name(), BinaryOpName::kMin);
+  }
+  EXPECT_EQ(current_add_op().name(), BinaryOpName::kPlus);
+}
+
+}  // namespace

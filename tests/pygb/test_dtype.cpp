@@ -1,0 +1,123 @@
+// Tests: the DSL runtime type system — tags, names, promotion (C++ usual
+// arithmetic conversions), Scalar exactness, and the dtype visitor.
+#include <gtest/gtest.h>
+
+#include "pygb/dtype.hpp"
+
+namespace {
+
+using namespace pygb;  // NOLINT
+
+TEST(DType, CppNamesForCodegen) {
+  EXPECT_STREQ(cpp_name(DType::kBool), "bool");
+  EXPECT_STREQ(cpp_name(DType::kInt8), "int8_t");
+  EXPECT_STREQ(cpp_name(DType::kUInt64), "uint64_t");
+  EXPECT_STREQ(cpp_name(DType::kFP32), "float");
+  EXPECT_STREQ(cpp_name(DType::kFP64), "double");
+}
+
+TEST(DType, ParseRoundTrip) {
+  for (int k = 0; k < kNumDTypes; ++k) {
+    const auto dt = static_cast<DType>(k);
+    EXPECT_EQ(parse_dtype(cpp_name(dt)), dt);
+    EXPECT_EQ(parse_dtype(display_name(dt)), dt);
+  }
+}
+
+TEST(DType, NumpyStyleAliases) {
+  EXPECT_EQ(parse_dtype("float64"), DType::kFP64);
+  EXPECT_EQ(parse_dtype("float32"), DType::kFP32);
+  EXPECT_EQ(parse_dtype("int"), DType::kInt64);
+  // "float" is FP32's C++ spelling; it wins over the Python-float alias.
+  EXPECT_EQ(parse_dtype("float"), DType::kFP32);
+  EXPECT_THROW(parse_dtype("complex128"), std::invalid_argument);
+}
+
+TEST(DType, SizeAndClassification) {
+  EXPECT_EQ(size_of(DType::kInt16), 2u);
+  EXPECT_EQ(size_of(DType::kFP64), 8u);
+  EXPECT_TRUE(is_floating(DType::kFP32));
+  EXPECT_FALSE(is_floating(DType::kInt64));
+  EXPECT_TRUE(is_signed(DType::kInt8));
+  EXPECT_FALSE(is_signed(DType::kUInt32));
+}
+
+TEST(DType, DtypeOfMapsAllTypes) {
+  EXPECT_EQ(dtype_of<bool>(), DType::kBool);
+  EXPECT_EQ(dtype_of<std::int32_t>(), DType::kInt32);
+  EXPECT_EQ(dtype_of<std::uint8_t>(), DType::kUInt8);
+  EXPECT_EQ(dtype_of<double>(), DType::kFP64);
+}
+
+TEST(DType, PromotionFollowsUsualArithmeticConversions) {
+  // Same type -> same type.
+  EXPECT_EQ(promote(DType::kInt32, DType::kInt32), DType::kInt32);
+  EXPECT_EQ(promote(DType::kBool, DType::kBool), DType::kBool);
+  // Integer widening.
+  EXPECT_EQ(promote(DType::kInt8, DType::kInt32), DType::kInt32);
+  EXPECT_EQ(promote(DType::kInt32, DType::kInt64), DType::kInt64);
+  // Float wins over int.
+  EXPECT_EQ(promote(DType::kInt64, DType::kFP32), DType::kFP32);
+  EXPECT_EQ(promote(DType::kInt32, DType::kFP64), DType::kFP64);
+  EXPECT_EQ(promote(DType::kFP32, DType::kFP64), DType::kFP64);
+  // Mixed signedness at same width: unsigned wins (C++ rule).
+  EXPECT_EQ(promote(DType::kInt32, DType::kUInt32), DType::kUInt32);
+  EXPECT_EQ(promote(DType::kInt64, DType::kUInt64), DType::kUInt64);
+  // bool with int8 promotes to int (C++ integer promotion).
+  EXPECT_EQ(promote(DType::kBool, DType::kInt8), DType::kInt32);
+  // Symmetry.
+  for (int a = 0; a < kNumDTypes; ++a) {
+    for (int b = 0; b < kNumDTypes; ++b) {
+      EXPECT_EQ(promote(static_cast<DType>(a), static_cast<DType>(b)),
+                promote(static_cast<DType>(b), static_cast<DType>(a)));
+    }
+  }
+}
+
+TEST(DType, VisitDispatchesConcreteType) {
+  const auto sz = visit_dtype(DType::kInt16, [](auto tag) {
+    using T = typename decltype(tag)::type;
+    return sizeof(T);
+  });
+  EXPECT_EQ(sz, 2u);
+}
+
+TEST(Scalar, PreservesIntegersExactly) {
+  const std::int64_t big = (1LL << 60) + 12345;
+  Scalar s(big);
+  EXPECT_EQ(s.dtype(), DType::kInt64);
+  EXPECT_EQ(s.to_int64(), big);  // would be lossy through double
+}
+
+TEST(Scalar, PreservesUnsigned) {
+  const std::uint64_t big = ~std::uint64_t{0} - 7;
+  Scalar s(big);
+  EXPECT_EQ(s.dtype(), DType::kUInt64);
+  EXPECT_EQ(s.as<std::uint64_t>(), big);
+}
+
+TEST(Scalar, FloatChannel) {
+  Scalar s(2.5);
+  EXPECT_EQ(s.dtype(), DType::kFP64);
+  EXPECT_DOUBLE_EQ(s.to_double(), 2.5);
+  EXPECT_EQ(s.to_int64(), 2);
+}
+
+TEST(Scalar, BoolTagged) {
+  Scalar s(true);
+  EXPECT_EQ(s.dtype(), DType::kBool);
+  EXPECT_EQ(s.as<bool>(), true);
+}
+
+TEST(Scalar, ExplicitDtypeConversion) {
+  Scalar s(3.9, DType::kInt32);
+  EXPECT_EQ(s.dtype(), DType::kInt32);
+  EXPECT_EQ(s.to_int64(), 3);  // truncated at construction
+}
+
+TEST(Scalar, ToStringIncludesDtype) {
+  EXPECT_EQ(Scalar(5).to_string(), "i32(5)");
+  EXPECT_EQ(Scalar(1.5).to_string(), "f64(1.5)");
+}
+
+}  // namespace

@@ -1,0 +1,180 @@
+// Tests: deferred expressions — operator capture at construction (§IV),
+// evaluation via terminating operations, result dtype/shape inference, and
+// the C = expr (rebind) vs C[None] = expr (in-place) distinction.
+#include <gtest/gtest.h>
+
+#include "pygb/pygb.hpp"
+
+namespace {
+
+using namespace pygb;  // NOLINT
+
+TEST(Expr, MatmulCapturesSemiringAtConstruction) {
+  Matrix a({{1, 2}, {3, 4}});
+  Matrix b({{1, 0}, {0, 1}});
+  // Build the expression under MinPlus, evaluate it outside the block: the
+  // captured operator must win (the paper's expression-object capture).
+  MatrixExpr expr = [&] {
+    With ctx(MinPlusSemiring());
+    return matmul(a, b);
+  }();
+  Matrix c(2, 2);
+  c[None] = expr;
+  // MinPlus with identity-ish b: c(0,0) = min(1+1, skip) over stored pairs:
+  // a(0,0)*b(0,0) = 1+1 = 2 only (b(1,0) absent).
+  EXPECT_DOUBLE_EQ(c.get(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(c.get(0, 1), 3.0);  // a(0,1) + b(1,1) = 2 + 1
+}
+
+TEST(Expr, DefaultSemiringIsArithmetic) {
+  Matrix a({{1, 2}, {3, 4}});
+  Matrix b({{5, 6}, {7, 8}});
+  Matrix c(2, 2);
+  c[None] = matmul(a, b);
+  EXPECT_DOUBLE_EQ(c.get(0, 0), 19.0);
+  EXPECT_DOUBLE_EQ(c.get(1, 1), 50.0);
+}
+
+TEST(Expr, PlusIsEWiseAddStarIsEWiseMult) {
+  Matrix a({{1, 0}, {0, 2}});
+  Matrix b({{3, 4}, {0, 5}});
+  Matrix sum(2, 2), prod(2, 2);
+  sum[None] = a + b;
+  prod[None] = a * b;
+  EXPECT_EQ(sum.nvals(), 3u);
+  EXPECT_DOUBLE_EQ(sum.get(0, 0), 4.0);
+  EXPECT_DOUBLE_EQ(sum.get(0, 1), 4.0);
+  EXPECT_EQ(prod.nvals(), 2u);
+  EXPECT_DOUBLE_EQ(prod.get(1, 1), 10.0);
+}
+
+TEST(Expr, ContextOpGovernsEwise) {
+  // Fig. 7: with gb.BinaryOp("Minus"): delta[None] = page_rank + new_rank.
+  Vector u({10, 20});
+  Vector v({3, 4});
+  Vector d(2);
+  {
+    With ctx(BinaryOp("Minus"));
+    d[None] = u + v;
+  }
+  EXPECT_DOUBLE_EQ(d.get(0), 7.0);
+  EXPECT_DOUBLE_EQ(d.get(1), 16.0);
+}
+
+TEST(Expr, RebindVsInPlace) {
+  Matrix a({{1, 0}, {0, 1}});
+  Matrix c(2, 2);
+  Matrix alias = c;
+  // C[None] = expr mutates in place: the alias observes the result.
+  c[None] = a + a;
+  EXPECT_TRUE(c.same_object(alias));
+  EXPECT_DOUBLE_EQ(alias.get(0, 0), 2.0);
+  // C = expr rebinds to a fresh container: the alias is detached.
+  c = matmul(a, a);
+  EXPECT_FALSE(c.same_object(alias));
+  EXPECT_DOUBLE_EQ(alias.get(0, 0), 2.0);  // alias keeps old data
+  EXPECT_DOUBLE_EQ(c.get(0, 0), 1.0);
+}
+
+TEST(Expr, EvalCreatesCorrectShapeAndDtype) {
+  Matrix a(3, 5, DType::kInt32);
+  Matrix b(5, 2, DType::kInt64);
+  auto e = matmul(a, b);
+  Matrix c = e.eval();
+  EXPECT_EQ(c.nrows(), 3u);
+  EXPECT_EQ(c.ncols(), 2u);
+  EXPECT_EQ(c.dtype(), DType::kInt64);  // promote(i32, i64)
+}
+
+TEST(Expr, TransposedOperandShapes) {
+  Matrix a(3, 5);
+  Matrix b(3, 2);
+  Matrix c = matmul(a.T(), b).eval();  // (5x3)(3x2)
+  EXPECT_EQ(c.nrows(), 5u);
+  EXPECT_EQ(c.ncols(), 2u);
+}
+
+TEST(Expr, TransposeRoundTripMarker) {
+  Matrix a(3, 5);
+  // (A.T).T is A again.
+  Matrix back = a.T().T();
+  EXPECT_TRUE(back.same_object(a));
+}
+
+TEST(Expr, MxvAndVxm) {
+  Matrix a({{1, 2}, {3, 4}});
+  Vector u({5, 6});
+  Vector w(2);
+  w[None] = matmul(a, u);
+  EXPECT_DOUBLE_EQ(w.get(0), 17.0);
+  w[None] = matmul(u, a);
+  EXPECT_DOUBLE_EQ(w.get(0), 23.0);
+  w[None] = matmul(a.T(), u);  // == vxm
+  EXPECT_DOUBLE_EQ(w.get(0), 23.0);
+}
+
+TEST(Expr, ApplyWithContextAndExplicitOp) {
+  Vector u({2, 4});
+  Vector w(2);
+  {
+    With ctx(UnaryOp("Times", 0.5));
+    w[None] = apply(u);
+  }
+  EXPECT_DOUBLE_EQ(w.get(0), 1.0);
+  w[None] = apply(u, UnaryOp("AdditiveInverse"));
+  EXPECT_DOUBLE_EQ(w.get(1), -4.0);
+}
+
+TEST(Expr, ReduceUsesContextMonoid) {
+  Matrix a({{1, 2}, {3, 4}});
+  EXPECT_DOUBLE_EQ(reduce(a).to_double(), 10.0);  // default PlusMonoid
+  {
+    With ctx(MaxMonoid());
+    EXPECT_DOUBLE_EQ(reduce(a).to_double(), 4.0);
+  }
+  EXPECT_DOUBLE_EQ(reduce(a, MinMonoid()).to_double(), 1.0);
+}
+
+TEST(Expr, ReduceVector) {
+  Vector u({1, 0, 3}, DType::kInt64);
+  EXPECT_EQ(reduce(u).to_int64(), 4);
+  EXPECT_EQ(reduce(u).dtype(), DType::kInt64);
+}
+
+TEST(Expr, ReduceRowsDeferred) {
+  Matrix a({{1, 2}, {0, 0}, {3, 4}});
+  Vector w(3);
+  w[None] = reduce_rows(a);
+  EXPECT_DOUBLE_EQ(w.get(0), 3.0);
+  EXPECT_FALSE(w.has_element(1));
+  EXPECT_DOUBLE_EQ(w.get(2), 7.0);
+}
+
+TEST(Expr, TransposedAsValue) {
+  Matrix a({{1, 2}, {0, 3}});
+  Matrix c(2, 2);
+  c[None] = transposed(a);
+  EXPECT_DOUBLE_EQ(c.get(1, 0), 2.0);
+  EXPECT_FALSE(c.has_element(0, 1));
+}
+
+TEST(Expr, TerminatingOperationsForceEvaluation) {
+  // Combining an expression with a container evaluates the expression
+  // first (§IV "terminating operations").
+  Matrix a({{1, 0}, {0, 1}});
+  Matrix b({{2, 0}, {0, 2}});
+  Matrix c(2, 2);
+  c[None] = matmul(a, b) + a;  // (A·B) evaluated, then eWiseAdd
+  EXPECT_DOUBLE_EQ(c.get(0, 0), 3.0);
+  EXPECT_DOUBLE_EQ(reduce(matmul(a, b)).to_double(), 4.0);
+}
+
+TEST(Expr, MixedDtypePromotion) {
+  Matrix a({{1, 0}, {0, 1}}, DType::kInt32);
+  Matrix b({{2, 0}, {0, 2}}, DType::kFP32);
+  Matrix c = (a + b).eval();
+  EXPECT_EQ(c.dtype(), DType::kFP32);
+  EXPECT_DOUBLE_EQ(c.get(0, 0), 3.0);
+}
+
+}  // namespace

@@ -1,0 +1,223 @@
+// Tests: the §VIII future-work features implemented as extensions —
+// direct file loading, zero-copy container adoption, and JIT-compiled
+// user-defined operators.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "io/coo_text.hpp"
+#include "io/matrix_market.hpp"
+#include "pygb/jit/compiler.hpp"
+#include "pygb/pygb.hpp"
+
+namespace {
+
+using namespace pygb;  // NOLINT
+
+class TempFile {
+ public:
+  explicit TempFile(const std::string& suffix)
+      : path_((std::filesystem::temp_directory_path() /
+               ("pygb_ext_test_" + std::to_string(::getpid()) + suffix))
+                  .string()) {}
+  ~TempFile() { std::remove(path_.c_str()); }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+TEST(DirectLoad, TripletTextFile) {
+  TempFile f(".txt");
+  io::Coo coo;
+  coo.nrows = 4;
+  coo.ncols = 4;
+  coo.rows = {0, 2};
+  coo.cols = {1, 3};
+  coo.vals = {1.5, 2.5};
+  io::write_coo_text(f.path(), coo);
+
+  Matrix m = Matrix::from_file(f.path());
+  EXPECT_EQ(m.nrows(), 4u);
+  EXPECT_EQ(m.nvals(), 2u);
+  EXPECT_DOUBLE_EQ(m.get(2, 3), 2.5);
+}
+
+TEST(DirectLoad, MatrixMarketFile) {
+  TempFile f(".mtx");
+  {
+    std::ofstream out(f.path());
+    out << "%%MatrixMarket matrix coordinate real general\n"
+        << "3 3 1\n"
+        << "2 3 7.0\n";
+  }
+  Matrix m = Matrix::from_file(f.path(), DType::kInt32);
+  EXPECT_EQ(m.dtype(), DType::kInt32);
+  EXPECT_EQ(m.get_element(1, 2).to_int64(), 7);
+}
+
+TEST(DirectLoad, MatchesListPathResult) {
+  // The fast loader and the boxed "Python list" path must agree (Fig. 11's
+  // two ingestion pipelines produce the same container).
+  TempFile f(".txt");
+  io::Coo coo;
+  coo.nrows = 5;
+  coo.ncols = 5;
+  coo.rows = {0, 1, 4};
+  coo.cols = {4, 2, 0};
+  coo.vals = {1, 2, 3};
+  io::write_coo_text(f.path(), coo);
+
+  Matrix fast = Matrix::from_file(f.path());
+  Matrix slow = Matrix::from_coo(
+      io::pylists_to_coo(io::read_file_as_pylists(f.path())));
+  EXPECT_TRUE(fast.equals(slow));
+}
+
+TEST(Adopt, MatrixTakesOwnershipWithoutCopy) {
+  gbtl::Matrix<std::int32_t> native(3, 3);
+  native.setElement(1, 2, 42);
+  Matrix m = Matrix::adopt(std::move(native));
+  EXPECT_EQ(m.dtype(), DType::kInt32);
+  EXPECT_EQ(m.nvals(), 1u);
+  EXPECT_EQ(m.get_element(1, 2).to_int64(), 42);
+  // The adopted container is fully operational in the DSL.
+  Matrix c(3, 3, DType::kInt32);
+  c[None] = m + m;
+  EXPECT_EQ(c.get_element(1, 2).to_int64(), 84);
+}
+
+TEST(Adopt, VectorTakesOwnership) {
+  gbtl::Vector<double> native(4);
+  native.setElement(0, 2.5);
+  Vector v = Vector::adopt(std::move(native));
+  EXPECT_EQ(v.dtype(), DType::kFP64);
+  EXPECT_DOUBLE_EQ(v.get(0), 2.5);
+  EXPECT_DOUBLE_EQ(reduce(v).to_double(), 2.5);
+}
+
+// --- user-defined operators (JIT required) ---------------------------------
+
+class UserOps : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (!jit::compiler_available()) {
+      GTEST_SKIP() << "no C++ compiler; user-defined ops need the JIT";
+    }
+  }
+};
+
+TEST_F(UserOps, NameValidation) {
+  EXPECT_THROW(UserBinaryOp("bad name", "a + b"), std::invalid_argument);
+  EXPECT_THROW(UserBinaryOp("1leading", "a + b"), std::invalid_argument);
+  EXPECT_THROW(UserBinaryOp("ok", ""), std::invalid_argument);
+  EXPECT_NO_THROW(UserBinaryOp("snake_case_2", "a + b"));
+}
+
+TEST_F(UserOps, SaturatingAddBinary) {
+  UserBinaryOp sat_add("sat_add_t1", "a + b > 100 ? C(100) : C(a + b)");
+  Vector u({60, 10}, DType::kInt64);
+  Vector v({70, 20}, DType::kInt64);
+  Vector w(2, DType::kInt64);
+  w[None] = ewise_add(u, v, sat_add);
+  EXPECT_EQ(w.get_element(0).to_int64(), 100);  // saturated
+  EXPECT_EQ(w.get_element(1).to_int64(), 30);
+}
+
+TEST_F(UserOps, UnionVsIntersectionStructure) {
+  UserBinaryOp diff2("abs_diff_t2", "a > b ? a - b : b - a");
+  Matrix a(2, 2, DType::kInt64);
+  a.set(0, 0, 7.0);
+  Matrix b(2, 2, DType::kInt64);
+  b.set(0, 0, 3.0);
+  b.set(1, 1, 5.0);
+  Matrix sum(2, 2, DType::kInt64), prod(2, 2, DType::kInt64);
+  sum[None] = ewise_add(a, b, diff2);
+  prod[None] = ewise_mult(a, b, diff2);
+  EXPECT_EQ(sum.nvals(), 2u);   // union
+  EXPECT_EQ(prod.nvals(), 1u);  // intersection
+  EXPECT_EQ(sum.get_element(0, 0).to_int64(), 4);
+  EXPECT_EQ(sum.get_element(1, 1).to_int64(), 5);
+}
+
+TEST_F(UserOps, UnaryClampAndSquare) {
+  UserUnaryOp square("square_t3", "a * a");
+  Vector u({2, 3, 4});
+  Vector w(3);
+  w[None] = apply(u, square);
+  EXPECT_DOUBLE_EQ(w.get(1), 9.0);
+
+  UserUnaryOp clamp01("clamp01_t3", "a < 0 ? C(0) : (a > 1 ? C(1) : C(a))");
+  Vector x({-2.0, 0.5, 7.0});
+  Vector y(3);
+  y[None] = apply(x, clamp01);
+  EXPECT_DOUBLE_EQ(y.get(0), 0.0);
+  EXPECT_DOUBLE_EQ(y.get(1), 0.5);
+  EXPECT_DOUBLE_EQ(y.get(2), 1.0);
+}
+
+TEST_F(UserOps, WorksWithMasksAndContextReplace) {
+  UserBinaryOp take_max("take_max_t4", "a > b ? a : b");
+  Vector u({1, 9, 1});
+  Vector v({5, 5, 5});
+  Vector mask(3, DType::kBool);
+  mask.set(1, Scalar(true));
+  Vector w({7, 7, 7});
+  {
+    With ctx(Replace);
+    w[mask] = ewise_add(u, v, take_max);
+  }
+  EXPECT_EQ(w.nvals(), 1u);
+  EXPECT_DOUBLE_EQ(w.get(1), 9.0);
+}
+
+TEST_F(UserOps, InterpBackendRefusesUserOps) {
+  auto& reg = jit::Registry::instance();
+  const auto saved = reg.mode();
+  reg.set_mode(jit::Mode::kInterp);
+  UserBinaryOp op("refused_t5", "a + b");
+  Vector u({1, 2}), v({3, 4}), w(2);
+  EXPECT_THROW((w[None] = ewise_add(u, v, op)), jit::NoKernelError);
+  reg.set_mode(jit::Mode::kStatic);
+  EXPECT_THROW((w[None] = ewise_add(u, v, op)), jit::NoKernelError);
+  reg.set_mode(saved);
+}
+
+TEST_F(UserOps, BadExpressionSurfacesCompilerLog) {
+  UserBinaryOp broken("broken_t6", "this is not C++ at all @@@");
+  Vector u({1, 2}), v({3, 4}), w(2);
+  try {
+    w[None] = ewise_add(u, v, broken);
+    FAIL() << "expected NoKernelError";
+  } catch (const jit::NoKernelError& e) {
+    EXPECT_NE(std::string(e.what()).find("compilation failed"),
+              std::string::npos);
+  }
+}
+
+TEST_F(UserOps, EditedBodyCompilesFreshModule) {
+  // Same operator name, different expression: the dispatch key includes a
+  // body hash, so the edited op must NOT reuse the stale cached module.
+  Vector u({10, 20}), v({1, 2}), w(2);
+  UserBinaryOp first("edited_t8", "a + b");
+  w[None] = ewise_add(u, v, first);
+  EXPECT_DOUBLE_EQ(w.get(0), 11.0);
+  UserBinaryOp second("edited_t8", "a - b");
+  w[None] = ewise_add(u, v, second);
+  EXPECT_DOUBLE_EQ(w.get(0), 9.0);
+}
+
+TEST_F(UserOps, ModuleCachedAcrossCalls) {
+  auto& reg = jit::Registry::instance();
+  reg.reset_stats();
+  UserBinaryOp op("cached_t7", "a * 10 + b");
+  Vector u({1, 2}), v({3, 4}), w(2);
+  w[None] = ewise_add(u, v, op);
+  const auto compiles_first = reg.stats().compiles;
+  w[None] = ewise_add(u, v, op);
+  EXPECT_EQ(reg.stats().compiles, compiles_first);  // cache hit second time
+  EXPECT_DOUBLE_EQ(w.get(0), 13.0);
+}
+
+}  // namespace

@@ -1,0 +1,280 @@
+// Tests: fused chains (§V's planned lazy-evaluation feature) — one
+// compiled module per recorded statement sequence must reproduce the
+// step-by-step DSL exactly, cache across invocations, and validate its
+// bindings. JIT-gated.
+#include <gtest/gtest.h>
+
+#include "algorithms/pagerank.hpp"
+#include "generators/erdos_renyi.hpp"
+#include "pygb/jit/compiler.hpp"
+#include "pygb/pygb.hpp"
+
+namespace {
+
+using namespace pygb;  // NOLINT
+
+class FusedChainTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (!jit::compiler_available()) {
+      GTEST_SKIP() << "no C++ compiler; fused chains need the JIT";
+    }
+  }
+};
+
+TEST_F(FusedChainTest, SingleStatementMatchesDsl) {
+  FusedChain chain("single_mxv");
+  const int w = chain.vector_param("w");
+  const int a = chain.matrix_param("a");
+  const int u = chain.vector_param("u");
+  chain.mxv(w, a, u, ArithmeticSemiring());
+
+  Matrix graph({{1, 2}, {3, 4}});
+  Vector x({5, 6});
+  Vector fused_out(2);
+  chain.run({fused_out, graph, x});
+
+  Vector dsl_out(2);
+  dsl_out[None] = matmul(graph, x);
+  EXPECT_TRUE(fused_out.equals(dsl_out));
+}
+
+TEST_F(FusedChainTest, PageRankIterationBodyMatchesNative) {
+  // Fuse the Fig. 7 iteration body (vxm + teleport apply + delta compute +
+  // squared-error reduce) into one module and compare one iteration
+  // against hand-executed GBTL calls.
+  const gbtl::IndexType n = 64;
+  auto el = gen::paper_graph(n, 5, /*symmetric=*/true);
+  Matrix graph = Matrix::from_edge_list(el);
+
+  // Prepare the normalized, damped matrix exactly as PageRank does.
+  Matrix m(n, n, DType::kFP64);
+  m[None] = graph;
+  normalize_rows(m);
+  {
+    With ctx(UnaryOp("Times", 0.85));
+    m[None] = apply(m);
+  }
+
+  FusedChain iter("pr_iteration");
+  const int rank = iter.vector_param("rank");
+  const int mat = iter.matrix_param("m");
+  const int new_rank = iter.vector_param("new_rank");
+  const int delta = iter.vector_param("delta");
+  const int teleport = iter.scalar_param("teleport");
+  iter.vxm(new_rank, rank, mat, ArithmeticSemiring(),
+           Accumulator("Second"));
+  iter.apply_bound(new_rank, new_rank, BinaryOp("Plus"), teleport);
+  iter.ewise_add(delta, rank, new_rank, BinaryOp("Minus"));
+  iter.ewise_mult(delta, delta, delta, BinaryOp("Times"));
+  iter.reduce(delta, PlusMonoid());
+
+  const double tel = 0.15 / static_cast<double>(n);
+  Vector rank_v(n, DType::kFP64);
+  rank_v[Slice::all()] = 1.0 / static_cast<double>(n);
+  Vector new_rank_v(n, DType::kFP64);
+  Vector delta_v(n, DType::kFP64);
+  const auto result =
+      iter.run({rank_v, m, new_rank_v, delta_v, tel});
+
+  // Mirror with direct GBTL calls.
+  gbtl::Vector<double> g_rank(n), g_new(n), g_delta(n);
+  gbtl::assign(g_rank, gbtl::NoMask{}, gbtl::NoAccumulate{},
+               1.0 / static_cast<double>(n), gbtl::AllIndices{});
+  gbtl::vxm(g_new, gbtl::NoMask{}, gbtl::Second<double>{},
+            gbtl::ArithmeticSemiring<double>{}, g_rank, m.typed<double>());
+  gbtl::apply(g_new, gbtl::NoMask{}, gbtl::NoAccumulate{},
+              gbtl::BinaryOpBind2nd<double, gbtl::Plus<double>>(tel),
+              g_new);
+  gbtl::eWiseAdd(g_delta, gbtl::NoMask{}, gbtl::NoAccumulate{},
+                 gbtl::Minus<double>{}, g_rank, g_new);
+  gbtl::eWiseMult(g_delta, gbtl::NoMask{}, gbtl::NoAccumulate{},
+                  gbtl::Times<double>{}, g_delta, g_delta);
+  double g_err = 0;
+  gbtl::reduce(g_err, gbtl::NoAccumulate{}, gbtl::PlusMonoid<double>{},
+               g_delta);
+
+  EXPECT_TRUE(new_rank_v.typed<double>() == g_new);
+  EXPECT_TRUE(delta_v.typed<double>() == g_delta);
+  EXPECT_NEAR(result.scalar.to_double(), g_err, 1e-15);
+}
+
+TEST_F(FusedChainTest, FullPageRankViaRepeatedChainRuns) {
+  // Drive the fused iteration body in a host loop to convergence and
+  // compare the final ranks against the native algorithm.
+  const gbtl::IndexType n = 48;
+  auto el = gen::paper_graph(n, 9, /*symmetric=*/true);
+  Matrix graph = Matrix::from_edge_list(el);
+  Matrix m(n, n, DType::kFP64);
+  m[None] = graph;
+  normalize_rows(m);
+  {
+    With ctx(UnaryOp("Times", 0.85));
+    m[None] = apply(m);
+  }
+
+  FusedChain iter("pr_iteration_full");
+  const int rank = iter.vector_param("rank");
+  const int mat = iter.matrix_param("m");
+  const int new_rank = iter.vector_param("new_rank");
+  const int delta = iter.vector_param("delta");
+  const int teleport = iter.scalar_param("teleport");
+  iter.vxm(new_rank, rank, mat, ArithmeticSemiring(),
+           Accumulator("Second"));
+  iter.apply_bound(new_rank, new_rank, BinaryOp("Plus"), teleport);
+  iter.ewise_add(delta, rank, new_rank, BinaryOp("Minus"));
+  iter.ewise_mult(delta, delta, delta, BinaryOp("Times"));
+  iter.reduce(delta, PlusMonoid());
+
+  const double nd = static_cast<double>(n);
+  const double tel = 0.15 / nd;
+  Vector rank_v(n, DType::kFP64);
+  rank_v[Slice::all()] = 1.0 / nd;
+  Vector new_rank_v(n, DType::kFP64);
+  Vector delta_v(n, DType::kFP64);
+
+  for (int k = 0; k < 100000; ++k) {
+    const auto r = iter.run({rank_v, m, new_rank_v, delta_v, tel});
+    rank_v[Slice::all()] = new_rank_v;
+    if (r.scalar.to_double() / nd < 1e-5) break;
+  }
+  // Final never-ranked fill, matching Fig. 8.
+  new_rank_v[Slice::all()] = tel;
+  {
+    With ctx(BinaryOp("Plus"));
+    rank_v[~rank_v] = rank_v + new_rank_v;
+  }
+
+  gbtl::Vector<double> nat(n);
+  algo::page_rank(graph.typed<double>(), nat);
+  for (gbtl::IndexType v = 0; v < n; ++v) {
+    EXPECT_NEAR(rank_v.get(v), nat.extractElement(v), 1e-12);
+  }
+}
+
+TEST_F(FusedChainTest, OneCompileManyRuns) {
+  auto& reg = jit::Registry::instance();
+  FusedChain chain("cache_check");
+  const int w = chain.vector_param("w");
+  const int u = chain.vector_param("u");
+  const int v = chain.vector_param("v");
+  chain.ewise_add(w, u, v, BinaryOp("Plus"));
+  chain.ewise_mult(w, w, w, BinaryOp("Times"));
+
+  Vector a({1, 2}), b({3, 4}), out(2);
+  reg.reset_stats();
+  chain.run({out, a, b});
+  const auto after_first = reg.stats().compiles;
+  for (int k = 0; k < 10; ++k) chain.run({out, a, b});
+  EXPECT_EQ(reg.stats().compiles, after_first);
+  EXPECT_DOUBLE_EQ(out.get(0), 16.0);  // (1+3)^2
+}
+
+TEST_F(FusedChainTest, TransposedMatrixOperand) {
+  FusedChain chain("sssp_relax");
+  const int path = chain.vector_param("path");
+  const int g = chain.matrix_param("g");
+  chain.mxv(path, g, path, MinPlusSemiring(), Accumulator("Min"),
+            /*a_transposed=*/true);
+
+  Matrix graph(3, 3, DType::kFP64);
+  graph.set(0, 1, 2.0);
+  graph.set(1, 2, 3.0);
+  Vector p(3, DType::kFP64);
+  p.set(0, 0.0);
+  chain.run({p, graph});  // one relaxation
+  EXPECT_DOUBLE_EQ(p.get(1), 2.0);
+  chain.run({p, graph});
+  EXPECT_DOUBLE_EQ(p.get(2), 5.0);
+}
+
+TEST_F(FusedChainTest, MxmAndApplyStatements) {
+  // Matrix statements: square the adjacency, halve it, fill-and-count.
+  FusedChain chain("matrix_pipeline");
+  const int a = chain.matrix_param("a");
+  const int c = chain.matrix_param("c");
+  const int half = chain.scalar_param("half");
+  const int counts = chain.vector_param("counts");
+  const int fill = chain.scalar_param("fill");
+  chain.mxm(c, a, a, ArithmeticSemiring());
+  chain.apply_bound(c, c, BinaryOp("Times"), half);
+  chain.assign_constant(counts, fill);
+  chain.reduce(counts, PlusMonoid());
+
+  Matrix m({{0, 2}, {2, 0}});
+  Matrix out(2, 2);
+  Vector cnt(2);
+  const auto r = chain.run({m, out, 0.5, cnt, 3.0});
+  EXPECT_DOUBLE_EQ(out.get(0, 0), 2.0);  // (2*2) * 0.5
+  EXPECT_DOUBLE_EQ(cnt.get(1), 3.0);
+  EXPECT_DOUBLE_EQ(r.scalar.to_double(), 6.0);
+}
+
+TEST_F(FusedChainTest, PlainUnaryStatement) {
+  FusedChain chain("negate_chain");
+  const int w = chain.vector_param("w");
+  const int u = chain.vector_param("u");
+  chain.apply(w, u, UnaryOpName::kAdditiveInverse);
+  Vector in({1, 2, 3}), out(3);
+  chain.run({out, in});
+  EXPECT_DOUBLE_EQ(out.get(2), -3.0);
+}
+
+TEST_F(FusedChainTest, BindingValidation) {
+  FusedChain chain("validation");
+  const int w = chain.vector_param("w");
+  const int a = chain.matrix_param("a");
+  chain.mxv(w, a, w, ArithmeticSemiring());
+
+  Matrix m({{1, 0}, {0, 1}});
+  Vector v({1, 2});
+  EXPECT_THROW(chain.run({v}), std::invalid_argument);  // wrong arity
+  EXPECT_THROW(chain.run({m, m}), std::invalid_argument);  // kind mismatch
+  Vector wrong_dtype({1, 2}, DType::kFP32);
+  EXPECT_THROW(chain.run({wrong_dtype, m}), std::invalid_argument);
+}
+
+TEST_F(FusedChainTest, StatementValidation) {
+  FusedChain chain("stmt_validation");
+  const int w = chain.vector_param("w");
+  const int a = chain.matrix_param("a");
+  EXPECT_THROW(chain.mxv(a, a, w, ArithmeticSemiring()),
+               std::invalid_argument);  // matrix as mxv target
+  EXPECT_THROW(chain.mxv(w, a, 99, ArithmeticSemiring()),
+               std::out_of_range);
+  EXPECT_THROW(FusedChain("bad name"), std::invalid_argument);
+}
+
+TEST_F(FusedChainTest, InterpAndStaticBackendsRefuseChains) {
+  FusedChain chain("refused_chain");
+  const int w = chain.vector_param("w");
+  const int u = chain.vector_param("u");
+  chain.ewise_add(w, u, u, BinaryOp("Plus"));
+  Vector a({1, 2}), out(2);
+
+  auto& reg = jit::Registry::instance();
+  const auto saved = reg.mode();
+  reg.set_mode(jit::Mode::kInterp);
+  EXPECT_THROW(chain.run({out, a}), jit::NoKernelError);
+  reg.set_mode(jit::Mode::kStatic);
+  EXPECT_THROW(chain.run({out, a}), jit::NoKernelError);
+  reg.set_mode(saved);
+}
+
+TEST_F(FusedChainTest, SignatureDistinguishesChains) {
+  FusedChain c1("sig_a");
+  const int w1 = c1.vector_param("w");
+  const int u1 = c1.vector_param("u");
+  c1.ewise_add(w1, u1, u1, BinaryOp("Plus"));
+
+  FusedChain c2("sig_a");
+  const int w2 = c2.vector_param("w");
+  const int u2 = c2.vector_param("u");
+  c2.ewise_add(w2, u2, u2, BinaryOp("Min"));
+
+  EXPECT_NE(c1.signature(), c2.signature());
+  EXPECT_EQ(c1.num_statements(), 1u);
+  EXPECT_EQ(c1.num_params(), 2u);
+}
+
+}  // namespace

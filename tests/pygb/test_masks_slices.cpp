@@ -1,0 +1,238 @@
+// Tests: the bracket syntax — masks (plain, complemented, coerced), the
+// replace flag from context, += accumulation and its fallback, slices, and
+// indexed assign/extract.
+#include <gtest/gtest.h>
+
+#include "pygb/pygb.hpp"
+
+namespace {
+
+using namespace pygb;  // NOLINT
+
+TEST(Masks, PlainMatrixMask) {
+  Matrix a({{1, 1}, {1, 1}});
+  Matrix c(2, 2);
+  Matrix mask(2, 2, DType::kBool);
+  mask.set(0, 0, Scalar(true));
+  c[mask] = a + a;
+  EXPECT_EQ(c.nvals(), 1u);
+  EXPECT_DOUBLE_EQ(c.get(0, 0), 2.0);
+}
+
+TEST(Masks, ComplementedMask) {
+  Matrix a({{1, 1}, {1, 1}});
+  Matrix c(2, 2);
+  Matrix mask(2, 2, DType::kBool);
+  mask.set(0, 0, Scalar(true));
+  c[~mask] = a + a;
+  EXPECT_EQ(c.nvals(), 3u);
+  EXPECT_FALSE(c.has_element(0, 0));
+}
+
+TEST(Masks, NonBoolMaskCoercedToTruthiness) {
+  // §III: container masks have "data ... coerced to boolean values".
+  Matrix a({{1, 1}, {1, 1}});
+  Matrix c(2, 2);
+  Matrix mask(2, 2, DType::kFP64);
+  mask.set(0, 0, 2.5);   // truthy
+  mask.set(0, 1, 0.0);   // stored falsy
+  c[mask] = a + a;
+  EXPECT_EQ(c.nvals(), 1u);
+  EXPECT_TRUE(c.has_element(0, 0));
+}
+
+TEST(Masks, NoneKeepsContainerIdentity) {
+  Matrix a({{1, 0}, {0, 1}});
+  Matrix c(2, 2);
+  Matrix alias = c;
+  c[None] = a + a;
+  EXPECT_TRUE(c.same_object(alias));
+  EXPECT_EQ(c.nvals(), 2u);
+}
+
+TEST(Masks, ReplaceFromContextClearsMaskedOut) {
+  Vector w({5, 5, 5});
+  Vector u({1, 1, 1});
+  Vector mask(3, DType::kBool);
+  mask.set(0, Scalar(true));
+  {
+    With ctx(Replace);
+    w[mask] = u + u;
+  }
+  EXPECT_EQ(w.nvals(), 1u);
+  EXPECT_DOUBLE_EQ(w.get(0), 2.0);
+}
+
+TEST(Masks, MergeKeepsMaskedOutByDefault) {
+  Vector w({5, 5, 5});
+  Vector u({1, 1, 1});
+  Vector mask(3, DType::kBool);
+  mask.set(0, Scalar(true));
+  w[mask] = u + u;
+  EXPECT_EQ(w.nvals(), 3u);
+  EXPECT_DOUBLE_EQ(w.get(0), 2.0);
+  EXPECT_DOUBLE_EQ(w.get(1), 5.0);
+}
+
+TEST(Masks, VectorComplementOfIntVector) {
+  // The BFS pattern: frontier[~levels] with integer levels.
+  Vector levels({1, 0, 2});  // index 1 has no stored value
+  Vector w(3);
+  Vector u({9, 9, 9});
+  w[~levels] = u + u;
+  EXPECT_EQ(w.nvals(), 1u);
+  EXPECT_DOUBLE_EQ(w.get(1), 18.0);
+}
+
+TEST(Masks, AssignConstantThroughMask) {
+  // Fig. 2: levels[frontier][:] = depth.
+  Vector levels(4, DType::kInt64);
+  Vector frontier(4, DType::kBool);
+  frontier.set(1, Scalar(true));
+  frontier.set(3, Scalar(true));
+  levels[frontier][Slice::all()] = 2.0;
+  EXPECT_EQ(levels.nvals(), 2u);
+  EXPECT_EQ(levels.get_element(3).to_int64(), 2);
+}
+
+TEST(Masks, MaskedMatrixConstantAssign) {
+  Matrix c(2, 2, DType::kInt32);
+  Matrix mask(2, 2, DType::kBool);
+  mask.set(1, 0, Scalar(true));
+  c[mask] = 7.0;
+  EXPECT_EQ(c.nvals(), 1u);
+  EXPECT_EQ(c.get_element(1, 0).to_int64(), 7);
+}
+
+TEST(Accumulate, PlusEqualsUsesContextAccumulator) {
+  Vector w({10, 10});
+  Vector u({1, 2});
+  {
+    With ctx(Accumulator("Min"));
+    w[None] += u + u;  // min(10, 2), min(10, 4)
+  }
+  EXPECT_DOUBLE_EQ(w.get(0), 2.0);
+  EXPECT_DOUBLE_EQ(w.get(1), 4.0);
+}
+
+TEST(Accumulate, FallsBackToSemiringMonoid) {
+  // Fig. 4a without the explicit Accumulator("Min").
+  Vector w({10, 10});
+  Vector u({1, 2});
+  {
+    With ctx(MinPlusSemiring());
+    w[None] += apply(u, UnaryOp("Identity"));
+  }
+  EXPECT_DOUBLE_EQ(w.get(0), 1.0);
+}
+
+TEST(Accumulate, DefaultsToPlusWithEmptyContext) {
+  Vector w({10, 10});
+  Vector u({1, 2});
+  w[None] += apply(u, UnaryOp("Identity"));
+  EXPECT_DOUBLE_EQ(w.get(0), 11.0);
+  EXPECT_DOUBLE_EQ(w.get(1), 12.0);
+}
+
+TEST(Accumulate, AccumKeepsEntriesAbsentFromResult) {
+  Vector w({10, 0, 30});  // index 1 absent
+  Vector u(3);
+  u.set(0, 5.0);
+  w[None] += apply(u, UnaryOp("Identity"));
+  EXPECT_DOUBLE_EQ(w.get(0), 15.0);
+  EXPECT_FALSE(w.has_element(1));
+  EXPECT_DOUBLE_EQ(w.get(2), 30.0);  // kept under accumulation
+}
+
+TEST(Slices, ConstantFillAll) {
+  // Fig. 7: page_rank[:] = 1.0 / rows.
+  Vector v(4);
+  v[Slice::all()] = 0.25;
+  EXPECT_EQ(v.nvals(), 4u);
+  EXPECT_DOUBLE_EQ(v.get(3), 0.25);
+}
+
+TEST(Slices, RangeAssignAndExtract) {
+  Vector v(6);
+  v[Slice(1, 4)] = 9.0;
+  EXPECT_EQ(v.nvals(), 3u);
+  EXPECT_FALSE(v.has_element(0));
+  EXPECT_TRUE(v.has_element(3));
+  Vector sub = v[Slice(2, 6)].extract();
+  EXPECT_EQ(sub.size(), 4u);
+  EXPECT_TRUE(sub.has_element(0));   // v[2]
+  EXPECT_TRUE(sub.has_element(1));   // v[3]
+  EXPECT_FALSE(sub.has_element(2));  // v[4]
+}
+
+TEST(Slices, SteppedSlice) {
+  Vector v(6);
+  v[Slice(0, 6, 2)] = 1.0;
+  EXPECT_EQ(v.nvals(), 3u);
+  EXPECT_TRUE(v.has_element(4));
+  EXPECT_FALSE(v.has_element(3));
+}
+
+TEST(Slices, StopClampedToDimension) {
+  Vector v(3);
+  v[Slice(1, 100)] = 1.0;
+  EXPECT_EQ(v.nvals(), 2u);
+}
+
+TEST(Slices, MatrixSubAssignFromExpression) {
+  // §IV: C[2:4, 2:4] = A @ B forces a temporary, then assigns.
+  Matrix c(4, 4);
+  Matrix a({{1, 0}, {0, 1}});
+  c(Slice(2, 4), Slice(2, 4)) = matmul(a, a);
+  EXPECT_EQ(c.nvals(), 2u);
+  EXPECT_DOUBLE_EQ(c.get(2, 2), 1.0);
+  EXPECT_DOUBLE_EQ(c.get(3, 3), 1.0);
+}
+
+TEST(Slices, MatrixSubExtract) {
+  Matrix a({{1, 2, 3}, {4, 5, 6}, {7, 8, 9}});
+  Matrix sub = a(Slice(0, 2), Slice(1, 3)).extract();
+  EXPECT_EQ(sub.nrows(), 2u);
+  EXPECT_DOUBLE_EQ(sub.get(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(sub.get(1, 1), 6.0);
+}
+
+TEST(Slices, ExplicitIndexArrays) {
+  Matrix a({{1, 2}, {3, 4}});
+  Matrix c(3, 3);
+  c(gbtl::IndexArray{2, 0}, gbtl::IndexArray{0, 2}) = a;
+  EXPECT_DOUBLE_EQ(c.get(2, 0), 1.0);
+  EXPECT_DOUBLE_EQ(c.get(0, 2), 4.0);
+}
+
+TEST(Slices, VectorAssignContainer) {
+  // Fig. 7: page_rank[:] = new_rank.
+  Vector pr(3);
+  Vector nr({0.1, 0.2, 0.7});
+  pr[Slice::all()] = nr;
+  EXPECT_TRUE(pr.equals(nr.dup()));
+  EXPECT_FALSE(pr.same_object(nr));
+}
+
+TEST(Slices, SubVectorPlusEquals) {
+  Vector v({1, 1, 1});
+  Vector u({5, 5});
+  gbtl::IndexArray idx{0, 2};
+  v[idx] += u;
+  EXPECT_DOUBLE_EQ(v.get(0), 6.0);
+  EXPECT_DOUBLE_EQ(v.get(1), 1.0);
+  EXPECT_DOUBLE_EQ(v.get(2), 6.0);
+}
+
+TEST(Slices, ZeroStepThrows) {
+  EXPECT_THROW(Slice(0, 5, 0), gbtl::InvalidValueException);
+}
+
+TEST(Masks, MaskShapeMismatchSurfaces) {
+  Matrix c(2, 2);
+  Matrix a({{1, 0}, {0, 1}});
+  Matrix mask(3, 3, DType::kBool);
+  EXPECT_THROW((c[mask] = a + a), gbtl::DimensionException);
+}
+
+}  // namespace

@@ -1,0 +1,121 @@
+// Tests: OpRequest canonical keys — stability and sensitivity to every
+// compile-time-relevant field (and insensitivity to runtime-only values).
+#include <gtest/gtest.h>
+
+#include "pygb/jit/module_key.hpp"
+#include "pygb/jit/registry.hpp"
+
+namespace {
+
+using namespace pygb;       // NOLINT
+using namespace pygb::jit;  // NOLINT
+
+OpRequest base_mxm() {
+  OpRequest r;
+  r.func = func::kMxM;
+  r.c = DType::kFP64;
+  r.a = DType::kFP64;
+  r.b = DType::kFP64;
+  r.semiring = ArithmeticSemiring();
+  return r;
+}
+
+TEST(ModuleKey, DeterministicForEqualRequests) {
+  EXPECT_EQ(base_mxm().key(), base_mxm().key());
+}
+
+TEST(ModuleKey, SensitiveToFunc) {
+  auto a = base_mxm();
+  auto b = base_mxm();
+  b.func = func::kMxV;
+  EXPECT_NE(a.key(), b.key());
+}
+
+TEST(ModuleKey, SensitiveToEveryDtypeSlot) {
+  auto a = base_mxm();
+  auto b = base_mxm();
+  b.c = DType::kFP32;
+  EXPECT_NE(a.key(), b.key());
+  b = base_mxm();
+  b.a = DType::kInt64;
+  EXPECT_NE(a.key(), b.key());
+  b = base_mxm();
+  b.b = DType::kBool;
+  EXPECT_NE(a.key(), b.key());
+}
+
+TEST(ModuleKey, SensitiveToTransposesAndMask) {
+  auto a = base_mxm();
+  auto b = base_mxm();
+  b.a_transposed = true;
+  EXPECT_NE(a.key(), b.key());
+  b = base_mxm();
+  b.b_transposed = true;
+  EXPECT_NE(a.key(), b.key());
+  b = base_mxm();
+  b.mask = MaskKind::kMatrix;
+  EXPECT_NE(a.key(), b.key());
+  auto c = base_mxm();
+  c.mask = MaskKind::kMatrixComp;
+  EXPECT_NE(b.key(), c.key());
+}
+
+TEST(ModuleKey, SensitiveToOperators) {
+  auto a = base_mxm();
+  auto b = base_mxm();
+  b.semiring = MinPlusSemiring();
+  EXPECT_NE(a.key(), b.key());
+  auto c = base_mxm();
+  c.accum = BinaryOp("Plus");
+  EXPECT_NE(a.key(), c.key());
+  auto d = base_mxm();
+  d.accum = BinaryOp("Min");
+  EXPECT_NE(c.key(), d.key());
+}
+
+TEST(ModuleKey, BoundUnaryValueIsRuntimeOnly) {
+  OpRequest a;
+  a.func = func::kApplyV;
+  a.c = DType::kFP64;
+  a.a = DType::kFP64;
+  a.unary_op = UnaryOp("Times", 0.85);
+  OpRequest b = a;
+  b.unary_op = UnaryOp("Times", 0.25);
+  // Same module: the constant travels in KernelArgs.
+  EXPECT_EQ(a.key(), b.key());
+  OpRequest c = a;
+  c.unary_op = UnaryOp("Plus", 0.85);
+  EXPECT_NE(a.key(), c.key());
+}
+
+TEST(ModuleKey, CustomIdentityDistinguishesMonoids) {
+  OpRequest a;
+  a.func = func::kReduceVS;
+  a.c = DType::kInt64;
+  a.a = DType::kInt64;
+  a.monoid = Monoid(BinaryOp("Plus"), MonoidIdentity(Scalar(0)));
+  OpRequest b = a;
+  b.monoid = Monoid(BinaryOp("Plus"), MonoidIdentity(Scalar(5)));
+  EXPECT_NE(a.key(), b.key());
+}
+
+TEST(ModuleKey, HashIsStableAndSpreads) {
+  const auto k1 = base_mxm().key();
+  EXPECT_EQ(key_hash(k1), key_hash(k1));
+  auto r2 = base_mxm();
+  r2.c = DType::kFP32;
+  EXPECT_NE(key_hash(k1), key_hash(r2.key()));
+  // FNV-1a of the empty string (spec constant) — guards accidental
+  // algorithm changes that would orphan existing disk caches.
+  EXPECT_EQ(key_hash(""), 0xcbf29ce484222325ULL);
+}
+
+TEST(ModuleKey, MaskKindNames) {
+  EXPECT_STREQ(to_string(MaskKind::kNone), "none");
+  EXPECT_STREQ(to_string(MaskKind::kMatrix), "mat");
+  EXPECT_STREQ(to_string(MaskKind::kMatrixComp), "matc");
+  EXPECT_STREQ(to_string(MaskKind::kVector), "vec");
+  EXPECT_STREQ(to_string(MaskKind::kVectorComp), "vecc");
+}
+
+}  // namespace

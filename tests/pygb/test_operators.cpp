@@ -1,0 +1,145 @@
+// Tests: runtime operator descriptors — parsing of the Fig. 6 catalogue,
+// monoid identity inference, bound unary ops, and stable dispatch keys.
+#include <gtest/gtest.h>
+
+#include "pygb/operators.hpp"
+
+namespace {
+
+using namespace pygb;  // NOLINT
+
+TEST(Operators, AllSeventeenBinaryNamesParse) {
+  const char* names[] = {"LogicalOr", "LessThan",     "Second",
+                         "LogicalAnd", "GreaterEqual", "Min",
+                         "LogicalXor", "LessEqual",    "Max",
+                         "Equal",      "Times",        "Plus",
+                         "NotEqual",   "Div",          "Minus",
+                         "GreaterThan", "First"};
+  for (const char* n : names) {
+    BinaryOp op(n);
+    EXPECT_EQ(op.gbtl_name(), n);
+  }
+  EXPECT_THROW(BinaryOp("NotAnOp"), std::invalid_argument);
+}
+
+TEST(Operators, AllFourUnaryNamesParse) {
+  for (const char* n : {"Identity", "AdditiveInverse",
+                        "MultiplicativeInverse", "LogicalNot"}) {
+    UnaryOp op{std::string(n)};
+    EXPECT_FALSE(op.is_bound());
+    EXPECT_EQ(op.key(), n);
+  }
+  EXPECT_THROW(UnaryOp("Nope"), std::invalid_argument);
+}
+
+TEST(Operators, ComparisonClassification) {
+  EXPECT_TRUE(is_comparison(BinaryOpName::kEqual));
+  EXPECT_TRUE(is_comparison(BinaryOpName::kLessEqual));
+  EXPECT_FALSE(is_comparison(BinaryOpName::kPlus));
+  EXPECT_FALSE(is_comparison(BinaryOpName::kFirst));
+}
+
+TEST(Operators, BoundUnaryOpCanonicalizesChannels) {
+  // Fig. 6: UnaryOp("Times", damping) binds the 2nd operand. The bound
+  // value's dtype is canonicalized to the int or float channel so that
+  // modules are shared across constants.
+  UnaryOp a("Times", 0.85);
+  EXPECT_TRUE(a.is_bound());
+  EXPECT_EQ(a.bound_op(), BinaryOpName::kTimes);
+  EXPECT_EQ(a.bound_value().dtype(), DType::kFP64);
+  EXPECT_DOUBLE_EQ(a.bound_value().to_double(), 0.85);
+
+  UnaryOp b("Plus", 2);  // int literal -> i64 channel
+  EXPECT_EQ(b.bound_value().dtype(), DType::kInt64);
+  EXPECT_EQ(b.bound_value().to_int64(), 2);
+
+  UnaryOp c("Plus", std::int8_t{3});
+  EXPECT_EQ(c.bound_value().dtype(), DType::kInt64);
+}
+
+TEST(Operators, BoundStructuralKeyOmitsValue) {
+  UnaryOp a("Times", 0.85);
+  UnaryOp b("Times", 0.5);
+  EXPECT_EQ(a.structural_key(), b.structural_key());
+  EXPECT_NE(a.key(), b.key());
+  UnaryOp c("Times", 2);
+  EXPECT_NE(a.structural_key(), c.structural_key());  // channel differs
+}
+
+TEST(Operators, MonoidCanonicalIdentities) {
+  EXPECT_EQ(Monoid(BinaryOp("Plus")).identity().kind(),
+            MonoidIdentity::Kind::kValue);
+  EXPECT_EQ(Monoid(BinaryOp("Plus")).identity().value().to_int64(), 0);
+  EXPECT_EQ(Monoid(BinaryOp("Times")).identity().value().to_int64(), 1);
+  EXPECT_EQ(Monoid(BinaryOp("Min")).identity().kind(),
+            MonoidIdentity::Kind::kMaxLimit);
+  EXPECT_EQ(Monoid(BinaryOp("Max")).identity().kind(),
+            MonoidIdentity::Kind::kLowestLimit);
+  EXPECT_EQ(Monoid(BinaryOp("LogicalAnd")).identity().value().to_int64(), 1);
+}
+
+TEST(Operators, NonMonoidOpWithoutIdentityThrows) {
+  EXPECT_THROW(Monoid(BinaryOp("Minus")), std::invalid_argument);
+  EXPECT_THROW(Monoid(BinaryOp("First")), std::invalid_argument);
+  // ...but an explicit identity makes anything a "monoid" descriptor.
+  EXPECT_NO_THROW(Monoid(BinaryOp("Minus"), MonoidIdentity(Scalar(0))));
+}
+
+TEST(Operators, NamedIdentities) {
+  // Fig. 4a: gb.Monoid("Min", "MinIdentity").
+  Monoid m("Min", MonoidIdentity("MinIdentity"));
+  EXPECT_EQ(m.identity().kind(), MonoidIdentity::Kind::kMaxLimit);
+  Monoid x("Max", MonoidIdentity("MaxIdentity"));
+  EXPECT_EQ(x.identity().kind(), MonoidIdentity::Kind::kLowestLimit);
+  EXPECT_THROW(MonoidIdentity("BogusIdentity"), std::invalid_argument);
+}
+
+TEST(Operators, IdentityCppExprForCodegen) {
+  EXPECT_EQ(MonoidIdentity::max_limit().cpp_expr("double"),
+            "std::numeric_limits<double>::max()");
+  EXPECT_EQ(MonoidIdentity::lowest_limit().cpp_expr("int32_t"),
+            "std::numeric_limits<int32_t>::lowest()");
+  EXPECT_EQ(MonoidIdentity(Scalar(0)).cpp_expr("int64_t"),
+            "static_cast<int64_t>(0LL)");
+}
+
+TEST(Operators, PredefinedSemiringsMatchPaperDefinitions) {
+  // gb.MinPlusSemiring == gb.Semiring(gb.MinMonoid, "Plus") and
+  // gb.MinMonoid == gb.Monoid("Min", "MinIdentity")  (§III).
+  EXPECT_EQ(MinPlusSemiring().key(),
+            Semiring(Monoid("Min", MonoidIdentity("MinIdentity")), "Plus")
+                .key());
+  EXPECT_EQ(ArithmeticSemiring().key(),
+            Semiring(Monoid(BinaryOp("Plus"), Scalar(0)), "Times").key());
+  EXPECT_EQ(LogicalSemiring().add().op().name(), BinaryOpName::kLogicalOr);
+  EXPECT_EQ(LogicalSemiring().mult().name(), BinaryOpName::kLogicalAnd);
+  EXPECT_EQ(MinSelect2ndSemiring().mult().name(), BinaryOpName::kSecond);
+}
+
+TEST(Operators, KeysDistinguishOperators) {
+  EXPECT_NE(ArithmeticSemiring().key(), MinPlusSemiring().key());
+  EXPECT_NE(MinSelect1stSemiring().key(), MinSelect2ndSemiring().key());
+  EXPECT_NE(PlusMonoid().key(), MinMonoid().key());
+}
+
+TEST(Operators, AccumulatorWrapsBinaryOp) {
+  Accumulator acc("Min");
+  EXPECT_EQ(acc.op().name(), BinaryOpName::kMin);
+  Accumulator acc2(BinaryOp("Second"));
+  EXPECT_EQ(acc2.op().gbtl_name(), "Second");
+}
+
+TEST(Operators, FigSixConstructorExamples) {
+  // The exact constructor forms from Fig. 6.
+  auto AdditiveInv = UnaryOp("AdditiveInverse");
+  auto PlusOp = BinaryOp("Plus");
+  auto TimesOp = BinaryOp("Times");
+  auto PlusAccumulate = Accumulator(PlusOp);
+  auto PlusMonoid_ = Monoid(PlusOp, Scalar(0));
+  auto ArithmeticSR = Semiring(PlusMonoid_, TimesOp);
+  EXPECT_FALSE(AdditiveInv.is_bound());
+  EXPECT_EQ(PlusAccumulate.op().name(), BinaryOpName::kPlus);
+  EXPECT_EQ(ArithmeticSR.mult().name(), BinaryOpName::kTimes);
+}
+
+}  // namespace

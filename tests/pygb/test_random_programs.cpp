@@ -1,0 +1,229 @@
+// Randomized integration tests: seeded "programs" — sequences of DSL
+// operations with randomly chosen operators, masks, and replace flags —
+// are mirrored step-for-step with direct native GBTL calls; state must
+// stay identical after every step. This sweeps operator/mask/flag
+// combinations no hand-written test enumerates.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "gbtl/gbtl.hpp"
+#include "pygb/pygb.hpp"
+#include "../gbtl/reference.hpp"
+
+namespace {
+
+using namespace pygb;  // NOLINT
+
+constexpr gbtl::IndexType kN = 12;
+
+struct MirroredState {
+  // Three matrix registers and two vector registers, each held as a DSL
+  // handle plus an independent native copy.
+  std::vector<Matrix> dsl_m;
+  std::vector<gbtl::Matrix<double>> nat_m;
+  std::vector<Vector> dsl_v;
+  std::vector<gbtl::Vector<double>> nat_v;
+  Matrix mask_m;   // boolean mask fixtures
+  Vector mask_v;
+
+  bool consistent() const {
+    for (std::size_t k = 0; k < dsl_m.size(); ++k) {
+      if (!(dsl_m[k].typed<double>() == nat_m[k])) return false;
+    }
+    for (std::size_t k = 0; k < dsl_v.size(); ++k) {
+      if (!(dsl_v[k].typed<double>() == nat_v[k])) return false;
+    }
+    return true;
+  }
+};
+
+MirroredState make_state(unsigned seed) {
+  MirroredState s;
+  for (unsigned k = 0; k < 3; ++k) {
+    auto nat = testref::random_matrix<double>(kN, kN, 0.3, seed + k);
+    s.nat_m.push_back(nat);
+    s.dsl_m.push_back(Matrix::adopt(std::move(nat)));
+  }
+  for (unsigned k = 0; k < 2; ++k) {
+    auto nat = testref::random_vector<double>(kN, 0.5, seed + 10 + k);
+    s.nat_v.push_back(nat);
+    s.dsl_v.push_back(Vector::adopt(std::move(nat)));
+  }
+  s.mask_m = Matrix::adopt(testref::random_matrix<bool>(kN, kN, 0.4,
+                                                        seed + 20, false,
+                                                        true));
+  s.mask_v = Vector::adopt(
+      testref::random_vector<bool>(kN, 0.4, seed + 21, false, true));
+  return s;
+}
+
+/// One random step applied to both sides. Returns a description for
+/// failure messages.
+std::string step(MirroredState& s, std::mt19937& rng) {
+  std::uniform_int_distribution<int> op_pick(0, 7);
+  std::uniform_int_distribution<int> reg3(0, 2);
+  std::uniform_int_distribution<int> reg2(0, 1);
+  std::uniform_int_distribution<int> coin(0, 1);
+
+  const int op = op_pick(rng);
+  const bool masked = coin(rng) == 1;
+  const bool replace = masked && coin(rng) == 1;
+  const auto outp =
+      replace ? gbtl::OutputControl::kReplace : gbtl::OutputControl::kMerge;
+
+  auto run_dsl = [&](auto&& assign_fn) {
+    if (replace) {
+      With ctx(Replace);
+      assign_fn();
+    } else {
+      assign_fn();
+    }
+  };
+
+  switch (op) {
+    case 0: {  // mxm arithmetic
+      const int ai = reg3(rng), bi = reg3(rng), ci = reg3(rng);
+      if (masked) {
+        run_dsl([&] {
+          s.dsl_m[ci][s.mask_m] = matmul(s.dsl_m[ai], s.dsl_m[bi]);
+        });
+        gbtl::mxm(s.nat_m[ci], s.mask_m.typed<bool>(), gbtl::NoAccumulate{},
+                  gbtl::ArithmeticSemiring<double>{}, s.nat_m[ai],
+                  s.nat_m[bi], outp);
+      } else {
+        s.dsl_m[ci][None] = matmul(s.dsl_m[ai], s.dsl_m[bi]);
+        gbtl::mxm(s.nat_m[ci], gbtl::NoMask{}, gbtl::NoAccumulate{},
+                  gbtl::ArithmeticSemiring<double>{}, s.nat_m[ai],
+                  s.nat_m[bi]);
+      }
+      return "mxm";
+    }
+    case 1: {  // mxm min-plus with B transposed
+      const int ai = reg3(rng), bi = reg3(rng), ci = reg3(rng);
+      {
+        With ctx(MinPlusSemiring());
+        s.dsl_m[ci][None] = matmul(s.dsl_m[ai], s.dsl_m[bi].T());
+      }
+      gbtl::mxm(s.nat_m[ci], gbtl::NoMask{}, gbtl::NoAccumulate{},
+                gbtl::MinPlusSemiring<double>{}, s.nat_m[ai],
+                gbtl::transpose(s.nat_m[bi]));
+      return "mxm minplus B^T";
+    }
+    case 2: {  // eWiseAdd / eWiseMult with a random op
+      const int ai = reg3(rng), bi = reg3(rng), ci = reg3(rng);
+      const bool is_add = coin(rng) == 1;
+      const bool use_min = coin(rng) == 1;
+      {
+        With ctx(use_min ? BinaryOp("Min") : BinaryOp("Plus"));
+        if (is_add) {
+          s.dsl_m[ci][None] = s.dsl_m[ai] + s.dsl_m[bi];
+        } else {
+          s.dsl_m[ci][None] = s.dsl_m[ai] * s.dsl_m[bi];
+        }
+      }
+      auto apply_native = [&](auto opfn) {
+        if (is_add) {
+          gbtl::eWiseAdd(s.nat_m[ci], gbtl::NoMask{}, gbtl::NoAccumulate{},
+                         opfn, s.nat_m[ai], s.nat_m[bi]);
+        } else {
+          gbtl::eWiseMult(s.nat_m[ci], gbtl::NoMask{}, gbtl::NoAccumulate{},
+                          opfn, s.nat_m[ai], s.nat_m[bi]);
+        }
+      };
+      if (use_min) {
+        apply_native(gbtl::Min<double>{});
+      } else {
+        apply_native(gbtl::Plus<double>{});
+      }
+      return "ewise";
+    }
+    case 3: {  // mxv with optional mask
+      const int ai = reg3(rng), ui = reg2(rng), wi = reg2(rng);
+      if (masked) {
+        run_dsl([&] {
+          s.dsl_v[wi][s.mask_v] = matmul(s.dsl_m[ai], s.dsl_v[ui]);
+        });
+        gbtl::mxv(s.nat_v[wi], s.mask_v.typed<bool>(), gbtl::NoAccumulate{},
+                  gbtl::ArithmeticSemiring<double>{}, s.nat_m[ai],
+                  s.nat_v[ui], outp);
+      } else {
+        s.dsl_v[wi][None] = matmul(s.dsl_m[ai], s.dsl_v[ui]);
+        gbtl::mxv(s.nat_v[wi], gbtl::NoMask{}, gbtl::NoAccumulate{},
+                  gbtl::ArithmeticSemiring<double>{}, s.nat_m[ai],
+                  s.nat_v[ui]);
+      }
+      return "mxv";
+    }
+    case 4: {  // accumulating vxm (the SSSP/PageRank shape)
+      const int ai = reg3(rng), ui = reg2(rng), wi = reg2(rng);
+      {
+        With ctx(Accumulator("Min"), ArithmeticSemiring());
+        s.dsl_v[wi][None] += matmul(s.dsl_v[ui], s.dsl_m[ai]);
+      }
+      gbtl::vxm(s.nat_v[wi], gbtl::NoMask{}, gbtl::Min<double>{},
+                gbtl::ArithmeticSemiring<double>{}, s.nat_v[ui],
+                s.nat_m[ai]);
+      return "vxm accum";
+    }
+    case 5: {  // apply with a bound constant
+      const int ai = reg3(rng), ci = reg3(rng);
+      {
+        With ctx(UnaryOp("Times", 0.5));
+        s.dsl_m[ci][None] = apply(s.dsl_m[ai]);
+      }
+      gbtl::apply(s.nat_m[ci], gbtl::NoMask{}, gbtl::NoAccumulate{},
+                  gbtl::BinaryOpBind2nd<double, gbtl::Times<double>>(0.5),
+                  s.nat_m[ai]);
+      return "apply bound";
+    }
+    case 6: {  // masked constant assign (the BFS levels shape)
+      const int wi = reg2(rng);
+      run_dsl([&] {
+        if (masked) {
+          s.dsl_v[wi][s.mask_v] = 7.0;
+        } else {
+          s.dsl_v[wi][Slice::all()] = 7.0;
+        }
+      });
+      if (masked) {
+        gbtl::assign(s.nat_v[wi], s.mask_v.typed<bool>(),
+                     gbtl::NoAccumulate{}, 7.0, gbtl::AllIndices{}, outp);
+      } else {
+        gbtl::assign(s.nat_v[wi], gbtl::NoMask{}, gbtl::NoAccumulate{}, 7.0,
+                     gbtl::AllIndices{});
+      }
+      return "assign const";
+    }
+    default: {  // complemented-mask ewise on vectors (Fig. 8's last line)
+      const int ui = reg2(rng), wi = reg2(rng);
+      {
+        With ctx(BinaryOp("Plus"));
+        s.dsl_v[wi][~s.mask_v] = s.dsl_v[wi] + s.dsl_v[ui];
+      }
+      gbtl::eWiseAdd(s.nat_v[wi], gbtl::complement(s.mask_v.typed<bool>()),
+                     gbtl::NoAccumulate{}, gbtl::Plus<double>{},
+                     s.nat_v[wi], s.nat_v[ui]);
+      return "ewise ~mask";
+    }
+  }
+}
+
+class RandomPrograms : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(RandomPrograms, DslMirrorsNativeStepForStep) {
+  const unsigned seed = GetParam();
+  auto s = make_state(seed);
+  ASSERT_TRUE(s.consistent());
+  std::mt19937 rng(seed);
+  for (int k = 0; k < 60; ++k) {
+    const std::string what = step(s, rng);
+    ASSERT_TRUE(s.consistent())
+        << "diverged at step " << k << " (" << what << "), seed " << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomPrograms,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u));
+
+}  // namespace

@@ -1,0 +1,216 @@
+// Table I reproduction: every GraphBLAS operation row, written in the DSL
+// notation, must agree with the equivalent native GBTL call.
+#include <gtest/gtest.h>
+
+#include "gbtl/gbtl.hpp"
+#include "pygb/pygb.hpp"
+
+namespace {
+
+using namespace pygb;  // NOLINT
+
+Matrix dsl_a() { return Matrix({{1, 0, 2}, {0, 3, 0}, {4, 0, 5}}); }
+Matrix dsl_b() { return Matrix({{0, 1, 0}, {2, 0, 3}, {0, 4, 0}}); }
+Matrix dsl_mask() {
+  Matrix m(3, 3, DType::kBool);
+  m.set(0, 1, Scalar(true));
+  m.set(1, 0, Scalar(true));
+  m.set(2, 2, Scalar(true));
+  return m;
+}
+
+gbtl::Matrix<double>& native(Matrix& m) { return m.typed<double>(); }
+
+TEST(TableI, Mxm) {
+  // C[M, z] = A @ B
+  Matrix a = dsl_a(), b = dsl_b(), mask = dsl_mask();
+  Matrix c_dsl(3, 3);
+  {
+    With ctx(ArithmeticSemiring(), Replace);
+    c_dsl[mask] = matmul(a, b);
+  }
+  gbtl::Matrix<double> c_nat(3, 3);
+  gbtl::mxm(c_nat, mask.typed<bool>(), gbtl::NoAccumulate{},
+            gbtl::ArithmeticSemiring<double>{}, native(a), native(b),
+            gbtl::OutputControl::kReplace);
+  EXPECT_TRUE(c_dsl.typed<double>() == c_nat);
+}
+
+TEST(TableI, Mxv) {
+  // w[m, z] = A @ u
+  Matrix a = dsl_a();
+  Vector u({1, 2, 3});
+  Vector w_dsl(3);
+  w_dsl[None] = matmul(a, u);
+  gbtl::Vector<double> w_nat(3);
+  gbtl::mxv(w_nat, gbtl::NoMask{}, gbtl::NoAccumulate{},
+            gbtl::ArithmeticSemiring<double>{}, native(a), u.typed<double>());
+  EXPECT_TRUE(w_dsl.typed<double>() == w_nat);
+}
+
+TEST(TableI, EWiseMultMatrixAndVector) {
+  // C[M, z] = A * B ; w[m, z] = u * v
+  Matrix a = dsl_a(), b = dsl_b();
+  Matrix c_dsl(3, 3);
+  c_dsl[None] = a * b;
+  gbtl::Matrix<double> c_nat(3, 3);
+  gbtl::eWiseMult(c_nat, gbtl::NoMask{}, gbtl::NoAccumulate{},
+                  gbtl::Times<double>{}, native(a), native(b));
+  EXPECT_TRUE(c_dsl.typed<double>() == c_nat);
+
+  Vector u({1, 0, 3}), v({4, 5, 6});
+  Vector w_dsl(3);
+  w_dsl[None] = u * v;
+  gbtl::Vector<double> w_nat(3);
+  gbtl::eWiseMult(w_nat, gbtl::NoMask{}, gbtl::NoAccumulate{},
+                  gbtl::Times<double>{}, u.typed<double>(),
+                  v.typed<double>());
+  EXPECT_TRUE(w_dsl.typed<double>() == w_nat);
+}
+
+TEST(TableI, EWiseAddMatrixAndVector) {
+  // C[M, z] = A + B ; w[m, z] = u + v
+  Matrix a = dsl_a(), b = dsl_b();
+  Matrix c_dsl(3, 3);
+  c_dsl[None] = a + b;
+  gbtl::Matrix<double> c_nat(3, 3);
+  gbtl::eWiseAdd(c_nat, gbtl::NoMask{}, gbtl::NoAccumulate{},
+                 gbtl::Plus<double>{}, native(a), native(b));
+  EXPECT_TRUE(c_dsl.typed<double>() == c_nat);
+
+  Vector u({1, 0, 3}), v({4, 5, 6});
+  Vector w_dsl(3);
+  w_dsl[None] = u + v;
+  gbtl::Vector<double> w_nat(3);
+  gbtl::eWiseAdd(w_nat, gbtl::NoMask{}, gbtl::NoAccumulate{},
+                 gbtl::Plus<double>{}, u.typed<double>(), v.typed<double>());
+  EXPECT_TRUE(w_dsl.typed<double>() == w_nat);
+}
+
+TEST(TableI, ReduceRow) {
+  // w[m, z] = reduce(monoid, A)
+  Matrix a = dsl_a();
+  Vector w_dsl(3);
+  w_dsl[None] = reduce_rows(a, PlusMonoid());
+  gbtl::Vector<double> w_nat(3);
+  gbtl::reduce(w_nat, gbtl::NoMask{}, gbtl::NoAccumulate{},
+               gbtl::PlusMonoid<double>{}, native(a));
+  EXPECT_TRUE(w_dsl.typed<double>() == w_nat);
+}
+
+TEST(TableI, ReduceScalar) {
+  // s = reduce(A) ; s = reduce(u)
+  Matrix a = dsl_a();
+  double s_nat = 0;
+  gbtl::reduce(s_nat, gbtl::NoAccumulate{}, gbtl::PlusMonoid<double>{},
+               native(a));
+  EXPECT_DOUBLE_EQ(reduce(a).to_double(), s_nat);
+
+  Vector u({1, 0, 3});
+  double su_nat = 0;
+  gbtl::reduce(su_nat, gbtl::NoAccumulate{}, gbtl::PlusMonoid<double>{},
+               u.typed<double>());
+  EXPECT_DOUBLE_EQ(reduce(u).to_double(), su_nat);
+}
+
+TEST(TableI, Apply) {
+  // C[M, z] = apply(A) ; w[m, z] = apply(u)
+  Matrix a = dsl_a();
+  Matrix c_dsl(3, 3);
+  {
+    With ctx(UnaryOp("AdditiveInverse"));
+    c_dsl[None] = apply(a);
+  }
+  gbtl::Matrix<double> c_nat(3, 3);
+  gbtl::apply(c_nat, gbtl::NoMask{}, gbtl::NoAccumulate{},
+              gbtl::AdditiveInverse<double>{}, native(a));
+  EXPECT_TRUE(c_dsl.typed<double>() == c_nat);
+
+  Vector u({1, 0, 3});
+  Vector w_dsl(3);
+  {
+    With ctx(UnaryOp("Times", 2.0));
+    w_dsl[None] = apply(u);
+  }
+  gbtl::Vector<double> w_nat(3);
+  gbtl::apply(w_nat, gbtl::NoMask{}, gbtl::NoAccumulate{},
+              gbtl::BinaryOpBind2nd<double, gbtl::Times<double>>(2.0),
+              u.typed<double>());
+  EXPECT_TRUE(w_dsl.typed<double>() == w_nat);
+}
+
+TEST(TableI, Transpose) {
+  // C[M, z] = A.T
+  Matrix a = dsl_a();
+  Matrix c_dsl(3, 3);
+  c_dsl[None] = transposed(a);
+  gbtl::Matrix<double> c_nat(3, 3);
+  gbtl::transpose(c_nat, gbtl::NoMask{}, gbtl::NoAccumulate{}, native(a));
+  EXPECT_TRUE(c_dsl.typed<double>() == c_nat);
+}
+
+TEST(TableI, Extract) {
+  // C[M, z] = A[i, j] ; w = u[i]
+  Matrix a = dsl_a();
+  Matrix c_dsl = a(Slice(0, 2), Slice(1, 3)).extract();
+  gbtl::Matrix<double> c_nat(2, 2);
+  gbtl::extract(c_nat, gbtl::NoMask{}, gbtl::NoAccumulate{}, native(a),
+                gbtl::IndexArray{0, 1}, gbtl::IndexArray{1, 2});
+  EXPECT_TRUE(c_dsl.typed<double>() == c_nat);
+
+  Vector u({1, 0, 3, 4});
+  Vector w_dsl = u[Slice(1, 4)].extract();
+  gbtl::Vector<double> w_nat(3);
+  gbtl::extract(w_nat, gbtl::NoMask{}, gbtl::NoAccumulate{},
+                u.typed<double>(), gbtl::IndexArray{1, 2, 3});
+  EXPECT_TRUE(w_dsl.typed<double>() == w_nat);
+}
+
+TEST(TableI, AssignRegion) {
+  // C[M, z](i, j) = A ; w[m, z](i) = u
+  Matrix src({{9, 8}, {7, 6}});
+  Matrix c_dsl({{1, 1, 1}, {1, 1, 1}, {1, 1, 1}});
+  c_dsl(Slice(0, 2), Slice(1, 3)) = src;
+  Matrix c_nat_h({{1, 1, 1}, {1, 1, 1}, {1, 1, 1}});
+  gbtl::assign(c_nat_h.typed<double>(), gbtl::NoMask{},
+               gbtl::NoAccumulate{}, src.typed<double>(),
+               gbtl::IndexArray{0, 1}, gbtl::IndexArray{1, 2});
+  EXPECT_TRUE(c_dsl.equals(c_nat_h));
+
+  Vector u_src({5, 6});
+  Vector w_dsl({1, 1, 1, 1});
+  w_dsl[gbtl::IndexArray{0, 2}] = u_src;
+  gbtl::Vector<double> w_nat{1, 1, 1, 1};
+  gbtl::assign(w_nat, gbtl::NoMask{}, gbtl::NoAccumulate{},
+               u_src.typed<double>(), gbtl::IndexArray{0, 2});
+  EXPECT_TRUE(w_dsl.typed<double>() == w_nat);
+}
+
+TEST(TableI, AssignConstant) {
+  // w[m, z][i] = s
+  Vector w_dsl(4);
+  Vector mask(4, DType::kBool);
+  mask.set(1, Scalar(true));
+  mask.set(2, Scalar(true));
+  w_dsl[mask] = 3.5;
+  gbtl::Vector<double> w_nat(4);
+  gbtl::assign(w_nat, mask.typed<bool>(), gbtl::NoAccumulate{}, 3.5,
+               gbtl::AllIndices{});
+  EXPECT_TRUE(w_dsl.typed<double>() == w_nat);
+}
+
+TEST(TableI, AccumulationViaPlusEquals) {
+  // The (+) column: C[M] += expr maps to a GBTL accumulator argument.
+  Matrix a = dsl_a(), b = dsl_b();
+  Matrix c_dsl({{10, 0, 0}, {0, 10, 0}, {0, 0, 10}});
+  {
+    With ctx(Accumulator("Plus"), ArithmeticSemiring());
+    c_dsl[None] += matmul(a, b);
+  }
+  gbtl::Matrix<double> c_nat({{10, 0, 0}, {0, 10, 0}, {0, 0, 10}});
+  gbtl::mxm(c_nat, gbtl::NoMask{}, gbtl::Plus<double>{},
+            gbtl::ArithmeticSemiring<double>{}, native(a), native(b));
+  EXPECT_TRUE(c_dsl.typed<double>() == c_nat);
+}
+
+}  // namespace

@@ -1,0 +1,120 @@
+// Tests: the DSL's concurrency story (§IV). The paper: "each thread would
+// need to keep track of its own operator stack" — our context stack is
+// thread_local, so With blocks in different threads never interact; and
+// the module registry is mutex-guarded, so concurrent dispatch (the
+// multiprocessing-analog workload) is safe.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "pygb/pygb.hpp"
+
+namespace {
+
+using namespace pygb;  // NOLINT
+
+TEST(Threading, ContextStackIsThreadLocal) {
+  With outer(MinPlusSemiring());
+  ASSERT_EQ(current_semiring().key(), MinPlusSemiring().key());
+
+  std::atomic<bool> other_saw_default{false};
+  std::atomic<bool> other_scoped_ok{false};
+  std::thread worker([&] {
+    // A fresh thread starts with an empty stack regardless of the parent.
+    other_saw_default = context_depth() == 0 &&
+                        current_semiring().key() ==
+                            ArithmeticSemiring().key();
+    With inner(LogicalSemiring(), Replace);
+    other_scoped_ok =
+        current_semiring().key() == LogicalSemiring().key() &&
+        current_replace();
+  });
+  worker.join();
+  EXPECT_TRUE(other_saw_default.load());
+  EXPECT_TRUE(other_scoped_ok.load());
+  // The worker's blocks never touched this thread's stack.
+  EXPECT_EQ(current_semiring().key(), MinPlusSemiring().key());
+  EXPECT_FALSE(current_replace());
+}
+
+TEST(Threading, NestedContextsPerThreadIndependent) {
+  constexpr int kThreads = 8;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      // Alternate operator stacks per thread; each must only ever observe
+      // its own entries.
+      for (int round = 0; round < 50; ++round) {
+        if (t % 2 == 0) {
+          With ctx(MinPlusSemiring());
+          if (current_add_op().name() != BinaryOpName::kMin) ++failures;
+        } else {
+          With ctx(MaxMonoid());
+          if (current_add_op().name() != BinaryOpName::kMax) ++failures;
+        }
+        if (context_depth() != 0) {
+          // Outside any block the stack must be empty again.
+        }
+      }
+      if (context_depth() != 0) ++failures;
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+TEST(Threading, ConcurrentDispatchIsSafe) {
+  // Hammer the registry from several threads with a mix of operations
+  // (all static-table hits) and verify every result.
+  constexpr int kThreads = 6;
+  constexpr int kRounds = 40;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Matrix a({{1, 2}, {3, 4}});
+      Matrix b({{1, 0}, {0, 1}});
+      for (int r = 0; r < kRounds; ++r) {
+        Matrix c(2, 2);
+        if (t % 2 == 0) {
+          c[None] = matmul(a, b);
+          if (c.get(1, 0) != 3.0) ++failures;
+        } else {
+          With ctx(MinPlusSemiring());
+          c[None] = matmul(a, b);
+          if (c.get(0, 0) != 2.0) ++failures;
+        }
+        const double total = reduce(c).to_double();
+        if (total <= 0.0) ++failures;
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+TEST(Threading, RegistryStatsConsistentUnderConcurrency) {
+  auto& reg = jit::Registry::instance();
+  reg.reset_stats();
+  constexpr int kThreads = 4;
+  constexpr int kRounds = 25;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      Matrix a({{1, 0}, {0, 1}});
+      for (int r = 0; r < kRounds; ++r) {
+        Matrix c(2, 2);
+        c[None] = a + a;
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  const auto st = reg.stats();
+  EXPECT_EQ(st.lookups, static_cast<std::size_t>(kThreads * kRounds));
+  EXPECT_EQ(st.static_hits, st.lookups);
+}
+
+}  // namespace
