@@ -3,13 +3,17 @@
 // search, mask coercion, key construction, registry lookup, type-erased
 // call) versus the direct templated GBTL call, across sizes — the
 // per-operation component of Fig. 10's small-input gap. Also measures the
-// optional CPython-overhead model's contribution.
+// optional CPython-overhead model's contribution and the observability
+// layer's cost: with tracing/metrics DISABLED (the default), BM_Mxv_DSL
+// must stay within noise of the seed baseline — each hook is one relaxed
+// atomic load + branch (BM_ObsSpanDisabled isolates it).
 #include <benchmark/benchmark.h>
 
 #include <map>
 
 #include "gbtl/gbtl.hpp"
 #include "generators/erdos_renyi.hpp"
+#include "pygb/obs/obs.hpp"
 #include "pygb/pygb.hpp"
 
 namespace {
@@ -82,6 +86,47 @@ void BM_ContextPushPop(benchmark::State& state) {
   }
 }
 
+// --- observability overhead ------------------------------------------------
+
+void BM_ObsSpanDisabled(benchmark::State& state) {
+  // The disabled-hook cost paid at every instrumented site: one relaxed
+  // load + branch, no allocation, no event.
+  obs::set_tracing_enabled(false);
+  for (auto _ : state) {
+    obs::Span span("bench.noop");
+    benchmark::DoNotOptimize(span.active());
+  }
+}
+
+void BM_Mxv_DSL_TracingEnabled(benchmark::State& state) {
+  auto& f = fixture_of(static_cast<gbtl::IndexType>(state.range(0)));
+  obs::set_tracing_enabled(true);
+  obs::clear_trace_events();
+  int since_clear = 0;
+  for (auto _ : state) {
+    f.w[None] = matmul(f.graph, f.u);
+    benchmark::DoNotOptimize(f.w.nvals());
+    if (++since_clear == 4096) {  // keep the event buffers bounded
+      state.PauseTiming();
+      obs::clear_trace_events();
+      since_clear = 0;
+      state.ResumeTiming();
+    }
+  }
+  obs::set_tracing_enabled(false);
+  obs::clear_trace_events();
+}
+
+void BM_Mxv_DSL_MetricsEnabled(benchmark::State& state) {
+  auto& f = fixture_of(static_cast<gbtl::IndexType>(state.range(0)));
+  obs::set_metrics_enabled(true);
+  for (auto _ : state) {
+    f.w[None] = matmul(f.graph, f.u);
+    benchmark::DoNotOptimize(f.w.nvals());
+  }
+  obs::set_metrics_enabled(false);
+}
+
 }  // namespace
 
 #define DISPATCH_SWEEP \
@@ -91,5 +136,14 @@ BENCHMARK(BM_Mxv_DSL_WithCPythonModel) DISPATCH_SWEEP;
 BENCHMARK(BM_Mxv_NativeGBTL) DISPATCH_SWEEP;
 BENCHMARK(BM_ExpressionConstructionOnly);
 BENCHMARK(BM_ContextPushPop);
+BENCHMARK(BM_ObsSpanDisabled);
+BENCHMARK(BM_Mxv_DSL_TracingEnabled)
+    ->RangeMultiplier(16)
+    ->Range(64, 16384)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_Mxv_DSL_MetricsEnabled)
+    ->RangeMultiplier(16)
+    ->Range(64, 16384)
+    ->Unit(benchmark::kMicrosecond);
 
 BENCHMARK_MAIN();

@@ -20,6 +20,24 @@
 
 #include "gbtl/types.hpp"
 
+// Per-worker observability spans. Gated on PYGB_OBS_HOOKS (defined for all
+// in-repo targets) because JIT-generated modules compile this header with a
+// bare `g++ -shared` that never links libpygb — the obs symbols would be
+// unresolvable inside the dlopen'd module. Worker spans inside JIT kernels
+// are therefore not traced; everything in-process is.
+#if defined(PYGB_OBS_HOOKS)
+#include "pygb/obs/obs.hpp"
+#define GBTL_WORKER_SPAN(span_name, begin_row, end_row)                  \
+  ::pygb::obs::Span gbtl_worker_span_(span_name);                        \
+  if (gbtl_worker_span_.active()) {                                      \
+    gbtl_worker_span_                                                    \
+        .attr("begin", static_cast<std::uint64_t>(begin_row))            \
+        .attr("end", static_cast<std::uint64_t>(end_row));               \
+  }
+#else
+#define GBTL_WORKER_SPAN(span_name, begin_row, end_row)
+#endif
+
 namespace gbtl::detail {
 
 inline std::atomic<unsigned>& thread_count_slot() {
@@ -63,6 +81,7 @@ void parallel_for_rows(IndexType n, F&& f) {
   std::atomic<bool> has_error{false};
 
   auto run_block = [&](IndexType begin, IndexType end) {
+    GBTL_WORKER_SPAN("parallel.worker", begin, end)
     try {
       f(begin, end);
     } catch (...) {

@@ -11,6 +11,7 @@
 
 #include "pygb/interp_sim.hpp"
 #include "pygb/jit/registry.hpp"
+#include "pygb/obs/obs.hpp"
 
 namespace pygb {
 
@@ -130,15 +131,6 @@ PreparedVectorMask prepare_mask(const VectorMaskArg& arg) {
   out.owned = std::move(coerced);
   out.ptr = out.owned.get();
   return out;
-}
-
-// --- dispatch core ------------------------------------------------------------
-
-void dispatch(OpRequest& req, KernelArgs& args) {
-  args.request = &req;
-  interp_pause();  // CPython dispatch-cost model (0 = off)
-  jit::KernelFn fn = jit::Registry::instance().get(req);
-  fn(&args);
 }
 
 void set_scalar_channels(KernelArgs& args, const Scalar& v) {
@@ -267,12 +259,53 @@ void fill_from_node(OpRequest& req, KernelArgs& args, const ExprNode& node) {
 }  // namespace
 
 // ---------------------------------------------------------------------------
+// dispatch core
+// ---------------------------------------------------------------------------
+
+void dispatch(OpRequest& req, KernelArgs& args) {
+  args.request = &req;
+  interp_pause();  // CPython dispatch-cost model (0 = off)
+
+  // Fast path: with observability off this is one relaxed load + branch
+  // on top of the seed dispatch sequence.
+  if (!obs::tracing_enabled() && !obs::metrics_enabled()) [[likely]] {
+    jit::KernelFn fn = jit::Registry::instance().get(req);
+    fn(&args);
+    return;
+  }
+
+  obs::Span dispatch_span("pygb.dispatch");
+  dispatch_span.attr("func", req.func);
+  jit::ResolveInfo info;
+  jit::KernelFn fn;
+  {
+    obs::Span lookup_span("registry.get");
+    fn = jit::Registry::instance().get(req, &info);
+    lookup_span.attr("backend", info.backend).attr("key", info.key);
+  }
+  dispatch_span.attr("backend", info.backend);
+  {
+    obs::Span kernel_span("kernel");
+    kernel_span.attr("func", req.func).attr("backend", info.backend);
+    const std::uint64_t t0 = obs::now_ns();
+    fn(&args);
+    obs::record_value("kernel_ns/" + req.func + "/" + info.backend,
+                      obs::now_ns() - t0);
+  }
+}
+
+// ---------------------------------------------------------------------------
 // eval_into
 // ---------------------------------------------------------------------------
 
 void eval_into(Matrix& target, const MatrixMaskArg& mask,
                const std::optional<Accumulator>& accum, bool replace,
                const ExprNode& node) {
+  obs::Span span("pygb.eval");
+  if (span.active()) {
+    span.attr("target", "matrix")
+        .attr("target_nnz", static_cast<std::uint64_t>(target.nvals()));
+  }
   OpRequest req;
   KernelArgs args;
   req.c = target.dtype();
@@ -283,12 +316,18 @@ void eval_into(Matrix& target, const MatrixMaskArg& mask,
   req.mask = pm.kind;
   args.mask = pm.ptr;
   fill_from_node(req, args, node);
+  if (span.active()) span.attr("func", req.func);
   dispatch(req, args);
 }
 
 void eval_into(Vector& target, const VectorMaskArg& mask,
                const std::optional<Accumulator>& accum, bool replace,
                const ExprNode& node) {
+  obs::Span span("pygb.eval");
+  if (span.active()) {
+    span.attr("target", "vector")
+        .attr("target_nnz", static_cast<std::uint64_t>(target.nvals()));
+  }
   OpRequest req;
   KernelArgs args;
   req.c = target.dtype();
@@ -299,6 +338,7 @@ void eval_into(Vector& target, const VectorMaskArg& mask,
   req.mask = pm.kind;
   args.mask = pm.ptr;
   fill_from_node(req, args, node);
+  if (span.active()) span.attr("func", req.func);
   dispatch(req, args);
 }
 

@@ -7,8 +7,15 @@
 
 #include "pygb/container.hpp"
 #include "pygb/expr.hpp"
+#include "pygb/jit/module_key.hpp"
 
 namespace pygb::detail {
+
+/// Resolve a kernel for an assembled request and invoke it, emitting the
+/// dispatch-pipeline spans and kernel-latency histograms when observability
+/// is on (pygb/obs). The shared dispatch core for eval_into, assign/extract,
+/// whole-algorithm entry points, and fused chains.
+void dispatch(jit::OpRequest& req, jit::KernelArgs& args);
 
 /// Evaluate `node` into `target` under mask/accumulator/replace.
 void eval_into(Matrix& target, const MatrixMaskArg& mask,

@@ -2,8 +2,10 @@
 
 #include <stdexcept>
 
+#include "pygb/eval.hpp"
 #include "pygb/interp_sim.hpp"
 #include "pygb/jit/registry.hpp"
+#include "pygb/obs/obs.hpp"
 
 namespace pygb {
 
@@ -235,9 +237,15 @@ FusedChain::RunResult FusedChain::run(
   kargs.scalar_out = &slot;
   kargs.request = &req;
 
-  detail::interp_pause();  // one dispatch for the whole chain
-  jit::KernelFn fn = jit::Registry::instance().get(req);
-  fn(&kargs);
+  obs::Span span("chain.run");
+  if (span.active()) {
+    span.attr("chain", desc_->name)
+        .attr("statements",
+              static_cast<std::uint64_t>(desc_->statements.size()))
+        .attr("params", static_cast<std::uint64_t>(desc_->params.size()));
+  }
+  // One dispatch for the whole chain (interp_pause runs inside).
+  detail::dispatch(req, kargs);
 
   RunResult result;
   result.scalar = Scalar(slot.f);

@@ -6,6 +6,8 @@
 #include <mutex>
 #include <sstream>
 
+#include "pygb/obs/obs.hpp"
+
 #ifndef PYGB_SOURCE_INCLUDE_DIR
 #define PYGB_SOURCE_INCLUDE_DIR ""
 #endif
@@ -57,11 +59,20 @@ CompileResult compile_module(const std::string& source_path,
       << " -I" << quoted(source_include_dir()) << ' ' << quoted(source_path)
       << " -o " << quoted(output_path) << " 2> " << quoted(log_path);
 
+  obs::Span span("jit.compile");
+  span.attr("source", source_path).attr("output", output_path);
+
   const auto start = std::chrono::steady_clock::now();
   const int rc = std::system(cmd.str().c_str());
   const auto end = std::chrono::steady_clock::now();
   result.seconds = std::chrono::duration<double>(end - start).count();
   result.ok = (rc == 0);
+  span.attr("ok", static_cast<std::int64_t>(result.ok ? 1 : 0));
+  obs::record_value(
+      "compile_ns",
+      static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(end - start)
+              .count()));
   if (!result.ok) {
     result.log = "command: " + cmd.str() + "\n" + read_file(log_path);
   }

@@ -2,9 +2,13 @@
 
 #include <dlfcn.h>
 
+#include "pygb/obs/obs.hpp"
+
 namespace pygb::jit {
 
 KernelFn load_kernel(const std::string& so_path, std::string* error) {
+  obs::Span span("jit.load");
+  span.attr("module", so_path);
   void* handle = dlopen(so_path.c_str(), RTLD_NOW | RTLD_LOCAL);
   if (handle == nullptr) {
     if (error != nullptr) {

@@ -1,5 +1,6 @@
 #include "pygb/jit/registry.hpp"
 
+#include <condition_variable>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
@@ -7,6 +8,7 @@
 #include "pygb/jit/codegen.hpp"
 #include "pygb/jit/compiler.hpp"
 #include "pygb/jit/loader.hpp"
+#include "pygb/obs/obs.hpp"
 
 namespace pygb::jit {
 
@@ -43,6 +45,16 @@ std::uint64_t key_hash(const std::string& key) {
   return h;
 }
 
+/// A cold key currently being resolved. The owner thread compiles with no
+/// registry lock held; same-key requesters wait here, other keys fly by.
+struct Registry::InFlight {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool done = false;
+  KernelFn fn = nullptr;
+  std::exception_ptr error;
+};
+
 Registry& Registry::instance() {
   static Registry registry;
   return registry;
@@ -51,7 +63,7 @@ Registry& Registry::instance() {
 Registry::Registry() {
   if (const char* m = std::getenv("PYGB_JIT_MODE");
       m != nullptr && *m != '\0') {
-    mode_ = parse_mode(m);
+    set_mode(parse_mode(m));
   }
   if (const char* d = std::getenv("PYGB_CACHE_DIR");
       d != nullptr && *d != '\0') {
@@ -62,8 +74,15 @@ Registry::Registry() {
   register_static_kernels(*this);
 }
 
+Registry::~Registry() = default;
+
 void Registry::register_static(const std::string& key, KernelFn fn) {
   static_table_.emplace(key, fn);
+}
+
+std::string Registry::cache_dir() const {
+  std::lock_guard lock(mu_);
+  return cache_dir_;
 }
 
 void Registry::set_cache_dir(const std::string& dir) {
@@ -84,13 +103,25 @@ void Registry::clear_disk_cache() {
 }
 
 RegistryStats Registry::stats() const {
-  std::lock_guard lock(mu_);
-  return stats_;
+  RegistryStats s;
+  s.lookups = obs::counter_value(obs::Counter::kRegistryLookups);
+  s.static_hits = obs::counter_value(obs::Counter::kStaticHits);
+  s.memory_hits = obs::counter_value(obs::Counter::kMemoryHits);
+  s.disk_hits = obs::counter_value(obs::Counter::kDiskHits);
+  s.compiles = obs::counter_value(obs::Counter::kCompiles);
+  s.interp_dispatches =
+      obs::counter_value(obs::Counter::kInterpDispatches);
+  s.compile_seconds =
+      static_cast<double>(obs::counter_value(obs::Counter::kCompileNanos)) *
+      1e-9;
+  return s;
 }
 
-void Registry::reset_stats() {
+void Registry::reset_stats() { obs::reset_counters(); }
+
+std::size_t Registry::inflight_count() const {
   std::lock_guard lock(mu_);
-  stats_ = RegistryStats{};
+  return inflight_.size();
 }
 
 std::size_t Registry::static_kernel_count() const {
@@ -106,23 +137,19 @@ KernelFn Registry::resolve_static(const std::string& key) const {
   return it == static_table_.end() ? nullptr : it->second;
 }
 
-KernelFn Registry::resolve_jit(const OpRequest& req, const std::string& key) {
-  // Memory cache (caller holds the lock).
-  if (auto it = memory_cache_.find(key); it != memory_cache_.end()) {
-    ++stats_.memory_hits;
-    return it->second;
-  }
-
+KernelFn Registry::build_module(const OpRequest& req, const std::string& key,
+                                const std::string& cache_dir,
+                                const char** backend) {
   const std::string stem = "pygb_" + std::to_string(key_hash(key));
-  const fs::path dir(cache_dir_);
+  const fs::path dir(cache_dir);
   const fs::path so_path = dir / (stem + ".so");
 
   // Disk cache: a previous process (or run) already compiled this module.
   if (fs::exists(so_path)) {
     std::string err;
     if (KernelFn fn = load_kernel(so_path.string(), &err)) {
-      ++stats_.disk_hits;
-      memory_cache_.emplace(key, fn);
+      obs::counter_add(obs::Counter::kDiskHits);
+      *backend = "jit-disk";
       return fn;
     }
     // Corrupt/incompatible module: fall through and recompile.
@@ -130,17 +157,29 @@ KernelFn Registry::resolve_jit(const OpRequest& req, const std::string& key) {
     fs::remove(so_path, ec);
   }
 
-  // Compile.
+  // Generate the translation unit.
   std::error_code ec;
   fs::create_directories(dir, ec);
   const fs::path src_path = dir / (stem + ".cpp");
+  std::string source;
+  {
+    obs::Span span("jit.codegen");
+    source = generate_source(req);
+    span.attr("key", key).attr("bytes",
+                               static_cast<std::uint64_t>(source.size()));
+  }
+  obs::counter_add(obs::Counter::kGeneratedSourceBytes, source.size());
+  obs::record_value("codegen_bytes", source.size());
   {
     std::ofstream src(src_path);
-    src << generate_source(req);
+    src << source;
   }
+
+  // Compile (the expensive part — no registry lock is held here).
   const CompileResult cr = compile_module(src_path.string(), so_path.string());
-  ++stats_.compiles;
-  stats_.compile_seconds += cr.seconds;
+  obs::counter_add(obs::Counter::kCompiles);
+  obs::counter_add(obs::Counter::kCompileNanos,
+                   static_cast<std::uint64_t>(cr.seconds * 1e9));
   if (!cr.ok) {
     throw NoKernelError("pygb: JIT compilation failed for key '" + key +
                         "':\n" + cr.log);
@@ -151,44 +190,116 @@ KernelFn Registry::resolve_jit(const OpRequest& req, const std::string& key) {
     throw NoKernelError("pygb: failed to load compiled module for key '" +
                         key + "': " + err);
   }
-  memory_cache_.emplace(key, fn);
+  *backend = "jit-compile";
   return fn;
 }
 
-KernelFn Registry::get(const OpRequest& req) {
-  const std::string key = req.key();
-  std::lock_guard lock(mu_);
-  ++stats_.lookups;
+KernelFn Registry::resolve_jit(const OpRequest& req, const std::string& key,
+                               const char** backend) {
+  std::shared_ptr<InFlight> flight;
+  bool owner = false;
+  std::string dir;
+  {
+    std::lock_guard lock(mu_);
+    if (auto it = memory_cache_.find(key); it != memory_cache_.end()) {
+      obs::counter_add(obs::Counter::kMemoryHits);
+      *backend = "jit-memory";
+      return it->second;
+    }
+    auto [it, inserted] = inflight_.try_emplace(key);
+    if (inserted) it->second = std::make_shared<InFlight>();
+    flight = it->second;
+    owner = inserted;
+    dir = cache_dir_;
+  }
 
-  switch (mode_) {
+  if (!owner) {
+    // Another thread is already resolving this exact key: wait for its
+    // result instead of compiling twice.
+    obs::Span span("registry.wait");
+    span.attr("key", key);
+    std::unique_lock fl(flight->mu);
+    flight->cv.wait(fl, [&] { return flight->done; });
+    if (flight->error) std::rethrow_exception(flight->error);
+    obs::counter_add(obs::Counter::kMemoryHits);
+    *backend = "jit-wait";
+    return flight->fn;
+  }
+
+  KernelFn fn = nullptr;
+  std::exception_ptr error;
+  const char* how = "jit-compile";
+  try {
+    fn = build_module(req, key, dir, &how);
+  } catch (...) {
+    error = std::current_exception();
+  }
+  {
+    std::lock_guard lock(mu_);
+    if (fn != nullptr) memory_cache_.emplace(key, fn);
+    inflight_.erase(key);
+  }
+  {
+    std::lock_guard fl(flight->mu);
+    flight->fn = fn;
+    flight->error = error;
+    flight->done = true;
+  }
+  flight->cv.notify_all();
+  if (error) std::rethrow_exception(error);
+  *backend = how;
+  return fn;
+}
+
+KernelFn Registry::get(const OpRequest& req, ResolveInfo* info) {
+  obs::counter_add(obs::Counter::kRegistryLookups);
+  std::string key = req.key();
+  const char* backend = "";
+  KernelFn fn = nullptr;
+
+  switch (mode()) {
     case Mode::kStatic: {
-      if (KernelFn fn = resolve_static(key)) {
-        ++stats_.static_hits;
-        return fn;
+      fn = resolve_static(key);
+      if (fn == nullptr) {
+        throw NoKernelError(
+            "pygb: no statically instantiated kernel for key '" + key +
+            "' (the ahead-of-time combination space is intractable — see "
+            "combination_space(); use jit/auto mode)");
       }
-      throw NoKernelError(
-          "pygb: no statically instantiated kernel for key '" + key +
-          "' (the ahead-of-time combination space is intractable — see "
-          "combination_space(); use jit/auto mode)");
+      obs::counter_add(obs::Counter::kStaticHits);
+      backend = "static";
+      break;
     }
     case Mode::kJit:
-      return resolve_jit(req, key);
+      fn = resolve_jit(req, key, &backend);
+      break;
     case Mode::kInterp:
-      ++stats_.interp_dispatches;
-      return interp_kernel();
+      obs::counter_add(obs::Counter::kInterpDispatches);
+      backend = "interp";
+      fn = interp_kernel();
+      break;
     case Mode::kAuto: {
-      if (KernelFn fn = resolve_static(key)) {
-        ++stats_.static_hits;
-        return fn;
+      if ((fn = resolve_static(key)) != nullptr) {
+        obs::counter_add(obs::Counter::kStaticHits);
+        backend = "static";
+        break;
       }
       if (compiler_available()) {
-        return resolve_jit(req, key);
+        fn = resolve_jit(req, key, &backend);
+        break;
       }
-      ++stats_.interp_dispatches;
-      return interp_kernel();
+      obs::counter_add(obs::Counter::kInterpDispatches);
+      backend = "interp";
+      fn = interp_kernel();
+      break;
     }
   }
-  throw std::logic_error("pygb: corrupt registry mode");
+  if (fn == nullptr) throw std::logic_error("pygb: corrupt registry mode");
+  if (info != nullptr) {
+    info->backend = backend;
+    info->key = std::move(key);
+  }
+  return fn;
 }
 
 std::uint64_t combination_space(const std::string& f) {

@@ -13,9 +13,18 @@
 //
 // Mode selection: PYGB_JIT_MODE = auto | static | jit | interp
 // (auto = static, then jit when a compiler is available, then interp).
+//
+// Concurrency: the registry mutex guards only the in-memory maps, never a
+// compile. A cold key registers an in-flight record and compiles outside
+// the lock; concurrent requests for the SAME key wait on that record,
+// while requests for other keys (including memory-cache hits) proceed
+// immediately. Statistics live in pygb::obs relaxed atomic counters — the
+// RegistryStats struct is a snapshot view of those.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <unordered_map>
@@ -36,6 +45,7 @@ class NoKernelError : public std::runtime_error {
   explicit NoKernelError(const std::string& msg) : std::runtime_error(msg) {}
 };
 
+/// Snapshot of the obs counters in the registry's historical shape.
 struct RegistryStats {
   std::size_t lookups = 0;
   std::size_t static_hits = 0;
@@ -46,22 +56,35 @@ struct RegistryStats {
   double compile_seconds = 0.0;     ///< total wall time inside g++
 };
 
+/// How a lookup was satisfied — filled for observability when the caller
+/// passes a ResolveInfo to Registry::get().
+struct ResolveInfo {
+  const char* backend = "";  ///< static | jit-memory | jit-disk |
+                             ///< jit-compile | jit-wait | interp
+  std::string key;           ///< the canonical dispatch key
+};
+
 class Registry {
  public:
   /// Process-wide instance; mode and cache dir initialized from the
   /// PYGB_JIT_MODE / PYGB_CACHE_DIR environment variables.
   static Registry& instance();
 
-  /// Resolve a kernel for the request, compiling if necessary.
-  KernelFn get(const OpRequest& req);
+  /// Resolve a kernel for the request, compiling if necessary. `info`
+  /// (optional) receives the backend chosen and the dispatch key.
+  KernelFn get(const OpRequest& req, ResolveInfo* info = nullptr);
 
   /// Register a build-time-instantiated kernel (static backend).
   void register_static(const std::string& key, KernelFn fn);
 
-  Mode mode() const noexcept { return mode_; }
-  void set_mode(Mode m) noexcept { mode_ = m; }
+  Mode mode() const noexcept {
+    return mode_.load(std::memory_order_relaxed);
+  }
+  void set_mode(Mode m) noexcept {
+    mode_.store(m, std::memory_order_relaxed);
+  }
 
-  const std::string& cache_dir() const noexcept { return cache_dir_; }
+  std::string cache_dir() const;
   void set_cache_dir(const std::string& dir);
 
   /// Drop in-memory JIT handles (disk cache untouched). For benchmarks
@@ -73,6 +96,9 @@ class Registry {
   RegistryStats stats() const;
   void reset_stats();
 
+  /// Number of JIT compiles currently running (observability / tests).
+  std::size_t inflight_count() const;
+
   std::size_t static_kernel_count() const;
   bool compiler_available() const;
 
@@ -80,17 +106,26 @@ class Registry {
   Registry& operator=(const Registry&) = delete;
 
  private:
+  struct InFlight;
+
   Registry();
+  ~Registry();
 
   KernelFn resolve_static(const std::string& key) const;
-  KernelFn resolve_jit(const OpRequest& req, const std::string& key);
+  KernelFn resolve_jit(const OpRequest& req, const std::string& key,
+                       const char** backend);
+  /// Disk probe, codegen, g++, dlopen — runs with NO registry lock held.
+  KernelFn build_module(const OpRequest& req, const std::string& key,
+                        const std::string& cache_dir, const char** backend);
 
+  /// Guards memory_cache_, inflight_, and cache_dir_ — never held across
+  /// a compile.
   mutable std::mutex mu_;
-  Mode mode_ = Mode::kAuto;
+  std::atomic<Mode> mode_{Mode::kAuto};
   std::string cache_dir_;
   std::unordered_map<std::string, KernelFn> static_table_;
   std::unordered_map<std::string, KernelFn> memory_cache_;
-  RegistryStats stats_;
+  std::unordered_map<std::string, std::shared_ptr<InFlight>> inflight_;
 };
 
 /// Defined in static_kernels.cpp: instantiate + register the curated set.

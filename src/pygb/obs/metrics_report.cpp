@@ -1,0 +1,162 @@
+// pygb/obs/metrics_report.cpp — metrics exporters: a machine-readable JSON
+// dump and the human-readable end-of-run summary printed by
+// `pygb_cli --stats` and PYGB_METRICS=1.
+#include <cinttypes>
+#include <cstdio>
+
+#include "pygb/obs/obs.hpp"
+
+namespace pygb::obs {
+
+namespace {
+
+/// "742ns" / "3.2us" / "18ms" / "2.41s" — compact latency rendering.
+std::string format_ns(double ns) {
+  char buf[48];
+  if (ns < 1e3) {
+    std::snprintf(buf, sizeof buf, "%.0fns", ns);
+  } else if (ns < 1e6) {
+    std::snprintf(buf, sizeof buf, "%.1fus", ns / 1e3);
+  } else if (ns < 1e9) {
+    std::snprintf(buf, sizeof buf, "%.1fms", ns / 1e6);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.2fs", ns / 1e9);
+  }
+  return buf;
+}
+
+std::string format_bytes(double b) {
+  char buf[48];
+  if (b < 1024) {
+    std::snprintf(buf, sizeof buf, "%.0fB", b);
+  } else if (b < 1024.0 * 1024) {
+    std::snprintf(buf, sizeof buf, "%.1fKiB", b / 1024);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.1fMiB", b / (1024.0 * 1024));
+  }
+  return buf;
+}
+
+/// Latency histograms carry a _ns suffix or prefix; byte histograms end
+/// in _bytes. Everything else renders raw.
+std::string format_value(const std::string& hist_name, double v) {
+  if (hist_name.find("_ns") != std::string::npos) return format_ns(v);
+  if (hist_name.find("_bytes") != std::string::npos) return format_bytes(v);
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.0f", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string metrics_to_json() {
+  const MetricsSnapshot snap = metrics_snapshot();
+  std::string out = "{\"counters\":{";
+  for (unsigned i = 0; i < kCounterCount; ++i) {
+    if (i != 0) out += ',';
+    detail::append_json_string(out,
+                               counter_name(static_cast<Counter>(i)));
+    out += ':';
+    out += std::to_string(snap.counters[i]);
+  }
+  out += "},\"histograms\":{";
+  bool first_hist = true;
+  for (const auto& [name, data] : snap.histograms) {
+    if (!first_hist) out += ',';
+    first_hist = false;
+    detail::append_json_string(out, name);
+    out += ":{\"count\":";
+    out += std::to_string(data.count);
+    out += ",\"sum\":";
+    out += std::to_string(data.sum);
+    out += ",\"buckets\":{";
+    bool first_bucket = true;
+    for (int b = 0; b < kHistogramBuckets; ++b) {
+      const std::uint64_t n = data.buckets[static_cast<std::size_t>(b)];
+      if (n == 0) continue;
+      if (!first_bucket) out += ',';
+      first_bucket = false;
+      out += '"';
+      out += std::to_string(bucket_lower_bound(b));
+      out += "\":";
+      out += std::to_string(n);
+    }
+    out += "}}";
+  }
+  out += "}}";
+  return out;
+}
+
+std::string metrics_summary() {
+  const MetricsSnapshot snap = metrics_snapshot();
+  const auto counter = [&](Counter c) {
+    return snap.counters[static_cast<unsigned>(c)];
+  };
+  const std::uint64_t lookups = counter(Counter::kRegistryLookups);
+  const std::uint64_t static_hits = counter(Counter::kStaticHits);
+  const std::uint64_t memory_hits = counter(Counter::kMemoryHits);
+  const std::uint64_t disk_hits = counter(Counter::kDiskHits);
+  const std::uint64_t compiles = counter(Counter::kCompiles);
+  const std::uint64_t interp = counter(Counter::kInterpDispatches);
+
+  std::string out = "== pygb metrics ==\n";
+  char line[256];
+  std::snprintf(line, sizeof line,
+                "dispatch: %" PRIu64 " lookups | static %" PRIu64
+                " | jit-memory %" PRIu64 " | jit-disk %" PRIu64
+                " | compiled %" PRIu64 " | interp %" PRIu64 "\n",
+                lookups, static_hits, memory_hits, disk_hits, compiles,
+                interp);
+  out += line;
+  if (lookups > 0) {
+    const std::uint64_t cached = static_hits + memory_hits + disk_hits;
+    std::snprintf(line, sizeof line,
+                  "cache hit ratio: %.1f%% (%" PRIu64 "/%" PRIu64
+                  " resolved without a compile)\n",
+                  100.0 * static_cast<double>(cached) /
+                      static_cast<double>(lookups),
+                  cached, lookups);
+    out += line;
+  }
+  std::snprintf(line, sizeof line,
+                "compile: %" PRIu64 " modules, %s wall, %s of generated "
+                "source\n",
+                compiles,
+                format_ns(static_cast<double>(
+                              counter(Counter::kCompileNanos)))
+                    .c_str(),
+                format_bytes(static_cast<double>(
+                                 counter(Counter::kGeneratedSourceBytes)))
+                    .c_str());
+  out += line;
+  if (const std::uint64_t dropped = counter(Counter::kTraceEventsDropped);
+      dropped > 0) {
+    std::snprintf(line, sizeof line,
+                  "trace events dropped at buffer cap: %" PRIu64 "\n",
+                  dropped);
+    out += line;
+  }
+
+  if (!snap.histograms.empty()) {
+    out += "histograms:\n";
+    for (const auto& [name, data] : snap.histograms) {
+      if (data.count == 0) continue;
+      const double mean = static_cast<double>(data.sum) /
+                          static_cast<double>(data.count);
+      std::snprintf(
+          line, sizeof line,
+          "  %-36s n=%-8" PRIu64 " mean=%-9s p50~%-9s p95~%-9s p99~%s\n",
+          name.c_str(), data.count, format_value(name, mean).c_str(),
+          format_value(name, static_cast<double>(data.percentile(0.50)))
+              .c_str(),
+          format_value(name, static_cast<double>(data.percentile(0.95)))
+              .c_str(),
+          format_value(name, static_cast<double>(data.percentile(0.99)))
+              .c_str());
+      out += line;
+    }
+  }
+  return out;
+}
+
+}  // namespace pygb::obs

@@ -1,0 +1,56 @@
+// pygb/obs/trace_writer.cpp — Chrome trace_event JSON export. The output
+// is the "JSON Object Format" understood by Perfetto and chrome://tracing:
+// one complete ("X") event per span with microsecond timestamps.
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+
+#include "pygb/obs/obs.hpp"
+
+namespace pygb::obs {
+
+std::string chrome_trace_json() {
+  const std::vector<TraceEvent> events = collect_trace_events();
+  std::string out;
+  out.reserve(128 + events.size() * 96);
+  out += "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
+  bool first = true;
+  char buf[128];
+  for (const TraceEvent& e : events) {
+    if (!first) out += ',';
+    first = false;
+    // trace_event timestamps are microseconds; keep nanosecond precision
+    // with a fractional part.
+    std::snprintf(buf, sizeof buf,
+                  "{\"ph\":\"X\",\"pid\":1,\"tid\":%u,\"ts\":%" PRIu64
+                  ".%03u,\"dur\":%" PRIu64 ".%03u,\"cat\":\"pygb\",\"name\":",
+                  e.tid, e.start_ns / 1000,
+                  static_cast<unsigned>(e.start_ns % 1000), e.dur_ns / 1000,
+                  static_cast<unsigned>(e.dur_ns % 1000));
+    out += buf;
+    detail::append_json_string(out, e.name != nullptr ? e.name : "");
+    out += ",\"args\":{";
+    out += e.args;
+    out += "}}";
+  }
+  out += "]}";
+  return out;
+}
+
+bool write_chrome_trace(const std::string& path, std::string* error) {
+  std::ofstream file(path, std::ios::binary | std::ios::trunc);
+  if (!file) {
+    if (error != nullptr) *error = "cannot open '" + path + "' for writing";
+    return false;
+  }
+  const std::string json = chrome_trace_json();
+  file.write(json.data(), static_cast<std::streamsize>(json.size()));
+  file.flush();
+  if (!file) {
+    if (error != nullptr) *error = "short write to '" + path + "'";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace pygb::obs

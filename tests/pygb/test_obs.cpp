@@ -1,0 +1,533 @@
+// Tests: the pygb::obs observability layer — histogram bucket math, span
+// nesting and thread attribution, the zero-overhead disabled path, Chrome
+// trace_event JSON well-formedness (parsed back by a small validator), and
+// torn-event-free concurrent tracing. ObsPipelineTrace runs a real dispatch
+// and asserts one span per Fig. 9 pipeline stage lands in the trace.
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "pygb/obs/obs.hpp"
+#include "pygb/pygb.hpp"
+
+namespace {
+
+using namespace pygb;  // NOLINT
+
+// ---------------------------------------------------------------------------
+// A minimal JSON validator: parses the full grammar (objects, arrays,
+// strings with escapes, numbers, literals) and rejects trailing garbage.
+// Enough to prove the exporters emit well-formed documents.
+// ---------------------------------------------------------------------------
+
+class JsonValidator {
+ public:
+  explicit JsonValidator(std::string_view text) : s_(text) {}
+
+  bool valid() {
+    skip_ws();
+    if (!value()) return false;
+    skip_ws();
+    return pos_ == s_.size();
+  }
+
+ private:
+  bool value() {
+    if (pos_ >= s_.size()) return false;
+    switch (s_[pos_]) {
+      case '{':
+        return object();
+      case '[':
+        return array();
+      case '"':
+        return string();
+      case 't':
+        return literal("true");
+      case 'f':
+        return literal("false");
+      case 'n':
+        return literal("null");
+      default:
+        return number();
+    }
+  }
+
+  bool object() {
+    ++pos_;  // '{'
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      if (!string()) return false;
+      skip_ws();
+      if (peek() != ':') return false;
+      ++pos_;
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (peek() == '}') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool array() {
+    ++pos_;  // '['
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (peek() == ']') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool string() {
+    if (peek() != '"') return false;
+    ++pos_;
+    while (pos_ < s_.size()) {
+      const char c = s_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (static_cast<unsigned char>(c) < 0x20) return false;  // raw control
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= s_.size()) return false;
+        const char e = s_[pos_];
+        if (e == 'u') {
+          for (int k = 1; k <= 4; ++k) {
+            if (pos_ + k >= s_.size() ||
+                std::isxdigit(static_cast<unsigned char>(s_[pos_ + k])) == 0) {
+              return false;
+            }
+          }
+          pos_ += 4;
+        } else if (std::string_view("\"\\/bfnrt").find(e) ==
+                   std::string_view::npos) {
+          return false;
+        }
+      }
+      ++pos_;
+    }
+    return false;
+  }
+
+  bool number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (std::isdigit(peek_uc()) != 0) ++pos_;
+    if (peek() == '.') {
+      ++pos_;
+      if (std::isdigit(peek_uc()) == 0) return false;
+      while (std::isdigit(peek_uc()) != 0) ++pos_;
+    }
+    if (peek() == 'e' || peek() == 'E') {
+      ++pos_;
+      if (peek() == '+' || peek() == '-') ++pos_;
+      if (std::isdigit(peek_uc()) == 0) return false;
+      while (std::isdigit(peek_uc()) != 0) ++pos_;
+    }
+    return pos_ > start && std::isdigit(static_cast<unsigned char>(
+                               s_[pos_ - 1])) != 0;
+  }
+
+  bool literal(std::string_view word) {
+    if (s_.substr(pos_, word.size()) != word) return false;
+    pos_ += word.size();
+    return true;
+  }
+
+  char peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+  int peek_uc() const { return static_cast<unsigned char>(peek()); }
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\n' ||
+            s_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  std::string_view s_;
+  std::size_t pos_ = 0;
+};
+
+bool json_contains_name(const std::string& json, const std::string& name) {
+  return json.find("\"name\":\"" + name + "\"") != std::string::npos;
+}
+
+/// Every obs test starts and ends with both facilities off and empty.
+class ObsTest : public ::testing::Test {
+ protected:
+  void SetUp() override { reset(); }
+  void TearDown() override { reset(); }
+  static void reset() {
+    obs::set_tracing_enabled(false);
+    obs::set_metrics_enabled(false);
+    obs::clear_trace_events();
+    obs::reset_metrics();
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Histogram bucket math
+// ---------------------------------------------------------------------------
+
+using ObsHistogram = ObsTest;
+
+TEST_F(ObsHistogram, BucketMath) {
+  EXPECT_EQ(obs::value_bucket(0), 0);
+  EXPECT_EQ(obs::value_bucket(1), 1);
+  EXPECT_EQ(obs::value_bucket(2), 2);
+  EXPECT_EQ(obs::value_bucket(3), 2);
+  EXPECT_EQ(obs::value_bucket(4), 3);
+  EXPECT_EQ(obs::value_bucket(1023), 10);
+  EXPECT_EQ(obs::value_bucket(1024), 11);
+  EXPECT_EQ(obs::value_bucket(~std::uint64_t{0}), obs::kHistogramBuckets - 1);
+
+  EXPECT_EQ(obs::bucket_lower_bound(0), 0u);
+  EXPECT_EQ(obs::bucket_lower_bound(1), 1u);
+  EXPECT_EQ(obs::bucket_lower_bound(2), 2u);
+  EXPECT_EQ(obs::bucket_lower_bound(3), 4u);
+
+  // Every value lands in the bucket whose [lower, next-lower) range
+  // contains it (except the saturated top bucket).
+  for (std::uint64_t v : {1ull, 2ull, 3ull, 7ull, 8ull, 1000ull, 1ull << 40}) {
+    const int b = obs::value_bucket(v);
+    EXPECT_GE(v, obs::bucket_lower_bound(b)) << v;
+    if (b < obs::kHistogramBuckets - 1) {
+      EXPECT_LT(v, obs::bucket_lower_bound(b + 1)) << v;
+    }
+  }
+}
+
+TEST_F(ObsHistogram, RecordAggregatesAndPercentiles) {
+  obs::set_metrics_enabled(true);
+  for (std::uint64_t v : {1u, 2u, 4u, 8u}) {
+    obs::record_value("test_hist_ns", v);
+  }
+  const auto snap = obs::metrics_snapshot();
+  const auto it = snap.histograms.find("test_hist_ns");
+  ASSERT_NE(it, snap.histograms.end());
+  const auto& h = it->second;
+  EXPECT_EQ(h.count, 4u);
+  EXPECT_EQ(h.sum, 15u);
+  EXPECT_EQ(h.buckets[1], 1u);  // value 1
+  EXPECT_EQ(h.buckets[2], 1u);  // value 2
+  EXPECT_EQ(h.buckets[3], 1u);  // value 4
+  EXPECT_EQ(h.buckets[4], 1u);  // value 8
+  EXPECT_EQ(h.percentile(0.0), 1u);
+  EXPECT_EQ(h.percentile(0.5), 4u);
+  EXPECT_EQ(h.percentile(1.0), 8u);
+}
+
+TEST_F(ObsHistogram, DisabledRecordIsDropped) {
+  ASSERT_FALSE(obs::metrics_enabled());
+  obs::record_value("test_disabled_hist", 42);
+  const auto snap = obs::metrics_snapshot();
+  const auto it = snap.histograms.find("test_disabled_hist");
+  if (it != snap.histograms.end()) {
+    EXPECT_EQ(it->second.count, 0u);  // name may persist from other runs
+  }
+}
+
+TEST_F(ObsHistogram, ResetClearsCountsButKeepsNames) {
+  obs::set_metrics_enabled(true);
+  obs::record_value("test_reset_hist", 7);
+  obs::reset_metrics();
+  const auto snap = obs::metrics_snapshot();
+  const auto it = snap.histograms.find("test_reset_hist");
+  ASSERT_NE(it, snap.histograms.end());
+  EXPECT_EQ(it->second.count, 0u);
+  EXPECT_EQ(it->second.sum, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Counters
+// ---------------------------------------------------------------------------
+
+using ObsCounters = ObsTest;
+
+TEST_F(ObsCounters, AddReadReset) {
+  obs::reset_counters();
+  obs::counter_add(obs::Counter::kCompiles, 3);
+  obs::counter_add(obs::Counter::kCompiles);
+  EXPECT_EQ(obs::counter_value(obs::Counter::kCompiles), 4u);
+  obs::reset_counters();
+  EXPECT_EQ(obs::counter_value(obs::Counter::kCompiles), 0u);
+}
+
+TEST_F(ObsCounters, EveryCounterHasAName) {
+  std::set<std::string> names;
+  for (unsigned i = 0; i < obs::kCounterCount; ++i) {
+    const char* n = obs::counter_name(static_cast<obs::Counter>(i));
+    ASSERT_NE(n, nullptr);
+    EXPECT_TRUE(names.insert(n).second) << "duplicate counter name " << n;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Spans
+// ---------------------------------------------------------------------------
+
+using ObsSpan = ObsTest;
+
+TEST_F(ObsSpan, DisabledSpanIsInertAndEmitsNothing) {
+  ASSERT_FALSE(obs::tracing_enabled());
+  const std::size_t before = obs::trace_event_count();
+  {
+    obs::Span span("test.disabled");
+    EXPECT_FALSE(span.active());
+    span.attr("key", "value").attr("n", std::uint64_t{42});
+  }
+  EXPECT_EQ(obs::trace_event_count(), before);
+}
+
+TEST_F(ObsSpan, NestedSpansSortParentFirst) {
+  obs::set_tracing_enabled(true);
+  {
+    obs::Span outer("test.outer");
+    outer.attr("role", "parent");
+    {
+      obs::Span inner("test.inner");
+      inner.attr("role", "child");
+    }
+  }
+  obs::set_tracing_enabled(false);
+
+  const auto events = obs::collect_trace_events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_STREQ(events[0].name, "test.outer");
+  EXPECT_STREQ(events[1].name, "test.inner");
+  EXPECT_LE(events[0].start_ns, events[1].start_ns);
+  EXPECT_GE(events[0].start_ns + events[0].dur_ns,
+            events[1].start_ns + events[1].dur_ns);
+  EXPECT_EQ(events[0].tid, events[1].tid);
+  EXPECT_NE(events[0].args.find("\"role\":\"parent\""), std::string::npos);
+}
+
+TEST_F(ObsSpan, ThreadsGetDistinctStableTids) {
+  obs::set_tracing_enabled(true);
+  const std::uint32_t main_tid = obs::current_thread_tid();
+  std::uint32_t worker_tid = 0;
+  std::thread worker([&] {
+    obs::Span span("test.worker");
+    worker_tid = obs::current_thread_tid();
+  });
+  worker.join();
+  obs::set_tracing_enabled(false);
+
+  EXPECT_NE(main_tid, worker_tid);
+  EXPECT_EQ(obs::current_thread_tid(), main_tid);  // stable on re-query
+
+  bool saw_worker_event = false;
+  for (const auto& e : obs::collect_trace_events()) {
+    if (std::string_view(e.name) == "test.worker") {
+      saw_worker_event = true;
+      EXPECT_EQ(e.tid, worker_tid);
+    }
+  }
+  EXPECT_TRUE(saw_worker_event);
+}
+
+TEST_F(ObsSpan, ConcurrentTracingLosesNoEventsAndTearsNothing) {
+  constexpr int kThreads = 8;
+  constexpr int kSpansPerThread = 200;
+  obs::set_tracing_enabled(true);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t] {
+      for (int k = 0; k < kSpansPerThread; ++k) {
+        obs::Span span("test.concurrent");
+        span.attr("thread", std::int64_t{t}).attr("k", std::int64_t{k});
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  obs::set_tracing_enabled(false);
+
+  const auto events = obs::collect_trace_events();
+  ASSERT_EQ(events.size(),
+            static_cast<std::size_t>(kThreads) * kSpansPerThread);
+  std::set<std::uint32_t> tids;
+  for (const auto& e : events) {
+    EXPECT_STREQ(e.name, "test.concurrent");
+    EXPECT_GT(e.tid, 0u);
+    tids.insert(e.tid);
+    // Args must be a coherent JSON fragment, not an interleaving of two
+    // threads' writes.
+    EXPECT_NE(e.args.find("\"thread\":"), std::string::npos);
+    EXPECT_NE(e.args.find("\"k\":"), std::string::npos);
+    EXPECT_TRUE(JsonValidator("{" + e.args + "}").valid()) << e.args;
+  }
+  EXPECT_EQ(tids.size(), static_cast<std::size_t>(kThreads));
+}
+
+// ---------------------------------------------------------------------------
+// Exporters
+// ---------------------------------------------------------------------------
+
+using ObsTraceExport = ObsTest;
+
+TEST_F(ObsTraceExport, ChromeTraceJsonParsesBack) {
+  obs::set_tracing_enabled(true);
+  {
+    obs::Span span("test.export");
+    span.attr("text", "quote \" backslash \\ newline \n tab \t done")
+        .attr("count", std::uint64_t{7})
+        .attr("ratio", 0.5);
+  }
+  { obs::Span span("test.second"); }
+  obs::set_tracing_enabled(false);
+
+  const std::string json = obs::chrome_trace_json();
+  EXPECT_TRUE(JsonValidator(json).valid()) << json;
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_TRUE(json_contains_name(json, "test.export"));
+  EXPECT_TRUE(json_contains_name(json, "test.second"));
+}
+
+TEST_F(ObsTraceExport, WriteChromeTraceRoundTrips) {
+  obs::set_tracing_enabled(true);
+  { obs::Span span("test.file"); }
+  obs::set_tracing_enabled(false);
+
+  const auto path = (std::filesystem::temp_directory_path() /
+                     ("pygb_obs_trace_" + std::to_string(::getpid()) +
+                      ".json"))
+                        .string();
+  std::string error;
+  ASSERT_TRUE(obs::write_chrome_trace(path, &error)) << error;
+  std::ifstream in(path);
+  const std::string content((std::istreambuf_iterator<char>(in)),
+                            std::istreambuf_iterator<char>());
+  std::filesystem::remove(path);
+  EXPECT_TRUE(JsonValidator(content).valid());
+  EXPECT_TRUE(json_contains_name(content, "test.file"));
+}
+
+TEST_F(ObsTraceExport, WriteToUnwritablePathReportsError) {
+  std::string error;
+  EXPECT_FALSE(obs::write_chrome_trace(
+      "/nonexistent_dir_pygb/trace.json", &error));
+  EXPECT_FALSE(error.empty());
+}
+
+TEST_F(ObsTraceExport, MetricsJsonParsesBack) {
+  obs::set_metrics_enabled(true);
+  obs::record_value("test_json_hist", 123);
+  obs::counter_add(obs::Counter::kRegistryLookups, 5);
+  const std::string json = obs::metrics_to_json();
+  EXPECT_TRUE(JsonValidator(json).valid()) << json;
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"test_json_hist\""), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Pipeline instrumentation: one span per Fig. 9 stage
+// ---------------------------------------------------------------------------
+
+class ObsPipelineTrace : public ObsTest {
+ protected:
+  std::set<std::string> traced_names() {
+    std::set<std::string> names;
+    for (const auto& e : obs::collect_trace_events()) {
+      names.insert(e.name);
+    }
+    return names;
+  }
+};
+
+TEST_F(ObsPipelineTrace, StaticDispatchEmitsStageSpans) {
+  obs::set_tracing_enabled(true);
+  {
+    Matrix a({{1, 2}, {3, 4}});
+    Matrix c(2, 2);
+    c[None] = matmul(a, a);
+    EXPECT_DOUBLE_EQ(c.get(0, 0), 7.0);
+  }
+  obs::set_tracing_enabled(false);
+
+  const auto names = traced_names();
+  EXPECT_TRUE(names.count("pygb.eval"));
+  EXPECT_TRUE(names.count("pygb.dispatch"));
+  EXPECT_TRUE(names.count("registry.get"));
+  EXPECT_TRUE(names.count("kernel"));
+
+  // And the exported document carries them, well-formed.
+  const std::string json = obs::chrome_trace_json();
+  EXPECT_TRUE(JsonValidator(json).valid());
+  for (const char* stage :
+       {"pygb.eval", "pygb.dispatch", "registry.get", "kernel"}) {
+    EXPECT_TRUE(json_contains_name(json, stage)) << stage;
+  }
+}
+
+TEST_F(ObsPipelineTrace, ColdJitDispatchTracesCompileStages) {
+  auto& reg = jit::Registry::instance();
+  if (!reg.compiler_available()) {
+    GTEST_SKIP() << "no C++ compiler reachable";
+  }
+  const auto saved_mode = reg.mode();
+  const auto saved_dir = reg.cache_dir();
+  const auto cache_dir = (std::filesystem::temp_directory_path() /
+                          ("pygb_obs_jit_" + std::to_string(::getpid())))
+                             .string();
+  reg.set_cache_dir(cache_dir);
+  reg.clear_disk_cache();
+  reg.clear_memory_cache();
+  reg.set_mode(jit::Mode::kJit);
+
+  obs::set_tracing_enabled(true);
+  {
+    Matrix a({{1, 2}, {3, 4}});
+    Matrix c(2, 2);
+    c[None] = matmul(a, a);
+    EXPECT_DOUBLE_EQ(c.get(1, 1), 22.0);
+  }
+  obs::set_tracing_enabled(false);
+
+  reg.clear_disk_cache();
+  reg.set_cache_dir(saved_dir);
+  reg.set_mode(saved_mode);
+
+  const auto names = traced_names();
+  for (const char* stage : {"pygb.dispatch", "registry.get", "jit.codegen",
+                            "jit.compile", "jit.load", "kernel"}) {
+    EXPECT_TRUE(names.count(stage)) << "missing pipeline span: " << stage;
+  }
+  EXPECT_TRUE(JsonValidator(obs::chrome_trace_json()).valid());
+}
+
+}  // namespace

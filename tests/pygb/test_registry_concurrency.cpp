@@ -1,0 +1,170 @@
+// Tests: the registry's compile-concurrency contract — the mutex guards
+// only the in-memory maps, never a g++ invocation. A JIT compile in one
+// thread must not block a memory-cache hit for a different key, and
+// concurrent requests for the SAME cold key must coalesce into exactly one
+// compile (the waiters park on the per-key in-flight record).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <thread>
+#include <vector>
+
+#include "pygb/jit/compiler.hpp"
+#include "pygb/pygb.hpp"
+
+namespace {
+
+using namespace pygb;  // NOLINT
+using namespace pygb::jit;  // NOLINT
+using Clock = std::chrono::steady_clock;
+
+class RegistryConcurrency : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (!compiler_available()) {
+      GTEST_SKIP() << "no C++ compiler reachable; JIT tests skipped";
+    }
+    auto& reg = Registry::instance();
+    saved_mode_ = reg.mode();
+    saved_dir_ = reg.cache_dir();
+    cache_dir_ = (std::filesystem::temp_directory_path() /
+                  ("pygb_regcc_test_" + std::to_string(::getpid())))
+                     .string();
+    reg.set_cache_dir(cache_dir_);
+    reg.clear_disk_cache();
+    reg.clear_memory_cache();
+    reg.set_mode(Mode::kJit);
+    reg.reset_stats();
+  }
+  void TearDown() override {
+    if (!compiler_available()) return;
+    auto& reg = Registry::instance();
+    reg.clear_disk_cache();
+    reg.set_cache_dir(saved_dir_);
+    reg.set_mode(saved_mode_);
+  }
+  Mode saved_mode_;
+  std::string saved_dir_;
+  std::string cache_dir_;
+};
+
+TEST_F(RegistryConcurrency, CompileDoesNotBlockOtherKeys) {
+  auto& reg = Registry::instance();
+
+  // Warm one key (arithmetic mxm) into the memory cache.
+  {
+    Matrix a({{1, 2}, {3, 4}});
+    Matrix c(2, 2);
+    c[None] = matmul(a, a);
+    ASSERT_DOUBLE_EQ(c.get(0, 0), 7.0);
+  }
+  ASSERT_EQ(reg.stats().compiles, 1u);
+
+  // Kick off a cold compile of a DIFFERENT key (min-plus mxm) in a
+  // background thread. JIT compiles pull in the full gbtl headers, so this
+  // holds the compiler for a long stretch relative to a cache hit.
+  std::atomic<bool> compile_done{false};
+  std::thread compiler_thread([&] {
+    With ctx(MinPlusSemiring());
+    Matrix a({{1, 2}, {3, 4}});
+    Matrix c(2, 2);
+    c[None] = matmul(a, a);
+    compile_done = true;
+  });
+
+  // Wait until the compile is registered in flight.
+  const auto deadline = Clock::now() + std::chrono::seconds(30);
+  while (reg.inflight_count() == 0 && !compile_done &&
+         Clock::now() < deadline) {
+    std::this_thread::yield();
+  }
+
+  // While that compile runs, memory-cache hits for the warm key must go
+  // straight through. Each hit is microseconds; a hit that serialized
+  // behind the compile would take its full duration.
+  int hits_during_compile = 0;
+  Matrix a({{1, 2}, {3, 4}});
+  while (!compile_done) {
+    const auto t0 = Clock::now();
+    Matrix c(2, 2);
+    c[None] = matmul(a, a);
+    const auto elapsed = Clock::now() - t0;
+    ASSERT_DOUBLE_EQ(c.get(1, 1), 22.0);
+    if (reg.inflight_count() > 0) {
+      ++hits_during_compile;
+      EXPECT_LT(elapsed, std::chrono::seconds(1))
+          << "memory-cache hit appears to have waited behind the compile";
+    }
+  }
+  compiler_thread.join();
+
+  EXPECT_GT(hits_during_compile, 0)
+      << "never observed a cache hit while the compile was in flight";
+  EXPECT_EQ(reg.inflight_count(), 0u);
+  const auto st = reg.stats();
+  EXPECT_EQ(st.compiles, 2u);  // one per distinct key, none repeated
+  EXPECT_GT(st.memory_hits, 0u);
+}
+
+TEST_F(RegistryConcurrency, ConcurrentSameKeyCompilesOnce) {
+  auto& reg = Registry::instance();
+  constexpr int kThreads = 4;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      Matrix a({{1, 2}, {3, 4}});
+      Matrix c(2, 2);
+      c[None] = matmul(a, a);
+      if (c.get(0, 0) != 7.0 || c.get(1, 1) != 22.0) ++failures;
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  EXPECT_EQ(failures.load(), 0);
+  const auto st = reg.stats();
+  EXPECT_EQ(st.compiles, 1u)
+      << "same-key requests must coalesce into one g++ invocation";
+  EXPECT_EQ(st.lookups, static_cast<std::size_t>(kThreads));
+  // Every non-compiling thread either waited on the in-flight record or
+  // arrived after completion; both count as memory hits.
+  EXPECT_EQ(st.memory_hits, static_cast<std::size_t>(kThreads - 1));
+  EXPECT_EQ(reg.inflight_count(), 0u);
+}
+
+TEST_F(RegistryConcurrency, InFlightErrorPropagatesToWaiters) {
+  // With the compiler "available" but the cache dir unusable, the build
+  // fails; both the owner and any waiter must see the exception and the
+  // in-flight record must not leak. A path below a regular file cannot be
+  // created by any user (ENOTDIR), unlike a merely missing directory.
+  auto& reg = Registry::instance();
+  const auto blocker = (std::filesystem::temp_directory_path() /
+                        ("pygb_regcc_blocker_" + std::to_string(::getpid())))
+                           .string();
+  { std::ofstream(blocker) << "not a directory"; }
+  reg.set_cache_dir(blocker + "/cache");
+  constexpr int kThreads = 3;
+  std::atomic<int> errors{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      try {
+        Matrix a({{1, 2}, {3, 4}});
+        Matrix c(2, 2);
+        c[None] = matmul(a, a);
+      } catch (const std::exception&) {
+        ++errors;
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(errors.load(), kThreads);
+  EXPECT_EQ(reg.inflight_count(), 0u);
+  reg.set_cache_dir(cache_dir_);
+  std::filesystem::remove(blocker);
+}
+
+}  // namespace

@@ -9,9 +9,17 @@
 //                --threshold X     PageRank convergence        (default 1e-5)
 //                --tier dsl|whole|native   implementation tier (default dsl)
 //                --top K           print the K best-ranked rows (default 10)
+//                --trace FILE      write a Chrome trace_event JSON of the
+//                                  dispatch pipeline (open in Perfetto)
+//                --stats           print the end-of-run metrics summary
+//                                  (kernel-time histograms, cache hit
+//                                  ratio, compile seconds)
+//
+// PYGB_TRACE=<file> / PYGB_METRICS=1 activate the same observability
+// surfaces from the environment — see docs/OBSERVABILITY.md.
 //
 // Exercises the full public stack: direct file loading (§VIII), the DSL,
-// whole-algorithm dispatch, and the registry statistics.
+// whole-algorithm dispatch, and the observability layer.
 #include <algorithm>
 #include <cstring>
 #include <iostream>
@@ -25,6 +33,7 @@
 #include "algorithms/pagerank.hpp"
 #include "algorithms/sssp.hpp"
 #include "algorithms/triangle_count.hpp"
+#include "pygb/obs/obs.hpp"
 #include "pygb/pygb.hpp"
 
 namespace {
@@ -39,6 +48,8 @@ struct Options {
   double threshold = 1e-5;
   std::string tier = "dsl";
   std::size_t top = 10;
+  std::string trace_path;
+  bool stats = false;
 };
 
 [[noreturn]] void usage(const char* argv0) {
@@ -46,7 +57,8 @@ struct Options {
       << "usage: " << argv0
       << " <bfs|sssp|pagerank|tc|cc|bc|info> <graph-file> [options]\n"
          "  --source N   --damping X   --threshold X\n"
-         "  --tier dsl|whole|native    --top K\n";
+         "  --tier dsl|whole|native    --top K\n"
+         "  --trace FILE (Chrome trace JSON)   --stats (metrics summary)\n";
   std::exit(2);
 }
 
@@ -71,6 +83,10 @@ Options parse(int argc, char** argv) {
       o.tier = value();
     } else if (flag == "--top") {
       o.top = std::strtoull(value().c_str(), nullptr, 10);
+    } else if (flag == "--trace") {
+      o.trace_path = value();
+    } else if (flag == "--stats") {
+      o.stats = true;
     } else {
       std::cerr << "unknown option: " << flag << "\n";
       usage(argv[0]);
@@ -214,6 +230,8 @@ int run_info(const Matrix& graph) {
 
 int main(int argc, char** argv) {
   const Options o = parse(argc, argv);
+  if (!o.trace_path.empty()) pygb::obs::set_tracing_enabled(true);
+  if (o.stats) pygb::obs::set_metrics_enabled(true);
   try {
     Matrix graph = Matrix::from_file(o.path);
     std::cout << "loaded " << o.path << ": " << graph.nrows()
@@ -238,10 +256,23 @@ int main(int argc, char** argv) {
       usage(argv[0]);
     }
 
-    const auto st = pygb::jit::Registry::instance().stats();
-    std::cout << "[dispatch: " << st.lookups << " ops, " << st.static_hits
-              << " static, " << st.compiles << " compiled, "
-              << st.interp_dispatches << " interpreted]\n";
+    if (o.stats) {
+      std::cout << pygb::obs::metrics_summary();
+    } else {
+      const auto st = pygb::jit::Registry::instance().stats();
+      std::cout << "[dispatch: " << st.lookups << " ops, " << st.static_hits
+                << " static, " << st.compiles << " compiled, "
+                << st.interp_dispatches << " interpreted]\n";
+    }
+    if (!o.trace_path.empty()) {
+      std::string error;
+      if (pygb::obs::write_chrome_trace(o.trace_path, &error)) {
+        std::cout << "trace written to " << o.trace_path << " ("
+                  << pygb::obs::trace_event_count() << " events)\n";
+      } else {
+        std::cerr << "error writing trace: " << error << "\n";
+      }
+    }
     return rc;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
