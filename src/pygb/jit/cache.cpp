@@ -1,0 +1,172 @@
+#include "pygb/jit/cache.hpp"
+
+#include <fcntl.h>
+#include <sys/file.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <filesystem>
+#include <string_view>
+#include <vector>
+
+#include "pygb/jit/compiler.hpp"
+#include "pygb/jit/registry.hpp"
+
+namespace pygb::jit {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr std::string_view kTmpSuffix = ".tmp";
+constexpr std::string_view kLogSuffix = ".log";
+constexpr std::string_view kBadSuffix = ".bad";
+
+bool ends_with(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.substr(s.size() - suffix.size()) == suffix;
+}
+
+std::string hex64(std::uint64_t v) {
+  static const char* digits = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = digits[v & 0xf];
+    v >>= 4;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string cache_stamp() {
+  return "pygb-cache-v" + std::to_string(kCacheSchemaVersion) + "|" +
+         compiler_identity() + "|" + compile_flags() + "|include=" +
+         source_include_dir();
+}
+
+std::string module_stamp(const std::string& key) {
+  return cache_stamp() + "|key=" + key;
+}
+
+std::string module_stem(const std::string& key) {
+  return "pygb_" + hex64(key_hash(key)) + "_" + hex64(key_hash(cache_stamp()));
+}
+
+std::uint64_t cache_max_bytes() {
+  const char* v = std::getenv("PYGB_CACHE_MAX_BYTES");
+  if (v == nullptr || *v == '\0') return 0;
+  return std::strtoull(v, nullptr, 10);
+}
+
+bool quarantine_module(const std::string& so_path) {
+  std::error_code ec;
+  const fs::path bad(so_path + std::string(kBadSuffix));
+  fs::rename(so_path, bad, ec);
+  if (!ec) return true;
+  fs::remove(so_path, ec);
+  return !fs::exists(so_path, ec);
+}
+
+std::size_t clean_cache_litter(const std::string& dir) {
+  std::error_code ec;
+  std::size_t removed = 0;
+  const auto now = fs::file_time_type::clock::now();
+  constexpr auto kStaleAge = std::chrono::hours(1);
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    if (!entry.is_regular_file(ec)) continue;
+    const std::string name = entry.path().filename().string();
+    if (!ends_with(name, kTmpSuffix) && !ends_with(name, kLogSuffix)) {
+      continue;
+    }
+    const auto mtime = entry.last_write_time(ec);
+    if (ec || now - mtime < kStaleAge) continue;
+    if (fs::remove(entry.path(), ec) && !ec) ++removed;
+  }
+  return removed;
+}
+
+std::uint64_t enforce_cache_cap(const std::string& dir,
+                                std::uint64_t max_bytes) {
+  if (max_bytes == 0) return 0;
+  std::error_code ec;
+
+  struct Module {
+    fs::path so;
+    fs::file_time_type mtime;
+    std::uint64_t bytes = 0;  ///< .so plus its sibling .cpp
+  };
+  std::vector<Module> modules;
+  std::uint64_t total = 0;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    if (!entry.is_regular_file(ec)) continue;
+    const std::uint64_t sz = entry.file_size(ec);
+    if (ec) continue;
+    total += sz;
+    if (entry.path().extension() == ".so") {
+      Module m;
+      m.so = entry.path();
+      m.mtime = entry.last_write_time(ec);
+      m.bytes = sz;
+      fs::path src = entry.path();
+      src.replace_extension(".cpp");
+      const std::uint64_t src_sz = fs::file_size(src, ec);
+      if (!ec) m.bytes += src_sz;
+      modules.push_back(std::move(m));
+    }
+  }
+  if (total <= max_bytes || modules.size() <= 1) return 0;
+
+  std::sort(modules.begin(), modules.end(),
+            [](const Module& a, const Module& b) { return a.mtime < b.mtime; });
+  std::uint64_t evicted = 0;
+  // Oldest first; the newest module (back of the sorted list) is never
+  // evicted — it is usually the one the caller just published.
+  for (std::size_t i = 0; i + 1 < modules.size() && total - evicted > max_bytes;
+       ++i) {
+    fs::path src = modules[i].so;
+    src.replace_extension(".cpp");
+    fs::remove(src, ec);
+    if (fs::remove(modules[i].so, ec)) evicted += modules[i].bytes;
+  }
+  return evicted;
+}
+
+CacheInfo cache_info(const std::string& dir) {
+  CacheInfo info;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    if (!entry.is_regular_file(ec)) continue;
+    const std::uint64_t sz = entry.file_size(ec);
+    if (!ec) info.total_bytes += sz;
+    const std::string name = entry.path().filename().string();
+    if (entry.path().extension() == ".so") {
+      ++info.modules;
+    } else if (ends_with(name, kBadSuffix)) {
+      ++info.quarantined;
+    } else if (ends_with(name, kLogSuffix)) {
+      ++info.logs;
+    }
+  }
+  return info;
+}
+
+FileLock::FileLock(const std::string& path) {
+  fd_ = ::open(path.c_str(), O_CREAT | O_RDWR | O_CLOEXEC, 0644);
+  if (fd_ < 0) return;
+  if (::flock(fd_, LOCK_EX) != 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+FileLock::~FileLock() {
+  if (fd_ >= 0) {
+    ::flock(fd_, LOCK_UN);
+    ::close(fd_);
+  }
+}
+
+}  // namespace pygb::jit

@@ -1,0 +1,112 @@
+// pygb/jit/cache.hpp — disk-tier management for the Fig. 9 module cache.
+//
+// The disk cache is shared state: many processes (and many runs, across
+// compiler upgrades and flag changes) read and write one directory. This
+// header owns everything that makes that safe:
+//
+//   * the cache STAMP — a string identifying the cache schema, the
+//     compiler, the compile flags, and the pygb version. It is hashed into
+//     every module filename and embedded verbatim in every generated module
+//     (the `pygb_module_stamp` symbol), so a stale directory or a 64-bit
+//     key-hash collision can never silently return the wrong kernel:
+//     load-time verification compares the embedded stamp+key against what
+//     the requester expects.
+//   * per-stem advisory FILE LOCKS (flock) so two *processes* racing on the
+//     same cold key coalesce onto one g++ invocation (PR 1's in-flight
+//     records handle threads within a process).
+//   * QUARANTINE for modules that fail to load or fail verification: the
+//     file is renamed to `<name>.bad` (kept for inspection, never retried)
+//     and the caller recompiles.
+//   * HYGIENE — size-capped LRU-by-mtime eviction (PYGB_CACHE_MAX_BYTES)
+//     and startup removal of stale `.tmp.so` / `.log` litter left by
+//     crashed compiles.
+//
+// Layout of a cache directory (see docs/CACHE.md):
+//   pygb_<keyhash>_<stamphash>.cpp          generated translation unit
+//   pygb_<keyhash>_<stamphash>.so           published module (atomic rename)
+//   pygb_<keyhash>_<stamphash>.so.<pid>.tmp in-progress compile output
+//   pygb_<keyhash>_<stamphash>.so.bad       quarantined corrupt module
+//   pygb_<keyhash>_<stamphash>.lock         advisory flock file
+//   pygb_<keyhash>_<stamphash>.so.log       diagnostics of a FAILED compile
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace pygb::jit {
+
+/// Bumped whenever the generated-module ABI changes (KernelArgs layout,
+/// stamp symbol format, filename scheme).
+inline constexpr int kCacheSchemaVersion = 2;
+
+/// The full environment stamp: schema version, compiler identity and
+/// flags, pygb version. Computed once per (process, compiler command) and
+/// cached. Example: "pygb-cache-v2|g++ (GCC) 13.2.0|-std=c++20 -O2 ...".
+std::string cache_stamp();
+
+/// The stamp a generated module must carry to satisfy `key`: the cache
+/// stamp plus the full dispatch key (so hash collisions are caught even
+/// though filenames only carry 64-bit hashes).
+std::string module_stamp(const std::string& key);
+
+/// Filename stem for `key` under the current stamp:
+/// "pygb_<hex keyhash>_<hex stamphash>".
+std::string module_stem(const std::string& key);
+
+/// Name of the exported verification symbol in generated modules.
+inline constexpr const char* kStampSymbol = "pygb_module_stamp";
+
+/// Prefix baked into the stamp payload so verification can locate it by
+/// scanning the module file's bytes BEFORE dlopen — an unverified module
+/// must never get to run its initializers, and glibc caches dlopen'd
+/// objects by path name, so a bad file must be rejected without loading.
+inline constexpr const char* kStampMarker = "PYGB-STAMP:";
+
+/// PYGB_CACHE_MAX_BYTES (0 = unlimited, the default).
+std::uint64_t cache_max_bytes();
+
+/// Rename a failing module to `<path>.bad` (best effort; falls back to
+/// removal). Returns true if the file is no longer at `path`.
+bool quarantine_module(const std::string& so_path);
+
+/// Delete stale compile litter — `.tmp` outputs and `.log` files older
+/// than one hour (young litter may belong to a live compile in another
+/// process). Returns the number of files removed. Called on registry
+/// startup and whenever the cache directory changes.
+std::size_t clean_cache_litter(const std::string& dir);
+
+/// Evict least-recently-touched modules (`.so` + its `.cpp`) until the
+/// directory's total size is within `max_bytes`. The newest module is
+/// never evicted (the one just published must survive). Returns bytes
+/// evicted. No-op when max_bytes == 0.
+std::uint64_t enforce_cache_cap(const std::string& dir,
+                                std::uint64_t max_bytes);
+
+/// Aggregate numbers for `pygb_cli --cache-info`.
+struct CacheInfo {
+  std::uint64_t modules = 0;      ///< published .so files
+  std::uint64_t total_bytes = 0;  ///< all files in the directory
+  std::uint64_t quarantined = 0;  ///< .bad files
+  std::uint64_t logs = 0;         ///< failed-compile .log files
+};
+CacheInfo cache_info(const std::string& dir);
+
+/// RAII advisory lock on `path` (flock LOCK_EX; the file is created if
+/// absent and left in place — flock metadata lives in the kernel, not the
+/// file). Degrades to unlocked-but-functional when the file cannot be
+/// opened (read-only cache dir): correctness never depends on the lock,
+/// only compile coalescing does.
+class FileLock {
+ public:
+  explicit FileLock(const std::string& path);
+  ~FileLock();
+  FileLock(const FileLock&) = delete;
+  FileLock& operator=(const FileLock&) = delete;
+
+  bool held() const noexcept { return fd_ >= 0; }
+
+ private:
+  int fd_ = -1;
+};
+
+}  // namespace pygb::jit

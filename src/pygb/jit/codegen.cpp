@@ -3,6 +3,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "pygb/jit/cache.hpp"
+
 namespace pygb::jit {
 
 namespace {
@@ -22,6 +24,32 @@ std::string binop_tpl(BinaryOpName op) {
 }
 
 std::string bool_lit(bool b) { return b ? "true" : "false"; }
+
+/// Escape an arbitrary string into a C++ string literal body.
+std::string cpp_string_escaped(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    if (c == '\\' || c == '"') {
+      out += '\\';
+      out += c;
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+/// The exported verification symbol (empty stamp → none, for unit tests
+/// exercising bare codegen). The payload carries the kStampMarker prefix
+/// so load_kernel can find it by scanning the file before dlopen.
+std::string stamp_symbol_def(const std::string& stamp) {
+  if (stamp.empty()) return {};
+  return "\nextern \"C\" const char pygb_module_stamp[] = \"" +
+         cpp_string_escaped(std::string(kStampMarker) + stamp) + "\";\n";
+}
 
 std::string mask_kind_expr(MaskKind mk) {
   switch (mk) {
@@ -177,7 +205,8 @@ std::string chain_operand(const FusedChainDesc& chain, int idx,
   return transposed ? "gbtl::transpose(" + ref + ")" : ref;
 }
 
-std::string generate_chain_source(const FusedChainDesc& chain) {
+std::string generate_chain_source(const FusedChainDesc& chain,
+                                  const std::string& stamp) {
   std::ostringstream aux;
   std::ostringstream body;
   int aux_counter = 0;
@@ -282,14 +311,15 @@ std::string generate_chain_source(const FusedChainDesc& chain) {
       << aux.str() << "\n"
       << "extern \"C\" void pygb_kernel(const pygb::jit::KernelArgs* args) "
          "{\n"
-      << body.str() << "}\n";
+      << body.str() << "}\n"
+      << stamp_symbol_def(stamp);
   return src.str();
 }
 
 }  // namespace
 
-std::string generate_source(const OpRequest& req) {
-  if (req.chain) return generate_chain_source(*req.chain);
+std::string generate_source(const OpRequest& req, const std::string& stamp) {
+  if (req.chain) return generate_chain_source(*req.chain, stamp);
   std::ostringstream aux;   // module-local helper structs
   std::ostringstream inst;  // the run_* instantiation expression
   int aux_counter = 0;
@@ -384,7 +414,8 @@ std::string generate_source(const OpRequest& req) {
       << "extern \"C\" void pygb_kernel(const pygb::jit::KernelArgs* args) "
          "{\n"
       << "  " << inst.str() << "(args);\n"
-      << "}\n";
+      << "}\n"
+      << stamp_symbol_def(stamp);
   return src.str();
 }
 

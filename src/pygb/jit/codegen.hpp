@@ -12,6 +12,12 @@ namespace pygb::jit {
 /// Generate the complete C++ source for the request's kernel module.
 /// Throws std::invalid_argument for requests no backend could satisfy
 /// (unknown func names, missing operators).
-std::string generate_source(const OpRequest& req);
+///
+/// When `stamp` is non-empty the module additionally exports it as the
+/// `pygb_module_stamp` string, which load_kernel() verifies against the
+/// requester's expectation (see pygb/jit/cache.hpp) — the guard against
+/// hash collisions and environment drift in the shared disk cache.
+std::string generate_source(const OpRequest& req,
+                            const std::string& stamp = {});
 
 }  // namespace pygb::jit

@@ -1,8 +1,13 @@
 #include "pygb/jit/compiler.hpp"
 
+#include <sys/wait.h>
+
 #include <chrono>
+#include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
+#include <map>
 #include <mutex>
 #include <sstream>
 
@@ -42,6 +47,29 @@ std::string quoted(const std::string& s) {
   return out;
 }
 
+/// std::system returns a wait(2) status, not an exit code: decode it.
+bool exited_zero(int rc) {
+  return rc != -1 && WIFEXITED(rc) && WEXITSTATUS(rc) == 0;
+}
+
+std::string describe_status(int rc) {
+  if (rc == -1) return "system() failed to launch a shell";
+  if (WIFEXITED(rc)) {
+    return "exit status " + std::to_string(WEXITSTATUS(rc));
+  }
+  if (WIFSIGNALED(rc)) {
+    return "killed by signal " + std::to_string(WTERMSIG(rc));
+  }
+  return "unrecognized wait status " + std::to_string(rc);
+}
+
+/// Probe results keyed by what they depend on, so a PYGB_CXX /
+/// PYGB_INCLUDE_DIR change mid-process re-probes (the old once_flag
+/// cached the very first answer forever).
+std::mutex g_probe_mu;
+std::map<std::string, bool> g_available;       // "<cmd>\x1f<include dir>"
+std::map<std::string, std::string> g_identity;  // "<cmd>"
+
 }  // namespace
 
 std::string compiler_command() { return env_or("PYGB_CXX", "g++"); }
@@ -50,14 +78,18 @@ std::string source_include_dir() {
   return env_or("PYGB_INCLUDE_DIR", PYGB_SOURCE_INCLUDE_DIR);
 }
 
+std::string compile_flags() {
+  return "-std=c++20 -O2 -DNDEBUG -shared -fPIC";
+}
+
 CompileResult compile_module(const std::string& source_path,
                              const std::string& output_path) {
   CompileResult result;
   const std::string log_path = output_path + ".log";
   std::ostringstream cmd;
-  cmd << compiler_command() << " -std=c++20 -O2 -DNDEBUG -shared -fPIC"
-      << " -I" << quoted(source_include_dir()) << ' ' << quoted(source_path)
-      << " -o " << quoted(output_path) << " 2> " << quoted(log_path);
+  cmd << compiler_command() << ' ' << compile_flags() << " -I"
+      << quoted(source_include_dir()) << ' ' << quoted(source_path) << " -o "
+      << quoted(output_path) << " 2> " << quoted(log_path);
 
   obs::Span span("jit.compile");
   span.attr("source", source_path).attr("output", output_path);
@@ -66,29 +98,60 @@ CompileResult compile_module(const std::string& source_path,
   const int rc = std::system(cmd.str().c_str());
   const auto end = std::chrono::steady_clock::now();
   result.seconds = std::chrono::duration<double>(end - start).count();
-  result.ok = (rc == 0);
+  result.ok = exited_zero(rc);
   span.attr("ok", static_cast<std::int64_t>(result.ok ? 1 : 0));
   obs::record_value(
       "compile_ns",
       static_cast<std::uint64_t>(
           std::chrono::duration_cast<std::chrono::nanoseconds>(end - start)
               .count()));
-  if (!result.ok) {
-    result.log = "command: " + cmd.str() + "\n" + read_file(log_path);
+  std::error_code ec;
+  if (result.ok) {
+    std::filesystem::remove(log_path, ec);
+  } else {
+    result.log = "command: " + cmd.str() + "\ncompiler " +
+                 describe_status(rc) + "\n" + read_file(log_path);
   }
   return result;
 }
 
 bool compiler_available() {
-  static std::once_flag probed;
-  static bool available = false;
-  std::call_once(probed, [] {
-    const std::string cmd =
-        compiler_command() + " --version > /dev/null 2>&1";
-    available = (std::system(cmd.c_str()) == 0) &&
-                !source_include_dir().empty();
-  });
+  const std::string include_dir = source_include_dir();
+  const std::string key = compiler_command() + '\x1f' + include_dir;
+  {
+    std::lock_guard lock(g_probe_mu);
+    if (auto it = g_available.find(key); it != g_available.end()) {
+      return it->second;
+    }
+  }
+  const std::string cmd = compiler_command() + " --version > /dev/null 2>&1";
+  const bool available =
+      exited_zero(std::system(cmd.c_str())) && !include_dir.empty();
+  std::lock_guard lock(g_probe_mu);
+  g_available.emplace(key, available);
   return available;
+}
+
+std::string compiler_identity() {
+  const std::string cmd = compiler_command();
+  {
+    std::lock_guard lock(g_probe_mu);
+    if (auto it = g_identity.find(cmd); it != g_identity.end()) {
+      return it->second;
+    }
+  }
+  std::string line;
+  if (FILE* pipe = ::popen((cmd + " --version 2>/dev/null").c_str(), "r")) {
+    char buf[256];
+    if (std::fgets(buf, sizeof buf, pipe) != nullptr) line = buf;
+    ::pclose(pipe);
+  }
+  while (!line.empty() && (line.back() == '\n' || line.back() == '\r')) {
+    line.pop_back();
+  }
+  if (line.empty()) line = cmd;  // unprobeable: the command is the identity
+  std::lock_guard lock(g_probe_mu);
+  return g_identity.emplace(cmd, std::move(line)).first->second;
 }
 
 }  // namespace pygb::jit

@@ -14,14 +14,29 @@ struct CompileResult {
 /// Compile `source_path` into a shared object at `output_path` against the
 /// project's headers. The compiler binary comes from PYGB_CXX (default
 /// "g++" / "c++"); flags mirror the library's own build (-std=c++20 -O2).
+/// The exit status is decoded with WIFEXITED/WIFSIGNALED so a shell
+/// failure or a signal-killed compiler is reported accurately; the stderr
+/// capture file (`<output>.log`) is removed on success and kept (and
+/// folded into `log`) on failure.
 CompileResult compile_module(const std::string& source_path,
                              const std::string& output_path);
 
-/// True when a working C++ compiler is reachable (cached after first probe).
+/// True when a working C++ compiler is reachable. The probe is cached per
+/// (compiler command, include dir), so changing PYGB_CXX mid-process (as
+/// tests do) re-probes instead of returning a stale answer.
 bool compiler_available();
 
 /// The compiler command used (for diagnostics and bench output).
 std::string compiler_command();
+
+/// First line of `<compiler> --version` — the compiler identity baked
+/// into the cache stamp (see pygb/jit/cache.hpp). Cached per command;
+/// falls back to the command string when the probe fails.
+std::string compiler_identity();
+
+/// The exact flag string passed to the compiler for generated modules —
+/// part of the cache stamp, since flag drift changes module ABI.
+std::string compile_flags();
 
 /// The include directory holding the project sources that generated
 /// modules compile against (baked in at build time, overridable via

@@ -2,13 +2,48 @@
 
 #include <dlfcn.h>
 
+#include <fstream>
+#include <iterator>
+
+#include "pygb/jit/cache.hpp"
 #include "pygb/obs/obs.hpp"
 
 namespace pygb::jit {
 
-KernelFn load_kernel(const std::string& so_path, std::string* error) {
+namespace {
+
+/// True when the file's bytes contain the NUL-terminated stamp payload.
+/// Verification runs BEFORE dlopen on purpose: an unverified module must
+/// never execute its initializers, and glibc resolves dlopen by path name
+/// against already-loaded objects, so a bad file has to be rejected
+/// without ever being mapped under its path. The trailing NUL makes a
+/// shorter key's stamp unable to match inside a longer key's module.
+bool file_carries_stamp(const std::string& path, const std::string& stamp) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  std::string needle = std::string(kStampMarker) + stamp;
+  needle.push_back('\0');
+  return bytes.find(needle) != std::string::npos;
+}
+
+}  // namespace
+
+KernelFn load_kernel(const std::string& so_path, std::string* error,
+                     const std::string& expected_stamp) {
   obs::Span span("jit.load");
   span.attr("module", so_path);
+  if (!expected_stamp.empty() &&
+      !file_carries_stamp(so_path, expected_stamp)) {
+    if (error != nullptr) {
+      *error = "module lacks the expected verification stamp (built by a "
+               "different compiler/flags/schema, a colliding key, or "
+               "corrupt); want '" +
+               expected_stamp + "'";
+    }
+    return nullptr;
+  }
   void* handle = dlopen(so_path.c_str(), RTLD_NOW | RTLD_LOCAL);
   if (handle == nullptr) {
     if (error != nullptr) {

@@ -14,6 +14,13 @@ inline constexpr const char* kKernelSymbol = "pygb_kernel";
 /// nullptr and fills *error on failure. Handles are kept open for the
 /// process lifetime (modules are cached, never unloaded — matching
 /// Python's importlib behaviour).
-KernelFn load_kernel(const std::string& so_path, std::string* error);
+///
+/// When `expected_stamp` is non-empty the module must export a
+/// `pygb_module_stamp` string equal to it (see pygb/jit/cache.hpp). A
+/// missing or mismatched stamp — a module built by a different compiler,
+/// different flags, an older cache schema, or a 64-bit key-hash collision
+/// — fails the load instead of silently running the wrong kernel.
+KernelFn load_kernel(const std::string& so_path, std::string* error,
+                     const std::string& expected_stamp = {});
 
 }  // namespace pygb::jit

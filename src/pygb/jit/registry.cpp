@@ -1,10 +1,14 @@
 #include "pygb/jit/registry.hpp"
 
+#include <unistd.h>
+
 #include <condition_variable>
+#include <cstdio>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
 
+#include "pygb/jit/cache.hpp"
 #include "pygb/jit/codegen.hpp"
 #include "pygb/jit/compiler.hpp"
 #include "pygb/jit/loader.hpp"
@@ -71,12 +75,14 @@ Registry::Registry() {
   } else {
     cache_dir_ = (fs::temp_directory_path() / "pygb_module_cache").string();
   }
+  clean_cache_litter(cache_dir_);
   register_static_kernels(*this);
 }
 
 Registry::~Registry() = default;
 
 void Registry::register_static(const std::string& key, KernelFn fn) {
+  std::lock_guard lock(static_mu_);
   static_table_.emplace(key, fn);
 }
 
@@ -86,18 +92,23 @@ std::string Registry::cache_dir() const {
 }
 
 void Registry::set_cache_dir(const std::string& dir) {
-  std::lock_guard lock(mu_);
-  cache_dir_ = dir;
+  {
+    std::lock_guard lock(mu_);
+    cache_dir_ = dir;
+  }
+  clean_cache_litter(dir);
 }
 
 void Registry::clear_memory_cache() {
   std::lock_guard lock(mu_);
   memory_cache_.clear();
+  failed_jit_keys_.clear();
 }
 
 void Registry::clear_disk_cache() {
   std::lock_guard lock(mu_);
   memory_cache_.clear();
+  failed_jit_keys_.clear();
   std::error_code ec;
   fs::remove_all(cache_dir_, ec);
 }
@@ -111,6 +122,9 @@ RegistryStats Registry::stats() const {
   s.compiles = obs::counter_value(obs::Counter::kCompiles);
   s.interp_dispatches =
       obs::counter_value(obs::Counter::kInterpDispatches);
+  s.jit_fallbacks = obs::counter_value(obs::Counter::kJitFallbacks);
+  s.cache_quarantines =
+      obs::counter_value(obs::Counter::kCacheQuarantines);
   s.compile_seconds =
       static_cast<double>(obs::counter_value(obs::Counter::kCompileNanos)) *
       1e-9;
@@ -125,6 +139,7 @@ std::size_t Registry::inflight_count() const {
 }
 
 std::size_t Registry::static_kernel_count() const {
+  std::lock_guard lock(static_mu_);
   return static_table_.size();
 }
 
@@ -133,38 +148,60 @@ bool Registry::compiler_available() const {
 }
 
 KernelFn Registry::resolve_static(const std::string& key) const {
+  std::lock_guard lock(static_mu_);
   auto it = static_table_.find(key);
   return it == static_table_.end() ? nullptr : it->second;
+}
+
+KernelFn Registry::try_load_published(const std::string& so_path,
+                                      const std::string& stamp) {
+  std::error_code ec;
+  if (!fs::exists(so_path, ec)) return nullptr;
+  std::string err;
+  if (KernelFn fn = load_kernel(so_path, &err, stamp)) return fn;
+  // Truncated, corrupt, hash-colliding, or wrong-environment module: move
+  // it aside (never silently run it, never retry it) and recompile.
+  quarantine_module(so_path);
+  obs::counter_add(obs::Counter::kCacheQuarantines);
+  return nullptr;
 }
 
 KernelFn Registry::build_module(const OpRequest& req, const std::string& key,
                                 const std::string& cache_dir,
                                 const char** backend) {
-  const std::string stem = "pygb_" + std::to_string(key_hash(key));
+  const std::string stamp = module_stamp(key);
+  const std::string stem = module_stem(key);
   const fs::path dir(cache_dir);
   const fs::path so_path = dir / (stem + ".so");
 
-  // Disk cache: a previous process (or run) already compiled this module.
-  if (fs::exists(so_path)) {
-    std::string err;
-    if (KernelFn fn = load_kernel(so_path.string(), &err)) {
-      obs::counter_add(obs::Counter::kDiskHits);
-      *backend = "jit-disk";
-      return fn;
-    }
-    // Corrupt/incompatible module: fall through and recompile.
-    std::error_code ec;
-    fs::remove(so_path, ec);
+  // Disk cache fast path (no lock): a previous process or run already
+  // published a verified module.
+  if (KernelFn fn = try_load_published(so_path.string(), stamp)) {
+    obs::counter_add(obs::Counter::kDiskHits);
+    *backend = "jit-disk";
+    return fn;
   }
 
-  // Generate the translation unit.
   std::error_code ec;
   fs::create_directories(dir, ec);
+
+  // Cross-process coalescing: hold the per-stem advisory flock across
+  // compile + publish. A process that lost the race blocks here and finds
+  // the module already published when it gets the lock — one g++ run per
+  // cold key machine-wide, not per process.
+  FileLock lock((dir / (stem + ".lock")).string());
+  if (KernelFn fn = try_load_published(so_path.string(), stamp)) {
+    obs::counter_add(obs::Counter::kDiskHits);
+    *backend = "jit-disk";
+    return fn;
+  }
+
+  // Generate the translation unit (with the embedded verification stamp).
   const fs::path src_path = dir / (stem + ".cpp");
   std::string source;
   {
     obs::Span span("jit.codegen");
-    source = generate_source(req);
+    source = generate_source(req, stamp);
     span.attr("key", key).attr("bytes",
                                static_cast<std::uint64_t>(source.size()));
   }
@@ -175,23 +212,62 @@ KernelFn Registry::build_module(const OpRequest& req, const std::string& key,
     src << source;
   }
 
-  // Compile (the expensive part — no registry lock is held here).
-  const CompileResult cr = compile_module(src_path.string(), so_path.string());
+  // Compile to a process-private temp name, then atomically rename(2) into
+  // place — a concurrent reader can never dlopen a half-written module.
+  // (No registry lock is held across any of this.)
+  const fs::path tmp_path =
+      dir / (stem + ".so." + std::to_string(::getpid()) + ".tmp");
+  const CompileResult cr =
+      compile_module(src_path.string(), tmp_path.string());
   obs::counter_add(obs::Counter::kCompiles);
   obs::counter_add(obs::Counter::kCompileNanos,
                    static_cast<std::uint64_t>(cr.seconds * 1e9));
   if (!cr.ok) {
+    fs::remove(tmp_path, ec);
     throw NoKernelError("pygb: JIT compilation failed for key '" + key +
                         "':\n" + cr.log);
   }
+  fs::rename(tmp_path, so_path, ec);
+  if (ec) {
+    fs::remove(tmp_path, ec);
+    throw NoKernelError("pygb: failed to publish compiled module for key '" +
+                        key + "': " + ec.message());
+  }
+
+  if (const std::uint64_t cap = cache_max_bytes(); cap != 0) {
+    const std::uint64_t evicted = enforce_cache_cap(cache_dir, cap);
+    if (evicted != 0) {
+      obs::counter_add(obs::Counter::kCacheEvictedBytes, evicted);
+    }
+  }
+
   std::string err;
-  KernelFn fn = load_kernel(so_path.string(), &err);
+  KernelFn fn = load_kernel(so_path.string(), &err, stamp);
   if (fn == nullptr) {
     throw NoKernelError("pygb: failed to load compiled module for key '" +
                         key + "': " + err);
   }
   *backend = "jit-compile";
   return fn;
+}
+
+bool Registry::jit_failed_before(const std::string& key) const {
+  std::lock_guard lock(mu_);
+  return failed_jit_keys_.count(key) != 0;
+}
+
+void Registry::note_jit_failure(const std::string& key, const char* what) {
+  {
+    std::lock_guard lock(mu_);
+    failed_jit_keys_.insert(key);
+  }
+  if (!fallback_warned_.exchange(true)) {
+    std::fprintf(stderr,
+                 "pygb: warning: JIT compilation unavailable at runtime; "
+                 "degrading affected operations to the interpreter "
+                 "(first failure: %s)\n",
+                 what);
+  }
 }
 
 KernelFn Registry::resolve_jit(const OpRequest& req, const std::string& key,
@@ -284,9 +360,32 @@ KernelFn Registry::get(const OpRequest& req, ResolveInfo* info) {
         backend = "static";
         break;
       }
+      // Degradation ladder: static → jit → interp. A failed compile or
+      // load must not abort a caller mid-algorithm in auto mode — the
+      // interpreter computes the same result (slower), the key is
+      // negative-cached so later calls skip the doomed compile, and the
+      // event is counted + warned once. kJit mode keeps throwing.
+      // Exception: user-defined operators and fused chains are compiled
+      // units the interpreter cannot execute, so degrading would turn a
+      // compile error into a confusing "interpreter refuses" error — for
+      // those the JIT failure propagates instead.
+      const bool interp_can_serve = !req.chain && !req.has_user_op();
       if (compiler_available()) {
-        fn = resolve_jit(req, key, &backend);
-        break;
+        if (!jit_failed_before(key)) {
+          try {
+            fn = resolve_jit(req, key, &backend);
+            break;
+          } catch (const std::exception& e) {
+            note_jit_failure(key, e.what());
+            if (!interp_can_serve) throw;
+          }
+        } else if (!interp_can_serve) {
+          throw NoKernelError(
+              "pygb: JIT compilation failed previously for key '" + key +
+              "' (negative-cached) and the request cannot degrade to the "
+              "interpreter");
+        }
+        obs::counter_add(obs::Counter::kJitFallbacks);
       }
       obs::counter_add(obs::Counter::kInterpDispatches);
       backend = "interp";

@@ -20,6 +20,15 @@
 // while requests for other keys (including memory-cache hits) proceed
 // immediately. Statistics live in pygb::obs relaxed atomic counters — the
 // RegistryStats struct is a snapshot view of those.
+//
+// The disk tier is hardened for shared, long-lived deployments (see
+// pygb/jit/cache.hpp and docs/CACHE.md): modules are compiled to a
+// process-private temp name and atomically rename(2)d into place, a
+// per-stem flock coalesces concurrent compiles across PROCESSES, every
+// module embeds a verification stamp checked at load time (corrupt or
+// wrong-environment files are quarantined and recompiled), and auto mode
+// degrades to the interpreter instead of throwing when compilation is
+// broken at runtime.
 #pragma once
 
 #include <atomic>
@@ -28,6 +37,7 @@
 #include <mutex>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "pygb/jit/module_key.hpp"
 
@@ -53,6 +63,8 @@ struct RegistryStats {
   std::size_t disk_hits = 0;        ///< .so found in the cache directory
   std::size_t compiles = 0;         ///< g++ invocations
   std::size_t interp_dispatches = 0;
+  std::size_t jit_fallbacks = 0;    ///< auto-mode degradations to interp
+  std::size_t cache_quarantines = 0;  ///< cached modules failing load/verify
   double compile_seconds = 0.0;     ///< total wall time inside g++
 };
 
@@ -117,15 +129,31 @@ class Registry {
   /// Disk probe, codegen, g++, dlopen — runs with NO registry lock held.
   KernelFn build_module(const OpRequest& req, const std::string& key,
                         const std::string& cache_dir, const char** backend);
+  /// Load an already-published module with stamp verification; a file
+  /// that fails is quarantined (never retried) and nullptr returned.
+  KernelFn try_load_published(const std::string& so_path,
+                              const std::string& stamp);
+  /// Auto-mode degradation bookkeeping: negative-cache the key, bump the
+  /// fallback counter, warn once per process.
+  void note_jit_failure(const std::string& key, const char* what);
+  bool jit_failed_before(const std::string& key) const;
 
-  /// Guards memory_cache_, inflight_, and cache_dir_ — never held across
-  /// a compile.
+  /// Guards memory_cache_, inflight_, failed_jit_keys_, and cache_dir_ —
+  /// never held across a compile.
   mutable std::mutex mu_;
+  /// Guards static_table_ (registration is normally pre-main/startup, but
+  /// late register_static calls must not race resolve_static).
+  mutable std::mutex static_mu_;
   std::atomic<Mode> mode_{Mode::kAuto};
+  std::atomic<bool> fallback_warned_{false};
   std::string cache_dir_;
   std::unordered_map<std::string, KernelFn> static_table_;
   std::unordered_map<std::string, KernelFn> memory_cache_;
   std::unordered_map<std::string, std::shared_ptr<InFlight>> inflight_;
+  /// Keys whose JIT build failed — auto mode goes straight to interp for
+  /// these instead of paying a doomed compile per call. Cleared with the
+  /// caches (a new compiler may succeed).
+  std::unordered_set<std::string> failed_jit_keys_;
 };
 
 /// Defined in static_kernels.cpp: instantiate + register the curated set.

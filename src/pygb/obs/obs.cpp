@@ -98,6 +98,12 @@ const char* counter_name(Counter c) noexcept {
       return "generated_source_bytes";
     case Counter::kTraceEventsDropped:
       return "trace_events_dropped";
+    case Counter::kJitFallbacks:
+      return "jit_fallbacks";
+    case Counter::kCacheQuarantines:
+      return "cache_quarantines";
+    case Counter::kCacheEvictedBytes:
+      return "cache_evicted_bytes";
     case Counter::kCount_:
       break;
   }

@@ -84,6 +84,9 @@ enum class Counter : unsigned {
   kCompileNanos,          ///< total wall time inside g++
   kGeneratedSourceBytes,  ///< bytes of JIT source emitted
   kTraceEventsDropped,    ///< events discarded at the per-thread buffer cap
+  kJitFallbacks,          ///< auto-mode JIT failures degraded to interp
+  kCacheQuarantines,      ///< cached .so files failing load/verification
+  kCacheEvictedBytes,     ///< bytes removed by PYGB_CACHE_MAX_BYTES eviction
   kCount_,
 };
 inline constexpr unsigned kCounterCount =

@@ -8,6 +8,7 @@
 #include "algorithms/dsl_algorithms.hpp"
 #include "generators/classic.hpp"
 #include "generators/erdos_renyi.hpp"
+#include "pygb/jit/registry.hpp"
 
 namespace {
 
@@ -100,6 +101,13 @@ TEST(ConnectedComponents, LabelIsComponentMinimum) {
 }
 
 TEST(ConnectedComponents, DslMatchesNative) {
+  // The DSL transliteration uses ops outside the curated static set; pin
+  // auto mode so a forced PYGB_JIT_MODE=static environment can't break it
+  // (auto degrades static → jit → interp and always serves the request).
+  auto& reg = jit::Registry::instance();
+  const auto saved_mode = reg.mode();
+  reg.set_mode(jit::Mode::kAuto);
+
   gen::ErdosRenyiParams p;
   p.num_vertices = 80;
   p.num_edges = 50;
@@ -113,6 +121,7 @@ TEST(ConnectedComponents, DslMatchesNative) {
 
   gbtl::Vector<std::int64_t> nat(80);
   algo::connected_components(graph.typed<double>(), nat);
+  reg.set_mode(saved_mode);
   EXPECT_TRUE(dsl_labels.typed<std::int64_t>() == nat);
 }
 

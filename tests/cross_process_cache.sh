@@ -1,0 +1,63 @@
+#!/usr/bin/env bash
+# Cross-process module-cache test (ISSUE 2 acceptance): two concurrent
+# pygb_cli processes sharing one COLD cache directory must coalesce onto
+# exactly one g++ invocation per module (per-stem flock), with the loser
+# taking a disk hit on the atomically published .so. Also asserts the
+# cache ends clean (no .tmp litter) and that a third, sequential run
+# compiles nothing.
+#
+# usage: cross_process_cache.sh <path-to-pygb_cli>
+set -euo pipefail
+
+CLI="$1"
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+printf '0 1 1.0\n1 2 1.0\n2 0 1.0\n' > "$TMP/ring.txt"
+export PYGB_CACHE_DIR="$TMP/cache"
+export PYGB_JIT_MODE=jit   # every op goes through the JIT tier; failures throw
+
+"$CLI" pagerank "$TMP/ring.txt" --tier dsl > "$TMP/a.out" 2>&1 &
+pa=$!
+"$CLI" pagerank "$TMP/ring.txt" --tier dsl > "$TMP/b.out" 2>&1 &
+pb=$!
+wait "$pa"
+wait "$pb"
+
+# The dsl tier reports the final rank mass once the iteration is done.
+grep -q "rank mass:" "$TMP/a.out" || { echo "FAIL: process A did not finish"; cat "$TMP/a.out"; exit 1; }
+grep -q "rank mass:" "$TMP/b.out" || { echo "FAIL: process B did not finish"; cat "$TMP/b.out"; exit 1; }
+
+# The dispatch summary line looks like:
+#   [dispatch: 57 ops, 0 static, 45 memory, 3 disk, 4 compiled, 0 interpreted]
+field() { sed -n "s/.*\\[dispatch:.*[, ]\\([0-9][0-9]*\\) $2.*/\\1/p" "$1"; }
+
+ca="$(field "$TMP/a.out" compiled)"; cb="$(field "$TMP/b.out" compiled)"
+da="$(field "$TMP/a.out" disk)";     db="$(field "$TMP/b.out" disk)"
+so_count="$(find "$TMP/cache" -name '*.so' | wc -l)"
+tmp_count="$(find "$TMP/cache" -name '*.tmp' | wc -l)"
+
+echo "A: $ca compiled, $da disk; B: $cb compiled, $db disk; modules: $so_count"
+
+[ "$so_count" -gt 0 ] || { echo "FAIL: no modules were published"; exit 1; }
+[ "$tmp_count" -eq 0 ] || { echo "FAIL: $tmp_count .tmp files leaked"; exit 1; }
+
+# Exactly one compile per module across BOTH processes (the flock
+# coalesced every race), and the other process's first encounter of each
+# key was a disk hit on the published module.
+[ "$((ca + cb))" -eq "$so_count" ] || {
+  echo "FAIL: $((ca + cb)) compiles across two processes for $so_count modules"
+  exit 1
+}
+[ "$((da + db))" -eq "$so_count" ] || {
+  echo "FAIL: $((da + db)) disk hits across two processes for $so_count modules"
+  exit 1
+}
+
+# A third, sequential run on the warm cache: zero compiles, all disk hits.
+"$CLI" pagerank "$TMP/ring.txt" --tier dsl > "$TMP/c.out" 2>&1
+cc="$(field "$TMP/c.out" compiled)"; dc="$(field "$TMP/c.out" disk)"
+[ "$cc" -eq 0 ] || { echo "FAIL: warm run recompiled $cc modules"; exit 1; }
+[ "$dc" -eq "$so_count" ] || { echo "FAIL: warm run took $dc disk hits, want $so_count"; exit 1; }
+
+echo "PASS"

@@ -1,0 +1,337 @@
+// Tests: the hardened disk tier of the Fig. 9 module cache — atomic
+// publish, stamp verification with quarantine, auto-mode degradation to
+// the interpreter, size-capped eviction, and litter cleanup. The
+// cross-process coalescing path has its own ctest (cross_process_cache.sh,
+// driving two concurrent pygb_cli processes).
+#include <gtest/gtest.h>
+
+#include <sys/stat.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <vector>
+
+#include "pygb/jit/cache.hpp"
+#include "pygb/jit/codegen.hpp"
+#include "pygb/jit/compiler.hpp"
+#include "pygb/pygb.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+using namespace pygb;       // NOLINT
+using namespace pygb::jit;  // NOLINT
+
+std::vector<fs::path> list_with_extension(const std::string& dir,
+                                          const std::string& ext) {
+  std::vector<fs::path> out;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    if (entry.path().extension() == ext) out.push_back(entry.path());
+  }
+  return out;
+}
+
+void write_file(const fs::path& path, const std::string& text) {
+  std::ofstream out(path);
+  out << text;
+}
+
+void make_executable(const fs::path& path) {
+  ::chmod(path.c_str(), 0755);
+}
+
+class CacheHardeningTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (!compiler_available()) {
+      GTEST_SKIP() << "no C++ compiler reachable; cache tests skipped";
+    }
+    auto& reg = Registry::instance();
+    saved_mode_ = reg.mode();
+    saved_dir_ = reg.cache_dir();
+    scratch_ = (fs::temp_directory_path() /
+                ("pygb_cache_test_" + std::to_string(::getpid())))
+                   .string();
+    cache_dir_ = scratch_ + "/cache";
+    fs::create_directories(scratch_);
+    reg.set_cache_dir(cache_dir_);
+    reg.clear_disk_cache();
+    reg.set_mode(Mode::kJit);
+    reg.reset_stats();
+  }
+  void TearDown() override {
+    auto& reg = Registry::instance();
+    reg.clear_disk_cache();
+    reg.set_cache_dir(saved_dir_);
+    reg.set_mode(saved_mode_);
+    std::error_code ec;
+    fs::remove_all(scratch_, ec);
+  }
+
+  Mode saved_mode_;
+  std::string saved_dir_;
+  std::string scratch_;
+  std::string cache_dir_;
+};
+
+TEST_F(CacheHardeningTest, TruncatedModuleQuarantinedAndRecompiled) {
+  Matrix a({{1, 2}, {3, 4}});
+  Matrix c(2, 2);
+  auto& reg = Registry::instance();
+
+  c[None] = matmul(a, a);
+  ASSERT_EQ(reg.stats().compiles, 1u);
+
+  // Corrupt the published .so — a crashed writer or disk corruption. The
+  // corruption replaces the file (new inode) rather than truncating in
+  // place: the first dlopen may still have the old inode mmapped, and
+  // shrinking a mapped file turns reads into SIGBUS.
+  const auto sos = list_with_extension(cache_dir_, ".so");
+  ASSERT_EQ(sos.size(), 1u);
+  fs::remove(sos[0]);
+  write_file(sos[0], "not an ELF object and carries no stamp");
+  reg.clear_memory_cache();
+
+  // Never crash, never run garbage: quarantine + recompile.
+  c[None] = matmul(a, a);
+  const auto st = reg.stats();
+  EXPECT_EQ(st.compiles, 2u);
+  EXPECT_EQ(st.cache_quarantines, 1u);
+  EXPECT_DOUBLE_EQ(c.get(0, 0), 7.0);
+  EXPECT_FALSE(list_with_extension(cache_dir_, ".bad").empty());
+}
+
+TEST_F(CacheHardeningTest, StampMismatchQuarantinedAndRecompiled) {
+  // Plant a module at the exact published path whose embedded stamp is
+  // wrong — what a key-hash collision or stale cache schema looks like.
+  OpRequest req;
+  req.func = func::kMxM;
+  req.a = DType::kFP64;
+  req.b = DType::kFP64;
+  req.semiring = MinPlusSemiring();
+  const std::string key = req.key();
+
+  fs::create_directories(cache_dir_);
+  const fs::path so_path = fs::path(cache_dir_) / (module_stem(key) + ".so");
+  const fs::path src_path = fs::path(scratch_) / "bogus.cpp";
+  write_file(src_path, generate_source(req, "bogus-stamp"));
+  ASSERT_TRUE(compile_module(src_path.string(), so_path.string()).ok);
+
+  auto& reg = Registry::instance();
+  reg.reset_stats();
+  ResolveInfo info;
+  KernelFn fn = reg.get(req, &info);
+  ASSERT_NE(fn, nullptr);
+  const auto st = reg.stats();
+  EXPECT_STREQ(info.backend, "jit-compile");  // planted file NOT trusted
+  EXPECT_EQ(st.cache_quarantines, 1u);
+  EXPECT_EQ(st.compiles, 1u);
+  EXPECT_TRUE(fs::exists(so_path.string() + ".bad"));
+}
+
+TEST_F(CacheHardeningTest, ValidDiskModuleStillVerifiesAndLoads) {
+  Matrix a({{1, 2}, {3, 4}});
+  Matrix c(2, 2);
+  auto& reg = Registry::instance();
+  c[None] = matmul(a, a);
+  reg.clear_memory_cache();
+  c[None] = matmul(a, a);
+  const auto st = reg.stats();
+  EXPECT_EQ(st.compiles, 1u);
+  EXPECT_EQ(st.disk_hits, 1u);
+  EXPECT_EQ(st.cache_quarantines, 0u);
+  EXPECT_DOUBLE_EQ(c.get(0, 0), 7.0);
+}
+
+TEST_F(CacheHardeningTest, AutoModeDegradesToInterpreterOnFailedCompile) {
+  // A compiler that answers --version but fails every compile: auto mode
+  // must produce correct results via the interpreter, count the
+  // degradation, and negative-cache the key (no compile storm).
+  const fs::path fake = fs::path(scratch_) / "fake_cxx.sh";
+  write_file(fake,
+             "#!/bin/sh\n"
+             "case \"$*\" in *--version*) echo fake-g++ 1.0; exit 0;; esac\n"
+             "echo 'fake compiler always fails' >&2\n"
+             "exit 1\n");
+  make_executable(fake);
+  const char* saved_cxx = std::getenv("PYGB_CXX");
+  const std::string saved_cxx_value = saved_cxx ? saved_cxx : "";
+  ::setenv("PYGB_CXX", fake.c_str(), 1);
+
+  auto& reg = Registry::instance();
+  reg.set_mode(Mode::kAuto);
+  reg.clear_memory_cache();  // also clears the negative cache
+  reg.reset_stats();
+  ASSERT_TRUE(reg.compiler_available());  // the fake probe passes
+
+  // uint16 mxm is outside the static set → auto reaches for the JIT.
+  Matrix a(2, 2, DType::kUInt16);
+  a.set(0, 0, 3.0);
+  a.set(0, 1, 2.0);
+  a.set(1, 0, 5.0);
+  Matrix c(2, 2, DType::kUInt16);
+  c[None] = matmul(a, a);  // must NOT throw mid-algorithm
+  EXPECT_EQ(c.get_element(0, 0).to_int64(), 3 * 3 + 2 * 5);
+  auto st = reg.stats();
+  EXPECT_EQ(st.compiles, 1u);  // one doomed attempt
+  EXPECT_GE(st.jit_fallbacks, 1u);
+  EXPECT_GE(st.interp_dispatches, 1u);
+
+  // Same key again: the negative cache skips the doomed compile entirely.
+  c[None] = matmul(a, a);
+  st = reg.stats();
+  EXPECT_EQ(st.compiles, 1u);
+  EXPECT_GE(st.jit_fallbacks, 2u);
+  EXPECT_EQ(c.get_element(0, 0).to_int64(), 3 * 3 + 2 * 5);
+
+  if (saved_cxx != nullptr) {
+    ::setenv("PYGB_CXX", saved_cxx_value.c_str(), 1);
+  } else {
+    ::unsetenv("PYGB_CXX");
+  }
+}
+
+TEST_F(CacheHardeningTest, JitModeStillThrowsOnFailedCompile) {
+  const fs::path fake = fs::path(scratch_) / "fake_cxx2.sh";
+  write_file(fake,
+             "#!/bin/sh\n"
+             "case \"$*\" in *--version*) echo fake-g++ 1.0; exit 0;; esac\n"
+             "exit 1\n");
+  make_executable(fake);
+  const char* saved_cxx = std::getenv("PYGB_CXX");
+  const std::string saved_cxx_value = saved_cxx ? saved_cxx : "";
+  ::setenv("PYGB_CXX", fake.c_str(), 1);
+
+  Matrix a(2, 2, DType::kUInt16);
+  a.set(0, 0, 1.0);
+  Matrix c(2, 2, DType::kUInt16);
+  EXPECT_THROW(c[None] = matmul(a, a), NoKernelError);
+
+  if (saved_cxx != nullptr) {
+    ::setenv("PYGB_CXX", saved_cxx_value.c_str(), 1);
+  } else {
+    ::unsetenv("PYGB_CXX");
+  }
+}
+
+TEST_F(CacheHardeningTest, EvictionKeepsCacheWithinMaxBytes) {
+  ::setenv("PYGB_CACHE_MAX_BYTES", "1", 1);
+  Matrix a({{1, 2}, {3, 4}});
+  Matrix c64(2, 2);
+  c64[None] = matmul(a, a);  // module 1 published (sole module: kept)
+  EXPECT_EQ(list_with_extension(cache_dir_, ".so").size(), 1u);
+
+  Matrix a32(2, 2, DType::kFP32);
+  a32.set(0, 0, 2.0);
+  Matrix c32(2, 2, DType::kFP32);
+  c32[None] = matmul(a32, a32);  // module 2 published → module 1 evicted
+  EXPECT_EQ(list_with_extension(cache_dir_, ".so").size(), 1u);
+  EXPECT_DOUBLE_EQ(c32.get(0, 0), 4.0);
+  ::unsetenv("PYGB_CACHE_MAX_BYTES");
+}
+
+TEST_F(CacheHardeningTest, StaleLitterCleanedFreshLitterKept) {
+  fs::create_directories(cache_dir_);
+  const fs::path stale_tmp = fs::path(cache_dir_) / "pygb_x.so.123.tmp";
+  const fs::path stale_log = fs::path(cache_dir_) / "pygb_x.so.123.tmp.log";
+  const fs::path fresh_tmp = fs::path(cache_dir_) / "pygb_y.so.456.tmp";
+  const fs::path module = fs::path(cache_dir_) / "pygb_z.so";
+  for (const auto& p : {stale_tmp, stale_log, fresh_tmp, module}) {
+    write_file(p, "x");
+  }
+  const auto old_time =
+      fs::file_time_type::clock::now() - std::chrono::hours(2);
+  fs::last_write_time(stale_tmp, old_time);
+  fs::last_write_time(stale_log, old_time);
+
+  EXPECT_EQ(clean_cache_litter(cache_dir_), 2u);
+  EXPECT_FALSE(fs::exists(stale_tmp));
+  EXPECT_FALSE(fs::exists(stale_log));
+  EXPECT_TRUE(fs::exists(fresh_tmp));  // may belong to a live compile
+  EXPECT_TRUE(fs::exists(module));     // modules are never litter
+}
+
+TEST_F(CacheHardeningTest, StemAndStampCoverEnvironment) {
+  const std::string stamp = cache_stamp();
+  EXPECT_NE(stamp.find("pygb-cache-v"), std::string::npos);
+  EXPECT_NE(stamp.find(compiler_identity()), std::string::npos);
+  EXPECT_NE(stamp.find(compile_flags()), std::string::npos);
+  EXPECT_NE(module_stamp("k1"), module_stamp("k2"));
+  EXPECT_NE(module_stem("k1"), module_stem("k2"));
+  EXPECT_EQ(module_stem("k1"), module_stem("k1"));
+}
+
+TEST(CacheCodegenStamp, EmittedOnlyWhenRequested) {
+  OpRequest req;
+  req.func = func::kApplyV;
+  req.a = DType::kFP64;
+  req.unary_op = UnaryOp("Identity");
+  const std::string plain = generate_source(req);
+  EXPECT_EQ(plain.find("pygb_module_stamp"), std::string::npos);
+  const std::string stamped = generate_source(req, "line1\"quoted\\x");
+  EXPECT_NE(stamped.find("extern \"C\" const char pygb_module_stamp[]"),
+            std::string::npos);
+  EXPECT_NE(stamped.find("line1\\\"quoted\\\\x"), std::string::npos);
+}
+
+TEST(CacheCompiler, DecodesExitStatusAndDropsLogOnSuccess) {
+  if (!compiler_available()) GTEST_SKIP();
+  const auto dir = fs::temp_directory_path() /
+                   ("pygb_compiler_test_" + std::to_string(::getpid()));
+  fs::create_directories(dir);
+
+  // Success: no .log litter left behind.
+  const auto good_src = dir / "good.cpp";
+  write_file(good_src, "extern \"C\" int pygb_probe() { return 7; }\n");
+  const auto good_so = dir / "good.so";
+  ASSERT_TRUE(compile_module(good_src.string(), good_so.string()).ok);
+  EXPECT_FALSE(fs::exists(good_so.string() + ".log"));
+
+  // A compiler exiting 42: the decoded status is reported, not the raw
+  // wait(2) word (42 << 8 = 10752 before the fix).
+  const auto fake = dir / "exit42.sh";
+  write_file(fake, "#!/bin/sh\nexit 42\n");
+  make_executable(fake);
+  const char* saved_cxx = std::getenv("PYGB_CXX");
+  const std::string saved_cxx_value = saved_cxx ? saved_cxx : "";
+  ::setenv("PYGB_CXX", fake.c_str(), 1);
+  const auto result =
+      compile_module(good_src.string(), (dir / "bad.so").string());
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.log.find("exit status 42"), std::string::npos);
+  if (saved_cxx != nullptr) {
+    ::setenv("PYGB_CXX", saved_cxx_value.c_str(), 1);
+  } else {
+    ::unsetenv("PYGB_CXX");
+  }
+  std::error_code ec;
+  fs::remove_all(dir, ec);
+}
+
+TEST(CacheCompiler, AvailabilityProbeTracksCompilerChanges) {
+  if (!compiler_available()) GTEST_SKIP();
+  const char* saved_cxx = std::getenv("PYGB_CXX");
+  const std::string saved_cxx_value = saved_cxx ? saved_cxx : "";
+
+  ::setenv("PYGB_CXX", "/bin/false", 1);
+  EXPECT_FALSE(compiler_available());  // once_flag would return stale true
+
+  // A command that cannot even answer --version: identity falls back to
+  // the command string itself.
+  ::setenv("PYGB_CXX", "/nonexistent/pygb-no-such-cxx", 1);
+  EXPECT_FALSE(compiler_available());
+  EXPECT_EQ(compiler_identity(), "/nonexistent/pygb-no-such-cxx");
+
+  if (saved_cxx != nullptr) {
+    ::setenv("PYGB_CXX", saved_cxx_value.c_str(), 1);
+  } else {
+    ::unsetenv("PYGB_CXX");
+  }
+  EXPECT_TRUE(compiler_available());
+  EXPECT_FALSE(compiler_identity().empty());
+}
+
+}  // namespace

@@ -9,7 +9,24 @@ namespace {
 
 using namespace pygb;  // NOLINT
 
-TEST(Expr, MatmulCapturesSemiringAtConstruction) {
+// DSL-semantics tests sweep operator/dtype combinations outside the
+// curated static kernel set: pin auto mode (static → jit → interp ladder)
+// so a forced PYGB_JIT_MODE=static environment can't make them unservable.
+class Expr : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto& reg = jit::Registry::instance();
+    saved_mode_ = reg.mode();
+    reg.set_mode(jit::Mode::kAuto);
+  }
+  void TearDown() override {
+    jit::Registry::instance().set_mode(saved_mode_);
+  }
+
+  jit::Mode saved_mode_{};
+};
+
+TEST_F(Expr, MatmulCapturesSemiringAtConstruction) {
   Matrix a({{1, 2}, {3, 4}});
   Matrix b({{1, 0}, {0, 1}});
   // Build the expression under MinPlus, evaluate it outside the block: the
@@ -26,7 +43,7 @@ TEST(Expr, MatmulCapturesSemiringAtConstruction) {
   EXPECT_DOUBLE_EQ(c.get(0, 1), 3.0);  // a(0,1) + b(1,1) = 2 + 1
 }
 
-TEST(Expr, DefaultSemiringIsArithmetic) {
+TEST_F(Expr, DefaultSemiringIsArithmetic) {
   Matrix a({{1, 2}, {3, 4}});
   Matrix b({{5, 6}, {7, 8}});
   Matrix c(2, 2);
@@ -35,7 +52,7 @@ TEST(Expr, DefaultSemiringIsArithmetic) {
   EXPECT_DOUBLE_EQ(c.get(1, 1), 50.0);
 }
 
-TEST(Expr, PlusIsEWiseAddStarIsEWiseMult) {
+TEST_F(Expr, PlusIsEWiseAddStarIsEWiseMult) {
   Matrix a({{1, 0}, {0, 2}});
   Matrix b({{3, 4}, {0, 5}});
   Matrix sum(2, 2), prod(2, 2);
@@ -48,7 +65,7 @@ TEST(Expr, PlusIsEWiseAddStarIsEWiseMult) {
   EXPECT_DOUBLE_EQ(prod.get(1, 1), 10.0);
 }
 
-TEST(Expr, ContextOpGovernsEwise) {
+TEST_F(Expr, ContextOpGovernsEwise) {
   // Fig. 7: with gb.BinaryOp("Minus"): delta[None] = page_rank + new_rank.
   Vector u({10, 20});
   Vector v({3, 4});
@@ -61,7 +78,7 @@ TEST(Expr, ContextOpGovernsEwise) {
   EXPECT_DOUBLE_EQ(d.get(1), 16.0);
 }
 
-TEST(Expr, RebindVsInPlace) {
+TEST_F(Expr, RebindVsInPlace) {
   Matrix a({{1, 0}, {0, 1}});
   Matrix c(2, 2);
   Matrix alias = c;
@@ -76,7 +93,7 @@ TEST(Expr, RebindVsInPlace) {
   EXPECT_DOUBLE_EQ(c.get(0, 0), 1.0);
 }
 
-TEST(Expr, EvalCreatesCorrectShapeAndDtype) {
+TEST_F(Expr, EvalCreatesCorrectShapeAndDtype) {
   Matrix a(3, 5, DType::kInt32);
   Matrix b(5, 2, DType::kInt64);
   auto e = matmul(a, b);
@@ -86,7 +103,7 @@ TEST(Expr, EvalCreatesCorrectShapeAndDtype) {
   EXPECT_EQ(c.dtype(), DType::kInt64);  // promote(i32, i64)
 }
 
-TEST(Expr, TransposedOperandShapes) {
+TEST_F(Expr, TransposedOperandShapes) {
   Matrix a(3, 5);
   Matrix b(3, 2);
   Matrix c = matmul(a.T(), b).eval();  // (5x3)(3x2)
@@ -94,14 +111,14 @@ TEST(Expr, TransposedOperandShapes) {
   EXPECT_EQ(c.ncols(), 2u);
 }
 
-TEST(Expr, TransposeRoundTripMarker) {
+TEST_F(Expr, TransposeRoundTripMarker) {
   Matrix a(3, 5);
   // (A.T).T is A again.
   Matrix back = a.T().T();
   EXPECT_TRUE(back.same_object(a));
 }
 
-TEST(Expr, MxvAndVxm) {
+TEST_F(Expr, MxvAndVxm) {
   Matrix a({{1, 2}, {3, 4}});
   Vector u({5, 6});
   Vector w(2);
@@ -113,7 +130,7 @@ TEST(Expr, MxvAndVxm) {
   EXPECT_DOUBLE_EQ(w.get(0), 23.0);
 }
 
-TEST(Expr, ApplyWithContextAndExplicitOp) {
+TEST_F(Expr, ApplyWithContextAndExplicitOp) {
   Vector u({2, 4});
   Vector w(2);
   {
@@ -125,7 +142,7 @@ TEST(Expr, ApplyWithContextAndExplicitOp) {
   EXPECT_DOUBLE_EQ(w.get(1), -4.0);
 }
 
-TEST(Expr, ReduceUsesContextMonoid) {
+TEST_F(Expr, ReduceUsesContextMonoid) {
   Matrix a({{1, 2}, {3, 4}});
   EXPECT_DOUBLE_EQ(reduce(a).to_double(), 10.0);  // default PlusMonoid
   {
@@ -135,13 +152,13 @@ TEST(Expr, ReduceUsesContextMonoid) {
   EXPECT_DOUBLE_EQ(reduce(a, MinMonoid()).to_double(), 1.0);
 }
 
-TEST(Expr, ReduceVector) {
+TEST_F(Expr, ReduceVector) {
   Vector u({1, 0, 3}, DType::kInt64);
   EXPECT_EQ(reduce(u).to_int64(), 4);
   EXPECT_EQ(reduce(u).dtype(), DType::kInt64);
 }
 
-TEST(Expr, ReduceRowsDeferred) {
+TEST_F(Expr, ReduceRowsDeferred) {
   Matrix a({{1, 2}, {0, 0}, {3, 4}});
   Vector w(3);
   w[None] = reduce_rows(a);
@@ -150,7 +167,7 @@ TEST(Expr, ReduceRowsDeferred) {
   EXPECT_DOUBLE_EQ(w.get(2), 7.0);
 }
 
-TEST(Expr, TransposedAsValue) {
+TEST_F(Expr, TransposedAsValue) {
   Matrix a({{1, 2}, {0, 3}});
   Matrix c(2, 2);
   c[None] = transposed(a);
@@ -158,7 +175,7 @@ TEST(Expr, TransposedAsValue) {
   EXPECT_FALSE(c.has_element(0, 1));
 }
 
-TEST(Expr, TerminatingOperationsForceEvaluation) {
+TEST_F(Expr, TerminatingOperationsForceEvaluation) {
   // Combining an expression with a container evaluates the expression
   // first (§IV "terminating operations").
   Matrix a({{1, 0}, {0, 1}});
@@ -169,7 +186,7 @@ TEST(Expr, TerminatingOperationsForceEvaluation) {
   EXPECT_DOUBLE_EQ(reduce(matmul(a, b)).to_double(), 4.0);
 }
 
-TEST(Expr, MixedDtypePromotion) {
+TEST_F(Expr, MixedDtypePromotion) {
   Matrix a({{1, 0}, {0, 1}}, DType::kInt32);
   Matrix b({{2, 0}, {0, 2}}, DType::kFP32);
   Matrix c = (a + b).eval();

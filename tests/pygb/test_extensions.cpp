@@ -102,10 +102,22 @@ TEST(Adopt, VectorTakesOwnership) {
 class UserOps : public ::testing::Test {
  protected:
   void SetUp() override {
+    auto& reg = jit::Registry::instance();
+    saved_mode_ = reg.mode();
     if (!jit::compiler_available()) {
       GTEST_SKIP() << "no C++ compiler; user-defined ops need the JIT";
     }
+    // User-defined operators are C++ snippets compiled into the kernel:
+    // pin auto mode so a forced PYGB_JIT_MODE=static|interp environment
+    // can't make them unservable (tests that probe specific modes set
+    // their own and restore).
+    reg.set_mode(jit::Mode::kAuto);
   }
+  void TearDown() override {
+    jit::Registry::instance().set_mode(saved_mode_);
+  }
+
+  jit::Mode saved_mode_{};
 };
 
 TEST_F(UserOps, NameValidation) {

@@ -16,10 +16,20 @@ using namespace pygb;  // NOLINT
 class FusedChainTest : public ::testing::Test {
  protected:
   void SetUp() override {
+    auto& reg = jit::Registry::instance();
+    saved_mode_ = reg.mode();
     if (!jit::compiler_available()) {
       GTEST_SKIP() << "no C++ compiler; fused chains need the JIT";
     }
+    // Chains are compiled units: pin the mode so a forced
+    // PYGB_JIT_MODE=static|interp environment can't make them unservable.
+    reg.set_mode(jit::Mode::kJit);
   }
+  void TearDown() override {
+    jit::Registry::instance().set_mode(saved_mode_);
+  }
+
+  jit::Mode saved_mode_{};
 };
 
 TEST_F(FusedChainTest, SingleStatementMatchesDsl) {

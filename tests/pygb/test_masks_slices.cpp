@@ -104,7 +104,24 @@ TEST(Masks, MaskedMatrixConstantAssign) {
   EXPECT_EQ(c.get_element(1, 0).to_int64(), 7);
 }
 
-TEST(Accumulate, PlusEqualsUsesContextAccumulator) {
+// Accumulator sweeps reach operator combinations outside the curated
+// static kernel set: pin auto mode so a forced PYGB_JIT_MODE=static
+// environment can't make them unservable.
+class Accumulate : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto& reg = jit::Registry::instance();
+    saved_mode_ = reg.mode();
+    reg.set_mode(jit::Mode::kAuto);
+  }
+  void TearDown() override {
+    jit::Registry::instance().set_mode(saved_mode_);
+  }
+
+  jit::Mode saved_mode_{};
+};
+
+TEST_F(Accumulate, PlusEqualsUsesContextAccumulator) {
   Vector w({10, 10});
   Vector u({1, 2});
   {
@@ -115,7 +132,7 @@ TEST(Accumulate, PlusEqualsUsesContextAccumulator) {
   EXPECT_DOUBLE_EQ(w.get(1), 4.0);
 }
 
-TEST(Accumulate, FallsBackToSemiringMonoid) {
+TEST_F(Accumulate, FallsBackToSemiringMonoid) {
   // Fig. 4a without the explicit Accumulator("Min").
   Vector w({10, 10});
   Vector u({1, 2});
@@ -126,7 +143,7 @@ TEST(Accumulate, FallsBackToSemiringMonoid) {
   EXPECT_DOUBLE_EQ(w.get(0), 1.0);
 }
 
-TEST(Accumulate, DefaultsToPlusWithEmptyContext) {
+TEST_F(Accumulate, DefaultsToPlusWithEmptyContext) {
   Vector w({10, 10});
   Vector u({1, 2});
   w[None] += apply(u, UnaryOp("Identity"));
@@ -134,7 +151,7 @@ TEST(Accumulate, DefaultsToPlusWithEmptyContext) {
   EXPECT_DOUBLE_EQ(w.get(1), 12.0);
 }
 
-TEST(Accumulate, AccumKeepsEntriesAbsentFromResult) {
+TEST_F(Accumulate, AccumKeepsEntriesAbsentFromResult) {
   Vector w({10, 0, 30});  // index 1 absent
   Vector u(3);
   u.set(0, 5.0);

@@ -209,7 +209,22 @@ std::string step(MirroredState& s, std::mt19937& rng) {
   }
 }
 
-class RandomPrograms : public ::testing::TestWithParam<unsigned> {};
+class RandomPrograms : public ::testing::TestWithParam<unsigned> {
+ protected:
+  // Random programs sweep operator/mask combinations far outside the
+  // curated static set: pin auto mode (static → jit → interp ladder) so a
+  // forced PYGB_JIT_MODE=static environment can't make a step unservable.
+  void SetUp() override {
+    auto& reg = jit::Registry::instance();
+    saved_mode_ = reg.mode();
+    reg.set_mode(jit::Mode::kAuto);
+  }
+  void TearDown() override {
+    jit::Registry::instance().set_mode(saved_mode_);
+  }
+
+  jit::Mode saved_mode_{};
+};
 
 TEST_P(RandomPrograms, DslMirrorsNativeStepForStep) {
   const unsigned seed = GetParam();

@@ -98,6 +98,10 @@ TEST(Threading, ConcurrentDispatchIsSafe) {
 
 TEST(Threading, RegistryStatsConsistentUnderConcurrency) {
   auto& reg = jit::Registry::instance();
+  // The static_hits == lookups assertion needs static resolution; pin the
+  // mode so a forced PYGB_JIT_MODE=jit|interp environment doesn't skew it.
+  const auto saved_mode = reg.mode();
+  reg.set_mode(jit::Mode::kStatic);
   reg.reset_stats();
   constexpr int kThreads = 4;
   constexpr int kRounds = 25;
@@ -113,6 +117,7 @@ TEST(Threading, RegistryStatsConsistentUnderConcurrency) {
   }
   for (auto& th : threads) th.join();
   const auto st = reg.stats();
+  reg.set_mode(saved_mode);
   EXPECT_EQ(st.lookups, static_cast<std::size_t>(kThreads * kRounds));
   EXPECT_EQ(st.static_hits, st.lookups);
 }

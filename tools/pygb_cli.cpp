@@ -2,6 +2,7 @@
 // triplet text) and run any of the library's algorithms through the DSL.
 //
 //   pygb_cli <algorithm> <graph-file> [options]
+//   pygb_cli --cache-info | --cache-clear
 //
 //   algorithms:  bfs | sssp | pagerank | tc | cc | bc | info
 //   options:     --source N        start vertex for bfs/sssp   (default 0)
@@ -14,6 +15,10 @@
 //                --stats           print the end-of-run metrics summary
 //                                  (kernel-time histograms, cache hit
 //                                  ratio, compile seconds)
+//
+//   cache subcommands (no graph file): --cache-info prints the module
+//   cache directory, size, and environment stamp; --cache-clear empties
+//   it. See docs/CACHE.md.
 //
 // PYGB_TRACE=<file> / PYGB_METRICS=1 activate the same observability
 // surfaces from the environment — see docs/OBSERVABILITY.md.
@@ -33,6 +38,7 @@
 #include "algorithms/pagerank.hpp"
 #include "algorithms/sssp.hpp"
 #include "algorithms/triangle_count.hpp"
+#include "pygb/jit/cache.hpp"
 #include "pygb/obs/obs.hpp"
 #include "pygb/pygb.hpp"
 
@@ -56,6 +62,8 @@ struct Options {
   std::cerr
       << "usage: " << argv0
       << " <bfs|sssp|pagerank|tc|cc|bc|info> <graph-file> [options]\n"
+         "       " << argv0
+      << " --cache-info | --cache-clear\n"
          "  --source N   --damping X   --threshold X\n"
          "  --tier dsl|whole|native    --top K\n"
          "  --trace FILE (Chrome trace JSON)   --stats (metrics summary)\n";
@@ -216,6 +224,29 @@ int run_bc(const Options& o, const Matrix& graph) {
   return 0;
 }
 
+int run_cache_command(const std::string& cmd) {
+  auto& reg = pygb::jit::Registry::instance();
+  const std::string dir = reg.cache_dir();
+  if (cmd == "--cache-clear") {
+    reg.clear_disk_cache();
+    std::cout << "cleared module cache at " << dir << "\n";
+    return 0;
+  }
+  const auto info = pygb::jit::cache_info(dir);
+  std::cout << "cache dir:   " << dir << "\n"
+            << "modules:     " << info.modules << "\n"
+            << "total bytes: " << info.total_bytes << "\n"
+            << "quarantined: " << info.quarantined << "\n"
+            << "failed logs: " << info.logs << "\n"
+            << "stamp:       " << pygb::jit::cache_stamp() << "\n";
+  if (const auto cap = pygb::jit::cache_max_bytes(); cap != 0) {
+    std::cout << "max bytes:   " << cap << " (PYGB_CACHE_MAX_BYTES)\n";
+  } else {
+    std::cout << "max bytes:   unlimited\n";
+  }
+  return 0;
+}
+
 int run_info(const Matrix& graph) {
   std::cout << "shape: " << graph.nrows() << " x " << graph.ncols()
             << "\nstored edges: " << graph.nvals()
@@ -229,6 +260,10 @@ int run_info(const Matrix& graph) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc >= 2 && (std::strcmp(argv[1], "--cache-info") == 0 ||
+                    std::strcmp(argv[1], "--cache-clear") == 0)) {
+    return run_cache_command(argv[1]);
+  }
   const Options o = parse(argc, argv);
   if (!o.trace_path.empty()) pygb::obs::set_tracing_enabled(true);
   if (o.stats) pygb::obs::set_metrics_enabled(true);
@@ -261,7 +296,8 @@ int main(int argc, char** argv) {
     } else {
       const auto st = pygb::jit::Registry::instance().stats();
       std::cout << "[dispatch: " << st.lookups << " ops, " << st.static_hits
-                << " static, " << st.compiles << " compiled, "
+                << " static, " << st.memory_hits << " memory, "
+                << st.disk_hits << " disk, " << st.compiles << " compiled, "
                 << st.interp_dispatches << " interpreted]\n";
     }
     if (!o.trace_path.empty()) {
