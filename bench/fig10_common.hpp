@@ -17,9 +17,12 @@
 #include <benchmark/benchmark.h>
 
 #include <map>
+#include <string>
 
 #include "algorithms/dsl_algorithms.hpp"
+#include "gbtl/detail/parallel.hpp"
 #include "generators/erdos_renyi.hpp"
+#include "generators/rmat.hpp"
 #include "pygb/pygb.hpp"
 
 namespace fig10 {
@@ -40,6 +43,64 @@ inline const pygb::Matrix& paper_matrix(gbtl::IndexType n, bool weighted) {
     it = cache.emplace(key, pygb::Matrix::from_edge_list(el)).first;
   }
   return it->second;
+}
+
+/// Build (and memoize per process) a skew-heavy R-MAT graph for the
+/// worker-pool thread sweeps: 2^scale vertices, 16 * 2^scale directed
+/// edges with a power-law degree distribution (the workload where the
+/// dynamic schedule earns its keep).
+inline const pygb::Matrix& rmat_matrix(unsigned scale) {
+  static std::map<unsigned, pygb::Matrix> cache;
+  auto it = cache.find(scale);
+  if (it == cache.end()) {
+    pygb::gen::RmatParams params;
+    params.scale = scale;
+    const auto el = pygb::gen::rmat(params);
+    it = cache.emplace(scale, pygb::Matrix::from_edge_list(el)).first;
+  }
+  return it->second;
+}
+
+/// RAII guard pinning the worker-pool size for one bench series (restores
+/// the previous count so sweeps don't leak state into other benchmarks).
+class ThreadCountGuard {
+ public:
+  explicit ThreadCountGuard(unsigned n)
+      : saved_(gbtl::detail::num_threads()) {
+    gbtl::detail::set_num_threads(n);
+  }
+  ~ThreadCountGuard() { gbtl::detail::set_num_threads(saved_); }
+
+ private:
+  unsigned saved_;
+};
+
+/// Per-series 1-thread baselines for the thread sweeps, keyed by
+/// "<bench>/<scale>". Thread counts are registered ascending, so the
+/// 1-thread run of each series executes first and seeds the baseline.
+inline std::map<std::string, double>& sweep_baselines() {
+  static std::map<std::string, double> baselines;
+  return baselines;
+}
+
+/// Annotate a thread-sweep run: thread count, graph shape, and the
+/// speedup over the same series' 1-thread run (counter `speedup_vs_1t`).
+inline void annotate_sweep(benchmark::State& state, const std::string& series,
+                           unsigned scale, unsigned threads, std::size_t nnz,
+                           double mean_seconds) {
+  const std::string key = series + "/" + std::to_string(scale);
+  auto& baselines = sweep_baselines();
+  if (threads == 1) baselines[key] = mean_seconds;
+  state.counters["threads"] =
+      benchmark::Counter(static_cast<double>(threads));
+  state.counters["vertices"] =
+      benchmark::Counter(static_cast<double>(1u << scale));
+  state.counters["edges"] = benchmark::Counter(static_cast<double>(nnz));
+  const auto base = baselines.find(key);
+  if (base != baselines.end() && mean_seconds > 0.0) {
+    state.counters["speedup_vs_1t"] =
+        benchmark::Counter(base->second / mean_seconds);
+  }
 }
 
 /// RAII guard applying the CPython overhead model for one bench series.

@@ -2,6 +2,8 @@
 // operations per iteration in the DSL tier (the paper's count).
 #include "fig10_common.hpp"
 
+#include <chrono>
+
 #include "algorithms/pagerank.hpp"
 
 namespace {
@@ -40,7 +42,33 @@ void BM_PageRank_NativeGBTL(benchmark::State& state) {
   fig10::annotate(state, graph.nvals());
 }
 
+/// Worker-pool thread sweep on a skewed R-MAT graph: range(0) = scale,
+/// range(1) = GBTL_NUM_THREADS. Reports speedup_vs_1t per series.
+void BM_PageRank_ThreadSweep(benchmark::State& state) {
+  const auto scale = static_cast<unsigned>(state.range(0));
+  const auto threads = static_cast<unsigned>(state.range(1));
+  const auto& graph = fig10::rmat_matrix(scale).typed<double>();
+  fig10::ThreadCountGuard guard(threads);
+  double total_seconds = 0.0;
+  std::int64_t iters = 0;
+  for (auto _ : state) {
+    const auto t0 = std::chrono::steady_clock::now();
+    gbtl::Vector<double> rank(graph.nrows());
+    benchmark::DoNotOptimize(pygb::algo::page_rank(graph, rank));
+    total_seconds +=
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    ++iters;
+  }
+  fig10::annotate_sweep(state, "pagerank", scale, threads, graph.nvals(),
+                        iters > 0 ? total_seconds / iters : 0.0);
+}
+
 }  // namespace
+
+BENCHMARK(BM_PageRank_ThreadSweep)
+    ->ArgsProduct({{12, 13}, {1, 2, 4, 8}})
+    ->Unit(benchmark::kMillisecond);
 
 BENCHMARK(BM_PageRank_PyGB_PythonLoops)
     ->RangeMultiplier(2)

@@ -3,6 +3,8 @@
 // constant handful of dispatches (the penalty vanishes fastest here).
 #include "fig10_common.hpp"
 
+#include <chrono>
+
 #include "algorithms/triangle_count.hpp"
 
 namespace {
@@ -49,7 +51,50 @@ void BM_TC_NativeGBTL(benchmark::State& state) {
   fig10::annotate(state, lower.nvals());
 }
 
+/// Lower triangle of a symmetrized R-MAT graph (memoized per scale).
+const Matrix& rmat_lower_of(unsigned scale) {
+  static std::map<unsigned, Matrix> cache;
+  auto it = cache.find(scale);
+  if (it == cache.end()) {
+    const auto& directed = fig10::rmat_matrix(scale).typed<double>();
+    gbtl::Matrix<double> sym(directed.nrows(), directed.ncols());
+    // Max keeps duplicate-direction edges at weight 1.0.
+    gbtl::eWiseAdd(sym, gbtl::NoMask{}, gbtl::NoAccumulate{},
+                   gbtl::Max<double>{}, directed, gbtl::transpose(directed));
+    auto [lower, upper] = split_triangles(Matrix::adopt(std::move(sym)));
+    it = cache.emplace(scale, lower).first;
+  }
+  return it->second;
+}
+
+/// Worker-pool thread sweep on the masked-dot triangle-count kernel:
+/// range(0) = scale, range(1) = GBTL_NUM_THREADS. The power-law degree
+/// distribution makes this the showcase for GBTL_SCHEDULE=dynamic.
+void BM_TC_ThreadSweep(benchmark::State& state) {
+  const auto scale = static_cast<unsigned>(state.range(0));
+  const auto threads = static_cast<unsigned>(state.range(1));
+  const auto& lower = rmat_lower_of(scale).typed<double>();
+  fig10::ThreadCountGuard guard(threads);
+  double total_seconds = 0.0;
+  std::int64_t iters = 0;
+  for (auto _ : state) {
+    const auto t0 = std::chrono::steady_clock::now();
+    benchmark::DoNotOptimize(
+        pygb::algo::triangle_count<std::int64_t>(lower));
+    total_seconds +=
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    ++iters;
+  }
+  fig10::annotate_sweep(state, "tc", scale, threads, lower.nvals(),
+                        iters > 0 ? total_seconds / iters : 0.0);
+}
+
 }  // namespace
+
+BENCHMARK(BM_TC_ThreadSweep)
+    ->ArgsProduct({{11, 12}, {1, 2, 4, 8}})
+    ->Unit(benchmark::kMillisecond);
 
 BENCHMARK(BM_TC_PyGB_PythonLoops)
     ->RangeMultiplier(2)

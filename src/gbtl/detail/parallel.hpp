@@ -2,29 +2,41 @@
 //
 // §IV of the paper notes that "it may be more suitable in some situations
 // to use a multithreaded GBTL backend instead of multithreading in
-// Python". This header provides that backend: a block-partitioned
-// parallel_for over row ranges used by the heavy kernels (mxm, mxv). The
-// worker count comes from GBTL_NUM_THREADS (default 1 = fully sequential,
-// no thread machinery touched); set_num_threads overrides at run time.
+// Python". This header provides that backend's entry point: a
+// block-partitioned parallel_for over row ranges used by every row-wise
+// kernel (mxm, mxv-pull, eWiseAdd/eWiseMult, apply, reduce). Work runs on
+// the persistent worker pool in detail/pool.{hpp,cpp} — workers are
+// started once, parked between operations, and partitioned statically or
+// dynamically (GBTL_SCHEDULE) — instead of spawning and joining fresh
+// std::threads per call. The worker count comes from GBTL_NUM_THREADS
+// (default 1 = fully sequential, no thread machinery touched);
+// set_num_threads resizes the pool at run time.
 //
 // Kernels parallelize by writing disjoint row slots of a staging buffer;
 // shared container state (nvals bookkeeping) is only touched in the
-// sequential assembly pass, so no locks are needed.
+// sequential assembly pass, so no locks are needed, and results are
+// bit-identical for every worker count and schedule.
+//
+// The dlopen constraint: JIT-generated modules compile this header with a
+// bare `g++ -shared` that never links libpygb, so nothing here may assume
+// the pool (or pygb::obs) objects are present. pool.hpp gates on
+// GBTL_POOL_LINKED — in-repo targets call the pool directly; generated
+// modules go through a host-injected function table and fall back to
+// inline sequential loops when no table was injected.
 #pragma once
 
-#include <atomic>
-#include <cstdlib>
-#include <exception>
-#include <thread>
-#include <vector>
+#include <cstdint>
+#include <type_traits>
+#include <utility>
 
+#include "gbtl/detail/pool.hpp"
 #include "gbtl/types.hpp"
 
 // Per-worker observability spans. Gated on PYGB_OBS_HOOKS (defined for all
-// in-repo targets) because JIT-generated modules compile this header with a
-// bare `g++ -shared` that never links libpygb — the obs symbols would be
-// unresolvable inside the dlopen'd module. Worker spans inside JIT kernels
-// are therefore not traced; everything in-process is.
+// in-repo targets) because JIT-generated modules compile this header
+// without libpygb — the obs symbols would be unresolvable inside the
+// dlopen'd module. Worker spans inside JIT kernels are therefore not
+// traced; everything in-process is.
 #if defined(PYGB_OBS_HOOKS)
 #include "pygb/obs/obs.hpp"
 #define GBTL_WORKER_SPAN(span_name, begin_row, end_row)                  \
@@ -40,65 +52,40 @@
 
 namespace gbtl::detail {
 
-inline std::atomic<unsigned>& thread_count_slot() {
-  static std::atomic<unsigned> count = [] {
-    const char* v = std::getenv("GBTL_NUM_THREADS");
-    const long parsed = (v != nullptr && *v != '\0') ? std::atol(v) : 1;
-    return static_cast<unsigned>(parsed < 1 ? 1 : parsed);
-  }();
-  return count;
-}
-
 /// Current worker-thread count (1 = sequential execution on the caller).
-inline unsigned num_threads() { return thread_count_slot().load(); }
+inline unsigned num_threads() { return pool_num_threads(); }
 
-/// Override the worker count (values < 1 clamp to 1).
-inline void set_num_threads(unsigned n) {
-  thread_count_slot().store(n < 1 ? 1 : n);
-}
+/// Override the worker count (values < 1 clamp to 1). Visible immediately:
+/// the pool drains, joins its old complement, and restarts lazily at the
+/// new size on the next parallel operation.
+inline void set_num_threads(unsigned n) { pool_set_num_threads(n); }
 
-/// Run f(begin, end) over a block partition of [0, n). With one thread (or
-/// tiny n) the call runs inline on the caller. Exceptions thrown by
-/// workers are rethrown on the caller after all threads join.
+#if defined(GBTL_POOL_LINKED)
+/// Current partitioning mode (GBTL_SCHEDULE or set_schedule).
+inline Schedule schedule() { return pool_schedule(); }
+/// Override the partitioning mode for subsequent parallel operations.
+inline void set_schedule(Schedule s) { pool_set_schedule(s); }
+#endif
+
+/// Run f(begin, end) over a partition of [0, n) on the worker pool. With
+/// one thread (or tiny n) the call runs inline on the caller; f may be
+/// invoked several times per worker (dynamic schedule hands out chunks).
+/// Exceptions thrown by workers are rethrown on the caller after the
+/// operation drains. Nested calls run inline (no oversubscription).
 template <typename F>
 void parallel_for_rows(IndexType n, F&& f) {
-  const unsigned requested = num_threads();
-  // Below this many rows the spawn cost dwarfs any possible win.
-  constexpr IndexType kMinRowsPerThread = 64;
-  unsigned workers = requested;
-  if (workers > 1 && n / workers < kMinRowsPerThread) {
-    workers = static_cast<unsigned>(
-        n / kMinRowsPerThread > 0 ? n / kMinRowsPerThread : 1);
-  }
-  if (workers <= 1) {
+  if (n < 2 * kMinRowsPerThread || pool_num_threads() <= 1) {
     f(IndexType{0}, n);
     return;
   }
-
-  std::vector<std::thread> threads;
-  threads.reserve(workers - 1);
-  std::exception_ptr first_error;
-  std::atomic<bool> has_error{false};
-
-  auto run_block = [&](IndexType begin, IndexType end) {
-    GBTL_WORKER_SPAN("parallel.worker", begin, end)
-    try {
-      f(begin, end);
-    } catch (...) {
-      if (!has_error.exchange(true)) first_error = std::current_exception();
-    }
-  };
-
-  const IndexType chunk = (n + workers - 1) / workers;
-  for (unsigned t = 1; t < workers; ++t) {
-    const IndexType begin = t * chunk;
-    if (begin >= n) break;
-    const IndexType end = std::min(n, begin + chunk);
-    threads.emplace_back(run_block, begin, end);
-  }
-  run_block(0, std::min(n, chunk));
-  for (auto& th : threads) th.join();
-  if (first_error) std::rethrow_exception(first_error);
+  using Fn = std::remove_reference_t<F>;
+  pool_parallel_for(
+      n,
+      [](void* ctx, IndexType begin, IndexType end) {
+        GBTL_WORKER_SPAN("parallel.worker", begin, end)
+        (*static_cast<Fn*>(ctx))(begin, end);
+      },
+      const_cast<void*>(static_cast<const void*>(&f)));
 }
 
 }  // namespace gbtl::detail

@@ -1,0 +1,294 @@
+// gbtl/detail/pool.cpp — persistent worker-pool implementation (see
+// pool.hpp for the design contract).
+//
+// Concurrency protocol:
+//
+//   * submit_mu_ serializes whole operations. The submitting thread holds
+//     it from publication until every worker has acknowledged the job, so
+//     a Job can live on the submitter's stack. Other host threads that
+//     fail the try_lock run their operation inline instead of queueing —
+//     the machine is already saturated.
+//   * job_mu_ + job_cv_ park idle workers; jobs are published by bumping
+//     job_seq_ under job_mu_. done_cv_ signals the submitter when the last
+//     worker acknowledges (remaining_ reaching zero).
+//   * t_in_pool_task marks threads currently executing pool work (workers
+//     for their lifetime, the submitter while it participates); nested
+//     parallel_for calls from such threads run inline rather than
+//     deadlocking on submit_mu_ or oversubscribing the machine.
+//
+// Exception discipline: the first exception thrown by any participant is
+// captured (has_error claims the slot, error publishes under job_mu_ via
+// the acknowledgement) and rethrown on the submitting thread after the
+// operation drains; remaining participants stop claiming work.
+#include "gbtl/detail/pool.hpp"
+
+#include <algorithm>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <mutex>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+namespace gbtl::detail {
+
+namespace {
+
+thread_local bool t_in_pool_task = false;
+
+unsigned env_thread_count() {
+  const char* v = std::getenv("GBTL_NUM_THREADS");
+  const long parsed = (v != nullptr && *v != '\0') ? std::atol(v) : 1;
+  return static_cast<unsigned>(parsed < 1 ? 1 : parsed);
+}
+
+Schedule env_schedule() {
+  const char* v = std::getenv("GBTL_SCHEDULE");
+  if (v != nullptr && std::string_view(v) == "dynamic") {
+    return Schedule::kDynamic;
+  }
+  return Schedule::kStatic;
+}
+
+/// One parallel_for in flight. Lives on the submitter's stack; workers
+/// only touch it between publication and their acknowledgement.
+struct Job {
+  PoolTaskFn fn = nullptr;
+  void* ctx = nullptr;
+  IndexType n = 0;
+  IndexType chunk = 0;        ///< block (static) or claim unit (dynamic)
+  unsigned participants = 0;  ///< submitter + workers doing real work
+  Schedule sched = Schedule::kStatic;
+  std::atomic<IndexType> next{0};  ///< dynamic-mode claim cursor
+  std::atomic<bool> has_error{false};
+  std::exception_ptr error;  ///< written by the has_error winner only
+};
+
+class WorkerPool {
+ public:
+  static WorkerPool& instance() {
+    static WorkerPool pool;
+    return pool;
+  }
+
+  unsigned count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+
+  void set_count(unsigned n) {
+    n = n < 1 ? 1 : n;
+    // Blocks until any in-flight operation drains, so a resize is never
+    // concurrent with running tasks.
+    std::lock_guard submit(submit_mu_);
+    if (n == count_.load(std::memory_order_relaxed) && workers_running()) {
+      return;
+    }
+    stop_workers();
+    count_.store(n, std::memory_order_relaxed);
+    // The new complement starts lazily on the next parallel operation.
+  }
+
+  Schedule sched() const noexcept {
+    return sched_.load(std::memory_order_relaxed);
+  }
+  void set_sched(Schedule s) noexcept {
+    sched_.store(s, std::memory_order_relaxed);
+  }
+
+  void parallel_for(IndexType n, PoolTaskFn fn, void* ctx) {
+    if (n == 0) return;
+    const unsigned requested = count();
+    unsigned workers = requested;
+    if (workers > 1 && n / workers < kMinRowsPerThread) {
+      const IndexType fit = n / kMinRowsPerThread;
+      workers = static_cast<unsigned>(fit > 0 ? fit : 1);
+    }
+    if (workers <= 1 || t_in_pool_task) {
+      fn(ctx, IndexType{0}, n);
+      return;
+    }
+
+    std::unique_lock submit(submit_mu_, std::try_to_lock);
+    if (!submit.owns_lock()) {
+      // Another host thread owns the pool; don't queue behind it.
+      fn(ctx, IndexType{0}, n);
+      return;
+    }
+    ensure_started();
+    if (threads_.empty()) {  // thread creation failed: degrade gracefully
+      fn(ctx, IndexType{0}, n);
+      return;
+    }
+
+    Job job;
+    job.fn = fn;
+    job.ctx = ctx;
+    job.n = n;
+    job.sched = sched();
+    job.participants = std::min<unsigned>(
+        workers, static_cast<unsigned>(threads_.size()) + 1);
+    if (job.sched == Schedule::kDynamic) {
+      // Several claims per participant to absorb skew, but never chunks so
+      // small that cursor traffic dominates.
+      const IndexType per =
+          job.n / static_cast<IndexType>(job.participants * 4);
+      job.chunk = std::max(per, kMinRowsPerThread);
+    } else {
+      job.chunk = (job.n + job.participants - 1) / job.participants;
+    }
+
+    {
+      std::lock_guard publish(job_mu_);
+      current_ = &job;
+      remaining_ = static_cast<unsigned>(threads_.size());
+      ++job_seq_;
+    }
+    job_cv_.notify_all();
+
+    t_in_pool_task = true;
+    run_participant(job, 0);
+    t_in_pool_task = false;
+
+    {
+      std::unique_lock wait(job_mu_);
+      done_cv_.wait(wait, [&] { return remaining_ == 0; });
+      current_ = nullptr;
+    }
+    if (job.error) std::rethrow_exception(job.error);
+  }
+
+ private:
+  WorkerPool()
+      : count_(env_thread_count()), sched_(env_schedule()) {}
+
+  ~WorkerPool() {
+    std::lock_guard submit(submit_mu_);
+    stop_workers();
+  }
+
+  bool workers_running() const { return !threads_.empty(); }
+
+  /// Spawn the worker complement if it isn't running (submit_mu_ held).
+  void ensure_started() {
+    if (!threads_.empty()) return;
+    const unsigned n = count_.load(std::memory_order_relaxed);
+    if (n <= 1) return;
+    threads_.reserve(n - 1);
+    try {
+      for (unsigned i = 1; i < n; ++i) {
+        threads_.emplace_back([this, i] { worker_main(i); });
+      }
+    } catch (...) {
+      stop_workers();  // partial spawn: fall back to inline execution
+    }
+  }
+
+  /// Drain and join every worker (submit_mu_ held).
+  void stop_workers() {
+    {
+      std::lock_guard publish(job_mu_);
+      stop_ = true;
+    }
+    job_cv_.notify_all();
+    for (auto& th : threads_) th.join();
+    threads_.clear();
+    std::lock_guard publish(job_mu_);
+    stop_ = false;
+  }
+
+  void worker_main(unsigned index) {
+    t_in_pool_task = true;
+    // seen starts at 0 while job_seq_ survives pool restarts, so the wake
+    // predicate must also require a live job: a worker spawned into a
+    // process that already ran jobs would otherwise wake to a stale
+    // sequence number with current_ == nullptr. current_ stays set until
+    // every worker (this one included) has acknowledged, so no worker can
+    // sleep through a job.
+    std::uint64_t seen = 0;
+    std::unique_lock lock(job_mu_);
+    while (true) {
+      job_cv_.wait(lock, [&] {
+        return stop_ || (current_ != nullptr && job_seq_ != seen);
+      });
+      if (stop_) return;
+      seen = job_seq_;
+      Job* job = current_;
+      lock.unlock();
+      if (index < job->participants) run_participant(*job, index);
+      lock.lock();
+      if (--remaining_ == 0) done_cv_.notify_one();
+    }
+  }
+
+  // Worker obs spans are emitted by the trampoline in parallel_for_rows
+  // (compiled into the caller, which can reach pygb::obs; this file must
+  // not assume libpygb is linked).
+  static void run_participant(Job& job, unsigned index) {
+    try {
+      if (job.sched == Schedule::kStatic) {
+        const IndexType begin =
+            static_cast<IndexType>(index) * job.chunk;
+        if (begin >= job.n) return;
+        const IndexType end = std::min(job.n, begin + job.chunk);
+        if (!job.has_error.load(std::memory_order_relaxed)) {
+          job.fn(job.ctx, begin, end);
+        }
+      } else {
+        while (!job.has_error.load(std::memory_order_relaxed)) {
+          const IndexType begin =
+              job.next.fetch_add(job.chunk, std::memory_order_relaxed);
+          if (begin >= job.n) break;
+          const IndexType end = std::min(job.n, begin + job.chunk);
+          job.fn(job.ctx, begin, end);
+        }
+      }
+    } catch (...) {
+      if (!job.has_error.exchange(true)) {
+        job.error = std::current_exception();
+      }
+    }
+  }
+
+  std::mutex submit_mu_;  ///< one operation (and one resize) at a time
+
+  std::mutex job_mu_;
+  std::condition_variable job_cv_;   ///< workers park here between jobs
+  std::condition_variable done_cv_;  ///< submitter waits for the drain
+  Job* current_ = nullptr;           ///< guarded by job_mu_
+  std::uint64_t job_seq_ = 0;        ///< guarded by job_mu_
+  unsigned remaining_ = 0;           ///< unacknowledged workers, job_mu_
+  bool stop_ = false;                ///< guarded by job_mu_
+
+  std::vector<std::thread> threads_;  ///< guarded by submit_mu_
+  std::atomic<unsigned> count_;
+  std::atomic<Schedule> sched_;
+};
+
+void api_parallel_for(IndexType n, PoolTaskFn fn, void* ctx) {
+  WorkerPool::instance().parallel_for(n, fn, ctx);
+}
+unsigned api_num_threads() { return WorkerPool::instance().count(); }
+void api_set_num_threads(unsigned n) { WorkerPool::instance().set_count(n); }
+
+}  // namespace
+
+unsigned pool_num_threads() { return WorkerPool::instance().count(); }
+
+void pool_set_num_threads(unsigned n) { WorkerPool::instance().set_count(n); }
+
+void pool_parallel_for(IndexType n, PoolTaskFn fn, void* ctx) {
+  WorkerPool::instance().parallel_for(n, fn, ctx);
+}
+
+Schedule pool_schedule() { return WorkerPool::instance().sched(); }
+
+void pool_set_schedule(Schedule s) { WorkerPool::instance().set_sched(s); }
+
+const PoolApi* host_pool_api() {
+  static const PoolApi api{kPoolAbiVersion, &api_parallel_for,
+                           &api_num_threads, &api_set_num_threads};
+  return &api;
+}
+
+}  // namespace gbtl::detail

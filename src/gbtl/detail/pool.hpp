@@ -1,0 +1,144 @@
+// gbtl/detail/pool.hpp — the persistent worker pool behind the
+// multithreaded substrate backend.
+//
+// The pool replaces the spawn/join-per-call threading of the original
+// parallel_for_rows: GBTL_NUM_THREADS - 1 workers are started lazily on
+// the first parallel operation, parked on a condition variable between
+// operations, and reused for every subsequent parallel_for_rows. Two
+// partitioning modes are supported (GBTL_SCHEDULE, overridable with
+// set_schedule):
+//
+//   static  — one contiguous block of rows per participant (the default;
+//             lowest overhead, ideal for uniform row costs);
+//   dynamic — participants claim fixed-size chunks off a shared atomic
+//             cursor, which load-balances skew-heavy row distributions
+//             (RMAT/Kronecker power-law graphs).
+//
+// Results never depend on the schedule or the worker count: kernels write
+// disjoint per-row (or per-tile) staging slots and all combining happens
+// in a deterministic sequential tail on the caller.
+//
+// Two builds see this header (the dlopen constraint documented in
+// parallel.hpp):
+//
+//   * in-repo targets (GBTL_POOL_LINKED defined) link detail/pool.cpp and
+//     call the pool_* entry points below directly;
+//   * JIT-generated modules are compiled with a bare `g++ -shared` that
+//     never links libpygb. They receive the host's pool through a function
+//     table (PoolApi) injected right after dlopen via the
+//     pygb_module_set_pool export (defined in pygb/jit/glue.hpp); until —
+//     or unless — that injection happens, they degrade to inline
+//     sequential loops.
+#pragma once
+
+#include <atomic>
+#include <cstdlib>
+
+#include "gbtl/types.hpp"
+
+namespace gbtl::detail {
+
+/// Task callback: run rows [begin, end) of the submitted range. A single
+/// parallel_for call may invoke it many times (once per chunk).
+using PoolTaskFn = void (*)(void* ctx, IndexType begin, IndexType end);
+
+/// Row-partitioning strategy for one parallel_for (see header comment).
+enum class Schedule : unsigned { kStatic = 0, kDynamic = 1 };
+
+/// Below this many rows per worker the dispatch cost dwarfs any win; the
+/// pool clamps its participant count so every block is at least this tall,
+/// and parallel_for_rows runs ranges shorter than twice this inline.
+inline constexpr IndexType kMinRowsPerThread = 64;
+
+/// C-layout function table handed to dlopen'd JIT modules so their kernels
+/// dispatch onto the host's pool instead of looping sequentially. The ABI
+/// version is checked by the module before accepting the table.
+struct PoolApi {
+  unsigned abi_version;
+  void (*parallel_for)(IndexType n, PoolTaskFn fn, void* ctx);
+  unsigned (*num_threads)();
+  void (*set_num_threads)(unsigned n);
+};
+
+inline constexpr unsigned kPoolAbiVersion = 1;
+
+/// The injection export generated modules carry (see pygb/jit/glue.hpp);
+/// pygb::jit::load_kernel dlsym's this name after every successful dlopen.
+inline constexpr const char* kPoolInjectSymbol = "pygb_module_set_pool";
+
+#if defined(GBTL_POOL_LINKED)
+
+// Implemented in detail/pool.cpp (linked into every in-repo target through
+// the gbtl interface library).
+
+/// Current worker count (1 = fully sequential, no thread machinery).
+/// Initialized from GBTL_NUM_THREADS on first use.
+unsigned pool_num_threads();
+
+/// Resize the pool (values < 1 clamp to 1). Takes effect immediately:
+/// running workers are drained and joined; the new complement is started
+/// lazily on the next parallel operation.
+void pool_set_num_threads(unsigned n);
+
+/// Run fn(ctx, begin, end) over a partition of [0, n) on the pool.
+/// Worker exceptions are captured and the first one is rethrown on the
+/// caller after the operation completes. Nested calls (from inside a pool
+/// task) and calls while another host thread owns the pool run inline.
+void pool_parallel_for(IndexType n, PoolTaskFn fn, void* ctx);
+
+/// Current partitioning mode. Initialized from GBTL_SCHEDULE
+/// ("static" | "dynamic", default static) on first use.
+Schedule pool_schedule();
+void pool_set_schedule(Schedule s);
+
+/// The function table injected into JIT modules (stable for the process
+/// lifetime).
+const PoolApi* host_pool_api();
+
+#else  // !GBTL_POOL_LINKED — a JIT module compiled without libpygb.
+
+/// The host-injected pool table (null until pygb_module_set_pool runs).
+inline std::atomic<const PoolApi*>& pool_api_slot() {
+  static std::atomic<const PoolApi*> api{nullptr};
+  return api;
+}
+
+namespace poolfallback {
+/// Thread-count fallback used only when the host never injected its pool
+/// (a stale cached module or a standalone compile of generated source).
+inline std::atomic<unsigned>& thread_count_slot() {
+  static std::atomic<unsigned> count = [] {
+    const char* v = std::getenv("GBTL_NUM_THREADS");
+    const long parsed = (v != nullptr && *v != '\0') ? std::atol(v) : 1;
+    return static_cast<unsigned>(parsed < 1 ? 1 : parsed);
+  }();
+  return count;
+}
+}  // namespace poolfallback
+
+inline unsigned pool_num_threads() {
+  if (const PoolApi* api = pool_api_slot().load(std::memory_order_acquire)) {
+    return api->num_threads();
+  }
+  return poolfallback::thread_count_slot().load();
+}
+
+inline void pool_set_num_threads(unsigned n) {
+  if (const PoolApi* api = pool_api_slot().load(std::memory_order_acquire)) {
+    api->set_num_threads(n);
+    return;
+  }
+  poolfallback::thread_count_slot().store(n < 1 ? 1 : n);
+}
+
+inline void pool_parallel_for(IndexType n, PoolTaskFn fn, void* ctx) {
+  if (const PoolApi* api = pool_api_slot().load(std::memory_order_acquire)) {
+    api->parallel_for(n, fn, ctx);
+    return;
+  }
+  fn(ctx, IndexType{0}, n);  // no pool injected: inline sequential loop
+}
+
+#endif  // GBTL_POOL_LINKED
+
+}  // namespace gbtl::detail

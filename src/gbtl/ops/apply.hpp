@@ -3,10 +3,16 @@
 //   w<m, z> = w (+) f(u)
 // The structure of the result is exactly the structure of the input; the
 // unary op may change the scalar type (e.g. Identity<T, OutT> casting).
+//
+// Every stored value maps independently, so both forms run on the worker
+// pool with disjoint staging slots and a sequential assembly pass (the
+// shared nvals bookkeeping is not thread-safe).
 #pragma once
 
 #include <utility>
+#include <vector>
 
+#include "gbtl/detail/parallel.hpp"
 #include "gbtl/detail/write_backend.hpp"
 #include "gbtl/matrix.hpp"
 #include "gbtl/ops/mxm.hpp"  // materialize_transpose
@@ -21,17 +27,20 @@ namespace detail {
 template <typename D3, typename AT, typename UnaryOpT>
 Matrix<D3> apply_matrix(const UnaryOpT& f, const Matrix<AT>& a) {
   Matrix<D3> t(a.nrows(), a.ncols());
-  typename Matrix<D3>::Row out;
-  for (IndexType i = 0; i < a.nrows(); ++i) {
-    const auto& ra = a.row(i);
-    if (ra.empty()) continue;
-    out.clear();
-    out.reserve(ra.size());
-    for (const auto& [j, v] : ra) {
-      out.emplace_back(j, static_cast<D3>(f(v)));
+  std::vector<typename Matrix<D3>::Row> out_rows(a.nrows());
+  detail::parallel_for_rows(a.nrows(), [&](IndexType begin, IndexType end) {
+    for (IndexType i = begin; i < end; ++i) {
+      const auto& ra = a.row(i);
+      if (ra.empty()) continue;
+      auto& out = out_rows[i];
+      out.reserve(ra.size());
+      for (const auto& [j, v] : ra) {
+        out.emplace_back(j, static_cast<D3>(f(v)));
+      }
     }
-    t.setRow(i, std::move(out));
-    out = {};
+  });
+  for (IndexType i = 0; i < a.nrows(); ++i) {
+    if (!out_rows[i].empty()) t.setRow(i, std::move(out_rows[i]));
   }
   return t;
 }
@@ -39,10 +48,18 @@ Matrix<D3> apply_matrix(const UnaryOpT& f, const Matrix<AT>& a) {
 template <typename D3, typename UT, typename UnaryOpT>
 Vector<D3> apply_vector(const UnaryOpT& f, const Vector<UT>& u) {
   Vector<D3> t(u.size());
-  for (IndexType i = 0; i < u.size(); ++i) {
-    if (u.has_unchecked(i)) {
-      t.set_unchecked(i, static_cast<D3>(f(u.value_unchecked(i))));
+  std::vector<unsigned char> present(u.size(), 0);
+  std::vector<D3> vals(u.size());
+  detail::parallel_for_rows(u.size(), [&](IndexType begin, IndexType end) {
+    for (IndexType i = begin; i < end; ++i) {
+      if (u.has_unchecked(i)) {
+        present[i] = 1;
+        vals[i] = static_cast<D3>(f(u.value_unchecked(i)));
+      }
     }
+  });
+  for (IndexType i = 0; i < u.size(); ++i) {
+    if (present[i]) t.set_unchecked(i, vals[i]);
   }
   return t;
 }

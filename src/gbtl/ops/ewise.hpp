@@ -4,10 +4,17 @@
 // for matrix-matrix and vector-vector operand pairs, with the standard
 // mask/accumulate/replace output discipline. Transposed matrix inputs are
 // materialized first (they are rare in practice and the C API permits them).
+//
+// Rows (matrix forms) and index blocks (vector forms) are independent, so
+// the merge loops run on the worker pool: each worker writes disjoint
+// staging slots and the result container is assembled sequentially
+// afterwards (Vector/Matrix nvals bookkeeping is not thread-safe).
 #pragma once
 
 #include <utility>
+#include <vector>
 
+#include "gbtl/detail/parallel.hpp"
 #include "gbtl/detail/write_backend.hpp"
 #include "gbtl/matrix.hpp"
 #include "gbtl/ops/mxm.hpp"  // materialize_transpose
@@ -23,31 +30,34 @@ template <typename D3, typename AT, typename BT, typename BinaryOpT>
 Matrix<D3> ewise_add_matrix(const BinaryOpT& op, const Matrix<AT>& a,
                             const Matrix<BT>& b) {
   Matrix<D3> t(a.nrows(), a.ncols());
-  typename Matrix<D3>::Row out;
-  for (IndexType i = 0; i < a.nrows(); ++i) {
-    const auto& ra = a.row(i);
-    const auto& rb = b.row(i);
-    if (ra.empty() && rb.empty()) continue;
-    out.clear();
-    out.reserve(ra.size() + rb.size());
-    auto ia = ra.begin();
-    auto ib = rb.begin();
-    while (ia != ra.end() || ib != rb.end()) {
-      if (ib == rb.end() || (ia != ra.end() && ia->first < ib->first)) {
-        out.emplace_back(ia->first, static_cast<D3>(ia->second));
-        ++ia;
-      } else if (ia == ra.end() || ib->first < ia->first) {
-        out.emplace_back(ib->first, static_cast<D3>(ib->second));
-        ++ib;
-      } else {
-        out.emplace_back(ia->first,
-                         static_cast<D3>(op(ia->second, ib->second)));
-        ++ia;
-        ++ib;
+  std::vector<typename Matrix<D3>::Row> out_rows(a.nrows());
+  detail::parallel_for_rows(a.nrows(), [&](IndexType begin, IndexType end) {
+    for (IndexType i = begin; i < end; ++i) {
+      const auto& ra = a.row(i);
+      const auto& rb = b.row(i);
+      if (ra.empty() && rb.empty()) continue;
+      auto& out = out_rows[i];
+      out.reserve(ra.size() + rb.size());
+      auto ia = ra.begin();
+      auto ib = rb.begin();
+      while (ia != ra.end() || ib != rb.end()) {
+        if (ib == rb.end() || (ia != ra.end() && ia->first < ib->first)) {
+          out.emplace_back(ia->first, static_cast<D3>(ia->second));
+          ++ia;
+        } else if (ia == ra.end() || ib->first < ia->first) {
+          out.emplace_back(ib->first, static_cast<D3>(ib->second));
+          ++ib;
+        } else {
+          out.emplace_back(ia->first,
+                           static_cast<D3>(op(ia->second, ib->second)));
+          ++ia;
+          ++ib;
+        }
       }
     }
-    t.setRow(i, std::move(out));
-    out = {};
+  });
+  for (IndexType i = 0; i < a.nrows(); ++i) {
+    if (!out_rows[i].empty()) t.setRow(i, std::move(out_rows[i]));
   }
   return t;
 }
@@ -56,30 +66,31 @@ template <typename D3, typename AT, typename BT, typename BinaryOpT>
 Matrix<D3> ewise_mult_matrix(const BinaryOpT& op, const Matrix<AT>& a,
                              const Matrix<BT>& b) {
   Matrix<D3> t(a.nrows(), a.ncols());
-  typename Matrix<D3>::Row out;
-  for (IndexType i = 0; i < a.nrows(); ++i) {
-    const auto& ra = a.row(i);
-    const auto& rb = b.row(i);
-    if (ra.empty() || rb.empty()) continue;
-    out.clear();
-    auto ia = ra.begin();
-    auto ib = rb.begin();
-    while (ia != ra.end() && ib != rb.end()) {
-      if (ia->first < ib->first) {
-        ++ia;
-      } else if (ib->first < ia->first) {
-        ++ib;
-      } else {
-        out.emplace_back(ia->first,
-                         static_cast<D3>(op(ia->second, ib->second)));
-        ++ia;
-        ++ib;
+  std::vector<typename Matrix<D3>::Row> out_rows(a.nrows());
+  detail::parallel_for_rows(a.nrows(), [&](IndexType begin, IndexType end) {
+    for (IndexType i = begin; i < end; ++i) {
+      const auto& ra = a.row(i);
+      const auto& rb = b.row(i);
+      if (ra.empty() || rb.empty()) continue;
+      auto& out = out_rows[i];
+      auto ia = ra.begin();
+      auto ib = rb.begin();
+      while (ia != ra.end() && ib != rb.end()) {
+        if (ia->first < ib->first) {
+          ++ia;
+        } else if (ib->first < ia->first) {
+          ++ib;
+        } else {
+          out.emplace_back(ia->first,
+                           static_cast<D3>(op(ia->second, ib->second)));
+          ++ia;
+          ++ib;
+        }
       }
     }
-    if (!out.empty()) {
-      t.setRow(i, std::move(out));
-      out = {};
-    }
+  });
+  for (IndexType i = 0; i < a.nrows(); ++i) {
+    if (!out_rows[i].empty()) t.setRow(i, std::move(out_rows[i]));
   }
   return t;
 }
@@ -88,17 +99,27 @@ template <typename D3, typename AT, typename BT, typename BinaryOpT>
 Vector<D3> ewise_add_vector(const BinaryOpT& op, const Vector<AT>& a,
                             const Vector<BT>& b) {
   Vector<D3> t(a.size());
-  for (IndexType i = 0; i < a.size(); ++i) {
-    const bool ha = a.has_unchecked(i);
-    const bool hb = b.has_unchecked(i);
-    if (ha && hb) {
-      t.set_unchecked(i, static_cast<D3>(op(a.value_unchecked(i),
-                                            b.value_unchecked(i))));
-    } else if (ha) {
-      t.set_unchecked(i, static_cast<D3>(a.value_unchecked(i)));
-    } else if (hb) {
-      t.set_unchecked(i, static_cast<D3>(b.value_unchecked(i)));
+  std::vector<unsigned char> present(a.size(), 0);
+  std::vector<D3> vals(a.size());
+  detail::parallel_for_rows(a.size(), [&](IndexType begin, IndexType end) {
+    for (IndexType i = begin; i < end; ++i) {
+      const bool ha = a.has_unchecked(i);
+      const bool hb = b.has_unchecked(i);
+      if (ha && hb) {
+        present[i] = 1;
+        vals[i] = static_cast<D3>(op(a.value_unchecked(i),
+                                     b.value_unchecked(i)));
+      } else if (ha) {
+        present[i] = 1;
+        vals[i] = static_cast<D3>(a.value_unchecked(i));
+      } else if (hb) {
+        present[i] = 1;
+        vals[i] = static_cast<D3>(b.value_unchecked(i));
+      }
     }
+  });
+  for (IndexType i = 0; i < a.size(); ++i) {
+    if (present[i]) t.set_unchecked(i, vals[i]);
   }
   return t;
 }
@@ -107,11 +128,19 @@ template <typename D3, typename AT, typename BT, typename BinaryOpT>
 Vector<D3> ewise_mult_vector(const BinaryOpT& op, const Vector<AT>& a,
                              const Vector<BT>& b) {
   Vector<D3> t(a.size());
-  for (IndexType i = 0; i < a.size(); ++i) {
-    if (a.has_unchecked(i) && b.has_unchecked(i)) {
-      t.set_unchecked(i, static_cast<D3>(op(a.value_unchecked(i),
-                                            b.value_unchecked(i))));
+  std::vector<unsigned char> present(a.size(), 0);
+  std::vector<D3> vals(a.size());
+  detail::parallel_for_rows(a.size(), [&](IndexType begin, IndexType end) {
+    for (IndexType i = begin; i < end; ++i) {
+      if (a.has_unchecked(i) && b.has_unchecked(i)) {
+        present[i] = 1;
+        vals[i] = static_cast<D3>(op(a.value_unchecked(i),
+                                     b.value_unchecked(i)));
+      }
     }
+  });
+  for (IndexType i = 0; i < a.size(); ++i) {
+    if (present[i]) t.set_unchecked(i, vals[i]);
   }
   return t;
 }

@@ -4,8 +4,21 @@
 //   s = s (+) [⊕_i u(i)]            (vector → scalar)
 // Column reduction is expressed by passing transpose(A). A row (or the whole
 // container) with no stored values contributes no entry / leaves s as-is.
+//
+// Parallel discipline: workers fold fixed partials (one per matrix row, one
+// per kScalarReduceTile-sized vector tile) into disjoint staging slots; the
+// partials are then combined left-to-right in a sequential tail on the
+// caller. The partial structure does not depend on the worker count or
+// schedule, so scalar results are bit-identical for every GBTL_NUM_THREADS
+// — including floating-point monoids, whose grouping is fixed by the
+// row/tile boundaries rather than by the partition.
 #pragma once
 
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "gbtl/detail/parallel.hpp"
 #include "gbtl/detail/write_backend.hpp"
 #include "gbtl/matrix.hpp"
 #include "gbtl/ops/mxm.hpp"  // materialize_transpose / resolve helpers
@@ -14,6 +27,25 @@
 #include "gbtl/views.hpp"
 
 namespace gbtl {
+
+namespace detail {
+
+/// Tile width for vector → scalar reductions: partials are folded per tile
+/// so the combine order is a function of the vector length alone.
+inline constexpr IndexType kScalarReduceTile = 1024;
+
+/// Fold one matrix row with a monoid (empty row → (false, unspecified)).
+template <typename D3, typename RowT, typename MonoidT>
+std::pair<bool, D3> reduce_row(const MonoidT& monoid, const RowT& row) {
+  if (row.empty()) return {false, D3{}};
+  D3 acc = static_cast<D3>(row.front().second);
+  for (auto it = row.begin() + 1; it != row.end(); ++it) {
+    acc = monoid(acc, static_cast<D3>(it->second));
+  }
+  return {true, acc};
+}
+
+}  // namespace detail
 
 /// Row-wise reduce of a matrix into a vector.
 template <typename WT, typename MaskT, typename AccumT, typename MonoidT,
@@ -27,14 +59,19 @@ void reduce(Vector<WT>& w, const MaskT& mask, AccumT accum,
   decltype(auto) ra = detail::resolve_matrix(a);
   using D3 = typename MonoidT::ScalarType;
   Vector<D3> t(w.size());
-  for (IndexType i = 0; i < ra.nrows(); ++i) {
-    const auto& row = ra.row(i);
-    if (row.empty()) continue;
-    D3 acc = static_cast<D3>(row.front().second);
-    for (auto it = row.begin() + 1; it != row.end(); ++it) {
-      acc = monoid(acc, static_cast<D3>(it->second));
+  std::vector<unsigned char> present(ra.nrows(), 0);
+  std::vector<D3> vals(ra.nrows());
+  detail::parallel_for_rows(ra.nrows(), [&](IndexType begin, IndexType end) {
+    for (IndexType i = begin; i < end; ++i) {
+      auto [found, acc] = detail::reduce_row<D3>(monoid, ra.row(i));
+      if (found) {
+        present[i] = 1;
+        vals[i] = acc;
+      }
     }
-    t.set_unchecked(i, acc);
+  });
+  for (IndexType i = 0; i < ra.nrows(); ++i) {
+    if (present[i]) t.set_unchecked(i, vals[i]);
   }
   detail::write_vector_result(w, t, mask, accum, outp);
 }
@@ -48,11 +85,22 @@ void reduce(ValueT& val, AccumT accum, const MonoidT& monoid, const AMatT& a) {
   decltype(auto) ra = detail::resolve_matrix(a);
   using D3 = typename MonoidT::ScalarType;
   if (ra.nvals() == 0) return;
+  // Per-row partials combined in row order: the grouping is fixed by the
+  // matrix structure, so the result is identical at every thread count.
+  std::vector<unsigned char> present(ra.nrows(), 0);
+  std::vector<D3> partial(ra.nrows());
+  detail::parallel_for_rows(ra.nrows(), [&](IndexType begin, IndexType end) {
+    for (IndexType i = begin; i < end; ++i) {
+      auto [found, row_acc] = detail::reduce_row<D3>(monoid, ra.row(i));
+      if (found) {
+        present[i] = 1;
+        partial[i] = row_acc;
+      }
+    }
+  });
   D3 acc = MonoidT::identity();
   for (IndexType i = 0; i < ra.nrows(); ++i) {
-    for (const auto& [j, v] : ra.row(i)) {
-      acc = monoid(acc, static_cast<D3>(v));
-    }
+    if (present[i]) acc = monoid(acc, partial[i]);
   }
   if constexpr (detail::no_accum_v<AccumT>) {
     val = static_cast<ValueT>(acc);
@@ -67,11 +115,34 @@ void reduce(ValueT& val, AccumT accum, const MonoidT& monoid,
             const Vector<UT>& u) {
   using D3 = typename MonoidT::ScalarType;
   if (u.nvals() == 0) return;
-  D3 acc = MonoidT::identity();
-  for (IndexType i = 0; i < u.size(); ++i) {
-    if (u.has_unchecked(i)) {
-      acc = monoid(acc, static_cast<D3>(u.value_unchecked(i)));
+  // Fixed-width tile partials combined in tile order: the grouping depends
+  // only on the vector length, never on the partition (see header comment).
+  const IndexType tiles =
+      (u.size() + detail::kScalarReduceTile - 1) / detail::kScalarReduceTile;
+  std::vector<unsigned char> present(tiles, 0);
+  std::vector<D3> partial(tiles);
+  detail::parallel_for_rows(tiles, [&](IndexType begin, IndexType end) {
+    for (IndexType tile = begin; tile < end; ++tile) {
+      const IndexType lo = tile * detail::kScalarReduceTile;
+      const IndexType hi =
+          std::min(u.size(), lo + detail::kScalarReduceTile);
+      bool found = false;
+      D3 tile_acc{};
+      for (IndexType i = lo; i < hi; ++i) {
+        if (!u.has_unchecked(i)) continue;
+        const D3 v = static_cast<D3>(u.value_unchecked(i));
+        tile_acc = found ? monoid(tile_acc, v) : v;
+        found = true;
+      }
+      if (found) {
+        present[tile] = 1;
+        partial[tile] = tile_acc;
+      }
     }
+  });
+  D3 acc = MonoidT::identity();
+  for (IndexType tile = 0; tile < tiles; ++tile) {
+    if (present[tile]) acc = monoid(acc, partial[tile]);
   }
   if constexpr (detail::no_accum_v<AccumT>) {
     val = static_cast<ValueT>(acc);

@@ -36,8 +36,9 @@
 namespace pygb::jit {
 
 /// Bumped whenever the generated-module ABI changes (KernelArgs layout,
-/// stamp symbol format, filename scheme).
-inline constexpr int kCacheSchemaVersion = 2;
+/// stamp symbol format, filename scheme). v3: modules carry the
+/// pygb_module_set_pool worker-pool injection export (gbtl/detail/pool.hpp).
+inline constexpr int kCacheSchemaVersion = 3;
 
 /// The full environment stamp: schema version, compiler identity and
 /// flags, pygb version. Computed once per (process, compiler command) and

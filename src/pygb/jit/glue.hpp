@@ -468,3 +468,24 @@ void run_algo_cc(const KernelArgs* args) {
 }
 
 }  // namespace pygb::jit
+
+// ---------------------------------------------------------------------------
+// Pool injection export (JIT modules only).
+//
+// A generated module is compiled without GBTL_POOL_LINKED, so its copy of
+// gbtl/detail/pool.hpp routes parallel_for through an atomic PoolApi slot
+// that starts null (inline sequential fallback). The loader dlsym's this
+// export (gbtl::detail::kPoolInjectSymbol) right after dlopen and hands the
+// module the host's function table, so JIT kernels run on the same
+// persistent worker pool as every in-process kernel. The ABI version gate
+// keeps a newer host from poisoning an older cached module (and vice
+// versa) — on mismatch the module simply stays sequential.
+// ---------------------------------------------------------------------------
+#if !defined(GBTL_POOL_LINKED)
+extern "C" void pygb_module_set_pool(const gbtl::detail::PoolApi* api) {
+  if (api != nullptr &&
+      api->abi_version == gbtl::detail::kPoolAbiVersion) {
+    gbtl::detail::pool_api_slot().store(api, std::memory_order_release);
+  }
+}
+#endif

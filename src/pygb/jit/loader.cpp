@@ -5,6 +5,7 @@
 #include <fstream>
 #include <iterator>
 
+#include "gbtl/detail/pool.hpp"
 #include "pygb/jit/cache.hpp"
 #include "pygb/obs/obs.hpp"
 
@@ -60,6 +61,14 @@ KernelFn load_kernel(const std::string& so_path, std::string* error,
     }
     dlclose(handle);
     return nullptr;
+  }
+  // Hand the module the host's worker pool so its kernels parallelize on
+  // the same persistent threads as in-process code. Missing export (a
+  // module cached by an older schema) is fine — the module then runs its
+  // parallel regions inline, which is always correct.
+  if (void* inject = dlsym(handle, gbtl::detail::kPoolInjectSymbol)) {
+    using InjectFn = void (*)(const gbtl::detail::PoolApi*);
+    reinterpret_cast<InjectFn>(inject)(gbtl::detail::host_pool_api());
   }
   return reinterpret_cast<KernelFn>(sym);
 }

@@ -4,6 +4,10 @@
 // small-input sequential fast path.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <thread>
+#include <vector>
+
 #include "gbtl/detail/parallel.hpp"
 #include "reference.hpp"
 

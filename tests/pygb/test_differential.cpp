@@ -1,0 +1,313 @@
+// Differential harness: one seeded random DSL program is executed under
+// every dispatch backend (interp, static, jit) crossed with worker counts
+// (1, 4), mirrored step-for-step against direct native GBTL calls, and the
+// final states of all combos are compared element-exactly. All backends
+// funnel into the same gbtl templates and the worker pool's combine
+// structure is partition-independent, so agreement must be bit-exact —
+// for doubles too. The exercised vocabulary is deliberately restricted to
+// statically registered kernels: under Mode::kStatic a miss throws
+// NoKernelError, which fails the test loudly instead of silently falling
+// back.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "gbtl/detail/parallel.hpp"
+#include "gbtl/gbtl.hpp"
+#include "pygb/jit/compiler.hpp"
+#include "pygb/pygb.hpp"
+#include "../gbtl/reference.hpp"
+
+namespace {
+
+using namespace pygb;  // NOLINT
+
+// Large enough that parallel_for_rows actually fans out (the pool runs
+// ranges under 2 * kMinRowsPerThread = 128 inline).
+constexpr gbtl::IndexType kN = 160;
+constexpr int kSteps = 12;
+
+struct MirroredState {
+  std::vector<Matrix> dsl_m;
+  std::vector<gbtl::Matrix<double>> nat_m;
+  std::vector<Vector> dsl_v;
+  std::vector<gbtl::Vector<double>> nat_v;
+  Matrix mask_m;
+  Vector mask_v;
+
+  bool consistent() const {
+    for (std::size_t k = 0; k < dsl_m.size(); ++k) {
+      if (!(dsl_m[k].typed<double>() == nat_m[k])) return false;
+    }
+    for (std::size_t k = 0; k < dsl_v.size(); ++k) {
+      if (!(dsl_v[k].typed<double>() == nat_v[k])) return false;
+    }
+    return true;
+  }
+};
+
+MirroredState make_state(unsigned seed) {
+  MirroredState s;
+  for (unsigned k = 0; k < 3; ++k) {
+    auto nat = testref::random_matrix<double>(kN, kN, 0.05, seed + k);
+    s.nat_m.push_back(nat);
+    s.dsl_m.push_back(Matrix::adopt(std::move(nat)));
+  }
+  for (unsigned k = 0; k < 2; ++k) {
+    auto nat = testref::random_vector<double>(kN, 0.5, seed + 10 + k);
+    s.nat_v.push_back(nat);
+    s.dsl_v.push_back(Vector::adopt(std::move(nat)));
+  }
+  s.mask_m = Matrix::adopt(testref::random_matrix<bool>(kN, kN, 0.4,
+                                                        seed + 20, false,
+                                                        true));
+  s.mask_v = Vector::adopt(
+      testref::random_vector<bool>(kN, 0.4, seed + 21, false, true));
+  return s;
+}
+
+/// One random step applied to both sides; every branch uses only
+/// statically registered kernel shapes. Returns a description for failure
+/// messages.
+std::string step(MirroredState& s, std::mt19937& rng) {
+  std::uniform_int_distribution<int> op_pick(0, 6);
+  std::uniform_int_distribution<int> reg3(0, 2);
+  std::uniform_int_distribution<int> reg2(0, 1);
+  std::uniform_int_distribution<int> coin(0, 1);
+
+  const int op = op_pick(rng);
+  const bool masked = coin(rng) == 1;
+  const bool replace = masked && coin(rng) == 1;
+  const auto outp =
+      replace ? gbtl::OutputControl::kReplace : gbtl::OutputControl::kMerge;
+
+  auto run_dsl = [&](auto&& assign_fn) {
+    if (replace) {
+      With ctx(Replace);
+      assign_fn();
+    } else {
+      assign_fn();
+    }
+  };
+
+  switch (op) {
+    case 0: {  // mxm arithmetic, optional matrix mask
+      const int ai = reg3(rng), bi = reg3(rng), ci = reg3(rng);
+      if (masked) {
+        run_dsl([&] {
+          s.dsl_m[ci][s.mask_m] = matmul(s.dsl_m[ai], s.dsl_m[bi]);
+        });
+        gbtl::mxm(s.nat_m[ci], s.mask_m.typed<bool>(), gbtl::NoAccumulate{},
+                  gbtl::ArithmeticSemiring<double>{}, s.nat_m[ai],
+                  s.nat_m[bi], outp);
+      } else {
+        s.dsl_m[ci][None] = matmul(s.dsl_m[ai], s.dsl_m[bi]);
+        gbtl::mxm(s.nat_m[ci], gbtl::NoMask{}, gbtl::NoAccumulate{},
+                  gbtl::ArithmeticSemiring<double>{}, s.nat_m[ai],
+                  s.nat_m[bi]);
+      }
+      return "mxm";
+    }
+    case 1: {  // mxv arithmetic, optional vector mask
+      const int ai = reg3(rng), ui = reg2(rng), wi = reg2(rng);
+      if (masked) {
+        run_dsl([&] {
+          s.dsl_v[wi][s.mask_v] = matmul(s.dsl_m[ai], s.dsl_v[ui]);
+        });
+        gbtl::mxv(s.nat_v[wi], s.mask_v.typed<bool>(), gbtl::NoAccumulate{},
+                  gbtl::ArithmeticSemiring<double>{}, s.nat_m[ai],
+                  s.nat_v[ui], outp);
+      } else {
+        s.dsl_v[wi][None] = matmul(s.dsl_m[ai], s.dsl_v[ui]);
+        gbtl::mxv(s.nat_v[wi], gbtl::NoMask{}, gbtl::NoAccumulate{},
+                  gbtl::ArithmeticSemiring<double>{}, s.nat_m[ai],
+                  s.nat_v[ui]);
+      }
+      return "mxv";
+    }
+    case 2: {  // matrix eWiseAdd/eWiseMult, Plus or Min, unmasked
+      const int ai = reg3(rng), bi = reg3(rng), ci = reg3(rng);
+      const bool is_add = coin(rng) == 1;
+      const bool use_min = coin(rng) == 1;
+      {
+        With ctx(use_min ? BinaryOp("Min") : BinaryOp("Plus"));
+        if (is_add) {
+          s.dsl_m[ci][None] = s.dsl_m[ai] + s.dsl_m[bi];
+        } else {
+          s.dsl_m[ci][None] = s.dsl_m[ai] * s.dsl_m[bi];
+        }
+      }
+      auto apply_native = [&](auto opfn) {
+        if (is_add) {
+          gbtl::eWiseAdd(s.nat_m[ci], gbtl::NoMask{}, gbtl::NoAccumulate{},
+                         opfn, s.nat_m[ai], s.nat_m[bi]);
+        } else {
+          gbtl::eWiseMult(s.nat_m[ci], gbtl::NoMask{}, gbtl::NoAccumulate{},
+                          opfn, s.nat_m[ai], s.nat_m[bi]);
+        }
+      };
+      if (use_min) {
+        apply_native(gbtl::Min<double>{});
+      } else {
+        apply_native(gbtl::Plus<double>{});
+      }
+      return "ewise matrix";
+    }
+    case 3: {  // accumulating vxm (the PageRank shape)
+      const int ai = reg3(rng), ui = reg2(rng), wi = reg2(rng);
+      {
+        With ctx(Accumulator("Plus"), ArithmeticSemiring());
+        s.dsl_v[wi][None] += matmul(s.dsl_v[ui], s.dsl_m[ai]);
+      }
+      gbtl::vxm(s.nat_v[wi], gbtl::NoMask{}, gbtl::Plus<double>{},
+                gbtl::ArithmeticSemiring<double>{}, s.nat_v[ui],
+                s.nat_m[ai]);
+      return "vxm accum";
+    }
+    case 4: {  // apply with a bound constant
+      const int ai = reg3(rng), ci = reg3(rng);
+      {
+        With ctx(UnaryOp("Times", 0.5));
+        s.dsl_m[ci][None] = apply(s.dsl_m[ai]);
+      }
+      gbtl::apply(s.nat_m[ci], gbtl::NoMask{}, gbtl::NoAccumulate{},
+                  gbtl::BinaryOpBind2nd<double, gbtl::Times<double>>(0.5),
+                  s.nat_m[ai]);
+      return "apply bound";
+    }
+    case 5: {  // masked constant assign (the BFS levels shape)
+      const int wi = reg2(rng);
+      run_dsl([&] {
+        if (masked) {
+          s.dsl_v[wi][s.mask_v] = 7.0;
+        } else {
+          s.dsl_v[wi][Slice::all()] = 7.0;
+        }
+      });
+      if (masked) {
+        gbtl::assign(s.nat_v[wi], s.mask_v.typed<bool>(),
+                     gbtl::NoAccumulate{}, 7.0, gbtl::AllIndices{}, outp);
+      } else {
+        gbtl::assign(s.nat_v[wi], gbtl::NoMask{}, gbtl::NoAccumulate{}, 7.0,
+                     gbtl::AllIndices{});
+      }
+      return "assign const";
+    }
+    default: {  // complemented-mask vector eWiseAdd
+      const int ui = reg2(rng), wi = reg2(rng);
+      {
+        With ctx(BinaryOp("Plus"));
+        s.dsl_v[wi][~s.mask_v] = s.dsl_v[wi] + s.dsl_v[ui];
+      }
+      gbtl::eWiseAdd(s.nat_v[wi], gbtl::complement(s.mask_v.typed<bool>()),
+                     gbtl::NoAccumulate{}, gbtl::Plus<double>{},
+                     s.nat_v[wi], s.nat_v[ui]);
+      return "ewise ~mask";
+    }
+  }
+}
+
+struct Combo {
+  jit::Mode mode;
+  unsigned threads;
+  const char* name;
+};
+
+constexpr Combo kCombos[] = {
+    {jit::Mode::kInterp, 1, "interp/1t"}, {jit::Mode::kInterp, 4, "interp/4t"},
+    {jit::Mode::kStatic, 1, "static/1t"}, {jit::Mode::kStatic, 4, "static/4t"},
+    {jit::Mode::kJit, 1, "jit/1t"},       {jit::Mode::kJit, 4, "jit/4t"},
+};
+
+/// Run the seed's program under one combo, asserting per-step consistency
+/// with the native mirror. Returns the final mirrored state.
+MirroredState run_program(unsigned seed, const Combo& combo) {
+  jit::Registry::instance().set_mode(combo.mode);
+  gbtl::detail::set_num_threads(combo.threads);
+  auto s = make_state(seed);
+  EXPECT_TRUE(s.consistent()) << "bad initial state, seed " << seed;
+  std::mt19937 rng(seed);
+  for (int k = 0; k < kSteps; ++k) {
+    const std::string what = step(s, rng);
+    EXPECT_TRUE(s.consistent())
+        << "DSL diverged from native at step " << k << " (" << what
+        << "), seed " << seed << ", combo " << combo.name;
+  }
+  return s;
+}
+
+/// True when every register of `a` equals the same register of `b`
+/// element-exactly (gbtl operator== compares stored structure and values).
+bool states_equal(const MirroredState& a, const MirroredState& b) {
+  for (std::size_t k = 0; k < a.nat_m.size(); ++k) {
+    if (!(a.nat_m[k] == b.nat_m[k])) return false;
+  }
+  for (std::size_t k = 0; k < a.nat_v.size(); ++k) {
+    if (!(a.nat_v[k] == b.nat_v[k])) return false;
+  }
+  return true;
+}
+
+class Differential : public ::testing::TestWithParam<unsigned> {
+ protected:
+  void SetUp() override {
+    auto& reg = jit::Registry::instance();
+    saved_mode_ = reg.mode();
+    saved_threads_ = gbtl::detail::num_threads();
+    saved_dir_ = reg.cache_dir();
+    // Stable shared dir: the per-seed test processes reuse each other's
+    // compiled modules (the disk cache's flock coalescing makes concurrent
+    // cold starts safe — see docs/CACHE.md) instead of recompiling.
+    cache_dir_ = (std::filesystem::temp_directory_path() /
+                  "pygb_differential_cache")
+                     .string();
+    reg.set_cache_dir(cache_dir_);
+  }
+  void TearDown() override {
+    auto& reg = jit::Registry::instance();
+    reg.set_cache_dir(saved_dir_);
+    reg.set_mode(saved_mode_);
+    gbtl::detail::set_num_threads(saved_threads_);
+  }
+
+  jit::Mode saved_mode_{};
+  unsigned saved_threads_ = 1;
+  std::string saved_dir_;
+  std::string cache_dir_;
+};
+
+TEST_P(Differential, AllBackendsAndThreadCountsAgreeExactly) {
+  const unsigned seed = GetParam();
+  const bool jit_ok = jit::compiler_available();
+
+  bool have_baseline = false;
+  MirroredState baseline;
+  const char* baseline_name = nullptr;
+  for (const auto& combo : kCombos) {
+    if (combo.mode == jit::Mode::kJit && !jit_ok) continue;
+    auto final_state = run_program(seed, combo);
+    if (::testing::Test::HasFailure()) {
+      FAIL() << "stopping after first divergence; seed " << seed;
+    }
+    if (!have_baseline) {
+      baseline = std::move(final_state);
+      baseline_name = combo.name;
+      have_baseline = true;
+      continue;
+    }
+    EXPECT_TRUE(states_equal(baseline, final_state))
+        << "final state of combo " << combo.name << " differs from "
+        << baseline_name << ", seed " << seed;
+  }
+  if (!jit_ok) {
+    GTEST_LOG_(INFO) << "no C++ compiler reachable; jit combos skipped";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Differential,
+                         ::testing::Values(101u, 202u, 303u));
+
+}  // namespace
