@@ -27,9 +27,12 @@
 #include <cstdint>
 #include <exception>
 #include <mutex>
+#include <stdexcept>
 #include <string_view>
 #include <thread>
 #include <vector>
+
+#include "pygb/faultinj.hpp"
 
 namespace gbtl::detail {
 
@@ -98,6 +101,12 @@ class WorkerPool {
 
   void parallel_for(IndexType n, PoolTaskFn fn, void* ctx) {
     if (n == 0) return;
+    // Chaos hook: a submit that throws must propagate to the caller
+    // without wedging the pool (or any registry in-flight record above
+    // it). Thrown before publication, like a real resource failure would.
+    if (pygb::faultinj::check(pygb::faultinj::site::kPoolSubmit)) {
+      throw std::runtime_error("gbtl: fault injected at pool_submit");
+    }
     const unsigned requested = count();
     unsigned workers = requested;
     if (workers > 1 && n / workers < kMinRowsPerThread) {

@@ -1,0 +1,132 @@
+// pygb/jit/breaker.cpp — the three-state machine (see breaker.hpp).
+#include "pygb/jit/breaker.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "pygb/obs/obs.hpp"
+
+namespace pygb::jit {
+
+namespace {
+
+int env_int(const char* name, int fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  return static_cast<int>(std::strtol(v, nullptr, 10));
+}
+
+}  // namespace
+
+const char* to_string(BreakerState s) noexcept {
+  switch (s) {
+    case BreakerState::kClosed:
+      return "closed";
+    case BreakerState::kOpen:
+      return "open";
+    case BreakerState::kHalfOpen:
+      return "half-open";
+  }
+  return "?";
+}
+
+CircuitBreaker::Config CircuitBreaker::config_from_env() {
+  Config cfg;
+  cfg.failure_threshold = std::max(1, env_int("PYGB_BREAKER_THRESHOLD", 3));
+  cfg.open_ttl_ms = std::max(1, env_int("PYGB_BREAKER_TTL_MS", 15000));
+  return cfg;
+}
+
+CircuitBreaker::Decision CircuitBreaker::acquire(const std::string& key) {
+  std::lock_guard lock(mu_);
+  auto it = keys_.find(key);
+  if (it == keys_.end()) return Decision::kAllow;
+  KeyState& ks = it->second;
+  switch (ks.state) {
+    case BreakerState::kClosed:
+      return Decision::kAllow;
+    case BreakerState::kOpen:
+      if (!ks.permanent && Clock::now() >= ks.open_until) {
+        ks.state = BreakerState::kHalfOpen;
+        ks.probe_inflight = true;
+        obs::counter_add(obs::Counter::kBreakerProbes);
+        return Decision::kProbe;
+      }
+      obs::counter_add(obs::Counter::kBreakerShortCircuits);
+      return Decision::kShortCircuit;
+    case BreakerState::kHalfOpen:
+      if (!ks.probe_inflight) {
+        ks.probe_inflight = true;
+        obs::counter_add(obs::Counter::kBreakerProbes);
+        return Decision::kProbe;
+      }
+      obs::counter_add(obs::Counter::kBreakerShortCircuits);
+      return Decision::kShortCircuit;
+  }
+  return Decision::kAllow;
+}
+
+void CircuitBreaker::on_success(const std::string& key) {
+  std::lock_guard lock(mu_);
+  keys_.erase(key);  // fully healed; no state is the closed state
+}
+
+void CircuitBreaker::on_failure(const std::string& key, bool transient,
+                                const std::string& cause) {
+  std::lock_guard lock(mu_);
+  KeyState& ks = keys_[key];
+  ks.probe_inflight = false;
+  ++ks.consecutive_failures;
+  ks.cause = cause;
+  if (!transient) {
+    // Deterministic rejection: retrying is futile until the caches are
+    // cleared. Open now, never half-open (the old negative cache).
+    if (ks.state != BreakerState::kOpen) {
+      obs::counter_add(obs::Counter::kBreakerOpens);
+    }
+    ks.state = BreakerState::kOpen;
+    ks.permanent = true;
+    return;
+  }
+  if (ks.state == BreakerState::kHalfOpen ||
+      ks.consecutive_failures >= cfg_.failure_threshold) {
+    // A failed probe re-opens; threshold crossings open.
+    if (ks.state != BreakerState::kOpen) {
+      obs::counter_add(obs::Counter::kBreakerOpens);
+    }
+    ks.state = BreakerState::kOpen;
+    ks.open_until = Clock::now() + std::chrono::milliseconds(cfg_.open_ttl_ms);
+  }
+}
+
+BreakerState CircuitBreaker::state(const std::string& key) const {
+  std::lock_guard lock(mu_);
+  auto it = keys_.find(key);
+  if (it == keys_.end()) return BreakerState::kClosed;
+  // Report the observable state: an expired non-permanent open is one
+  // acquire() away from half-open.
+  return it->second.state;
+}
+
+std::string CircuitBreaker::describe(const std::string& key) const {
+  std::lock_guard lock(mu_);
+  auto it = keys_.find(key);
+  if (it == keys_.end()) return "circuit closed";
+  const KeyState& ks = it->second;
+  std::string out = "circuit ";
+  out += to_string(ks.state);
+  if (ks.permanent) out += " (permanent failure)";
+  out += " after " + std::to_string(ks.consecutive_failures) + " failure(s)";
+  if (!ks.cause.empty()) out += "; last cause: " + ks.cause;
+  return out;
+}
+
+void CircuitBreaker::reset() {
+  std::lock_guard lock(mu_);
+  keys_.clear();
+  // Re-read the env knobs: a reset marks a fresh start (cache clear,
+  // test fixture), and PYGB_BREAKER_* may have changed since construction.
+  cfg_ = config_from_env();
+}
+
+}  // namespace pygb::jit

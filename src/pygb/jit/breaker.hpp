@@ -1,0 +1,99 @@
+// pygb/jit/breaker.hpp — per-key circuit breaker for the JIT build path.
+//
+// A key whose compile keeps failing must not tax every caller with a full
+// (deadline-bounded, but still expensive) compile attempt per dispatch.
+// The registry consults this breaker before reaching for the JIT in kAuto
+// mode; the classic three-state machine applies, per dispatch key:
+//
+//   CLOSED     builds allowed. Failures increment a consecutive counter;
+//              reaching the threshold (PYGB_BREAKER_THRESHOLD, default 3)
+//              OPENs the circuit for a TTL.
+//   OPEN       builds short-circuit (kAuto goes straight to the
+//              interpreter; compiled-only requests fail fast with the
+//              recorded cause). After the TTL (PYGB_BREAKER_TTL_MS,
+//              default 15s) the next caller transitions to HALF-OPEN.
+//   HALF-OPEN  exactly ONE caller gets a probe build; everyone else keeps
+//              short-circuiting. Probe success closes the circuit; probe
+//              failure re-opens it for another TTL.
+//
+// Failure CLASS matters (see subprocess.hpp's transient classification):
+//
+//   * permanent — the compiler deterministically rejected the generated
+//     source (a codegen bug, a broken toolchain). Retrying cannot help:
+//     the circuit opens IMMEDIATELY and never half-opens. This subsumes
+//     the registry's old `failed_jit_keys_` negative cache.
+//   * transient — timeout, OOM-kill, spawn failure, tmpdir-full. The key
+//     is not doomed; failures count toward the threshold and an open
+//     circuit heals through the half-open probe.
+//
+// Accounting discipline: exactly one on_success/on_failure per BUILD
+// attempt (the in-flight leader reports; coalesced waiters receiving the
+// leader's result must not, or one hang would be counted N times).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+namespace pygb::jit {
+
+enum class BreakerState : std::uint8_t { kClosed, kOpen, kHalfOpen };
+
+const char* to_string(BreakerState s) noexcept;
+
+class CircuitBreaker {
+ public:
+  struct Config {
+    int failure_threshold = 3;  ///< consecutive failures before opening
+    int open_ttl_ms = 15000;    ///< open duration before a half-open probe
+  };
+  /// PYGB_BREAKER_THRESHOLD / PYGB_BREAKER_TTL_MS, with the defaults above.
+  static Config config_from_env();
+
+  explicit CircuitBreaker(Config cfg) : cfg_(cfg) {}
+  CircuitBreaker() : CircuitBreaker(config_from_env()) {}
+
+  enum class Decision : std::uint8_t {
+    kAllow,         ///< closed: build normally
+    kProbe,         ///< half-open: this caller carries the probe
+    kShortCircuit,  ///< open (or probe already claimed): skip the JIT
+  };
+
+  /// Gate one build attempt for `key`. kProbe claims the half-open probe
+  /// slot; the claimer MUST later report on_success or on_failure (the
+  /// slot is released either way).
+  Decision acquire(const std::string& key);
+
+  /// Report a completed build attempt (leader only — never waiters).
+  void on_success(const std::string& key);
+  void on_failure(const std::string& key, bool transient,
+                  const std::string& cause);
+
+  BreakerState state(const std::string& key) const;
+  /// Why the circuit is open — folded into fail-fast error messages.
+  std::string describe(const std::string& key) const;
+
+  /// Forget everything (cache clears; a new compiler may work) and
+  /// re-read the PYGB_BREAKER_* knobs.
+  void reset();
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  struct KeyState {
+    BreakerState state = BreakerState::kClosed;
+    int consecutive_failures = 0;
+    bool permanent = false;       ///< never half-opens
+    bool probe_inflight = false;  ///< half-open slot claimed
+    Clock::time_point open_until{};
+    std::string cause;  ///< last failure description
+  };
+
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, KeyState> keys_;
+  Config cfg_;
+};
+
+}  // namespace pygb::jit

@@ -5,14 +5,18 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <cerrno>
 #include <chrono>
 #include <cstdlib>
 #include <filesystem>
 #include <string_view>
+#include <thread>
 #include <vector>
 
 #include "pygb/jit/compiler.hpp"
 #include "pygb/jit/registry.hpp"
+#include "pygb/jit/subprocess.hpp"
+#include "pygb/obs/obs.hpp"
 
 namespace pygb::jit {
 
@@ -70,19 +74,27 @@ bool quarantine_module(const std::string& so_path) {
   return !fs::exists(so_path, ec);
 }
 
+std::chrono::hours cache_hygiene_horizon() {
+  const char* v = std::getenv("PYGB_CACHE_HYGIENE_HOURS");
+  if (v == nullptr || *v == '\0') return std::chrono::hours(1);
+  const long parsed = std::strtol(v, nullptr, 10);
+  return std::chrono::hours(parsed < 1 ? 1 : parsed);
+}
+
 std::size_t clean_cache_litter(const std::string& dir) {
   std::error_code ec;
   std::size_t removed = 0;
   const auto now = fs::file_time_type::clock::now();
-  constexpr auto kStaleAge = std::chrono::hours(1);
+  const auto stale_age = cache_hygiene_horizon();
   for (const auto& entry : fs::directory_iterator(dir, ec)) {
     if (!entry.is_regular_file(ec)) continue;
     const std::string name = entry.path().filename().string();
-    if (!ends_with(name, kTmpSuffix) && !ends_with(name, kLogSuffix)) {
+    if (!ends_with(name, kTmpSuffix) && !ends_with(name, kLogSuffix) &&
+        !ends_with(name, kBadSuffix)) {
       continue;
     }
     const auto mtime = entry.last_write_time(ec);
-    if (ec || now - mtime < kStaleAge) continue;
+    if (ec || now - mtime < stale_age) continue;
     if (fs::remove(entry.path(), ec) && !ec) ++removed;
   }
   return removed;
@@ -153,12 +165,48 @@ CacheInfo cache_info(const std::string& dir) {
   return info;
 }
 
-FileLock::FileLock(const std::string& path) {
+int lock_timeout_ms() {
+  const char* v = std::getenv("PYGB_LOCK_TIMEOUT_MS");
+  if (v != nullptr && *v != '\0') {
+    const long parsed = std::strtol(v, nullptr, 10);
+    return parsed < 0 ? 0 : static_cast<int>(parsed);
+  }
+  return jit_timeout_ms() + 10000;
+}
+
+FileLock::FileLock(const std::string& path)
+    : FileLock(path, lock_timeout_ms()) {}
+
+FileLock::FileLock(const std::string& path, int timeout_ms) {
   fd_ = ::open(path.c_str(), O_CREAT | O_RDWR | O_CLOEXEC, 0644);
   if (fd_ < 0) return;
-  if (::flock(fd_, LOCK_EX) != 0) {
-    ::close(fd_);
-    fd_ = -1;
+  // Non-blocking attempts with backoff up to the deadline: a LIVE holder
+  // wedged mid-compile (the crashed-holder case releases automatically
+  // when its fd dies) must not wedge every peer process with it.
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  int backoff_ms = 5;
+  while (true) {
+    if (::flock(fd_, LOCK_EX | LOCK_NB) == 0) {
+      held_ = true;
+      return;
+    }
+    if (errno != EWOULDBLOCK && errno != EINTR) {
+      ::close(fd_);
+      fd_ = -1;
+      return;
+    }
+    if (timeout_ms != 0 && std::chrono::steady_clock::now() >= deadline) {
+      // Deadline: keep the fd closed, report timed_out; the caller
+      // proceeds with a private (uncoalesced) compile.
+      timed_out_ = true;
+      ::close(fd_);
+      fd_ = -1;
+      obs::counter_add(obs::Counter::kLockTimeouts);
+      return;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+    backoff_ms = std::min(backoff_ms * 2, 200);
   }
 }
 

@@ -30,6 +30,7 @@
 //   pygb_<keyhash>_<stamphash>.so.log       diagnostics of a FAILED compile
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <string>
 
@@ -70,11 +71,17 @@ std::uint64_t cache_max_bytes();
 /// removal). Returns true if the file is no longer at `path`.
 bool quarantine_module(const std::string& so_path);
 
-/// Delete stale compile litter — `.tmp` outputs and `.log` files older
-/// than one hour (young litter may belong to a live compile in another
-/// process). Returns the number of files removed. Called on registry
+/// Delete stale compile litter — `.tmp` outputs, `.log` diagnostics, and
+/// `.bad` quarantines older than the hygiene horizon (default one hour,
+/// overridable via PYGB_CACHE_HYGIENE_HOURS; young litter may belong to a
+/// live compile in another process, and fresh quarantines are kept for
+/// inspection). Returns the number of files removed. Called on registry
 /// startup and whenever the cache directory changes.
 std::size_t clean_cache_litter(const std::string& dir);
+
+/// The litter age beyond which clean_cache_litter() reaps, from
+/// PYGB_CACHE_HYGIENE_HOURS (default 1).
+std::chrono::hours cache_hygiene_horizon();
 
 /// Evict least-recently-touched modules (`.so` + its `.cpp`) until the
 /// directory's total size is within `max_bytes`. The newest module is
@@ -92,22 +99,40 @@ struct CacheInfo {
 };
 CacheInfo cache_info(const std::string& dir);
 
-/// RAII advisory lock on `path` (flock LOCK_EX; the file is created if
-/// absent and left in place — flock metadata lives in the kernel, not the
-/// file). Degrades to unlocked-but-functional when the file cannot be
-/// opened (read-only cache dir): correctness never depends on the lock,
-/// only compile coalescing does.
+/// PYGB_LOCK_TIMEOUT_MS — how long FileLock polls for the advisory lock
+/// before giving up (default: the JIT compile deadline plus 10s, since a
+/// healthy holder legitimately keeps it for one full compile; 0 = wait
+/// forever, the legacy behaviour).
+int lock_timeout_ms();
+
+/// RAII advisory lock on `path` (flock; the file is created if absent and
+/// left in place — flock metadata lives in the kernel, not the file).
+///
+/// Acquisition is BOUNDED: LOCK_EX|LOCK_NB in a backoff loop until
+/// `timeout_ms` expires. A process that crashed while holding the lock
+/// releases it automatically (flock dies with the fd), but a LIVE process
+/// wedged mid-compile would otherwise block every peer forever — on
+/// deadline the lock is simply not held and the caller proceeds with a
+/// private, uncoalesced compile (correctness never depends on the lock;
+/// only compile coalescing does). The same degradation applies when the
+/// lock file cannot be opened at all (read-only cache dir).
 class FileLock {
  public:
   explicit FileLock(const std::string& path);
+  FileLock(const std::string& path, int timeout_ms);
   ~FileLock();
   FileLock(const FileLock&) = delete;
   FileLock& operator=(const FileLock&) = delete;
 
-  bool held() const noexcept { return fd_ >= 0; }
+  bool held() const noexcept { return held_; }
+  /// True when the lock was given up on at the deadline (as opposed to
+  /// an unopenable lock file) — the caller may want to count this.
+  bool timed_out() const noexcept { return timed_out_; }
 
  private:
   int fd_ = -1;
+  bool held_ = false;
+  bool timed_out_ = false;
 };
 
 }  // namespace pygb::jit

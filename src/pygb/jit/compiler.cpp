@@ -1,9 +1,5 @@
 #include "pygb/jit/compiler.hpp"
 
-#include <sys/wait.h>
-
-#include <chrono>
-#include <cstdio>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
@@ -11,6 +7,8 @@
 #include <mutex>
 #include <sstream>
 
+#include "pygb/faultinj.hpp"
+#include "pygb/jit/subprocess.hpp"
 #include "pygb/obs/obs.hpp"
 
 #ifndef PYGB_SOURCE_INCLUDE_DIR
@@ -26,41 +24,23 @@ std::string env_or(const char* name, const std::string& fallback) {
   return (v != nullptr && *v != '\0') ? std::string(v) : fallback;
 }
 
-std::string read_file(const std::string& path) {
-  std::ifstream in(path);
-  std::ostringstream os;
-  os << in.rdbuf();
-  return os.str();
-}
-
-/// Shell-quote a path (single quotes; embedded quotes escaped).
-std::string quoted(const std::string& s) {
-  std::string out = "'";
-  for (char c : s) {
-    if (c == '\'') {
-      out += "'\\''";
+/// Render an argv for diagnostics. This string is NEVER executed — the
+/// child is launched with execvp on the vector itself — so the quoting
+/// here only has to be readable, not shell-correct.
+std::string render_argv(const std::vector<std::string>& argv) {
+  std::string out;
+  for (const auto& arg : argv) {
+    if (!out.empty()) out += ' ';
+    if (arg.find(' ') != std::string::npos ||
+        arg.find('\'') != std::string::npos) {
+      out += '\'';
+      out += arg;
+      out += '\'';
     } else {
-      out += c;
+      out += arg;
     }
   }
-  out += "'";
   return out;
-}
-
-/// std::system returns a wait(2) status, not an exit code: decode it.
-bool exited_zero(int rc) {
-  return rc != -1 && WIFEXITED(rc) && WEXITSTATUS(rc) == 0;
-}
-
-std::string describe_status(int rc) {
-  if (rc == -1) return "system() failed to launch a shell";
-  if (WIFEXITED(rc)) {
-    return "exit status " + std::to_string(WEXITSTATUS(rc));
-  }
-  if (WIFSIGNALED(rc)) {
-    return "killed by signal " + std::to_string(WTERMSIG(rc));
-  }
-  return "unrecognized wait status " + std::to_string(rc);
 }
 
 /// Probe results keyed by what they depend on, so a PYGB_CXX /
@@ -69,6 +49,19 @@ std::string describe_status(int rc) {
 std::mutex g_probe_mu;
 std::map<std::string, bool> g_available;       // "<cmd>\x1f<include dir>"
 std::map<std::string, std::string> g_identity;  // "<cmd>"
+
+/// `<compiler> --version`, argv-based and deadline-bounded: a PYGB_CXX
+/// pointing at a path with spaces probes correctly, and a compiler that
+/// HANGS on --version is classified unavailable instead of wedging the
+/// first dispatch that probes it.
+RunOutcome probe_version(const std::string& command) {
+  RunOptions opt;
+  opt.argv = split_command(command);
+  opt.argv.push_back("--version");
+  opt.timeout_ms = 5000;
+  opt.capture_stdout = true;
+  return run_subprocess(opt);
+}
 
 }  // namespace
 
@@ -86,31 +79,59 @@ CompileResult compile_module(const std::string& source_path,
                              const std::string& output_path) {
   CompileResult result;
   const std::string log_path = output_path + ".log";
-  std::ostringstream cmd;
-  cmd << compiler_command() << ' ' << compile_flags() << " -I"
-      << quoted(source_include_dir()) << ' ' << quoted(source_path) << " -o "
-      << quoted(output_path) << " 2> " << quoted(log_path);
+
+  RunOptions opt;
+  opt.argv = split_command(compiler_command());
+  for (const auto& flag : split_command(compile_flags())) {
+    opt.argv.push_back(flag);
+  }
+  opt.argv.push_back("-I" + source_include_dir());
+  opt.argv.push_back(source_path);
+  opt.argv.push_back("-o");
+  opt.argv.push_back(output_path);
+  opt.timeout_ms = jit_timeout_ms();
+  opt.mem_limit_mb = jit_mem_limit_mb();
+  opt.max_attempts = 1 + jit_max_retries();
+  opt.fault_site = faultinj::site::kCompile;
 
   obs::Span span("jit.compile");
   span.attr("source", source_path).attr("output", output_path);
 
-  const auto start = std::chrono::steady_clock::now();
-  const int rc = std::system(cmd.str().c_str());
-  const auto end = std::chrono::steady_clock::now();
-  result.seconds = std::chrono::duration<double>(end - start).count();
-  result.ok = exited_zero(rc);
+  const RunOutcome ro = run_subprocess(opt);
+  result.ok = ro.ok();
+  result.seconds = ro.seconds;
+  result.timed_out = ro.status == RunStatus::kTimeout;
+  result.transient = ro.transient;
+  result.attempts = ro.attempts;
   span.attr("ok", static_cast<std::int64_t>(result.ok ? 1 : 0));
-  obs::record_value(
-      "compile_ns",
-      static_cast<std::uint64_t>(
-          std::chrono::duration_cast<std::chrono::nanoseconds>(end - start)
-              .count()));
+  span.attr("status", to_string(ro.status));
+  span.attr("attempts", static_cast<std::int64_t>(ro.attempts));
+  obs::record_value("compile_ns",
+                    static_cast<std::uint64_t>(ro.seconds * 1e9));
+
   std::error_code ec;
   if (result.ok) {
     std::filesystem::remove(log_path, ec);
-  } else {
-    result.log = "command: " + cmd.str() + "\ncompiler " +
-                 describe_status(rc) + "\n" + read_file(log_path);
+    return result;
+  }
+
+  // Failure: persist the diagnostics next to where the module would have
+  // been (pygb_cli --cache-info counts these; the hygiene sweeper reaps
+  // them after the horizon) and fold them into the in-memory result.
+  std::ostringstream log;
+  log << "command: " << render_argv(opt.argv) << "\ncompiler "
+      << ro.describe();
+  if (result.timed_out) {
+    log << "\nkilled after "
+        << static_cast<long long>(ro.seconds * 1000.0) << "ms (deadline "
+        << opt.timeout_ms << "ms, PYGB_JIT_TIMEOUT_MS)";
+  }
+  if (ro.attempts > 1) log << "\nattempts: " << ro.attempts;
+  log << "\n" << ro.captured;
+  result.log = log.str();
+  {
+    std::ofstream out(log_path);
+    out << result.log;
   }
   return result;
 }
@@ -124,9 +145,8 @@ bool compiler_available() {
       return it->second;
     }
   }
-  const std::string cmd = compiler_command() + " --version > /dev/null 2>&1";
   const bool available =
-      exited_zero(std::system(cmd.c_str())) && !include_dir.empty();
+      probe_version(compiler_command()).ok() && !include_dir.empty();
   std::lock_guard lock(g_probe_mu);
   g_available.emplace(key, available);
   return available;
@@ -140,12 +160,9 @@ std::string compiler_identity() {
       return it->second;
     }
   }
+  const RunOutcome ro = probe_version(cmd);
   std::string line;
-  if (FILE* pipe = ::popen((cmd + " --version 2>/dev/null").c_str(), "r")) {
-    char buf[256];
-    if (std::fgets(buf, sizeof buf, pipe) != nullptr) line = buf;
-    ::pclose(pipe);
-  }
+  if (ro.ok()) line = ro.out.substr(0, ro.out.find('\n'));
   while (!line.empty() && (line.back() == '\n' || line.back() == '\r')) {
     line.pop_back();
   }

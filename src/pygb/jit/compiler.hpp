@@ -8,22 +8,35 @@ namespace pygb::jit {
 struct CompileResult {
   bool ok = false;
   std::string log;       ///< compiler diagnostics on failure
-  double seconds = 0.0;  ///< wall time of the compiler invocation
+  double seconds = 0.0;  ///< wall time of the compiler invocation(s)
+  bool timed_out = false;  ///< killed at the PYGB_JIT_TIMEOUT_MS deadline
+  /// Environmental failure (timeout, OOM, spawn failure, tmpdir full):
+  /// the key is not doomed — the registry's circuit breaker treats these
+  /// differently from a deterministic compile error.
+  bool transient = false;
+  int attempts = 0;  ///< child launches (transient failures are retried)
 };
 
 /// Compile `source_path` into a shared object at `output_path` against the
 /// project's headers. The compiler binary comes from PYGB_CXX (default
-/// "g++" / "c++"); flags mirror the library's own build (-std=c++20 -O2).
-/// The exit status is decoded with WIFEXITED/WIFSIGNALED so a shell
-/// failure or a signal-killed compiler is reported accurately; the stderr
-/// capture file (`<output>.log`) is removed on success and kept (and
-/// folded into `log`) on failure.
+/// "g++"; a multi-word value like "ccache g++" is split on whitespace);
+/// flags mirror the library's own build (-std=c++20 -O2).
+///
+/// The invocation runs through the sandboxed subprocess runner (see
+/// pygb/jit/subprocess.hpp): argv-based exec (no shell — paths with
+/// spaces or quotes are safe), a wall-clock deadline with SIGTERM→SIGKILL
+/// process-group escalation, child rlimits, captured stderr, and bounded
+/// retry of transient failures. On failure the stderr capture is written
+/// to `<output>.log` (with a "killed after Xms" trailer when the deadline
+/// fired) and folded into `log`; on success no .log is left behind.
 CompileResult compile_module(const std::string& source_path,
                              const std::string& output_path);
 
 /// True when a working C++ compiler is reachable. The probe is cached per
 /// (compiler command, include dir), so changing PYGB_CXX mid-process (as
-/// tests do) re-probes instead of returning a stale answer.
+/// tests do) re-probes instead of returning a stale answer. The probe
+/// itself is deadline-bounded — a HUNG compiler counts as unavailable
+/// instead of wedging the first dispatch.
 bool compiler_available();
 
 /// The compiler command used (for diagnostics and bench output).

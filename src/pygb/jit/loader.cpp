@@ -6,6 +6,7 @@
 #include <iterator>
 
 #include "gbtl/detail/pool.hpp"
+#include "pygb/faultinj.hpp"
 #include "pygb/jit/cache.hpp"
 #include "pygb/obs/obs.hpp"
 
@@ -35,6 +36,11 @@ KernelFn load_kernel(const std::string& so_path, std::string* error,
                      const std::string& expected_stamp) {
   obs::Span span("jit.load");
   span.attr("module", so_path);
+  if (faultinj::check(faultinj::site::kCacheVerify)) {
+    obs::counter_add(obs::Counter::kFaultsInjected);
+    if (error != nullptr) *error = "fault injected at cache_verify";
+    return nullptr;
+  }
   if (!expected_stamp.empty() &&
       !file_carries_stamp(so_path, expected_stamp)) {
     if (error != nullptr) {
@@ -43,6 +49,11 @@ KernelFn load_kernel(const std::string& so_path, std::string* error,
                "corrupt); want '" +
                expected_stamp + "'";
     }
+    return nullptr;
+  }
+  if (faultinj::check(faultinj::site::kDlopen)) {
+    obs::counter_add(obs::Counter::kFaultsInjected);
+    if (error != nullptr) *error = "fault injected at dlopen";
     return nullptr;
   }
   void* handle = dlopen(so_path.c_str(), RTLD_NOW | RTLD_LOCAL);

@@ -2,16 +2,20 @@
 
 #include <unistd.h>
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <optional>
 
+#include "pygb/faultinj.hpp"
 #include "pygb/jit/cache.hpp"
 #include "pygb/jit/codegen.hpp"
 #include "pygb/jit/compiler.hpp"
 #include "pygb/jit/loader.hpp"
+#include "pygb/jit/subprocess.hpp"
 #include "pygb/obs/obs.hpp"
 
 namespace pygb::jit {
@@ -100,17 +104,21 @@ void Registry::set_cache_dir(const std::string& dir) {
 }
 
 void Registry::clear_memory_cache() {
-  std::lock_guard lock(mu_);
-  memory_cache_.clear();
-  failed_jit_keys_.clear();
+  {
+    std::lock_guard lock(mu_);
+    memory_cache_.clear();
+  }
+  breaker_.reset();
 }
 
 void Registry::clear_disk_cache() {
-  std::lock_guard lock(mu_);
-  memory_cache_.clear();
-  failed_jit_keys_.clear();
-  std::error_code ec;
-  fs::remove_all(cache_dir_, ec);
+  {
+    std::lock_guard lock(mu_);
+    memory_cache_.clear();
+    std::error_code ec;
+    fs::remove_all(cache_dir_, ec);
+  }
+  breaker_.reset();
 }
 
 RegistryStats Registry::stats() const {
@@ -128,6 +136,14 @@ RegistryStats Registry::stats() const {
   s.compile_seconds =
       static_cast<double>(obs::counter_value(obs::Counter::kCompileNanos)) *
       1e-9;
+  s.jit_timeouts = obs::counter_value(obs::Counter::kJitTimeouts);
+  s.jit_retries = obs::counter_value(obs::Counter::kJitRetries);
+  s.waiter_timeouts = obs::counter_value(obs::Counter::kWaiterTimeouts);
+  s.breaker_opens = obs::counter_value(obs::Counter::kBreakerOpens);
+  s.breaker_probes = obs::counter_value(obs::Counter::kBreakerProbes);
+  s.breaker_short_circuits =
+      obs::counter_value(obs::Counter::kBreakerShortCircuits);
+  s.lock_timeouts = obs::counter_value(obs::Counter::kLockTimeouts);
   return s;
 }
 
@@ -188,8 +204,16 @@ KernelFn Registry::build_module(const OpRequest& req, const std::string& key,
   // Cross-process coalescing: hold the per-stem advisory flock across
   // compile + publish. A process that lost the race blocks here and finds
   // the module already published when it gets the lock — one g++ run per
-  // cold key machine-wide, not per process.
-  FileLock lock((dir / (stem + ".lock")).string());
+  // cold key machine-wide, not per process. The acquisition is BOUNDED
+  // (lock_timeout_ms): a peer wedged while holding the lock costs us
+  // coalescing, never liveness — on deadline we proceed with a private
+  // compile (the pid-unique tmp name and atomic rename keep that safe).
+  std::optional<FileLock> lock;
+  if (!faultinj::check(faultinj::site::kFlock)) {
+    lock.emplace((dir / (stem + ".lock")).string());
+  } else {
+    obs::counter_add(obs::Counter::kFaultsInjected);  // lock skipped
+  }
   if (KernelFn fn = try_load_published(so_path.string(), stamp)) {
     obs::counter_add(obs::Counter::kDiskHits);
     *backend = "jit-disk";
@@ -223,15 +247,40 @@ KernelFn Registry::build_module(const OpRequest& req, const std::string& key,
   obs::counter_add(obs::Counter::kCompileNanos,
                    static_cast<std::uint64_t>(cr.seconds * 1e9));
   if (!cr.ok) {
+    // A killed/failed compile must not litter the cache: the orphaned
+    // .tmp goes (the .log stays, carrying the "killed after Xms" trailer
+    // for diagnosis until the hygiene sweeper reaps it).
     fs::remove(tmp_path, ec);
-    throw NoKernelError("pygb: JIT compilation failed for key '" + key +
-                        "':\n" + cr.log);
+    const std::string msg = "pygb: JIT compilation " +
+                            std::string(cr.timed_out ? "timed out" : "failed") +
+                            " for key '" + key + "':\n" + cr.log;
+    if (cr.transient) throw TransientJitError(msg);
+    throw NoKernelError(msg);
   }
+
+  if (auto fault = faultinj::check(faultinj::site::kCachePublish)) {
+    obs::counter_add(obs::Counter::kFaultsInjected);
+    if (fault.action == faultinj::Action::kCorrupt) {
+      // Garble the compiled bytes before publication: the stamp scan in
+      // load_kernel must reject the module and quarantine it.
+      std::ofstream garble(tmp_path, std::ios::binary | std::ios::trunc);
+      garble << "pygb faultinj: corrupted module bytes";
+    } else {
+      fs::remove(tmp_path, ec);
+      throw TransientJitError(
+          "pygb: failed to publish compiled module for key '" + key +
+          "': fault injected at cache_publish");
+    }
+  }
+
   fs::rename(tmp_path, so_path, ec);
   if (ec) {
     fs::remove(tmp_path, ec);
-    throw NoKernelError("pygb: failed to publish compiled module for key '" +
-                        key + "': " + ec.message());
+    // Publication is an environmental failure (full disk, permissions
+    // race): the compile itself succeeded, so the key is not doomed.
+    throw TransientJitError(
+        "pygb: failed to publish compiled module for key '" + key +
+        "': " + ec.message());
   }
 
   if (const std::uint64_t cap = cache_max_bytes(); cap != 0) {
@@ -244,23 +293,19 @@ KernelFn Registry::build_module(const OpRequest& req, const std::string& key,
   std::string err;
   KernelFn fn = load_kernel(so_path.string(), &err, stamp);
   if (fn == nullptr) {
-    throw NoKernelError("pygb: failed to load compiled module for key '" +
-                        key + "': " + err);
+    // The compile succeeded but the artifact won't load: corruption or a
+    // dlopen resource failure, not a doomed key — quarantine (so the bad
+    // file is never retried) and classify transient.
+    quarantine_module(so_path.string());
+    obs::counter_add(obs::Counter::kCacheQuarantines);
+    throw TransientJitError(
+        "pygb: failed to load compiled module for key '" + key + "': " + err);
   }
   *backend = "jit-compile";
   return fn;
 }
 
-bool Registry::jit_failed_before(const std::string& key) const {
-  std::lock_guard lock(mu_);
-  return failed_jit_keys_.count(key) != 0;
-}
-
-void Registry::note_jit_failure(const std::string& key, const char* what) {
-  {
-    std::lock_guard lock(mu_);
-    failed_jit_keys_.insert(key);
-  }
+void Registry::warn_fallback_once(const char* what) {
   if (!fallback_warned_.exchange(true)) {
     std::fprintf(stderr,
                  "pygb: warning: JIT compilation unavailable at runtime; "
@@ -291,11 +336,28 @@ KernelFn Registry::resolve_jit(const OpRequest& req, const std::string& key,
 
   if (!owner) {
     // Another thread is already resolving this exact key: wait for its
-    // result instead of compiling twice.
+    // result instead of compiling twice. The wait is DEADLINE-BOUNDED —
+    // the leader's compile is killed at PYGB_JIT_TIMEOUT_MS, so done
+    // should arrive within that plus a grace margin; if it does not (the
+    // leader is wedged outside the compile itself) the waiter abandons it
+    // with a transient, classified error rather than blocking forever.
     obs::Span span("registry.wait");
     span.attr("key", key);
     std::unique_lock fl(flight->mu);
-    flight->cv.wait(fl, [&] { return flight->done; });
+    const int timeout = jit_timeout_ms();
+    bool done = true;
+    if (timeout == 0) {
+      flight->cv.wait(fl, [&] { return flight->done; });
+    } else {
+      done = flight->cv.wait_for(fl, std::chrono::milliseconds(timeout + 2000),
+                                 [&] { return flight->done; });
+    }
+    if (!done) {
+      obs::counter_add(obs::Counter::kWaiterTimeouts);
+      throw TransientJitError(
+          "pygb: timed out waiting for the in-flight JIT build of key '" +
+          key + "' (leader exceeded PYGB_JIT_TIMEOUT_MS plus grace)");
+    }
     if (flight->error) std::rethrow_exception(flight->error);
     obs::counter_add(obs::Counter::kMemoryHits);
     *backend = "jit-wait";
@@ -322,7 +384,24 @@ KernelFn Registry::resolve_jit(const OpRequest& req, const std::string& key,
     flight->done = true;
   }
   flight->cv.notify_all();
-  if (error) std::rethrow_exception(error);
+  // Breaker accounting: exactly one report per build attempt, by the
+  // leader — waiters (even ones that timed out above) never report, or a
+  // single hang would be counted N times.
+  if (error) {
+    try {
+      std::rethrow_exception(error);
+    } catch (const TransientJitError& e) {
+      breaker_.on_failure(key, /*transient=*/true, e.what());
+      throw;
+    } catch (const std::exception& e) {
+      breaker_.on_failure(key, /*transient=*/false, e.what());
+      throw;
+    } catch (...) {
+      breaker_.on_failure(key, /*transient=*/false, "unknown error");
+      throw;
+    }
+  }
+  breaker_.on_success(key);
   *backend = how;
   return fn;
 }
@@ -362,28 +441,34 @@ KernelFn Registry::get(const OpRequest& req, ResolveInfo* info) {
       }
       // Degradation ladder: static → jit → interp. A failed compile or
       // load must not abort a caller mid-algorithm in auto mode — the
-      // interpreter computes the same result (slower), the key is
-      // negative-cached so later calls skip the doomed compile, and the
-      // event is counted + warned once. kJit mode keeps throwing.
-      // Exception: user-defined operators and fused chains are compiled
-      // units the interpreter cannot execute, so degrading would turn a
-      // compile error into a confusing "interpreter refuses" error — for
-      // those the JIT failure propagates instead.
+      // interpreter computes the same result (slower), the circuit
+      // breaker keeps later calls off a failing compile path (permanently
+      // for deterministic compile errors, for a healing TTL for transient
+      // ones), and the event is counted + warned once. kJit mode keeps
+      // throwing. Exception: user-defined operators and fused chains are
+      // compiled units the interpreter cannot execute, so degrading would
+      // turn a compile error into a confusing "interpreter refuses" error
+      // — for those the JIT failure propagates instead.
       const bool interp_can_serve = !req.chain && !req.has_user_op();
       if (compiler_available()) {
-        if (!jit_failed_before(key)) {
+        const auto decision = breaker_.acquire(key);
+        if (decision != CircuitBreaker::Decision::kShortCircuit) {
           try {
             fn = resolve_jit(req, key, &backend);
+            // The resolve may have been satisfied without a build (memory
+            // hit, coalesced wait): release any probe slot this caller
+            // claimed. Redundant after a leader's own on_success.
+            breaker_.on_success(key);
             break;
           } catch (const std::exception& e) {
-            note_jit_failure(key, e.what());
+            warn_fallback_once(e.what());
             if (!interp_can_serve) throw;
           }
         } else if (!interp_can_serve) {
           throw NoKernelError(
-              "pygb: JIT compilation failed previously for key '" + key +
-              "' (negative-cached) and the request cannot degrade to the "
-              "interpreter");
+              "pygb: JIT circuit open for key '" + key + "' (" +
+              breaker_.describe(key) +
+              ") and the request cannot degrade to the interpreter");
         }
         obs::counter_add(obs::Counter::kJitFallbacks);
       }

@@ -18,8 +18,19 @@
 // compile. A cold key registers an in-flight record and compiles outside
 // the lock; concurrent requests for the SAME key wait on that record,
 // while requests for other keys (including memory-cache hits) proceed
-// immediately. Statistics live in pygb::obs relaxed atomic counters — the
-// RegistryStats struct is a snapshot view of those.
+// immediately. The wait is DEADLINE-BOUNDED (PYGB_JIT_TIMEOUT_MS plus a
+// grace margin): a waiter whose leader hangs falls back to the
+// interpreter (kAuto) or fails with a classified TransientJitError
+// instead of blocking forever. Statistics live in pygb::obs relaxed
+// atomic counters — the RegistryStats struct is a snapshot view of those.
+//
+// Robustness (docs/ROBUSTNESS.md): compiles run in a sandboxed subprocess
+// (argv exec, wall-clock deadline with SIGTERM→SIGKILL escalation, child
+// rlimits, transient-failure retry — pygb/jit/subprocess.hpp), and a
+// per-key circuit breaker (pygb/jit/breaker.hpp) stops repeatedly-failing
+// keys from taxing every caller: permanent compile errors open it
+// immediately, transient ones after a threshold, with a half-open probe
+// to heal.
 //
 // The disk tier is hardened for shared, long-lived deployments (see
 // pygb/jit/cache.hpp and docs/CACHE.md): modules are compiled to a
@@ -37,8 +48,8 @@
 #include <mutex>
 #include <string>
 #include <unordered_map>
-#include <unordered_set>
 
+#include "pygb/jit/breaker.hpp"
 #include "pygb/jit/module_key.hpp"
 
 namespace pygb::jit {
@@ -55,6 +66,17 @@ class NoKernelError : public std::runtime_error {
   explicit NoKernelError(const std::string& msg) : std::runtime_error(msg) {}
 };
 
+/// A JIT failure that is environmental rather than deterministic — a
+/// compile killed at the PYGB_JIT_TIMEOUT_MS deadline, an OOM-killed or
+/// spawn-failed compiler child, a coalesced waiter abandoning a hung
+/// leader. The key is NOT doomed: the circuit breaker counts these toward
+/// its consecutive-failure threshold (and heals through a half-open
+/// probe) instead of negative-caching the key forever.
+class TransientJitError : public NoKernelError {
+ public:
+  using NoKernelError::NoKernelError;
+};
+
 /// Snapshot of the obs counters in the registry's historical shape.
 struct RegistryStats {
   std::size_t lookups = 0;
@@ -66,6 +88,13 @@ struct RegistryStats {
   std::size_t jit_fallbacks = 0;    ///< auto-mode degradations to interp
   std::size_t cache_quarantines = 0;  ///< cached modules failing load/verify
   double compile_seconds = 0.0;     ///< total wall time inside g++
+  std::size_t jit_timeouts = 0;     ///< compiles killed at the deadline
+  std::size_t jit_retries = 0;      ///< transient compile failures retried
+  std::size_t waiter_timeouts = 0;  ///< waiters abandoning a hung leader
+  std::size_t breaker_opens = 0;    ///< circuit transitions to open
+  std::size_t breaker_probes = 0;   ///< half-open probe builds granted
+  std::size_t breaker_short_circuits = 0;  ///< fast-failed JIT requests
+  std::size_t lock_timeouts = 0;    ///< flock deadline → private compile
 };
 
 /// How a lookup was satisfied — filled for observability when the caller
@@ -114,6 +143,11 @@ class Registry {
   std::size_t static_kernel_count() const;
   bool compiler_available() const;
 
+  /// The JIT circuit breaker (per-key failure gating; see breaker.hpp).
+  /// Exposed for observability and tests; resolution consults it
+  /// internally.
+  CircuitBreaker& breaker() noexcept { return breaker_; }
+
   Registry(const Registry&) = delete;
   Registry& operator=(const Registry&) = delete;
 
@@ -133,13 +167,11 @@ class Registry {
   /// that fails is quarantined (never retried) and nullptr returned.
   KernelFn try_load_published(const std::string& so_path,
                               const std::string& stamp);
-  /// Auto-mode degradation bookkeeping: negative-cache the key, bump the
-  /// fallback counter, warn once per process.
-  void note_jit_failure(const std::string& key, const char* what);
-  bool jit_failed_before(const std::string& key) const;
+  /// Auto-mode degradation bookkeeping: warn once per process.
+  void warn_fallback_once(const char* what);
 
-  /// Guards memory_cache_, inflight_, failed_jit_keys_, and cache_dir_ —
-  /// never held across a compile.
+  /// Guards memory_cache_, inflight_, and cache_dir_ — never held across
+  /// a compile.
   mutable std::mutex mu_;
   /// Guards static_table_ (registration is normally pre-main/startup, but
   /// late register_static calls must not race resolve_static).
@@ -150,10 +182,11 @@ class Registry {
   std::unordered_map<std::string, KernelFn> static_table_;
   std::unordered_map<std::string, KernelFn> memory_cache_;
   std::unordered_map<std::string, std::shared_ptr<InFlight>> inflight_;
-  /// Keys whose JIT build failed — auto mode goes straight to interp for
-  /// these instead of paying a doomed compile per call. Cleared with the
-  /// caches (a new compiler may succeed).
-  std::unordered_set<std::string> failed_jit_keys_;
+  /// Per-key build-failure gating (supersedes the old failed_jit_keys_
+  /// permanent negative cache): permanent failures open the circuit
+  /// immediately, transient ones open it after a threshold and heal
+  /// through a half-open probe. Reset with the caches.
+  CircuitBreaker breaker_;
 };
 
 /// Defined in static_kernels.cpp: instantiate + register the curated set.

@@ -104,6 +104,24 @@ const char* counter_name(Counter c) noexcept {
       return "cache_quarantines";
     case Counter::kCacheEvictedBytes:
       return "cache_evicted_bytes";
+    case Counter::kJitTimeouts:
+      return "jit_timeouts";
+    case Counter::kJitKills:
+      return "jit_kills";
+    case Counter::kJitRetries:
+      return "jit_retries";
+    case Counter::kWaiterTimeouts:
+      return "jit_waiter_timeouts";
+    case Counter::kBreakerOpens:
+      return "breaker_open";
+    case Counter::kBreakerProbes:
+      return "breaker_probes";
+    case Counter::kBreakerShortCircuits:
+      return "breaker_short_circuits";
+    case Counter::kLockTimeouts:
+      return "cache_lock_timeouts";
+    case Counter::kFaultsInjected:
+      return "faults_injected";
     case Counter::kCount_:
       break;
   }

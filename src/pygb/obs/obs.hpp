@@ -87,6 +87,15 @@ enum class Counter : unsigned {
   kJitFallbacks,          ///< auto-mode JIT failures degraded to interp
   kCacheQuarantines,      ///< cached .so files failing load/verification
   kCacheEvictedBytes,     ///< bytes removed by PYGB_CACHE_MAX_BYTES eviction
+  kJitTimeouts,           ///< compiler children killed at the deadline
+  kJitKills,              ///< SIGKILL escalations (child ignored SIGTERM)
+  kJitRetries,            ///< transient compile failures retried
+  kWaiterTimeouts,        ///< coalesced waiters abandoning a hung leader
+  kBreakerOpens,          ///< circuit transitions closed/half-open → open
+  kBreakerProbes,         ///< half-open probe compiles attempted
+  kBreakerShortCircuits,  ///< requests bounced straight to the fallback
+  kLockTimeouts,          ///< flock deadline → private uncoalesced compile
+  kFaultsInjected,        ///< pygb::faultinj decisions that fired
   kCount_,
 };
 inline constexpr unsigned kCounterCount =

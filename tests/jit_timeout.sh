@@ -1,0 +1,79 @@
+#!/usr/bin/env bash
+# JIT deadline test (robustness acceptance): with a compiler stub that
+# sleeps forever, a REAL hung compiler child must be killed within
+# PYGB_JIT_TIMEOUT_MS (plus the SIGTERM→SIGKILL grace), the whole child
+# tree must be reaped (no surviving sleeps, no zombies), and:
+#
+#   * PYGB_JIT_MODE=jit   — the run fails fast with a classified error
+#     (nonzero exit, bounded wall clock), instead of hanging forever;
+#   * PYGB_JIT_MODE=auto  — the run SUCCEEDS via the interpreter fallback.
+#
+# usage: jit_timeout.sh <path-to-pygb_cli>
+set -euo pipefail
+
+CLI="$1"
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+# A sleep duration nobody else on the machine plausibly uses, so a
+# process-table scan can attribute survivors to this test alone.
+SLEEP_SECS=86327
+
+cat > "$TMP/hang_cxx.sh" <<EOF
+#!/bin/sh
+case "\$*" in *--version*) echo hang-g++ 1.0; exit 0;; esac
+exec sleep $SLEEP_SECS
+EOF
+chmod +x "$TMP/hang_cxx.sh"
+
+printf '0 1 1.0\n1 2 1.0\n2 0 1.0\n' > "$TMP/ring.txt"
+export PYGB_CACHE_DIR="$TMP/cache"
+export PYGB_CXX="$TMP/hang_cxx.sh"
+export PYGB_JIT_TIMEOUT_MS=1500
+export PYGB_JIT_RETRIES=0
+
+no_survivors() {
+  if pgrep -f "sleep $SLEEP_SECS" > /dev/null 2>&1; then
+    echo "FAIL($1): hung compiler children survived the kill"
+    pgrep -af "sleep $SLEEP_SECS" || true
+    pkill -9 -f "sleep $SLEEP_SECS" || true
+    exit 1
+  fi
+}
+
+# Connected components drives dispatch keys OUTSIDE the static set, so
+# auto mode must actually reach for the JIT (pagerank/bfs/sssp on fp64
+# are fully covered by the static tier and would prove nothing).
+
+# Leg 1 — jit mode: the first cold key hits the hung compiler; the
+# deadline must kill it and the CLI must fail fast, not hang.
+SECONDS=0
+rc=0
+PYGB_JIT_MODE=jit "$CLI" cc "$TMP/ring.txt" --tier dsl \
+  > "$TMP/jit.out" 2>&1 || rc=$?
+dur=$SECONDS
+[ "$rc" -ne 0 ] || { echo "FAIL: jit mode exited 0 despite a hung compiler"; cat "$TMP/jit.out"; exit 1; }
+[ "$dur" -le 20 ] || { echo "FAIL: jit mode took ${dur}s (unbounded wait?)"; exit 1; }
+grep -qi "timed out" "$TMP/jit.out" || {
+  echo "FAIL: jit-mode error does not mention the timeout"; cat "$TMP/jit.out"; exit 1; }
+no_survivors "jit"
+
+# The killed compile must not litter the cache with partial outputs.
+tmp_count="$(find "$TMP/cache" -name '*.tmp' 2>/dev/null | wc -l)"
+[ "$tmp_count" -eq 0 ] || { echo "FAIL: $tmp_count .tmp files leaked"; exit 1; }
+
+# Leg 2 — auto mode: every hung compile degrades to the interpreter; the
+# algorithm must complete correctly and report interpreted dispatches.
+SECONDS=0
+PYGB_JIT_MODE=auto "$CLI" cc "$TMP/ring.txt" --tier dsl \
+  > "$TMP/auto.out" 2>&1
+dur=$SECONDS
+[ "$dur" -le 60 ] || { echo "FAIL: auto mode took ${dur}s"; exit 1; }
+grep -q "components:" "$TMP/auto.out" || {
+  echo "FAIL: auto mode did not produce a result"; cat "$TMP/auto.out"; exit 1; }
+interp="$(sed -n 's/.*\[dispatch:.*[, ]\([0-9][0-9]*\) interpreted.*/\1/p' "$TMP/auto.out")"
+[ -n "$interp" ] && [ "$interp" -gt 0 ] || {
+  echo "FAIL: auto mode reported no interpreted dispatches"; cat "$TMP/auto.out"; exit 1; }
+no_survivors "auto"
+
+echo "PASS (jit leg ${rc} in bounded time; auto leg interpreted $interp ops)"

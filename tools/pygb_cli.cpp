@@ -15,6 +15,10 @@
 //                --stats           print the end-of-run metrics summary
 //                                  (kernel-time histograms, cache hit
 //                                  ratio, compile seconds)
+//                --faults SPEC     arm deterministic fault injection for
+//                                  chaos runs, e.g. "compile:hang:p=1,
+//                                  seed=42" (same grammar as PYGB_FAULTS;
+//                                  see docs/ROBUSTNESS.md)
 //
 //   cache subcommands (no graph file): --cache-info prints the module
 //   cache directory, size, and environment stamp; --cache-clear empties
@@ -38,6 +42,7 @@
 #include "algorithms/pagerank.hpp"
 #include "algorithms/sssp.hpp"
 #include "algorithms/triangle_count.hpp"
+#include "pygb/faultinj.hpp"
 #include "pygb/jit/cache.hpp"
 #include "pygb/obs/obs.hpp"
 #include "pygb/pygb.hpp"
@@ -56,6 +61,7 @@ struct Options {
   std::size_t top = 10;
   std::string trace_path;
   bool stats = false;
+  std::string faults;
 };
 
 [[noreturn]] void usage(const char* argv0) {
@@ -66,7 +72,9 @@ struct Options {
       << " --cache-info | --cache-clear\n"
          "  --source N   --damping X   --threshold X\n"
          "  --tier dsl|whole|native    --top K\n"
-         "  --trace FILE (Chrome trace JSON)   --stats (metrics summary)\n";
+         "  --trace FILE (Chrome trace JSON)   --stats (metrics summary)\n"
+         "  --faults SPEC (deterministic fault injection; PYGB_FAULTS "
+         "grammar)\n";
   std::exit(2);
 }
 
@@ -95,6 +103,8 @@ Options parse(int argc, char** argv) {
       o.trace_path = value();
     } else if (flag == "--stats") {
       o.stats = true;
+    } else if (flag == "--faults") {
+      o.faults = value();
     } else {
       std::cerr << "unknown option: " << flag << "\n";
       usage(argv[0]);
@@ -268,6 +278,7 @@ int main(int argc, char** argv) {
   if (!o.trace_path.empty()) pygb::obs::set_tracing_enabled(true);
   if (o.stats) pygb::obs::set_metrics_enabled(true);
   try {
+    if (!o.faults.empty()) pygb::faultinj::configure(o.faults);
     Matrix graph = Matrix::from_file(o.path);
     std::cout << "loaded " << o.path << ": " << graph.nrows()
               << " vertices, " << graph.nvals() << " edges\n";
