@@ -4,6 +4,9 @@
 // replace semantics.
 #pragma once
 
+#include <utility>
+
+#include "gbtl/detail/pool.hpp"
 #include "gbtl/gbtl.hpp"
 
 namespace pygb::algo {
@@ -16,16 +19,23 @@ template <typename MatT, typename FrontierT, typename LevelsT>
 gbtl::IndexType bfs(const MatT& graph, gbtl::Vector<FrontierT> frontier,
                     gbtl::Vector<LevelsT>& levels) {
   using AT = typename MatT::ScalarType;
+  // The ply loop both writes AND reads `levels` (the complemented mask),
+  // so the iteration runs on a copy and commits at the end: a governor
+  // abort (deadline/cancel/budget) at any checkpoint leaves the caller's
+  // vector untouched (docs/ROBUSTNESS.md).
+  gbtl::Vector<LevelsT> work = levels;
   gbtl::IndexType depth = 0;
   while (frontier.nvals() > 0) {
+    gbtl::detail::pool_checkpoint();  // governor: ply boundary
     ++depth;
-    gbtl::assign(levels, frontier, gbtl::NoAccumulate{},
+    gbtl::assign(work, frontier, gbtl::NoAccumulate{},
                  static_cast<LevelsT>(depth), gbtl::AllIndices{});
-    gbtl::mxv(frontier, gbtl::complement(levels), gbtl::NoAccumulate{},
+    gbtl::mxv(frontier, gbtl::complement(work), gbtl::NoAccumulate{},
               gbtl::LogicalSemiring<AT, FrontierT, FrontierT>{},
               gbtl::transpose(graph), frontier,
               gbtl::OutputControl::kReplace);
   }
+  levels = std::move(work);  // commit: the only write to the output
   return depth;
 }
 

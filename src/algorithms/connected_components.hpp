@@ -5,6 +5,9 @@
 // algorithm composed from the same primitives as the paper's four.
 #pragma once
 
+#include <utility>
+
+#include "gbtl/detail/pool.hpp"
 #include "gbtl/gbtl.hpp"
 
 namespace pygb::algo {
@@ -22,24 +25,29 @@ gbtl::IndexType connected_components(const MatT& graph,
     throw gbtl::DimensionException("connected_components: label size");
   }
 
-  // labels = [0, 1, ..., n-1]
-  labels.clear();
+  // Propagate over a working vector and commit at the end so a governor
+  // abort (deadline/cancel/budget) at a round boundary leaves the
+  // caller's vector untouched (docs/ROBUSTNESS.md).
+  // work = [0, 1, ..., n-1]
+  gbtl::Vector<LabelT> work(n);
   for (gbtl::IndexType v = 0; v < n; ++v) {
-    labels.setElement(v, static_cast<LabelT>(v));
+    work.setElement(v, static_cast<LabelT>(v));
   }
 
   gbtl::IndexType rounds = 0;
   for (gbtl::IndexType k = 0; k < n; ++k) {
-    gbtl::Vector<LabelT> before = labels;
-    // labels = labels min (A^T min.2nd labels): each vertex adopts the
+    gbtl::detail::pool_checkpoint();  // governor: round boundary
+    gbtl::Vector<LabelT> before = work;
+    // work = work min (A^T min.2nd work): each vertex adopts the
     // smallest neighbour label. Select2nd picks the label (not the edge
     // weight); Min both reduces over neighbours and accumulates.
-    gbtl::mxv(labels, gbtl::NoMask{}, gbtl::Min<LabelT>{},
+    gbtl::mxv(work, gbtl::NoMask{}, gbtl::Min<LabelT>{},
               gbtl::MinSelect2ndSemiring<AT, LabelT, LabelT>{},
-              gbtl::transpose(graph), labels);
+              gbtl::transpose(graph), work);
     ++rounds;
-    if (labels == before) break;
+    if (work == before) break;
   }
+  labels = std::move(work);  // commit: the only write to the output
   return rounds;
 }
 

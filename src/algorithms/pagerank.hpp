@@ -5,6 +5,9 @@
 // fill of never-ranked vertices through a complemented-output mask.
 #pragma once
 
+#include <utility>
+
+#include "gbtl/detail/pool.hpp"
 #include "gbtl/gbtl.hpp"
 
 namespace pygb::algo {
@@ -19,6 +22,14 @@ unsigned page_rank(const MatT& graph, gbtl::Vector<RealT>& page_rank,
   using T = typename MatT::ScalarType;
 
   const gbtl::IndexType rows = graph.nrows();
+  // Checked up front (the vxm below would reject it anyway) because the
+  // iteration runs on a local staging vector: `page_rank` is only written
+  // by the commit at the end, so an abort mid-run — a governor deadline,
+  // cancellation, or budget rejection at any checkpoint — leaves the
+  // caller's vector exactly as it was (docs/ROBUSTNESS.md).
+  if (page_rank.size() != rows) {
+    throw gbtl::DimensionException("page_rank: size(rank) != nrows(graph)");
+  }
   gbtl::Matrix<RealT> m(rows, graph.ncols());
 
   gbtl::apply(m, gbtl::NoMask{}, gbtl::NoAccumulate{},
@@ -33,7 +44,8 @@ unsigned page_rank(const MatT& graph, gbtl::Vector<RealT>& page_rank,
   gbtl::BinaryOpBind2nd<RealT, gbtl::Plus<RealT>> add_scaled_teleport(
       teleport);
 
-  gbtl::assign(page_rank, gbtl::NoMask{}, gbtl::NoAccumulate{},
+  gbtl::Vector<RealT> rank(rows);
+  gbtl::assign(rank, gbtl::NoMask{}, gbtl::NoAccumulate{},
                RealT{1} / static_cast<RealT>(rows), gbtl::AllIndices{});
 
   gbtl::Vector<RealT> new_rank(rows);
@@ -41,14 +53,15 @@ unsigned page_rank(const MatT& graph, gbtl::Vector<RealT>& page_rank,
 
   unsigned iters = 0;
   for (unsigned i = 0; i < max_iters; ++i) {
+    gbtl::detail::pool_checkpoint();  // governor: iteration boundary
     ++iters;
     gbtl::vxm(new_rank, gbtl::NoMask{}, gbtl::Second<RealT>{},
-              gbtl::ArithmeticSemiring<RealT>{}, page_rank, m);
+              gbtl::ArithmeticSemiring<RealT>{}, rank, m);
     gbtl::apply(new_rank, gbtl::NoMask{}, gbtl::NoAccumulate{},
                 add_scaled_teleport, new_rank);
 
     gbtl::eWiseAdd(delta, gbtl::NoMask{}, gbtl::NoAccumulate{},
-                   gbtl::Minus<RealT>{}, page_rank, new_rank);
+                   gbtl::Minus<RealT>{}, rank, new_rank);
     gbtl::eWiseMult(delta, gbtl::NoMask{}, gbtl::NoAccumulate{},
                     gbtl::Times<RealT>{}, delta, delta);
 
@@ -56,16 +69,17 @@ unsigned page_rank(const MatT& graph, gbtl::Vector<RealT>& page_rank,
     gbtl::reduce(squared_error, gbtl::NoAccumulate{},
                  gbtl::PlusMonoid<RealT>{}, delta);
 
-    page_rank = new_rank;
+    rank = new_rank;
     if (squared_error / static_cast<RealT>(rows) < threshold) break;
   }
 
   // Vertices never reached by rank flow get the bare teleport probability.
   gbtl::assign(new_rank, gbtl::NoMask{}, gbtl::NoAccumulate{}, teleport,
                gbtl::AllIndices{});
-  gbtl::eWiseAdd(page_rank, gbtl::complement(page_rank),
-                 gbtl::NoAccumulate{}, gbtl::Plus<RealT>{}, page_rank,
+  gbtl::eWiseAdd(rank, gbtl::complement(rank),
+                 gbtl::NoAccumulate{}, gbtl::Plus<RealT>{}, rank,
                  new_rank);
+  page_rank = std::move(rank);  // commit: the only write to the output
   return iters;
 }
 

@@ -3,6 +3,9 @@
 // accumulator (Bellman–Ford expressed in linear algebra).
 #pragma once
 
+#include <utility>
+
+#include "gbtl/detail/pool.hpp"
 #include "gbtl/gbtl.hpp"
 
 namespace pygb::algo {
@@ -14,11 +17,17 @@ namespace pygb::algo {
 template <typename MatT, typename PathT>
 void sssp(const MatT& graph, gbtl::Vector<PathT>& path) {
   using AT = typename MatT::ScalarType;
+  // Relax a working copy and commit at the end so a governor abort
+  // (deadline/cancel/budget) at a round boundary leaves the caller's
+  // vector untouched (docs/ROBUSTNESS.md).
+  gbtl::Vector<PathT> work = path;
   for (gbtl::IndexType k = 0; k < graph.nrows(); ++k) {
-    gbtl::mxv(path, gbtl::NoMask{}, gbtl::Min<PathT>{},
+    gbtl::detail::pool_checkpoint();  // governor: round boundary
+    gbtl::mxv(work, gbtl::NoMask{}, gbtl::Min<PathT>{},
               gbtl::MinPlusSemiring<AT, PathT, PathT>{},
-              gbtl::transpose(graph), path);
+              gbtl::transpose(graph), work);
   }
+  path = std::move(work);  // commit: the only write to the output
 }
 
 /// Variant that stops as soon as a round makes no improvement — the
@@ -28,15 +37,18 @@ template <typename MatT, typename PathT>
 gbtl::IndexType sssp_early_exit(const MatT& graph,
                                 gbtl::Vector<PathT>& path) {
   using AT = typename MatT::ScalarType;
+  gbtl::Vector<PathT> work = path;
   gbtl::IndexType rounds = 0;
   for (gbtl::IndexType k = 0; k < graph.nrows(); ++k) {
-    gbtl::Vector<PathT> before = path;
-    gbtl::mxv(path, gbtl::NoMask{}, gbtl::Min<PathT>{},
+    gbtl::detail::pool_checkpoint();  // governor: round boundary
+    gbtl::Vector<PathT> before = work;
+    gbtl::mxv(work, gbtl::NoMask{}, gbtl::Min<PathT>{},
               gbtl::MinPlusSemiring<AT, PathT, PathT>{},
-              gbtl::transpose(graph), path);
+              gbtl::transpose(graph), work);
     ++rounds;
-    if (path == before) break;
+    if (work == before) break;
   }
+  path = std::move(work);  // commit: the only write to the output
   return rounds;
 }
 

@@ -72,10 +72,31 @@ inline void set_schedule(Schedule s) { pool_set_schedule(s); }
 /// invoked several times per worker (dynamic schedule hands out chunks).
 /// Exceptions thrown by workers are rethrown on the caller after the
 /// operation drains. Nested calls run inline (no oversubscription).
+/// Sequential-path chunk width: large enough that the per-chunk governor
+/// checkpoint is noise, small enough that a deadline or cancel lands
+/// promptly even when the whole range runs inline on the caller.
+inline constexpr IndexType kSequentialCheckpointRows = 8192;
+
 template <typename F>
 void parallel_for_rows(IndexType n, F&& f) {
   if (n < 2 * kMinRowsPerThread || pool_num_threads() <= 1) {
-    f(IndexType{0}, n);
+    // Inline path. Kernels already tolerate multiple f invocations over
+    // disjoint sub-ranges (the dynamic schedule does exactly this), so
+    // chunking here changes no result — it only gives the governor the
+    // same checkpoint cadence the pooled path gets at chunk boundaries.
+    pool_checkpoint();
+    if (n == 0) {
+      f(IndexType{0}, IndexType{0});
+      return;
+    }
+    for (IndexType begin = 0; begin < n;
+         begin += kSequentialCheckpointRows) {
+      const IndexType end = begin + kSequentialCheckpointRows < n
+                                ? begin + kSequentialCheckpointRows
+                                : n;
+      if (begin != 0) pool_checkpoint();
+      f(begin, end);
+    }
     return;
   }
   using Fn = std::remove_reference_t<F>;

@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "pygb/faultinj.hpp"
+#include "pygb/governor.hpp"
 
 namespace gbtl::detail {
 
@@ -241,6 +242,10 @@ class WorkerPool {
         if (begin >= job.n) return;
         const IndexType end = std::min(job.n, begin + job.chunk);
         if (!job.has_error.load(std::memory_order_relaxed)) {
+          // Governor checkpoint at the chunk boundary: a cancelled or
+          // past-deadline op aborts before the chunk starts; the throw is
+          // captured below like any kernel exception.
+          pygb::governor::checkpoint();
           job.fn(job.ctx, begin, end);
         }
       } else {
@@ -249,6 +254,7 @@ class WorkerPool {
               job.next.fetch_add(job.chunk, std::memory_order_relaxed);
           if (begin >= job.n) break;
           const IndexType end = std::min(job.n, begin + job.chunk);
+          pygb::governor::checkpoint();
           job.fn(job.ctx, begin, end);
         }
       }
@@ -279,6 +285,13 @@ void api_parallel_for(IndexType n, PoolTaskFn fn, void* ctx) {
 }
 unsigned api_num_threads() { return WorkerPool::instance().count(); }
 void api_set_num_threads(unsigned n) { WorkerPool::instance().set_count(n); }
+void api_checkpoint() { pygb::governor::checkpoint(); }
+void api_mem_reserve(std::uint64_t bytes) {
+  pygb::governor::mem_reserve(bytes);
+}
+void api_mem_release(std::uint64_t bytes) {
+  pygb::governor::mem_release(bytes);
+}
 
 }  // namespace
 
@@ -294,9 +307,21 @@ Schedule pool_schedule() { return WorkerPool::instance().sched(); }
 
 void pool_set_schedule(Schedule s) { WorkerPool::instance().set_sched(s); }
 
+void pool_checkpoint() { pygb::governor::checkpoint(); }
+
+void pool_mem_reserve(std::uint64_t bytes) {
+  pygb::governor::mem_reserve(bytes);
+}
+
+void pool_mem_release(std::uint64_t bytes) noexcept {
+  pygb::governor::mem_release(bytes);
+}
+
 const PoolApi* host_pool_api() {
-  static const PoolApi api{kPoolAbiVersion, &api_parallel_for,
-                           &api_num_threads, &api_set_num_threads};
+  static const PoolApi api{kPoolAbiVersion,    &api_parallel_for,
+                           &api_num_threads,   &api_set_num_threads,
+                           &api_checkpoint,    &api_mem_reserve,
+                           &api_mem_release};
   return &api;
 }
 

@@ -32,6 +32,7 @@
 #pragma once
 
 #include <atomic>
+#include <cstdint>
 #include <cstdlib>
 
 #include "gbtl/types.hpp"
@@ -53,14 +54,26 @@ inline constexpr IndexType kMinRowsPerThread = 64;
 /// C-layout function table handed to dlopen'd JIT modules so their kernels
 /// dispatch onto the host's pool instead of looping sequentially. The ABI
 /// version is checked by the module before accepting the table.
+///
+/// v2 adds the pygb::governor routing (docs/ROBUSTNESS.md): checkpoint()
+/// and mem_reserve() may throw host exceptions; they unwind through the
+/// module's frames safely because host and module share one g++ unwinder
+/// (the same contract that already lets pool worker exceptions rethrow
+/// across the boundary). A v1 module handed this table rejects it and
+/// degrades to sequential, ungoverned execution — the cache schema bump
+/// (pygb/jit/cache.hpp) retires those modules anyway.
 struct PoolApi {
   unsigned abi_version;
   void (*parallel_for)(IndexType n, PoolTaskFn fn, void* ctx);
   unsigned (*num_threads)();
   void (*set_num_threads)(unsigned n);
+  // -- v2: governor routing --
+  void (*checkpoint)();                       ///< cancellation/deadline point
+  void (*mem_reserve)(std::uint64_t bytes);   ///< budget charge (may throw)
+  void (*mem_release)(std::uint64_t bytes);   ///< return a charge (noexcept)
 };
 
-inline constexpr unsigned kPoolAbiVersion = 1;
+inline constexpr unsigned kPoolAbiVersion = 2;
 
 /// The injection export generated modules carry (see pygb/jit/glue.hpp);
 /// pygb::jit::load_kernel dlsym's this name after every successful dlopen.
@@ -94,6 +107,14 @@ void pool_set_schedule(Schedule s);
 /// The function table injected into JIT modules (stable for the process
 /// lifetime).
 const PoolApi* host_pool_api();
+
+/// Governor routing (pygb::governor; docs/ROBUSTNESS.md). Kernels and
+/// algorithms call these instead of including governor.hpp directly so the
+/// SAME header line compiles in JIT modules, where the calls route through
+/// the injected PoolApi (and no-op if the host never injected it).
+void pool_checkpoint();
+void pool_mem_reserve(std::uint64_t bytes);
+void pool_mem_release(std::uint64_t bytes) noexcept;
 
 #else  // !GBTL_POOL_LINKED — a JIT module compiled without libpygb.
 
@@ -139,6 +160,57 @@ inline void pool_parallel_for(IndexType n, PoolTaskFn fn, void* ctx) {
   fn(ctx, IndexType{0}, n);  // no pool injected: inline sequential loop
 }
 
+// Governor routing through the injected table. Without an injected pool
+// the module runs ungoverned (same degrade philosophy as the sequential
+// loop above): uncancellable, unbudgeted, but correct.
+inline void pool_checkpoint() {
+  if (const PoolApi* api = pool_api_slot().load(std::memory_order_acquire)) {
+    api->checkpoint();
+  }
+}
+
+inline void pool_mem_reserve(std::uint64_t bytes) {
+  if (const PoolApi* api = pool_api_slot().load(std::memory_order_acquire)) {
+    api->mem_reserve(bytes);
+  }
+}
+
+inline void pool_mem_release(std::uint64_t bytes) noexcept {
+  if (const PoolApi* api = pool_api_slot().load(std::memory_order_acquire)) {
+    api->mem_release(bytes);
+  }
+}
+
 #endif  // GBTL_POOL_LINKED
+
+/// RAII budget charge for kernel staging buffers, built on the routed
+/// entry points above so it works identically in-repo and inside JIT
+/// modules. charge() raises pygb::governor::ResourceExhausted BEFORE the
+/// caller allocates; the destructor returns whatever was granted.
+class ScopedMemCharge {
+ public:
+  ScopedMemCharge() = default;
+  explicit ScopedMemCharge(std::uint64_t bytes) { charge(bytes); }
+  ScopedMemCharge(const ScopedMemCharge&) = delete;
+  ScopedMemCharge& operator=(const ScopedMemCharge&) = delete;
+  ScopedMemCharge(ScopedMemCharge&& other) noexcept : bytes_(other.bytes_) {
+    other.bytes_ = 0;
+  }
+  ~ScopedMemCharge() { release(); }
+
+  void charge(std::uint64_t bytes) {
+    pool_mem_reserve(bytes);
+    bytes_ += bytes;
+  }
+  void release() noexcept {
+    if (bytes_ != 0) {
+      pool_mem_release(bytes_);
+      bytes_ = 0;
+    }
+  }
+
+ private:
+  std::uint64_t bytes_ = 0;
+};
 
 }  // namespace gbtl::detail

@@ -6,6 +6,7 @@
 #include <algorithm>
 #include <vector>
 
+#include "gbtl/detail/pool.hpp"
 #include "gbtl/types.hpp"
 
 namespace gbtl::detail {
@@ -14,7 +15,7 @@ template <typename T>
 class SparseAccumulator {
  public:
   explicit SparseAccumulator(IndexType size)
-      : vals_(size), occupied_(size, false) {
+      : charge_(size * (sizeof(T) + 1)), vals_(size), occupied_(size, false) {
     touched_.reserve(64);
   }
 
@@ -55,6 +56,9 @@ class SparseAccumulator {
   }
 
  private:
+  // Declared before the arrays so the governor budget charge (which may
+  // throw ResourceExhausted) is taken BEFORE the dense allocations happen.
+  ScopedMemCharge charge_;
   std::vector<T> vals_;
   std::vector<bool> occupied_;
   std::vector<IndexType> touched_;

@@ -27,9 +27,12 @@ namespace detail {
 template <typename D3, typename AT, typename UnaryOpT>
 Matrix<D3> apply_matrix(const UnaryOpT& f, const Matrix<AT>& a) {
   Matrix<D3> t(a.nrows(), a.ncols());
+  ScopedMemCharge charge(a.nrows() * sizeof(typename Matrix<D3>::Row) +
+                         a.nvals() * sizeof(std::pair<IndexType, D3>));
   std::vector<typename Matrix<D3>::Row> out_rows(a.nrows());
   detail::parallel_for_rows(a.nrows(), [&](IndexType begin, IndexType end) {
     for (IndexType i = begin; i < end; ++i) {
+      pool_checkpoint();
       const auto& ra = a.row(i);
       if (ra.empty()) continue;
       auto& out = out_rows[i];
@@ -48,6 +51,7 @@ Matrix<D3> apply_matrix(const UnaryOpT& f, const Matrix<AT>& a) {
 template <typename D3, typename UT, typename UnaryOpT>
 Vector<D3> apply_vector(const UnaryOpT& f, const Vector<UT>& u) {
   Vector<D3> t(u.size());
+  ScopedMemCharge charge(u.size() * (1 + sizeof(D3)));
   std::vector<unsigned char> present(u.size(), 0);
   std::vector<D3> vals(u.size());
   detail::parallel_for_rows(u.size(), [&](IndexType begin, IndexType end) {

@@ -30,9 +30,11 @@ template <typename D3, typename AT, typename BT, typename BinaryOpT>
 Matrix<D3> ewise_add_matrix(const BinaryOpT& op, const Matrix<AT>& a,
                             const Matrix<BT>& b) {
   Matrix<D3> t(a.nrows(), a.ncols());
+  ScopedMemCharge charge(a.nrows() * sizeof(typename Matrix<D3>::Row));
   std::vector<typename Matrix<D3>::Row> out_rows(a.nrows());
   detail::parallel_for_rows(a.nrows(), [&](IndexType begin, IndexType end) {
     for (IndexType i = begin; i < end; ++i) {
+      pool_checkpoint();
       const auto& ra = a.row(i);
       const auto& rb = b.row(i);
       if (ra.empty() && rb.empty()) continue;
@@ -66,9 +68,11 @@ template <typename D3, typename AT, typename BT, typename BinaryOpT>
 Matrix<D3> ewise_mult_matrix(const BinaryOpT& op, const Matrix<AT>& a,
                              const Matrix<BT>& b) {
   Matrix<D3> t(a.nrows(), a.ncols());
+  ScopedMemCharge charge(a.nrows() * sizeof(typename Matrix<D3>::Row));
   std::vector<typename Matrix<D3>::Row> out_rows(a.nrows());
   detail::parallel_for_rows(a.nrows(), [&](IndexType begin, IndexType end) {
     for (IndexType i = begin; i < end; ++i) {
+      pool_checkpoint();
       const auto& ra = a.row(i);
       const auto& rb = b.row(i);
       if (ra.empty() || rb.empty()) continue;
@@ -99,6 +103,7 @@ template <typename D3, typename AT, typename BT, typename BinaryOpT>
 Vector<D3> ewise_add_vector(const BinaryOpT& op, const Vector<AT>& a,
                             const Vector<BT>& b) {
   Vector<D3> t(a.size());
+  ScopedMemCharge charge(a.size() * (1 + sizeof(D3)));
   std::vector<unsigned char> present(a.size(), 0);
   std::vector<D3> vals(a.size());
   detail::parallel_for_rows(a.size(), [&](IndexType begin, IndexType end) {
@@ -128,6 +133,7 @@ template <typename D3, typename AT, typename BT, typename BinaryOpT>
 Vector<D3> ewise_mult_vector(const BinaryOpT& op, const Vector<AT>& a,
                              const Vector<BT>& b) {
   Vector<D3> t(a.size());
+  ScopedMemCharge charge(a.size() * (1 + sizeof(D3)));
   std::vector<unsigned char> present(a.size(), 0);
   std::vector<D3> vals(a.size());
   detail::parallel_for_rows(a.size(), [&](IndexType begin, IndexType end) {

@@ -34,8 +34,12 @@ Matrix<T> materialize_transpose(const Matrix<T>& a) {
   // Two-pass: count per-output-row, then fill in order. Filling in row-major
   // input order appends strictly increasing column indices per output row,
   // so rows stay sorted without per-insert searches.
+  ScopedMemCharge charge(
+      a.ncols() * sizeof(typename Matrix<T>::Row) +
+      a.nvals() * sizeof(std::pair<IndexType, T>));
   std::vector<typename Matrix<T>::Row> out_rows(a.ncols());
   for (IndexType i = 0; i < a.nrows(); ++i) {
+    pool_checkpoint();
     for (const auto& [j, v] : a.row(i)) out_rows[j].emplace_back(i, v);
   }
   for (IndexType j = 0; j < a.ncols(); ++j) {
@@ -62,11 +66,13 @@ template <typename D3, typename AT, typename BT, typename SemiringT>
 Matrix<D3> mxm_gustavson(const SemiringT& sr, const Matrix<AT>& a,
                          const Matrix<BT>& b) {
   Matrix<D3> t(a.nrows(), b.ncols());
+  ScopedMemCharge charge(a.nrows() * sizeof(typename Matrix<D3>::Row));
   std::vector<typename Matrix<D3>::Row> out_rows(a.nrows());
   detail::parallel_for_rows(a.nrows(), [&](IndexType begin, IndexType end) {
     SparseAccumulator<D3> spa(b.ncols());
     auto add = [&sr](const D3& x, const D3& y) { return sr.add(x, y); };
     for (IndexType i = begin; i < end; ++i) {
+      pool_checkpoint();
       for (const auto& [k, av] : a.row(i)) {
         for (const auto& [j, bv] : b.row(k)) {
           spa.accumulate(j, static_cast<D3>(sr.mult(av, bv)), add);
@@ -114,9 +120,11 @@ template <typename D3, typename AT, typename BT, typename SemiringT>
 Matrix<D3> mxm_dot_all(const SemiringT& sr, const Matrix<AT>& a,
                        const Matrix<BT>& b) {
   Matrix<D3> t(a.nrows(), b.nrows());
+  ScopedMemCharge charge(a.nrows() * sizeof(typename Matrix<D3>::Row));
   std::vector<typename Matrix<D3>::Row> out_rows(a.nrows());
   detail::parallel_for_rows(a.nrows(), [&](IndexType begin, IndexType end) {
     for (IndexType i = begin; i < end; ++i) {
+      pool_checkpoint();
       const auto& ra = a.row(i);
       if (ra.empty()) continue;
       for (IndexType j = 0; j < b.nrows(); ++j) {
@@ -139,9 +147,11 @@ template <typename D3, typename AT, typename BT, typename MT,
 Matrix<D3> mxm_dot_masked(const SemiringT& sr, const Matrix<AT>& a,
                           const Matrix<BT>& b, const Matrix<MT>& mask) {
   Matrix<D3> t(a.nrows(), b.nrows());
+  ScopedMemCharge charge(a.nrows() * sizeof(typename Matrix<D3>::Row));
   std::vector<typename Matrix<D3>::Row> out_rows(a.nrows());
   detail::parallel_for_rows(a.nrows(), [&](IndexType begin, IndexType end) {
     for (IndexType i = begin; i < end; ++i) {
+      pool_checkpoint();
       const auto& ra = a.row(i);
       if (ra.empty()) continue;
       for (const auto& [j, mv] : mask.row(i)) {

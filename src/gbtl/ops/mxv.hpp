@@ -33,10 +33,12 @@ template <bool MultFlip, typename D3, typename AT, typename UT,
 Vector<D3> mv_pull(const SemiringT& sr, const Matrix<AT>& a,
                    const Vector<UT>& u) {
   Vector<D3> t(a.nrows());
+  ScopedMemCharge charge(a.nrows() * (1 + sizeof(D3)));
   std::vector<unsigned char> present(a.nrows(), 0);
   std::vector<D3> vals(a.nrows());
   detail::parallel_for_rows(a.nrows(), [&](IndexType begin, IndexType end) {
     for (IndexType i = begin; i < end; ++i) {
+      pool_checkpoint();
       bool found = false;
       D3 acc{};
       for (const auto& [j, av] : a.row(i)) {
@@ -71,8 +73,10 @@ template <bool MultFlip, typename D3, typename AT, typename UT,
 Vector<D3> mv_push(const SemiringT& sr, const Matrix<AT>& a,
                    const Vector<UT>& u) {
   Vector<D3> t(a.ncols());
+  ScopedMemCharge charge(a.ncols() / 8 + 1);  // vector<bool> bitmap
   std::vector<bool> present(a.ncols(), false);
   for (IndexType i = 0; i < a.nrows(); ++i) {
+    pool_checkpoint();
     if (!u.has_unchecked(i)) continue;
     const UT uv = u.value_unchecked(i);
     for (const auto& [j, av] : a.row(i)) {

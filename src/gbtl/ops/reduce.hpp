@@ -59,10 +59,12 @@ void reduce(Vector<WT>& w, const MaskT& mask, AccumT accum,
   decltype(auto) ra = detail::resolve_matrix(a);
   using D3 = typename MonoidT::ScalarType;
   Vector<D3> t(w.size());
+  detail::ScopedMemCharge charge(ra.nrows() * (1 + sizeof(D3)));
   std::vector<unsigned char> present(ra.nrows(), 0);
   std::vector<D3> vals(ra.nrows());
   detail::parallel_for_rows(ra.nrows(), [&](IndexType begin, IndexType end) {
     for (IndexType i = begin; i < end; ++i) {
+      detail::pool_checkpoint();
       auto [found, acc] = detail::reduce_row<D3>(monoid, ra.row(i));
       if (found) {
         present[i] = 1;
@@ -87,10 +89,12 @@ void reduce(ValueT& val, AccumT accum, const MonoidT& monoid, const AMatT& a) {
   if (ra.nvals() == 0) return;
   // Per-row partials combined in row order: the grouping is fixed by the
   // matrix structure, so the result is identical at every thread count.
+  detail::ScopedMemCharge charge(ra.nrows() * (1 + sizeof(D3)));
   std::vector<unsigned char> present(ra.nrows(), 0);
   std::vector<D3> partial(ra.nrows());
   detail::parallel_for_rows(ra.nrows(), [&](IndexType begin, IndexType end) {
     for (IndexType i = begin; i < end; ++i) {
+      detail::pool_checkpoint();
       auto [found, row_acc] = detail::reduce_row<D3>(monoid, ra.row(i));
       if (found) {
         present[i] = 1;
@@ -119,10 +123,12 @@ void reduce(ValueT& val, AccumT accum, const MonoidT& monoid,
   // only on the vector length, never on the partition (see header comment).
   const IndexType tiles =
       (u.size() + detail::kScalarReduceTile - 1) / detail::kScalarReduceTile;
+  detail::ScopedMemCharge charge(tiles * (1 + sizeof(D3)));
   std::vector<unsigned char> present(tiles, 0);
   std::vector<D3> partial(tiles);
   detail::parallel_for_rows(tiles, [&](IndexType begin, IndexType end) {
     for (IndexType tile = begin; tile < end; ++tile) {
+      detail::pool_checkpoint();
       const IndexType lo = tile * detail::kScalarReduceTile;
       const IndexType hi =
           std::min(u.size(), lo + detail::kScalarReduceTile);

@@ -4,13 +4,24 @@
 #include <fstream>
 #include <sstream>
 
+#include "io/errors.hpp"
+#include "pygb/governor.hpp"
+
 namespace pygb::io {
 
 namespace {
 
 [[noreturn]] void fail(const std::string& path, const std::string& msg) {
-  throw std::runtime_error("coo text (" + path + "): " + msg);
+  throw ParseError("coo text (" + path + "): " + msg);
 }
+
+/// Bytes one staged entry occupies (row + col index, double value).
+constexpr std::uint64_t kBytesPerEntry =
+    sizeof(gbtl::IndexType) * 2 + sizeof(double);
+
+/// Charge the governor budget in batches as the triplet arrays grow; the
+/// file carries no trustworthy size claim, so the charge is incremental.
+constexpr std::size_t kChargeBatch = 4096;
 
 /// Box one token the way a Python tokenizer would: try int, then float,
 /// else keep the string.
@@ -56,12 +67,14 @@ Coo read_coo_text(const std::string& path) {
   Coo coo;
   std::string line;
   bool have_header = false;
+  governor::MemCharge charge;
   while (std::getline(in, line)) {
     if (line.empty()) continue;
     if (line[0] == '#') {
       std::istringstream hdr(line.substr(1));
       long long r = 0, c = 0;
       if (hdr >> r >> c) {
+        if (r < 0 || c < 0) fail(path, "negative dimension in header");
         coo.nrows = static_cast<gbtl::IndexType>(r);
         coo.ncols = static_cast<gbtl::IndexType>(c);
         have_header = true;
@@ -72,6 +85,16 @@ Coo read_coo_text(const std::string& path) {
     long long i = 0, j = 0;
     double v = 0;
     if (!(ls >> i >> j >> v)) fail(path, "bad triplet line '" + line + "'");
+    if (i < 0 || j < 0) fail(path, "negative index in triplet");
+    if (have_header &&
+        (static_cast<gbtl::IndexType>(i) >= coo.nrows ||
+         static_cast<gbtl::IndexType>(j) >= coo.ncols)) {
+      fail(path, "triplet index out of declared range");
+    }
+    if (coo.nnz() % kChargeBatch == 0) {
+      governor::checkpoint();
+      charge.add(kChargeBatch * kBytesPerEntry);
+    }
     coo.rows.push_back(static_cast<gbtl::IndexType>(i));
     coo.cols.push_back(static_cast<gbtl::IndexType>(j));
     coo.vals.push_back(v);

@@ -1,0 +1,23 @@
+// io/errors.hpp — typed error for the ingestion paths. Malformed or
+// adversarial input files (bad banners, truncated entry lists, indices that
+// overflow IndexType, nnz headers claiming more entries than the stream
+// could possibly hold) must surface as ParseError, never as a crash, an
+// unbounded allocation, or a partially-mutated output. Oversized-but-
+// well-formed inputs that trip the governor budget raise
+// pygb::governor::ResourceExhausted instead.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace pygb::io {
+
+/// Malformed input. Derived from std::runtime_error so existing callers
+/// that catch the old untyped throw keep working; new callers can tell
+/// "bad file" apart from IO failures and governor rejections.
+class ParseError : public std::runtime_error {
+ public:
+  explicit ParseError(const std::string& msg) : std::runtime_error(msg) {}
+};
+
+}  // namespace pygb::io

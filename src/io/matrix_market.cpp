@@ -2,8 +2,15 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
 #include <fstream>
+#include <limits>
 #include <sstream>
+
+#include "io/errors.hpp"
+#include "pygb/governor.hpp"
 
 namespace pygb::io {
 
@@ -16,7 +23,41 @@ std::string lower(std::string s) {
 }
 
 [[noreturn]] void fail(const std::string& what, const std::string& msg) {
-  throw std::runtime_error("matrix market (" + what + "): " + msg);
+  throw ParseError("matrix market (" + what + "): " + msg);
+}
+
+/// Checked narrowing for header-supplied 64-bit values. IndexType is
+/// unsigned, so the dangerous inputs are negatives (which would wrap to
+/// huge indices) — the caller has already range-checked magnitudes.
+gbtl::IndexType to_index(long long v, const std::string& what,
+                         const char* field) {
+  if (v < 0) fail(what, std::string("negative ") + field);
+  return static_cast<gbtl::IndexType>(v);
+}
+
+/// Bytes each coordinate entry occupies in the staged Coo arrays
+/// (IndexType row + IndexType col + double val).
+constexpr std::uint64_t kBytesPerEntry =
+    sizeof(gbtl::IndexType) * 2 + sizeof(double);
+
+/// The nnz header of an untrusted file must not size a reserve() on its
+/// own: "1 1 9999999999999" is a 20-byte file claiming terabytes. Clamp
+/// the claim to what the remaining stream bytes could possibly encode —
+/// the minimum well-formed entry is "1 1\n" (4 bytes) for pattern files
+/// and "1 1 1\n" (6 bytes) otherwise. For non-seekable streams the claim
+/// is still bounded by the governor charge below; the reserve is merely
+/// allowed to be optimistic.
+std::uint64_t clamp_reserve_to_stream(std::istream& in, std::uint64_t claimed,
+                                      bool pattern) {
+  const std::uint64_t min_entry_bytes = pattern ? 4 : 6;
+  const auto here = in.tellg();
+  if (here < 0) return claimed;  // non-seekable stream: only the charge caps
+  in.seekg(0, std::ios::end);
+  const auto end = in.tellg();
+  in.seekg(here);
+  if (end < 0 || end < here) return claimed;
+  const std::uint64_t remaining = static_cast<std::uint64_t>(end - here);
+  return std::min(claimed, remaining / min_entry_bytes + 1);
 }
 
 }  // namespace
@@ -41,7 +82,8 @@ Coo read_matrix_market(std::istream& in, const std::string& what) {
   field = lower(field);
   symmetry = lower(symmetry);
   const bool pattern = field == "pattern";
-  if (!pattern && field != "real" && field != "integer") {
+  const bool integer = field == "integer";
+  if (!pattern && field != "real" && !integer) {
     fail(what, "unsupported field type '" + field + "'");
   }
   const bool symmetric = symmetry == "symmetric";
@@ -61,19 +103,51 @@ Coo read_matrix_market(std::istream& in, const std::string& what) {
   }
 
   Coo coo;
-  coo.nrows = static_cast<gbtl::IndexType>(nrows);
-  coo.ncols = static_cast<gbtl::IndexType>(ncols);
-  coo.rows.reserve(static_cast<std::size_t>(nnz) * (symmetric ? 2 : 1));
-  coo.cols.reserve(coo.rows.capacity());
-  coo.vals.reserve(coo.rows.capacity());
+  coo.nrows = to_index(nrows, what, "row count");
+  coo.ncols = to_index(ncols, what, "column count");
 
+  // Size the reserve from the nnz claim, but never beyond what the stream
+  // could actually contain, and charge it against the governor budget
+  // BEFORE allocating (incremental top-ups below cover symmetric growth
+  // past the initial estimate).
+  const std::uint64_t expansion = symmetric ? 2 : 1;
+  const std::uint64_t reserve_n =
+      clamp_reserve_to_stream(in, static_cast<std::uint64_t>(nnz), pattern) *
+      expansion;
+  governor::MemCharge charge(reserve_n * kBytesPerEntry);
+  coo.rows.reserve(static_cast<std::size_t>(reserve_n));
+  coo.cols.reserve(static_cast<std::size_t>(reserve_n));
+  coo.vals.reserve(static_cast<std::size_t>(reserve_n));
+
+  std::string tok;
   for (long long k = 0; k < nnz; ++k) {
+    governor::checkpoint();
     long long i = 0, j = 0;
     double v = 1.0;
     if (!(in >> i >> j)) fail(what, "truncated entry list");
-    if (!pattern && !(in >> v)) fail(what, "truncated entry value");
+    if (!pattern) {
+      // Parsed via strtod rather than operator>> so IEEE specials ("nan",
+      // "inf") and overflowing literals ("1e999") reach the finiteness
+      // check below instead of silently failing extraction.
+      if (!(in >> tok)) fail(what, "truncated entry value");
+      char* end = nullptr;
+      v = std::strtod(tok.c_str(), &end);
+      if (end == tok.c_str() || *end != '\0') {
+        fail(what, "bad entry value '" + tok + "'");
+      }
+    }
     if (i < 1 || i > nrows || j < 1 || j > ncols) {
       fail(what, "entry index out of range");
+    }
+    if (integer && !std::isfinite(v)) {
+      fail(what, "non-finite value in integer field");
+    }
+    if (coo.vals.size() == coo.vals.capacity()) {
+      // The stream held more entries than the clamp estimated (dense
+      // whitespace, symmetric expansion) — charge the doubling before the
+      // vectors perform it.
+      charge.add(std::max<std::uint64_t>(coo.vals.capacity(), 16) *
+                 kBytesPerEntry);
     }
     coo.rows.push_back(static_cast<gbtl::IndexType>(i - 1));
     coo.cols.push_back(static_cast<gbtl::IndexType>(j - 1));

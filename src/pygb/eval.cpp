@@ -9,6 +9,7 @@
 #include <cstdlib>
 #include <stdexcept>
 
+#include "pygb/governor.hpp"
 #include "pygb/interp_sim.hpp"
 #include "pygb/jit/registry.hpp"
 #include "pygb/obs/obs.hpp"
@@ -270,6 +271,10 @@ void dispatch(OpRequest& req, KernelArgs& args) {
   // on top of the seed dispatch sequence.
   if (!obs::tracing_enabled() && !obs::metrics_enabled()) [[likely]] {
     jit::KernelFn fn = jit::Registry::instance().get(req);
+    // Governor scope around kernel EXECUTION only: resolution (which may
+    // include a whole g++ run) is already deadline-bounded by the PR 4
+    // PYGB_JIT_TIMEOUT_MS machinery; PYGB_OP_TIMEOUT_MS caps the compute.
+    governor::OpScope governed(req.func.c_str());
     fn(&args);
     return;
   }
@@ -288,6 +293,7 @@ void dispatch(OpRequest& req, KernelArgs& args) {
     obs::Span kernel_span("kernel");
     kernel_span.attr("func", req.func).attr("backend", info.backend);
     const std::uint64_t t0 = obs::now_ns();
+    governor::OpScope governed(req.func.c_str());
     fn(&args);
     obs::record_value("kernel_ns/" + req.func + "/" + info.backend,
                       obs::now_ns() - t0);

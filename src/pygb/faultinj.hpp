@@ -18,7 +18,7 @@
 //   spec  := rule (',' rule)* [',' 'seed=' <uint64>]
 //
 //   sites    compile | compile_spawn | dlopen | cache_verify |
-//            cache_publish | flock | pool_submit
+//            cache_publish | flock | pool_submit | governor
 //   actions  hang  — the compiler child parks forever (timeout path)
 //            fail  — the site reports failure (exit 1 / nullptr / throw)
 //            slow  — the compiler child sleeps ~2s before exec'ing
@@ -60,6 +60,11 @@ inline constexpr const char* kCacheVerify = "cache_verify";
 inline constexpr const char* kCachePublish = "cache_publish";
 inline constexpr const char* kFlock = "flock";
 inline constexpr const char* kPoolSubmit = "pool_submit";
+/// Governor checkpoints (gbtl row loops, pool chunk boundaries, algorithm
+/// iterations): `fail` = injected budget exhaustion (ResourceExhausted),
+/// `hang`/`slow`/`corrupt` = injected deadline fire (DeadlineExceeded).
+/// Combine with n=K to fire at exactly the Kth checkpoint.
+inline constexpr const char* kGovernor = "governor";
 }  // namespace site
 
 /// The verdict for one site visit. Evaluates false when nothing fires.

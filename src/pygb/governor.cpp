@@ -1,0 +1,310 @@
+// pygb/governor.cpp — see governor.hpp. Leaf implementation: atomics for
+// every hot slot, one mutex guarding only the (cold) op-name buffer.
+#include "pygb/governor.hpp"
+
+#include <chrono>
+#include <cstdlib>
+#include <mutex>
+
+namespace pygb::governor {
+
+namespace detail {
+std::atomic<std::uint32_t> g_armed{0};
+}  // namespace detail
+
+namespace {
+
+// Configuration.
+std::atomic<std::uint64_t> g_mem_limit{0};   // 0 = unlimited
+std::atomic<std::uint64_t> g_timeout_ms{0};  // 0 = no deadline
+std::atomic<bool> g_cancel{false};
+
+// Memory accounting (always on; the gauge feeds mem_peak_bytes).
+std::atomic<std::uint64_t> g_mem_used{0};
+std::atomic<std::uint64_t> g_mem_peak{0};
+
+// Stats.
+std::atomic<std::uint64_t> g_ops_cancelled{0};
+std::atomic<std::uint64_t> g_ops_deadline_exceeded{0};
+std::atomic<std::uint64_t> g_mem_rejections{0};
+std::atomic<std::uint64_t> g_checkpoints{0};
+
+// Per-operation state, owned by the outermost OpScope.
+std::atomic<int> g_depth{0};
+std::atomic<std::uint64_t> g_deadline_ns{0};  // absolute steady-clock; 0=off
+std::atomic<std::uint64_t> g_op_start_ns{0};
+// First-abort latch: with 4 pool workers all tripping the same deadline,
+// only the winner counts the event (one op, one increment); the rest still
+// throw so the whole operation unwinds fast.
+std::atomic<bool> g_op_aborted{false};
+
+// Cold: op name for error messages. Fixed buffer under a mutex so the
+// checkpoint slow path never allocates while reading it.
+std::mutex g_name_mu;
+char g_op_name[128] = {0};
+
+std::uint64_t now_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+std::string op_label() {
+  std::lock_guard<std::mutex> lock(g_name_mu);
+  return g_op_name[0] ? std::string(g_op_name) : std::string("<op>");
+}
+
+std::uint64_t elapsed_ms() noexcept {
+  const std::uint64_t start = g_op_start_ns.load(std::memory_order_relaxed);
+  if (start == 0) return 0;
+  const std::uint64_t now = now_ns();
+  return now > start ? (now - start) / 1000000u : 0;
+}
+
+/// True when an OpScope should engage: any governance is configured or a
+/// fault spec might target the governor site.
+bool config_active() noexcept {
+  return g_timeout_ms.load(std::memory_order_relaxed) != 0 ||
+         g_mem_limit.load(std::memory_order_relaxed) != 0 ||
+         g_cancel.load(std::memory_order_relaxed) ||
+         faultinj::armed();
+}
+
+/// One env read at static-init time, mirroring faultinj's EnvActivation.
+struct EnvActivation {
+  EnvActivation() { init_from_env(); }
+};
+const EnvActivation g_env_activation;
+
+}  // namespace
+
+// -- configuration ---------------------------------------------------------
+
+void set_mem_limit_bytes(std::uint64_t bytes) noexcept {
+  g_mem_limit.store(bytes, std::memory_order_relaxed);
+}
+
+std::uint64_t mem_limit_bytes() noexcept {
+  return g_mem_limit.load(std::memory_order_relaxed);
+}
+
+void set_op_timeout_ms(std::uint64_t ms) noexcept {
+  g_timeout_ms.store(ms, std::memory_order_relaxed);
+}
+
+std::uint64_t op_timeout_ms() noexcept {
+  return g_timeout_ms.load(std::memory_order_relaxed);
+}
+
+void cancel() noexcept {
+  g_cancel.store(true, std::memory_order_relaxed);
+  // Arm the in-flight op (if any); an idle cancel is consumed by the next
+  // OpScope, which recomputes the armed word from g_cancel.
+  detail::g_armed.fetch_or(detail::kCancelArmed, std::memory_order_release);
+}
+
+bool cancel_requested() noexcept {
+  return g_cancel.load(std::memory_order_relaxed);
+}
+
+void init_from_env() {
+  if (const char* v = std::getenv("PYGB_MEM_LIMIT_BYTES")) {
+    char* end = nullptr;
+    const unsigned long long parsed = std::strtoull(v, &end, 10);
+    if (end != v) set_mem_limit_bytes(parsed);
+  }
+  if (const char* v = std::getenv("PYGB_OP_TIMEOUT_MS")) {
+    char* end = nullptr;
+    const unsigned long long parsed = std::strtoull(v, &end, 10);
+    if (end != v) set_op_timeout_ms(parsed);
+  }
+}
+
+// -- memory budget ---------------------------------------------------------
+
+void mem_reserve(std::uint64_t bytes) {
+  if (bytes == 0) return;
+  const std::uint64_t used =
+      g_mem_used.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+  const std::uint64_t limit = g_mem_limit.load(std::memory_order_relaxed);
+  if (limit != 0 && used > limit) {
+    g_mem_used.fetch_sub(bytes, std::memory_order_relaxed);
+    g_mem_rejections.fetch_add(1, std::memory_order_relaxed);
+    throw ResourceExhausted(
+        "pygb: operation '" + op_label() + "' rejected: charging " +
+        std::to_string(bytes) + " bytes would put " +
+        std::to_string(used) + " bytes in use, over the " +
+        std::to_string(limit) + "-byte budget (PYGB_MEM_LIMIT_BYTES)");
+  }
+  // Peak reflects granted charges only.
+  std::uint64_t peak = g_mem_peak.load(std::memory_order_relaxed);
+  while (used > peak && !g_mem_peak.compare_exchange_weak(
+                            peak, used, std::memory_order_relaxed)) {
+  }
+}
+
+void mem_release(std::uint64_t bytes) noexcept {
+  if (bytes == 0) return;
+  // CAS loop clamped at zero: an unmatched release (a JIT module whose
+  // reserve predated PoolApi injection) must not wrap the gauge into a
+  // near-2^64 value that rejects everything afterwards.
+  std::uint64_t cur = g_mem_used.load(std::memory_order_relaxed);
+  while (!g_mem_used.compare_exchange_weak(
+      cur, cur > bytes ? cur - bytes : 0, std::memory_order_relaxed)) {
+  }
+}
+
+// -- checkpoints ------------------------------------------------------------
+
+namespace detail {
+
+void checkpoint_slow() {
+  g_checkpoints.fetch_add(1, std::memory_order_relaxed);
+
+  // Fault injection first: lets chaos tests fire budget/deadline failures
+  // at an exact checkpoint (n=K) with no real budget or clock involved.
+  if (const auto d = faultinj::check(faultinj::site::kGovernor)) {
+    if (d.action == faultinj::Action::kFail) {
+      g_mem_rejections.fetch_add(1, std::memory_order_relaxed);
+      throw ResourceExhausted("pygb: operation '" + op_label() +
+                              "': injected budget exhaustion at checkpoint "
+                              "(faultinj governor:fail)");
+    }
+    g_ops_deadline_exceeded.fetch_add(1, std::memory_order_relaxed);
+    throw DeadlineExceeded("pygb: operation '" + op_label() +
+                           "': injected deadline at checkpoint (faultinj "
+                           "governor:" +
+                           std::string(faultinj::to_string(d.action)) + ")");
+  }
+
+  const std::uint32_t armed = g_armed.load(std::memory_order_acquire);
+  if (armed & kCancelArmed) {
+    if (g_depth.load(std::memory_order_acquire) == 0) {
+      // No OpScope owns the armed word (a native-tier gbtl call, say):
+      // consume the pending cancel here, or clear a stale bit left by an
+      // already-consumed request so it can't cancel every op forever.
+      bool expected = true;
+      if (g_cancel.compare_exchange_strong(expected, false,
+                                           std::memory_order_relaxed)) {
+        g_armed.fetch_and(~kCancelArmed, std::memory_order_release);
+        g_ops_cancelled.fetch_add(1, std::memory_order_relaxed);
+        throw Cancelled("pygb: operation '" + op_label() +
+                        "' cancelled after " + std::to_string(elapsed_ms()) +
+                        " ms");
+      }
+      g_armed.fetch_and(~kCancelArmed, std::memory_order_release);
+    } else {
+      // Scoped op: the winner consumes the request (exactly one op per
+      // cancel) and counts the event; every thread of the op still throws
+      // until the outermost scope exit disarms the word.
+      if (!g_op_aborted.exchange(true, std::memory_order_relaxed)) {
+        g_cancel.store(false, std::memory_order_relaxed);
+        g_ops_cancelled.fetch_add(1, std::memory_order_relaxed);
+      }
+      throw Cancelled("pygb: operation '" + op_label() +
+                      "' cancelled after " + std::to_string(elapsed_ms()) +
+                      " ms");
+    }
+  }
+  if (armed & kDeadlineArmed) {
+    const std::uint64_t deadline =
+        g_deadline_ns.load(std::memory_order_relaxed);
+    if (deadline != 0 && now_ns() >= deadline) {
+      if (!g_op_aborted.exchange(true, std::memory_order_relaxed)) {
+        g_ops_deadline_exceeded.fetch_add(1, std::memory_order_relaxed);
+      }
+      throw DeadlineExceeded(
+          "pygb: operation '" + op_label() + "': deadline of " +
+          std::to_string(g_timeout_ms.load(std::memory_order_relaxed)) +
+          " ms (PYGB_OP_TIMEOUT_MS) exceeded after " +
+          std::to_string(elapsed_ms()) + " ms");
+    }
+  }
+}
+
+}  // namespace detail
+
+// -- OpScope ----------------------------------------------------------------
+
+OpScope::OpScope(const char* op_name) {
+  if (!config_active()) return;
+  active_ = true;
+  if (g_depth.fetch_add(1, std::memory_order_acq_rel) != 0) return;
+
+  // Outermost scope: latch the name, the start time, and the armed word.
+  {
+    std::lock_guard<std::mutex> lock(g_name_mu);
+    std::size_t i = 0;
+    for (; op_name != nullptr && op_name[i] != '\0' &&
+           i + 1 < sizeof g_op_name;
+         ++i) {
+      g_op_name[i] = op_name[i];
+    }
+    g_op_name[i] = '\0';
+  }
+  const std::uint64_t now = now_ns();
+  g_op_start_ns.store(now, std::memory_order_relaxed);
+  g_op_aborted.store(false, std::memory_order_relaxed);
+
+  std::uint32_t armed = 0;
+  const std::uint64_t timeout = g_timeout_ms.load(std::memory_order_relaxed);
+  if (timeout != 0) {
+    g_deadline_ns.store(now + timeout * 1000000u, std::memory_order_relaxed);
+    armed |= detail::kDeadlineArmed;
+  } else {
+    g_deadline_ns.store(0, std::memory_order_relaxed);
+  }
+  if (g_cancel.load(std::memory_order_relaxed)) {
+    armed |= detail::kCancelArmed;
+  }
+  detail::g_armed.store(armed, std::memory_order_release);
+}
+
+OpScope::~OpScope() {
+  if (!active_) return;
+  if (g_depth.fetch_sub(1, std::memory_order_acq_rel) != 1) return;
+  // Outermost exit: disarm everything so an aborted op can't poison the
+  // next one. A cancel that fired mid-op was already consumed by the
+  // checkpoint winner; one that never got a checkpoint dies here too —
+  // the op it targeted has completed.
+  detail::g_armed.store(0, std::memory_order_release);
+  g_deadline_ns.store(0, std::memory_order_relaxed);
+  g_op_start_ns.store(0, std::memory_order_relaxed);
+  g_op_aborted.store(false, std::memory_order_relaxed);
+  g_cancel.store(false, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(g_name_mu);
+  g_op_name[0] = '\0';
+}
+
+// -- introspection ----------------------------------------------------------
+
+Stats stats() noexcept {
+  Stats s;
+  s.ops_cancelled = g_ops_cancelled.load(std::memory_order_relaxed);
+  s.ops_deadline_exceeded =
+      g_ops_deadline_exceeded.load(std::memory_order_relaxed);
+  s.mem_budget_rejections = g_mem_rejections.load(std::memory_order_relaxed);
+  s.mem_peak_bytes = g_mem_peak.load(std::memory_order_relaxed);
+  s.mem_current_bytes = g_mem_used.load(std::memory_order_relaxed);
+  s.checkpoints = g_checkpoints.load(std::memory_order_relaxed);
+  return s;
+}
+
+void reset_stats() noexcept {
+  g_ops_cancelled.store(0, std::memory_order_relaxed);
+  g_ops_deadline_exceeded.store(0, std::memory_order_relaxed);
+  g_mem_rejections.store(0, std::memory_order_relaxed);
+  g_checkpoints.store(0, std::memory_order_relaxed);
+  // The peak restarts from the live gauge (which is NOT a resettable
+  // counter — it tracks charges still held).
+  g_mem_peak.store(g_mem_used.load(std::memory_order_relaxed),
+                   std::memory_order_relaxed);
+}
+
+std::string current_op() {
+  std::lock_guard<std::mutex> lock(g_name_mu);
+  return std::string(g_op_name);
+}
+
+}  // namespace pygb::governor

@@ -1,0 +1,218 @@
+// pygb/governor.hpp — per-operation resource governance and cooperative
+// cancellation for the execution path (docs/ROBUSTNESS.md).
+//
+// PR 4 bounded JIT *compilation*; the governor bounds *execution*. Three
+// services, all off by default and costing two relaxed atomic loads per
+// checkpoint when disarmed (the same bargain as pygb::obs and
+// pygb::faultinj):
+//
+//   * Memory budgets — PYGB_MEM_LIMIT_BYTES (or set_mem_limit_bytes /
+//     `pygb_cli --mem-limit`). Kernels charge their dominant allocations
+//     (staging row tables, SpA accumulators, interpreter staging copies,
+//     IO ingest buffers) through mem_reserve() BEFORE allocating; a charge
+//     that would cross the limit raises ResourceExhausted instead of
+//     letting the process die on bad_alloc / the OOM killer.
+//   * Deadlines — PYGB_OP_TIMEOUT_MS (or set_op_timeout_ms /
+//     `--op-timeout`). An OpScope opened at kernel dispatch arms an
+//     absolute steady-clock deadline; checkpoints sprinkled through the
+//     execution path (pool chunk boundaries, kernel row loops, algorithm
+//     iteration boundaries) raise DeadlineExceeded once it passes.
+//   * Cancellation — cancel() marks the in-flight operation (or, when
+//     idle, the next one) for abort at its next checkpoint, raising
+//     Cancelled. Exactly one operation consumes each cancel request.
+//
+// Strong guarantee: checkpoints and charges live ONLY in compute phases —
+// never in the sequential write/commit phase that publishes results — so
+// an aborted operation leaves its output containers untouched.
+//
+// This is a LEAF module (depends only on pygb::faultinj): the gbtl worker
+// pool and the io readers link it without pulling in libpygb. JIT modules
+// reach it through the PoolApi v2 function table (gbtl/detail/pool.hpp).
+//
+// Error taxonomy (unified with PR 4's transient/permanent classification):
+// ResourceExhausted and DeadlineExceeded are TRANSIENT — the environment
+// (budget, machine load) rejected this run; the same request can succeed
+// later with a bigger budget or a quieter machine. Cancelled is PERMANENT
+// for the request — a caller explicitly asked for this work to stop.
+//
+// Deadline scope note: with concurrent host threads dispatching at once,
+// the deadline and op-name slots are process-global — the outermost scope
+// wins and concurrent ops share the earliest armed deadline. That is the
+// intended semantic for a per-request cap on a serving path; per-thread
+// budgets would need a token parameter threaded through every kernel ABI.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "pygb/faultinj.hpp"
+
+namespace pygb::governor {
+
+/// Base of the governor taxonomy. `transient()` mirrors the PR 4
+/// classification: true = environmental, a retry may succeed (breaker
+/// semantics would count, not condemn); false = deterministic for this
+/// request.
+class GovernorError : public std::runtime_error {
+ public:
+  GovernorError(const std::string& msg, bool transient)
+      : std::runtime_error(msg), transient_(transient) {}
+  bool transient() const noexcept { return transient_; }
+
+ private:
+  bool transient_;
+};
+
+/// A memory charge would cross PYGB_MEM_LIMIT_BYTES. Raised BEFORE the
+/// allocation; transient (a bigger budget admits the same request).
+class ResourceExhausted : public GovernorError {
+ public:
+  explicit ResourceExhausted(const std::string& msg)
+      : GovernorError(msg, /*transient=*/true) {}
+};
+
+/// The operation outlived PYGB_OP_TIMEOUT_MS. Transient (machine load).
+class DeadlineExceeded : public GovernorError {
+ public:
+  explicit DeadlineExceeded(const std::string& msg)
+      : GovernorError(msg, /*transient=*/true) {}
+};
+
+/// The operation was cancelled via cancel(). Permanent for this request.
+class Cancelled : public GovernorError {
+ public:
+  explicit Cancelled(const std::string& msg)
+      : GovernorError(msg, /*transient=*/false) {}
+};
+
+/// Monotonic/gauge view of the governor, mirrored into pygb::obs counters
+/// (ops_cancelled, ops_deadline_exceeded, mem_budget_rejections,
+/// mem_peak_bytes) when libpygb is linked.
+struct Stats {
+  std::uint64_t ops_cancelled = 0;
+  std::uint64_t ops_deadline_exceeded = 0;
+  std::uint64_t mem_budget_rejections = 0;
+  std::uint64_t mem_peak_bytes = 0;     ///< high-water mark of charges
+  std::uint64_t mem_current_bytes = 0;  ///< live charges (gauge)
+  std::uint64_t checkpoints = 0;        ///< slow-path checkpoint visits
+};
+
+namespace detail {
+
+enum ArmBit : std::uint32_t {
+  kDeadlineArmed = 1u << 0,
+  kCancelArmed = 1u << 1,
+};
+
+/// Nonzero while a deadline or cancel request can fire. Checked (relaxed)
+/// on the checkpoint fast path.
+extern std::atomic<std::uint32_t> g_armed;
+
+/// Slow path: fault-injection site, cancel check, deadline check.
+/// Throws Cancelled / DeadlineExceeded / ResourceExhausted.
+void checkpoint_slow();
+
+}  // namespace detail
+
+// -- configuration ---------------------------------------------------------
+
+/// 0 = unlimited. Applies to the sum of live mem_reserve() charges.
+void set_mem_limit_bytes(std::uint64_t bytes) noexcept;
+std::uint64_t mem_limit_bytes() noexcept;
+
+/// 0 = no deadline. Armed per-operation at OpScope entry.
+void set_op_timeout_ms(std::uint64_t ms) noexcept;
+std::uint64_t op_timeout_ms() noexcept;
+
+/// Request cancellation of the in-flight operation (or, when idle, the
+/// next one). Exactly one operation consumes the request.
+void cancel() noexcept;
+bool cancel_requested() noexcept;
+
+/// Read PYGB_MEM_LIMIT_BYTES / PYGB_OP_TIMEOUT_MS. Runs once automatically
+/// at static-init time (same pattern as pygb::faultinj).
+void init_from_env();
+
+// -- memory budget ---------------------------------------------------------
+
+/// Charge `bytes` against the budget. Throws ResourceExhausted (and does
+/// NOT retain the charge) if the limit would be crossed. Tracking is
+/// always on, so mem_peak_bytes is meaningful even without a limit.
+void mem_reserve(std::uint64_t bytes);
+
+/// Return a previous charge. Clamped at zero: a release that was never
+/// matched by a successful reserve (possible around PoolApi injection
+/// races in JIT modules) must not wrap the gauge.
+void mem_release(std::uint64_t bytes) noexcept;
+
+/// RAII charge for host-side code (the gbtl headers use the PoolApi-routed
+/// gbtl::detail::ScopedMemCharge instead so JIT modules resolve it too).
+class MemCharge {
+ public:
+  MemCharge() = default;
+  explicit MemCharge(std::uint64_t bytes) { add(bytes); }
+  MemCharge(const MemCharge&) = delete;
+  MemCharge& operator=(const MemCharge&) = delete;
+  MemCharge(MemCharge&& other) noexcept : bytes_(other.bytes_) {
+    other.bytes_ = 0;
+  }
+  ~MemCharge() { release(); }
+
+  /// Grow the charge; throws ResourceExhausted without retaining `bytes`.
+  void add(std::uint64_t bytes) {
+    mem_reserve(bytes);
+    bytes_ += bytes;
+  }
+  void release() noexcept {
+    if (bytes_ != 0) {
+      mem_release(bytes_);
+      bytes_ = 0;
+    }
+  }
+  std::uint64_t held() const noexcept { return bytes_; }
+
+ private:
+  std::uint64_t bytes_ = 0;
+};
+
+// -- checkpoints ------------------------------------------------------------
+
+/// The cooperative cancellation point. Disarmed cost: two relaxed loads
+/// and a branch. Armed: visits the `governor` fault-injection site, then
+/// the cancel flag, then the deadline clock.
+inline void checkpoint() {
+  if (detail::g_armed.load(std::memory_order_relaxed) == 0 &&
+      !faultinj::armed()) {
+    return;
+  }
+  detail::checkpoint_slow();
+}
+
+/// Scoped per-operation governance, opened at kernel dispatch
+/// (pygb/eval.cpp) around kernel EXECUTION — JIT resolution/compilation
+/// keeps its own PR 4 deadline. Arms the deadline and latches the op name
+/// for error messages; nested scopes (algorithms dispatching sub-ops)
+/// attach to the outermost operation. The outermost destructor disarms
+/// everything, so an aborted operation never poisons the next one.
+class OpScope {
+ public:
+  explicit OpScope(const char* op_name);
+  ~OpScope();
+  OpScope(const OpScope&) = delete;
+  OpScope& operator=(const OpScope&) = delete;
+
+ private:
+  bool active_ = false;
+};
+
+// -- introspection ----------------------------------------------------------
+
+Stats stats() noexcept;
+void reset_stats() noexcept;
+
+/// Name of the op governed by the current outermost OpScope ("" if idle).
+std::string current_op();
+
+}  // namespace pygb::governor

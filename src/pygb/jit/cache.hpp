@@ -39,7 +39,10 @@ namespace pygb::jit {
 /// Bumped whenever the generated-module ABI changes (KernelArgs layout,
 /// stamp symbol format, filename scheme). v3: modules carry the
 /// pygb_module_set_pool worker-pool injection export (gbtl/detail/pool.hpp).
-inline constexpr int kCacheSchemaVersion = 3;
+/// v4: PoolApi v2 — governor checkpoint/mem_reserve/mem_release entries
+/// (pygb/governor.hpp); v3 modules would reject the v2 table and silently
+/// run sequential and ungoverned, so they are retired wholesale.
+inline constexpr int kCacheSchemaVersion = 4;
 
 /// The full environment stamp: schema version, compiler identity and
 /// flags, pygb version. Computed once per (process, compiler command) and

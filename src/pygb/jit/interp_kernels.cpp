@@ -12,7 +12,9 @@
 // the double staging. The compiled backends are exact.
 #include <cmath>
 #include <stdexcept>
+#include <utility>
 
+#include "gbtl/detail/pool.hpp"
 #include "pygb/jit/glue.hpp"
 #include "pygb/jit/registry.hpp"
 
@@ -29,9 +31,17 @@ Matrix<double> stage_matrix(const void* p, DType dt) {
   return visit_dtype(dt, [&](auto tag) {
     using T = typename decltype(tag)::type;
     const auto& src = *static_cast<const Matrix<T>*>(p);
+    // Governor charge for the double-staged copy, taken BEFORE the copy is
+    // built so an oversized staging raises ResourceExhausted instead of
+    // OOMing (transient: released once the stage completes; the gbtl ops
+    // that consume the staged copy charge their own buffers).
+    gbtl::detail::ScopedMemCharge charge(
+        src.nrows() * sizeof(typename Matrix<double>::Row) +
+        src.nvals() * sizeof(std::pair<gbtl::IndexType, double>));
     Matrix<double> out(src.nrows(), src.ncols());
     typename Matrix<double>::Row row;
     for (gbtl::IndexType i = 0; i < src.nrows(); ++i) {
+      gbtl::detail::pool_checkpoint();
       const auto& r = src.row(i);
       if (r.empty()) continue;
       row.clear();
@@ -48,6 +58,7 @@ Vector<double> stage_vector(const void* p, DType dt) {
   return visit_dtype(dt, [&](auto tag) {
     using T = typename decltype(tag)::type;
     const auto& src = *static_cast<const Vector<T>*>(p);
+    gbtl::detail::ScopedMemCharge charge(src.size() * sizeof(double));
     Vector<double> out(src.size());
     for (gbtl::IndexType i = 0; i < src.size(); ++i) {
       if (src.has_unchecked(i)) {

@@ -136,6 +136,19 @@ std::string metrics_summary() {
                   dropped);
     out += line;
   }
+  {
+    const std::uint64_t cancelled = counter(Counter::kOpsCancelled);
+    const std::uint64_t deadlined = counter(Counter::kOpsDeadlineExceeded);
+    const std::uint64_t rejected = counter(Counter::kMemBudgetRejections);
+    const std::uint64_t peak = counter(Counter::kMemPeakBytes);
+    std::snprintf(line, sizeof line,
+                  "governor: %" PRIu64 " cancelled | %" PRIu64
+                  " deadline-exceeded | %" PRIu64
+                  " budget rejections | peak %s charged\n",
+                  cancelled, deadlined, rejected,
+                  format_bytes(static_cast<double>(peak)).c_str());
+    out += line;
+  }
 
   if (!snap.histograms.empty()) {
     out += "histograms:\n";

@@ -10,6 +10,8 @@
 #include <memory>
 #include <mutex>
 
+#include "pygb/governor.hpp"
+
 namespace pygb::obs {
 
 namespace detail {
@@ -73,7 +75,36 @@ std::uint64_t now_ns() {
 // Counters
 // ---------------------------------------------------------------------------
 
+namespace {
+
+/// The governor is a leaf module (the worker pool links it without
+/// libpygb), so it keeps its own atomics; mirror them into the obs slots
+/// whenever a reader looks, keeping every export path coherent.
+void sync_governor_counters() noexcept {
+  const auto gs = pygb::governor::stats();
+  const auto set = [](Counter c, std::uint64_t v) {
+    detail::g_counters[static_cast<unsigned>(c)].store(
+        v, std::memory_order_relaxed);
+  };
+  set(Counter::kOpsCancelled, gs.ops_cancelled);
+  set(Counter::kOpsDeadlineExceeded, gs.ops_deadline_exceeded);
+  set(Counter::kMemBudgetRejections, gs.mem_budget_rejections);
+  set(Counter::kMemPeakBytes, gs.mem_peak_bytes);
+}
+
+}  // namespace
+
 std::uint64_t counter_value(Counter c) noexcept {
+  switch (c) {
+    case Counter::kOpsCancelled:
+    case Counter::kOpsDeadlineExceeded:
+    case Counter::kMemBudgetRejections:
+    case Counter::kMemPeakBytes:
+      sync_governor_counters();
+      break;
+    default:
+      break;
+  }
   return detail::g_counters[static_cast<unsigned>(c)].load(
       std::memory_order_relaxed);
 }
@@ -122,6 +153,14 @@ const char* counter_name(Counter c) noexcept {
       return "cache_lock_timeouts";
     case Counter::kFaultsInjected:
       return "faults_injected";
+    case Counter::kOpsCancelled:
+      return "ops_cancelled";
+    case Counter::kOpsDeadlineExceeded:
+      return "ops_deadline_exceeded";
+    case Counter::kMemBudgetRejections:
+      return "mem_budget_rejections";
+    case Counter::kMemPeakBytes:
+      return "mem_peak_bytes";
     case Counter::kCount_:
       break;
   }
@@ -129,6 +168,7 @@ const char* counter_name(Counter c) noexcept {
 }
 
 void reset_counters() noexcept {
+  pygb::governor::reset_stats();
   for (auto& c : detail::g_counters) c.store(0, std::memory_order_relaxed);
 }
 
@@ -212,6 +252,7 @@ std::uint64_t HistogramData::percentile(double p) const noexcept {
 
 MetricsSnapshot metrics_snapshot() {
   MetricsSnapshot snap;
+  sync_governor_counters();
   for (unsigned i = 0; i < kCounterCount; ++i) {
     snap.counters[i] =
         detail::g_counters[i].load(std::memory_order_relaxed);

@@ -96,6 +96,12 @@ enum class Counter : unsigned {
   kBreakerShortCircuits,  ///< requests bounced straight to the fallback
   kLockTimeouts,          ///< flock deadline → private uncoalesced compile
   kFaultsInjected,        ///< pygb::faultinj decisions that fired
+  // Governor (pygb::governor; mirrored from its leaf-module atomics — see
+  // the sync in obs.cpp — so counter_value()/snapshots stay coherent).
+  kOpsCancelled,          ///< operations aborted by Governor::cancel()
+  kOpsDeadlineExceeded,   ///< operations aborted at PYGB_OP_TIMEOUT_MS
+  kMemBudgetRejections,   ///< charges refused at PYGB_MEM_LIMIT_BYTES
+  kMemPeakBytes,          ///< high-water mark of governed memory charges
   kCount_,
 };
 inline constexpr unsigned kCounterCount =

@@ -1,0 +1,290 @@
+// Tests: pygb::governor — error taxonomy, memory budgets, deadlines,
+// cooperative cancellation, and the strong no-partial-output guarantee
+// across every backend and thread count (docs/ROBUSTNESS.md).
+//
+// The acceptance matrix: PageRank under a small PYGB_OP_TIMEOUT_MS must
+// raise DeadlineExceeded within 2x the deadline at 1 and 4 threads in all
+// of {interp, static, jit}, leave the output container untouched, and the
+// worker pool must accept the next operation.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <filesystem>
+#include <string>
+
+#include "algorithms/dsl_algorithms.hpp"
+#include "algorithms/pagerank.hpp"
+#include "gbtl/detail/parallel.hpp"
+#include "generators/classic.hpp"
+#include "generators/erdos_renyi.hpp"
+#include "pygb/faultinj.hpp"
+#include "pygb/governor.hpp"
+#include "pygb/jit/compiler.hpp"
+#include "pygb/jit/registry.hpp"
+#include "pygb/obs/obs.hpp"
+#include "pygb/pygb.hpp"
+
+namespace {
+
+using namespace pygb;  // NOLINT
+namespace gov = pygb::governor;
+
+std::uint64_t now_ms() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Restores every knob the suite can twist: governor config, any pending
+/// cancel, faultinj spec, dispatch mode, thread count.
+class GovernorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    saved_mode_ = jit::Registry::instance().mode();
+    saved_threads_ = gbtl::detail::num_threads();
+    gov::set_mem_limit_bytes(0);
+    gov::set_op_timeout_ms(0);
+    drain_cancel();
+    faultinj::configure("");
+  }
+  void TearDown() override {
+    gov::set_mem_limit_bytes(0);
+    gov::set_op_timeout_ms(0);
+    drain_cancel();
+    faultinj::configure("");
+    jit::Registry::instance().set_mode(saved_mode_);
+    gbtl::detail::set_num_threads(saved_threads_);
+  }
+
+  /// Consume a cancel request this test may have left pending (an unscoped
+  /// checkpoint consumes it; swallow the resulting Cancelled).
+  static void drain_cancel() {
+    if (gov::cancel_requested()) {
+      try {
+        gov::checkpoint();
+      } catch (const gov::Cancelled&) {
+      }
+    }
+  }
+
+  jit::Mode saved_mode_{};
+  unsigned saved_threads_ = 1;
+};
+
+// --- taxonomy --------------------------------------------------------------
+
+TEST_F(GovernorTest, TaxonomyTransienceClassification) {
+  gov::ResourceExhausted re("x");
+  gov::DeadlineExceeded de("x");
+  gov::Cancelled ca("x");
+  EXPECT_TRUE(re.transient());
+  EXPECT_TRUE(de.transient());
+  EXPECT_FALSE(ca.transient());
+  // All three unify under GovernorError and std::runtime_error.
+  EXPECT_NE(dynamic_cast<const gov::GovernorError*>(&re), nullptr);
+  EXPECT_NE(dynamic_cast<const std::runtime_error*>(&ca), nullptr);
+}
+
+// --- memory budget ---------------------------------------------------------
+
+TEST_F(GovernorTest, MemReserveRejectsOverBudgetWithoutRetaining) {
+  const auto before = gov::stats();
+  gov::set_mem_limit_bytes(1024);
+  gov::mem_reserve(512);  // fits
+  EXPECT_THROW(gov::mem_reserve(1024), gov::ResourceExhausted);
+  const auto after = gov::stats();
+  EXPECT_EQ(after.mem_budget_rejections, before.mem_budget_rejections + 1);
+  // The rejected charge was not retained; only the granted 512 remain.
+  EXPECT_EQ(after.mem_current_bytes, before.mem_current_bytes + 512);
+  gov::mem_release(512);
+}
+
+TEST_F(GovernorTest, MemChargeRaiiReleasesOnScopeExit) {
+  const auto base = gov::stats().mem_current_bytes;
+  {
+    gov::MemCharge charge(4096);
+    EXPECT_EQ(gov::stats().mem_current_bytes, base + 4096);
+    charge.add(1000);
+    EXPECT_EQ(charge.held(), 5096u);
+  }
+  EXPECT_EQ(gov::stats().mem_current_bytes, base);
+}
+
+TEST_F(GovernorTest, PeakTracksGrantedChargesOnly) {
+  gov::reset_stats();
+  const auto base = gov::stats().mem_current_bytes;
+  gov::set_mem_limit_bytes(base + 8192);
+  { gov::MemCharge charge(8000); }
+  EXPECT_THROW(gov::mem_reserve(base + 100000), gov::ResourceExhausted);
+  // The peak saw the granted 8000 but not the rejected 100000.
+  EXPECT_GE(gov::stats().mem_peak_bytes, base + 8000);
+  EXPECT_LT(gov::stats().mem_peak_bytes, base + 100000);
+}
+
+TEST_F(GovernorTest, ReleaseClampsAtZero) {
+  const auto base = gov::stats().mem_current_bytes;
+  gov::mem_release(base + 999999);  // unmatched release must not wrap
+  EXPECT_EQ(gov::stats().mem_current_bytes, 0u);
+}
+
+// --- checkpoints and cancellation ------------------------------------------
+
+TEST_F(GovernorTest, CheckpointDisarmedIsANoop) {
+  EXPECT_NO_THROW(gov::checkpoint());
+}
+
+TEST_F(GovernorTest, CancelConsumedByExactlyOneCheckpoint) {
+  const auto before = gov::stats().ops_cancelled;
+  gov::cancel();
+  EXPECT_TRUE(gov::cancel_requested());
+  EXPECT_THROW(gov::checkpoint(), gov::Cancelled);
+  EXPECT_FALSE(gov::cancel_requested());
+  // The request is consumed: the next checkpoint (and op) proceeds.
+  EXPECT_NO_THROW(gov::checkpoint());
+  EXPECT_EQ(gov::stats().ops_cancelled, before + 1);
+}
+
+TEST_F(GovernorTest, CancelAbortsNativePagerankWithoutTouchingOutput) {
+  auto el = gen::paper_graph(256, 77, /*symmetric=*/true);
+  auto g = gen::to_adjacency<double>(el);
+  gbtl::Vector<double> rank(256);
+  gov::cancel();
+  EXPECT_THROW(algo::page_rank(g, rank), gov::Cancelled);
+  EXPECT_EQ(rank.nvals(), 0u);  // strong guarantee: no partial commit
+  // And the very same call succeeds now that the cancel is consumed.
+  EXPECT_NO_THROW(algo::page_rank(g, rank));
+  EXPECT_EQ(rank.nvals(), 256u);
+}
+
+// --- fault injection -------------------------------------------------------
+
+TEST_F(GovernorTest, InjectedBudgetExhaustionAtCheckpoint) {
+  faultinj::configure("governor:fail:n=1");
+  const auto before = gov::stats().mem_budget_rejections;
+  EXPECT_THROW(gov::checkpoint(), gov::ResourceExhausted);
+  EXPECT_EQ(gov::stats().mem_budget_rejections, before + 1);
+  faultinj::configure("");
+  EXPECT_NO_THROW(gov::checkpoint());
+}
+
+TEST_F(GovernorTest, InjectedDeadlineAtCheckpoint) {
+  faultinj::configure("governor:hang:n=1");
+  const auto before = gov::stats().ops_deadline_exceeded;
+  EXPECT_THROW(gov::checkpoint(), gov::DeadlineExceeded);
+  EXPECT_EQ(gov::stats().ops_deadline_exceeded, before + 1);
+  faultinj::configure("");
+}
+
+// --- obs mirror ------------------------------------------------------------
+
+TEST_F(GovernorTest, ObsCountersMirrorGovernorStats) {
+  faultinj::configure("governor:fail:n=1");
+  try {
+    gov::checkpoint();
+  } catch (const gov::ResourceExhausted&) {
+  }
+  faultinj::configure("");
+  EXPECT_EQ(obs::counter_value(obs::Counter::kMemBudgetRejections),
+            gov::stats().mem_budget_rejections);
+  EXPECT_EQ(obs::counter_value(obs::Counter::kOpsDeadlineExceeded),
+            gov::stats().ops_deadline_exceeded);
+  EXPECT_EQ(obs::counter_value(obs::Counter::kOpsCancelled),
+            gov::stats().ops_cancelled);
+  EXPECT_EQ(obs::counter_value(obs::Counter::kMemPeakBytes),
+            gov::stats().mem_peak_bytes);
+}
+
+// --- acceptance matrix: deadline x backend x threads -----------------------
+
+struct Combo {
+  jit::Mode mode;
+  unsigned threads;
+  const char* name;
+};
+
+constexpr Combo kCombos[] = {
+    {jit::Mode::kInterp, 1, "interp/1t"}, {jit::Mode::kInterp, 4, "interp/4t"},
+    {jit::Mode::kStatic, 1, "static/1t"}, {jit::Mode::kStatic, 4, "static/4t"},
+    {jit::Mode::kJit, 1, "jit/1t"},       {jit::Mode::kJit, 4, "jit/4t"},
+};
+
+constexpr std::uint64_t kDeadlineMs = 400;
+
+TEST_F(GovernorTest, PagerankDeadlineAcrossBackendsAndThreads) {
+  auto el = gen::paper_graph(1024, 88, /*symmetric=*/true);
+  Matrix graph = Matrix::from_edge_list(el);
+  const bool jit_ok = jit::compiler_available();
+
+  for (const auto& combo : kCombos) {
+    if (combo.mode == jit::Mode::kJit && !jit_ok) continue;
+    SCOPED_TRACE(combo.name);
+    jit::Registry::instance().set_mode(combo.mode);
+    gbtl::detail::set_num_threads(combo.threads);
+
+    // Warm the kernel with no deadline so JIT compilation (bounded by its
+    // own PYGB_JIT_TIMEOUT_MS) stays out of the timing below.
+    {
+      Vector warm(1024, DType::kFP64);
+      algo::whole_page_rank(graph, warm, 0.85, 1e-5, 3);
+    }
+
+    // threshold=0 never converges (squared_error < 0 is false), so only
+    // the deadline can stop the run.
+    Vector rank(1024, DType::kFP64);
+    gov::set_op_timeout_ms(kDeadlineMs);
+    const std::uint64_t t0 = now_ms();
+    EXPECT_THROW(algo::whole_page_rank(graph, rank, 0.85, 0.0, 100000000u),
+                 gov::DeadlineExceeded);
+    const std::uint64_t elapsed = now_ms() - t0;
+    gov::set_op_timeout_ms(0);
+
+    EXPECT_LT(elapsed, 2 * kDeadlineMs) << "checkpoints too sparse";
+    // Strong guarantee: the aborted op never touched the output.
+    EXPECT_EQ(rank.nvals(), 0u);
+    // The pool survived the mid-flight unwind: the next op completes.
+    const auto iters = algo::whole_page_rank(graph, rank, 0.85, 1e-5, 50);
+    EXPECT_GT(iters, 0u);
+    EXPECT_EQ(rank.nvals(), 1024u);
+  }
+  if (!jit_ok) {
+    GTEST_LOG_(INFO) << "no C++ compiler reachable; jit combos skipped";
+  }
+  EXPECT_GE(gov::stats().ops_deadline_exceeded, 1u);
+}
+
+TEST_F(GovernorTest, PagerankMemBudgetRaisesInsteadOfOom) {
+  auto el = gen::paper_graph(1024, 89, /*symmetric=*/true);
+  Matrix graph = Matrix::from_edge_list(el);
+  jit::Registry::instance().set_mode(jit::Mode::kStatic);
+  gbtl::detail::set_num_threads(4);
+
+  Vector rank(1024, DType::kFP64);
+  gov::set_mem_limit_bytes(2048);  // below any kernel's staging charge
+  EXPECT_THROW(algo::whole_page_rank(graph, rank, 0.85, 1e-5, 50),
+               gov::ResourceExhausted);
+  EXPECT_EQ(rank.nvals(), 0u);
+
+  // Budget restored => the identical call succeeds.
+  gov::set_mem_limit_bytes(0);
+  EXPECT_NO_THROW(algo::whole_page_rank(graph, rank, 0.85, 1e-5, 50));
+  EXPECT_EQ(rank.nvals(), 1024u);
+}
+
+TEST_F(GovernorTest, DeadlineErrorNamesOpAndElapsed) {
+  auto el = gen::cycle_graph(512);
+  Matrix graph = Matrix::from_edge_list(el);
+  jit::Registry::instance().set_mode(jit::Mode::kStatic);
+  Vector rank(512, DType::kFP64);
+  gov::set_op_timeout_ms(100);
+  try {
+    algo::whole_page_rank(graph, rank, 0.85, 0.0, 100000000u);
+    FAIL() << "expected DeadlineExceeded";
+  } catch (const gov::DeadlineExceeded& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("algo_pagerank"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("PYGB_OP_TIMEOUT_MS"), std::string::npos) << msg;
+  }
+}
+
+}  // namespace

@@ -23,8 +23,11 @@
 #include <thread>
 #include <vector>
 
+#include "gbtl/detail/parallel.hpp"
 #include "gbtl/detail/pool.hpp"
+#include "gbtl/gbtl.hpp"
 #include "pygb/faultinj.hpp"
+#include "pygb/governor.hpp"
 #include "pygb/jit/breaker.hpp"
 #include "pygb/jit/cache.hpp"
 #include "pygb/jit/compiler.hpp"
@@ -604,6 +607,91 @@ TEST_F(JitFaultsTest, BreakerStateIsObservable) {
             CircuitBreaker::Decision::kShortCircuit);
   breaker.on_success("some-key");
   EXPECT_EQ(breaker.state("some-key"), BreakerState::kClosed);
+}
+
+// ---------------------------------------------------------------------------
+// Governor chaos: resource aborts mid-kernel with the pool fanned out.
+// ---------------------------------------------------------------------------
+
+class GovernorChaos : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    saved_threads_ = gbtl::detail::num_threads();
+    governor::set_mem_limit_bytes(0);
+    faultinj::configure("");
+  }
+  void TearDown() override {
+    governor::set_mem_limit_bytes(0);
+    faultinj::configure("");
+    gbtl::detail::set_num_threads(saved_threads_);
+  }
+
+  static gbtl::Matrix<double> band_matrix(gbtl::IndexType n) {
+    gbtl::Matrix<double> m(n, n);
+    for (gbtl::IndexType i = 0; i < n; ++i) {
+      for (gbtl::IndexType d = 0; d < 4; ++d) {
+        m.setElement(i, (i + d) % n, static_cast<double>(i + d + 1));
+      }
+    }
+    return m;
+  }
+
+  unsigned saved_threads_ = 1;
+};
+
+TEST_F(GovernorChaos, BudgetExhaustionMidMxmAtFourThreads) {
+  // Budget sized so mxm's up-front row-table charge fits but the first
+  // per-worker SpA accumulator charge does not: the abort happens with all
+  // four workers live inside the kernel. The first exception wins, the
+  // pool stays healthy, and the output is untouched.
+  constexpr gbtl::IndexType kN = 512;
+  const auto a = band_matrix(kN);
+  const auto b = band_matrix(kN);
+  gbtl::detail::set_num_threads(4);
+
+  gbtl::Matrix<double> c(kN, kN);
+  const std::uint64_t row_table = kN * sizeof(gbtl::Matrix<double>::Row);
+  const std::uint64_t spa = kN * (sizeof(double) + 1);
+  governor::set_mem_limit_bytes(row_table + spa / 2);
+  EXPECT_THROW(gbtl::mxm(c, gbtl::NoMask{}, gbtl::NoAccumulate{},
+                         gbtl::ArithmeticSemiring<double>{}, a, b),
+               governor::ResourceExhausted);
+  EXPECT_EQ(c.nvals(), 0u);  // strong guarantee
+  // No charge leaked out of the unwind.
+  EXPECT_EQ(governor::stats().mem_current_bytes, 0u);
+
+  // Budget reset => the same op succeeds, and matches the single-thread
+  // reference bit-for-bit (the pool survived the mid-flight unwind).
+  governor::set_mem_limit_bytes(0);
+  gbtl::mxm(c, gbtl::NoMask{}, gbtl::NoAccumulate{},
+            gbtl::ArithmeticSemiring<double>{}, a, b);
+  gbtl::detail::set_num_threads(1);
+  gbtl::Matrix<double> ref(kN, kN);
+  gbtl::mxm(ref, gbtl::NoMask{}, gbtl::NoAccumulate{},
+            gbtl::ArithmeticSemiring<double>{}, a, b);
+  EXPECT_TRUE(c == ref);
+}
+
+TEST_F(GovernorChaos, InjectedGovernorFaultMidMxmAtFourThreads) {
+  // Same shape driven by the faultinj site instead of a real budget: the
+  // Nth checkpoint fires inside the row loop with the pool fanned out.
+  constexpr gbtl::IndexType kN = 256;
+  const auto a = band_matrix(kN);
+  const auto b = band_matrix(kN);
+  gbtl::detail::set_num_threads(4);
+
+  gbtl::Matrix<double> c(kN, kN);
+  faultinj::configure("governor:fail:n=1");
+  EXPECT_THROW(gbtl::mxm(c, gbtl::NoMask{}, gbtl::NoAccumulate{},
+                         gbtl::ArithmeticSemiring<double>{}, a, b),
+               governor::ResourceExhausted);
+  EXPECT_EQ(c.nvals(), 0u);
+  faultinj::configure("");
+
+  gbtl::mxm(c, gbtl::NoMask{}, gbtl::NoAccumulate{},
+            gbtl::ArithmeticSemiring<double>{}, a, b);
+  EXPECT_EQ(c.nrows(), kN);
+  EXPECT_GT(c.nvals(), 0u);
 }
 
 }  // namespace

@@ -19,6 +19,13 @@
 //                                  chaos runs, e.g. "compile:hang:p=1,
 //                                  seed=42" (same grammar as PYGB_FAULTS;
 //                                  see docs/ROBUSTNESS.md)
+//                --mem-limit N     governor memory budget in bytes; a
+//                                  kernel charge that would cross it makes
+//                                  the run fail with ResourceExhausted
+//                                  instead of dying to the OOM killer
+//                --op-timeout MS   governor per-operation deadline; an op
+//                                  outliving it raises DeadlineExceeded at
+//                                  its next checkpoint
 //
 //   cache subcommands (no graph file): --cache-info prints the module
 //   cache directory, size, and environment stamp; --cache-clear empties
@@ -43,6 +50,7 @@
 #include "algorithms/sssp.hpp"
 #include "algorithms/triangle_count.hpp"
 #include "pygb/faultinj.hpp"
+#include "pygb/governor.hpp"
 #include "pygb/jit/cache.hpp"
 #include "pygb/obs/obs.hpp"
 #include "pygb/pygb.hpp"
@@ -62,6 +70,8 @@ struct Options {
   std::string trace_path;
   bool stats = false;
   std::string faults;
+  std::uint64_t mem_limit = 0;   // 0 = unlimited
+  std::uint64_t op_timeout = 0;  // 0 = no deadline
 };
 
 [[noreturn]] void usage(const char* argv0) {
@@ -74,7 +84,9 @@ struct Options {
          "  --tier dsl|whole|native    --top K\n"
          "  --trace FILE (Chrome trace JSON)   --stats (metrics summary)\n"
          "  --faults SPEC (deterministic fault injection; PYGB_FAULTS "
-         "grammar)\n";
+         "grammar)\n"
+         "  --mem-limit BYTES (governor budget; PYGB_MEM_LIMIT_BYTES)\n"
+         "  --op-timeout MS (per-op deadline; PYGB_OP_TIMEOUT_MS)\n";
   std::exit(2);
 }
 
@@ -105,6 +117,10 @@ Options parse(int argc, char** argv) {
       o.stats = true;
     } else if (flag == "--faults") {
       o.faults = value();
+    } else if (flag == "--mem-limit") {
+      o.mem_limit = std::strtoull(value().c_str(), nullptr, 10);
+    } else if (flag == "--op-timeout") {
+      o.op_timeout = std::strtoull(value().c_str(), nullptr, 10);
     } else {
       std::cerr << "unknown option: " << flag << "\n";
       usage(argv[0]);
@@ -279,6 +295,8 @@ int main(int argc, char** argv) {
   if (o.stats) pygb::obs::set_metrics_enabled(true);
   try {
     if (!o.faults.empty()) pygb::faultinj::configure(o.faults);
+    if (o.mem_limit != 0) pygb::governor::set_mem_limit_bytes(o.mem_limit);
+    if (o.op_timeout != 0) pygb::governor::set_op_timeout_ms(o.op_timeout);
     Matrix graph = Matrix::from_file(o.path);
     std::cout << "loaded " << o.path << ": " << graph.nrows()
               << " vertices, " << graph.nvals() << " edges\n";
