@@ -1,0 +1,142 @@
+// bench/bench_json.hpp — machine-readable bench artifacts.
+//
+// PYGB_BENCH_JSON_MAIN("name") replaces BENCHMARK_MAIN() for the figure
+// benchmarks: runs exactly the same console benchmark session, and on the
+// way out writes BENCH_<name>.json — per-benchmark wall times (ns/iter)
+// with user counters (threads, speedup_vs_1t, ...) plus the full
+// pygb.metrics snapshot — so CI can diff runs with
+// scripts/bench_compare.py instead of scraping console output.
+//
+// Destination: $PYGB_BENCH_JSON_DIR/BENCH_<name>.json (cwd by default).
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "pygb/obs/export.hpp"
+#include "pygb/obs/obs.hpp"
+
+namespace pygb::benchjson {
+
+struct RunRecord {
+  std::string name;
+  std::int64_t iterations = 0;
+  double real_ns = 0.0;  ///< per iteration
+  double cpu_ns = 0.0;   ///< per iteration
+  std::vector<std::pair<std::string, double>> counters;
+};
+
+/// Console reporter that also keeps every per-iteration run for the JSON
+/// artifact (aggregates and errored runs are skipped).
+class CollectingReporter : public ::benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.run_type != Run::RT_Iteration || run.error_occurred) continue;
+      RunRecord rec;
+      rec.name = run.benchmark_name();
+      rec.iterations = static_cast<std::int64_t>(run.iterations);
+      const double iters =
+          run.iterations > 0 ? static_cast<double>(run.iterations) : 1.0;
+      rec.real_ns = run.real_accumulated_time * 1e9 / iters;
+      rec.cpu_ns = run.cpu_accumulated_time * 1e9 / iters;
+      for (const auto& [cname, counter] : run.counters) {
+        rec.counters.emplace_back(cname, counter.value);
+      }
+      records_.push_back(std::move(rec));
+    }
+    ::benchmark::ConsoleReporter::ReportRuns(runs);
+  }
+
+  const std::vector<RunRecord>& records() const { return records_; }
+
+ private:
+  std::vector<RunRecord> records_;
+};
+
+inline void append_double(std::string& out, double v) {
+  char buf[40];
+  // JSON has no NaN/Inf literals.
+  if (v != v || v > 1.7e308 || v < -1.7e308) {
+    std::snprintf(buf, sizeof buf, "null");
+  } else {
+    std::snprintf(buf, sizeof buf, "%.9g", v);
+  }
+  out += buf;
+}
+
+inline std::string render(const char* bench_name,
+                          const std::vector<RunRecord>& records) {
+  std::string out = "{\"schema\":\"pygb.bench\",\"schema_version\":1,";
+  out += "\"bench\":";
+  obs::detail::append_json_string(out, bench_name);
+  out += ",\"benchmarks\":[";
+  bool first = true;
+  for (const RunRecord& rec : records) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"name\":";
+    obs::detail::append_json_string(out, rec.name);
+    out += ",\"iterations\":" + std::to_string(rec.iterations);
+    out += ",\"real_ns\":";
+    append_double(out, rec.real_ns);
+    out += ",\"cpu_ns\":";
+    append_double(out, rec.cpu_ns);
+    out += ",\"counters\":{";
+    bool cfirst = true;
+    for (const auto& [cname, cvalue] : rec.counters) {
+      if (!cfirst) out += ',';
+      cfirst = false;
+      obs::detail::append_json_string(out, cname);
+      out += ':';
+      append_double(out, cvalue);
+    }
+    out += "}}";
+  }
+  out += "],\"metrics\":" + obs::metrics_json() + "}\n";
+  return out;
+}
+
+inline int write_artifact(const char* bench_name,
+                          const std::vector<RunRecord>& records) {
+  const char* dir = std::getenv("PYGB_BENCH_JSON_DIR");
+  std::string path = (dir != nullptr && *dir != '\0')
+                         ? std::string(dir) + "/"
+                         : std::string();
+  path += std::string("BENCH_") + bench_name + ".json";
+  std::string error;
+  if (!obs::write_file_atomic(path, render(bench_name, records), &error)) {
+    std::fprintf(stderr, "bench: failed to write %s: %s\n", path.c_str(),
+                 error.c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "bench: wrote %s (%zu benchmarks)\n", path.c_str(),
+               records.size());
+  return 0;
+}
+
+}  // namespace pygb::benchjson
+
+#define PYGB_BENCH_JSON_MAIN(bench_name)                                \
+  int main(int argc, char** argv) {                                     \
+    char arg0_default[] = "benchmark";                                  \
+    char* args_default = arg0_default;                                  \
+    if (!argv) {                                                        \
+      argc = 1;                                                         \
+      argv = &args_default;                                             \
+    }                                                                   \
+    ::benchmark::Initialize(&argc, argv);                               \
+    if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1; \
+    ::pygb::obs::set_metrics_enabled(true);                             \
+    ::pygb::benchjson::CollectingReporter reporter;                     \
+    ::benchmark::RunSpecifiedBenchmarks(&reporter);                     \
+    const int rc =                                                      \
+        ::pygb::benchjson::write_artifact(bench_name, reporter.records()); \
+    ::benchmark::Shutdown();                                            \
+    return rc;                                                          \
+  }                                                                     \
+  int main(int, char**)

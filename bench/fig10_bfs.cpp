@@ -2,6 +2,8 @@
 // implementation tiers on ER graphs with |E| = |V|^1.5.
 #include "fig10_common.hpp"
 
+#include "bench_json.hpp"
+
 #include "algorithms/bfs.hpp"
 
 namespace {
@@ -59,4 +61,4 @@ BENCHMARK(BM_BFS_NativeGBTL)
     ->Range(128, 8192)
     ->Unit(benchmark::kMillisecond);
 
-BENCHMARK_MAIN();
+PYGB_BENCH_JSON_MAIN("fig10_bfs");

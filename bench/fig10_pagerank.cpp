@@ -2,6 +2,8 @@
 // operations per iteration in the DSL tier (the paper's count).
 #include "fig10_common.hpp"
 
+#include "bench_json.hpp"
+
 #include <chrono>
 
 #include "algorithms/pagerank.hpp"
@@ -83,4 +85,4 @@ BENCHMARK(BM_PageRank_NativeGBTL)
     ->Range(128, 4096)
     ->Unit(benchmark::kMillisecond);
 
-BENCHMARK_MAIN();
+PYGB_BENCH_JSON_MAIN("fig10_pagerank");

@@ -2,6 +2,8 @@
 // |V| mxv relaxations (one dispatched op per round in the DSL tier).
 #include "fig10_common.hpp"
 
+#include "bench_json.hpp"
+
 #include "algorithms/sssp.hpp"
 
 namespace {
@@ -62,4 +64,4 @@ BENCHMARK(BM_SSSP_NativeGBTL)
     ->Range(128, 2048)
     ->Unit(benchmark::kMillisecond);
 
-BENCHMARK_MAIN();
+PYGB_BENCH_JSON_MAIN("fig10_sssp");

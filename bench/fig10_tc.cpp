@@ -3,6 +3,8 @@
 // constant handful of dispatches (the penalty vanishes fastest here).
 #include "fig10_common.hpp"
 
+#include "bench_json.hpp"
+
 #include <chrono>
 
 #include "algorithms/triangle_count.hpp"
@@ -109,4 +111,4 @@ BENCHMARK(BM_TC_NativeGBTL)
     ->Range(128, 4096)
     ->Unit(benchmark::kMillisecond);
 
-BENCHMARK_MAIN();
+PYGB_BENCH_JSON_MAIN("fig10_tc");

@@ -2,6 +2,7 @@
 // (codegen + g++ + dlopen), disk-cache hit (dlopen only), memory-cache hit
 // (hash lookup), static-table hit, and interp dispatch — plus the paper's
 // claim that compile times amortize across runs.
+#include "bench_json.hpp"
 #include <benchmark/benchmark.h>
 
 #include <filesystem>
@@ -124,4 +125,4 @@ BENCHMARK(BM_MemoryCacheHit)->Unit(benchmark::kMicrosecond);
 BENCHMARK(BM_StaticTableHit)->Unit(benchmark::kMicrosecond);
 BENCHMARK(BM_InterpDispatch)->Unit(benchmark::kMicrosecond);
 
-BENCHMARK_MAIN();
+PYGB_BENCH_JSON_MAIN("fig9_jit");

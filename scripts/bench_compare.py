@@ -1,0 +1,121 @@
+#!/usr/bin/env python3
+"""Merge and compare BENCH_<name>.json artifacts (bench/bench_json.hpp).
+
+Usage:
+  bench_compare.py merge OUT.json BENCH_a.json [BENCH_b.json ...]
+      Combine several artifacts into one {"schema":"pygb.bench-merged"}
+      document keyed by bench name (CI uploads one file per run).
+
+  bench_compare.py compare BASE.json HEAD.json [--threshold 0.10]
+      Print per-benchmark real_ns deltas between two artifacts (or two
+      merged documents). Exits 1 if any shared benchmark regressed by more
+      than the threshold (default 10%).
+
+Only the Python standard library is used.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    schema = doc.get("schema")
+    if schema == "pygb.bench":
+        return {doc["bench"]: doc}
+    if schema == "pygb.bench-merged":
+        return doc["benches"]
+    raise SystemExit(f"{path}: unknown schema {schema!r}")
+
+
+def flatten(benches):
+    """{bench}/{benchmark-name} -> record"""
+    out = {}
+    for bench_name, doc in benches.items():
+        for rec in doc.get("benchmarks", []):
+            out[f"{bench_name}/{rec['name']}"] = rec
+    return out
+
+
+def cmd_merge(args):
+    merged = {}
+    for path in args.inputs:
+        for name, doc in load(path).items():
+            if name in merged:
+                print(f"warning: duplicate bench {name!r}, keeping last",
+                      file=sys.stderr)
+            merged[name] = doc
+    out = {
+        "schema": "pygb.bench-merged",
+        "schema_version": 1,
+        "benches": merged,
+    }
+    with open(args.output, "w", encoding="utf-8") as f:
+        json.dump(out, f, indent=2, sort_keys=True)
+        f.write("\n")
+    print(f"merged {len(merged)} bench artifact(s) into {args.output}")
+    return 0
+
+
+def cmd_compare(args):
+    base = flatten(load(args.base))
+    head = flatten(load(args.head))
+    shared = sorted(set(base) & set(head))
+    if not shared:
+        print("no shared benchmarks between the two artifacts",
+              file=sys.stderr)
+        return 1
+
+    regressions = []
+    print(f"{'benchmark':60s} {'base ns':>14s} {'head ns':>14s} {'delta':>8s}")
+    for name in shared:
+        b, h = base[name]["real_ns"], head[name]["real_ns"]
+        if not b:
+            continue
+        delta = (h - b) / b
+        marker = ""
+        if delta > args.threshold:
+            marker = "  REGRESSED"
+            regressions.append((name, delta))
+        print(f"{name:60s} {b:14.0f} {h:14.0f} {delta:+7.1%}{marker}")
+
+    only_base = sorted(set(base) - set(head))
+    only_head = sorted(set(head) - set(base))
+    if only_base:
+        print(f"only in base: {len(only_base)} benchmark(s)")
+    if only_head:
+        print(f"only in head: {len(only_head)} benchmark(s)")
+
+    if regressions:
+        print(f"\n{len(regressions)} regression(s) beyond "
+              f"{args.threshold:.0%}:", file=sys.stderr)
+        for name, delta in regressions:
+            print(f"  {name}: {delta:+.1%}", file=sys.stderr)
+        return 1
+    print("\nno regressions beyond the threshold")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_merge = sub.add_parser("merge")
+    p_merge.add_argument("output")
+    p_merge.add_argument("inputs", nargs="+")
+    p_merge.set_defaults(func=cmd_merge)
+
+    p_cmp = sub.add_parser("compare")
+    p_cmp.add_argument("base")
+    p_cmp.add_argument("head")
+    p_cmp.add_argument("--threshold", type=float, default=0.10)
+    p_cmp.set_defaults(func=cmd_compare)
+
+    args = parser.parse_args()
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""Validate a pygb.metrics JSON snapshot against the checked-in schema.
+
+Usage:
+  validate_metrics.py SNAPSHOT.json [--schema tests/pygb/metrics_schema.json]
+
+The schema file uses a small, self-contained subset of JSON Schema
+(type / required / properties / additionalProperties / patternProperties /
+const / minimum), validated here with only the standard library so CI
+needs no extra packages.
+"""
+
+import argparse
+import json
+import os
+import re
+import sys
+
+
+def fail(path, msg):
+    raise SystemExit(f"validation failed at {path or '$'}: {msg}")
+
+
+TYPE_CHECKS = {
+    "object": lambda v: isinstance(v, dict),
+    "array": lambda v: isinstance(v, list),
+    "string": lambda v: isinstance(v, str),
+    "integer": lambda v: isinstance(v, int) and not isinstance(v, bool),
+    "number": lambda v: isinstance(v, (int, float))
+    and not isinstance(v, bool),
+    "boolean": lambda v: isinstance(v, bool),
+}
+
+
+def validate(value, schema, path=""):
+    if "const" in schema and value != schema["const"]:
+        fail(path, f"expected {schema['const']!r}, got {value!r}")
+    if "type" in schema:
+        check = TYPE_CHECKS.get(schema["type"])
+        if check is None:
+            fail(path, f"schema uses unsupported type {schema['type']!r}")
+        if not check(value):
+            fail(path, f"expected {schema['type']}, got "
+                       f"{type(value).__name__}")
+    if "minimum" in schema and isinstance(value, (int, float)) \
+            and not isinstance(value, bool):
+        if value < schema["minimum"]:
+            fail(path, f"{value} < minimum {schema['minimum']}")
+    if isinstance(value, dict):
+        for key in schema.get("required", []):
+            if key not in value:
+                fail(path, f"missing required member {key!r}")
+        props = schema.get("properties", {})
+        patterns = {
+            re.compile(p): s
+            for p, s in schema.get("patternProperties", {}).items()
+        }
+        additional = schema.get("additionalProperties", True)
+        for key, member in value.items():
+            member_path = f"{path}.{key}" if path else key
+            if key in props:
+                validate(member, props[key], member_path)
+                continue
+            matched = False
+            for pattern, sub in patterns.items():
+                if pattern.search(key):
+                    validate(member, sub, member_path)
+                    matched = True
+                    break
+            if matched:
+                continue
+            if additional is False:
+                fail(member_path, "unexpected member")
+            if isinstance(additional, dict):
+                validate(member, additional, member_path)
+    if isinstance(value, list) and "items" in schema:
+        for i, item in enumerate(value):
+            validate(item, schema["items"], f"{path}[{i}]")
+
+
+def default_schema_path():
+    here = os.path.dirname(os.path.abspath(__file__))
+    return os.path.join(here, "..", "tests", "pygb", "metrics_schema.json")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("snapshot")
+    parser.add_argument("--schema", default=default_schema_path())
+    args = parser.parse_args()
+
+    with open(args.schema, "r", encoding="utf-8") as f:
+        schema = json.load(f)
+    with open(args.snapshot, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+
+    # Bench artifacts embed a snapshot under "metrics"; accept both.
+    if doc.get("schema") == "pygb.bench":
+        doc = doc["metrics"]
+    validate(doc, schema)
+    print(f"{args.snapshot}: valid pygb.metrics snapshot "
+          f"({len(doc.get('counters', {}))} counters, "
+          f"{len(doc.get('histograms', {}))} histograms)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -34,6 +34,7 @@
 
 #include "pygb/faultinj.hpp"
 #include "pygb/governor.hpp"
+#include "pygb/obs/flightrec.hpp"
 
 namespace gbtl::detail {
 
@@ -90,6 +91,7 @@ class WorkerPool {
     }
     stop_workers();
     count_.store(n, std::memory_order_relaxed);
+    pygb::flightrec::record(pygb::flightrec::EventKind::kPool, "resize", n);
     // The new complement starts lazily on the next parallel operation.
   }
 
@@ -189,6 +191,9 @@ class WorkerPool {
       for (unsigned i = 1; i < n; ++i) {
         threads_.emplace_back([this, i] { worker_main(i); });
       }
+      // Pool lifecycle events only — never per-parallel_for, which would
+      // flush the rings' useful tail within one op.
+      pygb::flightrec::record(pygb::flightrec::EventKind::kPool, "start", n);
     } catch (...) {
       stop_workers();  // partial spawn: fall back to inline execution
     }
@@ -292,6 +297,12 @@ void api_mem_reserve(std::uint64_t bytes) {
 void api_mem_release(std::uint64_t bytes) {
   pygb::governor::mem_release(bytes);
 }
+int api_fault_check(const char* site) {
+  return static_cast<int>(pygb::faultinj::check(site).action);
+}
+void api_flight_note(const char* what, std::uint64_t v0, std::uint64_t v1) {
+  pygb::flightrec::record(pygb::flightrec::EventKind::kModule, what, v0, v1);
+}
 
 }  // namespace
 
@@ -317,11 +328,21 @@ void pool_mem_release(std::uint64_t bytes) noexcept {
   pygb::governor::mem_release(bytes);
 }
 
+int pool_fault_check(const char* site) noexcept {
+  return static_cast<int>(pygb::faultinj::check(site).action);
+}
+
+void pool_flight_note(const char* what, std::uint64_t v0,
+                      std::uint64_t v1) noexcept {
+  pygb::flightrec::record(pygb::flightrec::EventKind::kModule, what, v0, v1);
+}
+
 const PoolApi* host_pool_api() {
   static const PoolApi api{kPoolAbiVersion,    &api_parallel_for,
                            &api_num_threads,   &api_set_num_threads,
                            &api_checkpoint,    &api_mem_reserve,
-                           &api_mem_release};
+                           &api_mem_release,   &api_fault_check,
+                           &api_flight_note};
   return &api;
 }
 

@@ -62,6 +62,12 @@ inline constexpr IndexType kMinRowsPerThread = 64;
 /// across the boundary). A v1 module handed this table rejects it and
 /// degrades to sequential, ungoverned execution — the cache schema bump
 /// (pygb/jit/cache.hpp) retires those modules anyway.
+///
+/// v3 adds the observability routing (docs/OBSERVABILITY.md): fault_check()
+/// lets generated kernels carry pygb::faultinj sites (the kernel_crash site
+/// behind the crash-attribution test), and flight_note() lets them drop
+/// events into the host's flight recorder. Both are noexcept and cheap;
+/// without an injected pool they no-op, exactly like the governor hooks.
 struct PoolApi {
   unsigned abi_version;
   void (*parallel_for)(IndexType n, PoolTaskFn fn, void* ctx);
@@ -71,9 +77,13 @@ struct PoolApi {
   void (*checkpoint)();                       ///< cancellation/deadline point
   void (*mem_reserve)(std::uint64_t bytes);   ///< budget charge (may throw)
   void (*mem_release)(std::uint64_t bytes);   ///< return a charge (noexcept)
+  // -- v3: observability routing --
+  int (*fault_check)(const char* site);       ///< pygb::faultinj action code
+  void (*flight_note)(const char* what, std::uint64_t v0,
+                      std::uint64_t v1);      ///< flight-recorder event
 };
 
-inline constexpr unsigned kPoolAbiVersion = 2;
+inline constexpr unsigned kPoolAbiVersion = 3;
 
 /// The injection export generated modules carry (see pygb/jit/glue.hpp);
 /// pygb::jit::load_kernel dlsym's this name after every successful dlopen.
@@ -115,6 +125,12 @@ const PoolApi* host_pool_api();
 void pool_checkpoint();
 void pool_mem_reserve(std::uint64_t bytes);
 void pool_mem_release(std::uint64_t bytes) noexcept;
+
+/// Observability routing (pygb::faultinj / pygb::flightrec). Same
+/// same-header-both-builds contract as the governor hooks above.
+int pool_fault_check(const char* site) noexcept;
+void pool_flight_note(const char* what, std::uint64_t v0,
+                      std::uint64_t v1) noexcept;
 
 #else  // !GBTL_POOL_LINKED — a JIT module compiled without libpygb.
 
@@ -178,6 +194,27 @@ inline void pool_mem_reserve(std::uint64_t bytes) {
 inline void pool_mem_release(std::uint64_t bytes) noexcept {
   if (const PoolApi* api = pool_api_slot().load(std::memory_order_acquire)) {
     api->mem_release(bytes);
+  }
+}
+
+// Observability routing. Gated on abi_version >= 3 so a module built
+// against this header still tolerates an older injected table (it just
+// loses fault sites and flight events, not correctness).
+inline int pool_fault_check(const char* site) noexcept {
+  if (const PoolApi* api = pool_api_slot().load(std::memory_order_acquire)) {
+    if (api->abi_version >= 3 && api->fault_check != nullptr) {
+      return api->fault_check(site);
+    }
+  }
+  return 0;
+}
+
+inline void pool_flight_note(const char* what, std::uint64_t v0,
+                             std::uint64_t v1) noexcept {
+  if (const PoolApi* api = pool_api_slot().load(std::memory_order_acquire)) {
+    if (api->abi_version >= 3 && api->flight_note != nullptr) {
+      api->flight_note(what, v0, v1);
+    }
   }
 }
 

@@ -12,6 +12,7 @@
 #include "pygb/governor.hpp"
 #include "pygb/interp_sim.hpp"
 #include "pygb/jit/registry.hpp"
+#include "pygb/obs/flightrec.hpp"
 #include "pygb/obs/obs.hpp"
 
 namespace pygb {
@@ -268,14 +269,22 @@ void dispatch(OpRequest& req, KernelArgs& args) {
   interp_pause();  // CPython dispatch-cost model (0 = off)
 
   // Fast path: with observability off this is one relaxed load + branch
-  // on top of the seed dispatch sequence.
+  // on top of the seed dispatch sequence. The flight recorder stays ON even
+  // here — it is the always-on black box — but its cost is a handful of
+  // relaxed stores per op, not a span allocation.
   if (!obs::tracing_enabled() && !obs::metrics_enabled()) [[likely]] {
-    jit::KernelFn fn = jit::Registry::instance().get(req);
+    jit::ResolveInfo info;
+    jit::KernelFn fn = jit::Registry::instance().get(req, &info);
+    const std::uint64_t t0 = flightrec::now_ns();
     // Governor scope around kernel EXECUTION only: resolution (which may
     // include a whole g++ run) is already deadline-bounded by the PR 4
     // PYGB_JIT_TIMEOUT_MS machinery; PYGB_OP_TIMEOUT_MS caps the compute.
     governor::OpScope governed(req.func.c_str());
     fn(&args);
+    flightrec::record(flightrec::EventKind::kOpEnd, req.func.c_str(),
+                      flightrec::now_ns() - t0,
+                      flightrec::fnv1a(info.key.c_str()),
+                      flightrec::backend_code(info.backend));
     return;
   }
 
@@ -295,8 +304,11 @@ void dispatch(OpRequest& req, KernelArgs& args) {
     const std::uint64_t t0 = obs::now_ns();
     governor::OpScope governed(req.func.c_str());
     fn(&args);
-    obs::record_value("kernel_ns/" + req.func + "/" + info.backend,
-                      obs::now_ns() - t0);
+    const std::uint64_t dur = obs::now_ns() - t0;
+    obs::record_value("kernel_ns/" + req.func + "/" + info.backend, dur);
+    flightrec::record(flightrec::EventKind::kOpEnd, req.func.c_str(), dur,
+                      flightrec::fnv1a(info.key.c_str()),
+                      flightrec::backend_code(info.backend));
   }
 }
 
@@ -323,6 +335,10 @@ void eval_into(Matrix& target, const MatrixMaskArg& mask,
   args.mask = pm.ptr;
   fill_from_node(req, args, node);
   if (span.active()) span.attr("func", req.func);
+  flightrec::record(flightrec::EventKind::kOpBegin, req.func.c_str(),
+                    static_cast<std::uint64_t>(target.nvals()),
+                    (static_cast<std::uint64_t>(target.nrows()) << 32) |
+                        static_cast<std::uint64_t>(target.ncols()));
   dispatch(req, args);
 }
 
@@ -345,6 +361,9 @@ void eval_into(Vector& target, const VectorMaskArg& mask,
   args.mask = pm.ptr;
   fill_from_node(req, args, node);
   if (span.active()) span.attr("func", req.func);
+  flightrec::record(flightrec::EventKind::kOpBegin, req.func.c_str(),
+                    static_cast<std::uint64_t>(target.nvals()),
+                    static_cast<std::uint64_t>(target.size()));
   dispatch(req, args);
 }
 

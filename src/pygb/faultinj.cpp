@@ -8,6 +8,8 @@
 #include <string_view>
 #include <vector>
 
+#include "pygb/obs/flightrec.hpp"
+
 namespace pygb::faultinj {
 
 namespace {
@@ -86,6 +88,8 @@ Decision check_slow(const char* site) noexcept {
     if (draw >= rule.threshold) continue;
     --rule.budget;
     ++e.fired;
+    flightrec::record(flightrec::EventKind::kFault, site, e.fired,
+                      static_cast<std::uint64_t>(rule.action));
     return Decision{rule.action};
   }
   return {};

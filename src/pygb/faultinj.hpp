@@ -65,6 +65,11 @@ inline constexpr const char* kPoolSubmit = "pool_submit";
 /// `hang`/`slow`/`corrupt` = injected deadline fire (DeadlineExceeded).
 /// Combine with n=K to fire at exactly the Kth checkpoint.
 inline constexpr const char* kGovernor = "governor";
+/// Entry guard of every generated JIT kernel (pygb::jit::kernel_entry_guard,
+/// reached through the injected PoolApi): any action dereferences null FROM
+/// MODULE CODE — a real SIGSEGV inside the dlopen'd mapping, for the
+/// crash-attribution pipeline (docs/OBSERVABILITY.md).
+inline constexpr const char* kKernelCrash = "kernel_crash";
 }  // namespace site
 
 /// The verdict for one site visit. Evaluates false when nothing fires.

@@ -5,6 +5,7 @@
 #include "pygb/eval.hpp"
 #include "pygb/interp_sim.hpp"
 #include "pygb/jit/registry.hpp"
+#include "pygb/obs/flightrec.hpp"
 #include "pygb/obs/obs.hpp"
 
 namespace pygb {
@@ -244,6 +245,9 @@ FusedChain::RunResult FusedChain::run(
               static_cast<std::uint64_t>(desc_->statements.size()))
         .attr("params", static_cast<std::uint64_t>(desc_->params.size()));
   }
+  flightrec::record(flightrec::EventKind::kChain, desc_->name.c_str(),
+                    static_cast<std::uint64_t>(desc_->statements.size()),
+                    static_cast<std::uint64_t>(desc_->params.size()));
   // One dispatch for the whole chain (interp_pause runs inside).
   detail::dispatch(req, kargs);
 

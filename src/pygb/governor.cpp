@@ -6,6 +6,8 @@
 #include <cstdlib>
 #include <mutex>
 
+#include "pygb/obs/flightrec.hpp"
+
 namespace pygb::governor {
 
 namespace detail {
@@ -131,6 +133,8 @@ void mem_reserve(std::uint64_t bytes) {
   if (limit != 0 && used > limit) {
     g_mem_used.fetch_sub(bytes, std::memory_order_relaxed);
     g_mem_rejections.fetch_add(1, std::memory_order_relaxed);
+    flightrec::record(flightrec::EventKind::kGovernor, "mem_reject", bytes,
+                      used);
     throw ResourceExhausted(
         "pygb: operation '" + op_label() + "' rejected: charging " +
         std::to_string(bytes) + " bytes would put " +
@@ -201,6 +205,8 @@ void checkpoint_slow() {
       if (!g_op_aborted.exchange(true, std::memory_order_relaxed)) {
         g_cancel.store(false, std::memory_order_relaxed);
         g_ops_cancelled.fetch_add(1, std::memory_order_relaxed);
+        flightrec::record(flightrec::EventKind::kGovernor, "cancel",
+                          elapsed_ms());
       }
       throw Cancelled("pygb: operation '" + op_label() +
                       "' cancelled after " + std::to_string(elapsed_ms()) +
@@ -213,6 +219,8 @@ void checkpoint_slow() {
     if (deadline != 0 && now_ns() >= deadline) {
       if (!g_op_aborted.exchange(true, std::memory_order_relaxed)) {
         g_ops_deadline_exceeded.fetch_add(1, std::memory_order_relaxed);
+        flightrec::record(flightrec::EventKind::kGovernor, "deadline",
+                          elapsed_ms());
       }
       throw DeadlineExceeded(
           "pygb: operation '" + op_label() + "': deadline of " +
@@ -305,6 +313,18 @@ void reset_stats() noexcept {
 std::string current_op() {
   std::lock_guard<std::mutex> lock(g_name_mu);
   return std::string(g_op_name);
+}
+
+void current_op_unsafe(char* buf, std::size_t n) noexcept {
+  if (buf == nullptr || n == 0) return;
+  // Deliberately lock-free (see header): raw byte copy, stop at the
+  // buffer edge either side.
+  std::size_t i = 0;
+  for (; i + 1 < n && i + 1 < sizeof g_op_name && g_op_name[i] != '\0';
+       ++i) {
+    buf[i] = g_op_name[i];
+  }
+  buf[i] = '\0';
 }
 
 }  // namespace pygb::governor

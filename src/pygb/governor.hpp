@@ -43,6 +43,7 @@
 #pragma once
 
 #include <atomic>
+#include <cstddef>
 #include <cstdint>
 #include <stdexcept>
 #include <string>
@@ -214,5 +215,12 @@ void reset_stats() noexcept;
 
 /// Name of the op governed by the current outermost OpScope ("" if idle).
 std::string current_op();
+
+/// ASYNC-SIGNAL-SAFE twin of current_op() for the crash handler: copies
+/// the op name into `buf` (always NUL-terminated) without locking or
+/// allocating. A torn read during a concurrent OpScope transition yields a
+/// truncated or mixed name — acceptable in a crash report, where the
+/// alternative (taking g_name_mu in a signal context) can deadlock.
+void current_op_unsafe(char* buf, std::size_t n) noexcept;
 
 }  // namespace pygb::governor

@@ -4,9 +4,22 @@
 #include <algorithm>
 #include <cstdlib>
 
+#include "pygb/obs/flightrec.hpp"
 #include "pygb/obs/obs.hpp"
 
 namespace pygb::jit {
+
+namespace {
+
+/// Circuit transitions are exactly what a postmortem wants to see, so each
+/// one drops a flight event (detail = new state, v1 = key hash to match
+/// compile/op events for the same dispatch key).
+void record_transition(const char* state, const std::string& key) {
+  flightrec::record(flightrec::EventKind::kBreaker, state, 0,
+                    flightrec::fnv1a(key.c_str()));
+}
+
+}  // namespace
 
 namespace {
 
@@ -50,6 +63,7 @@ CircuitBreaker::Decision CircuitBreaker::acquire(const std::string& key) {
         ks.state = BreakerState::kHalfOpen;
         ks.probe_inflight = true;
         obs::counter_add(obs::Counter::kBreakerProbes);
+        record_transition("half-open", key);
         return Decision::kProbe;
       }
       obs::counter_add(obs::Counter::kBreakerShortCircuits);
@@ -68,7 +82,9 @@ CircuitBreaker::Decision CircuitBreaker::acquire(const std::string& key) {
 
 void CircuitBreaker::on_success(const std::string& key) {
   std::lock_guard lock(mu_);
-  keys_.erase(key);  // fully healed; no state is the closed state
+  if (keys_.erase(key) != 0) {  // fully healed; no state is closed
+    record_transition("closed", key);
+  }
 }
 
 void CircuitBreaker::on_failure(const std::string& key, bool transient,
@@ -83,6 +99,7 @@ void CircuitBreaker::on_failure(const std::string& key, bool transient,
     // cleared. Open now, never half-open (the old negative cache).
     if (ks.state != BreakerState::kOpen) {
       obs::counter_add(obs::Counter::kBreakerOpens);
+      record_transition("open", key);
     }
     ks.state = BreakerState::kOpen;
     ks.permanent = true;
@@ -93,6 +110,7 @@ void CircuitBreaker::on_failure(const std::string& key, bool transient,
     // A failed probe re-opens; threshold crossings open.
     if (ks.state != BreakerState::kOpen) {
       obs::counter_add(obs::Counter::kBreakerOpens);
+      record_transition("open", key);
     }
     ks.state = BreakerState::kOpen;
     ks.open_until = Clock::now() + std::chrono::milliseconds(cfg_.open_ttl_ms);

@@ -108,7 +108,7 @@ std::uint64_t enforce_cache_cap(const std::string& dir,
   struct Module {
     fs::path so;
     fs::file_time_type mtime;
-    std::uint64_t bytes = 0;  ///< .so plus its sibling .cpp
+    std::uint64_t bytes = 0;  ///< .so plus its sibling .cpp and .srcmap
   };
   std::vector<Module> modules;
   std::uint64_t total = 0;
@@ -122,10 +122,12 @@ std::uint64_t enforce_cache_cap(const std::string& dir,
       m.so = entry.path();
       m.mtime = entry.last_write_time(ec);
       m.bytes = sz;
-      fs::path src = entry.path();
-      src.replace_extension(".cpp");
-      const std::uint64_t src_sz = fs::file_size(src, ec);
-      if (!ec) m.bytes += src_sz;
+      for (const char* sibling : {".cpp", ".srcmap"}) {
+        fs::path side = entry.path();
+        side.replace_extension(sibling);
+        const std::uint64_t side_sz = fs::file_size(side, ec);
+        if (!ec) m.bytes += side_sz;
+      }
       modules.push_back(std::move(m));
     }
   }
@@ -138,9 +140,11 @@ std::uint64_t enforce_cache_cap(const std::string& dir,
   // evicted — it is usually the one the caller just published.
   for (std::size_t i = 0; i + 1 < modules.size() && total - evicted > max_bytes;
        ++i) {
-    fs::path src = modules[i].so;
-    src.replace_extension(".cpp");
-    fs::remove(src, ec);
+    for (const char* sibling : {".cpp", ".srcmap"}) {
+      fs::path side = modules[i].so;
+      side.replace_extension(sibling);
+      fs::remove(side, ec);
+    }
     if (fs::remove(modules[i].so, ec)) evicted += modules[i].bytes;
   }
   return evicted;

@@ -23,6 +23,8 @@
 //
 // Layout of a cache directory (see docs/CACHE.md):
 //   pygb_<keyhash>_<stamphash>.cpp          generated translation unit
+//   pygb_<keyhash>_<stamphash>.srcmap       attribution sidecar (JSON: key,
+//                                           func, kernel line, #line file)
 //   pygb_<keyhash>_<stamphash>.so           published module (atomic rename)
 //   pygb_<keyhash>_<stamphash>.so.<pid>.tmp in-progress compile output
 //   pygb_<keyhash>_<stamphash>.so.bad       quarantined corrupt module
@@ -42,7 +44,11 @@ namespace pygb::jit {
 /// v4: PoolApi v2 — governor checkpoint/mem_reserve/mem_release entries
 /// (pygb/governor.hpp); v3 modules would reject the v2 table and silently
 /// run sequential and ungoverned, so they are retired wholesale.
-inline constexpr int kCacheSchemaVersion = 4;
+/// v5: crash attribution — modules export pygb_module_key/func/kernel_line,
+/// kernel statements are #line-mapped onto a virtual DSL file, the entry
+/// guard routes the kernel_crash fault site and flight notes through
+/// PoolApi v3, and a `.srcmap` sidecar is published next to the source.
+inline constexpr int kCacheSchemaVersion = 5;
 
 /// The full environment stamp: schema version, compiler identity and
 /// flags, pygb version. Computed once per (process, compiler command) and

@@ -7,7 +7,23 @@
 
 #include "pygb/jit/module_key.hpp"
 
+#include <cstdint>
+
 namespace pygb::jit {
+
+/// Where the generated kernel statement lives — the codegen half of the
+/// crash-attribution pipeline (docs/OBSERVABILITY.md). The registry
+/// persists this next to the cached .so as a `.srcmap` JSON sidecar, and
+/// the same facts are compiled INTO the module as exported symbols
+/// (pygb_module_key / pygb_module_func / pygb_module_kernel_line) so a
+/// disk-cached module carries its own provenance.
+struct SourceInfo {
+  std::string func;        ///< DSL func name ("mxm", "fused_chain", ...)
+  std::string key;         ///< full dispatch key
+  std::uint64_t key_hash = 0;  ///< FNV-1a of the key
+  unsigned kernel_line = 0;    ///< physical line of the kernel statement
+  std::string dsl_file;    ///< #line virtual file "pygb:dsl:<func>:<hash>"
+};
 
 /// Generate the complete C++ source for the request's kernel module.
 /// Throws std::invalid_argument for requests no backend could satisfy
@@ -17,7 +33,13 @@ namespace pygb::jit {
 /// `pygb_module_stamp` string, which load_kernel() verifies against the
 /// requester's expectation (see pygb/jit/cache.hpp) — the guard against
 /// hash collisions and environment drift in the shared disk cache.
+///
+/// The kernel statement is wrapped in a `#line` directive mapping it to a
+/// virtual DSL file (D2X-style: debuggers and sanitizer reports then name
+/// the originating DSL expression instead of an anonymous temp file), and
+/// `info`, when non-null, receives the mapping facts for the sidecar.
 std::string generate_source(const OpRequest& req,
-                            const std::string& stamp = {});
+                            const std::string& stamp = {},
+                            SourceInfo* info = nullptr);
 
 }  // namespace pygb::jit

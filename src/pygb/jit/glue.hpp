@@ -467,6 +467,24 @@ void run_algo_cc(const KernelArgs* args) {
   write_scalar_out(args, static_cast<std::int64_t>(rounds));
 }
 
+// ---------------------------------------------------------------------------
+// Kernel entry guard. Generated sources call this as the first statement
+// of pygb_kernel: it drops a flight-recorder note (via the injected
+// PoolApi, so the event lands in the HOST's rings) and honours the
+// "kernel_crash" fault-injection site by dereferencing null FROM MODULE
+// CODE — the faulting PC then lies inside the dlopen'd mapping, which is
+// exactly what the crash-attribution test needs to exercise the loader's
+// module map end to end. Disarmed, it costs two relaxed atomic loads.
+// ---------------------------------------------------------------------------
+inline void kernel_entry_guard(const char* func,
+                               std::uint64_t key_hash) noexcept {
+  gbtl::detail::pool_flight_note(func, 0, key_hash);
+  if (gbtl::detail::pool_fault_check("kernel_crash") != 0) {
+    volatile int* crash_here = nullptr;
+    *crash_here = 0x7c;  // deliberate SIGSEGV inside the JIT module
+  }
+}
+
 }  // namespace pygb::jit
 
 // ---------------------------------------------------------------------------
@@ -483,8 +501,10 @@ void run_algo_cc(const KernelArgs* args) {
 // ---------------------------------------------------------------------------
 #if !defined(GBTL_POOL_LINKED)
 extern "C" void pygb_module_set_pool(const gbtl::detail::PoolApi* api) {
+  // The table is append-only, so any version at least as new as the one
+  // this module was compiled against is safe to accept.
   if (api != nullptr &&
-      api->abi_version == gbtl::detail::kPoolAbiVersion) {
+      api->abi_version >= gbtl::detail::kPoolAbiVersion) {
     gbtl::detail::pool_api_slot().store(api, std::memory_order_release);
   }
 }

@@ -1,18 +1,118 @@
 #include "pygb/jit/loader.hpp"
 
 #include <dlfcn.h>
+#include <link.h>
 
+#include <atomic>
+#include <cstring>
 #include <fstream>
 #include <iterator>
+#include <mutex>
 
 #include "gbtl/detail/pool.hpp"
 #include "pygb/faultinj.hpp"
 #include "pygb/jit/cache.hpp"
+#include "pygb/obs/flightrec.hpp"
 #include "pygb/obs/obs.hpp"
 
 namespace pygb::jit {
 
+namespace modmap {
+
 namespace {
+
+Entry g_entries[kMaxModules];
+std::atomic<std::size_t> g_count{0};
+std::mutex g_register_mu;  ///< serializes writers; readers are lock-free
+
+void copy_trunc(char* dst, std::size_t cap, const char* src) {
+  std::strncpy(dst, src != nullptr ? src : "", cap - 1);
+  dst[cap - 1] = '\0';
+}
+
+/// Mapped extent of the shared object loaded at `base`: the max
+/// p_vaddr + p_memsz over its PT_LOAD segments (dlpi_addr == load base
+/// for ET_DYN objects).
+struct ExtentQuery {
+  std::uintptr_t base;
+  std::uintptr_t extent;
+};
+
+int extent_cb(struct dl_phdr_info* info, std::size_t, void* data) {
+  auto* q = static_cast<ExtentQuery*>(data);
+  if (static_cast<std::uintptr_t>(info->dlpi_addr) != q->base) return 0;
+  for (int i = 0; i < info->dlpi_phnum; ++i) {
+    const auto& ph = info->dlpi_phdr[i];
+    if (ph.p_type != PT_LOAD) continue;
+    const std::uintptr_t top = ph.p_vaddr + ph.p_memsz;
+    if (top > q->extent) q->extent = top;
+  }
+  return 1;
+}
+
+}  // namespace
+
+std::size_t count() noexcept {
+  return g_count.load(std::memory_order_acquire);
+}
+
+const Entry* at(std::size_t i) noexcept {
+  if (i >= count()) return nullptr;
+  return &g_entries[i];
+}
+
+const Entry* find(std::uintptr_t pc) noexcept {
+  const std::size_t n = count();
+  for (std::size_t i = 0; i < n; ++i) {
+    const Entry& e = g_entries[i];
+    if (pc >= e.base && pc < e.end) return &e;
+  }
+  return nullptr;
+}
+
+}  // namespace modmap
+
+namespace {
+
+/// Enter a freshly dlopen'd module into the map. Best effort: a module
+/// without provenance symbols (pre-v5 cache) simply isn't attributable.
+void register_module(void* handle, void* kernel_sym,
+                     const std::string& so_path) {
+  const char* key =
+      static_cast<const char*>(dlsym(handle, kModuleKeySymbol));
+  const char* func =
+      static_cast<const char*>(dlsym(handle, kModuleFuncSymbol));
+  if (key == nullptr || func == nullptr) return;
+  const unsigned* line =
+      static_cast<const unsigned*>(dlsym(handle, kModuleKernelLineSymbol));
+
+  Dl_info dli;
+  if (dladdr(kernel_sym, &dli) == 0 || dli.dli_fbase == nullptr) return;
+  modmap::ExtentQuery q{reinterpret_cast<std::uintptr_t>(dli.dli_fbase), 0};
+  dl_iterate_phdr(modmap::extent_cb, &q);
+  if (q.extent == 0) return;
+
+  const std::uint64_t khash = flightrec::fnv1a(key);
+  {
+    std::lock_guard lock(modmap::g_register_mu);
+    const std::size_t idx =
+        modmap::g_count.load(std::memory_order_relaxed);
+    if (idx >= modmap::kMaxModules) return;
+    modmap::Entry& e = modmap::g_entries[idx];
+    e.base = q.base;
+    e.end = q.base + q.extent;
+    e.key_hash = khash;
+    e.kernel_line = line != nullptr ? *line : 0;
+    modmap::copy_trunc(e.func, modmap::kFuncBytes, func);
+    modmap::copy_trunc(e.key, modmap::kKeyBytes, key);
+    modmap::copy_trunc(e.so_path, modmap::kPathBytes, so_path.c_str());
+    // Publish AFTER the entry is complete: a signal-context reader that
+    // sees the new count sees a fully written entry.
+    modmap::g_count.store(idx + 1, std::memory_order_release);
+  }
+  flightrec::record(flightrec::EventKind::kModuleLoad, func, q.extent,
+                    khash);
+}
 
 /// True when the file's bytes contain the NUL-terminated stamp payload.
 /// Verification runs BEFORE dlopen on purpose: an unverified module must
@@ -81,6 +181,7 @@ KernelFn load_kernel(const std::string& so_path, std::string* error,
     using InjectFn = void (*)(const gbtl::detail::PoolApi*);
     reinterpret_cast<InjectFn>(inject)(gbtl::detail::host_pool_api());
   }
+  register_module(handle, sym, so_path);
   return reinterpret_cast<KernelFn>(sym);
 }
 

@@ -16,6 +16,7 @@
 #include "pygb/jit/compiler.hpp"
 #include "pygb/jit/loader.hpp"
 #include "pygb/jit/subprocess.hpp"
+#include "pygb/obs/flightrec.hpp"
 #include "pygb/obs/obs.hpp"
 
 namespace pygb::jit {
@@ -179,6 +180,7 @@ KernelFn Registry::try_load_published(const std::string& so_path,
   // it aside (never silently run it, never retry it) and recompile.
   quarantine_module(so_path);
   obs::counter_add(obs::Counter::kCacheQuarantines);
+  flightrec::record(flightrec::EventKind::kQuarantine, "verify");
   return nullptr;
 }
 
@@ -223,9 +225,10 @@ KernelFn Registry::build_module(const OpRequest& req, const std::string& key,
   // Generate the translation unit (with the embedded verification stamp).
   const fs::path src_path = dir / (stem + ".cpp");
   std::string source;
+  SourceInfo srcinfo;
   {
     obs::Span span("jit.codegen");
-    source = generate_source(req, stamp);
+    source = generate_source(req, stamp, &srcinfo);
     span.attr("key", key).attr("bytes",
                                static_cast<std::uint64_t>(source.size()));
   }
@@ -235,14 +238,44 @@ KernelFn Registry::build_module(const OpRequest& req, const std::string& key,
     std::ofstream src(src_path);
     src << source;
   }
+  {
+    // Attribution sidecar, published beside the source so crash reports
+    // (and offline tooling) can resolve a module stem without recompiling
+    // anything. Best effort — a missing sidecar degrades the report, not
+    // the kernel.
+    std::string map = "{\"schema\":\"pygb.srcmap\",\"schema_version\":1,";
+    map += "\"stem\":";
+    obs::detail::append_json_string(map, stem);
+    map += ",\"func\":";
+    obs::detail::append_json_string(map, srcinfo.func);
+    map += ",\"key\":";
+    obs::detail::append_json_string(map, srcinfo.key);
+    char hash_buf[19];
+    std::snprintf(hash_buf, sizeof hash_buf, "0x%016llx",
+                  static_cast<unsigned long long>(srcinfo.key_hash));
+    map += ",\"key_hash\":\"" + std::string(hash_buf) + "\"";
+    map += ",\"kernel_line\":" + std::to_string(srcinfo.kernel_line);
+    map += ",\"dsl_file\":";
+    obs::detail::append_json_string(map, srcinfo.dsl_file);
+    map += ",\"source\":";
+    obs::detail::append_json_string(map, stem + ".cpp");
+    map += "}\n";
+    std::ofstream out(dir / (stem + ".srcmap"));
+    out << map;
+  }
 
   // Compile to a process-private temp name, then atomically rename(2) into
   // place — a concurrent reader can never dlopen a half-written module.
   // (No registry lock is held across any of this.)
   const fs::path tmp_path =
       dir / (stem + ".so." + std::to_string(::getpid()) + ".tmp");
+  flightrec::record(flightrec::EventKind::kCompileBegin,
+                    srcinfo.func.c_str(), source.size(), srcinfo.key_hash);
   const CompileResult cr =
       compile_module(src_path.string(), tmp_path.string());
+  flightrec::record(flightrec::EventKind::kCompileEnd, srcinfo.func.c_str(),
+                    static_cast<std::uint64_t>(cr.seconds * 1e9),
+                    srcinfo.key_hash, cr.ok ? 1 : 0);
   obs::counter_add(obs::Counter::kCompiles);
   obs::counter_add(obs::Counter::kCompileNanos,
                    static_cast<std::uint64_t>(cr.seconds * 1e9));
@@ -298,6 +331,7 @@ KernelFn Registry::build_module(const OpRequest& req, const std::string& key,
     // file is never retried) and classify transient.
     quarantine_module(so_path.string());
     obs::counter_add(obs::Counter::kCacheQuarantines);
+    flightrec::record(flightrec::EventKind::kQuarantine, "load");
     throw TransientJitError(
         "pygb: failed to load compiled module for key '" + key + "': " + err);
   }

@@ -11,6 +11,9 @@
 #include <mutex>
 
 #include "pygb/governor.hpp"
+#include "pygb/obs/crash.hpp"
+#include "pygb/obs/export.hpp"
+#include "pygb/obs/flightrec.hpp"
 
 namespace pygb::obs {
 
@@ -92,6 +95,14 @@ void sync_governor_counters() noexcept {
   set(Counter::kMemPeakBytes, gs.mem_peak_bytes);
 }
 
+/// Same mirror discipline for the flight recorder (also a leaf module).
+/// kCrashReports is NOT mirrored: the crash handler counter_adds it
+/// directly (lock-free fetch_add, AS-safe).
+void sync_flightrec_counters() noexcept {
+  detail::g_counters[static_cast<unsigned>(Counter::kFlightEvents)].store(
+      flightrec::total_recorded(), std::memory_order_relaxed);
+}
+
 }  // namespace
 
 std::uint64_t counter_value(Counter c) noexcept {
@@ -101,6 +112,9 @@ std::uint64_t counter_value(Counter c) noexcept {
     case Counter::kMemBudgetRejections:
     case Counter::kMemPeakBytes:
       sync_governor_counters();
+      break;
+    case Counter::kFlightEvents:
+      sync_flightrec_counters();
       break;
     default:
       break;
@@ -161,6 +175,10 @@ const char* counter_name(Counter c) noexcept {
       return "mem_budget_rejections";
     case Counter::kMemPeakBytes:
       return "mem_peak_bytes";
+    case Counter::kFlightEvents:
+      return "flight_events";
+    case Counter::kCrashReports:
+      return "crash_reports";
     case Counter::kCount_:
       break;
   }
@@ -253,6 +271,7 @@ std::uint64_t HistogramData::percentile(double p) const noexcept {
 MetricsSnapshot metrics_snapshot() {
   MetricsSnapshot snap;
   sync_governor_counters();
+  sync_flightrec_counters();
   for (unsigned i = 0; i < kCounterCount; ++i) {
     snap.counters[i] =
         detail::g_counters[i].load(std::memory_order_relaxed);
@@ -326,13 +345,30 @@ ThreadSink& local_sink() {
 
 std::uint32_t current_thread_tid() { return local_sink().tid; }
 
+namespace detail {
+thread_local SpanStackTls g_span_stack{};
+}  // namespace detail
+
+int span_stack_unsafe(const char** out, int max) noexcept {
+  const detail::SpanStackTls& st = detail::g_span_stack;
+  const int depth = st.depth;
+  const int n = std::min({depth, max, detail::kSpanStackMax});
+  for (int i = 0; i < n; ++i) out[i] = st.names[i];
+  return depth;
+}
+
 void Span::start(const char* name) {
   name_ = name;
   start_ns_ = now_ns();
   active_ = true;
+  auto& st = detail::g_span_stack;
+  if (st.depth < detail::kSpanStackMax) st.names[st.depth] = name;
+  ++st.depth;
 }
 
 void Span::finish() {
+  auto& st = detail::g_span_stack;
+  if (st.depth > 0) --st.depth;
   const std::uint64_t end = now_ns();
   ThreadSink& sink = local_sink();
   std::lock_guard lock(sink.mu);
@@ -471,6 +507,11 @@ void init_from_env() {
       want_atexit = true;
     }
     if (want_atexit) std::atexit(flush_at_exit);
+    // Postmortem half: PYGB_CRASH_DIR arms the crash handler,
+    // PYGB_METRICS_JSON / PYGB_METRICS_PROM (+ PYGB_METRICS_INTERVAL_MS)
+    // arm the snapshot exporters.
+    pygb::crash::init_from_env();
+    init_export_from_env();
   });
 }
 

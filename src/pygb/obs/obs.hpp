@@ -102,6 +102,10 @@ enum class Counter : unsigned {
   kOpsDeadlineExceeded,   ///< operations aborted at PYGB_OP_TIMEOUT_MS
   kMemBudgetRejections,   ///< charges refused at PYGB_MEM_LIMIT_BYTES
   kMemPeakBytes,          ///< high-water mark of governed memory charges
+  // Postmortem half (this PR): mirrored from pygb::flightrec / written by
+  // the crash handler (counter_add is a lock-free fetch_add, AS-safe).
+  kFlightEvents,          ///< events recorded by the flight recorder
+  kCrashReports,          ///< crash reports written by pygb::crash
   kCount_,
 };
 inline constexpr unsigned kCounterCount =
@@ -219,6 +223,25 @@ class Span {
 
 /// The obs thread id of the calling thread (registers it on first use).
 std::uint32_t current_thread_tid();
+
+namespace detail {
+
+/// POD per-thread span-name stack (names are string literals, so storing
+/// the pointers is safe). Constant-initialized — no dynamic TLS ctor — so
+/// the crash handler may read the crashing thread's copy from a signal
+/// context. Depth beyond kSpanStackMax is counted but not stored.
+inline constexpr int kSpanStackMax = 16;
+struct SpanStackTls {
+  const char* names[kSpanStackMax];
+  int depth;
+};
+extern thread_local SpanStackTls g_span_stack;
+
+}  // namespace detail
+
+/// ASYNC-SIGNAL-SAFE: copy the calling thread's active span names
+/// (outermost first) into `out`; returns the true depth (may exceed `max`).
+int span_stack_unsafe(const char** out, int max) noexcept;
 
 /// Merged snapshot of every thread's buffer, sorted by start time (ties:
 /// longer span first, so parents precede children).

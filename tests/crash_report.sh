@@ -1,0 +1,81 @@
+#!/usr/bin/env bash
+# End-to-end crash attribution (observability acceptance): a fault-injected
+# SIGSEGV *inside a freshly JIT-compiled kernel* must produce a report in
+# PYGB_CRASH_DIR that attributes the faulting pc back to the DSL function,
+# the module key, and the generated-source kernel line — i.e. the
+# kernel_entry_guard null-deref fires FROM MODULE CODE, the loader's module
+# map resolves it, and the async-signal-safe handler writes the whole story
+# down before the process dies with the default SIGSEGV disposition.
+#
+# usage: crash_report.sh <path-to-pygb_cli>
+set -euo pipefail
+
+CLI="$1"
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+fail() { echo "FAIL: $1"; shift; for f in "$@"; do echo "--- $f"; cat "$f" || true; done; exit 1; }
+
+printf '0 1 1.0\n1 2 1.0\n2 0 1.0\n2 1 1.0\n' > "$TMP/ring.txt"
+
+export PYGB_CACHE_DIR="$TMP/cache"
+export PYGB_CRASH_DIR="$TMP/crash"
+export PYGB_JIT_MODE=jit            # force the JIT tier: no static bailout
+export PYGB_FAULTS="kernel_crash:fail:p=1"
+
+# --tier whole dispatches the whole algorithm as ONE DSL function
+# ("algo_pagerank"), so the crashing module is deterministically known.
+rc=0
+"$CLI" pagerank "$TMP/ring.txt" --tier whole \
+  > "$TMP/run.out" 2>&1 || rc=$?
+
+# 139 = 128 + SIGSEGV: the handler must re-raise with the default
+# disposition, not swallow the signal.
+[ "$rc" -eq 139 ] || fail "expected SIGSEGV death (139), got rc=$rc" "$TMP/run.out"
+
+REPORTS=("$TMP"/crash/*.report)
+[ -e "${REPORTS[0]}" ] || fail "no crash report written to PYGB_CRASH_DIR" "$TMP/run.out"
+[ "${#REPORTS[@]}" -eq 1 ] || fail "expected exactly one report, got ${#REPORTS[@]}"
+REPORT="${REPORTS[0]}"
+
+require() {
+  grep -q "$1" "$REPORT" || fail "report missing: $1" "$REPORT"
+}
+
+require "^pygb crash report"
+require "^schema: pygb.crash"
+require "^signal: 11 (SIGSEGV)"
+
+# The heart of the test — JIT-frame attribution. The faulting pc must land
+# inside the dlopen'd module and resolve to the DSL function, the module
+# key, and the #line-anchored kernel line of the generated source.
+grep -q "(no frames inside JIT modules)" "$REPORT" && \
+  fail "crash was not attributed to the JIT module" "$REPORT"
+require "func: algo_pagerank"
+require "module_key: algo_pagerank|"
+grep -Eq "generated_line: [1-9][0-9]*" "$REPORT" || \
+  fail "report missing a nonzero generated_line" "$REPORT"
+
+# The module map section must list the loaded module too.
+require "^jit_modules:"
+require "func=algo_pagerank"
+
+# Flight recorder tail: the compile, the kernel-entry note dropped from
+# inside the module via the injected PoolApi, and the fault firing must
+# all be visible in the moments before death.
+require "^flight_recorder:"
+require "compile_end"
+require "kernel_crash"
+
+# Completeness: a concurrently-dying process must never leave a torn file.
+tail -n 1 "$REPORT" | grep -q "end of report" || \
+  fail "report is truncated" "$REPORT"
+
+# The cache kept the generated source AND its .srcmap sidecar, so the
+# report's pointer ("dsl_source: see .srcmap sidecar ...") is honest.
+SRCMAPS=$(find "$TMP/cache" -name '*.srcmap' | wc -l)
+[ "$SRCMAPS" -ge 1 ] || fail ".srcmap sidecar missing from the cache"
+grep -q "algo_pagerank" "$TMP"/cache/*.srcmap || \
+  fail ".srcmap sidecar does not name the DSL function"
+
+echo "PASS: crash attributed to algo_pagerank (report: $(basename "$REPORT"))"

@@ -1,0 +1,585 @@
+// Tests: the postmortem half of pygb::obs — flight-recorder ring semantics
+// (wraparound, truncation, seqlock-clean concurrent recording), the
+// async-signal-safe dump, the schema-versioned JSON exporter (validated
+// against the checked-in tests/pygb/metrics_schema.json), the Prometheus
+// text exposition (strict line parser + histogram coherence), and crash
+// reports (in-process report rendering plus fork-based end-to-end crashes,
+// including N threads crashing concurrently producing exactly one report).
+//
+// Suites are named Obs* so the TSan CI job's -R filter picks them up.
+#include <gtest/gtest.h>
+
+#include <fcntl.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cctype>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "pygb/obs/crash.hpp"
+#include "pygb/obs/export.hpp"
+#include "pygb/obs/flightrec.hpp"
+#include "pygb/obs/obs.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+using pygb::flightrec::Event;
+using pygb::flightrec::EventKind;
+
+std::vector<Event> events_with_detail(const std::string& detail) {
+  std::vector<Event> out;
+  for (const Event& e : pygb::flightrec::snapshot()) {
+    if (detail == e.detail) out.push_back(e);
+  }
+  return out;
+}
+
+std::string read_file(const fs::path& p) {
+  std::ifstream in(p, std::ios::binary);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+// ---------------------------------------------------------------------------
+// Flight recorder
+// ---------------------------------------------------------------------------
+
+TEST(ObsFlightRec, RecordsAndSnapshots) {
+  const std::uint64_t before = pygb::flightrec::total_recorded();
+  pygb::flightrec::record(EventKind::kOpEnd, "frt_basic", 1234, 0xabcdef,
+                          pygb::flightrec::kBackendStatic);
+  EXPECT_EQ(pygb::flightrec::total_recorded(), before + 1);
+
+  const auto mine = events_with_detail("frt_basic");
+  ASSERT_EQ(mine.size(), 1u);
+  EXPECT_EQ(mine[0].kind, EventKind::kOpEnd);
+  EXPECT_EQ(mine[0].v0, 1234u);
+  EXPECT_EQ(mine[0].v1, 0xabcdefu);
+  EXPECT_EQ(mine[0].a32, pygb::flightrec::kBackendStatic);
+  EXPECT_GT(mine[0].seq, 0u);
+
+  const std::string line = pygb::flightrec::format_event(mine[0]);
+  EXPECT_NE(line.find("op_end"), std::string::npos);
+  EXPECT_NE(line.find("frt_basic"), std::string::npos);
+}
+
+TEST(ObsFlightRec, DetailIsTruncatedNotOverrun) {
+  const std::string longdetail(100, 'x');
+  pygb::flightrec::record(EventKind::kGovernor, longdetail.c_str());
+  bool found = false;
+  for (const Event& e : pygb::flightrec::snapshot()) {
+    const std::string d = e.detail;
+    if (d.find("xxxx") != 0) continue;
+    found = true;
+    EXPECT_LT(d.size(), pygb::flightrec::kDetailBytes);
+    EXPECT_EQ(d, std::string(d.size(), 'x'));
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(ObsFlightRec, RingWrapsKeepingNewest) {
+  constexpr std::size_t kTotal = pygb::flightrec::kRingEvents + 44;
+  for (std::size_t i = 0; i < kTotal; ++i) {
+    pygb::flightrec::record(EventKind::kPool, "frt_wrap", i);
+  }
+  const auto mine = events_with_detail("frt_wrap");
+  // This thread's whole ring was overwritten by the loop, so exactly one
+  // ring's worth survives and it is the newest kRingEvents records.
+  ASSERT_EQ(mine.size(), pygb::flightrec::kRingEvents);
+  std::uint64_t min_v0 = ~std::uint64_t{0}, max_v0 = 0;
+  for (const Event& e : mine) {
+    min_v0 = std::min(min_v0, e.v0);
+    max_v0 = std::max(max_v0, e.v0);
+  }
+  EXPECT_EQ(max_v0, kTotal - 1);
+  EXPECT_EQ(min_v0, kTotal - pygb::flightrec::kRingEvents);
+  // snapshot() sorts by seq.
+  for (std::size_t i = 1; i < mine.size(); ++i) {
+    EXPECT_LT(mine[i - 1].seq, mine[i].seq);
+  }
+}
+
+TEST(ObsFlightRec, ConcurrentRecordingIsTornFree) {
+  constexpr int kThreads = 8;
+  constexpr std::size_t kPerThread = 1000;  // > kRingEvents: full overwrite
+  const std::uint64_t before = pygb::flightrec::total_recorded();
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t] {
+      for (std::size_t i = 0; i < kPerThread; ++i) {
+        pygb::flightrec::record(EventKind::kModule, "frt_conc",
+                                static_cast<std::uint64_t>(i),
+                                static_cast<std::uint64_t>(t));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_GE(pygb::flightrec::total_recorded(),
+            before + kThreads * kPerThread);
+
+  const auto mine = events_with_detail("frt_conc");
+  EXPECT_EQ(mine.size(), kThreads * pygb::flightrec::kRingEvents);
+  std::map<std::uint16_t, std::uint64_t> last_seq_by_tid;
+  for (const Event& e : mine) {
+    // A torn slot would surface as a mixed payload; every surviving event
+    // must be internally consistent.
+    EXPECT_EQ(e.kind, EventKind::kModule);
+    EXPECT_LT(e.v1, static_cast<std::uint64_t>(kThreads));
+    EXPECT_LT(e.v0, kPerThread);
+    auto [it, fresh] = last_seq_by_tid.emplace(e.tid, e.seq);
+    if (!fresh) {
+      EXPECT_LT(it->second, e.seq);  // per-ring order preserved
+      it->second = e.seq;
+    }
+  }
+  EXPECT_EQ(last_seq_by_tid.size(), static_cast<std::size_t>(kThreads));
+}
+
+TEST(ObsFlightRec, DumpToFdIsReadableText) {
+  pygb::flightrec::record(EventKind::kBreaker, "frt_dump", 7, 9);
+  const fs::path path =
+      fs::temp_directory_path() / "pygb_flightrec_dump.txt";
+  const int fd =
+      ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  ASSERT_GE(fd, 0);
+  pygb::flightrec::dump_to_fd(fd, 512);
+  ::close(fd);
+  const std::string text = read_file(path);
+  fs::remove(path);
+  EXPECT_NE(text.find("frt_dump"), std::string::npos);
+  EXPECT_NE(text.find("breaker"), std::string::npos);
+}
+
+TEST(ObsFlightRec, BackendCodesRoundTrip) {
+  using namespace pygb::flightrec;
+  for (const char* name : {"static", "jit-memory", "jit-disk", "jit-compile",
+                           "jit-wait", "interp"}) {
+    const std::uint32_t code = backend_code(name);
+    EXPECT_NE(code, kBackendUnknown) << name;
+    EXPECT_STREQ(backend_name(code), name);
+  }
+  EXPECT_EQ(backend_code("martian"), kBackendUnknown);
+}
+
+// ---------------------------------------------------------------------------
+// Exporters
+// ---------------------------------------------------------------------------
+
+/// Pull the "required" counter names out of the checked-in schema without a
+/// JSON library: the counters.required array is the only string array in
+/// the file containing "registry_lookups".
+std::vector<std::string> schema_required_counters() {
+  const std::string schema =
+      read_file(fs::path(PYGB_TEST_SOURCE_DIR) / "pygb" /
+                "metrics_schema.json");
+  const std::size_t anchor = schema.find("registry_lookups");
+  EXPECT_NE(anchor, std::string::npos);
+  const std::size_t open = schema.rfind('[', anchor);
+  const std::size_t close = schema.find(']', anchor);
+  EXPECT_NE(open, std::string::npos);
+  EXPECT_NE(close, std::string::npos);
+  std::vector<std::string> names;
+  std::size_t pos = open;
+  while (true) {
+    const std::size_t q1 = schema.find('"', pos);
+    if (q1 == std::string::npos || q1 > close) break;
+    const std::size_t q2 = schema.find('"', q1 + 1);
+    names.push_back(schema.substr(q1 + 1, q2 - q1 - 1));
+    pos = q2 + 1;
+  }
+  return names;
+}
+
+TEST(ObsExportJson, SnapshotCarriesSchemaAndRequiredCounters) {
+  // Hermetic even when this test is the whole process (ctest runs each
+  // case under its own --gtest_filter): put an event in the recorder so
+  // the mirrored flight_events counter is provably nonzero.
+  pygb::flightrec::record(EventKind::kGovernor, "export_json_test");
+  pygb::obs::set_metrics_enabled(true);
+  pygb::obs::record_value("kernel_ns/mxm/static", 1000);
+  const std::string json = pygb::obs::metrics_json();
+  pygb::obs::set_metrics_enabled(false);
+
+  EXPECT_EQ(json.find("{\"schema\":\"pygb.metrics\",\"schema_version\":1,"),
+            0u);
+  const auto required = schema_required_counters();
+  ASSERT_FALSE(required.empty());
+  for (const std::string& name : required) {
+    EXPECT_NE(json.find("\"" + name + "\":"), std::string::npos)
+        << "exporter lost required counter " << name;
+  }
+  // flight_events mirrors the recorder, which is always on.
+  EXPECT_EQ(json.find("\"flight_events\":0"), std::string::npos);
+}
+
+TEST(ObsExportJson, StableKeysMatchCounterNames) {
+  const std::string json = pygb::obs::metrics_json();
+  for (unsigned i = 0; i < pygb::obs::kCounterCount; ++i) {
+    const char* name =
+        pygb::obs::counter_name(static_cast<pygb::obs::Counter>(i));
+    EXPECT_NE(json.find(std::string("\"") + name + "\":"),
+              std::string::npos)
+        << name;
+  }
+}
+
+/// Strict Prometheus text-format parser: every line must be a well-formed
+/// comment or sample, histogram buckets must be cumulative, and the +Inf
+/// bucket must equal _count.
+class PromParser {
+ public:
+  explicit PromParser(const std::string& text) : text_(text) {}
+
+  bool parse(std::string* error) {
+    std::istringstream in(text_);
+    std::string line;
+    int lineno = 0;
+    while (std::getline(in, line)) {
+      ++lineno;
+      if (line.empty()) {
+        *error = "blank line " + std::to_string(lineno);
+        return false;
+      }
+      if (line.rfind("# TYPE ", 0) == 0) {
+        if (!parse_type_line(line, error)) return false;
+        continue;
+      }
+      if (line[0] == '#') {
+        *error = "unknown comment at line " + std::to_string(lineno);
+        return false;
+      }
+      if (!parse_sample(line, error)) return false;
+    }
+    return check_histograms(error);
+  }
+
+ private:
+  static bool valid_name(const std::string& s) {
+    if (s.empty()) return false;
+    if (!std::isalpha(static_cast<unsigned char>(s[0])) && s[0] != '_') {
+      return false;
+    }
+    for (char c : s) {
+      if (!std::isalnum(static_cast<unsigned char>(c)) && c != '_' &&
+          c != ':') {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  bool parse_type_line(const std::string& line, std::string* error) {
+    std::istringstream in(line);
+    std::string hash, type_word, name, kind;
+    in >> hash >> type_word >> name >> kind;
+    if (!valid_name(name) ||
+        (kind != "counter" && kind != "gauge" && kind != "histogram" &&
+         kind != "summary" && kind != "untyped")) {
+      *error = "bad TYPE line: " + line;
+      return false;
+    }
+    types_[name] = kind;
+    return true;
+  }
+
+  bool parse_sample(const std::string& line, std::string* error) {
+    std::size_t pos = 0;
+    while (pos < line.size() &&
+           (std::isalnum(static_cast<unsigned char>(line[pos])) ||
+            line[pos] == '_' || line[pos] == ':')) {
+      ++pos;
+    }
+    const std::string name = line.substr(0, pos);
+    if (!valid_name(name)) {
+      *error = "bad metric name: " + line;
+      return false;
+    }
+    std::map<std::string, std::string> labels;
+    if (pos < line.size() && line[pos] == '{') {
+      ++pos;
+      while (pos < line.size() && line[pos] != '}') {
+        std::size_t eq = line.find('=', pos);
+        if (eq == std::string::npos || line[eq + 1] != '"') {
+          *error = "bad label in: " + line;
+          return false;
+        }
+        const std::string key = line.substr(pos, eq - pos);
+        if (!valid_name(key)) {
+          *error = "bad label name in: " + line;
+          return false;
+        }
+        std::string value;
+        std::size_t i = eq + 2;
+        while (i < line.size() && line[i] != '"') {
+          if (line[i] == '\\') {
+            if (i + 1 >= line.size()) break;
+            ++i;
+          }
+          value += line[i++];
+        }
+        if (i >= line.size()) {
+          *error = "unterminated label value in: " + line;
+          return false;
+        }
+        labels[key] = value;
+        pos = i + 1;
+        if (pos < line.size() && line[pos] == ',') ++pos;
+      }
+      if (pos >= line.size() || line[pos] != '}') {
+        *error = "unterminated label set in: " + line;
+        return false;
+      }
+      ++pos;
+    }
+    if (pos >= line.size() || line[pos] != ' ') {
+      *error = "missing value separator in: " + line;
+      return false;
+    }
+    const std::string value_str = line.substr(pos + 1);
+    double value = 0;
+    if (value_str == "+Inf") {
+      value = 1e308;
+    } else {
+      try {
+        std::size_t used = 0;
+        value = std::stod(value_str, &used);
+        if (used != value_str.size()) throw std::invalid_argument("");
+      } catch (...) {
+        *error = "bad sample value in: " + line;
+        return false;
+      }
+    }
+    samples_.push_back({name, labels, value});
+    return true;
+  }
+
+  struct Sample {
+    std::string name;
+    std::map<std::string, std::string> labels;
+    double value;
+  };
+
+  static std::string series_key(const Sample& s) {
+    std::string key;
+    for (const auto& [k, v] : s.labels) {
+      if (k == "le") continue;
+      key += k + "=" + v + ";";
+    }
+    return key;
+  }
+
+  bool check_histograms(std::string* error) {
+    // family+series -> buckets in emission order / count value
+    std::map<std::string, std::vector<Sample>> buckets;
+    std::map<std::string, double> counts;
+    for (const Sample& s : samples_) {
+      const bool is_bucket =
+          s.name.size() > 7 &&
+          s.name.compare(s.name.size() - 7, 7, "_bucket") == 0;
+      if (is_bucket) {
+        if (s.labels.find("le") == s.labels.end()) {
+          *error = s.name + " sample without le label";
+          return false;
+        }
+        buckets[s.name.substr(0, s.name.size() - 7) + "|" + series_key(s)]
+            .push_back(s);
+      } else if (s.name.size() > 6 &&
+                 s.name.compare(s.name.size() - 6, 6, "_count") == 0) {
+        counts[s.name.substr(0, s.name.size() - 6) + "|" + series_key(s)] =
+            s.value;
+      }
+    }
+    for (const auto& [key, series] : buckets) {
+      double prev = -1;
+      bool saw_inf = false;
+      for (const Sample& s : series) {
+        if (s.value < prev) {
+          *error = "non-cumulative buckets for " + key;
+          return false;
+        }
+        prev = s.value;
+        if (s.labels.at("le") == "+Inf") saw_inf = true;
+      }
+      if (!saw_inf) {
+        *error = "no +Inf bucket for " + key;
+        return false;
+      }
+      const auto count = counts.find(key);
+      if (count == counts.end() || count->second != series.back().value) {
+        *error = "+Inf bucket != _count for " + key;
+        return false;
+      }
+    }
+    return true;
+  }
+
+  std::string text_;
+  std::map<std::string, std::string> types_;
+  std::vector<Sample> samples_;
+};
+
+TEST(ObsExportProm, ExpositionParsesStrictly) {
+  pygb::obs::set_metrics_enabled(true);
+  for (std::uint64_t v : {100u, 2000u, 2000u, 40000u, 1u << 20}) {
+    pygb::obs::record_value("kernel_ns/mxm/static", v);
+    pygb::obs::record_value("kernel_ns/ewise_add_mm/interp", v * 2);
+    pygb::obs::record_value("compile_ns", v * 3);
+  }
+  const std::string text = pygb::obs::metrics_prometheus();
+  pygb::obs::set_metrics_enabled(false);
+
+  std::string error;
+  PromParser parser(text);
+  ASSERT_TRUE(parser.parse(&error)) << error << "\n--- exposition ---\n"
+                                    << text;
+  // The kernel family must be split into labels, not name-mangled.
+  EXPECT_NE(text.find("pygb_kernel_ns_bucket{func=\"mxm\","
+                      "backend=\"static\",le=\""),
+            std::string::npos);
+  EXPECT_NE(text.find("pygb_kernel_ns_count{func=\"ewise_add_mm\","
+                      "backend=\"interp\"}"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE pygb_registry_lookups_total counter"),
+            std::string::npos);
+}
+
+TEST(ObsExportProm, FlusherWritesAtomically) {
+  const fs::path dir =
+      fs::temp_directory_path() / "pygb_export_flush_test";
+  fs::create_directories(dir);
+  const fs::path json_path = dir / "metrics.json";
+  const fs::path prom_path = dir / "metrics.prom";
+  pygb::obs::set_export_paths(json_path.string(), prom_path.string());
+  EXPECT_EQ(pygb::obs::flush_metrics_files(), 2);
+  pygb::obs::set_export_paths("", "");
+
+  const std::string json = read_file(json_path);
+  EXPECT_NE(json.find("\"schema\":\"pygb.metrics\""), std::string::npos);
+  std::string error;
+  PromParser parser(read_file(prom_path));
+  EXPECT_TRUE(parser.parse(&error)) << error;
+  // No tmp litter left behind by the atomic rename.
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    EXPECT_EQ(entry.path().string().find(".tmp."), std::string::npos);
+  }
+  fs::remove_all(dir);
+}
+
+// ---------------------------------------------------------------------------
+// Crash reports
+// ---------------------------------------------------------------------------
+
+TEST(ObsCrash, ReportRendersAllSectionsInProcess) {
+  pygb::flightrec::record(EventKind::kOpEnd, "crash_ctx", 42, 0x1234,
+                          pygb::flightrec::kBackendInterp);
+  const fs::path path = fs::temp_directory_path() / "pygb_crash_render.txt";
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  ASSERT_GE(fd, 0);
+  pygb::crash::detail::write_report(
+      fd, SIGSEGV, reinterpret_cast<const void*>(0xdead));
+  ::close(fd);
+  const std::string report = read_file(path);
+  fs::remove(path);
+
+  EXPECT_EQ(report.find("pygb crash report"), 0u);
+  EXPECT_NE(report.find("schema: pygb.crash"), std::string::npos);
+  EXPECT_NE(report.find("signal: 11 (SIGSEGV)"), std::string::npos);
+  EXPECT_NE(report.find("fault_addr: 0x000000000000dead"),
+            std::string::npos);
+  EXPECT_NE(report.find("active_op:"), std::string::npos);
+  EXPECT_NE(report.find("span_stack:"), std::string::npos);
+  EXPECT_NE(report.find("backtrace:"), std::string::npos);
+  EXPECT_NE(report.find("jit_frames:"), std::string::npos);
+  EXPECT_NE(report.find("counters:"), std::string::npos);
+  EXPECT_NE(report.find("flight_recorder:"), std::string::npos);
+  EXPECT_NE(report.find("crash_ctx"), std::string::npos);
+  const std::string tail = "end of report\n";
+  ASSERT_GE(report.size(), tail.size());
+  EXPECT_EQ(report.substr(report.size() - tail.size()), tail);
+}
+
+std::vector<fs::path> report_files(const fs::path& dir) {
+  std::vector<fs::path> out;
+  if (!fs::exists(dir)) return out;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (entry.path().extension() == ".report") out.push_back(entry.path());
+  }
+  return out;
+}
+
+TEST(ObsCrash, ForkedChildCrashLeavesOneCompleteReport) {
+  const fs::path dir = fs::temp_directory_path() / "pygb_crash_fork_test";
+  fs::remove_all(dir);
+  const pid_t pid = fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    pygb::crash::install(dir.c_str());
+    volatile int* bad = nullptr;
+    *bad = 1;  // SIGSEGV
+    _exit(97);  // unreachable
+  }
+  int status = 0;
+  ASSERT_EQ(waitpid(pid, &status, 0), pid);
+  EXPECT_TRUE(WIFSIGNALED(status));
+  EXPECT_EQ(WTERMSIG(status), SIGSEGV);
+
+  const auto reports = report_files(dir);
+  ASSERT_EQ(reports.size(), 1u);
+  const std::string report = read_file(reports[0]);
+  EXPECT_NE(report.find("signal: 11 (SIGSEGV)"), std::string::npos);
+  EXPECT_NE(report.find("end of report\n"), std::string::npos);
+  fs::remove_all(dir);
+}
+
+TEST(ObsCrash, ConcurrentCrashersProduceExactlyOneReport) {
+  const fs::path dir = fs::temp_directory_path() / "pygb_crash_conc_test";
+  fs::remove_all(dir);
+  const pid_t pid = fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    pygb::crash::install(dir.c_str());
+    constexpr int kCrashers = 4;
+    std::atomic<int> ready{0};
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kCrashers; ++t) {
+      threads.emplace_back([&ready] {
+        ready.fetch_add(1);
+        while (ready.load() < kCrashers) {
+        }
+        volatile int* bad = nullptr;
+        *bad = 1;  // all threads fault as close to simultaneously as we can
+      });
+    }
+    for (auto& th : threads) th.join();  // never returns: process dies
+    _exit(97);
+  }
+  int status = 0;
+  ASSERT_EQ(waitpid(pid, &status, 0), pid);
+  EXPECT_TRUE(WIFSIGNALED(status));
+  EXPECT_EQ(WTERMSIG(status), SIGSEGV);
+
+  const auto reports = report_files(dir);
+  ASSERT_EQ(reports.size(), 1u) << "concurrent crashers must not race "
+                                   "multiple or torn reports into the dir";
+  const std::string report = read_file(reports[0]);
+  EXPECT_NE(report.find("pygb crash report"), std::string::npos);
+  const std::string tail = "end of report\n";
+  ASSERT_GE(report.size(), tail.size());
+  EXPECT_EQ(report.substr(report.size() - tail.size()), tail)
+      << "report must be complete, not truncated by a racing crasher";
+  fs::remove_all(dir);
+}
+
+}  // namespace

@@ -8,6 +8,7 @@
 #include <cctype>
 #include <filesystem>
 #include <fstream>
+#include <memory>
 #include <set>
 #include <string>
 #include <string_view>
@@ -528,6 +529,55 @@ TEST_F(ObsPipelineTrace, ColdJitDispatchTracesCompileStages) {
     EXPECT_TRUE(names.count(stage)) << "missing pipeline span: " << stage;
   }
   EXPECT_TRUE(JsonValidator(obs::chrome_trace_json()).valid());
+}
+
+// ---------------------------------------------------------------------------
+// Span stack (the crash handler's "what was this thread doing" context)
+// ---------------------------------------------------------------------------
+
+using ObsSpanStack = ObsTest;
+
+TEST_F(ObsSpanStack, TracksNestingForCrashReports) {
+  const char* names[obs::detail::kSpanStackMax];
+  EXPECT_EQ(obs::span_stack_unsafe(names, obs::detail::kSpanStackMax), 0);
+
+  obs::set_tracing_enabled(true);
+  {
+    obs::Span outer("outer.op");
+    {
+      obs::Span inner("inner.kernel");
+      const int depth =
+          obs::span_stack_unsafe(names, obs::detail::kSpanStackMax);
+      ASSERT_EQ(depth, 2);
+      EXPECT_STREQ(names[0], "outer.op");
+      EXPECT_STREQ(names[1], "inner.kernel");
+    }
+    EXPECT_EQ(obs::span_stack_unsafe(names, obs::detail::kSpanStackMax), 1);
+    EXPECT_STREQ(names[0], "outer.op");
+  }
+  obs::set_tracing_enabled(false);
+  EXPECT_EQ(obs::span_stack_unsafe(names, obs::detail::kSpanStackMax), 0);
+}
+
+TEST_F(ObsSpanStack, OverflowReportsTrueDepthButCapsNames) {
+  obs::set_tracing_enabled(true);
+  {
+    std::vector<std::unique_ptr<obs::Span>> spans;
+    const int kOver = obs::detail::kSpanStackMax + 4;
+    for (int i = 0; i < kOver; ++i) {
+      spans.push_back(std::make_unique<obs::Span>("deep.span"));
+    }
+    const char* names[obs::detail::kSpanStackMax];
+    const int depth =
+        obs::span_stack_unsafe(names, obs::detail::kSpanStackMax);
+    EXPECT_EQ(depth, kOver);  // true depth, even past the name cap
+    for (int i = 0; i < obs::detail::kSpanStackMax; ++i) {
+      EXPECT_STREQ(names[i], "deep.span");
+    }
+    spans.clear();
+    EXPECT_EQ(obs::span_stack_unsafe(names, obs::detail::kSpanStackMax), 0);
+  }
+  obs::set_tracing_enabled(false);
 }
 
 }  // namespace

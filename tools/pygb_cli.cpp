@@ -15,6 +15,17 @@
 //                --stats           print the end-of-run metrics summary
 //                                  (kernel-time histograms, cache hit
 //                                  ratio, compile seconds)
+//                --stats-json      machine-readable twin of --stats: the
+//                                  schema-versioned pygb.metrics JSON on
+//                                  stdout (same key names as the exporter;
+//                                  the human report moves to stderr)
+//                --metrics-json F  write the pygb.metrics JSON snapshot to
+//                                  F after the run ("-" = stdout)
+//                --metrics-prom F  write the Prometheus text exposition to
+//                                  F after the run ("-" = stdout)
+//                --crash-dir DIR   install the crash handler; a fatal
+//                                  signal writes an attribution report
+//                                  into DIR (same as PYGB_CRASH_DIR)
 //                --faults SPEC     arm deterministic fault injection for
 //                                  chaos runs, e.g. "compile:hang:p=1,
 //                                  seed=42" (same grammar as PYGB_FAULTS;
@@ -52,6 +63,8 @@
 #include "pygb/faultinj.hpp"
 #include "pygb/governor.hpp"
 #include "pygb/jit/cache.hpp"
+#include "pygb/obs/crash.hpp"
+#include "pygb/obs/export.hpp"
 #include "pygb/obs/obs.hpp"
 #include "pygb/pygb.hpp"
 
@@ -69,6 +82,10 @@ struct Options {
   std::size_t top = 10;
   std::string trace_path;
   bool stats = false;
+  bool stats_json = false;
+  std::string metrics_json_path;
+  std::string metrics_prom_path;
+  std::string crash_dir;
   std::string faults;
   std::uint64_t mem_limit = 0;   // 0 = unlimited
   std::uint64_t op_timeout = 0;  // 0 = no deadline
@@ -83,6 +100,9 @@ struct Options {
          "  --source N   --damping X   --threshold X\n"
          "  --tier dsl|whole|native    --top K\n"
          "  --trace FILE (Chrome trace JSON)   --stats (metrics summary)\n"
+         "  --stats-json (metrics snapshot as pygb.metrics JSON on stdout)\n"
+         "  --metrics-json FILE  --metrics-prom FILE ('-' = stdout)\n"
+         "  --crash-dir DIR (crash attribution reports; PYGB_CRASH_DIR)\n"
          "  --faults SPEC (deterministic fault injection; PYGB_FAULTS "
          "grammar)\n"
          "  --mem-limit BYTES (governor budget; PYGB_MEM_LIMIT_BYTES)\n"
@@ -115,6 +135,14 @@ Options parse(int argc, char** argv) {
       o.trace_path = value();
     } else if (flag == "--stats") {
       o.stats = true;
+    } else if (flag == "--stats-json") {
+      o.stats_json = true;
+    } else if (flag == "--metrics-json") {
+      o.metrics_json_path = value();
+    } else if (flag == "--metrics-prom") {
+      o.metrics_prom_path = value();
+    } else if (flag == "--crash-dir") {
+      o.crash_dir = value();
     } else if (flag == "--faults") {
       o.faults = value();
     } else if (flag == "--mem-limit") {
@@ -292,7 +320,17 @@ int main(int argc, char** argv) {
   }
   const Options o = parse(argc, argv);
   if (!o.trace_path.empty()) pygb::obs::set_tracing_enabled(true);
-  if (o.stats) pygb::obs::set_metrics_enabled(true);
+  if (o.stats || o.stats_json || !o.metrics_json_path.empty() ||
+      !o.metrics_prom_path.empty()) {
+    pygb::obs::set_metrics_enabled(true);
+  }
+  if (!o.crash_dir.empty()) pygb::crash::install(o.crash_dir.c_str());
+  // Machine output on stdout (--stats-json, or a "-" metrics destination)
+  // must stay parseable: route the human report to stderr for those runs.
+  const bool machine_stdout = o.stats_json || o.metrics_json_path == "-" ||
+                              o.metrics_prom_path == "-";
+  std::streambuf* const human_buf = std::cout.rdbuf();
+  if (machine_stdout) std::cout.rdbuf(std::cerr.rdbuf());
   try {
     if (!o.faults.empty()) pygb::faultinj::configure(o.faults);
     if (o.mem_limit != 0) pygb::governor::set_mem_limit_bytes(o.mem_limit);
@@ -322,24 +360,48 @@ int main(int argc, char** argv) {
 
     if (o.stats) {
       std::cout << pygb::obs::metrics_summary();
-    } else {
+    } else if (!o.stats_json) {
       const auto st = pygb::jit::Registry::instance().stats();
       std::cout << "[dispatch: " << st.lookups << " ops, " << st.static_hits
                 << " static, " << st.memory_hits << " memory, "
                 << st.disk_hits << " disk, " << st.compiles << " compiled, "
                 << st.interp_dispatches << " interpreted]\n";
     }
+    std::cout.rdbuf(human_buf);  // end of the human report
+    if (o.stats_json) {
+      std::cout << pygb::obs::metrics_json() << "\n";
+    }
+    const auto emit_metrics = [](const std::string& dest,
+                                 const std::string& content) {
+      if (dest == "-") {
+        std::cout << content;
+        return;
+      }
+      std::string error;
+      if (!pygb::obs::write_file_atomic(dest, content, &error)) {
+        std::cerr << "error writing metrics to " << dest << ": " << error
+                  << "\n";
+      }
+    };
+    if (!o.metrics_json_path.empty()) {
+      emit_metrics(o.metrics_json_path, pygb::obs::metrics_json() + "\n");
+    }
+    if (!o.metrics_prom_path.empty()) {
+      emit_metrics(o.metrics_prom_path, pygb::obs::metrics_prometheus());
+    }
     if (!o.trace_path.empty()) {
       std::string error;
       if (pygb::obs::write_chrome_trace(o.trace_path, &error)) {
-        std::cout << "trace written to " << o.trace_path << " ("
-                  << pygb::obs::trace_event_count() << " events)\n";
+        (machine_stdout ? std::cerr : std::cout)
+            << "trace written to " << o.trace_path << " ("
+            << pygb::obs::trace_event_count() << " events)\n";
       } else {
         std::cerr << "error writing trace: " << error << "\n";
       }
     }
     return rc;
   } catch (const std::exception& e) {
+    std::cout.rdbuf(human_buf);
     std::cerr << "error: " << e.what() << "\n";
     return 1;
   }
