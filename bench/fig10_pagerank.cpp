@@ -23,6 +23,39 @@ void BM_PageRank_PyGB_PythonLoops(benchmark::State& state) {
   fig10::annotate(state, graph.nvals());
 }
 
+/// DSL tier with the lazy op DAG on: the four-value-op iteration body is
+/// fused into one chain kernel per iteration (docs/FUSION.md).
+void BM_PageRank_DSL_FusedDAG(benchmark::State& state) {
+  const auto n = static_cast<gbtl::IndexType>(state.range(0));
+  const Matrix& graph = fig10::paper_matrix(n, false);
+  fig10::PyOverheadGuard overhead(true);
+  const bool saved = fusion::enabled();
+  fusion::set_enabled(true);
+  for (auto _ : state) {
+    Vector rank = algo::dsl_page_rank(graph);
+    benchmark::DoNotOptimize(rank.nvals());
+  }
+  fusion::set_enabled(saved);
+  fig10::annotate(state, graph.nvals());
+}
+
+/// Same DSL tier with fusion disabled: one dispatch per operation — the
+/// unfused baseline the fused series is compared against in CI
+/// (scripts/bench_compare.py).
+void BM_PageRank_DSL_Unfused(benchmark::State& state) {
+  const auto n = static_cast<gbtl::IndexType>(state.range(0));
+  const Matrix& graph = fig10::paper_matrix(n, false);
+  fig10::PyOverheadGuard overhead(true);
+  const bool saved = fusion::enabled();
+  fusion::set_enabled(false);
+  for (auto _ : state) {
+    Vector rank = algo::dsl_page_rank(graph);
+    benchmark::DoNotOptimize(rank.nvals());
+  }
+  fusion::set_enabled(saved);
+  fig10::annotate(state, graph.nvals());
+}
+
 void BM_PageRank_PyGB_CppAlgorithm(benchmark::State& state) {
   const auto n = static_cast<gbtl::IndexType>(state.range(0));
   const Matrix& graph = fig10::paper_matrix(n, false);
@@ -73,6 +106,14 @@ BENCHMARK(BM_PageRank_ThreadSweep)
     ->Unit(benchmark::kMillisecond);
 
 BENCHMARK(BM_PageRank_PyGB_PythonLoops)
+    ->RangeMultiplier(2)
+    ->Range(128, 4096)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_PageRank_DSL_FusedDAG)
+    ->RangeMultiplier(2)
+    ->Range(128, 4096)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_PageRank_DSL_Unfused)
     ->RangeMultiplier(2)
     ->Range(128, 4096)
     ->Unit(benchmark::kMillisecond);

@@ -71,6 +71,13 @@ Vector dsl_page_rank(const Matrix& graph, double damping_factor,
   Vector new_rank(rows, DType::kFP64);
   Vector delta(rows, DType::kFP64);
 
+  // The iteration body is recorded on the lazy DAG: the four value ops
+  // (vxm, apply, eWiseAdd, eWiseMult) fuse into one chain kernel per
+  // iteration, flushed by the reduce() below. The chain signature is the
+  // same every iteration, so the module compiles once and the cache serves
+  // it from the second iteration on. The page_rank copy stays an eager
+  // assign so the chain shape never varies.
+  fusion::LazyScope lazy;
   for (unsigned i = 0; i < max_iters; ++i) {
     {
       With ctx(Accumulator("Second"), Semiring(PlusMonoid(), "Times"));

@@ -5,6 +5,15 @@
 #include "io/coo_text.hpp"
 #include "io/matrix_market.hpp"
 #include "pygb/eval.hpp"
+#include "pygb/plan.hpp"
+
+// Lazy-DAG discipline (docs/FUSION.md): every element-level reader is a
+// materialization point (fusion::detail::sync_read flushes pending deferred
+// ops that involve this container), and every element-level mutator is a
+// barrier plus a snapshot point (fusion::detail::sync_write also gives any
+// live deferred expression reading this container a private copy of the
+// pre-mutation values). Dimension getters are exempt: deferred ops never
+// resize a container.
 
 namespace pygb {
 
@@ -116,6 +125,7 @@ gbtl::IndexType Matrix::ncols() const {
 }
 
 std::size_t Matrix::nvals() const {
+  fusion::detail::sync_read(raw());
   return visit_dtype(dtype_, [&](auto tag) {
     using T = typename decltype(tag)::type;
     return typed<T>().nvals();
@@ -123,6 +133,7 @@ std::size_t Matrix::nvals() const {
 }
 
 bool Matrix::has_element(gbtl::IndexType i, gbtl::IndexType j) const {
+  fusion::detail::sync_read(raw());
   return visit_dtype(dtype_, [&](auto tag) {
     using T = typename decltype(tag)::type;
     return typed<T>().hasElement(i, j);
@@ -130,6 +141,7 @@ bool Matrix::has_element(gbtl::IndexType i, gbtl::IndexType j) const {
 }
 
 Scalar Matrix::get_element(gbtl::IndexType i, gbtl::IndexType j) const {
+  fusion::detail::sync_read(raw());
   return visit_dtype(dtype_, [&](auto tag) {
     using T = typename decltype(tag)::type;
     return Scalar(typed<T>().extractElement(i, j));
@@ -141,6 +153,7 @@ double Matrix::get(gbtl::IndexType i, gbtl::IndexType j) const {
 }
 
 void Matrix::set(gbtl::IndexType i, gbtl::IndexType j, Scalar v) {
+  fusion::detail::sync_write(raw());
   visit_dtype(dtype_, [&](auto tag) {
     using T = typename decltype(tag)::type;
     typed<T>().setElement(i, j, v.as<T>());
@@ -148,6 +161,7 @@ void Matrix::set(gbtl::IndexType i, gbtl::IndexType j, Scalar v) {
 }
 
 void Matrix::remove_element(gbtl::IndexType i, gbtl::IndexType j) {
+  fusion::detail::sync_write(raw());
   visit_dtype(dtype_, [&](auto tag) {
     using T = typename decltype(tag)::type;
     typed<T>().removeElement(i, j);
@@ -155,6 +169,7 @@ void Matrix::remove_element(gbtl::IndexType i, gbtl::IndexType j) {
 }
 
 void Matrix::clear() {
+  fusion::detail::sync_write(raw());
   visit_dtype(dtype_, [&](auto tag) {
     using T = typename decltype(tag)::type;
     typed<T>().clear();
@@ -162,6 +177,7 @@ void Matrix::clear() {
 }
 
 Matrix Matrix::dup() const {
+  fusion::detail::sync_read(raw());
   Matrix out(nrows(), ncols(), dtype_);
   visit_dtype(dtype_, [&](auto tag) {
     using T = typename decltype(tag)::type;
@@ -171,6 +187,7 @@ Matrix Matrix::dup() const {
 }
 
 Matrix Matrix::astype(DType dtype) const {
+  fusion::detail::sync_read(raw());
   if (dtype == dtype_) return dup();
   Matrix out(nrows(), ncols(), dtype);
   visit_dtype(dtype_, [&](auto src_tag) {
@@ -192,6 +209,7 @@ Matrix Matrix::astype(DType dtype) const {
 }
 
 io::Coo Matrix::to_coo() const {
+  fusion::detail::sync_read(raw());
   return visit_dtype(dtype_, [&](auto tag) {
     using T = typename decltype(tag)::type;
     return io::from_matrix(typed<T>());
@@ -200,6 +218,8 @@ io::Coo Matrix::to_coo() const {
 
 bool Matrix::equals(const Matrix& other) const {
   if (!defined() || !other.defined()) return defined() == other.defined();
+  fusion::detail::sync_read(raw());
+  fusion::detail::sync_read(other.raw());
   if (dtype_ != other.dtype_) return false;
   return visit_dtype(dtype_, [&](auto tag) {
     using T = typename decltype(tag)::type;
@@ -281,6 +301,7 @@ gbtl::IndexType Vector::size() const {
 }
 
 std::size_t Vector::nvals() const {
+  fusion::detail::sync_read(raw());
   return visit_dtype(dtype_, [&](auto tag) {
     using T = typename decltype(tag)::type;
     return typed<T>().nvals();
@@ -288,6 +309,7 @@ std::size_t Vector::nvals() const {
 }
 
 bool Vector::has_element(gbtl::IndexType i) const {
+  fusion::detail::sync_read(raw());
   return visit_dtype(dtype_, [&](auto tag) {
     using T = typename decltype(tag)::type;
     return typed<T>().hasElement(i);
@@ -295,6 +317,7 @@ bool Vector::has_element(gbtl::IndexType i) const {
 }
 
 Scalar Vector::get_element(gbtl::IndexType i) const {
+  fusion::detail::sync_read(raw());
   return visit_dtype(dtype_, [&](auto tag) {
     using T = typename decltype(tag)::type;
     return Scalar(typed<T>().extractElement(i));
@@ -306,6 +329,7 @@ double Vector::get(gbtl::IndexType i) const {
 }
 
 void Vector::set(gbtl::IndexType i, Scalar v) {
+  fusion::detail::sync_write(raw());
   visit_dtype(dtype_, [&](auto tag) {
     using T = typename decltype(tag)::type;
     typed<T>().setElement(i, v.as<T>());
@@ -313,6 +337,7 @@ void Vector::set(gbtl::IndexType i, Scalar v) {
 }
 
 void Vector::remove_element(gbtl::IndexType i) {
+  fusion::detail::sync_write(raw());
   visit_dtype(dtype_, [&](auto tag) {
     using T = typename decltype(tag)::type;
     typed<T>().removeElement(i);
@@ -320,6 +345,7 @@ void Vector::remove_element(gbtl::IndexType i) {
 }
 
 void Vector::clear() {
+  fusion::detail::sync_write(raw());
   visit_dtype(dtype_, [&](auto tag) {
     using T = typename decltype(tag)::type;
     typed<T>().clear();
@@ -327,6 +353,7 @@ void Vector::clear() {
 }
 
 Vector Vector::dup() const {
+  fusion::detail::sync_read(raw());
   Vector out(size(), dtype_);
   visit_dtype(dtype_, [&](auto tag) {
     using T = typename decltype(tag)::type;
@@ -336,6 +363,7 @@ Vector Vector::dup() const {
 }
 
 Vector Vector::astype(DType dtype) const {
+  fusion::detail::sync_read(raw());
   if (dtype == dtype_) return dup();
   Vector out(size(), dtype);
   visit_dtype(dtype_, [&](auto src_tag) {
@@ -356,6 +384,8 @@ Vector Vector::astype(DType dtype) const {
 
 bool Vector::equals(const Vector& other) const {
   if (!defined() || !other.defined()) return defined() == other.defined();
+  fusion::detail::sync_read(raw());
+  fusion::detail::sync_read(other.raw());
   if (dtype_ != other.dtype_) return false;
   return visit_dtype(dtype_, [&](auto tag) {
     using T = typename decltype(tag)::type;

@@ -14,6 +14,7 @@
 #include "pygb/jit/registry.hpp"
 #include "pygb/obs/flightrec.hpp"
 #include "pygb/obs/obs.hpp"
+#include "pygb/plan.hpp"
 
 namespace pygb {
 
@@ -258,6 +259,31 @@ void fill_from_node(OpRequest& req, KernelArgs& args, const ExprNode& node) {
   }
 }
 
+/// True when the expression node reads the container at `raw` (the
+/// &out == &in check for `w = A @ w` / `C = C + A` shapes).
+bool node_reads(const ExprNode& node, const void* raw) {
+  return (node.ma && node.ma->raw() == raw) ||
+         (node.mb && node.mb->raw() == raw) ||
+         (node.va && node.va->raw() == raw) ||
+         (node.vb && node.vb->raw() == raw);
+}
+
+// Commit half of the aliased-output staging: move the staged result into
+// the target's underlying container, so every shared handle observes it.
+void move_contents(Matrix& target, Matrix& staged) {
+  visit_dtype(target.dtype(), [&](auto tag) {
+    using T = typename decltype(tag)::type;
+    target.typed<T>() = std::move(staged.typed<T>());
+  });
+}
+
+void move_contents(Vector& target, Vector& staged) {
+  visit_dtype(target.dtype(), [&](auto tag) {
+    using T = typename decltype(tag)::type;
+    target.typed<T>() = std::move(staged.typed<T>());
+  });
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -319,6 +345,30 @@ void dispatch(OpRequest& req, KernelArgs& args) {
 void eval_into(Matrix& target, const MatrixMaskArg& mask,
                const std::optional<Accumulator>& accum, bool replace,
                const ExprNode& node) {
+  fusion::detail::sync_point();
+  // A bare container reference (`C[None] (+)= A`, or the lazy DAG replaying
+  // a deferred copy) is an assign, not an apply: the assign dispatch keys
+  // are the ones the static table curates for accum/mask merges.
+  if (node.kind == ExprNode::Kind::kMatrixRef && !node.user_unary &&
+      !node.a_transposed) {
+    assign_container(target, mask, accum, replace, *node.ma, nullptr, nullptr);
+    return;
+  }
+  // Output aliasing (`C = C + A`, `C = A @ C`): run the op with its normal
+  // dispatch key, but write into a duplicate of the target (so accum/mask
+  // merge semantics see the same prior contents), then commit the result
+  // back with a single move. The operand reads keep hitting the original.
+  if (node_reads(node, target.raw())) {
+    Matrix tmp = target.dup();
+    eval_into(tmp, mask, accum, replace, node);
+    move_contents(target, tmp);
+    return;
+  }
+  MatrixMaskArg safe_mask = mask;
+  if (safe_mask.kind != MatrixMaskArg::Kind::kNone &&
+      safe_mask.m->raw() == target.raw()) {
+    safe_mask.m = std::make_shared<const Matrix>(safe_mask.m->dup());
+  }
   obs::Span span("pygb.eval");
   if (span.active()) {
     span.attr("target", "matrix")
@@ -330,7 +380,7 @@ void eval_into(Matrix& target, const MatrixMaskArg& mask,
   args.c = target.raw();
   args.replace = replace;
   if (accum) req.accum = accum->op();
-  const auto pm = prepare_mask(mask);
+  const auto pm = prepare_mask(safe_mask);
   req.mask = pm.kind;
   args.mask = pm.ptr;
   fill_from_node(req, args, node);
@@ -345,6 +395,22 @@ void eval_into(Matrix& target, const MatrixMaskArg& mask,
 void eval_into(Vector& target, const VectorMaskArg& mask,
                const std::optional<Accumulator>& accum, bool replace,
                const ExprNode& node) {
+  fusion::detail::sync_point();
+  if (node.kind == ExprNode::Kind::kVectorRef && !node.user_unary) {
+    assign_container(target, mask, accum, replace, *node.va, nullptr);
+    return;
+  }
+  if (node_reads(node, target.raw())) {
+    Vector tmp = target.dup();
+    eval_into(tmp, mask, accum, replace, node);
+    move_contents(target, tmp);
+    return;
+  }
+  VectorMaskArg safe_mask = mask;
+  if (safe_mask.kind != VectorMaskArg::Kind::kNone &&
+      safe_mask.m->raw() == target.raw()) {
+    safe_mask.m = std::make_shared<const Vector>(safe_mask.m->dup());
+  }
   obs::Span span("pygb.eval");
   if (span.active()) {
     span.attr("target", "vector")
@@ -356,7 +422,7 @@ void eval_into(Vector& target, const VectorMaskArg& mask,
   args.c = target.raw();
   args.replace = replace;
   if (accum) req.accum = accum->op();
-  const auto pm = prepare_mask(mask);
+  const auto pm = prepare_mask(safe_mask);
   req.mask = pm.kind;
   args.mask = pm.ptr;
   fill_from_node(req, args, node);
@@ -375,6 +441,7 @@ void assign_constant(Matrix& target, const MatrixMaskArg& mask,
                      const std::optional<Accumulator>& accum, bool replace,
                      Scalar value, const gbtl::IndexArray* rows,
                      const gbtl::IndexArray* cols) {
+  fusion::detail::sync_point();
   OpRequest req;
   KernelArgs args;
   req.func = jit::func::kAssignMS;
@@ -395,13 +462,16 @@ void assign_container(Matrix& target, const MatrixMaskArg& mask,
                       const std::optional<Accumulator>& accum, bool replace,
                       const Matrix& a, const gbtl::IndexArray* rows,
                       const gbtl::IndexArray* cols) {
+  fusion::detail::sync_point();
+  // Self-assignment (`C[...] = C`): snapshot the source first.
+  const Matrix src = a.raw() == target.raw() ? a.dup() : a;
   OpRequest req;
   KernelArgs args;
   req.func = jit::func::kAssignMM;
   req.c = target.dtype();
-  req.a = a.dtype();
+  req.a = src.dtype();
   args.c = target.raw();
-  args.a = a.raw();
+  args.a = src.raw();
   args.replace = replace;
   if (accum) req.accum = accum->op();
   const auto pm = prepare_mask(mask);
@@ -415,6 +485,7 @@ void assign_container(Matrix& target, const MatrixMaskArg& mask,
 void assign_constant(Vector& target, const VectorMaskArg& mask,
                      const std::optional<Accumulator>& accum, bool replace,
                      Scalar value, const gbtl::IndexArray* idx) {
+  fusion::detail::sync_point();
   OpRequest req;
   KernelArgs args;
   req.func = jit::func::kAssignVS;
@@ -433,13 +504,15 @@ void assign_constant(Vector& target, const VectorMaskArg& mask,
 void assign_container(Vector& target, const VectorMaskArg& mask,
                       const std::optional<Accumulator>& accum, bool replace,
                       const Vector& u, const gbtl::IndexArray* idx) {
+  fusion::detail::sync_point();
+  const Vector src = u.raw() == target.raw() ? u.dup() : u;
   OpRequest req;
   KernelArgs args;
   req.func = jit::func::kAssignVV;
   req.c = target.dtype();
-  req.a = u.dtype();
+  req.a = src.dtype();
   args.c = target.raw();
-  args.a = u.raw();
+  args.a = src.raw();
   args.replace = replace;
   if (accum) req.accum = accum->op();
   const auto pm = prepare_mask(mask);
@@ -452,6 +525,7 @@ void assign_container(Vector& target, const VectorMaskArg& mask,
 Matrix extract_sub(const Matrix& a, const gbtl::IndexArray* rows,
                    const gbtl::IndexArray* cols, gbtl::IndexType out_rows,
                    gbtl::IndexType out_cols) {
+  fusion::detail::sync_point();
   Matrix out(out_rows, out_cols, a.dtype());
   OpRequest req;
   KernelArgs args;
@@ -468,6 +542,7 @@ Matrix extract_sub(const Matrix& a, const gbtl::IndexArray* rows,
 
 Vector extract_sub(const Vector& u, const gbtl::IndexArray* idx,
                    gbtl::IndexType out_size) {
+  fusion::detail::sync_point();
   Vector out(out_size, u.dtype());
   OpRequest req;
   KernelArgs args;
@@ -486,6 +561,7 @@ Vector extract_sub(const Vector& u, const gbtl::IndexArray* idx,
 // ---------------------------------------------------------------------------
 
 Scalar reduce_scalar(const Matrix& a, const Monoid& monoid) {
+  fusion::detail::sync_point();
   OpRequest req;
   KernelArgs args;
   jit::ScalarSlot slot;
@@ -500,6 +576,7 @@ Scalar reduce_scalar(const Matrix& a, const Monoid& monoid) {
 }
 
 Scalar reduce_scalar(const Vector& u, const Monoid& monoid) {
+  fusion::detail::sync_point();
   OpRequest req;
   KernelArgs args;
   jit::ScalarSlot slot;
@@ -519,6 +596,7 @@ Scalar reduce_scalar(const Vector& u, const Monoid& monoid) {
 
 gbtl::IndexType dispatch_algo_bfs(const Matrix& graph,
                                   const Vector& frontier, Vector& levels) {
+  fusion::detail::sync_point();
   const Vector frontier_bool = frontier.dtype() == DType::kBool
                                    ? frontier
                                    : frontier.astype(DType::kBool);
@@ -538,6 +616,7 @@ gbtl::IndexType dispatch_algo_bfs(const Matrix& graph,
 }
 
 void dispatch_algo_sssp(const Matrix& graph, Vector& path) {
+  fusion::detail::sync_point();
   OpRequest req;
   KernelArgs args;
   req.func = jit::func::kAlgoSssp;
@@ -551,6 +630,7 @@ void dispatch_algo_sssp(const Matrix& graph, Vector& path) {
 unsigned dispatch_algo_pagerank(const Matrix& graph, Vector& rank,
                                 double damping, double threshold,
                                 unsigned max_iters) {
+  fusion::detail::sync_point();
   OpRequest req;
   KernelArgs args;
   jit::ScalarSlot slot;
@@ -568,6 +648,7 @@ unsigned dispatch_algo_pagerank(const Matrix& graph, Vector& rank,
 }
 
 gbtl::IndexType dispatch_algo_cc(const Matrix& graph, Vector& labels) {
+  fusion::detail::sync_point();
   OpRequest req;
   KernelArgs args;
   jit::ScalarSlot slot;
@@ -582,6 +663,7 @@ gbtl::IndexType dispatch_algo_cc(const Matrix& graph, Vector& labels) {
 }
 
 Scalar dispatch_algo_tc(const Matrix& lower) {
+  fusion::detail::sync_point();
   OpRequest req;
   KernelArgs args;
   jit::ScalarSlot slot;
@@ -623,15 +705,35 @@ Accumulator iadd_accumulator() {
   return Accumulator(BinaryOp("Plus"));
 }
 
+/// Heap-shared ref node for deferring container copies (`w[None] = v`).
+/// Only built when a lazy scope is active — eager assignments keep the
+/// stack-allocated ref_node path.
+std::shared_ptr<const detail::ExprNode> shared_ref_node(const Matrix& a) {
+  return std::make_shared<const detail::ExprNode>(ref_node(a));
+}
+
+std::shared_ptr<const detail::ExprNode> shared_ref_node(const Vector& u) {
+  return std::make_shared<const detail::ExprNode>(ref_node(u));
+}
+
 }  // namespace
 
 MaskedMatrix& MaskedMatrix::operator=(const MatrixExpr& expr) {
+  if (fusion::detail::try_defer(target_, mask_, std::nullopt,
+                                current_replace(), expr.share_node())) {
+    return *this;
+  }
   detail::eval_into(target_, mask_, std::nullopt, current_replace(),
                     expr.node());
   return *this;
 }
 
 MaskedMatrix& MaskedMatrix::operator=(const Matrix& a) {
+  if (fusion::lazy_active() &&
+      fusion::detail::try_defer(target_, mask_, std::nullopt,
+                                current_replace(), shared_ref_node(a))) {
+    return *this;
+  }
   detail::eval_into(target_, mask_, std::nullopt, current_replace(),
                     ref_node(a));
   return *this;
@@ -648,12 +750,21 @@ MaskedMatrix& MaskedMatrix::operator=(double s) {
 }
 
 MaskedMatrix& MaskedMatrix::operator+=(const MatrixExpr& expr) {
+  if (fusion::detail::try_defer(target_, mask_, iadd_accumulator(),
+                                current_replace(), expr.share_node())) {
+    return *this;
+  }
   detail::eval_into(target_, mask_, iadd_accumulator(), current_replace(),
                     expr.node());
   return *this;
 }
 
 MaskedMatrix& MaskedMatrix::operator+=(const Matrix& a) {
+  if (fusion::lazy_active() &&
+      fusion::detail::try_defer(target_, mask_, iadd_accumulator(),
+                                current_replace(), shared_ref_node(a))) {
+    return *this;
+  }
   detail::eval_into(target_, mask_, iadd_accumulator(), current_replace(),
                     ref_node(a));
   return *this;
@@ -664,12 +775,21 @@ SubMatrixRef MaskedMatrix::operator()(const Slice& rows, const Slice& cols) {
 }
 
 MaskedVector& MaskedVector::operator=(const VectorExpr& expr) {
+  if (fusion::detail::try_defer(target_, mask_, std::nullopt,
+                                current_replace(), expr.share_node())) {
+    return *this;
+  }
   detail::eval_into(target_, mask_, std::nullopt, current_replace(),
                     expr.node());
   return *this;
 }
 
 MaskedVector& MaskedVector::operator=(const Vector& u) {
+  if (fusion::lazy_active() &&
+      fusion::detail::try_defer(target_, mask_, std::nullopt,
+                                current_replace(), shared_ref_node(u))) {
+    return *this;
+  }
   detail::eval_into(target_, mask_, std::nullopt, current_replace(),
                     ref_node(u));
   return *this;
@@ -686,12 +806,21 @@ MaskedVector& MaskedVector::operator=(double s) {
 }
 
 MaskedVector& MaskedVector::operator+=(const VectorExpr& expr) {
+  if (fusion::detail::try_defer(target_, mask_, iadd_accumulator(),
+                                current_replace(), expr.share_node())) {
+    return *this;
+  }
   detail::eval_into(target_, mask_, iadd_accumulator(), current_replace(),
                     expr.node());
   return *this;
 }
 
 MaskedVector& MaskedVector::operator+=(const Vector& u) {
+  if (fusion::lazy_active() &&
+      fusion::detail::try_defer(target_, mask_, iadd_accumulator(),
+                                current_replace(), shared_ref_node(u))) {
+    return *this;
+  }
   detail::eval_into(target_, mask_, iadd_accumulator(), current_replace(),
                     ref_node(u));
   return *this;
@@ -747,6 +876,10 @@ SubMatrixRef& SubMatrixRef::operator=(const MatrixExpr& expr) {
   // matrix the temporary is skipped and the expression evaluates in place.
   if (!row_idx_ && !col_idx_ && rows_.covers_all(target_.nrows()) &&
       cols_.covers_all(target_.ncols())) {
+    if (fusion::detail::try_defer(target_, mask_, std::nullopt,
+                                  current_replace(), expr.share_node())) {
+      return *this;
+    }
     detail::eval_into(target_, mask_, std::nullopt, current_replace(),
                       expr.node());
     return *this;
@@ -803,6 +936,10 @@ SubVectorRef& SubVectorRef::operator=(const Vector& u) {
 
 SubVectorRef& SubVectorRef::operator=(const VectorExpr& expr) {
   if (!idx_arr_ && idx_.covers_all(target_.size())) {
+    if (fusion::detail::try_defer(target_, mask_, std::nullopt,
+                                  current_replace(), expr.share_node())) {
+      return *this;
+    }
     detail::eval_into(target_, mask_, std::nullopt, current_replace(),
                       expr.node());
     return *this;

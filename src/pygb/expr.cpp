@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "pygb/eval.hpp"
+#include "pygb/plan.hpp"
 
 namespace pygb {
 
@@ -83,8 +84,8 @@ gbtl::IndexType ExprNode::result_ncols() const {
 
 namespace {
 
-std::shared_ptr<const ExprNode> make_node(ExprNode&& node) {
-  return std::make_shared<const ExprNode>(std::move(node));
+std::shared_ptr<ExprNode> make_node(ExprNode&& node) {
+  return std::make_shared<ExprNode>(std::move(node));
 }
 
 }  // namespace
@@ -289,12 +290,23 @@ MatrixExpr transposed(const TransposedMatrix& a) {
 Matrix MatrixExpr::eval() const {
   Matrix out(node_->result_nrows(), node_->result_ncols(),
              node_->result_dtype());
+  // Inside a lazy scope the evaluation itself is deferred: the fresh
+  // container becomes a DAG intermediate the planner may fuse through (or
+  // eliminate entirely when it is overwritten before being read).
+  if (fusion::detail::try_defer(out, MatrixMaskArg{}, std::nullopt, false,
+                                node_)) {
+    return out;
+  }
   detail::eval_into(out, MatrixMaskArg{}, std::nullopt, false, *node_);
   return out;
 }
 
 Vector VectorExpr::eval() const {
   Vector out(node_->result_nrows(), node_->result_dtype());
+  if (fusion::detail::try_defer(out, VectorMaskArg{}, std::nullopt, false,
+                                node_)) {
+    return out;
+  }
   detail::eval_into(out, VectorMaskArg{}, std::nullopt, false, *node_);
   return out;
 }

@@ -67,33 +67,55 @@ struct ExprNode {
 
 }  // namespace detail
 
+namespace fusion::detail {
+/// Registers a live expression node with the snapshot registry
+/// (pygb/plan.cpp): if an operand container is mutated before the node is
+/// materialized, the registry swaps the operand for a snapshot copy so the
+/// node keeps seeing build-time values (snapshot-on-mutate).
+void register_expr(const std::shared_ptr<pygb::detail::ExprNode>& node);
+}  // namespace fusion::detail
+
 /// A deferred matrix-valued expression (value-semantic node handle).
+///
+/// The node holds its operand containers by value (shared handles), so the
+/// inputs stay alive for as long as the expression does; mutating an input
+/// before materialization snapshots it first (see docs/FUSION.md).
 class MatrixExpr {
  public:
-  explicit MatrixExpr(std::shared_ptr<const detail::ExprNode> node)
-      : node_(std::move(node)) {}
+  explicit MatrixExpr(std::shared_ptr<detail::ExprNode> node)
+      : node_(std::move(node)) {
+    fusion::detail::register_expr(node_);
+  }
 
   const detail::ExprNode& node() const { return *node_; }
+  std::shared_ptr<const detail::ExprNode> share_node() const {
+    return node_;
+  }
 
   /// Terminal evaluation into a fresh container.
   Matrix eval() const;
 
  private:
-  std::shared_ptr<const detail::ExprNode> node_;
+  std::shared_ptr<detail::ExprNode> node_;
 };
 
 /// A deferred vector-valued expression.
 class VectorExpr {
  public:
-  explicit VectorExpr(std::shared_ptr<const detail::ExprNode> node)
-      : node_(std::move(node)) {}
+  explicit VectorExpr(std::shared_ptr<detail::ExprNode> node)
+      : node_(std::move(node)) {
+    fusion::detail::register_expr(node_);
+  }
 
   const detail::ExprNode& node() const { return *node_; }
+  std::shared_ptr<const detail::ExprNode> share_node() const {
+    return node_;
+  }
 
   Vector eval() const;
 
  private:
-  std::shared_ptr<const detail::ExprNode> node_;
+  std::shared_ptr<detail::ExprNode> node_;
 };
 
 // ---------------------------------------------------------------------------

@@ -29,8 +29,8 @@ int FusedChain::vector_param(const std::string& name, DType dtype) {
   return static_cast<int>(desc_->params.size() - 1);
 }
 
-int FusedChain::scalar_param(const std::string& name) {
-  desc_->params.push_back({ChainParam::Kind::kScalar, DType::kFP64, name});
+int FusedChain::scalar_param(const std::string& name, DType dtype) {
+  desc_->params.push_back({ChainParam::Kind::kScalar, dtype, name});
   return static_cast<int>(desc_->params.size() - 1);
 }
 
@@ -171,7 +171,7 @@ void FusedChain::reduce(int a, const Monoid& monoid) {
 FusedChain::RunResult FusedChain::run(
     const std::vector<ChainArg>& args) const {
   if (args.size() != desc_->params.size()) {
-    throw std::invalid_argument(
+    throw ChainBindingError(
         "pygb: chain expects " + std::to_string(desc_->params.size()) +
         " arguments, got " + std::to_string(args.size()));
   }
@@ -184,12 +184,12 @@ FusedChain::RunResult FusedChain::run(
       case ChainParam::Kind::kMatrix: {
         const auto* m = std::get_if<Matrix>(&args[i]);
         if (m == nullptr || !m->defined()) {
-          throw std::invalid_argument("pygb: chain argument " +
-                                      std::to_string(i) +
-                                      " must be a defined Matrix");
+          throw ChainBindingError("pygb: chain argument " +
+                                  std::to_string(i) +
+                                  " must be a defined Matrix");
         }
         if (m->dtype() != p.dtype) {
-          throw std::invalid_argument(
+          throw ChainBindingError(
               "pygb: chain argument " + std::to_string(i) + " ('" + p.name +
               "') dtype mismatch: expected " +
               std::string(display_name(p.dtype)) + ", got " +
@@ -201,12 +201,12 @@ FusedChain::RunResult FusedChain::run(
       case ChainParam::Kind::kVector: {
         const auto* v = std::get_if<Vector>(&args[i]);
         if (v == nullptr || !v->defined()) {
-          throw std::invalid_argument("pygb: chain argument " +
-                                      std::to_string(i) +
-                                      " must be a defined Vector");
+          throw ChainBindingError("pygb: chain argument " +
+                                  std::to_string(i) +
+                                  " must be a defined Vector");
         }
         if (v->dtype() != p.dtype) {
-          throw std::invalid_argument(
+          throw ChainBindingError(
               "pygb: chain argument " + std::to_string(i) + " ('" + p.name +
               "') dtype mismatch: expected " +
               std::string(display_name(p.dtype)) + ", got " +
@@ -216,21 +216,49 @@ FusedChain::RunResult FusedChain::run(
         break;
       }
       case ChainParam::Kind::kScalar: {
-        const auto* s = std::get_if<double>(&args[i]);
-        if (s == nullptr) {
-          throw std::invalid_argument("pygb: chain argument " +
-                                      std::to_string(i) +
-                                      " must be a scalar");
+        // A bare double binds only to kFP64 parameters; a typed Scalar
+        // must match the declared dtype exactly (the chain was compiled
+        // at that width — silent widening/narrowing would change results).
+        if (const auto* s = std::get_if<double>(&args[i])) {
+          if (p.dtype != DType::kFP64) {
+            throw ChainBindingError(
+                "pygb: chain argument " + std::to_string(i) + " ('" +
+                p.name + "') is a " + std::string(display_name(p.dtype)) +
+                " scalar; bind a typed Scalar, not a double literal");
+          }
+          scalars[i] = *s;
+        } else if (const auto* sc = std::get_if<Scalar>(&args[i])) {
+          if (sc->dtype() != p.dtype) {
+            throw ChainBindingError(
+                "pygb: chain argument " + std::to_string(i) + " ('" +
+                p.name + "') dtype mismatch: expected " +
+                std::string(display_name(p.dtype)) + ", got " +
+                display_name(sc->dtype()));
+          }
+          scalars[i] = sc->to_double();
+        } else {
+          throw ChainBindingError("pygb: chain argument " +
+                                  std::to_string(i) + " must be a scalar");
         }
-        scalars[i] = *s;
         break;
       }
     }
   }
 
+  RunResult result;
+  result.scalar = Scalar(detail::run_chain_raw(desc_, ptrs, scalars).f);
+  return result;
+}
+
+namespace detail {
+
+jit::ScalarSlot run_chain_raw(
+    const std::shared_ptr<const jit::FusedChainDesc>& desc,
+    const std::vector<const void*>& ptrs,
+    const std::vector<double>& scalars) {
   jit::OpRequest req;
   req.func = jit::func::kFusedChain;
-  req.chain = desc_;
+  req.chain = desc;
   jit::KernelArgs kargs;
   jit::ScalarSlot slot;
   kargs.chain_ptrs = ptrs.data();
@@ -240,20 +268,19 @@ FusedChain::RunResult FusedChain::run(
 
   obs::Span span("chain.run");
   if (span.active()) {
-    span.attr("chain", desc_->name)
+    span.attr("chain", desc->name)
         .attr("statements",
-              static_cast<std::uint64_t>(desc_->statements.size()))
-        .attr("params", static_cast<std::uint64_t>(desc_->params.size()));
+              static_cast<std::uint64_t>(desc->statements.size()))
+        .attr("params", static_cast<std::uint64_t>(desc->params.size()));
   }
-  flightrec::record(flightrec::EventKind::kChain, desc_->name.c_str(),
-                    static_cast<std::uint64_t>(desc_->statements.size()),
-                    static_cast<std::uint64_t>(desc_->params.size()));
+  flightrec::record(flightrec::EventKind::kChain, desc->name.c_str(),
+                    static_cast<std::uint64_t>(desc->statements.size()),
+                    static_cast<std::uint64_t>(desc->params.size()));
   // One dispatch for the whole chain (interp_pause runs inside).
-  detail::dispatch(req, kargs);
-
-  RunResult result;
-  result.scalar = Scalar(slot.f);
-  return result;
+  dispatch(req, kargs);
+  return slot;
 }
+
+}  // namespace detail
 
 }  // namespace pygb

@@ -22,6 +22,8 @@
 //   auto result = it.run({rank_vec, m_mat, nr_vec, 0.15 / n});
 #pragma once
 
+#include <stdexcept>
+#include <string>
 #include <variant>
 #include <vector>
 
@@ -30,8 +32,19 @@
 
 namespace pygb {
 
-/// A run-time argument bound to a chain parameter (positional).
-using ChainArg = std::variant<Matrix, Vector, double>;
+/// A run-time argument bound to a chain parameter (positional). Plain
+/// `double` literals bind only to kFP64 scalar parameters; a typed Scalar
+/// must match the parameter dtype exactly.
+using ChainArg = std::variant<Matrix, Vector, double, Scalar>;
+
+/// Thrown by FusedChain::run() when an argument fails to bind to its
+/// parameter (wrong kind, undefined container, or dtype mismatch). Derives
+/// from std::invalid_argument for backward compatibility.
+class ChainBindingError : public std::invalid_argument {
+ public:
+  explicit ChainBindingError(const std::string& what)
+      : std::invalid_argument(what) {}
+};
 
 class FusedChain {
  public:
@@ -40,7 +53,7 @@ class FusedChain {
   // --- parameters (return the index used by statements) ---------------------
   int matrix_param(const std::string& name, DType dtype = DType::kFP64);
   int vector_param(const std::string& name, DType dtype = DType::kFP64);
-  int scalar_param(const std::string& name);
+  int scalar_param(const std::string& name, DType dtype = DType::kFP64);
 
   // --- statements -------------------------------------------------------------
   /// target = target (+)accum  a(vector) ⊕.⊗ b(matrix).
@@ -84,5 +97,18 @@ class FusedChain {
 
   std::shared_ptr<jit::FusedChainDesc> desc_;
 };
+
+namespace detail {
+
+/// Execute a fully-bound chain descriptor with one dispatch: the shared
+/// back half of FusedChain::run(), also used by the fusion planner
+/// (pygb/plan.hpp) for DAG-fused chains. `ptrs`/`scalars` are indexed by
+/// parameter position; kinds/dtypes must already be validated.
+jit::ScalarSlot run_chain_raw(
+    const std::shared_ptr<const jit::FusedChainDesc>& desc,
+    const std::vector<const void*>& ptrs,
+    const std::vector<double>& scalars);
+
+}  // namespace detail
 
 }  // namespace pygb

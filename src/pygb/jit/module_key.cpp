@@ -33,10 +33,11 @@ std::string FusedChainDesc::signature() const {
         os << 'V' << display_name(p.dtype);
         break;
       case ChainParam::Kind::kScalar:
-        os << 'S';
+        os << 'S' << display_name(p.dtype);
         break;
     }
   }
+  if (!origin.empty()) os << "|o=" << origin;
   for (const auto& st : statements) {
     os << '|' << st.func << ':' << st.target << ',' << st.a << ',' << st.b
        << ',' << st.scalar << (st.a_transposed ? "T" : "")

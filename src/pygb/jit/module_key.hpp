@@ -75,11 +75,12 @@ inline constexpr const char* kFusedChain = "fused_chain";
 // ---------------------------------------------------------------------------
 
 /// A chain parameter: a container (bound by pointer at run time) or a
-/// runtime scalar.
+/// runtime scalar. Scalars are transported over the double channel but
+/// compiled at their declared dtype, so FP32/integer chains don't widen.
 struct ChainParam {
   enum class Kind : std::uint8_t { kMatrix, kVector, kScalar };
   Kind kind;
-  DType dtype = DType::kFP64;  ///< containers only
+  DType dtype = DType::kFP64;
   std::string name;
 };
 
@@ -108,6 +109,11 @@ struct FusedChainDesc {
   std::string name;
   std::vector<ChainParam> params;
   std::vector<ChainStatement> statements;
+
+  /// Module-key axis identifying who built the chain: "" for hand-recorded
+  /// FusedChain programs, "dag" for planner-fused lazy-DAG chains. Part of
+  /// signature() so the two families never collide in the module cache.
+  std::string origin;
 
   std::string signature() const;
 };

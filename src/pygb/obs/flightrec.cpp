@@ -175,6 +175,8 @@ const char* kind_name(EventKind k) noexcept {
       return "module";
     case EventKind::kCrash:
       return "crash";
+    case EventKind::kFusionPlan:
+      return "fusion_plan";
   }
   return "?";
 }

@@ -61,6 +61,9 @@ enum class EventKind : std::uint16_t {
   kModule = 12,     ///< event recorded from inside a JIT module via the
                     ///< injected PoolApi (detail=module-provided note)
   kCrash = 13,      ///< crash handler entered (v0=signal number)
+  kFusionPlan = 14, ///< fusion-planner decision (detail = "flush"/"fuse"/
+                    ///< "eager"/"dce"/"split"/"fallback"; v0/v1 decision-
+                    ///< specific, see docs/FUSION.md)
 };
 
 const char* kind_name(EventKind k) noexcept;

@@ -179,6 +179,18 @@ const char* counter_name(Counter c) noexcept {
       return "flight_events";
     case Counter::kCrashReports:
       return "crash_reports";
+    case Counter::kFusionDeferred:
+      return "fusion_deferred";
+    case Counter::kFusionFlushes:
+      return "fusion_flushes";
+    case Counter::kFusionChains:
+      return "fusion_chains";
+    case Counter::kFusionFusedStatements:
+      return "fusion_fused_statements";
+    case Counter::kFusionEagerOps:
+      return "fusion_eager_ops";
+    case Counter::kFusionDce:
+      return "fusion_dce";
     case Counter::kCount_:
       break;
   }

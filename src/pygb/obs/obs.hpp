@@ -106,6 +106,13 @@ enum class Counter : unsigned {
   // the crash handler (counter_add is a lock-free fetch_add, AS-safe).
   kFlightEvents,          ///< events recorded by the flight recorder
   kCrashReports,          ///< crash reports written by pygb::crash
+  // Lazy op DAG / fusion planner (pygb::fusion, pygb/plan.cpp).
+  kFusionDeferred,        ///< assignments recorded on a lazy DAG
+  kFusionFlushes,         ///< planner flushes (materialization points)
+  kFusionChains,          ///< fused chains dispatched by the planner
+  kFusionFusedStatements, ///< deferred ops executed inside fused chains
+  kFusionEagerOps,        ///< deferred ops replayed eagerly at flush
+  kFusionDce,             ///< dead intermediate writes eliminated
   kCount_,
 };
 inline constexpr unsigned kCounterCount =

@@ -1,0 +1,112 @@
+// pygb/plan.hpp — the lazy op DAG and its fusion planner (ROADMAP item 1,
+// the nonblocking-execution model of the Julia GraphBLAS paper).
+//
+// Inside a fusion::LazyScope, assignments whose right-hand side is a
+// deferred expression RECORD a node instead of dispatching. The
+// accumulated graph is executed at a materialization point:
+//
+//   * any read of an involved container (get / nvals / reduce / ...),
+//   * any eager operation (masked assignment, extract, algorithms, ...),
+//   * an explicit fusion::wait(),
+//   * the LazyScope leaving scope.
+//
+// At that point the planner walks the recorded program: it eliminates
+// dead intermediates (targets overwritten before any read), partitions
+// the ops into independent components (no shared containers), fuses each
+// component's fusible runs into generalized jit::FusedChainDescs — one
+// compiled module per distinct chain shape, cached by the normal registry
+// under the "o=dag" module-key axis — and schedules independent
+// components concurrently on the worker pool. Every decision (fuse /
+// split / materialize / dce) is visible as obs spans, counters, and
+// flight-recorder events; fused execution runs through the ordinary
+// dispatch path, so governor budgets, deadlines, and checkpoints apply
+// exactly as in eager mode.
+//
+// The DAG is per-thread: a LazyScope defers only ops issued by the thread
+// that opened it. Semantics are sequential: flushing executes the
+// recorded ops in program order (fusion and parallel component execution
+// are pure optimizations — results are element-exact vs eager execution).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+
+#include "pygb/container.hpp"
+#include "pygb/operators.hpp"
+
+namespace pygb {
+
+namespace detail {
+struct ExprNode;
+}
+
+namespace fusion {
+
+/// Master switch: the PYGB_FUSION environment variable ("off"/"0"/"false"
+/// disables, anything else enables; default on), overridable per process.
+/// When disabled, LazyScope is inert and every assignment stays eager.
+bool enabled();
+void set_enabled(bool on);
+
+/// True when the calling thread is inside an enabled LazyScope (and not
+/// currently flushing) — i.e. new deferrable assignments will be recorded.
+bool lazy_active();
+
+/// Number of recorded-but-unexecuted ops on the calling thread.
+std::size_t pending_count();
+
+/// Execute the calling thread's pending DAG now (explicit materialization
+/// point). No-op when nothing is pending. Exceptions from deferred ops
+/// (dimension errors, governor deadlines, ...) surface here.
+void wait();
+
+/// RAII lazy region. Scopes nest; every scope exit flushes. If the scope
+/// unwinds due to an exception, pending ops are DISCARDED (not executed) —
+/// flushing mid-unwind could throw again and terminate.
+class LazyScope {
+ public:
+  LazyScope();
+  ~LazyScope() noexcept(false);
+  LazyScope(const LazyScope&) = delete;
+  LazyScope& operator=(const LazyScope&) = delete;
+
+ private:
+  int unwind_baseline_;
+};
+
+namespace detail {
+
+// --- recording hooks (called from the assignment layer) --------------------
+// Try to record `target <mask,accum,replace>= node` on the calling
+// thread's DAG. Returns true when deferred; false means the caller must
+// execute eagerly (not in a lazy scope, masked, or the node is not a
+// deferrable shape). Deferral never depends on the backend: flushing
+// falls back to per-op eager execution when chains cannot be served.
+bool try_defer(const Matrix& target, const MatrixMaskArg& mask,
+               const std::optional<Accumulator>& accum, bool replace,
+               std::shared_ptr<const pygb::detail::ExprNode> node);
+bool try_defer(const Vector& target, const VectorMaskArg& mask,
+               const std::optional<Accumulator>& accum, bool replace,
+               std::shared_ptr<const pygb::detail::ExprNode> node);
+
+// --- materialization hooks -------------------------------------------------
+// sync_read/sync_write: a container is about to be read / mutated in
+// place; flush if the pending DAG involves it. sync_point: an eager
+// operation (masked assign, extract, algorithm, chain, ...) is about to
+// dispatch; flush everything so program order is preserved.
+void sync_read(const void* raw);
+void sync_write(const void* raw);
+void sync_point();
+
+// --- expression-lifetime registry (snapshot-on-mutate) ---------------------
+// Free-standing MatrixExpr/VectorExpr objects register their nodes here;
+// when a container is mutated in place, live nodes holding it as an
+// operand get that operand swapped for a snapshot copy first.
+void register_expr(const std::shared_ptr<pygb::detail::ExprNode>& node);
+void snapshot_exprs_for(const void* raw);
+
+}  // namespace detail
+
+}  // namespace fusion
+}  // namespace pygb

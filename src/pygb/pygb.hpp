@@ -12,5 +12,6 @@
 #include "pygb/interp_sim.hpp"
 #include "pygb/jit/registry.hpp"
 #include "pygb/operators.hpp"
+#include "pygb/plan.hpp"
 #include "pygb/slicing.hpp"
 #include "pygb/utilities.hpp"

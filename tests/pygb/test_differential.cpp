@@ -239,6 +239,29 @@ MirroredState run_program(unsigned seed, const Combo& combo) {
   return s;
 }
 
+/// The same seeded program, recorded through the lazy op DAG
+/// (docs/FUSION.md): every unmasked op defers onto the planner and is
+/// fused/replayed at materialization points instead of dispatching
+/// immediately. Per-step consistency checks are skipped — mid-program the
+/// DSL side may legitimately lag its native mirror — and the scope exit
+/// flushes everything before the final comparison.
+MirroredState run_program_lazy(unsigned seed, const Combo& combo) {
+  jit::Registry::instance().set_mode(combo.mode);
+  gbtl::detail::set_num_threads(combo.threads);
+  auto s = make_state(seed);
+  std::mt19937 rng(seed);
+  {
+    fusion::LazyScope lazy;
+    for (int k = 0; k < kSteps; ++k) {
+      step(s, rng);
+    }
+  }
+  EXPECT_TRUE(s.consistent())
+      << "lazy DAG diverged from native, seed " << seed << ", combo "
+      << combo.name;
+  return s;
+}
+
 /// True when every register of `a` equals the same register of `b`
 /// element-exactly (gbtl operator== compares stored structure and values).
 bool states_equal(const MirroredState& a, const MirroredState& b) {
@@ -302,6 +325,31 @@ TEST_P(Differential, AllBackendsAndThreadCountsAgreeExactly) {
         << "final state of combo " << combo.name << " differs from "
         << baseline_name << ", seed " << seed;
   }
+  if (!jit_ok) {
+    GTEST_LOG_(INFO) << "no C++ compiler reachable; jit combos skipped";
+  }
+}
+
+// The 12-step programs again, but recorded through the lazy op DAG: the
+// final state of every combo's lazy run must equal its eager run
+// element-exactly. (With PYGB_FUSION=off the scope defers nothing and the
+// two runs are the same code path — still a valid identity.)
+TEST_P(Differential, LazyDagMatchesEagerExactly) {
+  const unsigned seed = GetParam();
+  const bool jit_ok = jit::compiler_available();
+  const bool saved_fusion = fusion::enabled();
+  for (const auto& combo : kCombos) {
+    if (combo.mode == jit::Mode::kJit && !jit_ok) continue;
+    auto eager_state = run_program(seed, combo);
+    if (::testing::Test::HasFailure()) {
+      FAIL() << "eager reference run failed; seed " << seed;
+    }
+    auto lazy_state = run_program_lazy(seed, combo);
+    EXPECT_TRUE(states_equal(eager_state, lazy_state))
+        << "lazy DAG final state differs from eager, seed " << seed
+        << ", combo " << combo.name;
+  }
+  fusion::set_enabled(saved_fusion);
   if (!jit_ok) {
     GTEST_LOG_(INFO) << "no C++ compiler reachable; jit combos skipped";
   }

@@ -1,0 +1,580 @@
+// Lazy-DAG / fusion-planner acceptance (docs/FUSION.md):
+//
+//   * output-aliasing regressions (`w = A @ w`, `C = C + A`, mask aliases
+//     target) in BOTH eager and lazy modes, across every backend;
+//   * expression lifetime: mutating an operand between expression build and
+//     materialization must not change what the expression computes
+//     (snapshot-on-mutate), in eager and lazy modes;
+//   * planner legality: masked ops never defer, multi-use intermediates and
+//     diamond DAGs stay correct, dead stores are eliminated;
+//   * fused chains go through the ordinary module cache (compile once,
+//     memory hit on the second flush) and respect typed scalar parameters;
+//   * the PageRank inner loop fuses into one chain kernel per iteration.
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <vector>
+
+#include "algorithms/dsl_algorithms.hpp"
+#include "gbtl/detail/parallel.hpp"
+#include "pygb/jit/compiler.hpp"
+#include "pygb/obs/flightrec.hpp"
+#include "pygb/obs/obs.hpp"
+#include "pygb/pygb.hpp"
+
+namespace {
+
+using namespace pygb;  // NOLINT
+
+std::uint64_t ctr(obs::Counter c) { return obs::counter_value(c); }
+
+/// Backends to cross every semantic test with. JIT combos are skipped when
+/// no compiler is reachable (chains then fall back to eager replay, which
+/// the interp/static rows already cover).
+std::vector<jit::Mode> test_modes() {
+  std::vector<jit::Mode> modes{jit::Mode::kInterp, jit::Mode::kStatic};
+  if (jit::compiler_available()) modes.push_back(jit::Mode::kJit);
+  return modes;
+}
+
+const char* mode_name(jit::Mode m) {
+  switch (m) {
+    case jit::Mode::kInterp:
+      return "interp";
+    case jit::Mode::kStatic:
+      return "static";
+    case jit::Mode::kJit:
+      return "jit";
+    default:
+      return "auto";
+  }
+}
+
+Matrix test_matrix() {
+  return Matrix({{0, 2, 0, 1},
+                 {1, 0, 3, 0},
+                 {0, 4, 0, 5},
+                 {2, 0, 6, 0}});
+}
+
+Vector test_vector() { return Vector({1, 2, 3, 4}); }
+
+class PlanTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto& reg = jit::Registry::instance();
+    saved_mode_ = reg.mode();
+    saved_threads_ = gbtl::detail::num_threads();
+    saved_fusion_ = fusion::enabled();
+    // The CI fusion axis exports PYGB_FUSION=off for some jobs; these tests
+    // assert deferral mechanics, so force the planner on (the off-axis
+    // behavior has its own test below).
+    fusion::set_enabled(true);
+  }
+  void TearDown() override {
+    fusion::wait();
+    fusion::set_enabled(saved_fusion_);
+    jit::Registry::instance().set_mode(saved_mode_);
+    gbtl::detail::set_num_threads(saved_threads_);
+  }
+
+  jit::Mode saved_mode_{};
+  unsigned saved_threads_ = 1;
+  bool saved_fusion_ = true;
+};
+
+// ---------------------------------------------------------------------------
+// Satellite 1: output aliasing, eager mode.
+// ---------------------------------------------------------------------------
+
+TEST_F(PlanTest, AliasedMxvEagerAllBackends) {
+  for (jit::Mode mode : test_modes()) {
+    jit::Registry::instance().set_mode(mode);
+    Matrix a = test_matrix();
+    Vector w = test_vector();
+    Vector expect(4);
+    {
+      With ctx(ArithmeticSemiring());
+      Vector frozen = w.dup();
+      expect[None] = matmul(a, frozen);
+      w[None] = matmul(a, w);  // target is also an operand
+    }
+    EXPECT_TRUE(w.equals(expect)) << "mode " << mode_name(mode);
+  }
+}
+
+TEST_F(PlanTest, AliasedEwiseEagerAllBackends) {
+  for (jit::Mode mode : test_modes()) {
+    jit::Registry::instance().set_mode(mode);
+    Matrix a = test_matrix();
+    Matrix c = test_matrix();
+    Matrix expect(4, 4);
+    {
+      With ctx(BinaryOp("Plus"));
+      Matrix frozen = c.dup();
+      expect[None] = frozen + a;
+      c[None] = c + a;  // C = C + A
+    }
+    EXPECT_TRUE(c.equals(expect)) << "mode " << mode_name(mode);
+
+    Vector d = test_vector();
+    Vector dexpect(4);
+    {
+      With ctx(BinaryOp("Times"));
+      Vector frozen = d.dup();
+      dexpect[None] = frozen * frozen;
+      d[None] = d * d;  // the PageRank delta-squaring shape
+    }
+    EXPECT_TRUE(d.equals(dexpect)) << "mode " << mode_name(mode);
+  }
+}
+
+TEST_F(PlanTest, AliasedAccumulateEager) {
+  for (jit::Mode mode : test_modes()) {
+    // The curated static table has no accumulating eWise kernels (see
+    // static_kernels_ewise.cpp) — forced-static cannot serve this op at
+    // all, aliased or not. The aliasing guarantee under static is covered
+    // by the mxv/ewise/assign cases above.
+    if (mode == jit::Mode::kStatic) continue;
+    jit::Registry::instance().set_mode(mode);
+    Vector w = test_vector();
+    Vector u({2, 2, 2, 2});
+    Vector expect(4);
+    {
+      With ctx(BinaryOp("Plus"));
+      Vector frozen = w.dup();
+      Vector sum(4);
+      sum[None] = frozen + u;       // w + u
+      expect[None] = frozen + sum;  // w ⊕ (w + u)
+      w[None] += w + u;  // accumulating into an operand of the expression
+    }
+    EXPECT_TRUE(w.equals(expect)) << "mode " << mode_name(mode);
+  }
+}
+
+TEST_F(PlanTest, MaskAliasingTargetEager) {
+  for (jit::Mode mode : test_modes()) {
+    jit::Registry::instance().set_mode(mode);
+    Vector w({1, 0, 3, 0});
+    Vector u = test_vector();
+    Vector expect(4);
+    {
+      With ctx(BinaryOp("Plus"));
+      Vector frozen_mask = w.dup();
+      Vector frozen = w.dup();
+      expect[frozen_mask] = frozen + u;
+      w[w] = w + u;  // the mask IS the target
+    }
+    EXPECT_TRUE(w.equals(expect)) << "mode " << mode_name(mode);
+  }
+}
+
+TEST_F(PlanTest, SubRefSelfAssignEager) {
+  for (jit::Mode mode : test_modes()) {
+    jit::Registry::instance().set_mode(mode);
+    Vector w = test_vector();
+    Vector expect = w.dup();
+    w[Slice::all()] = w;  // assign_container with src == target
+    EXPECT_TRUE(w.equals(expect)) << "mode " << mode_name(mode);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Satellite 1 (continued): the same aliasing shapes inside a lazy scope.
+// ---------------------------------------------------------------------------
+
+TEST_F(PlanTest, AliasedOpsLazyAllBackends) {
+  for (jit::Mode mode : test_modes()) {
+    jit::Registry::instance().set_mode(mode);
+    Matrix a = test_matrix();
+    Vector w = test_vector();
+    Vector d = test_vector();
+    Vector wexpect(4), dexpect(4);
+    {
+      With ctx(ArithmeticSemiring());
+      Vector frozen_w = w.dup();
+      wexpect[None] = matmul(a, frozen_w);
+    }
+    {
+      With ctx(BinaryOp("Times"));
+      Vector frozen_d = d.dup();
+      dexpect[None] = frozen_d * frozen_d;
+    }
+    {
+      fusion::LazyScope lazy;
+      {
+        With ctx(ArithmeticSemiring());
+        w[None] = matmul(a, w);
+      }
+      {
+        With ctx(BinaryOp("Times"));
+        d[None] = d * d;
+      }
+    }
+    EXPECT_TRUE(w.equals(wexpect)) << "mode " << mode_name(mode);
+    EXPECT_TRUE(d.equals(dexpect)) << "mode " << mode_name(mode);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Satellite 2: expression lifetime / snapshot-on-mutate.
+// ---------------------------------------------------------------------------
+
+TEST_F(PlanTest, MutateOperandAfterBuildEager) {
+  jit::Registry::instance().set_mode(jit::Mode::kStatic);
+  Vector u = test_vector();
+  Vector v = test_vector();
+  With ctx(BinaryOp("Plus"));
+  VectorExpr e = u + v;
+  u.set(0, Scalar(100.0));  // mutation between build and materialization
+  Vector out(4);
+  out[None] = e;
+  EXPECT_DOUBLE_EQ(out.get(0), 2.0) << "expression saw the mutation";
+  EXPECT_DOUBLE_EQ(u.get(0), 100.0);
+}
+
+TEST_F(PlanTest, MutateOperandAfterBuildViaClear) {
+  jit::Registry::instance().set_mode(jit::Mode::kStatic);
+  Matrix a = test_matrix();
+  Matrix b = test_matrix();
+  With ctx(BinaryOp("Plus"));
+  MatrixExpr e = a + b;
+  a.clear();
+  Matrix out(4, 4);
+  out[None] = e;
+  Matrix expect(4, 4);
+  {
+    Matrix a2 = test_matrix();
+    expect[None] = a2 + b;
+  }
+  EXPECT_TRUE(out.equals(expect));
+  EXPECT_EQ(a.nvals(), 0u);
+}
+
+TEST_F(PlanTest, MutateOperandWithDeferredOpPending) {
+  for (jit::Mode mode : test_modes()) {
+    jit::Registry::instance().set_mode(mode);
+    Vector u = test_vector();
+    Vector v = test_vector();
+    Vector out(4);
+    {
+      fusion::LazyScope lazy;
+      With ctx(BinaryOp("Plus"));
+      out[None] = u + v;  // deferred
+      // Mutating an involved container is a materialization point: the
+      // pending op must flush (observing pre-mutation values) first.
+      u.set(0, Scalar(100.0));
+      EXPECT_EQ(fusion::pending_count(), 0u) << "mode " << mode_name(mode);
+    }
+    EXPECT_DOUBLE_EQ(out.get(0), 2.0) << "mode " << mode_name(mode);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Tentpole: planner mechanics.
+// ---------------------------------------------------------------------------
+
+TEST_F(PlanTest, MaskedOpsAreNeverDeferred) {
+  jit::Registry::instance().set_mode(jit::Mode::kStatic);
+  Vector u = test_vector();
+  Vector w(4);
+  Vector mask({1, 0, 1, 0});
+  fusion::LazyScope lazy;
+  With ctx(BinaryOp("Plus"));
+  w[mask] = u + u;  // masked: must execute eagerly, not defer
+  EXPECT_EQ(fusion::pending_count(), 0u);
+  EXPECT_DOUBLE_EQ(w.get(0), 2.0);
+  EXPECT_FALSE(w.has_element(1));
+}
+
+TEST_F(PlanTest, UnmaskedOpsDeferUntilRead) {
+  jit::Registry::instance().set_mode(jit::Mode::kStatic);
+  Vector u = test_vector();
+  Vector w(4);
+  fusion::LazyScope lazy;
+  {
+    With ctx(BinaryOp("Plus"));
+    w[None] = u + u;
+  }
+  EXPECT_GE(fusion::pending_count(), 1u);
+  // Element read = materialization point.
+  EXPECT_DOUBLE_EQ(w.get(1), 4.0);
+  EXPECT_EQ(fusion::pending_count(), 0u);
+}
+
+TEST_F(PlanTest, DisabledPlannerNeverDefers) {
+  jit::Registry::instance().set_mode(jit::Mode::kStatic);
+  fusion::set_enabled(false);
+  Vector u = test_vector();
+  Vector w(4);
+  fusion::LazyScope lazy;
+  {
+    With ctx(BinaryOp("Plus"));
+    w[None] = u + u;
+  }
+  EXPECT_EQ(fusion::pending_count(), 0u);
+  EXPECT_DOUBLE_EQ(w.get(0), 2.0);
+}
+
+TEST_F(PlanTest, DiamondAndMultiUseIntermediates) {
+  for (jit::Mode mode : test_modes()) {
+    jit::Registry::instance().set_mode(mode);
+    Vector u = test_vector();
+    Vector v({2, 2, 2, 2});
+    Vector t(4), a(4), b(4), texp(4), aexp(4), bexp(4);
+    {
+      With ctx(BinaryOp("Plus"));
+      texp[None] = u + v;
+      {
+        With m(BinaryOp("Times"));
+        aexp[None] = texp * texp;
+      }
+      bexp[None] = texp + u;
+    }
+    {
+      fusion::LazyScope lazy;
+      With ctx(BinaryOp("Plus"));
+      t[None] = u + v;  // intermediate with two consumers (diamond)
+      {
+        With m(BinaryOp("Times"));
+        a[None] = t * t;
+      }
+      b[None] = t + u;
+      fusion::wait();
+    }
+    EXPECT_TRUE(t.equals(texp)) << "mode " << mode_name(mode);
+    EXPECT_TRUE(a.equals(aexp)) << "mode " << mode_name(mode);
+    EXPECT_TRUE(b.equals(bexp)) << "mode " << mode_name(mode);
+  }
+}
+
+TEST_F(PlanTest, DeadStoreElimination) {
+  jit::Registry::instance().set_mode(jit::Mode::kStatic);
+  Vector u = test_vector();
+  Vector v({2, 2, 2, 2});
+  Vector t(4);
+  const std::uint64_t dce_before = ctr(obs::Counter::kFusionDce);
+  {
+    fusion::LazyScope lazy;
+    {
+      With ctx(BinaryOp("Plus"));
+      t[None] = u + v;  // dead: overwritten below, never read in between
+    }
+    {
+      With ctx(BinaryOp("Times"));
+      t[None] = u * v;
+    }
+  }
+  EXPECT_EQ(ctr(obs::Counter::kFusionDce), dce_before + 1);
+  Vector expect(4);
+  {
+    With ctx(BinaryOp("Times"));
+    expect[None] = u * v;
+  }
+  EXPECT_TRUE(t.equals(expect));
+}
+
+TEST_F(PlanTest, OverwrittenButReadIntermediateIsNotEliminated) {
+  jit::Registry::instance().set_mode(jit::Mode::kStatic);
+  Vector u = test_vector();
+  Vector t(4), out(4);
+  const std::uint64_t dce_before = ctr(obs::Counter::kFusionDce);
+  {
+    fusion::LazyScope lazy;
+    With ctx(BinaryOp("Plus"));
+    t[None] = u + u;    // read by the next statement: live
+    out[None] = t + u;
+    {
+      With m(BinaryOp("Times"));
+      t[None] = u * u;  // overwrite AFTER the read
+    }
+  }
+  EXPECT_EQ(ctr(obs::Counter::kFusionDce), dce_before);
+  EXPECT_DOUBLE_EQ(out.get(0), 3.0);
+  EXPECT_DOUBLE_EQ(t.get(0), 1.0);
+}
+
+TEST_F(PlanTest, IndependentSubgraphsBothComplete) {
+  for (unsigned threads : {1u, 4u}) {
+    gbtl::detail::set_num_threads(threads);
+    jit::Registry::instance().set_mode(jit::Mode::kStatic);
+    Vector u = test_vector();
+    Vector v({5, 6, 7, 8});
+    Vector a(4), b(4);
+    {
+      fusion::LazyScope lazy;
+      With ctx(BinaryOp("Plus"));
+      a[None] = u + u;  // component 1
+      b[None] = v + v;  // component 2 (no shared containers)
+    }
+    EXPECT_DOUBLE_EQ(a.get(3), 8.0) << threads << " threads";
+    EXPECT_DOUBLE_EQ(b.get(3), 16.0) << threads << " threads";
+  }
+}
+
+TEST_F(PlanTest, ExceptionUnwindDiscardsPendingOps) {
+  jit::Registry::instance().set_mode(jit::Mode::kStatic);
+  Vector u = test_vector();
+  Vector w(4);
+  try {
+    fusion::LazyScope lazy;
+    With ctx(BinaryOp("Plus"));
+    w[None] = u + u;
+    throw std::runtime_error("abort the scope");
+  } catch (const std::runtime_error&) {
+  }
+  EXPECT_EQ(fusion::pending_count(), 0u);
+  EXPECT_EQ(w.nvals(), 0u) << "discarded op must not have executed";
+}
+
+// ---------------------------------------------------------------------------
+// Tentpole: fused chains through the JIT cache + observability.
+// ---------------------------------------------------------------------------
+
+TEST_F(PlanTest, FusedChainCompilesOnceThenHitsCache) {
+  if (!jit::compiler_available()) GTEST_SKIP() << "no compiler";
+  jit::Registry::instance().set_mode(jit::Mode::kJit);
+
+  auto program = [](Vector& out, const Vector& u, const Vector& v) {
+    fusion::LazyScope lazy;
+    With ctx(BinaryOp("Plus"));
+    out[None] = u + v;
+    {
+      With m(BinaryOp("Times"));
+      out[None] = out * v;
+    }
+  };
+
+  Vector u = test_vector();
+  Vector v({2, 2, 2, 2});
+  Vector out(4);
+  const std::uint64_t chains_before = ctr(obs::Counter::kFusionChains);
+  program(out, u, v);
+  const std::uint64_t chains_mid = ctr(obs::Counter::kFusionChains);
+  ASSERT_EQ(chains_mid, chains_before + 1) << "expected one fused dispatch";
+  EXPECT_DOUBLE_EQ(out.get(0), 6.0);
+
+  // Second flush of the identical program: same chain signature, so the
+  // module must come from the in-memory cache — no new compile.
+  const std::uint64_t compiles_before = ctr(obs::Counter::kCompiles);
+  const std::uint64_t memhits_before = ctr(obs::Counter::kMemoryHits);
+  program(out, u, v);
+  EXPECT_EQ(ctr(obs::Counter::kFusionChains), chains_mid + 1);
+  EXPECT_EQ(ctr(obs::Counter::kCompiles), compiles_before);
+  EXPECT_GE(ctr(obs::Counter::kMemoryHits), memhits_before + 1);
+  EXPECT_DOUBLE_EQ(out.get(0), 6.0);
+}
+
+TEST_F(PlanTest, PlannerDecisionsAreObservable) {
+  jit::Registry::instance().set_mode(jit::Mode::kStatic);
+  const std::uint64_t deferred = ctr(obs::Counter::kFusionDeferred);
+  const std::uint64_t flushes = ctr(obs::Counter::kFusionFlushes);
+  Vector u = test_vector();
+  Vector w(4);
+  {
+    fusion::LazyScope lazy;
+    With ctx(BinaryOp("Plus"));
+    w[None] = u + u;
+  }
+  EXPECT_EQ(ctr(obs::Counter::kFusionDeferred), deferred + 1);
+  EXPECT_EQ(ctr(obs::Counter::kFusionFlushes), flushes + 1);
+
+  bool saw_flush_event = false;
+  for (const auto& e : flightrec::snapshot()) {
+    if (e.kind == flightrec::EventKind::kFusionPlan &&
+        std::string(e.detail) == "flush") {
+      saw_flush_event = true;
+    }
+  }
+  EXPECT_TRUE(saw_flush_event) << "kFusionPlan flush event missing";
+}
+
+TEST_F(PlanTest, PageRankInnerLoopFusesIntoOneChain) {
+  if (!jit::compiler_available()) GTEST_SKIP() << "no compiler";
+  jit::Registry::instance().set_mode(jit::Mode::kJit);
+  // Deliberately irregular: a regular graph row-normalizes to a doubly
+  // stochastic matrix whose uniform start is already stationary, and
+  // PageRank would converge after ONE iteration (one chain).
+  Matrix graph = Matrix({{0, 1, 1, 0, 0},
+                         {0, 0, 1, 0, 0},
+                         {1, 0, 0, 1, 0},
+                         {0, 0, 0, 0, 1},
+                         {1, 0, 0, 0, 0}});
+  const std::uint64_t chains_before = ctr(obs::Counter::kFusionChains);
+  const std::uint64_t stmts_before = ctr(obs::Counter::kFusionFusedStatements);
+  const std::uint64_t eager_before = ctr(obs::Counter::kFusionEagerOps);
+  Vector pr = algo::dsl_page_rank(graph, 0.85, 1e-9, 30);
+  const std::uint64_t chains = ctr(obs::Counter::kFusionChains) - chains_before;
+  const std::uint64_t stmts =
+      ctr(obs::Counter::kFusionFusedStatements) - stmts_before;
+  ASSERT_GE(chains, 2u) << "inner loop did not fuse";
+  // Every iteration's four value ops land in ONE chain dispatch: exactly
+  // 4 fused statements per chain, and nothing degraded to eager replay.
+  EXPECT_EQ(stmts, chains * 4);
+  EXPECT_EQ(ctr(obs::Counter::kFusionEagerOps), eager_before);
+  // And the result is still a probability-ish distribution.
+  double sum = 0.0;
+  for (gbtl::IndexType i = 0; i < pr.size(); ++i) sum += pr.get(i);
+  EXPECT_NEAR(sum, 1.0, 1e-6);
+}
+
+TEST_F(PlanTest, PageRankLazyMatchesEagerExactly) {
+  for (jit::Mode mode : test_modes()) {
+    jit::Registry::instance().set_mode(mode);
+    Matrix graph = Matrix({{0, 1, 0, 0, 1},
+                           {1, 0, 1, 0, 0},
+                           {0, 1, 0, 1, 0},
+                           {0, 0, 1, 0, 1},
+                           {1, 0, 0, 1, 0}});
+    Vector lazy_pr = algo::dsl_page_rank(graph, 0.85, 1e-9, 30);
+    fusion::set_enabled(false);
+    Vector eager_pr = algo::dsl_page_rank(graph, 0.85, 1e-9, 30);
+    fusion::set_enabled(true);
+    EXPECT_TRUE(lazy_pr.equals(eager_pr)) << "mode " << mode_name(mode);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Satellite 3: typed scalar chain parameters.
+// ---------------------------------------------------------------------------
+
+TEST_F(PlanTest, ScalarParamDtypeInSignature) {
+  FusedChain f64("sig_probe");
+  f64.vector_param("t", DType::kFP64);
+  f64.scalar_param("s");  // defaults to kFP64
+  FusedChain f32("sig_probe");
+  f32.vector_param("t", DType::kFP64);
+  f32.scalar_param("s", DType::kFP32);
+  EXPECT_NE(f64.signature(), f32.signature())
+      << "scalar dtype must be part of the module key";
+}
+
+TEST_F(PlanTest, ScalarBindingRejectsMismatchedDtype) {
+  FusedChain chain("typed_scalar");
+  const int t = chain.vector_param("t", DType::kFP64);
+  const int s = chain.scalar_param("s", DType::kFP32);
+  chain.assign_constant(t, s);
+  Vector out(4);
+  // A bare double literal only binds kFP64 scalar params.
+  EXPECT_THROW(chain.run({out, 3.0}), ChainBindingError);
+  // A Scalar of the wrong dtype is rejected too.
+  EXPECT_THROW(chain.run({out, Scalar(3.0, DType::kFP64)}),
+               ChainBindingError);
+  // ChainBindingError stays catchable as std::invalid_argument.
+  EXPECT_THROW(chain.run({out, 3.0}), std::invalid_argument);
+}
+
+TEST_F(PlanTest, TypedScalarBindingRunsAtDeclaredDtype) {
+  if (!jit::compiler_available()) GTEST_SKIP() << "no compiler";
+  jit::Registry::instance().set_mode(jit::Mode::kJit);
+  FusedChain chain("typed_scalar_run");
+  const int t = chain.vector_param("t", DType::kInt32);
+  const int s = chain.scalar_param("s", DType::kInt32);
+  chain.assign_constant(t, s);
+  Vector out(3, DType::kInt32);
+  chain.run({out, Scalar(std::int32_t{7})});
+  EXPECT_EQ(out.get_element(0).to_int64(), 7);
+  EXPECT_EQ(out.get_element(2).to_int64(), 7);
+}
+
+}  // namespace
