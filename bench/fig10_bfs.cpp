@@ -1,8 +1,11 @@
 // bench_fig10_bfs — Fig. 10, BFS panel: run time vs |V| for the three
-// implementation tiers on ER graphs with |E| = |V|^1.5.
+// implementation tiers on ER graphs with |E| = |V|^1.5, plus the
+// thread × backend sweep on R-MAT graphs (docs/BACKENDS.md).
 #include "fig10_common.hpp"
 
 #include "bench_json.hpp"
+
+#include <chrono>
 
 #include "algorithms/bfs.hpp"
 
@@ -46,7 +49,39 @@ void BM_BFS_NativeGBTL(benchmark::State& state) {
   fig10::annotate(state, graph.nvals());
 }
 
+/// Worker-pool thread sweep on a skewed R-MAT graph: range(0) = scale,
+/// range(1) = GBTL_NUM_THREADS, range(2) = backend (0 scalar, 1 simd).
+/// BFS is where the simd backend's direction-optimized mxv earns its keep:
+/// the dense middle plies pull over the cached transpose instead of
+/// scattering the whole frontier.
+void BM_BFS_ThreadSweep(benchmark::State& state) {
+  const auto scale = static_cast<unsigned>(state.range(0));
+  const auto threads = static_cast<unsigned>(state.range(1));
+  const bool simd = state.range(2) != 0;
+  const auto& graph = fig10::rmat_matrix(scale).typed<double>();
+  fig10::ThreadCountGuard guard(threads);
+  fig10::BackendGuard backend(simd);
+  double total_seconds = 0.0;
+  std::int64_t iters = 0;
+  for (auto _ : state) {
+    const auto t0 = std::chrono::steady_clock::now();
+    gbtl::Vector<std::int64_t> levels(graph.nrows());
+    benchmark::DoNotOptimize(pygb::algo::bfs_from(graph, 0, levels));
+    total_seconds +=
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    ++iters;
+  }
+  fig10::annotate_sweep(state, "bfs", scale, threads, graph.nvals(),
+                        iters > 0 ? total_seconds / iters : 0.0,
+                        simd ? "simd" : "scalar");
+}
+
 }  // namespace
+
+BENCHMARK(BM_BFS_ThreadSweep)
+    ->ArgsProduct({{12, 13}, {1, 2, 4, 8}, {0, 1}})
+    ->Unit(benchmark::kMillisecond);
 
 BENCHMARK(BM_BFS_PyGB_PythonLoops)
     ->RangeMultiplier(2)

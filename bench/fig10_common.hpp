@@ -20,6 +20,7 @@
 #include <string>
 
 #include "algorithms/dsl_algorithms.hpp"
+#include "gbtl/detail/backend.hpp"
 #include "gbtl/detail/parallel.hpp"
 #include "generators/erdos_renyi.hpp"
 #include "generators/rmat.hpp"
@@ -75,32 +76,69 @@ class ThreadCountGuard {
   unsigned saved_;
 };
 
-/// Per-series 1-thread baselines for the thread sweeps, keyed by
-/// "<bench>/<scale>". Thread counts are registered ascending, so the
-/// 1-thread run of each series executes first and seeds the baseline.
+/// RAII guard pinning the kernel backend (docs/BACKENDS.md) for one bench
+/// series. The native thread-sweep algorithms read the process default, so
+/// this is how the sweeps flip between scalar and simd kernels.
+class BackendGuard {
+ public:
+  explicit BackendGuard(bool simd) : saved_(gbtl::detail::default_backend()) {
+    gbtl::detail::set_default_backend(simd
+                                          ? gbtl::detail::Backend::kSimd
+                                          : gbtl::detail::Backend::kScalar);
+  }
+  ~BackendGuard() { gbtl::detail::set_default_backend(saved_); }
+
+ private:
+  gbtl::detail::Backend saved_;
+};
+
+/// Per-series baselines for the thread sweeps, keyed by
+/// "<bench>/<scale>/<backend>" (1-thread baseline of that backend) and
+/// "<bench>/<scale>/<threads>t" (scalar baseline at that thread count).
+/// Sweep axes are registered so 1-thread and scalar runs execute before
+/// the runs compared against them.
 inline std::map<std::string, double>& sweep_baselines() {
   static std::map<std::string, double> baselines;
   return baselines;
 }
 
-/// Annotate a thread-sweep run: thread count, graph shape, and the
-/// speedup over the same series' 1-thread run (counter `speedup_vs_1t`).
+/// Annotate a thread-sweep run: thread count, graph shape, the speedup
+/// over the SAME backend's 1-thread run (`speedup_vs_1t` — per-backend by
+/// construction, so the two backends' scaling curves are separable in the
+/// bench JSON), and for simd runs the speedup over the scalar backend at
+/// the same thread count (`speedup_vs_scalar`).
 inline void annotate_sweep(benchmark::State& state, const std::string& series,
                            unsigned scale, unsigned threads, std::size_t nnz,
-                           double mean_seconds) {
-  const std::string key = series + "/" + std::to_string(scale);
+                           double mean_seconds,
+                           const char* backend = "scalar") {
+  const std::string key =
+      series + "/" + std::to_string(scale) + "/" + backend;
+  const std::string xkey =
+      series + "/" + std::to_string(scale) + "/" + std::to_string(threads) +
+      "t";
   auto& baselines = sweep_baselines();
   if (threads == 1) baselines[key] = mean_seconds;
+  const bool is_scalar = std::string(backend) == "scalar";
+  if (is_scalar) baselines[xkey] = mean_seconds;
   state.counters["threads"] =
       benchmark::Counter(static_cast<double>(threads));
   state.counters["vertices"] =
       benchmark::Counter(static_cast<double>(1u << scale));
   state.counters["edges"] = benchmark::Counter(static_cast<double>(nnz));
+  state.counters["simd"] = benchmark::Counter(is_scalar ? 0.0 : 1.0);
   const auto base = baselines.find(key);
   if (base != baselines.end() && mean_seconds > 0.0) {
     state.counters["speedup_vs_1t"] =
         benchmark::Counter(base->second / mean_seconds);
   }
+  if (!is_scalar && mean_seconds > 0.0) {
+    const auto xbase = baselines.find(xkey);
+    if (xbase != baselines.end()) {
+      state.counters["speedup_vs_scalar"] =
+          benchmark::Counter(xbase->second / mean_seconds);
+    }
+  }
+  state.SetLabel(backend);
 }
 
 /// RAII guard applying the CPython overhead model for one bench series.

@@ -78,12 +78,17 @@ void BM_PageRank_NativeGBTL(benchmark::State& state) {
 }
 
 /// Worker-pool thread sweep on a skewed R-MAT graph: range(0) = scale,
-/// range(1) = GBTL_NUM_THREADS. Reports speedup_vs_1t per series.
+/// range(1) = GBTL_NUM_THREADS, range(2) = backend (0 scalar, 1 simd).
+/// Reports speedup_vs_1t per (series, backend) and speedup_vs_scalar for
+/// the simd runs (docs/BACKENDS.md). The backend axis varies fastest, so
+/// each scalar run seeds the baseline its simd twin is compared against.
 void BM_PageRank_ThreadSweep(benchmark::State& state) {
   const auto scale = static_cast<unsigned>(state.range(0));
   const auto threads = static_cast<unsigned>(state.range(1));
+  const bool simd = state.range(2) != 0;
   const auto& graph = fig10::rmat_matrix(scale).typed<double>();
   fig10::ThreadCountGuard guard(threads);
+  fig10::BackendGuard backend(simd);
   double total_seconds = 0.0;
   std::int64_t iters = 0;
   for (auto _ : state) {
@@ -96,13 +101,14 @@ void BM_PageRank_ThreadSweep(benchmark::State& state) {
     ++iters;
   }
   fig10::annotate_sweep(state, "pagerank", scale, threads, graph.nvals(),
-                        iters > 0 ? total_seconds / iters : 0.0);
+                        iters > 0 ? total_seconds / iters : 0.0,
+                        simd ? "simd" : "scalar");
 }
 
 }  // namespace
 
 BENCHMARK(BM_PageRank_ThreadSweep)
-    ->ArgsProduct({{12, 13}, {1, 2, 4, 8}})
+    ->ArgsProduct({{12, 13}, {1, 2, 4, 8}, {0, 1}})
     ->Unit(benchmark::kMillisecond);
 
 BENCHMARK(BM_PageRank_PyGB_PythonLoops)

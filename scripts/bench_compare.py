@@ -71,7 +71,14 @@ def cmd_compare(args):
     regressions = []
     print(f"{'benchmark':60s} {'base ns':>14s} {'head ns':>14s} {'delta':>8s}")
     for name in shared:
-        b, h = base[name]["real_ns"], head[name]["real_ns"]
+        # Older artifacts (or records written mid-migration) may lack the
+        # metric entirely — skip with a warning instead of a KeyError.
+        b = base[name].get("real_ns")
+        h = head[name].get("real_ns")
+        if b is None or h is None:
+            print(f"warning: {name}: missing real_ns "
+                  f"(base={b!r}, head={h!r}), skipping", file=sys.stderr)
+            continue
         if not b:
             continue
         delta = (h - b) / b

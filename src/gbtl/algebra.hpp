@@ -193,6 +193,7 @@ class BinaryOpBind1st {
   constexpr BinaryOpBind1st(T bound, BinaryOpT op = BinaryOpT{})
       : bound_(bound), op_(op) {}
   constexpr auto operator()(const T& rhs) const { return op_(bound_, rhs); }
+  constexpr T bound() const { return bound_; }
 
  private:
   T bound_;
@@ -205,6 +206,7 @@ class BinaryOpBind2nd {
   constexpr BinaryOpBind2nd(T bound, BinaryOpT op = BinaryOpT{})
       : bound_(bound), op_(op) {}
   constexpr auto operator()(const T& lhs) const { return op_(lhs, bound_); }
+  constexpr T bound() const { return bound_; }
 
  private:
   T bound_;

@@ -23,8 +23,10 @@
 #include "gbtl/detail/pool.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <cstring>
 #include <exception>
 #include <mutex>
 #include <stdexcept>
@@ -300,7 +302,25 @@ void api_mem_release(std::uint64_t bytes) {
 int api_fault_check(const char* site) {
   return static_cast<int>(pygb::faultinj::check(site).action);
 }
+// Leaf atomics for the mxv direction-optimization decisions (the simd
+// backend's push-vs-pull choice, gbtl/ops/mxv.hpp). They live HERE — not in
+// pygb::obs — because the notes arrive through this routing layer from both
+// in-repo kernels and dlopen'd modules, and gbtl_pool cannot link obs;
+// obs.cpp mirrors them into its counter table (kMxvPushDecisions /
+// kMxvPullDecisions) the same way it mirrors the governor's stats.
+std::atomic<std::uint64_t> g_mxv_push_decisions{0};
+std::atomic<std::uint64_t> g_mxv_pull_decisions{0};
+
+void note_counters(const char* what) {
+  if (std::strcmp(what, "mxv_push") == 0) {
+    g_mxv_push_decisions.fetch_add(1, std::memory_order_relaxed);
+  } else if (std::strcmp(what, "mxv_pull") == 0) {
+    g_mxv_pull_decisions.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
 void api_flight_note(const char* what, std::uint64_t v0, std::uint64_t v1) {
+  note_counters(what);
   pygb::flightrec::record(pygb::flightrec::EventKind::kModule, what, v0, v1);
 }
 
@@ -334,7 +354,19 @@ int pool_fault_check(const char* site) noexcept {
 
 void pool_flight_note(const char* what, std::uint64_t v0,
                       std::uint64_t v1) noexcept {
+  note_counters(what);
   pygb::flightrec::record(pygb::flightrec::EventKind::kModule, what, v0, v1);
+}
+
+std::uint64_t mxv_push_decisions() noexcept {
+  return g_mxv_push_decisions.load(std::memory_order_relaxed);
+}
+std::uint64_t mxv_pull_decisions() noexcept {
+  return g_mxv_pull_decisions.load(std::memory_order_relaxed);
+}
+void reset_mxv_decisions() noexcept {
+  g_mxv_push_decisions.store(0, std::memory_order_relaxed);
+  g_mxv_pull_decisions.store(0, std::memory_order_relaxed);
 }
 
 const PoolApi* host_pool_api() {

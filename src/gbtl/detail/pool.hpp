@@ -132,6 +132,14 @@ int pool_fault_check(const char* site) noexcept;
 void pool_flight_note(const char* what, std::uint64_t v0,
                       std::uint64_t v1) noexcept;
 
+/// mxv direction-optimization decision counters (gbtl/ops/mxv.hpp). Kept
+/// here because flight notes from BOTH in-repo kernels and dlopen'd
+/// modules funnel through this layer; pygb::obs mirrors them into its
+/// counter table for `--stats`.
+std::uint64_t mxv_push_decisions() noexcept;
+std::uint64_t mxv_pull_decisions() noexcept;
+void reset_mxv_decisions() noexcept;
+
 #else  // !GBTL_POOL_LINKED — a JIT module compiled without libpygb.
 
 /// The host-injected pool table (null until pygb_module_set_pool runs).

@@ -1,0 +1,403 @@
+// gbtl/detail/simd.hpp — AVX2-width inner loops for the dense elementwise
+// hot paths of the `simd` backend (docs/BACKENDS.md).
+//
+// Scope is deliberately narrow: only per-element-INDEPENDENT work is
+// vectorized (eWise add/mult over fully dense vectors, apply with a plain
+// or bound arithmetic op). Lane-parallel ⊕-reductions are excluded on
+// purpose — reassociating a float fold would break the bit-identity
+// guarantee the differential and property suites pin down. Min/Max are
+// also excluded: `vminpd`/`vmaxpd` resolve ties (and ±0.0) toward the
+// second operand while std::min/max keep the first, which is visible at
+// the bit level.
+//
+// Every vectorized op here is bit-exact per lane (IEEE +, -, *, / and
+// sign-flip are deterministic elementwise), so scalar and simd backends
+// produce identical bytes.
+//
+// The AVX2 bodies are concrete functions carrying
+// __attribute__((target("avx2"))) — no global -mavx2 flag, so this header
+// stays safe to compile into JIT modules with the stock g++ invocation —
+// and every caller falls back to its own scalar loop when cpu_has_avx2()
+// is false (or on non-x86).
+#pragma once
+
+#include <cstddef>
+#include <type_traits>
+
+#include "gbtl/algebra.hpp"
+#include "gbtl/detail/backend.hpp"
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#define GBTL_SIMD_X86 1
+#endif
+
+namespace gbtl::detail {
+
+// --- which (op, dtype) pairs vectorize -------------------------------------
+
+enum class VecBin : int { kNone = -1, kAdd = 0, kSub, kMul, kDiv };
+enum class VecUn : int {
+  kNone = -1,
+  kCopy = 0,  ///< Identity
+  kNeg,       ///< AdditiveInverse (sign-bit flip: exact -x)
+  kAddS,      ///< x + s
+  kSubS,      ///< x - s
+  kRsubS,     ///< s - x
+  kMulS,      ///< x * s
+  kDivS,      ///< x / s
+  kRdivS,     ///< s / x
+};
+
+template <typename T>
+inline constexpr bool vec_dtype_v =
+    std::is_same_v<T, double> || std::is_same_v<T, float>;
+
+template <typename Op, typename T>
+struct VecBinOf {
+  static constexpr VecBin kind = VecBin::kNone;
+};
+template <typename T>
+struct VecBinOf<Plus<T, T, T>, T> {
+  static constexpr VecBin kind = VecBin::kAdd;
+};
+template <typename T>
+struct VecBinOf<Minus<T, T, T>, T> {
+  static constexpr VecBin kind = VecBin::kSub;
+};
+template <typename T>
+struct VecBinOf<Times<T, T, T>, T> {
+  static constexpr VecBin kind = VecBin::kMul;
+};
+template <typename T>
+struct VecBinOf<Div<T, T, T>, T> {
+  static constexpr VecBin kind = VecBin::kDiv;
+};
+
+// --- AVX2 bodies ------------------------------------------------------------
+
+#if defined(GBTL_SIMD_X86)
+
+__attribute__((target("avx2"))) inline void avx2_bin_f64(
+    VecBin kind, const double* a, const double* b, double* out,
+    std::size_t n) {
+  std::size_t i = 0;
+  switch (kind) {
+    case VecBin::kAdd:
+      for (; i + 4 <= n; i += 4) {
+        _mm256_storeu_pd(out + i, _mm256_add_pd(_mm256_loadu_pd(a + i),
+                                                _mm256_loadu_pd(b + i)));
+      }
+      for (; i < n; ++i) out[i] = a[i] + b[i];
+      break;
+    case VecBin::kSub:
+      for (; i + 4 <= n; i += 4) {
+        _mm256_storeu_pd(out + i, _mm256_sub_pd(_mm256_loadu_pd(a + i),
+                                                _mm256_loadu_pd(b + i)));
+      }
+      for (; i < n; ++i) out[i] = a[i] - b[i];
+      break;
+    case VecBin::kMul:
+      for (; i + 4 <= n; i += 4) {
+        _mm256_storeu_pd(out + i, _mm256_mul_pd(_mm256_loadu_pd(a + i),
+                                                _mm256_loadu_pd(b + i)));
+      }
+      for (; i < n; ++i) out[i] = a[i] * b[i];
+      break;
+    case VecBin::kDiv:
+      for (; i + 4 <= n; i += 4) {
+        _mm256_storeu_pd(out + i, _mm256_div_pd(_mm256_loadu_pd(a + i),
+                                                _mm256_loadu_pd(b + i)));
+      }
+      for (; i < n; ++i) out[i] = a[i] / b[i];
+      break;
+    case VecBin::kNone:
+      break;
+  }
+}
+
+__attribute__((target("avx2"))) inline void avx2_bin_f32(
+    VecBin kind, const float* a, const float* b, float* out, std::size_t n) {
+  std::size_t i = 0;
+  switch (kind) {
+    case VecBin::kAdd:
+      for (; i + 8 <= n; i += 8) {
+        _mm256_storeu_ps(out + i, _mm256_add_ps(_mm256_loadu_ps(a + i),
+                                                _mm256_loadu_ps(b + i)));
+      }
+      for (; i < n; ++i) out[i] = a[i] + b[i];
+      break;
+    case VecBin::kSub:
+      for (; i + 8 <= n; i += 8) {
+        _mm256_storeu_ps(out + i, _mm256_sub_ps(_mm256_loadu_ps(a + i),
+                                                _mm256_loadu_ps(b + i)));
+      }
+      for (; i < n; ++i) out[i] = a[i] - b[i];
+      break;
+    case VecBin::kMul:
+      for (; i + 8 <= n; i += 8) {
+        _mm256_storeu_ps(out + i, _mm256_mul_ps(_mm256_loadu_ps(a + i),
+                                                _mm256_loadu_ps(b + i)));
+      }
+      for (; i < n; ++i) out[i] = a[i] * b[i];
+      break;
+    case VecBin::kDiv:
+      for (; i + 8 <= n; i += 8) {
+        _mm256_storeu_ps(out + i, _mm256_div_ps(_mm256_loadu_ps(a + i),
+                                                _mm256_loadu_ps(b + i)));
+      }
+      for (; i < n; ++i) out[i] = a[i] / b[i];
+      break;
+    case VecBin::kNone:
+      break;
+  }
+}
+
+__attribute__((target("avx2"))) inline void avx2_un_f64(
+    VecUn kind, const double* a, double s, double* out, std::size_t n) {
+  std::size_t i = 0;
+  const __m256d vs = _mm256_set1_pd(s);
+  const __m256d sign = _mm256_set1_pd(-0.0);
+  switch (kind) {
+    case VecUn::kCopy:
+      for (; i + 4 <= n; i += 4) {
+        _mm256_storeu_pd(out + i, _mm256_loadu_pd(a + i));
+      }
+      for (; i < n; ++i) out[i] = a[i];
+      break;
+    case VecUn::kNeg:
+      for (; i + 4 <= n; i += 4) {
+        _mm256_storeu_pd(out + i,
+                         _mm256_xor_pd(_mm256_loadu_pd(a + i), sign));
+      }
+      for (; i < n; ++i) out[i] = -a[i];
+      break;
+    case VecUn::kAddS:
+      for (; i + 4 <= n; i += 4) {
+        _mm256_storeu_pd(out + i, _mm256_add_pd(_mm256_loadu_pd(a + i), vs));
+      }
+      for (; i < n; ++i) out[i] = a[i] + s;
+      break;
+    case VecUn::kSubS:
+      for (; i + 4 <= n; i += 4) {
+        _mm256_storeu_pd(out + i, _mm256_sub_pd(_mm256_loadu_pd(a + i), vs));
+      }
+      for (; i < n; ++i) out[i] = a[i] - s;
+      break;
+    case VecUn::kRsubS:
+      for (; i + 4 <= n; i += 4) {
+        _mm256_storeu_pd(out + i, _mm256_sub_pd(vs, _mm256_loadu_pd(a + i)));
+      }
+      for (; i < n; ++i) out[i] = s - a[i];
+      break;
+    case VecUn::kMulS:
+      for (; i + 4 <= n; i += 4) {
+        _mm256_storeu_pd(out + i, _mm256_mul_pd(_mm256_loadu_pd(a + i), vs));
+      }
+      for (; i < n; ++i) out[i] = a[i] * s;
+      break;
+    case VecUn::kDivS:
+      for (; i + 4 <= n; i += 4) {
+        _mm256_storeu_pd(out + i, _mm256_div_pd(_mm256_loadu_pd(a + i), vs));
+      }
+      for (; i < n; ++i) out[i] = a[i] / s;
+      break;
+    case VecUn::kRdivS:
+      for (; i + 4 <= n; i += 4) {
+        _mm256_storeu_pd(out + i, _mm256_div_pd(vs, _mm256_loadu_pd(a + i)));
+      }
+      for (; i < n; ++i) out[i] = s / a[i];
+      break;
+    case VecUn::kNone:
+      break;
+  }
+}
+
+__attribute__((target("avx2"))) inline void avx2_un_f32(
+    VecUn kind, const float* a, float s, float* out, std::size_t n) {
+  std::size_t i = 0;
+  const __m256 vs = _mm256_set1_ps(s);
+  const __m256 sign = _mm256_set1_ps(-0.0f);
+  switch (kind) {
+    case VecUn::kCopy:
+      for (; i + 8 <= n; i += 8) {
+        _mm256_storeu_ps(out + i, _mm256_loadu_ps(a + i));
+      }
+      for (; i < n; ++i) out[i] = a[i];
+      break;
+    case VecUn::kNeg:
+      for (; i + 8 <= n; i += 8) {
+        _mm256_storeu_ps(out + i,
+                         _mm256_xor_ps(_mm256_loadu_ps(a + i), sign));
+      }
+      for (; i < n; ++i) out[i] = -a[i];
+      break;
+    case VecUn::kAddS:
+      for (; i + 8 <= n; i += 8) {
+        _mm256_storeu_ps(out + i, _mm256_add_ps(_mm256_loadu_ps(a + i), vs));
+      }
+      for (; i < n; ++i) out[i] = a[i] + s;
+      break;
+    case VecUn::kSubS:
+      for (; i + 8 <= n; i += 8) {
+        _mm256_storeu_ps(out + i, _mm256_sub_ps(_mm256_loadu_ps(a + i), vs));
+      }
+      for (; i < n; ++i) out[i] = a[i] - s;
+      break;
+    case VecUn::kRsubS:
+      for (; i + 8 <= n; i += 8) {
+        _mm256_storeu_ps(out + i, _mm256_sub_ps(vs, _mm256_loadu_ps(a + i)));
+      }
+      for (; i < n; ++i) out[i] = s - a[i];
+      break;
+    case VecUn::kMulS:
+      for (; i + 8 <= n; i += 8) {
+        _mm256_storeu_ps(out + i, _mm256_mul_ps(_mm256_loadu_ps(a + i), vs));
+      }
+      for (; i < n; ++i) out[i] = a[i] * s;
+      break;
+    case VecUn::kDivS:
+      for (; i + 8 <= n; i += 8) {
+        _mm256_storeu_ps(out + i, _mm256_div_ps(_mm256_loadu_ps(a + i), vs));
+      }
+      for (; i < n; ++i) out[i] = a[i] / s;
+      break;
+    case VecUn::kRdivS:
+      for (; i + 8 <= n; i += 8) {
+        _mm256_storeu_ps(out + i, _mm256_div_ps(vs, _mm256_loadu_ps(a + i)));
+      }
+      for (; i < n; ++i) out[i] = s / a[i];
+      break;
+    case VecUn::kNone:
+      break;
+  }
+}
+
+#endif  // GBTL_SIMD_X86
+
+// --- typed entry points -----------------------------------------------------
+
+/// out[i] = op(a[i], b[i]) for i < n via AVX2, when `Op` is a homogeneous
+/// float/double +,-,*,/ and the CPU has AVX2. Returns false otherwise —
+/// the caller runs its (bit-identical) scalar loop.
+template <typename Op, typename T>
+inline bool vec_binary_dense(const T* a, const T* b, T* out, std::size_t n) {
+#if defined(GBTL_SIMD_X86)
+  constexpr VecBin kind = VecBinOf<Op, T>::kind;
+  if constexpr (kind != VecBin::kNone && vec_dtype_v<T>) {
+    if (!cpu_has_avx2()) return false;
+    if constexpr (std::is_same_v<T, double>) {
+      avx2_bin_f64(kind, a, b, out, n);
+    } else {
+      avx2_bin_f32(kind, a, b, out, n);
+    }
+    return true;
+  }
+#endif
+  (void)a;
+  (void)b;
+  (void)out;
+  (void)n;
+  return false;
+}
+
+/// Unary-kind extraction for apply: plain Identity/AdditiveInverse, and
+/// the BinaryOpBind1st/2nd adaptors over +,-,*,/ (the PageRank teleport
+/// `x + s` and damping `x * s` shapes).
+template <typename F, typename T>
+struct VecUnOf {
+  static constexpr VecUn kind = VecUn::kNone;
+  static T bound(const F&) { return T{}; }
+};
+template <typename T>
+struct VecUnOf<Identity<T, T>, T> {
+  static constexpr VecUn kind = VecUn::kCopy;
+  static T bound(const Identity<T, T>&) { return T{}; }
+};
+template <typename T>
+struct VecUnOf<AdditiveInverse<T, T>, T> {
+  static constexpr VecUn kind = VecUn::kNeg;
+  static T bound(const AdditiveInverse<T, T>&) { return T{}; }
+};
+template <typename T>
+struct VecUnOf<BinaryOpBind2nd<T, Plus<T, T, T>>, T> {
+  static constexpr VecUn kind = VecUn::kAddS;
+  static T bound(const BinaryOpBind2nd<T, Plus<T, T, T>>& f) {
+    return f.bound();
+  }
+};
+template <typename T>
+struct VecUnOf<BinaryOpBind2nd<T, Minus<T, T, T>>, T> {
+  static constexpr VecUn kind = VecUn::kSubS;
+  static T bound(const BinaryOpBind2nd<T, Minus<T, T, T>>& f) {
+    return f.bound();
+  }
+};
+template <typename T>
+struct VecUnOf<BinaryOpBind2nd<T, Times<T, T, T>>, T> {
+  static constexpr VecUn kind = VecUn::kMulS;
+  static T bound(const BinaryOpBind2nd<T, Times<T, T, T>>& f) {
+    return f.bound();
+  }
+};
+template <typename T>
+struct VecUnOf<BinaryOpBind2nd<T, Div<T, T, T>>, T> {
+  static constexpr VecUn kind = VecUn::kDivS;
+  static T bound(const BinaryOpBind2nd<T, Div<T, T, T>>& f) {
+    return f.bound();
+  }
+};
+template <typename T>
+struct VecUnOf<BinaryOpBind1st<T, Plus<T, T, T>>, T> {
+  static constexpr VecUn kind = VecUn::kAddS;  // s + x == x + s bitwise
+  static T bound(const BinaryOpBind1st<T, Plus<T, T, T>>& f) {
+    return f.bound();
+  }
+};
+template <typename T>
+struct VecUnOf<BinaryOpBind1st<T, Minus<T, T, T>>, T> {
+  static constexpr VecUn kind = VecUn::kRsubS;
+  static T bound(const BinaryOpBind1st<T, Minus<T, T, T>>& f) {
+    return f.bound();
+  }
+};
+template <typename T>
+struct VecUnOf<BinaryOpBind1st<T, Times<T, T, T>>, T> {
+  static constexpr VecUn kind = VecUn::kMulS;  // s * x == x * s bitwise
+  static T bound(const BinaryOpBind1st<T, Times<T, T, T>>& f) {
+    return f.bound();
+  }
+};
+template <typename T>
+struct VecUnOf<BinaryOpBind1st<T, Div<T, T, T>>, T> {
+  static constexpr VecUn kind = VecUn::kRdivS;
+  static T bound(const BinaryOpBind1st<T, Div<T, T, T>>& f) {
+    return f.bound();
+  }
+};
+
+/// out[i] = f(a[i]) for i < n via AVX2 when `F` is one of the recognized
+/// unary shapes over float/double. Returns false otherwise.
+template <typename F, typename T>
+inline bool vec_unary_dense(const F& f, const T* a, T* out, std::size_t n) {
+#if defined(GBTL_SIMD_X86)
+  constexpr VecUn kind = VecUnOf<F, T>::kind;
+  if constexpr (kind != VecUn::kNone && vec_dtype_v<T>) {
+    if (!cpu_has_avx2()) return false;
+    const T s = VecUnOf<F, T>::bound(f);
+    if constexpr (std::is_same_v<T, double>) {
+      avx2_un_f64(kind, a, s, out, n);
+    } else {
+      avx2_un_f32(kind, a, s, out, n);
+    }
+    return true;
+  }
+#endif
+  (void)f;
+  (void)a;
+  (void)out;
+  (void)n;
+  return false;
+}
+
+}  // namespace gbtl::detail

@@ -49,6 +49,20 @@ class SparseAccumulator {
     touched_.clear();
   }
 
+  /// Append-variant of extract_sorted_and_reset for the L2-tiled multiply:
+  /// tiles of one output row arrive left to right, so appending each
+  /// sorted tile keeps the whole row sorted. `out` is NOT cleared.
+  template <typename Row>
+  void extract_sorted_append(Row& out) {
+    std::sort(touched_.begin(), touched_.end());
+    out.reserve(out.size() + touched_.size());
+    for (IndexType j : touched_) {
+      out.emplace_back(j, vals_[j]);
+      occupied_[j] = false;
+    }
+    touched_.clear();
+  }
+
   /// Reset without extracting.
   void reset() {
     for (IndexType j : touched_) occupied_[j] = false;

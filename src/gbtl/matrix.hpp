@@ -9,6 +9,8 @@
 #include <algorithm>
 #include <cassert>
 #include <initializer_list>
+#include <memory>
+#include <mutex>
 #include <ostream>
 #include <utility>
 #include <vector>
@@ -71,6 +73,7 @@ class Matrix {
 
   /// Remove every stored value, keeping the shape.
   void clear() noexcept {
+    invalidate_transpose_cache();
     for (auto& r : rows_) r.clear();
     nvals_ = 0;
   }
@@ -132,6 +135,7 @@ class Matrix {
 
   void setElement(IndexType i, IndexType j, const T& v) {
     check_bounds(i, j);
+    invalidate_transpose_cache();
     auto& row = rows_[i];
     auto pos = lower_bound_col(row, j);
     if (pos != row.end() && pos->first == j) {
@@ -145,6 +149,7 @@ class Matrix {
   /// Remove the stored value at (i, j) if present (no-op otherwise).
   void removeElement(IndexType i, IndexType j) {
     check_bounds(i, j);
+    invalidate_transpose_cache();
     auto& row = rows_[i];
     auto pos = lower_bound_col(row, j);
     if (pos != row.end() && pos->first == j) {
@@ -163,6 +168,7 @@ class Matrix {
   /// Used by the sparse kernels that build outputs row-at-a-time.
   void setRow(IndexType i, Row&& entries) {
     assert(i < nrows_);
+    invalidate_transpose_cache();
     assert(std::is_sorted(entries.begin(), entries.end(),
                           [](const Entry& a, const Entry& b) {
                             return a.first < b.first;
@@ -176,6 +182,56 @@ class Matrix {
   friend bool operator==(const Matrix& a, const Matrix& b) {
     return a.nrows_ == b.nrows_ && a.ncols_ == b.ncols_ &&
            a.nvals_ == b.nvals_ && a.rows_ == b.rows_;
+  }
+
+  // --- cached transpose (backend axis, docs/BACKENDS.md) -------------------
+  //
+  // The simd backend's direction-optimized mxv/vxm pulls over A^T when the
+  // input vector is dense; iterative algorithms (PageRank's per-iteration
+  // vxm, BFS's repeated mxv) reuse one materialization. The cache is an
+  // immutable snapshot invalidated by every mutator; copies share the
+  // mutex but own their cache pointer, so mutating a copy never corrupts
+  // the original's snapshot. Concurrent READERS (the lazy-DAG planner runs
+  // independent components on pool threads) serialize on the mutex; a
+  // mutation concurrent with any other access is a container-contract
+  // violation exactly as for rows_ itself.
+
+  /// Current snapshot of this matrix's transpose, or null. The returned
+  /// shared_ptr keeps the snapshot alive across later invalidation.
+  std::shared_ptr<const Matrix<T>> transpose_cache() const {
+    if (!transpose_mu_) return nullptr;  // moved-from survivor
+    std::lock_guard<std::mutex> lock(*transpose_mu_);
+    return transpose_cache_;
+  }
+
+  /// Install a snapshot; first writer wins under contention. Returns the
+  /// snapshot actually cached.
+  std::shared_ptr<const Matrix<T>> set_transpose_cache(
+      std::shared_ptr<const Matrix<T>> t) const {
+    if (!transpose_mu_) return t;
+    std::lock_guard<std::mutex> lock(*transpose_mu_);
+    if (!transpose_cache_) transpose_cache_ = std::move(t);
+    return transpose_cache_;
+  }
+
+  /// Count one pull-direction request against this matrix and return the
+  /// running total. The direction optimizer (ops/mxv.hpp) only pays for a
+  /// transpose materialization on the second request, so a matrix consumed
+  /// by a single operation never builds a snapshot it would use once.
+  unsigned note_transpose_want() const {
+    if (!transpose_mu_) return 1;  // moved-from survivor
+    std::lock_guard<std::mutex> lock(*transpose_mu_);
+    return ++transpose_want_;
+  }
+
+  /// Apply `f(i, row)` to every row in place. `f` may overwrite stored
+  /// VALUES but must not change the structure (indices, sizes, ordering) —
+  /// nvals bookkeeping is not revisited. A mutator like any other: the
+  /// transpose snapshot is invalidated.
+  template <typename F>
+  void transform_rows(F&& f) {
+    invalidate_transpose_cache();
+    for (IndexType i = 0; i < nrows_; ++i) f(i, rows_[i]);
   }
 
   /// Extract contents back to coordinate arrays (row-major order).
@@ -228,10 +284,18 @@ class Matrix {
     }
   }
 
+  void invalidate_transpose_cache() noexcept { transpose_cache_.reset(); }
+
   IndexType nrows_;
   IndexType ncols_;
   std::size_t nvals_;
   std::vector<Row> rows_;
+  /// Mutable: logically derived data, maintained from const accessors.
+  mutable std::shared_ptr<const Matrix<T>> transpose_cache_;
+  /// Pull-direction interest count (guarded by transpose_mu_).
+  mutable unsigned transpose_want_ = 0;
+  mutable std::shared_ptr<std::mutex> transpose_mu_ =
+      std::make_shared<std::mutex>();
 };
 
 }  // namespace gbtl

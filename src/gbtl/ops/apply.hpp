@@ -9,10 +9,13 @@
 // shared nvals bookkeeping is not thread-safe).
 #pragma once
 
+#include <type_traits>
 #include <utility>
 #include <vector>
 
+#include "gbtl/detail/backend.hpp"
 #include "gbtl/detail/parallel.hpp"
+#include "gbtl/detail/simd.hpp"
 #include "gbtl/detail/write_backend.hpp"
 #include "gbtl/matrix.hpp"
 #include "gbtl/ops/mxm.hpp"  // materialize_transpose
@@ -26,6 +29,20 @@ namespace detail {
 
 template <typename D3, typename AT, typename UnaryOpT>
 Matrix<D3> apply_matrix(const UnaryOpT& f, const Matrix<AT>& a) {
+  // simd-backend fast path: a same-type Identity apply is a verbatim copy,
+  // so take the container copy constructor (whole-row vector copies —
+  // memcpy for these trivially copyable entries) instead of re-emplacing
+  // every element. The copy even shares a's immutable transpose snapshot,
+  // which is equally valid for identical contents.
+  if constexpr (std::is_same_v<AT, D3> &&
+                std::is_same_v<UnaryOpT, Identity<AT, D3>>) {
+    if (simd_enabled()) {
+      ScopedMemCharge copy_charge(
+          a.nrows() * sizeof(typename Matrix<D3>::Row) +
+          a.nvals() * sizeof(std::pair<IndexType, D3>));
+      return Matrix<D3>(a);
+    }
+  }
   Matrix<D3> t(a.nrows(), a.ncols());
   ScopedMemCharge charge(a.nrows() * sizeof(typename Matrix<D3>::Row) +
                          a.nvals() * sizeof(std::pair<IndexType, D3>));
@@ -50,6 +67,21 @@ Matrix<D3> apply_matrix(const UnaryOpT& f, const Matrix<AT>& a) {
 
 template <typename D3, typename UT, typename UnaryOpT>
 Vector<D3> apply_vector(const UnaryOpT& f, const Vector<UT>& u) {
+  // simd-backend fast path: a fully dense input maps to a fully dense
+  // output, so the recognized unary forms (identity/negate/bind-constant
+  // arithmetic) run as one contiguous AVX2 loop. Per-element IEEE-exact —
+  // same value as f(v) at every position.
+  if constexpr (std::is_same_v<UT, D3> && vec_dtype_v<D3>) {
+    if (simd_enabled() && u.fully_dense()) {
+      ScopedMemCharge fast_charge(u.size() * sizeof(D3));
+      std::vector<D3> out(u.size());
+      if (vec_unary_dense(f, u.vals(), out.data(), u.size())) {
+        Vector<D3> fast(u.size());
+        fast.assign_dense(std::move(out));
+        return fast;
+      }
+    }
+  }
   Vector<D3> t(u.size());
   ScopedMemCharge charge(u.size() * (1 + sizeof(D3)));
   std::vector<unsigned char> present(u.size(), 0);
@@ -78,6 +110,25 @@ void apply(Matrix<CT>& c, const MaskT& mask, AccumT accum, const UnaryOpT& f,
   if (c.nrows() != detail::generic_nrows(a) ||
       c.ncols() != detail::generic_ncols(a)) {
     throw DimensionException("apply: output shape differs from input");
+  }
+  // simd-backend fast path: an unmasked, unaccumulated apply whose output
+  // aliases its input (C = f(C), the shape of in-place rescales like
+  // PageRank's damping step) overwrites stored values directly — no
+  // staging matrix, no row reallocation. Element-for-element the same
+  // static_cast<CT>(f(v)) as the staged path, and with NoMask +
+  // NoAccumulate the staged result would replace C wholesale anyway
+  // (merge and replace coincide), so the result is bit-identical.
+  if constexpr (std::is_same_v<MaskT, NoMask> &&
+                std::is_same_v<AccumT, NoAccumulate> &&
+                std::is_same_v<AMatT, Matrix<CT>>) {
+    if (detail::simd_enabled() &&
+        static_cast<const void*>(&c) == static_cast<const void*>(&a)) {
+      c.transform_rows([&f](IndexType, auto& row) {
+        detail::pool_checkpoint();
+        for (auto& [j, v] : row) v = static_cast<CT>(f(v));
+      });
+      return;
+    }
   }
   decltype(auto) ra = detail::resolve_matrix(a);
   auto t = detail::apply_matrix<CT>(f, ra);

@@ -11,10 +11,14 @@
 // afterwards (Vector/Matrix nvals bookkeeping is not thread-safe).
 #pragma once
 
+#include <optional>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
+#include "gbtl/detail/backend.hpp"
 #include "gbtl/detail/parallel.hpp"
+#include "gbtl/detail/simd.hpp"
 #include "gbtl/detail/write_backend.hpp"
 #include "gbtl/matrix.hpp"
 #include "gbtl/ops/mxm.hpp"  // materialize_transpose
@@ -99,9 +103,40 @@ Matrix<D3> ewise_mult_matrix(const BinaryOpT& op, const Matrix<AT>& a,
   return t;
 }
 
+/// simd-backend fast path shared by the vector eWise kernels: both inputs
+/// fully dense ⇒ the op applies at EVERY position (union and intersection
+/// coincide), so the result is a contiguous vectorizable loop. Bit-exact:
+/// the AVX2 lanes compute the same IEEE operation per element as the
+/// scalar loop — no reassociation. Returns nullopt when the op/dtype has
+/// no vector form; the caller falls through to the generic merge.
+template <typename D3, typename AT, typename BT, typename BinaryOpT>
+std::optional<Vector<D3>> ewise_dense_simd(const BinaryOpT& op,
+                                           const Vector<AT>& a,
+                                           const Vector<BT>& b) {
+  if constexpr (std::is_same_v<AT, BT> && std::is_same_v<AT, D3> &&
+                vec_dtype_v<D3>) {
+    if (simd_enabled() && a.fully_dense() && b.fully_dense()) {
+      ScopedMemCharge charge(a.size() * sizeof(D3));
+      std::vector<D3> out(a.size());
+      if (vec_binary_dense<BinaryOpT, D3>(a.vals(), b.vals(), out.data(),
+                                          a.size())) {
+        Vector<D3> t(a.size());
+        t.assign_dense(std::move(out));
+        return t;
+      }
+    }
+  } else {
+    (void)op;
+    (void)a;
+    (void)b;
+  }
+  return std::nullopt;
+}
+
 template <typename D3, typename AT, typename BT, typename BinaryOpT>
 Vector<D3> ewise_add_vector(const BinaryOpT& op, const Vector<AT>& a,
                             const Vector<BT>& b) {
+  if (auto fast = ewise_dense_simd<D3>(op, a, b)) return std::move(*fast);
   Vector<D3> t(a.size());
   ScopedMemCharge charge(a.size() * (1 + sizeof(D3)));
   std::vector<unsigned char> present(a.size(), 0);
@@ -132,6 +167,7 @@ Vector<D3> ewise_add_vector(const BinaryOpT& op, const Vector<AT>& a,
 template <typename D3, typename AT, typename BT, typename BinaryOpT>
 Vector<D3> ewise_mult_vector(const BinaryOpT& op, const Vector<AT>& a,
                              const Vector<BT>& b) {
+  if (auto fast = ewise_dense_simd<D3>(op, a, b)) return std::move(*fast);
   Vector<D3> t(a.size());
   ScopedMemCharge charge(a.size() * (1 + sizeof(D3)));
   std::vector<unsigned char> present(a.size(), 0);

@@ -12,12 +12,16 @@
 //                               Gustavson kernel is used.
 #pragma once
 
+#include <algorithm>
+#include <cstdlib>
 #include <utility>
 #include <vector>
 
 #include "gbtl/algebra.hpp"
+#include "gbtl/detail/backend.hpp"
 #include "gbtl/detail/parallel.hpp"
 #include "gbtl/detail/spa.hpp"
+#include "gbtl/detail/transpose_cache.hpp"
 #include "gbtl/detail/write_backend.hpp"
 #include "gbtl/matrix.hpp"
 #include "gbtl/types.hpp"
@@ -26,6 +30,30 @@
 namespace gbtl {
 
 namespace detail {
+
+/// SPA working-set budget for the simd backend's L2-tiled Gustavson
+/// kernel. Mutable slot (PYGB_MXM_TILE_BYTES seeds it) so the property
+/// tests can force tiling on tiny matrices.
+inline std::uint64_t& mxm_tile_bytes() noexcept {
+  static std::uint64_t bytes = [] {
+    const char* v = std::getenv("PYGB_MXM_TILE_BYTES");
+    return (v != nullptr && *v != '\0')
+               ? static_cast<std::uint64_t>(std::atoll(v))
+               : std::uint64_t{256} * 1024;
+  }();
+  return bytes;
+}
+
+/// True when a plain-mask row stores no truthy value — the whole output
+/// row is masked out and (write_matrix_result never reading masked-out T
+/// entries) legal to skip computing.
+template <typename Row>
+bool mask_row_all_out(const Row& r) {
+  for (const auto& [j, v] : r) {
+    if (static_cast<bool>(v)) return false;
+  }
+  return true;
+}
 
 /// Materialize the transpose of a sparse matrix (O(nnz + nrows + ncols)).
 template <typename T>
@@ -62,24 +90,77 @@ decltype(auto) resolve_matrix(const MatT& a) {
 /// Gustavson kernel: T = A · B, both row-major. Result scalar type D3.
 /// Rows are computed independently (block-parallel when GBTL_NUM_THREADS
 /// > 1; each worker owns its SPA) and assembled sequentially.
-template <typename D3, typename AT, typename BT, typename SemiringT>
+///
+/// Under the simd backend (`simd`):
+///   * when B is wide enough that the SPA working set exceeds
+///     mxm_tile_bytes(), each output row is computed in L2-sized column
+///     tiles — A's row is re-walked per tile with a lower_bound into B's
+///     rows, so only the tile's SPA pages stay hot. Bit-identical to the
+///     untiled loop: per output column j the contributing k's arrive in
+///     the same ascending-a-row order inside exactly one tile.
+///   * a plain matrix mask whose row i stores no truthy entry skips row i
+///     entirely (masked-out T entries are never read by the writer).
+template <typename D3, typename AT, typename BT, typename SemiringT,
+          typename MaskT = NoMask>
 Matrix<D3> mxm_gustavson(const SemiringT& sr, const Matrix<AT>& a,
-                         const Matrix<BT>& b) {
+                         const Matrix<BT>& b, const MaskT& mask = NoMask{},
+                         bool simd = false) {
+  constexpr bool kRowMask = requires { mask.row(IndexType{0}); };
   Matrix<D3> t(a.nrows(), b.ncols());
   ScopedMemCharge charge(a.nrows() * sizeof(typename Matrix<D3>::Row));
   std::vector<typename Matrix<D3>::Row> out_rows(a.nrows());
+
+  const IndexType ncols = b.ncols();
+  IndexType tile_cols = ncols;
+  if (simd) {
+    const std::uint64_t per_col = sizeof(D3) + 1;  // SPA value + flag
+    const std::uint64_t budget = mxm_tile_bytes();
+    if (static_cast<std::uint64_t>(ncols) * per_col > budget) {
+      tile_cols = static_cast<IndexType>(
+          std::max<std::uint64_t>(64, budget / per_col));
+    }
+  }
+  const bool tiled = tile_cols < ncols;
+
   detail::parallel_for_rows(a.nrows(), [&](IndexType begin, IndexType end) {
     SparseAccumulator<D3> spa(b.ncols());
     auto add = [&sr](const D3& x, const D3& y) { return sr.add(x, y); };
+    auto tile_lower = [](const auto& rb, IndexType col) {
+      return std::lower_bound(
+          rb.begin(), rb.end(), col,
+          [](const auto& e, IndexType c) { return e.first < c; });
+    };
     for (IndexType i = begin; i < end; ++i) {
       pool_checkpoint();
-      for (const auto& [k, av] : a.row(i)) {
-        for (const auto& [j, bv] : b.row(k)) {
-          spa.accumulate(j, static_cast<D3>(sr.mult(av, bv)), add);
-        }
+      if constexpr (kRowMask) {
+        if (simd && mask_row_all_out(mask.row(i))) continue;
       }
-      if (spa.touched_count() != 0) {
-        spa.extract_sorted_and_reset(out_rows[i]);
+      const auto& ra = a.row(i);
+      if (ra.empty()) continue;
+      if (!tiled) {
+        for (const auto& [k, av] : ra) {
+          for (const auto& [j, bv] : b.row(k)) {
+            spa.accumulate(j, static_cast<D3>(sr.mult(av, bv)), add);
+          }
+        }
+        if (spa.touched_count() != 0) {
+          spa.extract_sorted_and_reset(out_rows[i]);
+        }
+      } else {
+        auto& out = out_rows[i];
+        for (IndexType t0 = 0; t0 < ncols; t0 += tile_cols) {
+          const IndexType t1 =
+              t0 + tile_cols < ncols ? t0 + tile_cols : ncols;
+          for (const auto& [k, av] : ra) {
+            const auto& rb = b.row(k);
+            for (auto it = tile_lower(rb, t0);
+                 it != rb.end() && it->first < t1; ++it) {
+              spa.accumulate(it->first,
+                             static_cast<D3>(sr.mult(av, it->second)), add);
+            }
+          }
+          if (spa.touched_count() != 0) spa.extract_sorted_append(out);
+        }
       }
     }
   });
@@ -171,12 +252,11 @@ Matrix<D3> mxm_dot_masked(const SemiringT& sr, const Matrix<AT>& a,
 template <typename D3, typename AMatT, typename BMatT, typename MaskT,
           typename SemiringT>
 Matrix<D3> mxm_compute(const SemiringT& sr, const AMatT& a, const BMatT& b,
-                       const MaskT& mask) {
+                       const MaskT& mask, bool simd = false) {
   constexpr bool a_trans = is_transpose_view_v<std::remove_cvref_t<AMatT>>;
   constexpr bool b_trans = is_transpose_view_v<std::remove_cvref_t<BMatT>>;
   if constexpr (!a_trans && !b_trans) {
-    (void)mask;
-    return mxm_gustavson<D3>(sr, a, b);
+    return mxm_gustavson<D3>(sr, a, b, mask, simd);
   } else if constexpr (!a_trans && b_trans) {
     if constexpr (requires { mask.row(IndexType{0}); }) {
       return mxm_dot_masked<D3>(sr, a, b.inner(), mask);
@@ -185,11 +265,18 @@ Matrix<D3> mxm_compute(const SemiringT& sr, const AMatT& a, const BMatT& b,
       return mxm_dot_all<D3>(sr, a, b.inner());
     }
   } else if constexpr (a_trans && !b_trans) {
+    if (simd) {
+      // Cached snapshot: iterative algorithms multiplying by the same A^T
+      // every step materialize the transpose once.
+      auto at = cached_transpose(a.inner());
+      return mxm_gustavson<D3>(sr, *at, b, mask, simd);
+    }
     auto at = materialize_transpose(a.inner());
     return mxm_gustavson<D3>(sr, at, b);
   } else {
-    // A^T · B^T = (B · A)^T — compute B·A then transpose the result.
-    auto ba = mxm_gustavson<D3>(sr, b.inner(), a.inner());
+    // A^T · B^T = (B · A)^T — compute B·A then transpose the result. The
+    // mask does not align with B·A's rows, so no push-down here.
+    auto ba = mxm_gustavson<D3>(sr, b.inner(), a.inner(), NoMask{}, simd);
     return materialize_transpose(ba);
   }
 }
@@ -220,7 +307,9 @@ void mxm(Matrix<CT>& c, const MaskT& mask, AccumT accum, const SemiringT& sr,
       c.ncols() != detail::generic_ncols(b)) {
     throw DimensionException("mxm: output shape != nrows(A) x ncols(B)");
   }
-  auto t = detail::mxm_compute<CT>(sr, a, b, mask);
+  // Read the backend ONCE on the calling thread (worker threads must not
+  // consult their own, unset thread-local slot).
+  auto t = detail::mxm_compute<CT>(sr, a, b, mask, detail::simd_enabled());
   detail::write_matrix_result(c, t, mask, accum, outp);
 }
 

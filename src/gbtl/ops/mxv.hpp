@@ -9,10 +9,28 @@
 //                              frontier = graph.T @ frontier).
 //   * vxm is mxv with the multiply's argument order swapped, so vxm(A) uses
 //     the push kernel and vxm(A^T) the pull kernel.
+//
+// Under the simd backend (docs/BACKENDS.md) the push-orientation sites are
+// DIRECTION-OPTIMIZED: when the input vector is dense enough
+// (PYGB_MXV_PULL_THRESHOLD, default 0.10 of the vector's size) the kernel
+// pulls over a cached materialization of A^T instead of scattering — the
+// GraphBLAST push/pull heuristic. The two directions are bit-identical by
+// construction: push folds contributions into t[j] in ascending stored-i
+// order with a first-touch store, and pull over A^T folds row j's entries
+// (ascending i, by the transpose-materialization invariant) with the same
+// left-fold and the same mult operand order. Each decision is recorded as
+// a flight-recorder note and an obs counter (mxv_push_decisions /
+// mxv_pull_decisions). The simd backend also pushes vector masks down into
+// the kernels: write_vector_result never reads t at masked-out positions,
+// so those entries are legal to skip computing.
 #pragma once
 
+#include <cstdlib>
+
 #include "gbtl/algebra.hpp"
+#include "gbtl/detail/backend.hpp"
 #include "gbtl/detail/parallel.hpp"
+#include "gbtl/detail/transpose_cache.hpp"
 #include "gbtl/detail/write_backend.hpp"
 #include "gbtl/matrix.hpp"
 #include "gbtl/types.hpp"
@@ -23,15 +41,40 @@ namespace gbtl {
 
 namespace detail {
 
+/// Input-vector density at or above which the push-orientation sites pull
+/// over the cached transpose instead. 0 forces pull everywhere stored
+/// entries exist; values > 1 force push. Eligibility alone doesn't build
+/// the transpose: the first eligible request on a matrix still pushes
+/// (cached_transpose_if_amortized), so single-use matrices never pay the
+/// O(nnz) materialization.
+inline double mxv_pull_threshold() noexcept {
+  static const double t = [] {
+    const char* v = std::getenv("PYGB_MXV_PULL_THRESHOLD");
+    return (v != nullptr && *v != '\0') ? std::atof(v) : 0.10;
+  }();
+  return t;
+}
+
+inline bool mxv_should_pull(std::size_t nvals, IndexType size) noexcept {
+  return size != 0 && static_cast<double>(nvals) >=
+                          mxv_pull_threshold() * static_cast<double>(size);
+}
+
 /// Pull kernel: t[i] = ⊕_j mult(A(i,j), u(j)) over stored matches.
 /// MultFlip=false computes mult(a, u); true computes mult(u, a) (for vxm).
 /// Output rows are independent, so the row loop is block-parallel when
 /// GBTL_NUM_THREADS > 1 (workers fill disjoint staging slots; the vector's
 /// shared nvals bookkeeping is updated in the sequential assembly pass).
+///
+/// `mask` + `mask_pushdown`: with push-down enabled, masked-out output
+/// positions are skipped entirely (write_vector_result never reads them).
+/// `dense_u` skips the per-entry presence probes — legal only when every
+/// position of u is stored; the fold order is unchanged either way.
 template <bool MultFlip, typename D3, typename AT, typename UT,
-          typename SemiringT>
+          typename SemiringT, typename MaskT = NoMask>
 Vector<D3> mv_pull(const SemiringT& sr, const Matrix<AT>& a,
-                   const Vector<UT>& u) {
+                   const Vector<UT>& u, const MaskT& mask = NoMask{},
+                   bool mask_pushdown = false, bool dense_u = false) {
   Vector<D3> t(a.nrows());
   ScopedMemCharge charge(a.nrows() * (1 + sizeof(D3)));
   std::vector<unsigned char> present(a.nrows(), 0);
@@ -39,18 +82,44 @@ Vector<D3> mv_pull(const SemiringT& sr, const Matrix<AT>& a,
   detail::parallel_for_rows(a.nrows(), [&](IndexType begin, IndexType end) {
     for (IndexType i = begin; i < end; ++i) {
       pool_checkpoint();
+      if (mask_pushdown && !mask_value(mask, i)) continue;
       bool found = false;
       D3 acc{};
-      for (const auto& [j, av] : a.row(i)) {
-        if (!u.has_unchecked(j)) continue;
-        D3 prod;
-        if constexpr (MultFlip) {
-          prod = static_cast<D3>(sr.mult(u.value_unchecked(j), av));
-        } else {
-          prod = static_cast<D3>(sr.mult(av, u.value_unchecked(j)));
+      if (dense_u) {
+        const auto& row = a.row(i);
+        if (!row.empty()) {
+          found = true;
+          auto it = row.begin();
+          if constexpr (MultFlip) {
+            acc = static_cast<D3>(sr.mult(u.value_unchecked(it->first),
+                                          it->second));
+            for (++it; it != row.end(); ++it) {
+              acc = sr.add(acc, static_cast<D3>(sr.mult(
+                                    u.value_unchecked(it->first),
+                                    it->second)));
+            }
+          } else {
+            acc = static_cast<D3>(sr.mult(it->second,
+                                          u.value_unchecked(it->first)));
+            for (++it; it != row.end(); ++it) {
+              acc = sr.add(acc, static_cast<D3>(sr.mult(
+                                    it->second,
+                                    u.value_unchecked(it->first))));
+            }
+          }
         }
-        acc = found ? sr.add(acc, prod) : prod;
-        found = true;
+      } else {
+        for (const auto& [j, av] : a.row(i)) {
+          if (!u.has_unchecked(j)) continue;
+          D3 prod;
+          if constexpr (MultFlip) {
+            prod = static_cast<D3>(sr.mult(u.value_unchecked(j), av));
+          } else {
+            prod = static_cast<D3>(sr.mult(av, u.value_unchecked(j)));
+          }
+          acc = found ? sr.add(acc, prod) : prod;
+          found = true;
+        }
       }
       if (found) {
         present[i] = 1;
@@ -69,9 +138,10 @@ Vector<D3> mv_pull(const SemiringT& sr, const Matrix<AT>& a,
 /// collide across rows, so this kernel stays sequential (a parallel
 /// version would need per-worker accumulators merged with ⊕).
 template <bool MultFlip, typename D3, typename AT, typename UT,
-          typename SemiringT>
+          typename SemiringT, typename MaskT = NoMask>
 Vector<D3> mv_push(const SemiringT& sr, const Matrix<AT>& a,
-                   const Vector<UT>& u) {
+                   const Vector<UT>& u, const MaskT& mask = NoMask{},
+                   bool mask_pushdown = false) {
   Vector<D3> t(a.ncols());
   ScopedMemCharge charge(a.ncols() / 8 + 1);  // vector<bool> bitmap
   std::vector<bool> present(a.ncols(), false);
@@ -80,6 +150,7 @@ Vector<D3> mv_push(const SemiringT& sr, const Matrix<AT>& a,
     if (!u.has_unchecked(i)) continue;
     const UT uv = u.value_unchecked(i);
     for (const auto& [j, av] : a.row(i)) {
+      if (mask_pushdown && !mask_value(mask, j)) continue;
       D3 prod;
       if constexpr (MultFlip) {
         prod = static_cast<D3>(sr.mult(uv, av));
@@ -112,11 +183,24 @@ void mxv(Vector<WT>& w, const MaskT& mask, AccumT accum, const SemiringT& sr,
   if (w.size() != detail::generic_nrows(a)) {
     throw DimensionException("mxv: size(w) != nrows(A)");
   }
+  // Read the backend ONCE on the calling thread (worker threads must not
+  // consult their own, unset thread-local slot).
+  const bool simd = detail::simd_enabled();
   Vector<WT> t = [&] {
     if constexpr (a_trans) {
-      return detail::mv_push<false, WT>(sr, a.inner(), u);
+      // Push-orientation site (A^T·u): direction-optimize under simd.
+      if (simd && detail::mxv_should_pull(u.nvals(), u.size())) {
+        if (auto at = detail::cached_transpose_if_amortized(a.inner())) {
+          detail::pool_flight_note("mxv_pull", u.nvals(), u.size());
+          return detail::mv_pull<false, WT>(sr, *at, u, mask, simd,
+                                            u.nvals() == u.size());
+        }
+      }
+      if (simd) detail::pool_flight_note("mxv_push", u.nvals(), u.size());
+      return detail::mv_push<false, WT>(sr, a.inner(), u, mask, simd);
     } else {
-      return detail::mv_pull<false, WT>(sr, a, u);
+      return detail::mv_pull<false, WT>(sr, a, u, mask, simd,
+                                        simd && u.nvals() == u.size());
     }
   }();
   detail::write_vector_result(w, t, mask, accum, outp);
@@ -135,11 +219,22 @@ void vxm(Vector<WT>& w, const MaskT& mask, AccumT accum, const SemiringT& sr,
   if (w.size() != detail::generic_ncols(a)) {
     throw DimensionException("vxm: size(w) != ncols(A)");
   }
+  const bool simd = detail::simd_enabled();
   Vector<WT> t = [&] {
     if constexpr (a_trans) {
-      return detail::mv_pull<true, WT>(sr, a.inner(), u);
+      return detail::mv_pull<true, WT>(sr, a.inner(), u, mask, simd,
+                                       simd && u.nvals() == u.size());
     } else {
-      return detail::mv_push<true, WT>(sr, a, u);
+      // Push-orientation site (u·A = A^T·u): direction-optimize under simd.
+      if (simd && detail::mxv_should_pull(u.nvals(), u.size())) {
+        if (auto at = detail::cached_transpose_if_amortized(a)) {
+          detail::pool_flight_note("mxv_pull", u.nvals(), u.size());
+          return detail::mv_pull<true, WT>(sr, *at, u, mask, simd,
+                                           u.nvals() == u.size());
+        }
+      }
+      if (simd) detail::pool_flight_note("mxv_push", u.nvals(), u.size());
+      return detail::mv_push<true, WT>(sr, a, u, mask, simd);
     }
   }();
   detail::write_vector_result(w, t, mask, accum, outp);

@@ -15,9 +15,11 @@
 #pragma once
 
 #include <algorithm>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
+#include "gbtl/detail/backend.hpp"
 #include "gbtl/detail/parallel.hpp"
 #include "gbtl/detail/write_backend.hpp"
 #include "gbtl/matrix.hpp"
@@ -126,12 +128,31 @@ void reduce(ValueT& val, AccumT accum, const MonoidT& monoid,
   detail::ScopedMemCharge charge(tiles * (1 + sizeof(D3)));
   std::vector<unsigned char> present(tiles, 0);
   std::vector<D3> partial(tiles);
+  // simd-backend fast path: with every position stored, the presence probes
+  // are pure overhead — fold the contiguous value array directly. Same
+  // tile boundaries and left-fold order as the probing loop, so the result
+  // is bit-identical. Backend is read ONCE here on the calling thread.
+  // (Vector<bool> packs its values; no contiguous array to walk.)
+  constexpr bool kDenseOk = !std::is_same_v<UT, bool>;
+  const bool dense = kDenseOk && detail::simd_enabled() && u.fully_dense();
   detail::parallel_for_rows(tiles, [&](IndexType begin, IndexType end) {
     for (IndexType tile = begin; tile < end; ++tile) {
       detail::pool_checkpoint();
       const IndexType lo = tile * detail::kScalarReduceTile;
       const IndexType hi =
           std::min(u.size(), lo + detail::kScalarReduceTile);
+      if constexpr (kDenseOk) {
+        if (dense) {
+          const UT* vp = u.vals();
+          D3 tile_acc = static_cast<D3>(vp[lo]);
+          for (IndexType i = lo + 1; i < hi; ++i) {
+            tile_acc = monoid(tile_acc, static_cast<D3>(vp[i]));
+          }
+          present[tile] = 1;
+          partial[tile] = tile_acc;
+          continue;
+        }
+      }
       bool found = false;
       D3 tile_acc{};
       for (IndexType i = lo; i < hi; ++i) {

@@ -7,6 +7,7 @@
 #include <utility>
 #include <vector>
 
+#include "gbtl/detail/backend.hpp"
 #include "gbtl/matrix.hpp"
 #include "gbtl/types.hpp"
 #include "gbtl/vector.hpp"
@@ -19,6 +20,19 @@ template <typename T>
 void normalize_rows(Matrix<T>& m) {
   static_assert(std::is_floating_point_v<T>,
                 "normalize_rows requires a floating-point matrix");
+  // simd backend: scale stored values in place instead of rebuilding each
+  // row. Same left-fold row sum, same per-element v / sum — bit-identical
+  // to the reallocating path below.
+  if (detail::simd_enabled()) {
+    m.transform_rows([](IndexType, auto& row) {
+      if (row.empty()) return;
+      T sum{};
+      for (const auto& [j, v] : row) sum += v;
+      if (sum == T{}) return;
+      for (auto& [j, v] : row) v = v / sum;
+    });
+    return;
+  }
   for (IndexType i = 0; i < m.nrows(); ++i) {
     const auto& row = m.row(i);
     if (row.empty()) continue;

@@ -116,6 +116,15 @@ bool current_replace() {
   return r.value_or(false);
 }
 
+std::optional<gbtl::detail::Backend> current_backend() {
+  return find_innermost<gbtl::detail::Backend>(
+      [](const detail::ContextEntry& e)
+          -> std::optional<gbtl::detail::Backend> {
+        if (const auto* h = std::get_if<BackendHint>(&e)) return h->backend();
+        return std::nullopt;
+      });
+}
+
 std::size_t context_depth() { return detail::context_stack().size(); }
 
 }  // namespace pygb

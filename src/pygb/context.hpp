@@ -19,6 +19,7 @@
 #include <variant>
 #include <vector>
 
+#include "gbtl/detail/backend.hpp"
 #include "pygb/operators.hpp"
 
 namespace pygb {
@@ -32,10 +33,24 @@ inline constexpr ReplaceToken Replace{};
 struct MergeToken {};
 inline constexpr MergeToken Merge{};
 
+/// Per-op kernel-backend hint (docs/BACKENDS.md): operations inside the
+/// scope dispatch on this backend instead of the PYGB_BACKEND default.
+///
+///   pygb::With ctx(pygb::BackendHint(gbtl::detail::Backend::kSimd));
+class BackendHint {
+ public:
+  explicit BackendHint(gbtl::detail::Backend b) : backend_(b) {}
+  gbtl::detail::Backend backend() const { return backend_; }
+
+ private:
+  gbtl::detail::Backend backend_;
+};
+
 namespace detail {
 
-using ContextEntry = std::variant<BinaryOp, UnaryOp, Monoid, Semiring,
-                                  Accumulator, ReplaceToken, MergeToken>;
+using ContextEntry =
+    std::variant<BinaryOp, UnaryOp, Monoid, Semiring, Accumulator,
+                 ReplaceToken, MergeToken, BackendHint>;
 
 /// The thread-local operator stack. Exposed for white-box tests; user code
 /// interacts through `With` and the resolution helpers below.
@@ -97,6 +112,10 @@ std::optional<Accumulator> current_accumulator();
 
 /// Innermost Replace/Merge token; defaults to merge (false).
 bool current_replace();
+
+/// Innermost BackendHint, or nullopt when none is in scope (the dispatcher
+/// then uses gbtl::detail::default_backend()).
+std::optional<gbtl::detail::Backend> current_backend();
 
 /// Number of entries currently in scope (for tests and diagnostics).
 std::size_t context_depth();

@@ -9,6 +9,8 @@
 #include <cstdlib>
 #include <stdexcept>
 
+#include "gbtl/detail/backend.hpp"
+#include "pygb/context.hpp"
 #include "pygb/governor.hpp"
 #include "pygb/interp_sim.hpp"
 #include "pygb/jit/registry.hpp"
@@ -294,6 +296,15 @@ void dispatch(OpRequest& req, KernelArgs& args) {
   args.request = &req;
   interp_pause();  // CPython dispatch-cost model (0 = off)
 
+  // Resolve the kernel-backend axis BEFORE the registry lookup: req.key()
+  // carries the backend, so a compiled module is permanently bound to one
+  // implementation strategy. Innermost BackendHint wins over the process
+  // default. The BackendScope around the kernel covers the in-process
+  // serving paths (static/interp), which read the thread's active backend
+  // at run time; JIT modules carry their own baked scope and simply nest
+  // an identical override.
+  req.backend = current_backend().value_or(gbtl::detail::default_backend());
+
   // Fast path: with observability off this is one relaxed load + branch
   // on top of the seed dispatch sequence. The flight recorder stays ON even
   // here — it is the always-on black box — but its cost is a handful of
@@ -306,6 +317,7 @@ void dispatch(OpRequest& req, KernelArgs& args) {
     // include a whole g++ run) is already deadline-bounded by the PR 4
     // PYGB_JIT_TIMEOUT_MS machinery; PYGB_OP_TIMEOUT_MS caps the compute.
     governor::OpScope governed(req.func.c_str());
+    gbtl::detail::BackendScope bscope(req.backend);
     fn(&args);
     flightrec::record(flightrec::EventKind::kOpEnd, req.func.c_str(),
                       flightrec::now_ns() - t0,
@@ -316,6 +328,7 @@ void dispatch(OpRequest& req, KernelArgs& args) {
 
   obs::Span dispatch_span("pygb.dispatch");
   dispatch_span.attr("func", req.func);
+  dispatch_span.attr("kernel_backend", gbtl::detail::backend_name(req.backend));
   jit::ResolveInfo info;
   jit::KernelFn fn;
   {
@@ -329,6 +342,7 @@ void dispatch(OpRequest& req, KernelArgs& args) {
     kernel_span.attr("func", req.func).attr("backend", info.backend);
     const std::uint64_t t0 = obs::now_ns();
     governor::OpScope governed(req.func.c_str());
+    gbtl::detail::BackendScope bscope(req.backend);
     fn(&args);
     const std::uint64_t dur = obs::now_ns() - t0;
     obs::record_value("kernel_ns/" + req.func + "/" + info.backend, dur);

@@ -48,7 +48,14 @@ namespace pygb::jit {
 /// kernel statements are #line-mapped onto a virtual DSL file, the entry
 /// guard routes the kernel_crash fault site and flight notes through
 /// PoolApi v3, and a `.srcmap` sidecar is published next to the source.
-inline constexpr int kCacheSchemaVersion = 5;
+/// v6: backend axis — gbtl::Matrix grows a cached-transpose slot (ABI:
+/// sizeof changed across the module boundary) and generated bodies open
+/// with a baked gbtl::detail::BackendScope; pre-axis modules would run
+/// the old container layout, so they are retired wholesale.
+/// v7: direction-optimization amortization — gbtl::Matrix grows the
+/// pull-interest counter (transpose_want_; sizeof changed again), so v6
+/// modules see a stale container layout.
+inline constexpr int kCacheSchemaVersion = 7;
 
 /// The full environment stamp: schema version, compiler identity and
 /// flags, pygb version. Computed once per (process, compiler command) and

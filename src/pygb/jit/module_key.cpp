@@ -53,7 +53,18 @@ std::string FusedChainDesc::signature() const {
 }
 
 std::string OpRequest::key() const {
-  if (chain) return chain->signature();
+  // The backend axis rides at the END of the key, and only when non-scalar:
+  // scalar requests keep the exact pre-axis spelling, so module caches and
+  // static-registry keys from before the axis existed remain valid. (`|b=`
+  // is already the B-operand dtype token, hence `|be=`.)
+  if (chain) {
+    std::string sig = chain->signature();
+    if (backend != gbtl::detail::Backend::kScalar) {
+      sig += "|be=";
+      sig += gbtl::detail::backend_name(backend);
+    }
+    return sig;
+  }
   std::ostringstream os;
   os << func << "|c=" << display_name(c);
   if (a) os << "|a=" << display_name(*a) << (a_transposed ? "T" : "");
@@ -66,6 +77,9 @@ std::string OpRequest::key() const {
   if (accum) os << "|acc=" << accum->gbtl_name();
   if (user_binary) os << "|op=" << user_binary->key();
   if (user_unary) os << "|f=" << user_unary->key();
+  if (backend != gbtl::detail::Backend::kScalar) {
+    os << "|be=" << gbtl::detail::backend_name(backend);
+  }
   return os.str();
 }
 

@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "gbtl/detail/backend.hpp"
 #include "gbtl/types.hpp"
 #include "pygb/dtype.hpp"
 #include "pygb/operators.hpp"
@@ -129,6 +130,12 @@ struct OpRequest {
   bool a_transposed = false;
   bool b_transposed = false;
   MaskKind mask = MaskKind::kNone;
+
+  /// Kernel-backend axis (docs/BACKENDS.md). Resolved by the dispatcher
+  /// (per-op BackendHint > process default) before the key is taken, so a
+  /// compiled module is permanently bound to one backend. kScalar keeps the
+  /// pre-axis key spelling — existing module caches stay valid.
+  gbtl::detail::Backend backend = gbtl::detail::Backend::kScalar;
 
   std::optional<Semiring> semiring;    ///< mxm/mxv/vxm and whole algorithms
   std::optional<Monoid> monoid;        ///< reduce

@@ -89,6 +89,11 @@ Registry::~Registry() = default;
 void Registry::register_static(const std::string& key, KernelFn fn) {
   std::lock_guard lock(static_mu_);
   static_table_.emplace(key, fn);
+  // Backend axis: a statically instantiated kernel serves every backend —
+  // the gbtl ops consult the thread's active backend (installed by the
+  // dispatcher's BackendScope) at run time, so the same function pointer
+  // is registered under each non-scalar key spelling too.
+  static_table_.emplace(key + "|be=simd", fn);
 }
 
 std::string Registry::cache_dir() const {

@@ -149,6 +149,18 @@ std::string metrics_summary() {
                   format_bytes(static_cast<double>(peak)).c_str());
     out += line;
   }
+  {
+    // Direction-optimized mxv/vxm (docs/BACKENDS.md): only shown once the
+    // simd backend has actually made a push-vs-pull decision.
+    const std::uint64_t push = counter(Counter::kMxvPushDecisions);
+    const std::uint64_t pull = counter(Counter::kMxvPullDecisions);
+    if (push + pull > 0) {
+      std::snprintf(line, sizeof line,
+                    "mxv direction: %" PRIu64 " push | %" PRIu64 " pull\n",
+                    push, pull);
+      out += line;
+    }
+  }
 
   if (!snap.histograms.empty()) {
     out += "histograms:\n";

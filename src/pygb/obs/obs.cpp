@@ -10,6 +10,7 @@
 #include <memory>
 #include <mutex>
 
+#include "gbtl/detail/pool.hpp"
 #include "pygb/governor.hpp"
 #include "pygb/obs/crash.hpp"
 #include "pygb/obs/export.hpp"
@@ -103,6 +104,13 @@ void sync_flightrec_counters() noexcept {
       flightrec::total_recorded(), std::memory_order_relaxed);
 }
 
+void sync_mxv_counters() noexcept {
+  detail::g_counters[static_cast<unsigned>(Counter::kMxvPushDecisions)].store(
+      gbtl::detail::mxv_push_decisions(), std::memory_order_relaxed);
+  detail::g_counters[static_cast<unsigned>(Counter::kMxvPullDecisions)].store(
+      gbtl::detail::mxv_pull_decisions(), std::memory_order_relaxed);
+}
+
 }  // namespace
 
 std::uint64_t counter_value(Counter c) noexcept {
@@ -115,6 +123,10 @@ std::uint64_t counter_value(Counter c) noexcept {
       break;
     case Counter::kFlightEvents:
       sync_flightrec_counters();
+      break;
+    case Counter::kMxvPushDecisions:
+    case Counter::kMxvPullDecisions:
+      sync_mxv_counters();
       break;
     default:
       break;
@@ -191,6 +203,10 @@ const char* counter_name(Counter c) noexcept {
       return "fusion_eager_ops";
     case Counter::kFusionDce:
       return "fusion_dce";
+    case Counter::kMxvPushDecisions:
+      return "mxv_push_decisions";
+    case Counter::kMxvPullDecisions:
+      return "mxv_pull_decisions";
     case Counter::kCount_:
       break;
   }
@@ -199,6 +215,7 @@ const char* counter_name(Counter c) noexcept {
 
 void reset_counters() noexcept {
   pygb::governor::reset_stats();
+  gbtl::detail::reset_mxv_decisions();
   for (auto& c : detail::g_counters) c.store(0, std::memory_order_relaxed);
 }
 
@@ -284,6 +301,7 @@ MetricsSnapshot metrics_snapshot() {
   MetricsSnapshot snap;
   sync_governor_counters();
   sync_flightrec_counters();
+  sync_mxv_counters();
   for (unsigned i = 0; i < kCounterCount; ++i) {
     snap.counters[i] =
         detail::g_counters[i].load(std::memory_order_relaxed);

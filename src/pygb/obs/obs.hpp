@@ -113,6 +113,11 @@ enum class Counter : unsigned {
   kFusionFusedStatements, ///< deferred ops executed inside fused chains
   kFusionEagerOps,        ///< deferred ops replayed eagerly at flush
   kFusionDce,             ///< dead intermediate writes eliminated
+  // Backend axis (gbtl/ops/mxv.hpp): direction-optimized mxv decisions,
+  // mirrored from the gbtl pool's flight-note routing layer so choices
+  // made inside dlopen'd modules are counted too.
+  kMxvPushDecisions,      ///< simd mxv/vxm chose the push (scatter) kernel
+  kMxvPullDecisions,      ///< simd mxv/vxm pulled over the cached transpose
   kCount_,
 };
 inline constexpr unsigned kCounterCount =

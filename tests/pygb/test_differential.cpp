@@ -1,13 +1,16 @@
 // Differential harness: one seeded random DSL program is executed under
-// every dispatch backend (interp, static, jit) crossed with worker counts
-// (1, 4), mirrored step-for-step against direct native GBTL calls, and the
-// final states of all combos are compared element-exactly. All backends
-// funnel into the same gbtl templates and the worker pool's combine
-// structure is partition-independent, so agreement must be bit-exact —
-// for doubles too. The exercised vocabulary is deliberately restricted to
-// statically registered kernels: under Mode::kStatic a miss throws
-// NoKernelError, which fails the test loudly instead of silently falling
-// back.
+// every dispatch mode (interp, static, jit) crossed with kernel backends
+// (scalar, simd — docs/BACKENDS.md) and worker counts (1, 4), mirrored
+// step-for-step against direct native GBTL calls, and the final states of
+// all combos are compared element-exactly. All modes funnel into the same
+// gbtl templates, the worker pool's combine structure is
+// partition-independent, and the simd backend's kernels (AVX2 dense loops,
+// direction-optimized mxv, tiled mxm, mask push-down) are constructed to
+// preserve fold orders — so agreement must be bit-exact, for doubles too.
+// The exercised vocabulary (masked, complement-masked, and accumulated
+// variants included) is deliberately restricted to statically registered
+// kernels: under Mode::kStatic a miss throws NoKernelError, which fails
+// the test loudly instead of silently falling back.
 #include <gtest/gtest.h>
 
 #include <filesystem>
@@ -15,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "gbtl/detail/backend.hpp"
 #include "gbtl/detail/parallel.hpp"
 #include "gbtl/gbtl.hpp"
 #include "pygb/jit/compiler.hpp"
@@ -212,20 +216,36 @@ std::string step(MirroredState& s, std::mt19937& rng) {
 
 struct Combo {
   jit::Mode mode;
+  gbtl::detail::Backend backend;
   unsigned threads;
   const char* name;
 };
 
+using gbtl::detail::Backend;
+
 constexpr Combo kCombos[] = {
-    {jit::Mode::kInterp, 1, "interp/1t"}, {jit::Mode::kInterp, 4, "interp/4t"},
-    {jit::Mode::kStatic, 1, "static/1t"}, {jit::Mode::kStatic, 4, "static/4t"},
-    {jit::Mode::kJit, 1, "jit/1t"},       {jit::Mode::kJit, 4, "jit/4t"},
+    {jit::Mode::kInterp, Backend::kScalar, 1, "interp/scalar/1t"},
+    {jit::Mode::kInterp, Backend::kScalar, 4, "interp/scalar/4t"},
+    {jit::Mode::kInterp, Backend::kSimd, 1, "interp/simd/1t"},
+    {jit::Mode::kInterp, Backend::kSimd, 4, "interp/simd/4t"},
+    {jit::Mode::kStatic, Backend::kScalar, 1, "static/scalar/1t"},
+    {jit::Mode::kStatic, Backend::kScalar, 4, "static/scalar/4t"},
+    {jit::Mode::kStatic, Backend::kSimd, 1, "static/simd/1t"},
+    {jit::Mode::kStatic, Backend::kSimd, 4, "static/simd/4t"},
+    {jit::Mode::kJit, Backend::kScalar, 1, "jit/scalar/1t"},
+    {jit::Mode::kJit, Backend::kScalar, 4, "jit/scalar/4t"},
+    {jit::Mode::kJit, Backend::kSimd, 1, "jit/simd/1t"},
+    {jit::Mode::kJit, Backend::kSimd, 4, "jit/simd/4t"},
 };
 
 /// Run the seed's program under one combo, asserting per-step consistency
-/// with the native mirror. Returns the final mirrored state.
+/// with the native mirror. Returns the final mirrored state. The backend
+/// applies to BOTH sides of the mirror: the native GBTL calls read the
+/// same process default, so each combo checks simd-vs-scalar agreement
+/// through the final cross-combo comparison, not just DSL-vs-native.
 MirroredState run_program(unsigned seed, const Combo& combo) {
   jit::Registry::instance().set_mode(combo.mode);
+  gbtl::detail::set_default_backend(combo.backend);
   gbtl::detail::set_num_threads(combo.threads);
   auto s = make_state(seed);
   EXPECT_TRUE(s.consistent()) << "bad initial state, seed " << seed;
@@ -247,6 +267,7 @@ MirroredState run_program(unsigned seed, const Combo& combo) {
 /// flushes everything before the final comparison.
 MirroredState run_program_lazy(unsigned seed, const Combo& combo) {
   jit::Registry::instance().set_mode(combo.mode);
+  gbtl::detail::set_default_backend(combo.backend);
   gbtl::detail::set_num_threads(combo.threads);
   auto s = make_state(seed);
   std::mt19937 rng(seed);
@@ -279,6 +300,7 @@ class Differential : public ::testing::TestWithParam<unsigned> {
   void SetUp() override {
     auto& reg = jit::Registry::instance();
     saved_mode_ = reg.mode();
+    saved_backend_ = gbtl::detail::default_backend();
     saved_threads_ = gbtl::detail::num_threads();
     saved_dir_ = reg.cache_dir();
     // Stable shared dir: the per-seed test processes reuse each other's
@@ -293,10 +315,12 @@ class Differential : public ::testing::TestWithParam<unsigned> {
     auto& reg = jit::Registry::instance();
     reg.set_cache_dir(saved_dir_);
     reg.set_mode(saved_mode_);
+    gbtl::detail::set_default_backend(saved_backend_);
     gbtl::detail::set_num_threads(saved_threads_);
   }
 
   jit::Mode saved_mode_{};
+  gbtl::detail::Backend saved_backend_{};
   unsigned saved_threads_ = 1;
   std::string saved_dir_;
   std::string cache_dir_;

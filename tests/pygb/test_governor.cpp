@@ -14,7 +14,9 @@
 
 #include "algorithms/dsl_algorithms.hpp"
 #include "algorithms/pagerank.hpp"
+#include "gbtl/detail/backend.hpp"
 #include "gbtl/detail/parallel.hpp"
+#include "gbtl/gbtl.hpp"
 #include "generators/classic.hpp"
 #include "generators/erdos_renyi.hpp"
 #include "pygb/faultinj.hpp"
@@ -43,6 +45,8 @@ class GovernorTest : public ::testing::Test {
   void SetUp() override {
     saved_mode_ = jit::Registry::instance().mode();
     saved_threads_ = gbtl::detail::num_threads();
+    saved_backend_ = gbtl::detail::default_backend();
+    saved_tile_bytes_ = gbtl::detail::mxm_tile_bytes();
     gov::set_mem_limit_bytes(0);
     gov::set_op_timeout_ms(0);
     drain_cancel();
@@ -55,6 +59,8 @@ class GovernorTest : public ::testing::Test {
     faultinj::configure("");
     jit::Registry::instance().set_mode(saved_mode_);
     gbtl::detail::set_num_threads(saved_threads_);
+    gbtl::detail::set_default_backend(saved_backend_);
+    gbtl::detail::mxm_tile_bytes() = saved_tile_bytes_;
   }
 
   /// Consume a cancel request this test may have left pending (an unscoped
@@ -70,6 +76,8 @@ class GovernorTest : public ::testing::Test {
 
   jit::Mode saved_mode_{};
   unsigned saved_threads_ = 1;
+  gbtl::detail::Backend saved_backend_{};
+  std::uint64_t saved_tile_bytes_ = 0;
 };
 
 // --- taxonomy --------------------------------------------------------------
@@ -269,6 +277,76 @@ TEST_F(GovernorTest, PagerankMemBudgetRaisesInsteadOfOom) {
   gov::set_mem_limit_bytes(0);
   EXPECT_NO_THROW(algo::whole_page_rank(graph, rank, 0.85, 1e-5, 50));
   EXPECT_EQ(rank.nvals(), 1024u);
+}
+
+// --- simd backend: deadline + no-partial-output with tiled kernels ---------
+
+// The acceptance matrix extended along the backend axis (docs/BACKENDS.md):
+// under the simd backend at 4 threads — with the L2-tiled mxm budget forced
+// to its minimum so every matrix multiply runs the tiled kernel — the
+// deadline must still fire within 2x, the output container must stay
+// untouched, and the pool must accept the next op.
+TEST_F(GovernorTest, SimdDeadlineAtFourThreadsHoldsGuarantees) {
+  auto el = gen::paper_graph(1024, 90, /*symmetric=*/true);
+  Matrix graph = Matrix::from_edge_list(el);
+  jit::Registry::instance().set_mode(jit::Mode::kStatic);
+  gbtl::detail::set_num_threads(4);
+  gbtl::detail::set_default_backend(gbtl::detail::Backend::kSimd);
+  gbtl::detail::mxm_tile_bytes() = 1;
+
+  {
+    Vector warm(1024, DType::kFP64);
+    algo::whole_page_rank(graph, warm, 0.85, 1e-5, 3);
+  }
+
+  Vector rank(1024, DType::kFP64);
+  gov::set_op_timeout_ms(kDeadlineMs);
+  const std::uint64_t t0 = now_ms();
+  EXPECT_THROW(algo::whole_page_rank(graph, rank, 0.85, 0.0, 100000000u),
+               gov::DeadlineExceeded);
+  const std::uint64_t elapsed = now_ms() - t0;
+  gov::set_op_timeout_ms(0);
+
+  EXPECT_LT(elapsed, 2 * kDeadlineMs)
+      << "simd kernels starved the deadline checkpoints";
+  EXPECT_EQ(rank.nvals(), 0u);
+  const auto iters = algo::whole_page_rank(graph, rank, 0.85, 1e-5, 50);
+  EXPECT_GT(iters, 0u);
+  EXPECT_EQ(rank.nvals(), 1024u);
+}
+
+// Cooperative cancellation mid-flight inside the tiled simd Gustavson
+// kernel: the abort unwinds through the worker pool without committing any
+// rows, and the identical call then succeeds (cache left consistent too —
+// the transposed operand means a cancelled run must not publish a partial
+// cached transpose).
+TEST_F(GovernorTest, SimdTiledMxmCancelLeavesOutputUntouched) {
+  auto el = gen::paper_graph(512, 91, /*symmetric=*/true);
+  auto g = gen::to_adjacency<double>(el);
+  gbtl::detail::set_num_threads(4);
+  gbtl::detail::set_default_backend(gbtl::detail::Backend::kSimd);
+  gbtl::detail::mxm_tile_bytes() = 1;
+
+  gbtl::Matrix<double> c(512, 512);
+  gov::cancel();
+  EXPECT_THROW(gbtl::mxm(c, gbtl::NoMask{}, gbtl::NoAccumulate{},
+                         gbtl::ArithmeticSemiring<double>{},
+                         gbtl::transpose(g), g),
+               gov::Cancelled);
+  EXPECT_EQ(c.nvals(), 0u);  // strong guarantee: no partial commit
+
+  EXPECT_NO_THROW(gbtl::mxm(c, gbtl::NoMask{}, gbtl::NoAccumulate{},
+                            gbtl::ArithmeticSemiring<double>{},
+                            gbtl::transpose(g), g));
+  EXPECT_GT(c.nvals(), 0u);
+
+  // The result matches the scalar backend's bit-for-bit: the cancelled
+  // attempt left no partial state behind that could skew the rerun.
+  gbtl::detail::set_default_backend(gbtl::detail::Backend::kScalar);
+  gbtl::Matrix<double> ref(512, 512);
+  gbtl::mxm(ref, gbtl::NoMask{}, gbtl::NoAccumulate{},
+            gbtl::ArithmeticSemiring<double>{}, gbtl::transpose(g), g);
+  EXPECT_TRUE(c == ref);
 }
 
 TEST_F(GovernorTest, DeadlineErrorNamesOpAndElapsed) {
