@@ -1,0 +1,261 @@
+// bench/fig_serve.cpp — pygb_serve load generator: concurrent mixed
+// BFS/PageRank/SSSP traffic against the server, reporting tail latency and
+// throughput (docs/SERVING.md).
+//
+// By default the server runs IN-PROCESS (own worker pool, real sockets on
+// a private Unix path), so the bench is hermetic and CI-friendly; pass
+// --connect unix:<path>|tcp:<port> to drive an external pygb_serve
+// instead (the serve-chaos CI job does this, with PYGB_FAULTS armed in the
+// daemon).
+//
+// Emits BENCH_serve.json ("pygb.bench" schema, consumable by
+// scripts/bench_compare.py): one record per traffic class plus an
+// aggregate, with p50/p99 round-trip latency and requests/second in the
+// counters. Every reply must be a TYPED response — any transport-level
+// failure or unparseable reply counts as a defect in the `errors` counter
+// and fails the run.
+//
+// Flags: --clients N (default 8), --requests N per client (default 12),
+//        --connect TARGET (default: in-process), --threads N (server).
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_json.hpp"
+#include "serve/protocol.hpp"
+#include "serve/server.hpp"
+
+namespace {
+
+using pygb::serve::Code;
+using pygb::serve::FrameStatus;
+using pygb::serve::Request;
+using pygb::serve::Response;
+
+struct Sample {
+  std::string klass;  ///< "bfs" / "pagerank" / "sssp"
+  std::uint64_t latency_ns = 0;
+  Code code = Code::kInternal;
+};
+
+struct ClientStats {
+  std::vector<Sample> samples;
+  std::uint64_t transport_errors = 0;
+};
+
+/// One request round trip. False on any transport/parse failure.
+bool round_trip(const std::string& target, const Request& req,
+                Sample& out) {
+  std::string error;
+  const int fd = pygb::serve::connect_client(target, error);
+  if (fd < 0) return false;
+  const auto start = std::chrono::steady_clock::now();
+  bool ok = pygb::serve::write_frame(fd, pygb::serve::render_request(req));
+  std::string payload;
+  if (ok) {
+    ok = pygb::serve::read_frame(fd, payload,
+                                 pygb::serve::max_request_bytes()) ==
+         FrameStatus::kOk;
+  }
+  ::close(fd);
+  if (!ok) return false;
+  Response resp;
+  if (!pygb::serve::parse_response(payload, resp, error)) return false;
+  out.latency_ns = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count());
+  out.code = resp.code;
+  return true;
+}
+
+void client_main(const std::string& target, int requests, int client_id,
+                 ClientStats& stats) {
+  // Mixed traffic: each client cycles bfs → pagerank → sssp over a small
+  // set of shared graphs (cache hits after warmup, like a real tenant mix).
+  const char* algos[3] = {"bfs", "pagerank", "sssp"};
+  const char* graphs[3] = {"er:128", "ring:256", "er:96"};
+  for (int i = 0; i < requests; ++i) {
+    Request req;
+    req.algo = algos[(client_id + i) % 3];
+    req.graph = graphs[i % 3];
+    req.source = 0;
+    req.max_iters = 50;
+    Sample s;
+    s.klass = req.algo;
+    if (!round_trip(target, req, s)) {
+      ++stats.transport_errors;
+      continue;
+    }
+    stats.samples.push_back(std::move(s));
+  }
+}
+
+std::uint64_t percentile_ns(std::vector<std::uint64_t>& sorted, double p) {
+  if (sorted.empty()) return 0;
+  const std::size_t idx = std::min(
+      sorted.size() - 1,
+      static_cast<std::size_t>(p * static_cast<double>(sorted.size())));
+  return sorted[idx];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int clients = 8;
+  int requests = 12;
+  std::uint64_t threads = 4;
+  std::string connect;
+  for (int k = 1; k < argc; ++k) {
+    const std::string flag = argv[k];
+    auto value = [&]() -> const char* {
+      if (k + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", flag.c_str());
+        std::exit(2);
+      }
+      return argv[++k];
+    };
+    if (flag == "--clients") {
+      clients = std::max(1, std::atoi(value()));
+    } else if (flag == "--requests") {
+      requests = std::max(1, std::atoi(value()));
+    } else if (flag == "--threads") {
+      threads = std::strtoull(value(), nullptr, 10);
+    } else if (flag == "--connect") {
+      connect = value();
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", flag.c_str());
+      return 2;
+    }
+  }
+
+  pygb::obs::set_metrics_enabled(true);
+
+  // In-process server unless --connect names an external one.
+  pygb::serve::Server* server = nullptr;
+  std::thread server_thread;
+  std::string target = connect;
+  if (connect.empty()) {
+    pygb::serve::ServerConfig cfg = pygb::serve::ServerConfig::from_env();
+    cfg.target =
+        "unix:/tmp/pygb_serve_bench_" + std::to_string(::getpid()) + ".sock";
+    cfg.threads = threads;
+    server = new pygb::serve::Server(cfg);
+    std::string error;
+    if (!server->start(error)) {
+      std::fprintf(stderr, "fig_serve: server start failed: %s\n",
+                   error.c_str());
+      return 1;
+    }
+    target = server->endpoint();
+    server_thread = std::thread([server] { server->run(); });
+  }
+
+  const auto wall_start = std::chrono::steady_clock::now();
+  std::vector<ClientStats> stats(static_cast<std::size_t>(clients));
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(clients));
+  for (int c = 0; c < clients; ++c) {
+    pool.emplace_back(client_main, target, requests, c,
+                      std::ref(stats[static_cast<std::size_t>(c)]));
+  }
+  for (std::thread& t : pool) t.join();
+  const double wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
+
+  if (server != nullptr) {
+    server->request_shutdown();
+    server_thread.join();
+    delete server;
+  }
+
+  // Aggregate.
+  std::map<std::string, std::vector<std::uint64_t>> by_class;
+  std::vector<std::uint64_t> all;
+  std::uint64_t ok = 0, shed = 0, failed = 0, transport = 0;
+  for (const ClientStats& cs : stats) {
+    transport += cs.transport_errors;
+    for (const Sample& s : cs.samples) {
+      all.push_back(s.latency_ns);
+      by_class[s.klass].push_back(s.latency_ns);
+      if (s.code == Code::kOk) {
+        ++ok;
+      } else if (s.code == Code::kInternal ||
+                 s.code == Code::kInvalidRequest) {
+        ++failed;  // a well-formed bench request should never see these
+      } else {
+        // overloaded / shutting_down / deadline / resource / cancelled:
+        // typed degradation — exactly what chaos runs are meant to elicit.
+        ++shed;
+      }
+    }
+  }
+
+  std::vector<pygb::benchjson::RunRecord> records;
+  auto add_record = [&](const std::string& name,
+                        std::vector<std::uint64_t>& lat) {
+    std::sort(lat.begin(), lat.end());
+    double sum = 0;
+    for (std::uint64_t v : lat) sum += static_cast<double>(v);
+    pygb::benchjson::RunRecord rec;
+    rec.name = name;
+    rec.iterations = static_cast<std::int64_t>(lat.size());
+    rec.real_ns = lat.empty() ? 0.0 : sum / static_cast<double>(lat.size());
+    rec.cpu_ns = rec.real_ns;
+    rec.counters.emplace_back(
+        "p50_ms", static_cast<double>(percentile_ns(lat, 0.50)) / 1e6);
+    rec.counters.emplace_back(
+        "p99_ms", static_cast<double>(percentile_ns(lat, 0.99)) / 1e6);
+    records.push_back(std::move(rec));
+  };
+  for (auto& [klass, lat] : by_class) {
+    add_record("serve/" + klass, lat);
+  }
+  add_record("serve/all", all);
+  if (!records.empty()) {
+    auto& agg = records.back();
+    agg.counters.emplace_back("clients", static_cast<double>(clients));
+    agg.counters.emplace_back("threads", static_cast<double>(threads));
+    agg.counters.emplace_back(
+        "throughput_rps",
+        wall_s > 0 ? static_cast<double>(ok) / wall_s : 0.0);
+    agg.counters.emplace_back("ok", static_cast<double>(ok));
+    agg.counters.emplace_back("shed", static_cast<double>(shed));
+    agg.counters.emplace_back("failed", static_cast<double>(failed));
+    agg.counters.emplace_back("transport_errors",
+                              static_cast<double>(transport));
+  }
+
+  std::printf(
+      "serve bench: %d clients x %d requests  ok=%llu shed=%llu "
+      "failed=%llu transport_errors=%llu  wall=%.2fs\n",
+      clients, requests, static_cast<unsigned long long>(ok),
+      static_cast<unsigned long long>(shed),
+      static_cast<unsigned long long>(failed),
+      static_cast<unsigned long long>(transport), wall_s);
+
+  const int rc = pygb::benchjson::write_artifact("serve", records);
+  // Transport-level failures mean a reply was NOT typed, and internal /
+  // invalid_request replies to well-formed requests mean the degradation
+  // contract broke — the two things this server promises never to do.
+  if (transport != 0 || failed != 0) {
+    std::fprintf(stderr,
+                 "fig_serve: FAIL — %llu transport errors, %llu untyped/"
+                 "failed replies\n",
+                 static_cast<unsigned long long>(transport),
+                 static_cast<unsigned long long>(failed));
+    return 1;
+  }
+  return rc;
+}

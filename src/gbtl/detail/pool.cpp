@@ -67,6 +67,11 @@ struct Job {
   IndexType chunk = 0;        ///< block (static) or claim unit (dynamic)
   unsigned participants = 0;  ///< submitter + workers doing real work
   Schedule sched = Schedule::kStatic;
+  /// The submitter's bound governor context (nullptr = default): workers
+  /// re-bind it for the job's duration so checkpoints and memory charges
+  /// inside kernels route to the submitting tenant, not the process-wide
+  /// scope (per-request isolation, docs/SERVING.md).
+  pygb::governor::RequestContext* gov_ctx = nullptr;
   std::atomic<IndexType> next{0};  ///< dynamic-mode claim cursor
   std::atomic<bool> has_error{false};
   std::exception_ptr error;  ///< written by the has_error winner only
@@ -139,6 +144,7 @@ class WorkerPool {
     job.fn = fn;
     job.ctx = ctx;
     job.n = n;
+    job.gov_ctx = pygb::governor::bound_context();
     job.sched = sched();
     job.participants = std::min<unsigned>(
         workers, static_cast<unsigned>(threads_.size()) + 1);
@@ -242,6 +248,11 @@ class WorkerPool {
   // (compiled into the caller, which can reach pygb::obs; this file must
   // not assume libpygb is linked).
   static void run_participant(Job& job, unsigned index) {
+    // Adopt the submitter's governor context (nullptr = default) so this
+    // participant's checkpoints, deadlines, and memory charges belong to
+    // the right tenant; restored before acknowledging the job, while the
+    // submitter still owns the context's lifetime.
+    pygb::governor::ThreadBind bind(job.gov_ctx);
     try {
       if (job.sched == Schedule::kStatic) {
         const IndexType begin =
@@ -301,6 +312,15 @@ void api_mem_release(std::uint64_t bytes) {
 }
 int api_fault_check(const char* site) {
   return static_cast<int>(pygb::faultinj::check(site).action);
+}
+void* api_request_current() {
+  return static_cast<void*>(pygb::governor::bound_context());
+}
+void api_request_adopt(void* ctx) {
+  // Raw (non-scoped) adopt for module-spawned threads; the module is
+  // responsible for adopting nullptr before the context dies.
+  pygb::governor::detail::t_bound =
+      static_cast<pygb::governor::RequestContext*>(ctx);
 }
 // Leaf atomics for the mxv direction-optimization decisions (the simd
 // backend's push-vs-pull choice, gbtl/ops/mxv.hpp). They live HERE — not in
@@ -369,12 +389,19 @@ void reset_mxv_decisions() noexcept {
   g_mxv_pull_decisions.store(0, std::memory_order_relaxed);
 }
 
+void* pool_request_current() noexcept {
+  return static_cast<void*>(pygb::governor::bound_context());
+}
+
+void pool_request_adopt(void* ctx) noexcept { api_request_adopt(ctx); }
+
 const PoolApi* host_pool_api() {
   static const PoolApi api{kPoolAbiVersion,    &api_parallel_for,
                            &api_num_threads,   &api_set_num_threads,
                            &api_checkpoint,    &api_mem_reserve,
                            &api_mem_release,   &api_fault_check,
-                           &api_flight_note};
+                           &api_flight_note,   &api_request_current,
+                           &api_request_adopt};
   return &api;
 }
 

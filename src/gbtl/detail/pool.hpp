@@ -68,6 +68,17 @@ inline constexpr IndexType kMinRowsPerThread = 64;
 /// behind the crash-attribution test), and flight_note() lets them drop
 /// events into the host's flight recorder. Both are noexcept and cheap;
 /// without an injected pool they no-op, exactly like the governor hooks.
+///
+/// v4 adds per-request governor context routing (docs/SERVING.md): the
+/// checkpoint/mem_reserve/mem_release entries above are now CONTEXT
+/// SENSITIVE on the host side — they act on the calling thread's bound
+/// pygb::governor::RequestContext (the pool re-binds the submitter's
+/// context on every worker for a job's duration, so this is transparent to
+/// kernels). request_current()/request_adopt() expose the binding itself
+/// for module code that spawns its own threads and must carry the tenant
+/// across. The table stays append-only: a v3 module handed this table
+/// works unchanged (its governor calls route per-request automatically);
+/// a v4 module handed a v3 table skips the new entries.
 struct PoolApi {
   unsigned abi_version;
   void (*parallel_for)(IndexType n, PoolTaskFn fn, void* ctx);
@@ -81,9 +92,12 @@ struct PoolApi {
   int (*fault_check)(const char* site);       ///< pygb::faultinj action code
   void (*flight_note)(const char* what, std::uint64_t v0,
                       std::uint64_t v1);      ///< flight-recorder event
+  // -- v4: per-request governor context routing --
+  void* (*request_current)();        ///< opaque RequestContext* of caller
+  void (*request_adopt)(void* ctx);  ///< bind ctx (nullptr = default) here
 };
 
-inline constexpr unsigned kPoolAbiVersion = 3;
+inline constexpr unsigned kPoolAbiVersion = 4;
 
 /// The injection export generated modules carry (see pygb/jit/glue.hpp);
 /// pygb::jit::load_kernel dlsym's this name after every successful dlopen.
@@ -131,6 +145,14 @@ void pool_mem_release(std::uint64_t bytes) noexcept;
 int pool_fault_check(const char* site) noexcept;
 void pool_flight_note(const char* what, std::uint64_t v0,
                       std::uint64_t v1) noexcept;
+
+/// Per-request context routing (PoolApi v4): the calling thread's bound
+/// pygb::governor::RequestContext as an opaque pointer, and a way to adopt
+/// one on a thread the pool does not manage. In-repo code should prefer
+/// pygb::governor::{bound_context, ThreadBind} directly; these exist so
+/// the SAME call compiles inside JIT modules.
+void* pool_request_current() noexcept;
+void pool_request_adopt(void* ctx) noexcept;
 
 /// mxv direction-optimization decision counters (gbtl/ops/mxv.hpp). Kept
 /// here because flight notes from BOTH in-repo kernels and dlopen'd
@@ -222,6 +244,27 @@ inline void pool_flight_note(const char* what, std::uint64_t v0,
   if (const PoolApi* api = pool_api_slot().load(std::memory_order_acquire)) {
     if (api->abi_version >= 3 && api->flight_note != nullptr) {
       api->flight_note(what, v0, v1);
+    }
+  }
+}
+
+// Per-request context routing. Gated on abi_version >= 4: an older
+// injected table simply cannot carry a tenant binding across
+// module-spawned threads (governor calls still route correctly on host
+// and pool threads, where the host manages the binding).
+inline void* pool_request_current() noexcept {
+  if (const PoolApi* api = pool_api_slot().load(std::memory_order_acquire)) {
+    if (api->abi_version >= 4 && api->request_current != nullptr) {
+      return api->request_current();
+    }
+  }
+  return nullptr;
+}
+
+inline void pool_request_adopt(void* ctx) noexcept {
+  if (const PoolApi* api = pool_api_slot().load(std::memory_order_acquire)) {
+    if (api->abi_version >= 4 && api->request_adopt != nullptr) {
+      api->request_adopt(ctx);
     }
   }
 }

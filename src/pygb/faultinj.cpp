@@ -1,6 +1,7 @@
 // pygb/faultinj.cpp — spec parsing and the deterministic firing engine.
 #include "pygb/faultinj.hpp"
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <mutex>
@@ -174,6 +175,27 @@ std::uint64_t fired_count() noexcept {
   auto& e = engine();
   std::lock_guard lock(e.mu);
   return e.fired;
+}
+
+double jitter_unit(std::uint64_t stream, std::uint64_t index) noexcept {
+  std::uint64_t seed;
+  if (armed()) {
+    auto& e = engine();
+    std::lock_guard lock(e.mu);
+    seed = e.seed;  // PYGB_FAULTS seed=N: replayable chaos schedules
+  } else {
+    // Process entropy, captured once: cheap, allocation-free, and distinct
+    // across processes (time) and ASLR images (heap address).
+    static const std::uint64_t entropy = [] {
+      const auto t =
+          std::chrono::steady_clock::now().time_since_epoch().count();
+      return mix(static_cast<std::uint64_t>(t),
+                 reinterpret_cast<std::uintptr_t>(&engine()));
+    }();
+    seed = entropy;
+  }
+  const std::uint64_t z = mix(seed ^ stream, index);
+  return static_cast<double>(z >> 11) * 0x1.0p-53;  // 53 bits → [0,1)
 }
 
 void init_from_env() {

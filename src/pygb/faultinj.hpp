@@ -112,4 +112,14 @@ void init_from_env();
 /// Total faults fired since arming (any site). configure() resets it.
 std::uint64_t fired_count() noexcept;
 
+/// Bounded, replayable retry jitter (docs/ROBUSTNESS.md): a uniform draw
+/// in [0,1) that is a pure function of (stream, index) and the jitter
+/// seed. While a fault spec is armed, its `seed=N` anchors the draw — so a
+/// chaos run replays its backoff schedule bit-identically; disarmed, the
+/// seed is per-process entropy captured once. Callers spread correlated
+/// retries (JIT compile backoff, breaker half-open probes) by keying
+/// `stream` on what they retry and `index` on the attempt number, so N
+/// server threads hammering the same cold key don't wake in lockstep.
+double jitter_unit(std::uint64_t stream, std::uint64_t index) noexcept;
+
 }  // namespace pygb::faultinj

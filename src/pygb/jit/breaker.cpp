@@ -2,8 +2,10 @@
 #include "pygb/jit/breaker.hpp"
 
 #include <algorithm>
+#include <cstdint>
 #include <cstdlib>
 
+#include "pygb/faultinj.hpp"
 #include "pygb/obs/flightrec.hpp"
 #include "pygb/obs/obs.hpp"
 
@@ -107,13 +109,25 @@ void CircuitBreaker::on_failure(const std::string& key, bool transient,
   }
   if (ks.state == BreakerState::kHalfOpen ||
       ks.consecutive_failures >= cfg_.failure_threshold) {
-    // A failed probe re-opens; threshold crossings open.
+    // A failed probe re-opens; threshold crossings open. The TTL is
+    // jittered in [0.75, 1.25) of the nominal value so that many server
+    // threads (or many keys broken by one incident, e.g. a wedged
+    // compiler) don't all reach half-open in the same instant and
+    // thundering-herd the recompile path; the draw replays under a
+    // PYGB_FAULTS seed (faultinj::jitter_unit).
     if (ks.state != BreakerState::kOpen) {
       obs::counter_add(obs::Counter::kBreakerOpens);
       record_transition("open", key);
     }
     ks.state = BreakerState::kOpen;
-    ks.open_until = Clock::now() + std::chrono::milliseconds(cfg_.open_ttl_ms);
+    const double spread =
+        0.75 + 0.5 * faultinj::jitter_unit(
+                         flightrec::fnv1a(key.c_str()),
+                         static_cast<std::uint64_t>(ks.consecutive_failures));
+    const auto ttl = std::chrono::milliseconds(std::max<std::int64_t>(
+        1, static_cast<std::int64_t>(
+               static_cast<double>(cfg_.open_ttl_ms) * spread)));
+    ks.open_until = Clock::now() + ttl;
   }
 }
 

@@ -107,11 +107,14 @@ std::uint64_t enforce_cache_cap(const std::string& dir,
 
   struct Module {
     fs::path so;
+    std::string stem;  ///< filename minus ".so": "pygb_<keyh>_<stamph>"
     fs::file_time_type mtime;
-    std::uint64_t bytes = 0;  ///< .so plus its sibling .cpp and .srcmap
+    std::uint64_t bytes = 0;    ///< every file carrying this stem
+    std::vector<fs::path> files;  ///< the full stem family, .so included
   };
   std::vector<Module> modules;
   std::uint64_t total = 0;
+  // Pass 1: find the published modules.
   for (const auto& entry : fs::directory_iterator(dir, ec)) {
     if (!entry.is_regular_file(ec)) continue;
     const std::uint64_t sz = entry.file_size(ec);
@@ -120,32 +123,52 @@ std::uint64_t enforce_cache_cap(const std::string& dir,
     if (entry.path().extension() == ".so") {
       Module m;
       m.so = entry.path();
+      m.stem = entry.path().filename().string();
+      m.stem.resize(m.stem.size() - 3);  // drop ".so"
       m.mtime = entry.last_write_time(ec);
-      m.bytes = sz;
-      for (const char* sibling : {".cpp", ".srcmap"}) {
-        fs::path side = entry.path();
-        side.replace_extension(sibling);
-        const std::uint64_t side_sz = fs::file_size(side, ec);
-        if (!ec) m.bytes += side_sz;
-      }
       modules.push_back(std::move(m));
     }
   }
   if (total <= max_bytes || modules.size() <= 1) return 0;
 
+  // Pass 2: attribute EVERY file to its stem family — not just the
+  // .cpp/.srcmap siblings but also .lock, .so.log, .so.bad, and orphaned
+  // .so.<pid>.tmp outputs. Evicting only the "known" extensions used to
+  // strand those sidecars forever: the cap would then fill with
+  // unevictable litter and thrash the actual modules. Stems are unique
+  // hex pairs, so a "<stem>." prefix match cannot cross families.
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    if (!entry.is_regular_file(ec)) continue;
+    const std::uint64_t sz = entry.file_size(ec);
+    if (ec) continue;
+    const std::string name = entry.path().filename().string();
+    for (Module& m : modules) {
+      if (name.size() > m.stem.size() + 1 &&
+          name.compare(0, m.stem.size(), m.stem) == 0 &&
+          name[m.stem.size()] == '.') {
+        m.bytes += sz;
+        m.files.push_back(entry.path());
+        break;
+      }
+    }
+  }
+
   std::sort(modules.begin(), modules.end(),
             [](const Module& a, const Module& b) { return a.mtime < b.mtime; });
   std::uint64_t evicted = 0;
   // Oldest first; the newest module (back of the sorted list) is never
-  // evicted — it is usually the one the caller just published.
+  // evicted — it is usually the one the caller just published. The whole
+  // family goes together (a stale .lock is safe to drop: flock lives on
+  // the inode, so a holder keeps its lock and the worst case is one
+  // uncoalesced recompile of a module this pass already condemned).
   for (std::size_t i = 0; i + 1 < modules.size() && total - evicted > max_bytes;
        ++i) {
-    for (const char* sibling : {".cpp", ".srcmap"}) {
-      fs::path side = modules[i].so;
-      side.replace_extension(sibling);
-      fs::remove(side, ec);
+    for (const fs::path& p : modules[i].files) {
+      const std::uint64_t sz = fs::file_size(p, ec);
+      const std::uint64_t counted = ec ? 0 : sz;
+      std::error_code rec;
+      if (fs::remove(p, rec) && !rec) evicted += counted;
     }
-    if (fs::remove(modules[i].so, ec)) evicted += modules[i].bytes;
   }
   return evicted;
 }

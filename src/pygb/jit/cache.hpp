@@ -99,8 +99,11 @@ std::size_t clean_cache_litter(const std::string& dir);
 /// PYGB_CACHE_HYGIENE_HOURS (default 1).
 std::chrono::hours cache_hygiene_horizon();
 
-/// Evict least-recently-touched modules (`.so` + its `.cpp`) until the
-/// directory's total size is within `max_bytes`. The newest module is
+/// Evict least-recently-touched modules until the directory's total size
+/// is within `max_bytes`. Eviction takes the FULL stem family — the `.so`
+/// plus every `<stem>.*` sidecar (`.cpp`, `.srcmap`, `.lock`, `.so.log`,
+/// `.so.bad`, orphaned `.so.<pid>.tmp`) — so repeated eviction cycles
+/// cannot strand unevictable litter under the cap. The newest module is
 /// never evicted (the one just published must survive). Returns bytes
 /// evicted. No-op when max_bytes == 0.
 std::uint64_t enforce_cache_cap(const std::string& dir,

@@ -14,6 +14,7 @@
 #include <unistd.h>
 
 #include <chrono>
+#include <functional>
 #include <thread>
 
 #include "pygb/faultinj.hpp"
@@ -426,13 +427,26 @@ RunOutcome run_subprocess(const RunOptions& options) {
         outcome.transient && outcome.status != RunStatus::kTimeout;
     if (!retryable || attempt == max_attempts) break;
     obs::counter_add(obs::Counter::kJitRetries);
+    // Exponential backoff with bounded jitter in [0.5, 1.5) of the nominal
+    // delay: N server threads that hit the same cold key (or the same
+    // overloaded compiler) must not sleep identical schedules and retry in
+    // lockstep. The draw is keyed on this command and the attempt number,
+    // and replays exactly under a PYGB_FAULTS seed (faultinj::jitter_unit).
+    std::uint64_t stream = 0xba0cc0ffULL;
+    for (const std::string& arg : options.argv) {
+      stream = stream * 1099511628211ULL ^ std::hash<std::string>{}(arg);
+    }
+    const double spread =
+        0.5 + faultinj::jitter_unit(stream, static_cast<std::uint64_t>(attempt));
+    const int delay_ms =
+        std::max(1, static_cast<int>(static_cast<double>(backoff_ms) * spread));
     if (!outcome.captured.empty() && outcome.captured.back() != '\n') {
       outcome.captured += '\n';
     }
     outcome.captured += "pygb: transient failure (" + outcome.describe() +
-                        "); retrying in " + std::to_string(backoff_ms) +
+                        "); retrying in " + std::to_string(delay_ms) +
                         "ms\n";
-    std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+    std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
     backoff_ms = std::min(backoff_ms * 2, 5000);
   }
   outcome.seconds =

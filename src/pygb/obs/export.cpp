@@ -2,10 +2,12 @@
 // and the periodic background flusher (export.hpp).
 #include "pygb/obs/export.hpp"
 
+#include <signal.h>
 #include <unistd.h>
 
 #include <atomic>
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -240,6 +242,48 @@ void start_metrics_flusher(std::int64_t interval_ms) {
   }).detach();
 }
 
+namespace {
+
+/// Saved dispositions so the termination handler can restore-and-reraise.
+struct sigaction g_prev_term;
+struct sigaction g_prev_int;
+std::atomic<bool> g_term_flush_fired{false};
+
+extern "C" void termination_flush_handler(int sig) {
+  // One shot: a second signal during the flush must kill us, not recurse.
+  //
+  // Deliberately NOT async-signal-safe: serializing a metrics snapshot
+  // allocates, which is the accepted best-effort tradeoff for a
+  // *termination* handler — the process is exiting either way, and a
+  // supervisor's kill-escalation bounds the (rare) deadlock where the
+  // signal lands on a thread holding the malloc lock. The *crash*
+  // handler (obs/crash.cpp) is held to the strict AS-safe standard; this
+  // one trades that for a complete snapshot.
+  if (!g_term_flush_fired.exchange(true)) {
+    flush_metrics_files();
+  }
+  const struct sigaction* prev =
+      sig == SIGTERM ? &g_prev_term : &g_prev_int;
+  if (sigaction(sig, prev, nullptr) != 0) {
+    std::signal(sig, SIG_DFL);
+  }
+  raise(sig);  // die with the right wait status (e.g. 128+15)
+}
+
+}  // namespace
+
+void install_termination_flush() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    struct sigaction sa;
+    std::memset(&sa, 0, sizeof sa);
+    sa.sa_handler = &termination_flush_handler;
+    sigemptyset(&sa.sa_mask);
+    sigaction(SIGTERM, &sa, &g_prev_term);
+    sigaction(SIGINT, &sa, &g_prev_int);
+  });
+}
+
 void init_export_from_env() {
   static std::once_flag once;
   std::call_once(once, [] {
@@ -251,6 +295,9 @@ void init_export_from_env() {
     set_export_paths(json_on ? json : "", prom_on ? prom : "");
     set_metrics_enabled(true);  // exports without data are pointless
     std::atexit([] { flush_metrics_files(); });
+    // atexit alone loses the final snapshot when a supervisor SIGTERMs the
+    // process (the common way a daemon dies) — see export.hpp.
+    install_termination_flush();
     if (const char* iv = std::getenv("PYGB_METRICS_INTERVAL_MS");
         iv != nullptr && *iv != '\0') {
       start_metrics_flusher(std::strtoll(iv, nullptr, 10));

@@ -52,9 +52,22 @@ void set_export_paths(const std::string& json_path,
 /// Start the periodic flusher (idempotent; interval <= 0 is ignored).
 void start_metrics_flusher(std::int64_t interval_ms);
 
+/// Arm a last-chance flush on SIGTERM/SIGINT (idempotent). std::atexit
+/// never runs when a daemon dies to a termination signal, so a supervised
+/// process (systemd stop, Kubernetes preStop, ctest timeout) used to exit
+/// with an empty or stale metrics file; this handler flushes the armed
+/// destinations, restores the previous disposition, and re-raises — so the
+/// exit status still says "killed by SIGTERM" and any outer handler
+/// (pygb_serve's own graceful drain installs AFTER this and supersedes it)
+/// keeps working. Best effort by design: flushing allocates, which is
+/// formally async-signal-unsafe; for a process dying anyway the rare
+/// torn-flush (the atomic tmp+rename still never publishes a torn FILE)
+/// beats the certain loss of the final snapshot.
+void install_termination_flush();
+
 /// Read PYGB_METRICS_JSON / PYGB_METRICS_PROM / PYGB_METRICS_INTERVAL_MS,
-/// arm the at-exit flush and the background flusher. Called by
-/// obs::init_from_env().
+/// arm the at-exit flush, the termination-signal flush, and the background
+/// flusher. Called by obs::init_from_env().
 void init_export_from_env();
 
 }  // namespace pygb::obs

@@ -177,6 +177,8 @@ const char* kind_name(EventKind k) noexcept {
       return "crash";
     case EventKind::kFusionPlan:
       return "fusion_plan";
+    case EventKind::kServe:
+      return "serve";
   }
   return "?";
 }

@@ -64,6 +64,9 @@ enum class EventKind : std::uint16_t {
   kFusionPlan = 14, ///< fusion-planner decision (detail = "flush"/"fuse"/
                     ///< "eager"/"dce"/"split"/"fallback"; v0/v1 decision-
                     ///< specific, see docs/FUSION.md)
+  kServe = 15,      ///< pygb_serve lifecycle (detail = "admit"/"reject"/
+                    ///< "done"/"error"/"cancel"/"disconnect"/"drain";
+                    ///< v0 = request id, see docs/SERVING.md)
 };
 
 const char* kind_name(EventKind k) noexcept;

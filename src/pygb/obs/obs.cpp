@@ -207,6 +207,16 @@ const char* counter_name(Counter c) noexcept {
       return "mxv_push_decisions";
     case Counter::kMxvPullDecisions:
       return "mxv_pull_decisions";
+    case Counter::kServeAdmitted:
+      return "serve_admitted";
+    case Counter::kServeRejected:
+      return "serve_rejected";
+    case Counter::kServeCancelled:
+      return "serve_cancelled";
+    case Counter::kServeDisconnects:
+      return "serve_disconnects";
+    case Counter::kServeDrained:
+      return "serve_drained";
     case Counter::kCount_:
       break;
   }

@@ -118,6 +118,15 @@ enum class Counter : unsigned {
   // made inside dlopen'd modules are counted too.
   kMxvPushDecisions,      ///< simd mxv/vxm chose the push (scatter) kernel
   kMxvPullDecisions,      ///< simd mxv/vxm pulled over the cached transpose
+  // pygb_serve (src/serve, docs/SERVING.md): the server's load-shedding
+  // ledger. Every accepted request lands in exactly one of
+  // admitted-and-finished / rejected / cancelled, so dashboards can prove
+  // "degraded, never died" from these alone.
+  kServeAdmitted,         ///< requests admitted past admission control
+  kServeRejected,         ///< typed Overloaded/shutting-down rejections
+  kServeCancelled,        ///< requests cancelled (disconnect or drain cap)
+  kServeDisconnects,      ///< client connections dropped mid-request
+  kServeDrained,          ///< in-flight requests completed during drain
   kCount_,
 };
 inline constexpr unsigned kCounterCount =

@@ -1,0 +1,120 @@
+// serve/protocol.hpp — the pygb_serve wire protocol (docs/SERVING.md).
+//
+// Transport: a stream socket (Unix or local TCP). Each direction carries
+// FRAMES: a 4-byte little-endian payload length followed by that many
+// bytes of UTF-8 text. Text because the payloads are tiny (a DSL program
+// request, a result summary) and a human can drive the server with a
+// 5-line Python client; framed because a robust server must never scan a
+// byte stream for delimiters an adversarial client controls.
+//
+// Request payload ("pygb-serve/1" magic, then key=value lines):
+//
+//   pygb-serve/1
+//   algo=pagerank
+//   graph=rmat:8
+//   damping=0.85
+//
+// Response payload (same shape; `code` is the machine-readable verdict):
+//
+//   pygb-serve/1
+//   code=ok
+//   elapsed_ms=12
+//   nrows=256
+//   checksum=0x3fa...
+//
+// Robustness contract (exercised by tests/serve/test_protocol.cpp):
+//   * a declared length above PYGB_SERVE_MAX_REQUEST_BYTES is rejected
+//     BEFORE any payload byte is read — a client cannot make the server
+//     allocate what it declares;
+//   * truncated prefixes / mid-frame disconnects surface as typed
+//     FrameStatus values, never partial payloads;
+//   * parse_request() rejects unknown keys, bad numbers, and out-of-range
+//     values with a message — garbage in, a typed `invalid_request` out.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace pygb::serve {
+
+/// First line of every request and response payload.
+inline constexpr const char* kMagic = "pygb-serve/1";
+
+/// PYGB_SERVE_MAX_REQUEST_BYTES — largest request payload the server will
+/// read (default 64 KiB; a DSL program request is ~100 bytes).
+std::uint64_t max_request_bytes();
+
+/// Outcome of reading one frame off a socket.
+enum class FrameStatus {
+  kOk,         ///< payload delivered
+  kClosed,     ///< clean EOF before any byte of this frame
+  kTruncated,  ///< EOF mid-prefix or mid-payload (client died / lied)
+  kTooLarge,   ///< declared length exceeds the cap; nothing was read after
+  kIoError,    ///< read()/write() failed (errno-level)
+};
+const char* frame_status_name(FrameStatus s) noexcept;
+
+/// Read one frame (blocking). On kOk, `payload` holds the bytes; on any
+/// other status `payload` is cleared. `max_bytes` caps the DECLARED
+/// length — the guard runs before the payload read.
+FrameStatus read_frame(int fd, std::string& payload, std::uint64_t max_bytes);
+
+/// Write one frame (blocking, handles short writes). False on I/O error.
+bool write_frame(int fd, std::string_view payload);
+
+/// Machine-readable response verdicts. Wire strings are stable.
+enum class Code {
+  kOk,
+  kOverloaded,         ///< admission control shed this request; retry later
+  kShuttingDown,       ///< server draining; retry against a peer
+  kInvalidRequest,     ///< malformed frame/program — do not retry as-is
+  kDeadlineExceeded,   ///< request deadline hit (transient)
+  kResourceExhausted,  ///< memory budget hit (transient)
+  kCancelled,          ///< client disconnect or drain cap cancelled it
+  kInternal,           ///< unexpected server-side failure
+};
+const char* code_name(Code c) noexcept;
+
+/// A parsed client request. Field defaults are the wire defaults: a
+/// request only carries the keys it wants to override.
+struct Request {
+  std::string algo;           ///< bfs | sssp | pagerank | tc | cc
+  std::string graph;          ///< graph spec, e.g. "rmat:8" (session.hpp)
+  std::uint64_t source = 0;   ///< bfs/sssp start vertex
+  double damping = 0.85;      ///< pagerank
+  double threshold = 1e-5;    ///< pagerank convergence
+  std::uint64_t max_iters = 100;  ///< pagerank iteration cap
+  std::uint64_t mem_limit_bytes = 0;  ///< per-request budget (0 = none)
+  std::uint64_t timeout_ms = 0;  ///< whole-request deadline (0 = server default)
+};
+
+/// A response, renderable to and parseable from a payload.
+struct Response {
+  Code code = Code::kInternal;
+  std::string error;               ///< human message when code != ok
+  std::uint64_t retry_after_ms = 0;  ///< backpressure hint (overloaded)
+  std::uint64_t elapsed_ms = 0;
+  std::string result;  ///< extra "key=value\n" lines (ok results)
+
+  bool ok() const noexcept { return code == Code::kOk; }
+  std::string render() const;
+};
+
+/// Parse a request payload. Returns false and fills `error` on any
+/// violation (bad magic, unknown key, malformed number, missing algo).
+bool parse_request(std::string_view payload, Request& out, std::string& error);
+
+/// Render a request payload (the client side; omits defaulted fields).
+std::string render_request(const Request& req);
+
+/// Parse a response payload (the client side). Unknown keys land in
+/// `out.result` verbatim — result summaries are algo-specific.
+bool parse_response(std::string_view payload, Response& out,
+                    std::string& error);
+
+/// Connect a blocking client socket. `target` is "unix:<path>" or
+/// "tcp:<port>" (loopback). Returns the fd, or -1 with `error` filled.
+int connect_client(const std::string& target, std::string& error);
+
+}  // namespace pygb::serve

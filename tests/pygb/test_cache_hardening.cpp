@@ -334,4 +334,41 @@ TEST(CacheCompiler, AvailabilityProbeTracksCompilerChanges) {
   EXPECT_FALSE(compiler_identity().empty());
 }
 
+TEST(CacheEviction, EvictsFullStemFamilyIncludingLitter) {
+  // Eviction must take the WHOLE stem family. Evicting only the .so (and
+  // the well-known .cpp/.srcmap siblings) stranded .lock / .so.log /
+  // .so.bad / orphaned .so.<pid>.tmp files forever: with the cap filled by
+  // unevictable litter, every later pass thrashed live modules instead.
+  const auto dir = fs::temp_directory_path() /
+                   ("pygb_evict_test_" + std::to_string(::getpid()));
+  std::error_code ec;
+  fs::remove_all(dir, ec);
+  fs::create_directories(dir);
+  auto plant = [&](const std::string& name, std::size_t bytes) {
+    write_file(dir / name, std::string(bytes, 'x'));
+  };
+  const std::vector<std::string> old_family = {
+      "aa11.so",     "aa11.cpp",    "aa11.srcmap",       "aa11.lock",
+      "aa11.so.log", "aa11.so.bad", "aa11.so.12345.tmp",
+  };
+  plant("aa11.so", 400);
+  for (std::size_t i = 1; i < old_family.size(); ++i) {
+    plant(old_family[i], 100);
+  }
+  plant("bb22.so", 400);
+  const auto now = fs::file_time_type::clock::now();
+  fs::last_write_time(dir / "aa11.so", now - std::chrono::hours(2));
+  fs::last_write_time(dir / "bb22.so", now);
+
+  // Total 1400 bytes; cap 500 forces out the old family (1000 bytes, the
+  // .so plus every sidecar), after which the directory fits.
+  const std::uint64_t evicted = enforce_cache_cap(dir.string(), 500);
+  EXPECT_EQ(evicted, 1000u);
+  for (const std::string& name : old_family) {
+    EXPECT_FALSE(fs::exists(dir / name)) << name << " stranded";
+  }
+  EXPECT_TRUE(fs::exists(dir / "bb22.so"));  // newest is never evicted
+  fs::remove_all(dir, ec);
+}
+
 }  // namespace

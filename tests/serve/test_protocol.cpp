@@ -1,0 +1,478 @@
+// tests/serve/test_protocol.cpp — the pygb_serve acceptance suite:
+// adversarial frame corpus (mirroring io/test_malformed_inputs.cpp: typed
+// status out, no crash, no declared-length allocation), request grammar,
+// admission control / AIMD window, per-request governor isolation, an
+// in-process end-to-end server smoke, and the SIGTERM metrics-flush
+// regression (docs/SERVING.md).
+#include <gtest/gtest.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "pygb/governor.hpp"
+#include "pygb/obs/export.hpp"
+#include "pygb/obs/obs.hpp"
+#include "serve/admission.hpp"
+#include "serve/protocol.hpp"
+#include "serve/server.hpp"
+#include "serve/session.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+using namespace pygb::serve;  // NOLINT
+namespace gov = pygb::governor;
+
+// ---------------------------------------------------------------------------
+// Framing: every malformed byte stream must come back as a typed
+// FrameStatus — never a partial payload, never a crash, and an oversized
+// DECLARED length must be rejected before any payload is read.
+// ---------------------------------------------------------------------------
+
+class FramePair : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds_), 0);
+  }
+  void TearDown() override {
+    if (fds_[0] >= 0) ::close(fds_[0]);
+    if (fds_[1] >= 0) ::close(fds_[1]);
+  }
+  void send_raw(const void* data, std::size_t n) {
+    ASSERT_EQ(::write(fds_[0], data, n), static_cast<ssize_t>(n));
+  }
+  void close_writer() {
+    ::close(fds_[0]);
+    fds_[0] = -1;
+  }
+  int reader() const { return fds_[1]; }
+
+  int fds_[2] = {-1, -1};
+};
+
+TEST_F(FramePair, RoundTrip) {
+  ASSERT_TRUE(write_frame(fds_[0], "hello frames"));
+  std::string payload;
+  EXPECT_EQ(read_frame(reader(), payload, 1024), FrameStatus::kOk);
+  EXPECT_EQ(payload, "hello frames");
+}
+
+TEST_F(FramePair, EmptyFrameIsOk) {
+  ASSERT_TRUE(write_frame(fds_[0], ""));
+  std::string payload = "stale";
+  EXPECT_EQ(read_frame(reader(), payload, 1024), FrameStatus::kOk);
+  EXPECT_TRUE(payload.empty());
+}
+
+TEST_F(FramePair, CleanEofIsClosed) {
+  close_writer();
+  std::string payload;
+  EXPECT_EQ(read_frame(reader(), payload, 1024), FrameStatus::kClosed);
+}
+
+TEST_F(FramePair, TruncatedLengthPrefix) {
+  const unsigned char two[2] = {0x10, 0x00};
+  send_raw(two, sizeof two);
+  close_writer();
+  std::string payload;
+  EXPECT_EQ(read_frame(reader(), payload, 1024), FrameStatus::kTruncated);
+  EXPECT_TRUE(payload.empty());
+}
+
+TEST_F(FramePair, MidFrameDisconnect) {
+  // Declares 100 bytes, delivers 10, dies.
+  const unsigned char prefix[4] = {100, 0, 0, 0};
+  send_raw(prefix, sizeof prefix);
+  send_raw("0123456789", 10);
+  close_writer();
+  std::string payload;
+  EXPECT_EQ(read_frame(reader(), payload, 1024), FrameStatus::kTruncated);
+  EXPECT_TRUE(payload.empty());  // no partial payload escapes
+}
+
+TEST_F(FramePair, OversizedDeclaredLengthRejectedBeforePayload) {
+  // Declares 4 GiB-ish. The reader must reject on the prefix alone — the
+  // payload bytes are never requested (nothing else is written here, so a
+  // read attempt would block forever and the test would time out).
+  const unsigned char prefix[4] = {0xff, 0xff, 0xff, 0xff};
+  send_raw(prefix, sizeof prefix);
+  std::string payload;
+  EXPECT_EQ(read_frame(reader(), payload, max_request_bytes()),
+            FrameStatus::kTooLarge);
+  EXPECT_TRUE(payload.empty());
+}
+
+TEST_F(FramePair, GarbageProgramBytesParseToTypedError) {
+  ASSERT_TRUE(write_frame(fds_[0], "\x7f\x45\x4c\x46 not a program \xff"));
+  std::string payload;
+  ASSERT_EQ(read_frame(reader(), payload, 1024), FrameStatus::kOk);
+  Request req;
+  std::string error;
+  EXPECT_FALSE(parse_request(payload, req, error));
+  EXPECT_NE(error.find("magic"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Request / response grammar
+// ---------------------------------------------------------------------------
+
+TEST(ServeGrammar, RequestRoundTrip) {
+  Request req;
+  req.algo = "pagerank";
+  req.graph = "rmat:6";
+  req.damping = 0.9;
+  req.mem_limit_bytes = 1 << 20;
+  req.timeout_ms = 1234;
+  Request parsed;
+  std::string error;
+  ASSERT_TRUE(parse_request(render_request(req), parsed, error)) << error;
+  EXPECT_EQ(parsed.algo, "pagerank");
+  EXPECT_EQ(parsed.graph, "rmat:6");
+  EXPECT_DOUBLE_EQ(parsed.damping, 0.9);
+  EXPECT_EQ(parsed.mem_limit_bytes, 1u << 20);
+  EXPECT_EQ(parsed.timeout_ms, 1234u);
+}
+
+TEST(ServeGrammar, RejectsUnknownKeysAndBadNumbers) {
+  Request req;
+  std::string error;
+  EXPECT_FALSE(parse_request("pygb-serve/1\nalgo=bfs\ngraph=er:8\nfoo=1\n",
+                             req, error));
+  EXPECT_NE(error.find("unknown request key"), std::string::npos);
+  EXPECT_FALSE(parse_request(
+      "pygb-serve/1\nalgo=bfs\ngraph=er:8\nsource=12x\n", req, error));
+  EXPECT_FALSE(parse_request(
+      "pygb-serve/1\nalgo=bfs\ngraph=er:8\ndamping=1.5\n", req, error));
+  EXPECT_FALSE(parse_request("pygb-serve/1\ngraph=er:8\n", req, error));
+  EXPECT_NE(error.find("algo"), std::string::npos);
+  EXPECT_FALSE(parse_request("pygb-serve/1\nalgo=evil\ngraph=er:8\n", req,
+                             error));
+}
+
+TEST(ServeGrammar, ResponseRoundTripWithResultLines) {
+  Response resp;
+  resp.code = Code::kOk;
+  resp.elapsed_ms = 42;
+  resp.result = "nrows=64\ndepth=3\n";
+  Response parsed;
+  std::string error;
+  ASSERT_TRUE(parse_response(resp.render(), parsed, error)) << error;
+  EXPECT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.elapsed_ms, 42u);
+  EXPECT_NE(parsed.result.find("depth=3"), std::string::npos);
+
+  Response overloaded;
+  overloaded.code = Code::kOverloaded;
+  overloaded.error = "queue full\nwith a sneaky newline";
+  overloaded.retry_after_ms = 250;
+  ASSERT_TRUE(parse_response(overloaded.render(), parsed, error)) << error;
+  EXPECT_EQ(parsed.code, Code::kOverloaded);
+  EXPECT_EQ(parsed.retry_after_ms, 250u);
+  EXPECT_EQ(parsed.error.find('\n'), std::string::npos);  // sanitized
+}
+
+// ---------------------------------------------------------------------------
+// Admission control + AIMD window
+// ---------------------------------------------------------------------------
+
+TEST(ServeAdmission, QueueCapSheds) {
+  AdmissionConfig cfg;
+  cfg.max_queue = 4;
+  cfg.retry_after_ms = 99;
+  AdmissionController ctl(cfg, 2);
+  EXPECT_TRUE(ctl.try_admit(0).admitted);
+  EXPECT_TRUE(ctl.try_admit(3).admitted);
+  const Verdict v = ctl.try_admit(4);
+  EXPECT_FALSE(v.admitted);
+  EXPECT_EQ(v.retry_after_ms, 99u);
+  EXPECT_NE(v.reason.find("queue full"), std::string::npos);
+}
+
+TEST(ServeAdmission, AimdWindowHalvesOnTransientAndRecovers) {
+  AdmissionConfig cfg;
+  AdmissionController ctl(cfg, 8);
+  EXPECT_EQ(ctl.window(), 8u);
+  ASSERT_TRUE(ctl.acquire_slot(10));
+  ctl.release_slot(/*transient_failure=*/true);
+  EXPECT_EQ(ctl.window(), 4u);
+  ASSERT_TRUE(ctl.acquire_slot(10));
+  ctl.release_slot(true);
+  EXPECT_EQ(ctl.window(), 2u);
+  // Multiplicative decrease floors at 1 — the server always probes.
+  ASSERT_TRUE(ctl.acquire_slot(10));
+  ctl.release_slot(true);
+  ASSERT_TRUE(ctl.acquire_slot(10));
+  ctl.release_slot(true);
+  EXPECT_EQ(ctl.window(), 1u);
+  // Additive recovery, capped at the worker count.
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(ctl.acquire_slot(10));
+    ctl.release_slot(false);
+  }
+  EXPECT_EQ(ctl.window(), 8u);
+}
+
+TEST(ServeAdmission, NarrowWindowBoundsConcurrencyAndTimesOut) {
+  AdmissionConfig cfg;
+  AdmissionController ctl(cfg, 4);
+  ASSERT_TRUE(ctl.acquire_slot(10));
+  ctl.release_slot(true);  // window: 2
+  ctl.release_slot(true);  // window: 1 (extra release is clamped)
+  ASSERT_TRUE(ctl.acquire_slot(10));
+  EXPECT_FALSE(ctl.acquire_slot(20));  // window full → bounded wait → shed
+  ctl.release_slot(false);
+  EXPECT_TRUE(ctl.acquire_slot(10));
+  ctl.release_slot(false);
+}
+
+// ---------------------------------------------------------------------------
+// Per-request governor isolation (the PoolApi v4 spine)
+// ---------------------------------------------------------------------------
+
+TEST(ServeIsolation, StickyCancelHitsOnlyItsOwnContext) {
+  gov::RequestContext a, b;
+  a.cancel();
+  {
+    gov::ThreadBind bind(&a);
+    EXPECT_THROW(gov::checkpoint(), gov::Cancelled);
+    // Sticky: NOT consumed — the request's next op dies too.
+    EXPECT_THROW(gov::checkpoint(), gov::Cancelled);
+  }
+  {
+    gov::ThreadBind bind(&b);
+    EXPECT_NO_THROW(gov::checkpoint());  // the other tenant is untouched
+  }
+  EXPECT_NO_THROW(gov::checkpoint());  // and so is the default context
+}
+
+TEST(ServeIsolation, RequestDeadlineFiresBetweenOps) {
+  gov::RequestContext ctx;
+  ctx.set_request_deadline_ms(1);
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  gov::ThreadBind bind(&ctx);
+  EXPECT_THROW(gov::checkpoint(), gov::DeadlineExceeded);
+}
+
+TEST(ServeIsolation, RequestBudgetIsolatedFromProcessGauge) {
+  const std::uint64_t base = gov::stats().mem_current_bytes;
+  gov::RequestContext ctx;
+  ctx.set_mem_limit_bytes(1000);
+  gov::ThreadBind bind(&ctx);
+  EXPECT_THROW(gov::mem_reserve(2000), gov::ResourceExhausted);
+  // The refused charge retained nothing anywhere.
+  EXPECT_EQ(ctx.mem_current_bytes(), 0u);
+  EXPECT_EQ(gov::stats().mem_current_bytes, base);
+  // An admitted charge lands on BOTH gauges (request budget + process).
+  gov::mem_reserve(500);
+  EXPECT_EQ(ctx.mem_current_bytes(), 500u);
+  EXPECT_EQ(gov::stats().mem_current_bytes, base + 500);
+  gov::mem_release(500);
+  EXPECT_EQ(ctx.mem_current_bytes(), 0u);
+  EXPECT_EQ(gov::stats().mem_current_bytes, base);
+}
+
+TEST(ServeIsolation, GlobalCancelDoesNotTouchBoundTenants) {
+  gov::RequestContext ctx;
+  gov::cancel();  // aimed at the default context
+  {
+    gov::ThreadBind bind(&ctx);
+    EXPECT_NO_THROW(gov::checkpoint());
+  }
+  // The default context still owes one Cancelled (one-shot, consumed).
+  EXPECT_THROW(gov::checkpoint(), gov::Cancelled);
+  EXPECT_NO_THROW(gov::checkpoint());
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end: in-process server over a real Unix socket
+// ---------------------------------------------------------------------------
+
+class ServeSmoke : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    sock_ = "/tmp/pygb_serve_test_" + std::to_string(::getpid()) + ".sock";
+    ServerConfig cfg;
+    cfg.target = "unix:" + sock_;
+    cfg.threads = 2;
+    cfg.request_timeout_ms = 10000;
+    cfg.drain_ms = 2000;
+    server_ = std::make_unique<Server>(cfg);
+    std::string error;
+    ASSERT_TRUE(server_->start(error)) << error;
+    runner_ = std::thread([this] { exit_code_ = server_->run(); });
+  }
+  void TearDown() override {
+    if (runner_.joinable()) {
+      server_->request_shutdown();
+      runner_.join();
+    }
+    EXPECT_EQ(exit_code_, 0);  // every shutdown in this suite drains clean
+    server_.reset();
+    ::unlink(sock_.c_str());
+  }
+
+  Response call(const Request& req) {
+    std::string error;
+    const int fd = connect_client("unix:" + sock_, error);
+    EXPECT_GE(fd, 0) << error;
+    Response resp;
+    if (fd < 0) return resp;
+    EXPECT_TRUE(write_frame(fd, render_request(req)));
+    std::string payload;
+    EXPECT_EQ(read_frame(fd, payload, max_request_bytes()), FrameStatus::kOk);
+    EXPECT_TRUE(parse_response(payload, resp, error)) << error;
+    ::close(fd);
+    return resp;
+  }
+
+  std::string sock_;
+  std::unique_ptr<Server> server_;
+  std::thread runner_;
+  int exit_code_ = -1;
+};
+
+TEST_F(ServeSmoke, MixedAlgorithmsReturnTypedOkResults) {
+  Request bfs;
+  bfs.algo = "bfs";
+  bfs.graph = "ring:32";
+  Response r = call(bfs);
+  ASSERT_TRUE(r.ok()) << r.error;
+  EXPECT_NE(r.result.find("nrows=32"), std::string::npos);
+  EXPECT_NE(r.result.find("reached=32"), std::string::npos);
+
+  Request pr;
+  pr.algo = "pagerank";
+  pr.graph = "er:64";
+  pr.max_iters = 30;
+  r = call(pr);
+  ASSERT_TRUE(r.ok()) << r.error;
+  EXPECT_NE(r.result.find("sum="), std::string::npos);
+
+  Request sssp;
+  sssp.algo = "sssp";
+  sssp.graph = "ring:32";
+  r = call(sssp);
+  ASSERT_TRUE(r.ok()) << r.error;
+  EXPECT_NE(r.result.find("checksum="), std::string::npos);
+}
+
+TEST_F(ServeSmoke, MalformedAndHostileInputsGetTypedReplies) {
+  std::string error;
+  // Unknown algorithm → invalid_request.
+  Request bad;
+  bad.algo = "bfs";
+  bad.graph = "nope:1";
+  Response r = call(bad);
+  EXPECT_EQ(r.code, Code::kInvalidRequest);
+  EXPECT_NE(r.error.find("unknown graph family"), std::string::npos);
+
+  // Oversized declared frame → typed invalid_request, connection served.
+  int fd = connect_client("unix:" + sock_, error);
+  ASSERT_GE(fd, 0) << error;
+  const unsigned char huge[4] = {0xff, 0xff, 0xff, 0x7f};
+  ASSERT_EQ(::write(fd, huge, 4), 4);
+  std::string payload;
+  ASSERT_EQ(read_frame(fd, payload, max_request_bytes()), FrameStatus::kOk);
+  Response resp;
+  ASSERT_TRUE(parse_response(payload, resp, error)) << error;
+  EXPECT_EQ(resp.code, Code::kInvalidRequest);
+  EXPECT_NE(resp.error.find("PYGB_SERVE_MAX_REQUEST_BYTES"),
+            std::string::npos);
+  ::close(fd);
+
+  // Raw garbage payload → typed invalid_request.
+  fd = connect_client("unix:" + sock_, error);
+  ASSERT_GE(fd, 0) << error;
+  ASSERT_TRUE(write_frame(fd, "GET / HTTP/1.1\r\n\r\n"));
+  ASSERT_EQ(read_frame(fd, payload, max_request_bytes()), FrameStatus::kOk);
+  ASSERT_TRUE(parse_response(payload, resp, error)) << error;
+  EXPECT_EQ(resp.code, Code::kInvalidRequest);
+  ::close(fd);
+
+  // Mid-frame disconnect: server must just move on (no reply owed) —
+  // proven by the next request working.
+  fd = connect_client("unix:" + sock_, error);
+  ASSERT_GE(fd, 0) << error;
+  const unsigned char prefix[4] = {100, 0, 0, 0};
+  ASSERT_EQ(::write(fd, prefix, 4), 4);
+  ::close(fd);
+  Request ok;
+  ok.algo = "bfs";
+  ok.graph = "ring:16";
+  EXPECT_TRUE(call(ok).ok());
+}
+
+TEST_F(ServeSmoke, PerRequestDeadlineReturnsTypedDeadlineExceeded) {
+  Request req;
+  req.algo = "pagerank";
+  req.graph = "er:256";
+  req.threshold = 0.0;      // never converges
+  req.max_iters = 1000000;  // bounded by the deadline instead
+  req.timeout_ms = 50;
+  const Response r = call(req);
+  EXPECT_EQ(r.code, Code::kDeadlineExceeded) << r.error;
+  // One tenant's deadline left the server fully serviceable.
+  Request ok;
+  ok.algo = "bfs";
+  ok.graph = "ring:16";
+  EXPECT_TRUE(call(ok).ok());
+}
+
+TEST_F(ServeSmoke, PerRequestBudgetReturnsTypedResourceExhausted) {
+  Request req;
+  req.algo = "pagerank";
+  req.graph = "er:256";
+  req.max_iters = 30;
+  req.mem_limit_bytes = 64;  // absurdly small: first staging charge trips
+  const Response r = call(req);
+  EXPECT_EQ(r.code, Code::kResourceExhausted) << r.error;
+  EXPECT_NE(r.error.find("request budget"), std::string::npos) << r.error;
+  Request ok;
+  ok.algo = "bfs";
+  ok.graph = "ring:16";
+  EXPECT_TRUE(call(ok).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Satellite regression: the at-exit metrics flush must also run when the
+// process dies to SIGTERM (install_termination_flush), preserving the
+// killed-by-signal wait status.
+// ---------------------------------------------------------------------------
+
+TEST(TerminationFlush, SigtermFlushesMetricsAndPreservesWaitStatus) {
+  const std::string path = "/tmp/pygb_term_flush_" +
+                           std::to_string(::getpid()) + ".json";
+  ::unlink(path.c_str());
+  const pid_t child = ::fork();
+  ASSERT_GE(child, 0);
+  if (child == 0) {
+    // Child: arm the flush exactly like a daemon would, then die to
+    // SIGTERM with no chance for atexit to run.
+    pygb::obs::set_metrics_enabled(true);
+    pygb::obs::set_export_paths(path, "");
+    pygb::obs::install_termination_flush();
+    ::raise(SIGTERM);
+    ::_exit(97);  // unreachable if the handler re-raises correctly
+  }
+  int status = 0;
+  ASSERT_EQ(::waitpid(child, &status, 0), child);
+  EXPECT_TRUE(WIFSIGNALED(status));  // still "killed by SIGTERM"
+  EXPECT_EQ(WTERMSIG(status), SIGTERM);
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good()) << "metrics file missing after SIGTERM";
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_NE(content.find("pygb.metrics"), std::string::npos);
+  ::unlink(path.c_str());
+}
+
+}  // namespace

@@ -1,0 +1,101 @@
+#!/usr/bin/env bash
+# Graceful-drain acceptance for pygb_serve (docs/SERVING.md): SIGTERM while
+# a request is in flight must
+#
+#   * deliver the in-flight client a TYPED reply (ok if it finished inside
+#     the drain window; cancelled/deadline_exceeded past the cap — never a
+#     dropped connection),
+#   * refuse new work with a typed `shutting_down` (or refuse the connect
+#     outright once the listener is closed),
+#   * flush the metrics file (the SIGTERM flush path), and
+#   * exit 0.
+#
+# usage: serve_drain.sh <path-to-pygb_serve>
+set -euo pipefail
+
+SERVE="$1"
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"; kill "$SERVER_PID" 2>/dev/null || true' EXIT
+
+if ! command -v python3 >/dev/null 2>&1; then
+  echo "serve_drain: python3 unavailable, skipping"
+  exit 0
+fi
+
+SOCK="$TMP/serve.sock"
+METRICS="$TMP/metrics.json"
+
+"$SERVE" --socket "$SOCK" --threads 2 --drain-ms 4000 \
+  --metrics-json "$METRICS" > "$TMP/serve.log" 2>&1 &
+SERVER_PID=$!
+
+# Wait for the listener.
+for _ in $(seq 1 100); do
+  [ -S "$SOCK" ] && break
+  sleep 0.1
+done
+[ -S "$SOCK" ] || { echo "FAIL: server never bound $SOCK"; cat "$TMP/serve.log"; exit 1; }
+
+# Client: send one moderately-sized request, then hold the connection open
+# waiting for the reply while the parent SIGTERMs the server.
+python3 - "$SOCK" > "$TMP/client.out" <<'PY' &
+import socket, struct, sys
+
+sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+sock.connect(sys.argv[1])
+payload = b"pygb-serve/1\nalgo=pagerank\ngraph=er:192\nmax_iters=200\nthreshold=0.0000000001\n"
+sock.sendall(struct.pack("<I", len(payload)) + payload)
+
+def read_exact(n):
+    buf = b""
+    while len(buf) < n:
+        chunk = sock.recv(n - len(buf))
+        if not chunk:
+            raise SystemExit("FAIL: connection dropped without a reply")
+        buf += chunk
+    return buf
+
+(length,) = struct.unpack("<I", read_exact(4))
+reply = read_exact(length).decode()
+code = ""
+for line in reply.splitlines():
+    if line.startswith("code="):
+        code = line[5:]
+print(f"reply_code={code}")
+if code not in ("ok", "cancelled", "deadline_exceeded"):
+    raise SystemExit(f"FAIL: unexpected drain reply code {code!r}:\n{reply}")
+PY
+CLIENT_PID=$!
+
+# Let the request get in flight, then ask for a graceful stop.
+sleep 0.4
+kill -TERM "$SERVER_PID"
+
+wait "$CLIENT_PID" || { echo "FAIL: client saw no typed reply"; cat "$TMP/client.out"; cat "$TMP/serve.log"; exit 1; }
+grep -q "reply_code=" "$TMP/client.out" || { echo "FAIL: no reply code"; exit 1; }
+
+# The server must exit 0 (clean drain), not die to the signal.
+SERVER_RC=0
+wait "$SERVER_PID" || SERVER_RC=$?
+if [ "$SERVER_RC" -ne 0 ]; then
+  echo "FAIL: server exited $SERVER_RC (wanted 0)"; cat "$TMP/serve.log"; exit 1
+fi
+grep -q "drained" "$TMP/serve.log" || { echo "FAIL: no drain announcement"; cat "$TMP/serve.log"; exit 1; }
+
+# Metrics flushed on the way out.
+[ -s "$METRICS" ] || { echo "FAIL: metrics file missing/empty after drain"; exit 1; }
+grep -q "pygb.metrics" "$METRICS" || { echo "FAIL: metrics file not a pygb.metrics snapshot"; exit 1; }
+
+# New work after drain: connect must fail (listener closed) — a typed
+# shutting_down would also have been acceptable mid-drain.
+if python3 - "$SOCK" <<'PY' 2>/dev/null
+import socket, sys
+s = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+s.settimeout(1.0)
+s.connect(sys.argv[1])
+PY
+then
+  echo "FAIL: server still accepting after drain"; exit 1
+fi
+
+echo "PASS: typed reply ($(cat "$TMP/client.out")), exit 0, metrics flushed"
