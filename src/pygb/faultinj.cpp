@@ -53,6 +53,8 @@ Action parse_action(std::string_view word) {
   if (word == "fail") return Action::kFail;
   if (word == "slow") return Action::kSlow;
   if (word == "corrupt") return Action::kCorrupt;
+  if (word == "crash") return Action::kCrash;
+  if (word == "stale_proto") return Action::kStaleProto;
   throw std::invalid_argument("pygb: unknown fault action '" +
                               std::string(word) + "'");
 }
@@ -110,6 +112,10 @@ const char* to_string(Action a) noexcept {
       return "slow";
     case Action::kCorrupt:
       return "corrupt";
+    case Action::kCrash:
+      return "crash";
+    case Action::kStaleProto:
+      return "stale_proto";
   }
   return "?";
 }

@@ -18,11 +18,14 @@
 //   spec  := rule (',' rule)* [',' 'seed=' <uint64>]
 //
 //   sites    compile | compile_spawn | dlopen | cache_verify |
-//            cache_publish | flock | pool_submit | governor
+//            cache_publish | flock | pool_submit | governor | compiled
 //   actions  hang  — the compiler child parks forever (timeout path)
 //            fail  — the site reports failure (exit 1 / nullptr / throw)
 //            slow  — the compiler child sleeps ~2s before exec'ing
 //            corrupt — published bytes are garbled (verify/quarantine path)
+//            crash — the compile-service worker _exits abruptly mid-request
+//            stale_proto — the worker handshakes with a wrong protocol
+//                    version (client must reject + restart, never parse on)
 //   p=X      firing probability in [0,1] (default 1). Draws come from a
 //            splitmix64 stream seeded by `seed` (default 0) and a global
 //            draw counter, so a given (spec, call sequence) always fires
@@ -46,7 +49,15 @@
 
 namespace pygb::faultinj {
 
-enum class Action : std::uint8_t { kNone, kHang, kFail, kSlow, kCorrupt };
+enum class Action : std::uint8_t {
+  kNone,
+  kHang,
+  kFail,
+  kSlow,
+  kCorrupt,
+  kCrash,       ///< the acting process _exits abruptly (no reply, no cleanup)
+  kStaleProto,  ///< speak a wrong protocol version (compile-service handshake)
+};
 
 const char* to_string(Action a) noexcept;
 
@@ -70,6 +81,13 @@ inline constexpr const char* kGovernor = "governor";
 /// MODULE CODE — a real SIGSEGV inside the dlopen'd mapping, for the
 /// crash-attribution pipeline (docs/OBSERVABILITY.md).
 inline constexpr const char* kKernelCrash = "kernel_crash";
+/// The persistent compile service (pygb/jit/compile_service.hpp), enacted
+/// INSIDE the pygb_compiled worker so chaos runs exercise the client's
+/// real death/hang/corruption detection and restart machinery:
+/// `hang` parks before replying, `crash` _exits mid-request, `corrupt`
+/// sends a garbage frame, `stale_proto` handshakes a wrong version,
+/// `fail` reports a (fake) compiler failure, `slow` delays the reply ~2s.
+inline constexpr const char* kCompiled = "compiled";
 }  // namespace site
 
 /// The verdict for one site visit. Evaluates false when nothing fires.

@@ -72,6 +72,17 @@ void RequestContext::set_request_deadline_ms(std::uint64_t ms) noexcept {
   armed_.fetch_or(detail::kDeadlineArmed, std::memory_order_release);
 }
 
+std::uint64_t RequestContext::request_deadline_remaining_ms()
+    const noexcept {
+  const std::uint64_t deadline =
+      request_deadline_ns_.load(std::memory_order_relaxed);
+  if (deadline == 0) return 0;
+  const std::uint64_t now = now_ns();
+  if (now >= deadline) return 1;
+  const std::uint64_t left_ms = (deadline - now) / 1000000u;
+  return left_ms == 0 ? 1 : left_ms;
+}
+
 void RequestContext::cancel() noexcept {
   sticky_cancel_.store(true, std::memory_order_relaxed);
   armed_.fetch_or(detail::kCancelArmed, std::memory_order_release);

@@ -173,6 +173,12 @@ class RequestContext {
   /// deadline)), and checkpoints between ops honor it too. 0 disarms.
   void set_request_deadline_ms(std::uint64_t ms) noexcept;
 
+  /// Milliseconds left on the armed whole-request deadline: 0 when none is
+  /// armed, else at least 1 (an expired-but-armed deadline reports 1, so
+  /// callers bounding slow work — the JIT clamps compile timeouts to this —
+  /// can distinguish "unbounded" from "no budget left").
+  std::uint64_t request_deadline_remaining_ms() const noexcept;
+
   /// Sticky cancellation of this context: every subsequent checkpoint on a
   /// bound thread throws Cancelled until the context dies. This is the
   /// client-disconnect path — unlike the default context's one-shot

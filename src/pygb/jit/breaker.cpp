@@ -31,6 +31,18 @@ int env_int(const char* name, int fallback) {
   return static_cast<int>(std::strtol(v, nullptr, 10));
 }
 
+/// Stored failure causes are a TAIL, size-capped: a JIT failure message
+/// leads with boilerplate (key, command line) and ends with the captured
+/// compiler stderr — the part a human needs. And the breaker map lives for
+/// the process, so an unbounded cause per key would let a chatty compiler
+/// grow it without limit.
+constexpr std::size_t kCauseCapBytes = 512;
+
+std::string capped_cause_tail(const std::string& cause) {
+  if (cause.size() <= kCauseCapBytes) return cause;
+  return "…" + cause.substr(cause.size() - kCauseCapBytes);
+}
+
 }  // namespace
 
 const char* to_string(BreakerState s) noexcept {
@@ -95,7 +107,7 @@ void CircuitBreaker::on_failure(const std::string& key, bool transient,
   KeyState& ks = keys_[key];
   ks.probe_inflight = false;
   ++ks.consecutive_failures;
-  ks.cause = cause;
+  ks.cause = capped_cause_tail(cause);
   if (!transient) {
     // Deterministic rejection: retrying is futile until the caches are
     // cleared. Open now, never half-open (the old negative cache).

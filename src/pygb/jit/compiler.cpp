@@ -1,5 +1,8 @@
 #include "pygb/jit/compiler.hpp"
 
+#include <algorithm>
+#include <climits>
+#include <cstdio>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
@@ -8,7 +11,10 @@
 #include <sstream>
 
 #include "pygb/faultinj.hpp"
+#include "pygb/governor.hpp"
+#include "pygb/jit/compile_service.hpp"
 #include "pygb/jit/subprocess.hpp"
+#include "pygb/obs/flightrec.hpp"
 #include "pygb/obs/obs.hpp"
 
 #ifndef PYGB_SOURCE_INCLUDE_DIR
@@ -75,10 +81,61 @@ std::string compile_flags() {
   return "-std=c++20 -O2 -DNDEBUG -shared -fPIC";
 }
 
+namespace {
+
+/// Compile deadline for this invocation: the configured JIT timeout,
+/// clamped to whatever remains of the requesting context's whole-request
+/// deadline (a governed request with 3s left must not start a 30s
+/// compile — the fallback ladder should engage while the caller can still
+/// use the answer).
+int effective_compile_timeout_ms() {
+  int timeout = jit_timeout_ms();
+  const std::uint64_t remaining =
+      governor::current_context().request_deadline_remaining_ms();
+  if (remaining != 0) {
+    const int rem = remaining > static_cast<std::uint64_t>(INT_MAX)
+                        ? INT_MAX
+                        : static_cast<int>(remaining);
+    timeout = timeout <= 0 ? rem : std::min(timeout, rem);
+  }
+  return timeout;
+}
+
+}  // namespace
+
 CompileResult compile_module(const std::string& source_path,
                              const std::string& output_path) {
   CompileResult result;
   const std::string log_path = output_path + ".log";
+  const int timeout_ms = effective_compile_timeout_ms();
+
+  // Persistent compile service first (PYGB_COMPILED=on): a warm worker
+  // with the glue.hpp PCH already parsed. A SERVICE failure (worker dead,
+  // hung, breaker open) falls through to the in-process runner below —
+  // never to the user.
+  auto& svc = CompileService::instance();
+  if (svc.enabled()) {
+    auto att = svc.compile(source_path, output_path, timeout_ms);
+    if (att.serviced) {
+      obs::record_value("compile_ns",
+                        static_cast<std::uint64_t>(att.result.seconds * 1e9));
+      std::error_code ec;
+      if (att.result.ok) {
+        std::filesystem::remove(log_path, ec);
+      } else {
+        std::ofstream out(log_path);
+        out << att.result.log;
+      }
+      return att.result;
+    }
+    obs::counter_add(obs::Counter::kCompiledFallbacks);
+    flightrec::record(flightrec::EventKind::kCompiled, "degrade");
+    if (!att.note.empty()) {
+      std::fprintf(stderr, "pygb: compile service unavailable (%s); %s\n",
+                   att.note.c_str(),
+                   "falling back to in-process compiler");
+    }
+  }
 
   RunOptions opt;
   opt.argv = split_command(compiler_command());
@@ -89,7 +146,7 @@ CompileResult compile_module(const std::string& source_path,
   opt.argv.push_back(source_path);
   opt.argv.push_back("-o");
   opt.argv.push_back(output_path);
-  opt.timeout_ms = jit_timeout_ms();
+  opt.timeout_ms = timeout_ms;
   opt.mem_limit_mb = jit_mem_limit_mb();
   opt.max_attempts = 1 + jit_max_retries();
   opt.fault_site = faultinj::site::kCompile;

@@ -2,7 +2,7 @@
 // triplet text) and run any of the library's algorithms through the DSL.
 //
 //   pygb_cli <algorithm> <graph-file> [options]
-//   pygb_cli --cache-info | --cache-clear
+//   pygb_cli --cache-info | --cache-clear | --health
 //
 //   algorithms:  bfs | sssp | pagerank | tc | cc | bc | info
 //   options:     --source N        start vertex for bfs/sssp   (default 0)
@@ -42,13 +42,25 @@
 //   cache directory, size, and environment stamp; --cache-clear empties
 //   it. See docs/CACHE.md.
 //
+//   --health (no graph file): end-to-end readiness probe — generate a
+//   1-element kernel, compile it (through the compile service when
+//   PYGB_COMPILED=on), dlopen it, and run it. Emits a pygb.health JSON
+//   document on stdout and exits nonzero if any stage fails, so an
+//   orchestrator's readiness check exercises the exact pipeline user
+//   requests will take. See docs/ROBUSTNESS.md.
+//
 // PYGB_TRACE=<file> / PYGB_METRICS=1 activate the same observability
 // surfaces from the environment — see docs/OBSERVABILITY.md.
 //
 // Exercises the full public stack: direct file loading (§VIII), the DSL,
 // whole-algorithm dispatch, and the observability layer.
+#include <unistd.h>
+
 #include <algorithm>
+#include <chrono>
 #include <cstring>
+#include <filesystem>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -63,6 +75,11 @@
 #include "pygb/faultinj.hpp"
 #include "pygb/governor.hpp"
 #include "pygb/jit/cache.hpp"
+#include "pygb/jit/codegen.hpp"
+#include "pygb/jit/compile_service.hpp"
+#include "pygb/jit/compiler.hpp"
+#include "pygb/jit/loader.hpp"
+#include "pygb/jit/module_key.hpp"
 #include "pygb/obs/crash.hpp"
 #include "pygb/obs/export.hpp"
 #include "pygb/obs/obs.hpp"
@@ -96,7 +113,7 @@ struct Options {
       << "usage: " << argv0
       << " <bfs|sssp|pagerank|tc|cc|bc|info> <graph-file> [options]\n"
          "       " << argv0
-      << " --cache-info | --cache-clear\n"
+      << " --cache-info | --cache-clear | --health\n"
          "  --source N   --damping X   --threshold X\n"
          "  --tier dsl|whole|native    --top K\n"
          "  --trace FILE (Chrome trace JSON)   --stats (metrics summary)\n"
@@ -301,6 +318,142 @@ int run_cache_command(const std::string& cmd) {
   return 0;
 }
 
+// --health: prove the whole JIT pipeline works RIGHT NOW — codegen,
+// compile (via the persistent compile service when enabled), dlopen, and a
+// real kernel invocation — rather than inferring readiness from "the
+// process is up". Each stage is timed and reported individually so a
+// failing probe names the broken layer. Output is a schema-versioned JSON
+// document; exit status 0 only when every stage passed.
+int run_health() {
+  namespace fs = std::filesystem;
+  using Clock = std::chrono::steady_clock;
+
+  struct StageReport {
+    const char* stage;
+    bool ok = false;
+    double ms = 0.0;
+    std::string error;
+  };
+  std::vector<StageReport> stages;
+  const auto run_stage = [&](const char* name, auto&& body) {
+    StageReport rep;
+    rep.stage = name;
+    const auto t0 = Clock::now();
+    try {
+      rep.ok = body(&rep.error);
+    } catch (const std::exception& e) {
+      rep.error = e.what();
+    }
+    rep.ms = std::chrono::duration<double, std::milli>(Clock::now() - t0)
+                 .count();
+    stages.push_back(std::move(rep));
+    return stages.back().ok;
+  };
+
+  // The probe kernel: fp64 + fp64 elementwise add over 1-element vectors.
+  // Small enough to compile in well under a second, real enough to cross
+  // every layer a production dispatch crosses.
+  jit::OpRequest req;
+  req.func = jit::func::kEWiseAddVV;
+  req.c = DType::kFP64;
+  req.a = DType::kFP64;
+  req.b = DType::kFP64;
+  req.binary_op = BinaryOp(BinaryOpName::kPlus);
+  const std::string stamp = jit::cache_stamp();
+
+  // Private scratch dir — the probe must not pollute (or be satisfied by)
+  // the shared module cache: a cache hit would skip the compile stage and
+  // the probe would vouch for a compiler that no longer works.
+  const fs::path dir = fs::temp_directory_path() /
+                       ("pygb_health_" + std::to_string(::getpid()));
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  const std::string src_path = (dir / "health_probe.cpp").string();
+  const std::string so_path = (dir / "health_probe.so").string();
+
+  const auto svc_before = jit::compiled_state::snapshot();
+
+  bool ok = run_stage("codegen", [&](std::string* err) {
+    std::string source;
+    source = jit::generate_source(req, stamp);
+    std::ofstream out(src_path, std::ios::binary | std::ios::trunc);
+    out << source;
+    out.close();
+    if (!out) {
+      *err = "failed to write " + src_path;
+      return false;
+    }
+    return true;
+  });
+
+  ok = ok && run_stage("compile", [&](std::string* err) {
+    const auto res = jit::compile_module(src_path, so_path);
+    if (!res.ok) *err = res.log.empty() ? "compile failed" : res.log;
+    return res.ok;
+  });
+
+  jit::KernelFn fn = nullptr;
+  ok = ok && run_stage("dlopen", [&](std::string* err) {
+    fn = jit::load_kernel(so_path, err, stamp);
+    return fn != nullptr;
+  });
+
+  ok = ok && run_stage("run", [&](std::string* err) {
+    Vector va(1, DType::kFP64);
+    Vector vb(1, DType::kFP64);
+    Vector vc(1, DType::kFP64);
+    va.set(0, 1.0);
+    vb.set(0, 1.0);
+    jit::KernelArgs args;
+    args.c = &vc.typed<double>();
+    args.a = &va.typed<double>();
+    args.b = &vb.typed<double>();
+    gbtl::detail::BackendScope bscope(req.backend);
+    fn(&args);
+    if (!vc.has_element(0) || vc.get(0) != 2.0) {
+      *err = "kernel produced wrong result (expected c[0] == 2.0)";
+      return false;
+    }
+    return true;
+  });
+
+  const auto svc_after = jit::compiled_state::snapshot();
+  fs::remove_all(dir, ec);
+
+  std::string out = "{\"schema\":\"pygb.health\",\"schema_version\":1,";
+  out += "\"ok\":";
+  out += ok ? "true" : "false";
+  out += ",\"compiler\":";
+  obs::detail::append_json_string(out, jit::compiler_command());
+  out += ",\"service\":{\"enabled\":";
+  out += svc_after.enabled ? "true" : "false";
+  out += ",\"used\":";
+  out += svc_after.served > svc_before.served ? "true" : "false";
+  out += ",\"worker_pid\":" + std::to_string(svc_after.worker_pid);
+  out += ",\"breaker_open\":";
+  out += svc_after.breaker_open ? "true" : "false";
+  out += ",\"restarts\":" + std::to_string(svc_after.restarts);
+  out += "},\"stages\":[";
+  bool first = true;
+  for (const auto& s : stages) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"stage\":";
+    obs::detail::append_json_string(out, s.stage);
+    out += ",\"ok\":";
+    out += s.ok ? "true" : "false";
+    out += ",\"ms\":" + std::to_string(s.ms);
+    if (!s.ok) {
+      out += ",\"error\":";
+      obs::detail::append_json_string(out, s.error);
+    }
+    out += "}";
+  }
+  out += "]}";
+  std::cout << out << "\n";
+  return ok ? 0 : 1;
+}
+
 int run_info(const Matrix& graph) {
   std::cout << "shape: " << graph.nrows() << " x " << graph.ncols()
             << "\nstored edges: " << graph.nvals()
@@ -317,6 +470,9 @@ int main(int argc, char** argv) {
   if (argc >= 2 && (std::strcmp(argv[1], "--cache-info") == 0 ||
                     std::strcmp(argv[1], "--cache-clear") == 0)) {
     return run_cache_command(argv[1]);
+  }
+  if (argc >= 2 && std::strcmp(argv[1], "--health") == 0) {
+    return run_health();
   }
   const Options o = parse(argc, argv);
   if (!o.trace_path.empty()) pygb::obs::set_tracing_enabled(true);
